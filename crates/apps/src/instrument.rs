@@ -1,0 +1,270 @@
+//! The instrumented file layer.
+//!
+//! Every application in this crate performs its file I/O through a
+//! [`TracedStore`]: a set of virtual in-memory files whose every open,
+//! close, read, write and seek is appended to a [`TraceWriter`]. Running
+//! an application therefore produces both its computational result and
+//! a UMD-style trace of its I/O behaviour — the regenerated equivalent
+//! of the paper's collected trace files.
+
+use std::io;
+
+use clio_trace::record::IoOp;
+use clio_trace::writer::TraceWriter;
+use clio_trace::{TraceError, TraceFile};
+
+/// One virtual file.
+#[derive(Debug, Default, Clone)]
+struct VFile {
+    name: String,
+    data: Vec<u8>,
+    open: bool,
+    position: u64,
+}
+
+/// A store of virtual files with full I/O tracing.
+#[derive(Debug)]
+pub struct TracedStore {
+    files: Vec<VFile>,
+    writer: TraceWriter,
+    pid: u32,
+}
+
+impl TracedStore {
+    /// Creates a store whose trace names `sample_file` as its replay
+    /// target.
+    pub fn new(sample_file: impl Into<String>) -> Self {
+        Self { files: Vec::new(), writer: TraceWriter::new(sample_file), pid: 0 }
+    }
+
+    /// Sets the process id stamped on subsequent records.
+    pub fn set_pid(&mut self, pid: u32) {
+        self.pid = pid;
+    }
+
+    /// Creates a new empty virtual file; returns its id. Creation is
+    /// not an I/O op in the paper's alphabet, so nothing is recorded.
+    pub fn create(&mut self, name: impl Into<String>) -> u32 {
+        self.files.push(VFile { name: name.into(), ..Default::default() });
+        self.files.len() as u32 - 1
+    }
+
+    /// Creates a file with initial contents.
+    pub fn create_with(&mut self, name: impl Into<String>, data: Vec<u8>) -> u32 {
+        let id = self.create(name);
+        self.files[id as usize].data = data;
+        id
+    }
+
+    fn file_mut(&mut self, id: u32) -> io::Result<&mut VFile> {
+        self.files
+            .get_mut(id as usize)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no file {id}")))
+    }
+
+    fn require_open(&mut self, id: u32) -> io::Result<&mut VFile> {
+        let f = self.file_mut(id)?;
+        if !f.open {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!("file {id} is not open"),
+            ));
+        }
+        Ok(f)
+    }
+
+    /// Opens a file (records `Open`).
+    pub fn open(&mut self, id: u32) -> io::Result<()> {
+        let pid = self.pid;
+        let f = self.file_mut(id)?;
+        f.open = true;
+        f.position = 0;
+        self.writer.record(IoOp::Open, pid, id, 0, 0);
+        Ok(())
+    }
+
+    /// Closes a file (records `Close`).
+    pub fn close(&mut self, id: u32) -> io::Result<()> {
+        let pid = self.pid;
+        let f = self.file_mut(id)?;
+        if !f.open {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "double close"));
+        }
+        f.open = false;
+        self.writer.record(IoOp::Close, pid, id, 0, 0);
+        Ok(())
+    }
+
+    /// Seeks from the beginning of the file (records `Seek`).
+    pub fn seek(&mut self, id: u32, offset: u64) -> io::Result<()> {
+        let pid = self.pid;
+        let f = self.require_open(id)?;
+        f.position = offset;
+        self.writer.record(IoOp::Seek, pid, id, offset, 0);
+        Ok(())
+    }
+
+    /// Reads exactly `buf.len()` bytes at `offset` (records `Read`).
+    /// Short data is an error: the applications always know file sizes.
+    pub fn read_at(&mut self, id: u32, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let pid = self.pid;
+        let len = buf.len();
+        let f = self.require_open(id)?;
+        let end = offset as usize + len;
+        if end > f.data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("read [{offset}, {end}) beyond {} bytes of {}", f.data.len(), f.name),
+            ));
+        }
+        buf.copy_from_slice(&f.data[offset as usize..end]);
+        f.position = end as u64;
+        self.writer.record(IoOp::Read, pid, id, offset, len as u64);
+        Ok(())
+    }
+
+    /// Reads at the current position, advancing it.
+    pub fn read(&mut self, id: u32, buf: &mut [u8]) -> io::Result<()> {
+        let pos = self.require_open(id)?.position;
+        self.read_at(id, pos, buf)
+    }
+
+    /// Writes `data` at `offset`, growing the file (records `Write`).
+    pub fn write_at(&mut self, id: u32, offset: u64, data: &[u8]) -> io::Result<()> {
+        let pid = self.pid;
+        let f = self.require_open(id)?;
+        let end = offset as usize + data.len();
+        if f.data.len() < end {
+            f.data.resize(end, 0);
+        }
+        f.data[offset as usize..end].copy_from_slice(data);
+        f.position = end as u64;
+        self.writer.record(IoOp::Write, pid, id, offset, data.len() as u64);
+        Ok(())
+    }
+
+    /// Appends at the current position, advancing it.
+    pub fn write(&mut self, id: u32, data: &[u8]) -> io::Result<()> {
+        let pos = self.require_open(id)?.position;
+        self.write_at(id, pos, data)
+    }
+
+    /// Current length of a file.
+    pub fn len(&self, id: u32) -> u64 {
+        self.files.get(id as usize).map_or(0, |f| f.data.len() as u64)
+    }
+
+    /// Whether the store holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Name of a file.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.files.get(id as usize).map(|f| f.name.as_str())
+    }
+
+    /// Number of trace records captured so far.
+    pub fn recorded_ops(&self) -> usize {
+        self.writer.len()
+    }
+
+    /// Finishes, returning the captured trace.
+    pub fn into_trace(self) -> Result<TraceFile, TraceError> {
+        self.writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lifecycle_traced() {
+        let mut s = TracedStore::new("app.dat");
+        let f = s.create("data");
+        s.open(f).unwrap();
+        s.write(f, b"hello world").unwrap();
+        s.seek(f, 6).unwrap();
+        let mut buf = [0u8; 5];
+        s.read(f, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        s.close(f).unwrap();
+
+        let trace = s.into_trace().unwrap();
+        let ops: Vec<IoOp> = trace.records.iter().map(|r| r.op).collect();
+        assert_eq!(ops, vec![IoOp::Open, IoOp::Write, IoOp::Seek, IoOp::Read, IoOp::Close]);
+        assert_eq!(trace.records[3].offset, 6);
+        assert_eq!(trace.records[3].length, 5);
+    }
+
+    #[test]
+    fn read_at_does_not_move_logical_io() {
+        let mut s = TracedStore::new("x");
+        let f = s.create_with("d", vec![1, 2, 3, 4]);
+        s.open(f).unwrap();
+        let mut b = [0u8; 2];
+        s.read_at(f, 2, &mut b).unwrap();
+        assert_eq!(b, [3, 4]);
+    }
+
+    #[test]
+    fn read_beyond_eof_is_error() {
+        let mut s = TracedStore::new("x");
+        let f = s.create_with("d", vec![0; 10]);
+        s.open(f).unwrap();
+        let mut b = [0u8; 20];
+        assert!(s.read_at(f, 0, &mut b).is_err());
+    }
+
+    #[test]
+    fn io_on_closed_file_is_error() {
+        let mut s = TracedStore::new("x");
+        let f = s.create("d");
+        let mut b = [0u8; 1];
+        assert!(s.read_at(f, 0, &mut b).is_err());
+        assert!(s.write_at(f, 0, &b).is_err());
+        assert!(s.seek(f, 0).is_err());
+        assert!(s.close(f).is_err(), "close without open");
+    }
+
+    #[test]
+    fn unknown_file_is_error() {
+        let mut s = TracedStore::new("x");
+        assert!(s.open(42).is_err());
+    }
+
+    #[test]
+    fn write_extends_file() {
+        let mut s = TracedStore::new("x");
+        let f = s.create("d");
+        s.open(f).unwrap();
+        s.write_at(f, 100, b"z").unwrap();
+        assert_eq!(s.len(f), 101);
+    }
+
+    #[test]
+    fn pid_stamped_on_records() {
+        let mut s = TracedStore::new("x");
+        let f = s.create("d");
+        s.set_pid(7);
+        s.open(f).unwrap();
+        let t = s.into_trace().unwrap();
+        assert_eq!(t.records[0].pid, 7);
+    }
+
+    #[test]
+    fn trace_counts_match_ops() {
+        let mut s = TracedStore::new("x");
+        let f = s.create("d");
+        s.open(f).unwrap();
+        for i in 0..10u64 {
+            s.write_at(f, i * 8, &[0u8; 8]).unwrap();
+        }
+        s.close(f).unwrap();
+        assert_eq!(s.recorded_ops(), 12);
+        let t = s.into_trace().unwrap();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.header.num_files, 1);
+    }
+}

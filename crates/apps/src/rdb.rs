@@ -1,0 +1,417 @@
+//! Rdb: a miniature relational database over traced storage.
+//!
+//! The paper's non-scientific trace set includes "a relational
+//! database" (Section 3.1 — the UMD suite traced a Postgres-class
+//! engine). This module rebuilds that workload shape as an ISAM-style
+//! read-optimized store: tuples live in fixed-size slotted pages of a
+//! heap file, a dense sorted index maps keys to (page, slot), and
+//! queries run through the instrumented file layer:
+//!
+//! - **point lookup** — binary search over the on-disk index (a run of
+//!   small seek+reads shrinking log-fashion) followed by one data-page
+//!   read,
+//! - **range scan** — one index probe for the lower bound, then a
+//!   sequential index walk with scattered data-page reads,
+//! - **full scan** — strictly sequential heap reads,
+//! - **index-nested-loop join** — a range scan of the outer table,
+//!   probing the inner table's index per outer tuple: the classic
+//!   random-read storm the UMD database trace is known for.
+//!
+//! Every query result is verified against an in-memory `BTreeMap`
+//! reference over the same generated tuples.
+
+use std::io;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clio_trace::TraceFile;
+
+use crate::instrument::TracedStore;
+
+/// Fixed tuple layout: 8-byte key + payload.
+pub const PAYLOAD_BYTES: usize = 56;
+/// Whole-tuple size on a page.
+pub const TUPLE_BYTES: usize = 8 + PAYLOAD_BYTES;
+/// Heap page size.
+pub const PAGE_BYTES: usize = 4096;
+/// Tuples per heap page.
+pub const TUPLES_PER_PAGE: usize = PAGE_BYTES / TUPLE_BYTES;
+/// One index entry: key + page number + slot.
+const INDEX_ENTRY_BYTES: usize = 8 + 4 + 4;
+
+/// A tuple: key plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    /// Primary key.
+    pub key: u64,
+    /// Payload bytes (exactly [`PAYLOAD_BYTES`]).
+    pub payload: Vec<u8>,
+}
+
+/// Generates `n` tuples with distinct pseudo-random keys.
+pub fn generate_tuples(seed: u64, n: usize) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    // Distinct keys: strictly increasing jumps, then shuffled.
+    let mut k = 0u64;
+    for _ in 0..n {
+        k += rng.gen_range(1..64);
+        keys.push(k);
+    }
+    for i in (1..keys.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        keys.swap(i, j);
+    }
+    keys.into_iter()
+        .map(|key| {
+            let mut payload = vec![0u8; PAYLOAD_BYTES];
+            rng.fill(payload.as_mut_slice());
+            Tuple { key, payload }
+        })
+        .collect()
+}
+
+/// An open table: heap file + sorted index file, both traced.
+pub struct Table {
+    heap: u32,
+    index: u32,
+    n_tuples: usize,
+}
+
+/// Query statistics for one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Index entries read.
+    pub index_reads: usize,
+    /// Heap pages read.
+    pub page_reads: usize,
+}
+
+/// The database: traced storage shared by its tables.
+pub struct Rdb {
+    store: TracedStore,
+}
+
+impl Rdb {
+    /// Creates an empty database over a named sample file.
+    pub fn new(sample_file: impl Into<String>) -> Self {
+        Self { store: TracedStore::new(sample_file) }
+    }
+
+    /// Bulk-loads `tuples` into a new table: heap pages are written
+    /// sequentially in arrival order; the index is sorted by key and
+    /// written sequentially after it.
+    pub fn create_table(&mut self, name: &str, tuples: &[Tuple]) -> io::Result<Table> {
+        let n_pages = tuples.len().div_ceil(TUPLES_PER_PAGE.max(1));
+        let mut heap_bytes = vec![0u8; n_pages * PAGE_BYTES];
+        let mut index: Vec<(u64, u32, u32)> = Vec::with_capacity(tuples.len());
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(t.payload.len(), PAYLOAD_BYTES, "fixed payload size");
+            let page = i / TUPLES_PER_PAGE;
+            let slot = i % TUPLES_PER_PAGE;
+            let off = page * PAGE_BYTES + slot * TUPLE_BYTES;
+            heap_bytes[off..off + 8].copy_from_slice(&t.key.to_le_bytes());
+            heap_bytes[off + 8..off + 8 + PAYLOAD_BYTES].copy_from_slice(&t.payload);
+            index.push((t.key, page as u32, slot as u32));
+        }
+        index.sort_unstable_by_key(|&(k, ..)| k);
+        let mut index_bytes = Vec::with_capacity(index.len() * INDEX_ENTRY_BYTES);
+        for &(k, page, slot) in &index {
+            index_bytes.extend_from_slice(&k.to_le_bytes());
+            index_bytes.extend_from_slice(&page.to_le_bytes());
+            index_bytes.extend_from_slice(&slot.to_le_bytes());
+        }
+
+        let heap = self.store.create_with(format!("{name}.heap"), heap_bytes);
+        let idx = self.store.create_with(format!("{name}.idx"), index_bytes);
+        self.store.open(heap)?;
+        self.store.open(idx)?;
+        Ok(Table { heap, index: idx, n_tuples: tuples.len() })
+    }
+
+    fn read_index_entry(&mut self, t: &Table, i: usize) -> io::Result<(u64, u32, u32)> {
+        let mut buf = [0u8; INDEX_ENTRY_BYTES];
+        self.store.read_at(t.index, (i * INDEX_ENTRY_BYTES) as u64, &mut buf)?;
+        Ok((
+            u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+            u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
+            u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+        ))
+    }
+
+    fn read_tuple(&mut self, t: &Table, page: u32, slot: u32) -> io::Result<Tuple> {
+        // Read the whole page (the paged I/O a real engine issues),
+        // then extract the slot.
+        let mut buf = vec![0u8; PAGE_BYTES];
+        self.store.read_at(t.heap, page as u64 * PAGE_BYTES as u64, &mut buf)?;
+        let off = slot as usize * TUPLE_BYTES;
+        Ok(Tuple {
+            key: u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")),
+            payload: buf[off + 8..off + 8 + PAYLOAD_BYTES].to_vec(),
+        })
+    }
+
+    /// Index position of the first entry with key ≥ `key` (on-disk
+    /// binary search; every probe is a traced small read).
+    fn lower_bound(
+        &mut self,
+        t: &Table,
+        key: u64,
+        stats: &mut QueryStats,
+    ) -> io::Result<usize> {
+        let mut lo = 0usize;
+        let mut hi = t.n_tuples;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (k, ..) = self.read_index_entry(t, mid)?;
+            stats.index_reads += 1;
+            if k < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Point lookup by primary key.
+    pub fn lookup(&mut self, t: &Table, key: u64) -> io::Result<(Option<Tuple>, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let pos = self.lower_bound(t, key, &mut stats)?;
+        if pos >= t.n_tuples {
+            return Ok((None, stats));
+        }
+        let (k, page, slot) = self.read_index_entry(t, pos)?;
+        stats.index_reads += 1;
+        if k != key {
+            return Ok((None, stats));
+        }
+        let tuple = self.read_tuple(t, page, slot)?;
+        stats.page_reads += 1;
+        Ok((Some(tuple), stats))
+    }
+
+    /// Range scan: all tuples with `lo ≤ key ≤ hi`, in key order.
+    pub fn range(
+        &mut self,
+        t: &Table,
+        lo: u64,
+        hi: u64,
+    ) -> io::Result<(Vec<Tuple>, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let mut out = Vec::new();
+        if lo > hi {
+            return Ok((out, stats));
+        }
+        let mut pos = self.lower_bound(t, lo, &mut stats)?;
+        while pos < t.n_tuples {
+            let (k, page, slot) = self.read_index_entry(t, pos)?;
+            stats.index_reads += 1;
+            if k > hi {
+                break;
+            }
+            out.push(self.read_tuple(t, page, slot)?);
+            stats.page_reads += 1;
+            pos += 1;
+        }
+        Ok((out, stats))
+    }
+
+    /// Full sequential scan in heap order.
+    pub fn scan(&mut self, t: &Table) -> io::Result<(Vec<Tuple>, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let mut out = Vec::with_capacity(t.n_tuples);
+        let n_pages = t.n_tuples.div_ceil(TUPLES_PER_PAGE);
+        for page in 0..n_pages {
+            let mut buf = vec![0u8; PAGE_BYTES];
+            self.store.read_at(t.heap, (page * PAGE_BYTES) as u64, &mut buf)?;
+            stats.page_reads += 1;
+            let in_page = (t.n_tuples - page * TUPLES_PER_PAGE).min(TUPLES_PER_PAGE);
+            for slot in 0..in_page {
+                let off = slot * TUPLE_BYTES;
+                out.push(Tuple {
+                    key: u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")),
+                    payload: buf[off + 8..off + 8 + PAYLOAD_BYTES].to_vec(),
+                });
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Index-nested-loop equi-join: for every outer tuple with key in
+    /// `[lo, hi]`, probe `inner` for the same key. Returns matched
+    /// pairs in outer key order.
+    pub fn join_range(
+        &mut self,
+        outer: &Table,
+        inner: &Table,
+        lo: u64,
+        hi: u64,
+    ) -> io::Result<(Vec<(Tuple, Tuple)>, QueryStats)> {
+        let (outer_rows, mut stats) = self.range(outer, lo, hi)?;
+        let mut out = Vec::new();
+        for o in outer_rows {
+            let (hit, s) = self.lookup(inner, o.key)?;
+            stats.index_reads += s.index_reads;
+            stats.page_reads += s.page_reads;
+            if let Some(i) = hit {
+                out.push((o, i));
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Closes a table's files.
+    pub fn close_table(&mut self, t: &Table) -> io::Result<()> {
+        self.store.close(t.heap)?;
+        self.store.close(t.index)
+    }
+
+    /// Finishes, returning the combined I/O trace.
+    pub fn into_trace(self) -> TraceFile {
+        self.store.into_trace().expect("instrumented trace is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use clio_trace::record::IoOp;
+    use clio_trace::stats::TraceStats;
+
+    fn reference(tuples: &[Tuple]) -> BTreeMap<u64, Tuple> {
+        tuples.iter().map(|t| (t.key, t.clone())).collect()
+    }
+
+    fn setup(n: usize) -> (Rdb, Table, Vec<Tuple>) {
+        let tuples = generate_tuples(57, n);
+        let mut db = Rdb::new("rdb-sample.dat");
+        let table = db.create_table("t", &tuples).unwrap();
+        (db, table, tuples)
+    }
+
+    #[test]
+    fn lookup_matches_reference_for_every_key() {
+        let (mut db, table, tuples) = setup(300);
+        let model = reference(&tuples);
+        for t in &tuples {
+            let (found, stats) = db.lookup(&table, t.key).unwrap();
+            assert_eq!(found.as_ref(), model.get(&t.key), "key {}", t.key);
+            assert_eq!(stats.page_reads, 1);
+            assert!(stats.index_reads <= 12, "binary search depth on 300 keys");
+        }
+    }
+
+    #[test]
+    fn lookup_misses_cleanly() {
+        let (mut db, table, tuples) = setup(100);
+        let model = reference(&tuples);
+        // Probe keys straddling the existing ones.
+        for k in 0..tuples.iter().map(|t| t.key).max().unwrap() + 5 {
+            if model.contains_key(&k) {
+                continue;
+            }
+            let (found, stats) = db.lookup(&table, k).unwrap();
+            assert!(found.is_none(), "phantom key {k}");
+            assert_eq!(stats.page_reads, 0, "misses never touch the heap");
+        }
+    }
+
+    #[test]
+    fn range_matches_reference() {
+        let (mut db, table, tuples) = setup(400);
+        let model = reference(&tuples);
+        let max = tuples.iter().map(|t| t.key).max().unwrap();
+        for (lo, hi) in [(0, max), (max / 4, max / 2), (7, 7), (max, max + 10), (5, 4)] {
+            let (rows, _) = db.range(&table, lo, hi).unwrap();
+            // BTreeMap::range panics on inverted bounds; the DB returns
+            // empty instead, so model the inverted case explicitly.
+            let expect: Vec<Tuple> = if lo > hi {
+                Vec::new()
+            } else {
+                model.range(lo..=hi).map(|(_, t)| t.clone()).collect()
+            };
+            assert_eq!(rows, expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn scan_returns_heap_order() {
+        let (mut db, table, tuples) = setup(150);
+        let (rows, stats) = db.scan(&table).unwrap();
+        assert_eq!(rows, tuples, "heap order is arrival order");
+        assert_eq!(stats.page_reads, 150usize.div_ceil(TUPLES_PER_PAGE));
+    }
+
+    #[test]
+    fn join_matches_reference() {
+        let outer_tuples = generate_tuples(57, 200);
+        let inner_tuples = generate_tuples(58, 200);
+        let mut db = Rdb::new("rdb-join.dat");
+        let outer = db.create_table("outer", &outer_tuples).unwrap();
+        let inner = db.create_table("inner", &inner_tuples).unwrap();
+        let inner_model = reference(&inner_tuples);
+        let outer_model = reference(&outer_tuples);
+        let max = outer_tuples.iter().map(|t| t.key).max().unwrap();
+
+        let (pairs, stats) = db.join_range(&outer, &inner, 0, max).unwrap();
+        let expect: Vec<(Tuple, Tuple)> = outer_model
+            .values()
+            .filter_map(|o| inner_model.get(&o.key).map(|i| (o.clone(), i.clone())))
+            .collect();
+        assert_eq!(pairs, expect);
+        assert!(stats.index_reads > 0 && stats.page_reads > 0);
+    }
+
+    #[test]
+    fn trace_shape_point_vs_scan() {
+        // Point lookups produce many small index reads; a full scan
+        // produces exactly n_pages big sequential reads.
+        let (mut db, table, tuples) = setup(256);
+        for t in tuples.iter().take(16) {
+            db.lookup(&table, t.key).unwrap();
+        }
+        db.scan(&table).unwrap();
+        db.close_table(&table).unwrap();
+        let trace = db.into_trace();
+        let stats = TraceStats::compute(&trace);
+        assert!(stats.count(IoOp::Read) > 16 * 8, "index probes dominate the op count");
+        assert_eq!(stats.count(IoOp::Open), 2);
+        assert_eq!(stats.count(IoOp::Close), 2);
+        // Largest reads are whole heap pages, smallest are index entries.
+        assert_eq!(stats.request_sizes.max(), Some(PAGE_BYTES as f64));
+        assert_eq!(stats.request_sizes.min(), Some(INDEX_ENTRY_BYTES as f64));
+    }
+
+    #[test]
+    fn generated_keys_are_distinct() {
+        let tuples = generate_tuples(3, 2000);
+        let mut keys: Vec<u64> = tuples.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 2000);
+        assert_eq!(tuples, generate_tuples(3, 2000), "deterministic");
+    }
+
+    #[test]
+    fn empty_table_queries_are_clean() {
+        let mut db = Rdb::new("rdb-empty.dat");
+        let table = db.create_table("empty", &[]).unwrap();
+        assert_eq!(db.lookup(&table, 42).unwrap().0, None);
+        assert!(db.range(&table, 0, u64::MAX).unwrap().0.is_empty());
+        assert!(db.scan(&table).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn single_tuple_table() {
+        let tuple = Tuple { key: 7, payload: vec![0xAB; PAYLOAD_BYTES] };
+        let mut db = Rdb::new("rdb-one.dat");
+        let table = db.create_table("one", std::slice::from_ref(&tuple)).unwrap();
+        assert_eq!(db.lookup(&table, 7).unwrap().0, Some(tuple.clone()));
+        assert_eq!(db.lookup(&table, 8).unwrap().0, None);
+        assert_eq!(db.range(&table, 0, 100).unwrap().0, vec![tuple]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Titan: a tiled remote-sensing raster database.
+//!
+//! "Titan: a high-performance remote-sensing database" [3] stored
+//! satellite imagery as tiles with a spatial index and answered
+//! rectangular range queries. This module implements that storage
+//! engine in miniature: a raster of `u16` samples is split into tiles,
+//! written to a file behind an index, and queries read the index entry
+//! and the tile payload for every tile overlapping the query window —
+//! producing the scattered seek+read signature of the paper's Table 2.
+
+use std::io;
+
+use clio_trace::record::IoOp;
+use clio_trace::writer::TraceWriter;
+use clio_trace::TraceFile;
+
+use crate::datagen::raster_tiles;
+use crate::instrument::TracedStore;
+
+/// Database geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct TitanConfig {
+    /// Tiles per row.
+    pub tiles_x: usize,
+    /// Tiles per column.
+    pub tiles_y: usize,
+    /// Tile width in samples.
+    pub tile_w: usize,
+    /// Tile height in samples.
+    pub tile_h: usize,
+    /// RNG seed for the synthetic raster.
+    pub seed: u64,
+}
+
+impl Default for TitanConfig {
+    fn default() -> Self {
+        Self { tiles_x: 8, tiles_y: 8, tile_w: 32, tile_h: 32, seed: 13 }
+    }
+}
+
+/// A rectangular query window in global sample coordinates,
+/// half-open: `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Top edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+}
+
+/// Aggregates over a query window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryResult {
+    /// Samples covered.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Minimum sample (`u16::MAX` when empty).
+    pub min: u16,
+    /// Maximum sample (0 when empty).
+    pub max: u16,
+    /// Tiles read to answer the query.
+    pub tiles_read: usize,
+}
+
+impl QueryResult {
+    /// Mean sample value; `None` for an empty window.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+const HEADER_LEN: u64 = 16; // 4 × u32 geometry fields
+const INDEX_ENTRY: u64 = 8; // u64 offset per tile
+
+/// An open Titan store: geometry plus the instrumented file.
+pub struct TitanDb {
+    cfg: TitanConfig,
+    store: TracedStore,
+    file: u32,
+}
+
+impl TitanDb {
+    /// Builds the database file from a synthesized raster and opens it.
+    pub fn create(cfg: TitanConfig) -> io::Result<Self> {
+        assert!(
+            cfg.tiles_x > 0 && cfg.tiles_y > 0 && cfg.tile_w > 0 && cfg.tile_h > 0,
+            "degenerate geometry"
+        );
+        let tiles = raster_tiles(cfg.seed, cfg.tiles_x, cfg.tiles_y, cfg.tile_w, cfg.tile_h);
+        let n_tiles = tiles.len() as u64;
+        let tile_bytes = (cfg.tile_w * cfg.tile_h * 2) as u64;
+
+        let mut data = Vec::new();
+        data.extend_from_slice(&(cfg.tiles_x as u32).to_le_bytes());
+        data.extend_from_slice(&(cfg.tiles_y as u32).to_le_bytes());
+        data.extend_from_slice(&(cfg.tile_w as u32).to_le_bytes());
+        data.extend_from_slice(&(cfg.tile_h as u32).to_le_bytes());
+        // Index: absolute payload offset per tile.
+        for i in 0..n_tiles {
+            let off = HEADER_LEN + n_tiles * INDEX_ENTRY + i * tile_bytes;
+            data.extend_from_slice(&off.to_le_bytes());
+        }
+        for tile in &tiles {
+            for &s in tile {
+                data.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+
+        let mut store = TracedStore::new("titan-raster.db");
+        let file = store.create_with("raster", data);
+        store.open(file).expect("fresh file opens");
+        Ok(Self { cfg, store, file })
+    }
+
+    /// Raster width in samples.
+    pub fn width(&self) -> usize {
+        self.cfg.tiles_x * self.cfg.tile_w
+    }
+
+    /// Raster height in samples.
+    pub fn height(&self) -> usize {
+        self.cfg.tiles_y * self.cfg.tile_h
+    }
+
+    /// Answers a range query by reading every overlapping tile.
+    pub fn query(&mut self, win: Window) -> io::Result<QueryResult> {
+        let cfg = self.cfg;
+        let x1 = win.x1.min(self.width());
+        let y1 = win.y1.min(self.height());
+        let mut result = QueryResult { count: 0, sum: 0, min: u16::MAX, max: 0, tiles_read: 0 };
+        if win.x0 >= x1 || win.y0 >= y1 {
+            return Ok(result);
+        }
+
+        let tx0 = win.x0 / cfg.tile_w;
+        let tx1 = (x1 - 1) / cfg.tile_w;
+        let ty0 = win.y0 / cfg.tile_h;
+        let ty1 = (y1 - 1) / cfg.tile_h;
+        let tile_bytes = cfg.tile_w * cfg.tile_h * 2;
+
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let tile_no = (ty * cfg.tiles_x + tx) as u64;
+                // Read the index entry (seek + 8-byte read)…
+                let mut entry = [0u8; 8];
+                self.store.seek(self.file, HEADER_LEN + tile_no * INDEX_ENTRY)?;
+                self.store.read(self.file, &mut entry)?;
+                let payload_off = u64::from_le_bytes(entry);
+                // …then the tile payload (seek + tile read).
+                let mut payload = vec![0u8; tile_bytes];
+                self.store.seek(self.file, payload_off)?;
+                self.store.read(self.file, &mut payload)?;
+                result.tiles_read += 1;
+
+                // Aggregate the intersection of the window and the tile.
+                let base_x = tx * cfg.tile_w;
+                let base_y = ty * cfg.tile_h;
+                let lx0 = win.x0.max(base_x) - base_x;
+                let lx1 = x1.min(base_x + cfg.tile_w) - base_x;
+                let ly0 = win.y0.max(base_y) - base_y;
+                let ly1 = y1.min(base_y + cfg.tile_h) - base_y;
+                for y in ly0..ly1 {
+                    for x in lx0..lx1 {
+                        let i = (y * cfg.tile_w + x) * 2;
+                        let v = u16::from_le_bytes([payload[i], payload[i + 1]]);
+                        result.count += 1;
+                        result.sum += v as u64;
+                        result.min = result.min.min(v);
+                        result.max = result.max.max(v);
+                    }
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Finishes, closing the file and returning the I/O trace.
+    pub fn into_trace(mut self) -> io::Result<TraceFile> {
+        self.store.close(self.file)?;
+        Ok(self.store.into_trace().expect("instrumented trace is valid"))
+    }
+}
+
+/// Runs a batch of queries over a fresh database, returning per-query
+/// results and the combined trace.
+pub fn run(cfg: TitanConfig, queries: &[Window]) -> io::Result<(Vec<QueryResult>, TraceFile)> {
+    let mut db = TitanDb::create(cfg)?;
+    let mut results = Vec::with_capacity(queries.len());
+    for &q in queries {
+        results.push(db.query(q)?);
+    }
+    let trace = db.into_trace()?;
+    Ok((results, trace))
+}
+
+/// The read size the paper's Table 2 reports for Titan.
+pub const TABLE2_READ_SIZE: u64 = 187_681;
+
+/// Builds the trace whose replay regenerates Table 2: open, `n_reads`
+/// synchronous reads of 187 681 bytes at tile-grid-strided offsets,
+/// close.
+pub fn paper_trace(n_reads: usize) -> TraceFile {
+    let mut w = TraceWriter::new("sample-1gb.dat");
+    w.op(IoOp::Open, 0, 0, 0);
+    for i in 0..n_reads.max(1) as u64 {
+        // Tiles are scattered but aligned: stride of 4 MiB.
+        w.op(IoOp::Read, 0, i * 4 * 1024 * 1024, TABLE2_READ_SIZE);
+    }
+    w.op(IoOp::Close, 0, 0, 0);
+    w.finish().expect("constructed trace is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assembles the full raster for brute-force checking.
+    fn global_raster(cfg: TitanConfig) -> Vec<Vec<u16>> {
+        let tiles = raster_tiles(cfg.seed, cfg.tiles_x, cfg.tiles_y, cfg.tile_w, cfg.tile_h);
+        let w = cfg.tiles_x * cfg.tile_w;
+        let h = cfg.tiles_y * cfg.tile_h;
+        let mut g = vec![vec![0u16; w]; h];
+        for ty in 0..cfg.tiles_y {
+            for tx in 0..cfg.tiles_x {
+                let tile = &tiles[ty * cfg.tiles_x + tx];
+                for y in 0..cfg.tile_h {
+                    for x in 0..cfg.tile_w {
+                        g[ty * cfg.tile_h + y][tx * cfg.tile_w + x] = tile[y * cfg.tile_w + x];
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn brute_force(raster: &[Vec<u16>], win: Window) -> (u64, u64, u16, u16) {
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut min = u16::MAX;
+        let mut max = 0u16;
+        for row in raster.iter().take(win.y1.min(raster.len())).skip(win.y0) {
+            for &v in row.iter().take(win.x1.min(row.len())).skip(win.x0) {
+                count += 1;
+                sum += v as u64;
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        (count, sum, min, max)
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let cfg = TitanConfig::default();
+        let raster = global_raster(cfg);
+        let windows = [
+            Window { x0: 0, y0: 0, x1: 10, y1: 10 },
+            Window { x0: 30, y0: 30, x1: 70, y1: 40 },   // crosses tile borders
+            Window { x0: 0, y0: 0, x1: 256, y1: 256 },   // whole raster
+            Window { x0: 255, y0: 255, x1: 256, y1: 256 }, // single corner sample
+            Window { x0: 31, y0: 0, x1: 33, y1: 1 },     // two-tile sliver
+        ];
+        let (results, _) = run(cfg, &windows).unwrap();
+        for (win, res) in windows.iter().zip(&results) {
+            let (count, sum, min, max) = brute_force(&raster, *win);
+            assert_eq!(res.count, count, "{win:?}");
+            assert_eq!(res.sum, sum, "{win:?}");
+            assert_eq!(res.min, min, "{win:?}");
+            assert_eq!(res.max, max, "{win:?}");
+        }
+    }
+
+    #[test]
+    fn empty_window() {
+        let (results, _) = run(
+            TitanConfig::default(),
+            &[Window { x0: 10, y0: 10, x1: 10, y1: 20 }],
+        )
+        .unwrap();
+        assert_eq!(results[0].count, 0);
+        assert_eq!(results[0].tiles_read, 0);
+        assert_eq!(results[0].mean(), None);
+    }
+
+    #[test]
+    fn window_clamps_to_raster() {
+        let cfg = TitanConfig::default();
+        let raster = global_raster(cfg);
+        let win = Window { x0: 200, y0: 200, x1: 99999, y1: 99999 };
+        let (results, _) = run(cfg, &[win]).unwrap();
+        let (count, sum, _, _) = brute_force(&raster, win);
+        assert_eq!(results[0].count, count);
+        assert_eq!(results[0].sum, sum);
+    }
+
+    #[test]
+    fn tiles_read_matches_overlap() {
+        let cfg = TitanConfig::default();
+        // A window inside one tile.
+        let (r, _) = run(cfg, &[Window { x0: 1, y0: 1, x1: 5, y1: 5 }]).unwrap();
+        assert_eq!(r[0].tiles_read, 1);
+        // A window spanning a 2×2 tile block.
+        let (r, _) = run(cfg, &[Window { x0: 30, y0: 30, x1: 40, y1: 40 }]).unwrap();
+        assert_eq!(r[0].tiles_read, 4);
+    }
+
+    #[test]
+    fn trace_shows_index_then_payload_pattern() {
+        let (_, trace) = run(
+            TitanConfig::default(),
+            &[Window { x0: 0, y0: 0, x1: 40, y1: 40 }],
+        )
+        .unwrap();
+        let stats = clio_trace::stats::TraceStats::compute(&trace);
+        // 4 tiles → 8 seeks (index + payload each) plus open/close.
+        assert_eq!(stats.count(IoOp::Seek), 8);
+        assert_eq!(stats.count(IoOp::Read), 8);
+        assert!(stats.is_read_dominated());
+        // Small index reads and large tile reads both present.
+        assert_eq!(stats.request_sizes.min(), Some(8.0));
+        assert_eq!(stats.request_sizes.max(), Some((32 * 32 * 2) as f64));
+    }
+
+    #[test]
+    fn mean_value() {
+        let (r, _) = run(TitanConfig::default(), &[Window { x0: 0, y0: 0, x1: 8, y1: 8 }]).unwrap();
+        let m = r[0].mean().unwrap();
+        assert!(m > 0.0 && m < u16::MAX as f64);
+    }
+
+    #[test]
+    fn paper_trace_read_sizes() {
+        let t = paper_trace(10);
+        let stats = clio_trace::stats::TraceStats::compute(&t);
+        assert_eq!(stats.count(IoOp::Read), 10);
+        assert_eq!(stats.request_sizes.max(), Some(TABLE2_READ_SIZE as f64));
+        assert_eq!(stats.count(IoOp::Seek), 0, "Table 2 lists no seek column");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_geometry_panics() {
+        let _ = TitanDb::create(TitanConfig { tiles_x: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation benches for the buffer-cache design choices (DESIGN.md §6):
+//! prefetch on/off, cache capacity sweep, and page-size sweep, measured
+//! as simulated replay cost of the Cholesky trace (the most
+//! cache-sensitive of the four).
+//!
+//! These benches measure replay throughput; the *simulated* latency
+//! ablation numbers are printed once at startup so the effect of each
+//! knob on the modeled I/O time is visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::apps::cholesky;
+use clio_core::cache::cache::CacheConfig;
+use clio_core::cache::policy::{ReplacementPolicy, WritePolicy};
+use clio_core::cache::prefetch::PrefetchConfig;
+use clio_core::trace::replay::replay_simulated;
+
+fn configs() -> Vec<(String, CacheConfig)> {
+    let mut out = vec![
+        ("default".to_string(), CacheConfig::default()),
+        (
+            "no_prefetch".to_string(),
+            CacheConfig { prefetch_enabled: false, ..Default::default() },
+        ),
+        ("no_cache".to_string(), CacheConfig { capacity_pages: 0, ..Default::default() }),
+    ];
+    for pages in [256usize, 4096, 65536] {
+        out.push((
+            format!("capacity_{pages}p"),
+            CacheConfig { capacity_pages: pages, ..Default::default() },
+        ));
+    }
+    for shift in [12u32, 14, 16] {
+        out.push((
+            format!("page_{}b", 1u64 << shift),
+            CacheConfig { page_size: 1 << shift, ..Default::default() },
+        ));
+    }
+    for policy in [
+        ReplacementPolicy::Clock,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TwoQ,
+        ReplacementPolicy::Slru,
+    ] {
+        out.push((
+            format!("policy_{policy:?}").to_lowercase(),
+            CacheConfig { policy, ..Default::default() },
+        ));
+    }
+    out.push((
+        "write_through".to_string(),
+        CacheConfig { write_policy: WritePolicy::WriteThrough, ..Default::default() },
+    ));
+    out.push((
+        "aggressive_prefetch".to_string(),
+        CacheConfig {
+            prefetch: PrefetchConfig { trigger_after: 1, initial_window: 8, max_window: 128 },
+            ..Default::default()
+        },
+    ));
+    out
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let trace = cholesky::paper_trace();
+
+    // Print the simulated-latency effect of each knob once.
+    println!("\n# cache ablation: simulated total replay latency (ms)");
+    for (name, cfg) in configs() {
+        let report = replay_simulated(&trace, cfg);
+        println!("#   {name:<22} {:.4}", report.total_ms());
+    }
+
+    let mut group = c.benchmark_group("cache_ablation_replay");
+    for (name, cfg) in configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| replay_simulated(&trace, cfg.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

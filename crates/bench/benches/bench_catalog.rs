@@ -1,0 +1,44 @@
+//! Catalog sweep bench: simulates every modeled application in the
+//! catalog across the paper's machine sweep — the "other simulated
+//! applications" the paper leaves to future work. The printout shows
+//! each application's disk/CPU speedup asymptote so the behavioural
+//! spectrum (CPU-, I/O- and communication-dominated) is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::model::catalog::all_catalog_applications;
+use clio_core::sim::executor::simulate;
+use clio_core::sim::machine::MachineConfig;
+use clio_core::sim::speedup::{cpu_sweep, disk_sweep, PAPER_SWEEP};
+
+fn bench_catalog(c: &mut Criterion) {
+    println!("\n# catalog: speedup at 32 disks / 32 CPUs per modeled application");
+    for app in all_catalog_applications() {
+        let d = disk_sweep(&app, &PAPER_SWEEP);
+        let cp = cpu_sweep(&app, &PAPER_SWEEP);
+        let d32 = d.speedups().last().map(|&(_, s)| s).unwrap_or(1.0);
+        let c32 = cp.speedups().last().map(|&(_, s)| s).unwrap_or(1.0);
+        let r = app.requirements();
+        println!(
+            "#   {:<12} disks {:.2}x | cpus {:.2}x | mix cpu/io/comm {:.0}/{:.0}/{:.0}%",
+            app.name(),
+            d32,
+            c32,
+            r.cpu_percentage(),
+            r.io_percentage(),
+            r.comm_percentage()
+        );
+    }
+
+    let mut group = c.benchmark_group("catalog_simulate");
+    for app in all_catalog_applications() {
+        let name = app.name().to_string();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| simulate(app, &MachineConfig::uniprocessor()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation benches for the storage substrate's ordering and layout
+//! knobs: disk request scheduling policy (FCFS / SSTF / SCAN / C-LOOK)
+//! and RAID level (0 / 1 / 5).
+//!
+//! The workloads are (a) the LU paper trace's large scattered requests
+//! mapped onto cylinders and (b) a seeded uniform-random batch. The
+//! modeled seek totals per policy and the per-level RAID service times
+//! are printed once at startup; criterion then measures the scheduler
+//! itself (the part that would sit on a simulated device's dispatch
+//! path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::ablations::{
+    lu_device_batch, raid_ablation, random_device_batch, scheduler_ablation, CYLINDERS,
+};
+use clio_core::sim::raid::{RaidArray, RaidLevel};
+use clio_core::sim::sched::{Policy, Scheduler};
+use clio_core::sim::DiskModel;
+
+fn print_modeled_numbers() {
+    println!("--- modeled schedule outcomes (LU paper trace batch) ---");
+    for row in scheduler_ablation(&lu_device_batch()) {
+        println!(
+            "{:7}  seek {:6} cyl  seek {:8.3} ms  service {:8.3} ms",
+            row.policy, row.seek_cylinders, row.seek_ms, row.service_ms,
+        );
+    }
+    println!("--- modeled schedule outcomes (random batch, n=64) ---");
+    for row in scheduler_ablation(&random_device_batch(64, 7)) {
+        println!(
+            "{:7}  seek {:6} cyl  seek {:8.3} ms  service {:8.3} ms",
+            row.policy, row.seek_cylinders, row.seek_ms, row.service_ms,
+        );
+    }
+    println!("--- modeled RAID service (4 members, 64 KiB units) ---");
+    for row in raid_ablation() {
+        println!(
+            "{:7}  read(8MiB) {:7.3} ms  write(8MiB) {:7.3} ms  write(16KiB) {:6.3} ms  cap {:4.2}",
+            row.level, row.read_large_ms, row.write_large_ms, row.write_small_ms,
+            row.capacity_efficiency,
+        );
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    print_modeled_numbers();
+    let mut group = c.benchmark_group("disk_sched");
+    for n in [64usize, 512] {
+        let batch = random_device_batch(n, 11);
+        for p in Policy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(p.name(), n),
+                &batch,
+                |b, batch| {
+                    b.iter(|| {
+                        let order = Scheduler::order(p, CYLINDERS / 2, batch.clone());
+                        criterion::black_box(order.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_raid_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raid_map");
+    let model = DiskModel::commodity_2003();
+    for level in RaidLevel::ALL {
+        let a = RaidArray::new(level, 8, 64 * 1024, model).expect("valid array");
+        group.bench_function(BenchmarkId::new(level.name(), "map_64k_units"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for u in 0..65_536u64 {
+                    acc ^= a.map_unit(u).disk;
+                }
+                criterion::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_raid_mapping);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Distributed-replay bench (the paper's future work: "benchmarks for
+//! I/O-intensive computing in a widely distributed environment").
+//!
+//! Multi-process traces are replayed on simulated machines with growing
+//! disk arrays; the printout shows how scale-out absorbs concurrent
+//! client processes, and criterion measures simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::sim::machine::MachineConfig;
+use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
+use clio_core::trace::record::IoOp;
+use clio_core::trace::writer::TraceWriter;
+use clio_core::trace::TraceFile;
+
+fn client_trace(processes: u32) -> TraceFile {
+    let mut w = TraceWriter::new("distributed.dat").with_processes(processes);
+    for round in 0..16u64 {
+        for pid in 0..processes {
+            w.record(IoOp::Read, pid, 0, round * 2 * 1024 * 1024, 2 * 1024 * 1024);
+        }
+    }
+    w.finish().expect("valid trace")
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    println!("\n# distributed replay: makespan (s) of N client processes vs disks");
+    for &procs in &[1u32, 4, 16] {
+        let trace = client_trace(procs);
+        let mut row = format!("#   {procs:>2} clients:");
+        for &disks in &[1usize, 4, 16] {
+            let report = simulate_trace(
+                &trace,
+                &MachineConfig::with_disks(disks),
+                &TraceSimOptions::default(),
+            );
+            row.push_str(&format!("  {disks}d={:.2}", report.makespan));
+        }
+        println!("{row}");
+    }
+
+    let mut group = c.benchmark_group("distributed_replay");
+    for &procs in &[1u32, 4, 16] {
+        let trace = client_trace(procs);
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &trace, |b, t| {
+            b.iter(|| {
+                simulate_trace(t, &MachineConfig::with_disks(4), &TraceSimOptions::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation bench for the garbage-collector pause model.
+//!
+//! The paper attributes the web server's first-request spike to JIT
+//! warmup and cold I/O buffers; a managed runtime has a *third* latency
+//! mechanism the paper's single-file measurements cannot separate —
+//! stop-the-world collection pauses seeded by per-request allocation.
+//! This bench drives the managed stream facade with a web-server-like
+//! request mix under three collectors (SSCLI-like generational,
+//! large-nursery, disabled) and reports the modeled tail latency, then
+//! criterion-measures the simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::cache::cache::CacheConfig;
+use clio_core::runtime::gc::GcModel;
+use clio_core::runtime::jit::JitModel;
+use clio_core::runtime::stream::ManagedIo;
+use clio_core::stats::percentile::quantile;
+
+/// The paper's three image files, cycled GET-style with occasional
+/// POSTs, for `n` requests. Returns per-request modeled latency (ms).
+fn request_latencies(n: usize, gc: Option<GcModel>) -> Vec<f64> {
+    let sizes = [7_501u64, 50_607, 14_063];
+    let mut io = ManagedIo::new(CacheConfig::default(), JitModel::sscli_like());
+    if let Some(model) = gc {
+        io = io.with_gc(model);
+    }
+    let files: Vec<_> =
+        sizes.iter().map(|s| io.register_file(format!("img_{s}.jpg"))).collect();
+    let post_file = io.register_file("upload.dat");
+    (0..n)
+        .map(|i| {
+            if i % 5 == 4 {
+                // POST: write the client's body to a fresh region.
+                io.write("doPost", 250, post_file, (i as u64) * 65_536, 32_768).cost_ms
+            } else {
+                let k = i % sizes.len();
+                io.read("doGet", 300, files[k], 0, sizes[k]).cost_ms
+            }
+        })
+        .collect()
+}
+
+fn collectors() -> Vec<(&'static str, Option<GcModel>)> {
+    let big_nursery = GcModel { nursery_bytes: 8 << 20, ..GcModel::sscli_like() };
+    vec![
+        ("sscli_gc", Some(GcModel::sscli_like())),
+        ("big_nursery", Some(big_nursery)),
+        ("no_gc", None),
+    ]
+}
+
+fn print_modeled_numbers() {
+    println!("--- modeled request latency under each collector (2000 requests) ---");
+    for (name, model) in collectors() {
+        let lat = request_latencies(2000, model);
+        let p50 = quantile(&lat, 0.50).unwrap();
+        let p99 = quantile(&lat, 0.99).unwrap();
+        let max = lat.iter().cloned().fold(0.0, f64::max);
+        println!("{name:12}  p50 {p50:7.3} ms  p99 {p99:7.3} ms  max {max:7.3} ms");
+    }
+}
+
+fn bench_gc(c: &mut Criterion) {
+    print_modeled_numbers();
+    let mut group = c.benchmark_group("gc_ablation");
+    for (name, model) in collectors() {
+        group.bench_with_input(BenchmarkId::new(name, 2000), &model, |b, model| {
+            b.iter(|| {
+                let lat = request_latencies(2000, *model);
+                criterion::black_box(lat.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for E9–E11 (Tables 5–6, Figure 6): real web-server
+//! round trips (GET and POST) against the thread-per-connection server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::httpd::client;
+use clio_core::httpd::files::{self, TABLE5_SIZES};
+use clio_core::httpd::server::{Server, ServerConfig};
+
+fn bench_get(c: &mut Criterion) {
+    let root = files::temp_doc_root("bench-get").expect("doc root");
+    let server = Server::start(ServerConfig::ephemeral(&root)).expect("server starts");
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("httpd_get");
+    for &size in &TABLE5_SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            let name = files::file_name(s);
+            b.iter(|| {
+                let (status, body) = client::get(addr, &name).expect("GET succeeds");
+                assert_eq!(status, 200);
+                assert_eq!(body.len() as u64, s);
+            });
+        });
+    }
+    group.finish();
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn bench_post(c: &mut Criterion) {
+    let root = files::temp_doc_root("bench-post").expect("doc root");
+    let server = Server::start(ServerConfig::ephemeral(&root)).expect("server starts");
+    let addr = server.addr();
+    let body = files::file_content(14_063);
+
+    c.bench_function("httpd_post_14063", |b| {
+        b.iter(|| {
+            let (status, _) = client::post(addr, "upload", &body).expect("POST succeeds");
+            assert_eq!(status, 201);
+        });
+    });
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+criterion_group!(benches, bench_get, bench_post);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E1/E2 (Figures 2–3): simulating the QCRD
+//! application on the uniprocessor baseline and larger machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::model::qcrd::qcrd_application;
+use clio_core::sim::executor::simulate;
+use clio_core::sim::machine::MachineConfig;
+
+fn bench_qcrd_simulation(c: &mut Criterion) {
+    let app = qcrd_application();
+    let mut group = c.benchmark_group("qcrd_simulate");
+    for (label, machine) in [
+        ("1cpu_1disk", MachineConfig::uniprocessor()),
+        ("4cpu_1disk", MachineConfig::with_cpus(4)),
+        ("1cpu_8disk", MachineConfig::with_disks(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &machine, |b, m| {
+            b.iter(|| simulate(&app, m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qcrd_breakdown(c: &mut Criterion) {
+    c.bench_function("qcrd_breakdown_fig2_3", |b| {
+        b.iter(clio_core::experiments::qcrd_breakdown)
+    });
+}
+
+criterion_group!(benches, bench_qcrd_simulation, bench_qcrd_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Runtime-comparison bench (the paper's future work: "compare the
+//! performance of the benchmarks on different CLI-based virtual
+//! machines" / "other virtual machines like java virtual machine").
+//!
+//! Three runtime cost models — SSCLI-like JIT, HotSpot-like JIT, and
+//! ahead-of-time (no JIT) — drive the same managed I/O sequence; the
+//! printout shows each model's first-request spike and warm floor, and
+//! criterion measures the model evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::cache::cache::{CacheConfig, CacheCostModel};
+use clio_core::runtime::jit::JitModel;
+use clio_core::runtime::stream::ManagedIo;
+
+fn web_cache() -> CacheConfig {
+    CacheConfig { costs: CacheCostModel::sscli_managed(), ..CacheConfig::default() }
+}
+
+fn request_sequence(io: &mut ManagedIo) -> Vec<f64> {
+    let f = io.register_file("img14063.bin");
+    (0..6)
+        .map(|_| {
+            let open = io.open("doGet", 320, f);
+            let read = io.read("doGet", 320, f, 0, 14_063);
+            open.cost_ms + read.cost_ms
+        })
+        .collect()
+}
+
+fn models() -> Vec<(&'static str, JitModel)> {
+    vec![
+        ("sscli", JitModel::sscli_like()),
+        ("jvm", JitModel::jvm_like()),
+        ("aot", JitModel::precompiled()),
+    ]
+}
+
+fn bench_runtime_models(c: &mut Criterion) {
+    println!("\n# runtime comparison: simulated read response per trial (ms)");
+    for (name, jit) in models() {
+        let mut io = ManagedIo::new(web_cache(), jit).with_dispatch_ms(1.2);
+        let series = request_sequence(&mut io);
+        let rendered: Vec<String> = series.iter().map(|v| format!("{v:.2}")).collect();
+        println!("#   {name:<6} {}", rendered.join(", "));
+    }
+
+    let mut group = c.benchmark_group("runtime_model");
+    for (name, jit) in models() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &jit, |b, &jit| {
+            b.iter(|| {
+                let mut io = ManagedIo::new(web_cache(), jit).with_dispatch_ms(1.2);
+                request_sequence(&mut io)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_models);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for E3/E4 (Figures 4–5): the full disk and CPU
+//! speedup sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clio_core::model::qcrd::qcrd_application;
+use clio_core::sim::speedup::{cpu_sweep, disk_sweep, PAPER_SWEEP};
+
+fn bench_sweeps(c: &mut Criterion) {
+    let app = qcrd_application();
+    c.bench_function("fig4_disk_sweep", |b| b.iter(|| disk_sweep(&app, &PAPER_SWEEP)));
+    c.bench_function("fig5_cpu_sweep", |b| b.iter(|| cpu_sweep(&app, &PAPER_SWEEP)));
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench for E5–E8 (Tables 1–4): replaying the paper traces
+//! through the simulated cache, and generating organic traces by running
+//! the real applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::apps::{cholesky, dmine, lu, pgrep, radar, rdb, render, titan};
+use clio_core::cache::cache::CacheConfig;
+use clio_core::trace::replay::replay_simulated;
+use clio_core::trace::TraceFile;
+
+fn paper_traces() -> Vec<(&'static str, TraceFile)> {
+    vec![
+        ("table1_dmine", dmine::paper_trace(64, 2)),
+        ("table2_titan", titan::paper_trace(16)),
+        ("table3_lu", lu::paper_trace()),
+        ("table4_cholesky", cholesky::paper_trace()),
+    ]
+}
+
+fn bench_replays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    for (name, trace) in paper_traces() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| replay_simulated(t, CacheConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_application_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app_run");
+    group.sample_size(10);
+    group.bench_function("dmine_apriori", |b| {
+        b.iter(|| dmine::run(&dmine::DmineConfig::default()).expect("dmine runs"))
+    });
+    group.bench_function("pgrep_bitap", |b| {
+        b.iter(|| pgrep::run(&pgrep::PgrepConfig::default()).expect("pgrep runs"))
+    });
+    group.bench_function("lu_out_of_core", |b| {
+        b.iter(|| lu::run(&lu::LuConfig::default()).expect("lu runs"))
+    });
+    group.bench_function("cholesky_sparse", |b| {
+        b.iter(|| cholesky::run(&cholesky::CholeskyConfig::default()).expect("cholesky runs"))
+    });
+    group.bench_function("render_planet", |b| {
+        b.iter(|| render::render(render::RenderConfig::default()).expect("render runs"))
+    });
+    group.bench_function("radar_sar", |b| {
+        b.iter(|| radar::form_image(radar::RadarConfig::default()).expect("radar runs"))
+    });
+    group.bench_function("rdb_join", |b| {
+        let customers = rdb::generate_tuples(57, 200);
+        let orders = rdb::generate_tuples(58, 200);
+        b.iter(|| {
+            let mut db = rdb::Rdb::new("rdb-bench.dat");
+            let outer = db.create_table("outer", &customers).expect("create");
+            let inner = db.create_table("inner", &orders).expect("create");
+            let max = customers.iter().map(|t| t.key).max().unwrap_or(0);
+            let (pairs, _) = db.join_range(&outer, &inner, 0, max).expect("join");
+            criterion::black_box(pairs.len())
+        })
+    });
+    group.bench_function("titan_queries", |b| {
+        b.iter(|| {
+            titan::run(
+                titan::TitanConfig::default(),
+                &[titan::Window { x0: 0, y0: 0, x1: 100, y1: 100 }],
+            )
+            .expect("titan runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replays, bench_application_runs);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the trace-surgery toolkit: filter, split,
+//! merge and clamp throughput over application-generated traces, plus
+//! the end-to-end scheduled replay under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clio_core::ablations::contended_trace;
+use clio_core::apps::radar;
+use clio_core::sim::machine::MachineConfig;
+use clio_core::sim::sched::Policy;
+use clio_core::sim::sched_replay::{simulate_trace_scheduled, SchedReplayOptions};
+use clio_core::trace::record::IoOp;
+use clio_core::trace::transform;
+
+fn bench_transforms(c: &mut Criterion) {
+    let (_, trace) = radar::form_image(radar::RadarConfig::default()).expect("radar runs");
+    let mut group = c.benchmark_group("trace_transform");
+    group.bench_function("filter_reads", |b| {
+        b.iter(|| transform::filter_by_op(&trace, &[IoOp::Read]).expect("filter is total"))
+    });
+    group.bench_function("split_by_process", |b| {
+        b.iter(|| transform::split_by_process(&trace).expect("split is total"))
+    });
+    group.bench_function("merge_two", |b| {
+        b.iter(|| transform::merge(&[trace.clone(), trace.clone()]).expect("merge validates"))
+    });
+    group.bench_function("clamp_1gb", |b| {
+        b.iter(|| transform::clamp_to_sample(&trace, 1 << 30).expect("clamp is total"))
+    });
+    group.finish();
+}
+
+fn bench_scheduled_replay(c: &mut Criterion) {
+    let trace = contended_trace(8, 24, 17);
+    let mut group = c.benchmark_group("sched_replay");
+    group.sample_size(20);
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    simulate_trace_scheduled(
+                        &trace,
+                        &MachineConfig::uniprocessor(),
+                        &SchedReplayOptions { policy, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_scheduled_replay);
+criterion_main!(benches);

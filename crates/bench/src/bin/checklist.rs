@@ -1,0 +1,17 @@
+//! Prints the paper-claim scorecard: every qualitative claim of the
+//! paper's evaluation, checked against the regenerated data.
+
+fn main() {
+    match clio_core::paper::checklist() {
+        Ok(checks) => {
+            print!("{}", clio_core::paper::render(&checks));
+            if checks.iter().any(|c| !c.holds) {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("checklist failed to run: {e}");
+            std::process::exit(1);
+        }
+    }
+}

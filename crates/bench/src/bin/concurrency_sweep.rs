@@ -1,0 +1,60 @@
+//! Extension experiment: client-concurrency sweep of the web server.
+//!
+//! The paper notes that in its design "the number of threads increases
+//! with the increasing number of clients". This sweep drives both that
+//! design and a bounded worker pool with {1, 2, 4, 8, 16} concurrent
+//! clients and reports client-observed latency (median and p99 with a
+//! 95 % confidence interval on the mean), showing where unbounded
+//! thread growth starts to cost.
+
+use clio_core::httpd::client::{run_load, LoadSpec};
+use clio_core::httpd::files;
+use clio_core::httpd::server::{Server, ServerConfig, ServerMode};
+use clio_core::stats::confidence::fmt_with_ci;
+use clio_core::stats::{quantile, Summary, Table};
+
+fn sweep(mode: ServerMode, label: &str, table: &mut Table) {
+    for &clients in &[1usize, 2, 4, 8, 16] {
+        let root = files::temp_doc_root(&format!("sweep-{label}-{clients}"))
+            .expect("doc root");
+        let mut cfg = ServerConfig::ephemeral(&root);
+        cfg.mode = mode;
+        let server = Server::start(cfg).expect("server starts");
+
+        let spec = LoadSpec {
+            clients,
+            requests: 24,
+            post_fraction: 0.25,
+            ..Default::default()
+        };
+        let result = run_load(server.addr(), &spec);
+        server.stop();
+        let _ = std::fs::remove_dir_all(root);
+
+        let lat = &result.latencies_ms;
+        let summary = Summary::from_samples(lat);
+        table.row(&[
+            label.to_string(),
+            clients.to_string(),
+            format!("{}", lat.len()),
+            result.failures.to_string(),
+            format!("{:.3}", quantile(lat, 0.5).unwrap_or(0.0)),
+            format!("{:.3}", quantile(lat, 0.99).unwrap_or(0.0)),
+            fmt_with_ci(&summary),
+        ]);
+    }
+}
+
+fn main() {
+    clio_bench::banner(
+        "Concurrency sweep (extension)",
+        "Client-observed latency vs concurrent clients, both threading models",
+    );
+    let mut table = Table::new(
+        "web server latency vs client count (ms)",
+        &["mode", "clients", "requests", "fail", "p50", "p99", "mean ± 95% CI"],
+    );
+    sweep(ServerMode::ThreadPerConnection, "thread-per-conn", &mut table);
+    sweep(ServerMode::Pool { workers: 4 }, "pool-4", &mut table);
+    println!("{table}");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 2: execution time of computation and disk I/O for
+//! the QCRD application and its two programs.
+
+use clio_core::experiments::qcrd_breakdown;
+use clio_core::report::render_qcrd;
+
+fn main() {
+    clio_bench::banner(
+        "Figure 2",
+        "QCRD execution time of computation and disk I/O (seconds)",
+    );
+    let fig = qcrd_breakdown();
+    println!("{}", render_qcrd(&fig));
+    println!("Simulated makespan: {:.1} s", fig.makespan_s);
+    println!(
+        "Paper shape check: program 1 longer than program 2: {}",
+        fig.program1.cpu_s + fig.program1.io_s > fig.program2.cpu_s + fig.program2.io_s
+    );
+}

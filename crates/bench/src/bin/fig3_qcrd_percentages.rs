@@ -1,0 +1,23 @@
+//! Regenerates Figure 3: percentage of execution time for computation
+//! and disk I/O.
+
+use clio_core::experiments::qcrd_breakdown;
+use clio_stats::Table;
+
+fn main() {
+    clio_bench::banner("Figure 3", "Percentage of execution time for computation and disk I/O");
+    let fig = qcrd_breakdown();
+    let mut t = Table::new("CPU vs IO percentage", &["Unit", "CPU (%)", "IO (%)"]);
+    for (name, b) in [
+        ("Application", fig.application),
+        ("Program 1", fig.program1),
+        ("Program 2", fig.program2),
+    ] {
+        t.row(&[name.to_string(), format!("{:.1}", b.cpu_pct), format!("{:.1}", b.io_pct)]);
+    }
+    println!("{t}");
+    println!(
+        "Paper shape check: I/O share noticeably large (application): {:.1}%",
+        fig.application.io_pct
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 4: speedup of QCRD as a function of the number of
+//! disks.
+
+use clio_core::experiments::disk_speedup;
+use clio_core::report::render_speedup;
+
+fn main() {
+    clio_bench::banner("Figure 4", "Speedup of the application as a function of the number of disks");
+    let curve = disk_speedup();
+    println!("{}", render_speedup("QCRD disk sweep (baseline: 1 disk)", &curve));
+    if let Some(f) = curve.amdahl_serial_fraction() {
+        println!("Amdahl serial fraction (disk-insensitive share): {f:.3}");
+    }
+    println!(
+        "Paper shape check: speedup changes only slightly with disks: max {:.2}",
+        curve.speedups().iter().map(|&(_, s)| s).fold(0.0, f64::max)
+    );
+}

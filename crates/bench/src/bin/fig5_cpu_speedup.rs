@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: speedup of QCRD as a function of the number of
+//! CPUs.
+
+use clio_core::experiments::cpu_speedup;
+use clio_core::report::render_speedup;
+
+fn main() {
+    clio_bench::banner("Figure 5", "Speedup of the application as a function of the number of CPUs");
+    let curve = cpu_speedup();
+    println!("{}", render_speedup("QCRD CPU sweep (baseline: 1 CPU)", &curve));
+    if let Some(f) = curve.amdahl_serial_fraction() {
+        println!("Amdahl serial fraction (CPU-insensitive share): {f:.3}");
+    }
+    println!(
+        "Paper shape check: CPU speedup exceeds disk speedup and saturates: max {:.2}",
+        curve.speedups().iter().map(|&(_, s)| s).fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: data size vs response time of read operations
+//! (trial-number series with sparkline).
+
+use clio_core::experiments::fig6_series;
+
+fn main() {
+    clio_bench::banner("Figure 6", "Read response time vs trial number (14063-byte file)");
+    match fig6_series() {
+        Ok(series) => {
+            print!("{}", series.to_tsv());
+            println!("sparkline: {}", series.sparkline());
+            println!("first-is-max shape holds: {}", series.first_is_max(0.0));
+        }
+        Err(e) => {
+            eprintln!("web server experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

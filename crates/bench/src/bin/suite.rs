@@ -1,0 +1,38 @@
+//! Runs the whole benchmark suite and prints the report as JSON.
+//!
+//! Usage: `cargo run -p clio-bench --bin suite [config.json]`
+//!
+//! The default (no config file) runs everything, including the
+//! extension ablations; a config file controls each section.
+
+use clio_core::config::SuiteConfig;
+use clio_core::suite::BenchmarkSuite;
+
+fn main() {
+    let cfg = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            SuiteConfig::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("bad config: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => SuiteConfig { ablations: true, ..SuiteConfig::default() },
+    };
+    let suite = BenchmarkSuite::new(cfg).unwrap_or_else(|e| {
+        eprintln!("invalid config: {e}");
+        std::process::exit(1);
+    });
+    match suite.run() {
+        Ok(report) => {
+            println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        }
+        Err(e) => {
+            eprintln!("suite failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2: results for the Titan application.
+
+use clio_core::experiments::table2_titan;
+use clio_core::report::render_trace_means;
+
+fn main() {
+    clio_bench::banner("Table 2", "Results for the Titan application (replayed trace)");
+    let table = table2_titan();
+    println!("{}", render_trace_means(&table));
+    println!("Paper row: data size 187681 B | read 0.002 ms | open 0.0005 ms | close 0.005 ms");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 3: results for the LU application.
+
+use clio_core::experiments::table3_lu;
+use clio_core::report::{render_trace_means, render_trace_requests};
+
+fn main() {
+    clio_bench::banner("Table 3", "Results for the LU application (replayed trace)");
+    let table = table3_lu();
+    println!("{}", render_trace_requests(&table));
+    println!("{}", render_trace_means(&table));
+    println!("Paper: open 0.0006 ms, close 0.4566 ms; seeks 7.27E-05..2E-04 ms at 60-67 MB offsets");
+}

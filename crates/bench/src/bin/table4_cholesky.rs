@@ -1,0 +1,12 @@
+//! Regenerates Table 4: results for the sparse Cholesky application.
+
+use clio_core::experiments::table4_cholesky;
+use clio_core::report::{render_trace_means, render_trace_requests};
+
+fn main() {
+    clio_bench::banner("Table 4", "Results for the Cholesky application (replayed trace)");
+    let table = table4_cholesky();
+    println!("{}", render_trace_requests(&table));
+    println!("{}", render_trace_means(&table));
+    println!("Paper: open 0.00067 ms, close 0.0071 ms; reads 7.3E-05..0.025 ms, sizes 4 B..2.4 MB");
+}

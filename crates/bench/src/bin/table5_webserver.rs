@@ -1,0 +1,21 @@
+//! Regenerates Table 5: response time of read and write operations of
+//! the multithreaded web server.
+
+use clio_core::experiments::table5_webserver;
+use clio_core::report::render_table5;
+
+fn main() {
+    clio_bench::banner("Table 5", "Web server first-request read/write response times");
+    match table5_webserver() {
+        Ok(rows) => {
+            println!("{}", render_table5(&rows));
+            println!(
+                "Paper rows: 7501 B: 2.1175/2.8538 ms | 50607 B: 2.2319/2.7442 ms | 14603 B: 1.6764/2.4026 ms"
+            );
+        }
+        Err(e) => {
+            eprintln!("web server experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # clio-bench — regeneration harness for every table and figure
+//!
+//! One binary per paper artifact (run with
+//! `cargo run -p clio-bench --bin <name>`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2_qcrd_times` | Fig. 2 — QCRD CPU/I/O execution times |
+//! | `fig3_qcrd_percentages` | Fig. 3 — CPU/I/O percentage split |
+//! | `fig4_disk_speedup` | Fig. 4 — speedup vs number of disks |
+//! | `fig5_cpu_speedup` | Fig. 5 — speedup vs number of CPUs |
+//! | `table1_dmine` | Table 1 — data-mining trace replay |
+//! | `table2_titan` | Table 2 — Titan trace replay |
+//! | `table3_lu` | Table 3 — LU trace replay |
+//! | `table4_cholesky` | Table 4 — Cholesky trace replay |
+//! | `table5_webserver` | Table 5 — web-server first-request times |
+//! | `table6_repeated_reads` | Table 6 — repeated reads of one file |
+//! | `fig6_read_series` | Fig. 6 — response time vs trial number |
+//! | `suite` | everything, as JSON |
+//!
+//! The `benches/` directory holds the criterion benchmarks (simulator
+//! throughput, trace replay, web-server round trips) and the ablation
+//! benches for the cache design choices DESIGN.md calls out.
+
+#![warn(missing_docs)]
+
+/// Prints a bench-binary banner.
+pub fn banner(artifact: &str, description: &str) {
+    println!("== {artifact} ==");
+    println!("{description}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_does_not_panic() {
+        super::banner("Table 1", "demo");
+    }
+}

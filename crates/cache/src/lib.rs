@@ -1,0 +1,45 @@
+//! # clio-cache — buffer-cache substrate
+//!
+//! The paper explains nearly every timing anomaly it observes through
+//! the page cache: "when the file is opened, a page or two is placed in
+//! I/O buffers"; "at the time when a read, write, or seek operation is
+//! performed, a prefetch operation will be invoked"; cold accesses pay a
+//! page fault, warm accesses are served from the buffers. This crate
+//! makes those mechanisms explicit and deterministic:
+//!
+//! - [`page`] — page identity and offset↔page arithmetic,
+//! - [`lru`] — an O(1) LRU list,
+//! - [`prefetch`] — a sequential readahead detector,
+//! - [`scanres`] — scan-resistant replacement (2Q, segmented LRU),
+//! - [`cache`] — the buffer cache itself, with a cost model that turns
+//!   hits/misses/prefetches into simulated latencies,
+//! - [`backend`] — real-filesystem and fault-injecting file backends for
+//!   replaying traces against actual disks,
+//! - [`metrics`] — hit/miss/eviction counters.
+//!
+//! ```
+//! use clio_cache::cache::{AccessKind, BufferCache, CacheConfig};
+//!
+//! let mut cache = BufferCache::new(CacheConfig::default());
+//! let file = cache.register_file("sample.dat");
+//! let cold = cache.access(file, 0, 8192, AccessKind::Read);
+//! let warm = cache.access(file, 0, 8192, AccessKind::Read);
+//! assert!(cold.pages_missed > 0);
+//! assert_eq!(warm.pages_missed, 0, "second read is served from buffers");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cache;
+pub mod lru;
+pub mod metrics;
+pub mod page;
+pub mod policy;
+pub mod prefetch;
+pub mod scanres;
+
+pub use backend::{FileBackend, RealFsBackend};
+pub use cache::{AccessKind, BufferCache, CacheConfig, CacheCostModel};
+pub use metrics::CacheMetrics;
+pub use page::{PageId, PAGE_SIZE_DEFAULT};

@@ -1,0 +1,264 @@
+//! An O(1) least-recently-used list.
+//!
+//! Slab-backed intrusive doubly-linked list plus a hash index. The cache
+//! touches a page on every hit, so all operations — touch, insert,
+//! evict-oldest, remove — must be constant-time; a `VecDeque` scan would
+//! turn trace replay into O(n²).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU ordering over keys of type `K`.
+///
+/// The list orders keys from most- to least-recently used; values live
+/// with the caller (the cache stores page state separately).
+#[derive(Debug, Clone)]
+pub struct LruList<K: Eq + Hash + Clone> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone> LruList<K> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), free: Vec::new(), index: HashMap::new(), head: NIL, tail: NIL }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Inserts `key` as most-recently used, or moves it to the front if
+    /// already present. Returns `true` if the key was newly inserted.
+    pub fn touch(&mut self, key: K) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            false
+        } else {
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.nodes[s] = Node { key: key.clone(), prev: NIL, next: NIL };
+                    s
+                }
+                None => {
+                    self.nodes.push(Node { key: key.clone(), prev: NIL, next: NIL });
+                    self.nodes.len() - 1
+                }
+            };
+            self.index.insert(key, slot);
+            self.push_front(slot);
+            true
+        }
+    }
+
+    /// Removes and returns the least-recently used key.
+    pub fn pop_oldest(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let key = self.nodes[slot].key.clone();
+        self.unlink(slot);
+        self.index.remove(&key);
+        self.free.push(slot);
+        Some(key)
+    }
+
+    /// Removes a specific key; returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.index.remove(key) {
+            None => false,
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+        }
+    }
+
+    /// The least-recently used key, without removing it.
+    pub fn peek_oldest(&self) -> Option<&K> {
+        (self.tail != NIL).then(|| &self.nodes[self.tail].key)
+    }
+
+    /// Keys from most- to least-recently used (test/diagnostic helper;
+    /// O(n)).
+    pub fn iter_mru(&self) -> impl Iterator<Item = &K> {
+        MruIter { list: self, cur: self.head }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for LruList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct MruIter<'a, K: Eq + Hash + Clone> {
+    list: &'a LruList<K>,
+    cur: usize,
+}
+
+impl<'a, K: Eq + Hash + Clone> Iterator for MruIter<'a, K> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<&'a K> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.next;
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn touch_inserts_and_promotes() {
+        let mut l = LruList::new();
+        assert!(l.touch(1));
+        assert!(l.touch(2));
+        assert!(l.touch(3));
+        assert!(!l.touch(1), "re-touch is not an insert");
+        assert_eq!(l.iter_mru().copied().collect::<Vec<_>>(), vec![1, 3, 2]);
+        assert_eq!(l.peek_oldest(), Some(&2));
+    }
+
+    #[test]
+    fn pop_oldest_order() {
+        let mut l = LruList::new();
+        for i in 0..5 {
+            l.touch(i);
+        }
+        assert_eq!(l.pop_oldest(), Some(0));
+        assert_eq!(l.pop_oldest(), Some(1));
+        l.touch(2); // promote 2
+        assert_eq!(l.pop_oldest(), Some(3));
+        assert_eq!(l.pop_oldest(), Some(4));
+        assert_eq!(l.pop_oldest(), Some(2));
+        assert_eq!(l.pop_oldest(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut l = LruList::new();
+        for i in 0..4 {
+            l.touch(i);
+        }
+        assert!(l.remove(&2));
+        assert!(!l.remove(&2));
+        assert!(!l.contains(&2));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.iter_mru().copied().collect::<Vec<_>>(), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut l = LruList::new();
+        l.touch("a");
+        l.touch("b");
+        l.remove(&"a");
+        l.touch("c"); // reuses a's slot
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.iter_mru().copied().collect::<Vec<_>>(), vec!["c", "b"]);
+    }
+
+    #[test]
+    fn single_element_list() {
+        let mut l = LruList::new();
+        l.touch(42);
+        assert_eq!(l.peek_oldest(), Some(&42));
+        l.touch(42); // self-promotion must not corrupt links
+        assert_eq!(l.pop_oldest(), Some(42));
+        assert_eq!(l.pop_oldest(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_model(ops in prop::collection::vec((0u8..3, 0u32..16), 0..200)) {
+            let mut lru = LruList::new();
+            let mut model: VecDeque<u32> = VecDeque::new(); // front = MRU
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        lru.touch(key);
+                        model.retain(|&k| k != key);
+                        model.push_front(key);
+                    }
+                    1 => {
+                        let a = lru.pop_oldest();
+                        let b = model.pop_back();
+                        prop_assert_eq!(a, b);
+                    }
+                    _ => {
+                        let a = lru.remove(&key);
+                        let before = model.len();
+                        model.retain(|&k| k != key);
+                        prop_assert_eq!(a, model.len() != before);
+                    }
+                }
+                prop_assert_eq!(lru.len(), model.len());
+                let got: Vec<u32> = lru.iter_mru().copied().collect();
+                let want: Vec<u32> = model.iter().copied().collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

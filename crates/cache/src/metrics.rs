@@ -1,0 +1,85 @@
+//! Cache event counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for every cache-visible event class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Pages served from the cache.
+    pub hits: u64,
+    /// Pages faulted in from the backing store on demand.
+    pub misses: u64,
+    /// Pages staged ahead of demand by the readahead policy.
+    pub prefetched: u64,
+    /// Demand accesses satisfied by a previously prefetched page.
+    pub prefetch_hits: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back at eviction or flush.
+    pub writebacks: u64,
+}
+
+impl CacheMetrics {
+    /// Demand accesses observed (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio over demand accesses; 0 when nothing was accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Fraction of prefetched pages that later served a demand access —
+    /// the readahead accuracy.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetched == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetched as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CacheMetrics) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.prefetched += other.prefetched;
+        self.prefetch_hits += other.prefetch_hits;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let m = CacheMetrics { hits: 3, misses: 1, prefetched: 4, prefetch_hits: 2, ..Default::default() };
+        assert_eq!(m.accesses(), 4);
+        assert_eq!(m.hit_ratio(), 0.75);
+        assert_eq!(m.prefetch_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let m = CacheMetrics::default();
+        assert_eq!(m.hit_ratio(), 0.0);
+        assert_eq!(m.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheMetrics { hits: 1, misses: 2, prefetched: 3, prefetch_hits: 1, evictions: 4, writebacks: 5 };
+        a.merge(&a.clone());
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.writebacks, 10);
+    }
+}

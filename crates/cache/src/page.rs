@@ -1,0 +1,124 @@
+//! Page identity and offset arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Default page size: 4 KiB, matching the x86 page and the NT cache
+/// manager granularity of the paper's testbed.
+pub const PAGE_SIZE_DEFAULT: u64 = 4096;
+
+/// Identifies a registered file within one cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// Identifies one cached page: a file and a page number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId {
+    /// Owning file.
+    pub file: FileId,
+    /// Zero-based page index within the file.
+    pub index: u64,
+}
+
+impl PageId {
+    /// The page covering byte `offset` of `file`.
+    pub fn containing(file: FileId, offset: u64, page_size: u64) -> Self {
+        debug_assert!(page_size > 0);
+        PageId { file, index: offset / page_size }
+    }
+
+    /// The page immediately after this one in the same file.
+    pub fn next(self) -> Self {
+        PageId { file: self.file, index: self.index + 1 }
+    }
+}
+
+/// The inclusive page-index range `[first, last]` touched by the byte
+/// range `[offset, offset + len)`. A zero-length range touches the
+/// single page containing `offset` (matching how a read of zero bytes
+/// still faults the header page on the paper's platform).
+pub fn page_span(offset: u64, len: u64, page_size: u64) -> (u64, u64) {
+    assert!(page_size > 0, "page size must be positive");
+    let first = offset / page_size;
+    if len == 0 {
+        return (first, first);
+    }
+    let last = (offset + len - 1) / page_size;
+    (first, last)
+}
+
+/// Number of pages in the span of `(offset, len)`.
+pub fn pages_touched(offset: u64, len: u64, page_size: u64) -> u64 {
+    let (first, last) = page_span(offset, len, page_size);
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn containing_page() {
+        let f = FileId(1);
+        assert_eq!(PageId::containing(f, 0, 4096).index, 0);
+        assert_eq!(PageId::containing(f, 4095, 4096).index, 0);
+        assert_eq!(PageId::containing(f, 4096, 4096).index, 1);
+    }
+
+    #[test]
+    fn next_page() {
+        let p = PageId { file: FileId(2), index: 7 };
+        assert_eq!(p.next().index, 8);
+        assert_eq!(p.next().file, FileId(2));
+    }
+
+    #[test]
+    fn span_within_one_page() {
+        assert_eq!(page_span(100, 200, 4096), (0, 0));
+        assert_eq!(pages_touched(100, 200, 4096), 1);
+    }
+
+    #[test]
+    fn span_crossing_boundary() {
+        assert_eq!(page_span(4000, 200, 4096), (0, 1));
+        assert_eq!(pages_touched(4000, 200, 4096), 2);
+    }
+
+    #[test]
+    fn span_exact_page() {
+        assert_eq!(page_span(4096, 4096, 4096), (1, 1));
+    }
+
+    #[test]
+    fn zero_length_touches_one_page() {
+        assert_eq!(page_span(5000, 0, 4096), (1, 1));
+        assert_eq!(pages_touched(5000, 0, 4096), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn zero_page_size_panics() {
+        page_span(0, 1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn touched_pages_cover_range(offset in 0u64..1_000_000, len in 1u64..1_000_000,
+                                     shift in 9u32..16) {
+            let ps = 1u64 << shift;
+            let (first, last) = page_span(offset, len, ps);
+            prop_assert!(first * ps <= offset);
+            prop_assert!((last + 1) * ps >= offset + len);
+            // Minimality: shrinking the span must lose coverage.
+            prop_assert!((first + 1) * ps > offset);
+            prop_assert!(last * ps < offset + len);
+        }
+
+        #[test]
+        fn touched_count_consistent(offset in 0u64..1_000_000, len in 0u64..1_000_000) {
+            let n = pages_touched(offset, len, 4096);
+            prop_assert!(n >= 1);
+            prop_assert!(n <= len / 4096 + 2);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-policy cache behaviour: the replacement and write policies
+//! change *which* pages survive and *when* writeback costs are paid,
+//! but never violate capacity or accounting invariants.
+
+use clio_cache::cache::{AccessKind, BufferCache, CacheConfig};
+use clio_cache::policy::{ReplacementPolicy, WritePolicy};
+
+fn cache_with(policy: ReplacementPolicy, capacity: usize) -> BufferCache {
+    BufferCache::new(CacheConfig { policy, capacity_pages: capacity, ..Default::default() })
+}
+
+#[test]
+fn all_policies_respect_capacity() {
+    for policy in ReplacementPolicy::ALL {
+        let mut c = cache_with(policy, 8);
+        let f = c.register_file("cap");
+        for i in 0..200u64 {
+            c.access(f, i * 4096, 4096, AccessKind::Read);
+            assert!(c.resident_pages() <= 8, "{policy:?}: over capacity");
+        }
+        assert!(c.metrics().evictions > 0, "{policy:?}: must evict");
+    }
+}
+
+#[test]
+fn lru_retains_hot_page_fifo_does_not() {
+    // Access pattern: page 0 touched between every new page. Under LRU
+    // page 0 always hits after the first fault; under FIFO it keeps
+    // aging out and re-faulting, so its hit count is far lower.
+    let run = |policy| {
+        let mut c = BufferCache::new(CacheConfig {
+            policy,
+            capacity_pages: 4,
+            prefetch_enabled: false,
+            ..Default::default()
+        });
+        let f = c.register_file("hot");
+        for i in 1..20u64 {
+            c.access(f, 0, 1, AccessKind::Read); // keep page 0 hot
+            c.access(f, i * 4096, 1, AccessKind::Read);
+        }
+        c.metrics().hits
+    };
+    let lru_hits = run(ReplacementPolicy::Lru);
+    let fifo_hits = run(ReplacementPolicy::Fifo);
+    assert_eq!(lru_hits, 18, "LRU: every hot access after the first hits");
+    // FIFO re-faults the hot page each time it ages to the queue front
+    // (once per capacity-many inserts), so it strictly trails LRU.
+    assert!(
+        fifo_hits < lru_hits,
+        "FIFO must re-fault the hot page: {fifo_hits} vs LRU {lru_hits}"
+    );
+}
+
+#[test]
+fn clock_behaves_between_lru_and_fifo_on_hit_ratio() {
+    // A loop over a working set slightly larger than capacity with a
+    // re-referenced hot page: LRU >= CLOCK >= FIFO in hit ratio.
+    let run = |policy| {
+        let mut c = BufferCache::new(CacheConfig {
+            policy,
+            capacity_pages: 6,
+            prefetch_enabled: false,
+            ..Default::default()
+        });
+        let f = c.register_file("loop");
+        for round in 0..50u64 {
+            c.access(f, 0, 1, AccessKind::Read);
+            let page = 1 + (round % 8);
+            c.access(f, page * 4096, 1, AccessKind::Read);
+        }
+        c.metrics().hit_ratio()
+    };
+    let lru = run(ReplacementPolicy::Lru);
+    let clock = run(ReplacementPolicy::Clock);
+    let fifo = run(ReplacementPolicy::Fifo);
+    assert!(lru >= clock - 1e-9, "lru {lru} vs clock {clock}");
+    assert!(clock >= fifo - 1e-9, "clock {clock} vs fifo {fifo}");
+}
+
+#[test]
+fn write_through_pays_at_write_time_not_close() {
+    let mut wb = BufferCache::new(CacheConfig::default());
+    let mut wt = BufferCache::new(CacheConfig {
+        write_policy: WritePolicy::WriteThrough,
+        ..Default::default()
+    });
+    let f_wb = wb.register_file("wb");
+    let f_wt = wt.register_file("wt");
+
+    let write_wb = wb.access(f_wb, 0, 4096 * 4, AccessKind::Write);
+    let write_wt = wt.access(f_wt, 0, 4096 * 4, AccessKind::Write);
+    assert_eq!(write_wb.writebacks, 0, "write-back defers");
+    assert_eq!(write_wt.writebacks, 4, "write-through pays immediately");
+    assert!(write_wt.cost_ms > write_wb.cost_ms);
+
+    let close_wb = wb.close(f_wb);
+    let close_wt = wt.close(f_wt);
+    assert_eq!(close_wb.writebacks, 4, "write-back flushes at close");
+    assert_eq!(close_wt.writebacks, 0, "write-through has nothing to flush");
+    assert!(close_wb.cost_ms > close_wt.cost_ms);
+}
+
+#[test]
+fn write_through_hits_also_pay() {
+    let mut c = BufferCache::new(CacheConfig {
+        write_policy: WritePolicy::WriteThrough,
+        ..Default::default()
+    });
+    let f = c.register_file("wt2");
+    c.access(f, 0, 4096, AccessKind::Write); // miss + through
+    let second = c.access(f, 0, 4096, AccessKind::Write); // hit + through
+    assert_eq!(second.pages_hit, 1);
+    assert_eq!(second.writebacks, 1, "warm writes still go through");
+}
+
+#[test]
+fn total_writebacks_conserved_across_policies() {
+    // However the policy schedules them, every dirtied page is written
+    // back exactly once by the time the file closes (write-back mode).
+    for policy in ReplacementPolicy::ALL {
+        let mut c = BufferCache::new(CacheConfig {
+            policy,
+            capacity_pages: 4,
+            prefetch_enabled: false,
+            ..Default::default()
+        });
+        let f = c.register_file("conserve");
+        for i in 0..32u64 {
+            c.access(f, i * 4096, 4096, AccessKind::Write);
+        }
+        c.close(f);
+        assert_eq!(
+            c.metrics().writebacks,
+            32,
+            "{policy:?}: every dirty page written back exactly once"
+        );
+    }
+}
+
+#[test]
+fn slru_protects_double_touched_hot_set_through_scan() {
+    // SLRU promotes on a second touch *while resident*: warm the hot
+    // set with two consecutive passes, then scan far past capacity.
+    // The protected segment survives; LRU loses everything.
+    let run = |policy| {
+        let mut c = BufferCache::new(CacheConfig {
+            policy,
+            capacity_pages: 32,
+            prefetch_enabled: false,
+            ..Default::default()
+        });
+        let f = c.register_file("scan");
+        let hot: Vec<u64> = (0..4).map(|i| i * 4096).collect();
+        for _ in 0..2 {
+            for &off in &hot {
+                c.access(f, off, 1, AccessKind::Read);
+            }
+        }
+        for i in 0..1024u64 {
+            c.access(f, (1000 + i) * 4096, 1, AccessKind::Read);
+        }
+        let before = c.metrics().hits;
+        for &off in &hot {
+            c.access(f, off, 1, AccessKind::Read);
+        }
+        c.metrics().hits - before
+    };
+    assert_eq!(run(ReplacementPolicy::Lru), 0, "LRU: scan evicts the hot set");
+    assert_eq!(run(ReplacementPolicy::Slru), 4, "SLRU: hot set survives the scan");
+}
+
+#[test]
+fn twoq_protects_rereferenced_hot_set_through_scan() {
+    // 2Q promotes on a reference *after trial eviction* (a ghost hit):
+    // touch the hot set, force it through the trial queue with filler,
+    // re-touch it within the ghost window, then scan. The protected
+    // queue survives; LRU under the same history loses everything.
+    let run = |policy| {
+        let mut c = BufferCache::new(CacheConfig {
+            policy,
+            capacity_pages: 32, // 2Q splits: kin = 8, kout = 16
+            prefetch_enabled: false,
+            ..Default::default()
+        });
+        let f = c.register_file("scan2q");
+        let hot: Vec<u64> = (0..4).map(|i| i * 4096).collect();
+        for &off in &hot {
+            c.access(f, off, 1, AccessKind::Read);
+        }
+        // Fill to capacity and push 8 evictions through the trial
+        // queue: the hot pages become ghosts.
+        for i in 0..36u64 {
+            c.access(f, (500 + i) * 4096, 1, AccessKind::Read);
+        }
+        // Ghost hits: promoted to the protected queue.
+        for &off in &hot {
+            c.access(f, off, 1, AccessKind::Read);
+        }
+        // A scan drains through the trial queue only.
+        for i in 0..1024u64 {
+            c.access(f, (5000 + i) * 4096, 1, AccessKind::Read);
+        }
+        let before = c.metrics().hits;
+        for &off in &hot {
+            c.access(f, off, 1, AccessKind::Read);
+        }
+        c.metrics().hits - before
+    };
+    assert_eq!(run(ReplacementPolicy::Lru), 0, "LRU: scan evicts the hot set");
+    assert_eq!(run(ReplacementPolicy::TwoQ), 4, "2Q: hot set survives the scan");
+}
+
+#[test]
+fn scan_resistant_policies_match_lru_accounting() {
+    // Same workload under every policy: total accesses, page faults +
+    // hits and evictions must always balance.
+    for policy in ReplacementPolicy::ALL {
+        let mut c = BufferCache::new(CacheConfig {
+            policy,
+            capacity_pages: 16,
+            ..Default::default()
+        });
+        let f = c.register_file("acct");
+        for i in 0..500u64 {
+            let off = (i * 7919) % (256 * 4096);
+            c.access(f, off, 4096, AccessKind::Read);
+        }
+        let m = c.metrics();
+        assert!(m.hits + m.misses > 0, "{policy:?}: no accesses recorded");
+        assert!(c.resident_pages() <= 16, "{policy:?}: capacity violated");
+        assert!(
+            m.misses >= c.resident_pages() as u64,
+            "{policy:?}: every resident page was missed once"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Suite configuration (serde-serializable).
+
+use serde::{Deserialize, Serialize};
+
+/// Which benchmarks to run and with what depth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Run the behavioral-model benchmark (Figures 2–5).
+    pub model_benchmark: bool,
+    /// Run the trace-replay benchmark (Tables 1–4).
+    pub trace_benchmark: bool,
+    /// Run the web-server micro benchmark (Tables 5–6, Figure 6).
+    pub webserver_benchmark: bool,
+    /// Repeated-read trials for Table 6 / Figure 6.
+    pub table6_trials: usize,
+    /// Resource counts for the speedup sweeps (Figures 4 and 5).
+    pub sweep: Vec<usize>,
+    /// Run the extension ablations (scheduler, RAID, contended replay).
+    pub ablations: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            model_benchmark: true,
+            trace_benchmark: true,
+            webserver_benchmark: true,
+            table6_trials: 6,
+            sweep: vec![2, 4, 8, 16, 32],
+            ablations: false,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Parses a JSON config.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Basic sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.table6_trials == 0 {
+            return Err("table6_trials must be at least 1".into());
+        }
+        if self.sweep.is_empty() {
+            return Err("sweep must contain at least one resource count".into());
+        }
+        if self.sweep.contains(&0) {
+            return Err("sweep counts must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SuiteConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = SuiteConfig { table6_trials: 10, ..Default::default() };
+        let json = cfg.to_json();
+        let back = SuiteConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn validation_failures() {
+        let cfg = SuiteConfig { table6_trials: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = SuiteConfig { sweep: vec![], ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = SuiteConfig { sweep: vec![2, 0], ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(SuiteConfig::from_json("{nope").is_err());
+    }
+}

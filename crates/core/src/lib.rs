@@ -1,0 +1,46 @@
+//! # clio-core — the CLI I/O benchmark suite
+//!
+//! This is the crate a downstream user adopts. It re-exports the
+//! substrates and wires them into the paper's three benchmarks:
+//!
+//! 1. **Behavioral-model benchmark** (paper §2): the QCRD application
+//!    model executed on a simulated machine — [`experiments::qcrd_breakdown`]
+//!    (Figures 2 and 3), [`experiments::disk_speedup`] (Figure 4),
+//!    [`experiments::cpu_speedup`] (Figure 5).
+//! 2. **Trace-driven benchmark** (paper §3): the five application
+//!    traces replayed against the buffer cache —
+//!    [`experiments::table1_dmine`] … [`experiments::table4_cholesky`].
+//! 3. **Web-server micro benchmark** (paper §4): a real multithreaded
+//!    server exercised by a real client, with SSCLI-model costs —
+//!    [`experiments::table5_webserver`],
+//!    [`experiments::table6_repeated_reads`], [`experiments::fig6_series`].
+//!
+//! [`suite::BenchmarkSuite`] runs everything and produces a single
+//! serializable [`suite::SuiteReport`].
+//!
+//! ```
+//! use clio_core::experiments;
+//!
+//! let fig = experiments::qcrd_breakdown();
+//! // The paper's headline observation: QCRD spends a noticeably large
+//! // share of its time on disk I/O.
+//! assert!(fig.application.io_pct > 25.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod config;
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod suite;
+
+pub use clio_apps as apps;
+pub use clio_cache as cache;
+pub use clio_httpd as httpd;
+pub use clio_model as model;
+pub use clio_runtime as runtime;
+pub use clio_sim as sim;
+pub use clio_stats as stats;
+pub use clio_trace as trace;

@@ -1,0 +1,138 @@
+//! Rendering experiment results as paper-style tables.
+
+use clio_stats::table::{fmt_ms, Table};
+use clio_stats::SpeedupCurve;
+use clio_trace::record::IoOp;
+
+use crate::experiments::{QcrdFigure, Table5Row, TraceTable};
+
+/// Renders Figures 2/3 as one combined table (seconds and percentages).
+pub fn render_qcrd(fig: &QcrdFigure) -> Table {
+    let mut t = Table::new(
+        "Figures 2 & 3: QCRD execution time of computation and disk I/O",
+        &["Unit", "CPU (s)", "IO (s)", "CPU (%)", "IO (%)"],
+    );
+    for (name, b) in [
+        ("Application", &fig.application),
+        ("Program 1", &fig.program1),
+        ("Program 2", &fig.program2),
+    ] {
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", b.cpu_s),
+            format!("{:.1}", b.io_s),
+            format!("{:.1}", b.cpu_pct),
+            format!("{:.1}", b.io_pct),
+        ]);
+    }
+    t
+}
+
+/// Renders a speedup curve (Figures 4 or 5).
+pub fn render_speedup(title: &str, curve: &SpeedupCurve) -> Table {
+    let mut t = Table::new(title, &["N", "Time (s)", "Speedup"]);
+    for (point, (_, s)) in curve.points().iter().zip(curve.speedups()) {
+        t.row(&[point.n.to_string(), format!("{:.2}", point.time), format!("{s:.3}")]);
+    }
+    t
+}
+
+/// Renders the per-op mean block of Tables 1 and 2.
+pub fn render_trace_means(table: &TraceTable) -> Table {
+    let mut t = Table::new(
+        format!("Mean operation times: {}", table.app),
+        &["Operation", "Mean (ms)", "Count"],
+    );
+    for op in IoOp::ALL {
+        let s = table.report.summary(op);
+        if s.count() > 0 {
+            t.row(&[
+                op.name().to_string(),
+                fmt_ms(s.mean().expect("non-empty summary")),
+                s.count().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders the per-request block of Tables 3 and 4.
+pub fn render_trace_requests(table: &TraceTable) -> Table {
+    let mut t = Table::new(
+        format!("Per-request times: {}", table.app),
+        &["Request", "Data size (Bytes)", "Op", "Time (ms)"],
+    );
+    for (i, size, op, ms) in table.report.request_rows() {
+        t.row(&[i.to_string(), size.to_string(), op.name().to_string(), fmt_ms(ms)]);
+    }
+    t
+}
+
+/// Renders Table 5.
+pub fn render_table5(rows: &[Table5Row]) -> Table {
+    let mut t = Table::new(
+        "Table 5: response time of read and write operations",
+        &["Request", "Data size (Bytes)", "Read (ms)", "Write (ms)"],
+    );
+    for r in rows {
+        t.row(&[
+            r.request.to_string(),
+            r.bytes.to_string(),
+            format!("{:.4}", r.read_ms),
+            format!("{:.4}", r.write_ms),
+        ]);
+    }
+    t
+}
+
+/// Renders Table 6 from per-trial `(sscli_ms, real_ms)` pairs.
+pub fn render_table6(data: &[(f64, f64)]) -> Table {
+    let mut t = Table::new(
+        "Table 6: repeated reads of the same file (14063 bytes)",
+        &["Trial", "Read (ms, SSCLI model)", "Read (ms, real)"],
+    );
+    for (i, &(sscli, real)) in data.iter().enumerate() {
+        t.row(&[(i + 1).to_string(), format!("{sscli:.4}"), format!("{real:.4}")]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn qcrd_table_renders() {
+        let t = render_qcrd(&experiments::qcrd_breakdown());
+        assert_eq!(t.len(), 3);
+        let text = t.to_string();
+        assert!(text.contains("Program 1"));
+        assert!(text.contains("Program 2"));
+    }
+
+    #[test]
+    fn speedup_table_renders() {
+        let t = render_speedup("Figure 4", &experiments::disk_speedup());
+        assert_eq!(t.len(), 5);
+        assert!(t.to_string().contains("32"));
+    }
+
+    #[test]
+    fn trace_tables_render() {
+        let table = experiments::table1_dmine();
+        let means = render_trace_means(&table);
+        assert!(means.to_string().contains("read"));
+        assert!(means.to_string().contains("close"));
+        let table3 = experiments::table3_lu();
+        let reqs = render_trace_requests(&table3);
+        assert!(reqs.to_string().contains("66617088"));
+    }
+
+    #[test]
+    fn table6_renders() {
+        let t = render_table6(&[(9.0, 0.1), (6.7, 0.05)]);
+        assert_eq!(t.len(), 2);
+        assert!(t.to_string().contains("9.0000"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Whole-suite orchestration.
+
+use std::io;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ablations::{self, RaidRow, ReplayRow, SchedRow};
+use crate::config::SuiteConfig;
+use crate::experiments::{self, QcrdFigure, Table5Row};
+
+/// Everything the suite measured, serializable for archival.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Figures 2/3 data (None if the model benchmark was disabled).
+    pub qcrd: Option<QcrdFigure>,
+    /// Figure 4: (disks, speedup) pairs.
+    pub disk_speedup: Option<Vec<(u32, f64)>>,
+    /// Figure 5: (cpus, speedup) pairs.
+    pub cpu_speedup: Option<Vec<(u32, f64)>>,
+    /// Tables 1–4: per-application mean (open, close, read, seek) ms.
+    pub trace_means: Option<Vec<TraceMeans>>,
+    /// Table 5 rows.
+    pub table5: Option<Vec<Table5Row>>,
+    /// Table 6: per-trial (sscli_ms, real_ms).
+    pub table6: Option<Vec<(f64, f64)>>,
+    /// Extension ablations, when enabled.
+    pub ablations: Option<AblationReport>,
+}
+
+/// The extension ablation sweeps (scheduler, RAID, contended replay).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationReport {
+    /// Batch-level scheduler sweep over a seeded random batch.
+    pub scheduler_random: Vec<SchedRow>,
+    /// Batch-level scheduler sweep over the LU paper trace.
+    pub scheduler_lu: Vec<SchedRow>,
+    /// RAID-level comparison on a 4-member array.
+    pub raid: Vec<RaidRow>,
+    /// End-to-end contended replay under each policy.
+    pub contended_replay: Vec<ReplayRow>,
+}
+
+/// Per-application operation means (the headline numbers of Tables 1–4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceMeans {
+    /// Application name.
+    pub app: String,
+    /// Mean open time, ms.
+    pub open_ms: Option<f64>,
+    /// Mean close time, ms.
+    pub close_ms: Option<f64>,
+    /// Mean read time, ms.
+    pub read_ms: Option<f64>,
+    /// Mean write time, ms.
+    pub write_ms: Option<f64>,
+    /// Mean seek time, ms.
+    pub seek_ms: Option<f64>,
+}
+
+/// The benchmark suite.
+#[derive(Debug, Clone, Default)]
+pub struct BenchmarkSuite {
+    config: SuiteConfig,
+}
+
+impl BenchmarkSuite {
+    /// Creates a suite with a validated configuration.
+    pub fn new(config: SuiteConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SuiteConfig {
+        &self.config
+    }
+
+    /// Runs every enabled benchmark.
+    pub fn run(&self) -> io::Result<SuiteReport> {
+        use clio_trace::record::IoOp;
+
+        let (qcrd, disk, cpu) = if self.config.model_benchmark {
+            let app = clio_model::qcrd::qcrd_application();
+            let d = clio_sim::speedup::disk_sweep(&app, &self.config.sweep);
+            let c = clio_sim::speedup::cpu_sweep(&app, &self.config.sweep);
+            (Some(experiments::qcrd_breakdown()), Some(d.speedups()), Some(c.speedups()))
+        } else {
+            (None, None, None)
+        };
+
+        let trace_means = if self.config.trace_benchmark {
+            let tables = [
+                experiments::table1_dmine(),
+                experiments::table2_titan(),
+                experiments::table3_lu(),
+                experiments::table4_cholesky(),
+            ];
+            Some(
+                tables
+                    .iter()
+                    .map(|t| TraceMeans {
+                        app: t.app.to_string(),
+                        open_ms: t.mean_ms(IoOp::Open),
+                        close_ms: t.mean_ms(IoOp::Close),
+                        read_ms: t.mean_ms(IoOp::Read),
+                        write_ms: t.mean_ms(IoOp::Write),
+                        seek_ms: t.mean_ms(IoOp::Seek),
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        let (table5, table6) = if self.config.webserver_benchmark {
+            (
+                Some(experiments::table5_webserver()?),
+                Some(experiments::table6_repeated_reads(self.config.table6_trials)?),
+            )
+        } else {
+            (None, None)
+        };
+
+        let ablations = self.config.ablations.then(|| AblationReport {
+            scheduler_random: ablations::scheduler_ablation(&ablations::random_device_batch(
+                64, 7,
+            )),
+            scheduler_lu: ablations::scheduler_ablation(&ablations::lu_device_batch()),
+            raid: ablations::raid_ablation(),
+            contended_replay: ablations::scheduled_replay_ablation(&ablations::contended_trace(
+                8, 24, 17,
+            )),
+        });
+
+        Ok(SuiteReport {
+            qcrd,
+            disk_speedup: disk,
+            cpu_speedup: cpu,
+            trace_means,
+            table5,
+            table6,
+            ablations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_runs() {
+        let suite = BenchmarkSuite::new(SuiteConfig::default()).unwrap();
+        let report = suite.run().unwrap();
+        assert!(report.qcrd.is_some());
+        assert_eq!(report.disk_speedup.as_ref().unwrap().len(), 5);
+        assert_eq!(report.trace_means.as_ref().unwrap().len(), 4);
+        assert_eq!(report.table5.as_ref().unwrap().len(), 3);
+        assert_eq!(report.table6.as_ref().unwrap().len(), 6);
+        // Close > open across all four trace applications.
+        for m in report.trace_means.as_ref().unwrap() {
+            assert!(m.close_ms.unwrap() > m.open_ms.unwrap(), "{}", m.app);
+        }
+    }
+
+    #[test]
+    fn ablations_included_when_enabled() {
+        let cfg = SuiteConfig {
+            model_benchmark: false,
+            trace_benchmark: false,
+            webserver_benchmark: false,
+            ablations: true,
+            ..Default::default()
+        };
+        let report = BenchmarkSuite::new(cfg).unwrap().run().unwrap();
+        let a = report.ablations.expect("enabled");
+        assert_eq!(a.scheduler_random.len(), 4);
+        assert_eq!(a.raid.len(), 3);
+        assert_eq!(a.contended_replay.len(), 4);
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("SSTF"));
+    }
+
+    #[test]
+    fn disabled_benchmarks_are_none() {
+        let cfg = SuiteConfig {
+            model_benchmark: false,
+            trace_benchmark: false,
+            webserver_benchmark: false,
+            ..Default::default()
+        };
+        let report = BenchmarkSuite::new(cfg).unwrap().run().unwrap();
+        assert!(report.qcrd.is_none());
+        assert!(report.trace_means.is_none());
+        assert!(report.table5.is_none());
+        assert!(report.ablations.is_none(), "ablations are opt-in");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = SuiteConfig { table6_trials: 0, ..Default::default() };
+        assert!(BenchmarkSuite::new(cfg).is_err());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let cfg = SuiteConfig {
+            webserver_benchmark: false, // keep the test fast and socket-free
+            ..Default::default()
+        };
+        let report = BenchmarkSuite::new(cfg).unwrap().run().unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SuiteReport = serde_json::from_str(&json).unwrap();
+        assert!(back.qcrd.is_some());
+    }
+}

@@ -1,0 +1,90 @@
+//! Document-root management with the paper's file sizes.
+//!
+//! "A number of image files are used for the purpose of conducting
+//! experiments. The sizes of each file are 50607 bytes, 7501 bytes, and
+//! 14063 bytes." The files here are deterministic binary blobs of those
+//! exact sizes; only the sizes matter to the experiment.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The three file sizes of Table 5 (bytes), in the paper's row order.
+pub const TABLE5_SIZES: [u64; 3] = [7_501, 50_607, 14_063];
+
+/// The file Table 6 re-reads six times.
+pub const TABLE6_SIZE: u64 = 14_063;
+
+/// Names the benchmark file of a given size.
+pub fn file_name(size: u64) -> String {
+    format!("img{size}.bin")
+}
+
+/// Deterministic content for a file of `size` bytes (xorshift stream).
+pub fn file_content(size: u64) -> Vec<u8> {
+    let mut state = 0x9e37_79b9_u32 ^ size as u32;
+    let mut out = Vec::with_capacity(size as usize);
+    for _ in 0..size {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        out.push(state as u8);
+    }
+    out
+}
+
+/// Creates a document root at `dir` populated with the paper's files.
+/// Returns the paths created.
+pub fn populate_doc_root(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut out = Vec::new();
+    for &size in &TABLE5_SIZES {
+        let path = dir.join(file_name(size));
+        fs::write(&path, file_content(size))?;
+        out.push(path);
+    }
+    Ok(out)
+}
+
+/// A unique temp doc root for tests and benches.
+pub fn temp_doc_root(tag: &str) -> io::Result<PathBuf> {
+    let dir = std::env::temp_dir().join(format!("clio-httpd-{tag}-{}", std::process::id()));
+    populate_doc_root(&dir)?;
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(TABLE5_SIZES, [7501, 50607, 14063]);
+        assert_eq!(TABLE6_SIZE, 14063);
+    }
+
+    #[test]
+    fn content_is_deterministic_and_sized() {
+        let a = file_content(7501);
+        let b = file_content(7501);
+        assert_eq!(a.len(), 7501);
+        assert_eq!(a, b);
+        assert_ne!(file_content(14063)[..100], a[..100]);
+    }
+
+    #[test]
+    fn populate_creates_exact_sizes() {
+        let dir = temp_doc_root("files-test").unwrap();
+        for &size in &TABLE5_SIZES {
+            let meta = std::fs::metadata(dir.join(file_name(size))).unwrap();
+            assert_eq!(meta.len(), size);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_names() {
+        assert_eq!(file_name(7501), "img7501.bin");
+    }
+}

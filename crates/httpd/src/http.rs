@@ -1,0 +1,442 @@
+//! Minimal HTTP/1.0 + HTTP/1.1 parsing and response building.
+//!
+//! The paper's server parses the incoming byte buffer "for request type
+//! and file name" and dispatches to `doGet()` or `doPost()`. This
+//! parser does exactly that — method, path, headers, body — and is
+//! total: arbitrary bytes produce `Err`, never a panic (property-tested).
+//! Beyond the paper's HTTP/1.0 close-per-request protocol, HTTP/1.1
+//! persistent connections are supported: [`next_request`] frames
+//! requests by `Content-Length` so several can share a connection, and
+//! responses carry `Connection`/`Content-Type` headers
+//! ([`response_with`]).
+
+use std::fmt;
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read a file.
+    Get,
+    /// Like GET but the response carries headers only.
+    Head,
+    /// Store the body into a new file.
+    Post,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// The request path (leading `/` stripped).
+    pub path: String,
+    /// `Content-Length` if present and valid.
+    pub content_length: Option<usize>,
+    /// The body bytes that followed the header block.
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridable by a `Connection` header).
+    pub keep_alive: bool,
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Header block not yet complete (need more bytes).
+    Incomplete,
+    /// The request line is malformed.
+    BadRequestLine,
+    /// Unsupported method.
+    BadMethod(String),
+    /// The request path escapes the document root or is empty.
+    BadPath,
+    /// Non-UTF-8 header block.
+    BadEncoding,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Incomplete => write!(f, "incomplete request"),
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::BadMethod(m) => write!(f, "unsupported method {m:?}"),
+            ParseError::BadPath => write!(f, "invalid path"),
+            ParseError::BadEncoding => write!(f, "headers are not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Finds the end of the header block (`\r\n\r\n` or `\n\n`); returns
+/// the byte index just past it.
+pub fn header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4).or_else(|| {
+        buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2)
+    })
+}
+
+/// Validates and normalizes a request path: strips the leading slash,
+/// rejects traversal (`..`), absolute re-roots and empty results.
+pub fn sanitize_path(raw: &str) -> Result<String, ParseError> {
+    let p = raw.trim().strip_prefix('/').unwrap_or(raw.trim());
+    if p.is_empty()
+        || p.split(['/', '\\']).any(|seg| seg == ".." || seg.is_empty())
+        || p.contains(':')
+    {
+        return Err(ParseError::BadPath);
+    }
+    Ok(p.to_string())
+}
+
+/// Parses a full request from `buf`.
+pub fn parse_request(buf: &[u8]) -> Result<Request, ParseError> {
+    let head_len = header_end(buf).ok_or(ParseError::Incomplete)?;
+    let head = std::str::from_utf8(&buf[..head_len]).map_err(|_| ParseError::BadEncoding)?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let mut parts = request_line.split_whitespace();
+    let method_tok = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let path_tok = parts.next().ok_or(ParseError::BadRequestLine)?;
+
+    let method = match method_tok {
+        "GET" => Method::Get,
+        "HEAD" => Method::Head,
+        "POST" => Method::Post,
+        other => return Err(ParseError::BadMethod(other.to_string())),
+    };
+    let path = sanitize_path(path_tok)?;
+    let is_http11 = parts.next().is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1"));
+
+    let mut content_length = None;
+    let mut keep_alive = is_http11;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+
+    let mut body = buf[head_len..].to_vec();
+    if let Some(cl) = content_length {
+        if body.len() < cl {
+            return Err(ParseError::Incomplete);
+        }
+        body.truncate(cl);
+    }
+    Ok(Request { method, path, content_length, body, keep_alive })
+}
+
+/// Parses the next framed request from `buf`, returning it with the
+/// number of bytes it consumed. Unlike [`parse_request`] (whose body
+/// slurps the rest of the buffer, matching the paper's read-until-EOF
+/// server), the body here is exactly `Content-Length` bytes — the
+/// framing persistent connections require.
+pub fn next_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
+    let head_len = header_end(buf).ok_or(ParseError::Incomplete)?;
+    let mut req = parse_request(buf)?;
+    let cl = req.content_length.unwrap_or(0);
+    req.body.truncate(cl);
+    Ok((req, head_len + cl))
+}
+
+/// Guesses a `Content-Type` from the path's extension.
+pub fn content_type(path: &str) -> &'static str {
+    match path.rsplit_once('.').map(|(_, ext)| ext) {
+        Some("jpg") | Some("jpeg") => "image/jpeg",
+        Some("png") => "image/png",
+        Some("gif") => "image/gif",
+        Some("html") | Some("htm") => "text/html",
+        Some("txt") => "text/plain",
+        Some("json") => "application/json",
+        _ => "application/octet-stream",
+    }
+}
+
+/// Builds an HTTP/1.0 response with a byte body.
+pub fn response(status: u16, reason: &str, body: &[u8]) -> Vec<u8> {
+    response_with(status, reason, body, &ResponseOptions::default())
+}
+
+/// Knobs for [`response_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResponseOptions {
+    /// `Content-Type` header value, if any.
+    pub content_type: Option<&'static str>,
+    /// Advertise and honor a persistent connection.
+    pub keep_alive: bool,
+    /// Send headers only (HEAD): `Content-Length` still states the full
+    /// body size, but no body bytes follow.
+    pub head_only: bool,
+}
+
+/// Builds a response with explicit connection/content-type handling.
+pub fn response_with(
+    status: u16,
+    reason: &str,
+    body: &[u8],
+    opts: &ResponseOptions,
+) -> Vec<u8> {
+    let version = if opts.keep_alive { "HTTP/1.1" } else { "HTTP/1.0" };
+    let connection = if opts.keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "{version} {status} {reason}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        body.len()
+    );
+    if let Some(ct) = opts.content_type {
+        head.push_str("Content-Type: ");
+        head.push_str(ct);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    if !opts.head_only {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Extracts `Content-Length` from a response header block.
+pub fn response_content_length(head: &str) -> Option<usize> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse().ok())
+            .flatten()
+    })
+}
+
+/// Parses a response into `(status, body)`.
+pub fn parse_response(buf: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let head_len = header_end(buf)?;
+    let head = std::str::from_utf8(&buf[..head_len]).ok()?;
+    let status: u16 = head.lines().next()?.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, buf[head_len..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_get() {
+        let req = parse_request(b"GET /img14063.jpg HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "img14063.jpg");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parse_post_with_body() {
+        let req =
+            parse_request(b"POST /up.bin HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.content_length, Some(5));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn body_truncated_to_content_length() {
+        let req =
+            parse_request(b"POST /u HTTP/1.0\r\nContent-Length: 3\r\n\r\nabcdef").unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn incomplete_body_reported() {
+        let e = parse_request(b"POST /u HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc");
+        assert_eq!(e, Err(ParseError::Incomplete));
+    }
+
+    #[test]
+    fn incomplete_headers_reported() {
+        assert_eq!(parse_request(b"GET /x HTTP/1.0\r\n"), Err(ParseError::Incomplete));
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        assert!(matches!(
+            parse_request(b"DELETE /x HTTP/1.0\r\n\r\n"),
+            Err(ParseError::BadMethod(_))
+        ));
+    }
+
+    #[test]
+    fn traversal_rejected() {
+        assert_eq!(parse_request(b"GET /../etc/passwd HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
+        assert_eq!(parse_request(b"GET //two HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
+        assert_eq!(parse_request(b"GET / HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
+        assert_eq!(parse_request(b"GET /c:win HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
+        assert_eq!(
+            parse_request(b"GET /a\\..\\b HTTP/1.0\r\n\r\n"),
+            Err(ParseError::BadPath)
+        );
+    }
+
+    #[test]
+    fn lf_only_headers_accepted() {
+        let req = parse_request(b"GET /f.bin HTTP/1.0\n\n").unwrap();
+        assert_eq!(req.path, "f.bin");
+    }
+
+    #[test]
+    fn head_method_parsed() {
+        let req = parse_request(b"HEAD /img.jpg HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Head);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn keep_alive_rules() {
+        // 1.0 defaults to close, overridable.
+        assert!(!parse_request(b"GET /f HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(parse_request(b"GET /f HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .keep_alive);
+        // 1.1 defaults to keep-alive, overridable.
+        assert!(parse_request(b"GET /f HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse_request(b"GET /f HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .keep_alive);
+    }
+
+    #[test]
+    fn next_request_frames_by_content_length() {
+        let two = b"POST /u HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /f HTTP/1.1\r\n\r\n";
+        let (first, used) = next_request(two).unwrap();
+        assert_eq!(first.method, Method::Post);
+        assert_eq!(first.body, b"abc");
+        let (second, used2) = next_request(&two[used..]).unwrap();
+        assert_eq!(second.method, Method::Get);
+        assert_eq!(second.path, "f");
+        assert_eq!(used + used2, two.len());
+    }
+
+    #[test]
+    fn next_request_get_consumes_headers_only() {
+        let buf = b"GET /f HTTP/1.1\r\n\r\ntrailing";
+        let (req, used) = next_request(buf).unwrap();
+        assert!(req.body.is_empty(), "GET body must not slurp trailing bytes");
+        assert_eq!(&buf[used..], b"trailing");
+    }
+
+    #[test]
+    fn content_types() {
+        assert_eq!(content_type("a.jpg"), "image/jpeg");
+        assert_eq!(content_type("a.jpeg"), "image/jpeg");
+        assert_eq!(content_type("index.html"), "text/html");
+        assert_eq!(content_type("notes.txt"), "text/plain");
+        assert_eq!(content_type("img14063.bin"), "application/octet-stream");
+        assert_eq!(content_type("noext"), "application/octet-stream");
+    }
+
+    #[test]
+    fn response_with_head_only_omits_body() {
+        let opts = ResponseOptions {
+            content_type: Some("image/jpeg"),
+            keep_alive: true,
+            head_only: true,
+        };
+        let resp = response_with(200, "OK", b"12345", &opts);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.contains("Content-Length: 5"), "CL states the full size");
+        assert!(text.contains("Content-Type: image/jpeg"));
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.starts_with("HTTP/1.1 200"));
+        assert!(text.ends_with("\r\n\r\n"), "no body bytes follow");
+    }
+
+    #[test]
+    fn response_content_length_scan() {
+        assert_eq!(
+            response_content_length("HTTP/1.1 200 OK\r\ncontent-LENGTH:  42\r\n"),
+            Some(42)
+        );
+        assert_eq!(response_content_length("HTTP/1.1 200 OK\r\n"), None);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = response(200, "OK", b"payload");
+        let (status, body) = parse_response(&resp).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"payload");
+    }
+
+    #[test]
+    fn response_has_content_length() {
+        let resp = response(404, "Not Found", b"");
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.contains("Content-Length: 0"));
+        assert!(text.starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn header_end_variants() {
+        assert_eq!(header_end(b"a\r\n\r\nrest"), Some(5));
+        assert_eq!(header_end(b"a\n\nrest"), Some(3));
+        assert_eq!(header_end(b"no terminator"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = parse_request(&bytes);
+        }
+
+        #[test]
+        fn next_request_never_panics_and_consumes_within_buffer(
+            bytes in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            if let Ok((_, used)) = next_request(&bytes) {
+                prop_assert!(used <= bytes.len(), "consumed {used} of {}", bytes.len());
+                prop_assert!(used > 0, "a parsed request consumes at least its header");
+            }
+        }
+
+        #[test]
+        fn next_request_framing_is_prefix_stable(
+            path in "[a-z]{1,8}",
+            body in prop::collection::vec(any::<u8>(), 0..64),
+            trailer in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // A framed request parses identically whether or not junk
+            // follows it in the buffer.
+            let mut buf = format!(
+                "POST /{path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            buf.extend_from_slice(&body);
+            let (alone, used_alone) = next_request(&buf).expect("parses alone");
+            buf.extend_from_slice(&trailer);
+            let (with_trailer, used_trailer) = next_request(&buf).expect("parses with trailer");
+            prop_assert_eq!(used_alone, used_trailer);
+            prop_assert_eq!(alone, with_trailer);
+        }
+
+        #[test]
+        fn response_parse_round_trips(status in 100u16..600,
+                                      body in prop::collection::vec(any::<u8>(), 0..256)) {
+            let resp = response(status, "X", &body);
+            let (s, b) = parse_response(&resp).unwrap();
+            prop_assert_eq!(s, status);
+            prop_assert_eq!(b, body);
+        }
+
+        #[test]
+        fn sanitize_never_allows_dotdot(path in "[a-z./\\\\]{0,32}") {
+            if let Ok(clean) = sanitize_path(&path) {
+                prop_assert!(!clean.split(['/', '\\']).any(|s| s == ".."));
+                prop_assert!(!clean.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # clio-httpd — the multithreaded web-server micro benchmark
+//!
+//! The paper's third benchmark is "a multi-threaded web server that
+//! intensively issues read and write operations to a local disk":
+//! a main thread accepts connections and spawns one thread per client;
+//! `GET` reads the requested file and returns it, `POST` writes the
+//! request body to a freshly named file (no synchronization needed);
+//! the time of each read and write is measured around the managed
+//! stream calls.
+//!
+//! This crate is that server, faithfully re-created:
+//!
+//! - [`http`] — a minimal, panic-free HTTP/1.0 request parser and
+//!   response builder,
+//! - [`files`] — the document root with the paper's exact file sizes
+//!   (7 501, 14 063 and 50 607 bytes),
+//! - [`timing`] — per-request measurement records (real wall time and
+//!   the simulated SSCLI cost from [`clio_runtime`]),
+//! - [`server`] — the thread-per-connection server (paper default port
+//!   5050; tests bind port 0),
+//! - [`client`] — a load-generating client for the benches.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod files;
+pub mod http;
+pub mod server;
+pub mod timing;
+
+pub use client::{get, post};
+pub use server::{Server, ServerConfig, ServerMode};
+pub use timing::{OpKind, RequestTiming, TimingLog};

@@ -1,0 +1,143 @@
+//! Per-request measurement records.
+//!
+//! "Times spent in performing the read and write operations are
+//! measured using QueryPerformanceCounter." Each server request yields
+//! a [`RequestTiming`]: the real wall time of the file operation
+//! (bracketing stream creation, the transfer and the close, exactly as
+//! the paper describes) and, in parallel, the simulated SSCLI cost from
+//! the [`clio_runtime`] model so the regenerated tables show the
+//! paper's millisecond-scale shape deterministically.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Which file operation a request performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// GET: file read.
+    Read,
+    /// POST: file write.
+    Write,
+}
+
+/// One measured request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestTiming {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Real wall time of the file operation, ms.
+    pub real_ms: f64,
+    /// Simulated SSCLI cost (JIT + managed dispatch + buffer cache), ms.
+    pub sscli_ms: f64,
+}
+
+/// Thread-safe append-only log shared between connection threads.
+#[derive(Debug, Clone, Default)]
+pub struct TimingLog {
+    inner: Arc<Mutex<Vec<RequestTiming>>>,
+}
+
+impl TimingLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one measurement.
+    pub fn push(&self, t: RequestTiming) {
+        self.inner.lock().push(t);
+    }
+
+    /// Snapshot of all measurements so far.
+    pub fn snapshot(&self) -> Vec<RequestTiming> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Measurements of one kind, in arrival order.
+    pub fn of_kind(&self, kind: OpKind) -> Vec<RequestTiming> {
+        self.inner.lock().iter().filter(|t| t.kind == kind).copied().collect()
+    }
+
+    /// Clears the log (between experiment phases).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(kind: OpKind, bytes: u64) -> RequestTiming {
+        RequestTiming { kind, bytes, real_ms: 1.0, sscli_ms: 2.0 }
+    }
+
+    #[test]
+    fn push_and_snapshot() {
+        let log = TimingLog::new();
+        log.push(t(OpKind::Read, 100));
+        log.push(t(OpKind::Write, 200));
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        let snap = log.snapshot();
+        assert_eq!(snap[0].bytes, 100);
+        assert_eq!(snap[1].kind, OpKind::Write);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let log = TimingLog::new();
+        log.push(t(OpKind::Read, 1));
+        log.push(t(OpKind::Write, 2));
+        log.push(t(OpKind::Read, 3));
+        let reads = log.of_kind(OpKind::Read);
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().all(|r| r.kind == OpKind::Read));
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let log = TimingLog::new();
+        let other = log.clone();
+        other.push(t(OpKind::Read, 9));
+        assert_eq!(log.len(), 1, "clones share the same buffer");
+    }
+
+    #[test]
+    fn concurrent_pushes() {
+        let log = TimingLog::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let log = log.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        log.push(t(OpKind::Write, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 800);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let log = TimingLog::new();
+        log.push(t(OpKind::Read, 1));
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Applications: coordinated sets of programs (paper Eq. 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::Program;
+use crate::requirements::Requirements;
+use crate::validate::ModelError;
+
+/// A parallel application `Γ⃗ = [Γ⃗₁, …, Γ⃗ₖ]`: a set of interdependent
+/// programs that execute in a coordinated manner. For QCRD, k = 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    programs: Vec<Program>,
+}
+
+impl Application {
+    /// Creates an application from its constituent programs.
+    pub fn new(name: impl Into<String>, programs: Vec<Program>) -> Result<Self, ModelError> {
+        if programs.is_empty() {
+            return Err(ModelError::EmptyApplication);
+        }
+        Ok(Self { name: name.into(), programs })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constituent programs.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// Aggregate requirements across all programs — the quantity Fig. 2
+    /// plots for the "Application" bars.
+    pub fn requirements(&self) -> Requirements {
+        let mut total = Requirements::default();
+        for p in &self.programs {
+            total.merge(&p.requirements());
+        }
+        total
+    }
+
+    /// Sum of all programs' sequential execution times (total work).
+    pub fn total_work(&self) -> f64 {
+        self.programs.iter().map(Program::total_time).sum()
+    }
+
+    /// The makespan when programs run concurrently on dedicated
+    /// resources: the longest program. The paper's speedup analysis
+    /// hinges on this ("the speedup is dominated by the first program
+    /// ... the first program runs longer than the second").
+    pub fn concurrent_makespan(&self) -> f64 {
+        self.programs
+            .iter()
+            .map(Program::total_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the program with the largest sequential time.
+    pub fn dominant_program(&self) -> usize {
+        self.programs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_time().total_cmp(&b.1.total_time()))
+            .map(|(i, _)| i)
+            .expect("applications are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::working_set::WorkingSet;
+
+    fn app() -> Application {
+        let long = Program::new(
+            "long",
+            100.0,
+            vec![WorkingSet::new(0.2, 0.0, 0.5, 2).unwrap()],
+        )
+        .unwrap();
+        let short = Program::new(
+            "short",
+            100.0,
+            vec![WorkingSet::new(0.9, 0.0, 0.3, 1).unwrap()],
+        )
+        .unwrap();
+        Application::new("test-app", vec![long, short]).unwrap()
+    }
+
+    #[test]
+    fn empty_application_rejected() {
+        assert!(matches!(Application::new("e", vec![]), Err(ModelError::EmptyApplication)));
+    }
+
+    #[test]
+    fn requirements_merge_programs() {
+        let a = app();
+        let r = a.requirements();
+        // long: 100s total, 20% io → disk 20, cpu 80. short: 30s, 90% io → disk 27, cpu 3.
+        assert!((r.disk - 47.0).abs() < 1e-9);
+        assert!((r.cpu - 83.0).abs() < 1e-9);
+        assert!((a.total_work() - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_makespan_is_longest() {
+        assert!((app().concurrent_makespan() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_program_index() {
+        assert_eq!(app().dominant_program(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = app();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

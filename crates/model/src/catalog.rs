@@ -1,0 +1,176 @@
+//! A catalog of modeled applications beyond QCRD.
+//!
+//! The paper instantiates only QCRD and leaves "the development of
+//! other simulated applications" to future work. Rosti et al. — the
+//! source of the behavioral model — characterize several more parallel
+//! codes with large computation and I/O requirements. This catalog
+//! provides working-set tables in the same `Γ = (φ, γ, ρ, τ)` form for
+//! four additional application archetypes, so the simulator and the
+//! benches can sweep a spectrum of behaviours:
+//!
+//! - [`seismic_application`] — seismic migration: alternating
+//!   read/compute sweeps over shot gathers, moderate communication,
+//! - [`pstswm_application`] — spectral shallow-water atmosphere model:
+//!   communication-heavy transposes between compute phases with
+//!   checkpoint writes,
+//! - [`datamine_application`] — the out-of-core association-mining
+//!   pattern (near-pure sequential I/O passes with light compute),
+//! - [`render_application`] — planetary-image rendering: a long
+//!   read-in, heavy compute, bursty frame write-out.
+//!
+//! The Γ values are synthesized to the published qualitative profiles
+//! (they are archetypes, not measurements); each constructor documents
+//! the resulting resource mix and the tests pin it.
+
+use crate::application::Application;
+use crate::program::Program;
+use crate::working_set::WorkingSet;
+
+fn ws(io: f64, comm: f64, rho: f64, tau: u32) -> WorkingSet {
+    WorkingSet::new(io, comm, rho, tau).expect("catalog constants are valid")
+}
+
+fn program(name: &str, t_ref: f64, sets: Vec<WorkingSet>) -> Program {
+    Program::new(name, t_ref, sets).expect("catalog programs are non-empty")
+}
+
+/// Seismic migration: 8 sweeps of (read gather, migrate, exchange
+/// halos), closing with a result write. I/O ≈ 35 %, comm ≈ 15 %.
+pub fn seismic_application() -> Application {
+    let sweep = vec![
+        ws(0.70, 0.05, 0.030, 8), // gather reads
+        ws(0.05, 0.25, 0.085, 8), // migration compute + halo exchange
+        ws(0.85, 0.00, 0.080, 1), // final image write
+    ];
+    Application::new("Seismic", vec![program("seismic-worker", 240.0, sweep)])
+        .expect("one program")
+}
+
+/// PSTSWM-style spectral atmosphere model: compute phases separated by
+/// all-to-all transposes, with periodic checkpoint writes.
+/// Comm ≈ 40 %, I/O ≈ 12 %.
+pub fn pstswm_application() -> Application {
+    let timestep = vec![
+        ws(0.00, 0.75, 0.060, 10), // spectral transform + transpose
+        ws(0.02, 0.20, 0.030, 10), // grid-space physics
+        ws(0.90, 0.00, 0.010, 10), // checkpoint write every step
+    ];
+    Application::new("PSTSWM", vec![program("pstswm-task", 300.0, timestep)])
+        .expect("one program")
+}
+
+/// Out-of-core association mining: three near-pure-I/O passes with a
+/// light counting phase after each. I/O ≈ 70 %.
+pub fn datamine_application() -> Application {
+    let passes = vec![
+        ws(0.93, 0.00, 0.180, 3), // candidate-counting scans
+        ws(0.10, 0.00, 0.095, 3), // lattice maintenance
+    ];
+    Application::new("Dmine-model", vec![program("dmine-scanner", 150.0, passes)])
+        .expect("one program")
+}
+
+/// Planetary rendering: a master that streams mosaics in, renders, and
+/// writes frames, plus a compositor program that is communication-
+/// dominated. Mirrors QCRD's two-program structure with the roles
+/// reversed (program 2 is the long one).
+pub fn render_application() -> Application {
+    let renderer = vec![
+        ws(0.80, 0.00, 0.120, 2), // mosaic read-in
+        ws(0.04, 0.08, 0.200, 3), // ray-marching compute
+        ws(0.75, 0.00, 0.053, 3), // frame write-out
+    ];
+    let compositor = vec![
+        ws(0.05, 0.70, 0.060, 6), // tile gather/composite exchange
+        ws(0.60, 0.10, 0.040, 2), // composited frame flush
+    ];
+    Application::new(
+        "Render",
+        vec![
+            program("render-worker", 200.0, renderer),
+            program("compositor", 200.0, compositor),
+        ],
+    )
+    .expect("two programs")
+}
+
+/// Every catalog application, with QCRD, for sweep harnesses.
+pub fn all_catalog_applications() -> Vec<Application> {
+    vec![
+        crate::qcrd::qcrd_application(),
+        seismic_application(),
+        pstswm_application(),
+        datamine_application(),
+        render_application(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_validate() {
+        for app in all_catalog_applications() {
+            for p in app.programs() {
+                for ws in p.working_sets() {
+                    ws.validate().expect("catalog working sets are valid");
+                }
+                assert!(p.weight() <= 1.0 + 1e-9, "{}: weight {}", p.name(), p.weight());
+                // QCRD's published table omits residual phases (weight
+                // 0.39 for program 2); catalog entries are fuller.
+                assert!(p.weight() > 0.3, "{}: weight {} suspiciously low", p.name(), p.weight());
+            }
+        }
+    }
+
+    #[test]
+    fn seismic_profile() {
+        let r = seismic_application().requirements();
+        assert!((20.0..=40.0).contains(&r.io_percentage()), "io% {}", r.io_percentage());
+        assert!((10.0..=25.0).contains(&r.comm_percentage()), "comm% {}", r.comm_percentage());
+    }
+
+    #[test]
+    fn pstswm_is_comm_dominated() {
+        let r = pstswm_application().requirements();
+        assert!(r.comm_percentage() > 30.0, "comm% {}", r.comm_percentage());
+        assert!(r.comm > r.disk, "transposes outweigh checkpoints");
+    }
+
+    #[test]
+    fn datamine_is_io_dominated() {
+        let r = datamine_application().requirements();
+        assert!(r.io_percentage() > 60.0, "io% {}", r.io_percentage());
+    }
+
+    #[test]
+    fn render_has_two_programs_with_distinct_profiles() {
+        let app = render_application();
+        assert_eq!(app.programs().len(), 2);
+        let worker = app.programs()[0].requirements();
+        let comp = app.programs()[1].requirements();
+        assert!(worker.io_percentage() > comp.io_percentage());
+        assert!(comp.comm_percentage() > worker.comm_percentage());
+    }
+
+    #[test]
+    fn catalog_spans_behaviour_space() {
+        // The catalog exists to cover distinct mixes: collect the
+        // dominant resource of each application and require at least
+        // three different dominants across the set.
+        let mut dominants = std::collections::HashSet::new();
+        for app in all_catalog_applications() {
+            let r = app.requirements();
+            let dom = if r.cpu >= r.disk && r.cpu >= r.comm {
+                "cpu"
+            } else if r.disk >= r.comm {
+                "disk"
+            } else {
+                "comm"
+            };
+            dominants.insert(dom);
+        }
+        assert!(dominants.len() >= 3, "catalog too homogeneous: {dominants:?}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The worked example of paper Figure 1.
+//!
+//! Figure 1 illustrates the notation with a five-phase program:
+//! `Γ⃗ = [(0.52, 0.29, 0.287, 1), (0, 0.85, 0.185, 2),
+//!       (0, 0.57, 0.194, 1), (0.81, 0, 0.148, 1)]` —
+//! a read-heavy start, two communication-intensive middle phases, a
+//! compute+communicate phase, and a result-writing final phase.
+
+use crate::program::Program;
+use crate::working_set::WorkingSet;
+
+/// Builds the Figure 1 example program with a given reference time.
+pub fn figure1_program_with_reference(reference_time: f64) -> Program {
+    Program::new(
+        "Figure 1 example",
+        reference_time,
+        vec![
+            WorkingSet::new(0.52, 0.29, 0.287, 1).expect("paper constants"),
+            WorkingSet::new(0.0, 0.85, 0.185, 2).expect("paper constants"),
+            WorkingSet::new(0.0, 0.57, 0.194, 1).expect("paper constants"),
+            WorkingSet::new(0.81, 0.0, 0.148, 1).expect("paper constants"),
+        ],
+    )
+    .expect("non-empty working sets")
+}
+
+/// Builds the Figure 1 example at unit reference time.
+pub fn figure1_program() -> Program {
+    figure1_program_with_reference(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_phases_four_working_sets() {
+        let p = figure1_program();
+        assert_eq!(p.working_sets().len(), 4);
+        assert_eq!(p.phase_count(), 5);
+    }
+
+    #[test]
+    fn relative_times_sum_to_one() {
+        // 0.287 + 2·0.185 + 0.194 + 0.148 = 0.999 ≈ 1 (paper's rounding).
+        let w = figure1_program().weight();
+        assert!((w - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opens_with_read_burst_closes_with_write_burst() {
+        let p = figure1_program();
+        let sets = p.working_sets();
+        assert!(sets[0].is_io_intensive(), "initial working set reads from disk");
+        assert!(sets[3].is_io_intensive(), "final working set writes results");
+        assert!(sets[1].is_comm_intensive());
+        assert!(sets[2].is_comm_intensive());
+    }
+
+    #[test]
+    fn middle_sets_have_no_io() {
+        let p = figure1_program();
+        assert_eq!(p.working_sets()[1].io_fraction, 0.0);
+        assert_eq!(p.working_sets()[2].io_fraction, 0.0);
+    }
+
+    #[test]
+    fn expansion_order_follows_figure() {
+        let phases = figure1_program_with_reference(1000.0).expand();
+        assert_eq!(phases.len(), 5);
+        // Phase 1 has disk I/O; phases 2-4 none; phase 5 again.
+        assert!(phases[0].disk > 0.0);
+        assert_eq!(phases[1].disk, 0.0);
+        assert_eq!(phases[2].disk, 0.0);
+        assert_eq!(phases[3].disk, 0.0);
+        assert!(phases[4].disk > 0.0);
+        // Communication peaks in the middle phases.
+        assert!(phases[1].comm > phases[0].comm);
+    }
+}

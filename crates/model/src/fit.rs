@@ -1,0 +1,304 @@
+//! Fitting working sets to observed phase bursts — the model's inverse.
+//!
+//! The paper assumes the `Γ` vector is known (Rosti et al. measured
+//! QCRD by hand). Applying the model to a *new* application requires
+//! the opposite direction: given the per-phase burst durations an
+//! instrumented run produces, recover the working-set structure. The
+//! paper's own definition drives the algorithm — a working set is "a
+//! sequence of consecutive phases that are statistically identical" —
+//! so fitting is run-length grouping of consecutive phases whose
+//! fraction signatures agree within a tolerance.
+//!
+//! ```
+//! use clio_model::fit::{fit_working_sets, FitConfig};
+//! use clio_model::qcrd::qcrd_program2;
+//!
+//! let program = qcrd_program2();
+//! let bursts = program.expand();
+//! let sets = fit_working_sets(&bursts, program.reference_time(), &FitConfig::default());
+//! assert_eq!(sets.len(), 1, "13 identical phases collapse to one set");
+//! assert_eq!(sets[0].phases, 13);
+//! ```
+
+use crate::phase::PhaseTimes;
+use crate::program::Program;
+use crate::validate::ModelError;
+use crate::working_set::WorkingSet;
+
+/// Grouping tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct FitConfig {
+    /// Absolute tolerance on the I/O and communication fractions.
+    pub fraction_tol: f64,
+    /// Relative tolerance on per-phase execution time.
+    pub rel_time_tol: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { fraction_tol: 0.02, rel_time_tol: 0.05 }
+    }
+}
+
+/// One phase's normalized signature.
+#[derive(Debug, Clone, Copy)]
+struct Signature {
+    io: f64,
+    comm: f64,
+    rel: f64,
+}
+
+fn signature(p: &PhaseTimes, reference_time: f64) -> Signature {
+    let total = p.total();
+    if total <= 0.0 {
+        return Signature { io: 0.0, comm: 0.0, rel: 0.0 };
+    }
+    Signature { io: p.disk / total, comm: p.comm / total, rel: total / reference_time }
+}
+
+fn matches(a: &Signature, mean: &Signature, cfg: &FitConfig) -> bool {
+    (a.io - mean.io).abs() <= cfg.fraction_tol
+        && (a.comm - mean.comm).abs() <= cfg.fraction_tol
+        && (a.rel - mean.rel).abs() <= cfg.rel_time_tol * mean.rel.max(f64::MIN_POSITIVE)
+}
+
+/// Groups consecutive statistically identical phases into working sets.
+///
+/// `reference_time` normalizes phase durations into relative times
+/// (usually the program's total or reference time). Phases with zero
+/// total duration are skipped. The mean signature of the growing group
+/// is the comparison representative, so slow drift within tolerance
+/// does not fragment a set.
+pub fn fit_working_sets(
+    bursts: &[PhaseTimes],
+    reference_time: f64,
+    cfg: &FitConfig,
+) -> Vec<WorkingSet> {
+    assert!(
+        reference_time > 0.0 && reference_time.is_finite(),
+        "non-positive reference time"
+    );
+    let mut out: Vec<WorkingSet> = Vec::new();
+    let mut group: Vec<Signature> = Vec::new();
+
+    let flush = |group: &mut Vec<Signature>, out: &mut Vec<WorkingSet>| {
+        if group.is_empty() {
+            return;
+        }
+        let n = group.len() as f64;
+        let io = group.iter().map(|s| s.io).sum::<f64>() / n;
+        let comm = group.iter().map(|s| s.comm).sum::<f64>() / n;
+        let rel = group.iter().map(|s| s.rel).sum::<f64>() / n;
+        out.push(WorkingSet {
+            // Clamp floating-point dust so the result always validates.
+            io_fraction: io.clamp(0.0, 1.0),
+            comm_fraction: comm.clamp(0.0, (1.0 - io).max(0.0)),
+            rel_time: rel.max(f64::MIN_POSITIVE),
+            phases: group.len() as u32,
+        });
+        group.clear();
+    };
+
+    for p in bursts {
+        if p.total() <= 0.0 {
+            continue;
+        }
+        let s = signature(p, reference_time);
+        if group.is_empty() {
+            group.push(s);
+            continue;
+        }
+        let n = group.len() as f64;
+        let mean = Signature {
+            io: group.iter().map(|g| g.io).sum::<f64>() / n,
+            comm: group.iter().map(|g| g.comm).sum::<f64>() / n,
+            rel: group.iter().map(|g| g.rel).sum::<f64>() / n,
+        };
+        if matches(&s, &mean, cfg) {
+            group.push(s);
+        } else {
+            flush(&mut group, &mut out);
+            group.push(s);
+        }
+    }
+    flush(&mut group, &mut out);
+    out
+}
+
+/// Fits a full [`Program`] from observed bursts.
+///
+/// # Errors
+/// Fails if no non-empty phase exists or the fitted sets do not
+/// validate (which only happens for degenerate inputs).
+pub fn fit_program(
+    name: impl Into<String>,
+    bursts: &[PhaseTimes],
+    reference_time: f64,
+    cfg: &FitConfig,
+) -> Result<Program, ModelError> {
+    let sets = fit_working_sets(bursts, reference_time, cfg);
+    Program::new(name, reference_time, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1_program;
+    use crate::qcrd::{qcrd_program1, qcrd_program2};
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn qcrd_program2_collapses_to_one_set() {
+        let p = qcrd_program2();
+        let sets = fit_working_sets(&p.expand(), p.reference_time(), &FitConfig::default());
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].phases, 13);
+        assert!(close(sets[0].io_fraction, 0.92, 1e-9));
+        assert!(close(sets[0].rel_time, 0.03, 1e-9));
+    }
+
+    #[test]
+    fn qcrd_program1_alternation_never_merges() {
+        // Γ1 alternates CPU-heavy and I/O-heavy phases: 24 single-phase
+        // working sets.
+        let p = qcrd_program1();
+        let sets = fit_working_sets(&p.expand(), p.reference_time(), &FitConfig::default());
+        assert_eq!(sets.len(), 24);
+        assert!(sets.iter().all(|s| s.phases == 1));
+        assert!(close(sets[0].io_fraction, 0.14, 1e-9));
+        assert!(close(sets[1].io_fraction, 0.97, 1e-9));
+    }
+
+    #[test]
+    fn figure1_example_recovers_four_sets() {
+        // The paper's Figure 1: five phases, the middle two identical.
+        let p = figure1_program();
+        let sets = fit_working_sets(&p.expand(), p.reference_time(), &FitConfig::default());
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets.iter().map(|s| s.phases).collect::<Vec<_>>(), vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn noise_within_tolerance_does_not_fragment() {
+        let p = qcrd_program2();
+        let mut bursts = p.expand();
+        // Perturb I/O bursts by ±0.5 % of the phase total.
+        for (i, b) in bursts.iter_mut().enumerate() {
+            let eps = if i % 2 == 0 { 1.0025 } else { 0.9975 };
+            b.disk *= eps;
+        }
+        let sets = fit_working_sets(&bursts, p.reference_time(), &FitConfig::default());
+        assert_eq!(sets.len(), 1, "sub-tolerance noise must not split the set");
+    }
+
+    #[test]
+    fn noise_beyond_tolerance_fragments() {
+        let p = qcrd_program2();
+        let mut bursts = p.expand();
+        for (i, b) in bursts.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                b.disk *= 1.5; // far outside the 2 % fraction tolerance
+            }
+        }
+        let sets = fit_working_sets(&bursts, p.reference_time(), &FitConfig::default());
+        assert!(sets.len() > 1, "gross alternation must split");
+    }
+
+    #[test]
+    fn zero_phases_are_skipped() {
+        let bursts = [
+            PhaseTimes::default(),
+            PhaseTimes { cpu: 1.0, comm: 0.0, disk: 1.0 },
+            PhaseTimes::default(),
+        ];
+        let sets = fit_working_sets(&bursts, 2.0, &FitConfig::default());
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].phases, 1);
+    }
+
+    #[test]
+    fn empty_input_fits_nothing() {
+        assert!(fit_working_sets(&[], 1.0, &FitConfig::default()).is_empty());
+        assert!(fit_program("x", &[], 1.0, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn fit_program_roundtrips_qcrd2_requirements() {
+        let p = qcrd_program2();
+        let fitted =
+            fit_program("fit", &p.expand(), p.reference_time(), &FitConfig::default()).unwrap();
+        let orig = p.requirements();
+        let fit = fitted.requirements();
+        assert!(close(orig.cpu, fit.cpu, 1e-9 * orig.cpu.max(1.0)));
+        assert!(close(orig.disk, fit.disk, 1e-9 * orig.disk.max(1.0)));
+        assert!(close(orig.comm, fit.comm, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive reference time")]
+    fn bad_reference_time_panics() {
+        let _ = fit_working_sets(&[], 0.0, &FitConfig::default());
+    }
+
+    proptest! {
+        #[test]
+        fn fitted_sets_cover_every_nonzero_phase(
+            bursts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 0..40),
+        ) {
+            let phases: Vec<PhaseTimes> = bursts
+                .iter()
+                .map(|&(cpu, comm, disk)| PhaseTimes { cpu, comm, disk })
+                .collect();
+            let nonzero = phases.iter().filter(|p| p.total() > 0.0).count() as u32;
+            let sets = fit_working_sets(&phases, 10.0, &FitConfig::default());
+            let covered: u32 = sets.iter().map(|s| s.phases).sum();
+            prop_assert_eq!(covered, nonzero);
+            for s in &sets {
+                prop_assert!(s.validate().is_ok(), "fitted set invalid: {:?}", s);
+            }
+        }
+
+        #[test]
+        fn roundtrip_expand_fit_preserves_requirements(
+            sets in proptest::collection::vec(
+                (0.0f64..0.05, 0.0f64..0.3, 0.01f64..1.0, 1u32..5), 1..6),
+        ) {
+            // Build a valid program from *well-separated* working sets
+            // (adjacent sets alternate an I/O-fraction offset of 0.3,
+            // far beyond the 0.02 fit tolerance, so the fit recovers
+            // the exact partition), expand, fit back and compare
+            // aggregate requirements — the quantity Eqs. 3–5 define.
+            // Without the separation, adjacent random sets inside the
+            // tolerance band would merge, and a merged set's
+            // mean-fraction × mean-time product differs from the exact
+            // per-phase sum at second order.
+            let ws: Vec<WorkingSet> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, &(io_jitter, comm, rel, n))| WorkingSet {
+                    io_fraction: 0.3 * (i % 2) as f64 + io_jitter,
+                    comm_fraction: comm,
+                    rel_time: rel,
+                    phases: n,
+                })
+                .collect();
+            let program = Program::new("p", 100.0, ws).expect("valid by construction");
+            let fitted = fit_program(
+                "fit",
+                &program.expand(),
+                program.reference_time(),
+                &FitConfig::default(),
+            )
+            .expect("fit validates");
+            let a = program.requirements();
+            let b = fitted.requirements();
+            prop_assert!((a.cpu - b.cpu).abs() <= 1e-6 * a.cpu.max(1.0));
+            prop_assert!((a.disk - b.disk).abs() <= 1e-6 * a.disk.max(1.0));
+            prop_assert!((a.comm - b.comm).abs() <= 1e-6 * a.comm.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Phase time decomposition (paper Eq. 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::working_set::WorkingSet;
+
+/// Absolute burst durations of one phase:
+/// `Tⁱ = Tⁱ_CPU + Tⁱ_COM + Tⁱ_Disk`.
+///
+/// Durations are unit-agnostic; the simulator treats them as seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Computation burst duration `Tⁱ_CPU`.
+    pub cpu: f64,
+    /// Communication burst duration `Tⁱ_COM`.
+    pub comm: f64,
+    /// Disk I/O burst duration `Tⁱ_Disk`.
+    pub disk: f64,
+}
+
+impl PhaseTimes {
+    /// Instantiates a phase from a working set and the program's
+    /// reference execution time: the phase lasts `ρ · T_ref`, split
+    /// according to the set's fractions. The I/O burst comes first,
+    /// then computation, then communication — the order the paper's
+    /// phase definition prescribes ("an I/O burst followed by a
+    /// computation burst and possibly followed by a communication
+    /// burst").
+    pub fn from_working_set(ws: &WorkingSet, reference_time: f64) -> Self {
+        let total = ws.rel_time * reference_time;
+        Self {
+            cpu: total * ws.cpu_fraction(),
+            comm: total * ws.comm_fraction,
+            disk: total * ws.io_fraction,
+        }
+    }
+
+    /// Total phase duration `Tⁱ` (Eq. 1).
+    pub fn total(&self) -> f64 {
+        self.cpu + self.comm + self.disk
+    }
+
+    /// Component-wise sum, used when accumulating requirements.
+    pub fn add(&mut self, other: &PhaseTimes) {
+        self.cpu += other.cpu;
+        self.comm += other.comm;
+        self.disk += other.disk;
+    }
+
+    /// Scales every burst by a constant factor (e.g. time-unit change).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self { cpu: self.cpu * factor, comm: self.comm * factor, disk: self.disk * factor }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq1_decomposition() {
+        let ws = WorkingSet::new(0.52, 0.29, 0.287, 1).unwrap();
+        let p = PhaseTimes::from_working_set(&ws, 100.0);
+        assert!((p.total() - 28.7).abs() < 1e-9);
+        assert!((p.disk - 28.7 * 0.52).abs() < 1e-9);
+        assert!((p.comm - 28.7 * 0.29).abs() < 1e-9);
+        assert!((p.cpu - 28.7 * 0.19).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_cpu_phase() {
+        let ws = WorkingSet::new(0.0, 0.0, 0.5, 1).unwrap();
+        let p = PhaseTimes::from_working_set(&ws, 10.0);
+        assert_eq!(p.cpu, 5.0);
+        assert_eq!(p.disk, 0.0);
+        assert_eq!(p.comm, 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = PhaseTimes { cpu: 1.0, comm: 2.0, disk: 3.0 };
+        a.add(&PhaseTimes { cpu: 0.5, comm: 0.5, disk: 0.5 });
+        assert_eq!(a, PhaseTimes { cpu: 1.5, comm: 2.5, disk: 3.5 });
+    }
+
+    #[test]
+    fn scaled_multiplies_all() {
+        let p = PhaseTimes { cpu: 1.0, comm: 2.0, disk: 3.0 }.scaled(2.0);
+        assert_eq!(p, PhaseTimes { cpu: 2.0, comm: 4.0, disk: 6.0 });
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(PhaseTimes::default().total(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn burst_sum_equals_phase_length(io in 0f64..1.0, comm in 0f64..1.0,
+                                         rho in 1e-6f64..1.0, t_ref in 0.1f64..1e4) {
+            prop_assume!(io + comm <= 1.0);
+            let ws = WorkingSet::new(io, comm, rho, 1).unwrap();
+            let p = PhaseTimes::from_working_set(&ws, t_ref);
+            prop_assert!((p.total() - rho * t_ref).abs() < 1e-6 * rho * t_ref);
+        }
+
+        #[test]
+        fn bursts_nonnegative(io in 0f64..1.0, comm in 0f64..1.0,
+                              rho in 1e-6f64..1.0, t_ref in 0.1f64..1e4) {
+            prop_assume!(io + comm <= 1.0);
+            let ws = WorkingSet::new(io, comm, rho, 1).unwrap();
+            let p = PhaseTimes::from_working_set(&ws, t_ref);
+            prop_assert!(p.cpu >= 0.0 && p.comm >= 0.0 && p.disk >= 0.0);
+        }
+    }
+}

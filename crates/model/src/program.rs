@@ -1,0 +1,215 @@
+//! Programs: vectors of working sets (paper Eq. 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase::PhaseTimes;
+use crate::requirements::Requirements;
+use crate::validate::ModelError;
+use crate::working_set::WorkingSet;
+
+/// A program `Γ⃗ = [Γ₁, …, Γ_M]`: an ordered sequence of working sets
+/// executed by one task of a parallel application.
+///
+/// A program carries a *reference execution time* (seconds): the
+/// absolute duration that the relative times `ρᵢ` are fractions of.
+/// `expand()` turns the working sets into the concrete phase sequence
+/// the simulator executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    reference_time: f64,
+    working_sets: Vec<WorkingSet>,
+}
+
+impl Program {
+    /// Creates and validates a program.
+    ///
+    /// `reference_time` must be positive; the working-set vector must be
+    /// non-empty and every set individually valid.
+    pub fn new(
+        name: impl Into<String>,
+        reference_time: f64,
+        working_sets: Vec<WorkingSet>,
+    ) -> Result<Self, ModelError> {
+        if working_sets.is_empty() {
+            return Err(ModelError::EmptyProgram);
+        }
+        if reference_time <= 0.0 || !reference_time.is_finite() {
+            return Err(ModelError::NonPositiveRelativeTime { value: reference_time });
+        }
+        for ws in &working_sets {
+            ws.validate()?;
+        }
+        Ok(Self { name: name.into(), reference_time, working_sets })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program's reference execution time in seconds.
+    pub fn reference_time(&self) -> f64 {
+        self.reference_time
+    }
+
+    /// The working-set vector `Γ⃗`.
+    pub fn working_sets(&self) -> &[WorkingSet] {
+        &self.working_sets
+    }
+
+    /// Total number of phases `N = Σ τᵢ`.
+    pub fn phase_count(&self) -> u32 {
+        self.working_sets.iter().map(|ws| ws.phases).sum()
+    }
+
+    /// Total relative weight `Σ ρᵢ·τᵢ`. For a fully specified model this
+    /// is ≈ 1, but published working-set tables (including QCRD's) often
+    /// omit negligible phases, so the weight may be below 1; the
+    /// simulator uses the weight as-is rather than renormalizing.
+    pub fn weight(&self) -> f64 {
+        self.working_sets.iter().map(WorkingSet::weight).sum()
+    }
+
+    /// Expands the working sets into the concrete phase sequence: each
+    /// working set `Γᵢ` contributes `τᵢ` consecutive identical phases of
+    /// duration `ρᵢ · T_ref`.
+    pub fn expand(&self) -> Vec<PhaseTimes> {
+        let mut out = Vec::with_capacity(self.phase_count() as usize);
+        for ws in &self.working_sets {
+            let phase = PhaseTimes::from_working_set(ws, self.reference_time);
+            for _ in 0..ws.phases {
+                out.push(phase);
+            }
+        }
+        out
+    }
+
+    /// Aggregate requirements `R_CPU`, `R_COM`, `R_Disk` (Eqs. 3–5).
+    pub fn requirements(&self) -> Requirements {
+        let mut r = Requirements::default();
+        for p in self.expand() {
+            r.absorb(&p);
+        }
+        r
+    }
+
+    /// Total sequential execution time `T = Σ Tⁱ` (Eq. 2).
+    pub fn total_time(&self) -> f64 {
+        self.requirements().total()
+    }
+
+    /// Returns a copy with a different reference time — used by the
+    /// speedup sweeps to rescale workloads without rebuilding the model.
+    pub fn with_reference_time(&self, reference_time: f64) -> Result<Self, ModelError> {
+        Self::new(self.name.clone(), reference_time, self.working_sets.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_set_program() -> Program {
+        Program::new(
+            "p",
+            100.0,
+            vec![
+                WorkingSet::new(0.5, 0.0, 0.2, 2).unwrap(),
+                WorkingSet::new(0.1, 0.3, 0.3, 1).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn phase_count_sums_tau() {
+        assert_eq!(two_set_program().phase_count(), 3);
+    }
+
+    #[test]
+    fn weight_sums_rho_tau() {
+        assert!((two_set_program().weight() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_replicates_phases() {
+        let phases = two_set_program().expand();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0], phases[1], "identical phases within a working set");
+        assert_ne!(phases[1], phases[2]);
+        // First working set: ρ·T = 20s, φ=0.5 → 10s disk, 10s cpu.
+        assert!((phases[0].disk - 10.0).abs() < 1e-9);
+        assert!((phases[0].cpu - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requirements_match_hand_computation() {
+        let r = two_set_program().requirements();
+        // Set 1: 2 phases × 20s: disk 20, cpu 20. Set 2: 30s: disk 3, comm 9, cpu 18.
+        assert!((r.disk - 23.0).abs() < 1e-9);
+        assert!((r.comm - 9.0).abs() < 1e-9);
+        assert!((r.cpu - 38.0).abs() < 1e-9);
+        assert!((two_set_program().total_time() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(Program::new("e", 1.0, vec![]), Err(ModelError::EmptyProgram)));
+    }
+
+    #[test]
+    fn invalid_working_set_rejected() {
+        let bad = WorkingSet { io_fraction: 2.0, comm_fraction: 0.0, rel_time: 0.1, phases: 1 };
+        assert!(Program::new("b", 1.0, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn bad_reference_time_rejected() {
+        let ws = WorkingSet::new(0.1, 0.0, 0.1, 1).unwrap();
+        assert!(Program::new("b", 0.0, vec![ws]).is_err());
+        assert!(Program::new("b", f64::NAN, vec![ws]).is_err());
+    }
+
+    #[test]
+    fn with_reference_time_rescales() {
+        let p = two_set_program().with_reference_time(200.0).unwrap();
+        assert!((p.total_time() - 140.0).abs() < 1e-9);
+        assert_eq!(p.name(), "p");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = two_set_program();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    proptest! {
+        #[test]
+        fn total_time_equals_weight_times_reference(
+            t_ref in 1f64..1e4,
+            sets in prop::collection::vec((0f64..0.5, 0f64..0.5, 1e-4f64..0.5, 1u32..5), 1..10)
+        ) {
+            let ws: Vec<WorkingSet> = sets.iter()
+                .map(|&(io, comm, rho, tau)| WorkingSet::new(io, comm, rho, tau).unwrap())
+                .collect();
+            let p = Program::new("prop", t_ref, ws).unwrap();
+            let expect = p.weight() * t_ref;
+            prop_assert!((p.total_time() - expect).abs() < 1e-6 * expect.max(1.0));
+        }
+
+        #[test]
+        fn expand_length_is_phase_count(
+            sets in prop::collection::vec((0f64..0.5, 0f64..0.5, 1e-4f64..0.5, 1u32..8), 1..10)
+        ) {
+            let ws: Vec<WorkingSet> = sets.iter()
+                .map(|&(io, comm, rho, tau)| WorkingSet::new(io, comm, rho, tau).unwrap())
+                .collect();
+            let p = Program::new("prop", 1.0, ws).unwrap();
+            prop_assert_eq!(p.expand().len() as u32, p.phase_count());
+        }
+    }
+}

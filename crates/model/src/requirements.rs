@@ -1,0 +1,100 @@
+//! Aggregate resource requirements (paper Eqs. 3–5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase::PhaseTimes;
+
+/// Total CPU, communication and disk demand of a program or application:
+/// `R_CPU = Σ Tⁱ_CPU`, `R_COM = Σ Tⁱ_COM`, `R_Disk = Σ Tⁱ_Disk`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Requirements {
+    /// `R_CPU` (Eq. 3).
+    pub cpu: f64,
+    /// `R_COM` (Eq. 5).
+    pub comm: f64,
+    /// `R_Disk` (Eq. 4).
+    pub disk: f64,
+}
+
+impl Requirements {
+    /// Accumulates one phase's bursts.
+    pub fn absorb(&mut self, phase: &PhaseTimes) {
+        self.cpu += phase.cpu;
+        self.comm += phase.comm;
+        self.disk += phase.disk;
+    }
+
+    /// Merges another requirement total (e.g. across programs).
+    pub fn merge(&mut self, other: &Requirements) {
+        self.cpu += other.cpu;
+        self.comm += other.comm;
+        self.disk += other.disk;
+    }
+
+    /// Total demand `T = Σ Tⁱ` (Eq. 2).
+    pub fn total(&self) -> f64 {
+        self.cpu + self.comm + self.disk
+    }
+
+    /// Percentage of total time spent on disk I/O — the quantity Fig. 3
+    /// plots. Returns 0 for an empty requirement.
+    pub fn io_percentage(&self) -> f64 {
+        percentage(self.disk, self.total())
+    }
+
+    /// Percentage of total time spent computing.
+    pub fn cpu_percentage(&self) -> f64 {
+        percentage(self.cpu, self.total())
+    }
+
+    /// Percentage of total time spent communicating.
+    pub fn comm_percentage(&self) -> f64 {
+        percentage(self.comm, self.total())
+    }
+}
+
+fn percentage(part: f64, whole: f64) -> f64 {
+    if whole <= 0.0 {
+        0.0
+    } else {
+        100.0 * part / whole
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_total() {
+        let mut r = Requirements::default();
+        r.absorb(&PhaseTimes { cpu: 3.0, comm: 1.0, disk: 2.0 });
+        r.absorb(&PhaseTimes { cpu: 1.0, comm: 0.0, disk: 1.0 });
+        assert_eq!(r.cpu, 4.0);
+        assert_eq!(r.comm, 1.0);
+        assert_eq!(r.disk, 3.0);
+        assert_eq!(r.total(), 8.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let r = Requirements { cpu: 5.0, comm: 3.0, disk: 2.0 };
+        let s = r.cpu_percentage() + r.comm_percentage() + r.io_percentage();
+        assert!((s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_requirement_percentages_are_zero() {
+        let r = Requirements::default();
+        assert_eq!(r.io_percentage(), 0.0);
+        assert_eq!(r.cpu_percentage(), 0.0);
+        assert_eq!(r.comm_percentage(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Requirements { cpu: 1.0, comm: 2.0, disk: 3.0 };
+        a.merge(&Requirements { cpu: 10.0, comm: 20.0, disk: 30.0 });
+        assert_eq!(a, Requirements { cpu: 11.0, comm: 22.0, disk: 33.0 });
+    }
+}

@@ -1,0 +1,211 @@
+//! Random model synthesis.
+//!
+//! The paper's future work calls for "other simulated applications"; the
+//! synthesizer generates random — but always valid — working-set mixes so
+//! the simulator and benches can sweep application classes beyond QCRD
+//! (I/O-bound, CPU-bound, communication-bound, balanced).
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::application::Application;
+use crate::program::Program;
+use crate::working_set::WorkingSet;
+
+/// The broad behavioural class a synthetic program belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// `φ` drawn high (0.6–0.95), like QCRD program 2.
+    IoBound,
+    /// `φ` and `γ` drawn low, like QCRD program 1's compute sets.
+    CpuBound,
+    /// `γ` drawn high, like Fig. 1's middle working sets.
+    CommBound,
+    /// All three fractions comparable.
+    Balanced,
+}
+
+impl WorkloadClass {
+    /// Samples `(φ, γ)` consistent with the class.
+    fn sample_fractions(self, rng: &mut impl Rng) -> (f64, f64) {
+        match self {
+            WorkloadClass::IoBound => {
+                let io: f64 = rng.gen_range(0.6..0.95);
+                let comm = rng.gen_range(0.0..(1.0 - io).min(0.2));
+                (io, comm)
+            }
+            WorkloadClass::CpuBound => {
+                let io = rng.gen_range(0.0..0.2);
+                let comm = rng.gen_range(0.0..0.15);
+                (io, comm)
+            }
+            WorkloadClass::CommBound => {
+                let comm: f64 = rng.gen_range(0.55..0.9);
+                let io = rng.gen_range(0.0..(1.0 - comm).min(0.2));
+                (io, comm)
+            }
+            WorkloadClass::Balanced => {
+                let io: f64 = rng.gen_range(0.2..0.4);
+                let comm = rng.gen_range(0.2..(1.0 - io).min(0.4));
+                (io, comm)
+            }
+        }
+    }
+}
+
+/// Parameters for the synthesizer.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Behavioural class of every generated program.
+    pub class: WorkloadClass,
+    /// Number of working sets per program (inclusive range).
+    pub working_sets: (usize, usize),
+    /// Phases per working set (inclusive range).
+    pub phases: (u32, u32),
+    /// Reference execution time of each program, seconds.
+    pub reference_time: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x05ec_10e5,
+            class: WorkloadClass::Balanced,
+            working_sets: (2, 8),
+            phases: (1, 6),
+            reference_time: 60.0,
+        }
+    }
+}
+
+/// Generates one random program.
+///
+/// Relative times are drawn and then scaled so the program's weight
+/// `Σ ρᵢ·τᵢ` is exactly 1 — a fully specified model (unlike the QCRD
+/// table, which omits residual phases).
+pub fn synth_program(cfg: &SynthConfig, name: &str) -> Program {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ hash_name(name));
+    let n_sets = rng.gen_range(cfg.working_sets.0..=cfg.working_sets.1.max(cfg.working_sets.0));
+    let phase_dist = Uniform::new_inclusive(cfg.phases.0.max(1), cfg.phases.1.max(cfg.phases.0).max(1));
+
+    // Draw raw weights and phase counts first, normalize rel_time after.
+    let mut raw: Vec<(f64, f64, f64, u32)> = Vec::with_capacity(n_sets);
+    for _ in 0..n_sets {
+        let (io, comm) = cfg.class.sample_fractions(&mut rng);
+        let rho_raw = rng.gen_range(0.05..1.0);
+        let tau = phase_dist.sample(&mut rng);
+        raw.push((io, comm, rho_raw, tau));
+    }
+    let total_weight: f64 = raw.iter().map(|&(_, _, r, t)| r * t as f64).sum();
+    let sets: Vec<WorkingSet> = raw
+        .into_iter()
+        .map(|(io, comm, rho_raw, tau)| {
+            WorkingSet::new(io, comm, rho_raw / total_weight, tau)
+                .expect("synthesized parameters are valid by construction")
+        })
+        .collect();
+    Program::new(name, cfg.reference_time, sets).expect("at least one working set")
+}
+
+/// Generates an application with `n_programs` random programs.
+pub fn synth_application(cfg: &SynthConfig, name: &str, n_programs: usize) -> Application {
+    let programs = (0..n_programs.max(1))
+        .map(|i| synth_program(cfg, &format!("{name}-prog{}", i + 1)))
+        .collect();
+    Application::new(name, programs).expect("at least one program")
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, to derive per-program seeds from the shared config seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn synth_program_is_valid_and_normalized() {
+        let cfg = SynthConfig::default();
+        let p = synth_program(&cfg, "t");
+        assert!((p.weight() - 1.0).abs() < 1e-9, "weight {}", p.weight());
+        assert!(!p.working_sets().is_empty());
+    }
+
+    #[test]
+    fn synth_is_deterministic_per_seed() {
+        let cfg = SynthConfig::default();
+        let a = synth_program(&cfg, "same");
+        let b = synth_program(&cfg, "same");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let cfg = SynthConfig::default();
+        let a = synth_program(&cfg, "a");
+        let b = synth_program(&cfg, "b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn io_bound_class_is_io_heavy() {
+        let cfg = SynthConfig { class: WorkloadClass::IoBound, ..Default::default() };
+        let p = synth_program(&cfg, "io");
+        let r = p.requirements();
+        assert!(r.io_percentage() > 50.0, "io% = {}", r.io_percentage());
+    }
+
+    #[test]
+    fn cpu_bound_class_is_cpu_heavy() {
+        let cfg = SynthConfig { class: WorkloadClass::CpuBound, ..Default::default() };
+        let p = synth_program(&cfg, "cpu");
+        assert!(p.requirements().cpu_percentage() > 60.0);
+    }
+
+    #[test]
+    fn comm_bound_class_is_comm_heavy() {
+        let cfg = SynthConfig { class: WorkloadClass::CommBound, ..Default::default() };
+        let p = synth_program(&cfg, "comm");
+        assert!(p.requirements().comm_percentage() > 50.0);
+    }
+
+    #[test]
+    fn synth_application_counts() {
+        let cfg = SynthConfig::default();
+        let a = synth_application(&cfg, "app", 3);
+        assert_eq!(a.programs().len(), 3);
+        assert_eq!(a.programs()[0].name(), "app-prog1");
+    }
+
+    #[test]
+    fn zero_programs_clamps_to_one() {
+        let cfg = SynthConfig::default();
+        let a = synth_application(&cfg, "app", 0);
+        assert_eq!(a.programs().len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn all_classes_produce_valid_programs(seed in any::<u64>(),
+                                              class_idx in 0usize..4) {
+            let class = [WorkloadClass::IoBound, WorkloadClass::CpuBound,
+                         WorkloadClass::CommBound, WorkloadClass::Balanced][class_idx];
+            let cfg = SynthConfig { seed, class, ..Default::default() };
+            let p = synth_program(&cfg, "prop");
+            for ws in p.working_sets() {
+                prop_assert!(ws.validate().is_ok());
+            }
+            prop_assert!((p.weight() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Model validation errors.
+
+use std::fmt;
+
+/// Reasons a model component can be rejected.
+///
+/// The paper's fractions are physical shares of a phase's wall time, so
+/// `φ ≥ 0`, `γ ≥ 0` and `φ + γ ≤ 1` must hold; relative execution time
+/// must be positive and each working set must contain at least one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An I/O or communication fraction fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Which fraction (`"io"` or `"comm"`).
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `φ + γ` exceeded 1, leaving negative CPU time.
+    FractionsExceedUnity {
+        /// I/O fraction.
+        io: f64,
+        /// Communication fraction.
+        comm: f64,
+    },
+    /// Relative execution time `ρ` was zero, negative or non-finite.
+    NonPositiveRelativeTime {
+        /// The offending value.
+        value: f64,
+    },
+    /// A working set declared zero phases.
+    ZeroPhases,
+    /// A program contained no working sets.
+    EmptyProgram,
+    /// An application contained no programs.
+    EmptyApplication,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::FractionOutOfRange { which, value } => {
+                write!(f, "{which} fraction {value} outside [0, 1]")
+            }
+            ModelError::FractionsExceedUnity { io, comm } => {
+                write!(f, "io fraction {io} + comm fraction {comm} exceeds 1")
+            }
+            ModelError::NonPositiveRelativeTime { value } => {
+                write!(f, "relative execution time {value} must be positive and finite")
+            }
+            ModelError::ZeroPhases => write!(f, "working set must contain at least one phase"),
+            ModelError::EmptyProgram => write!(f, "program must contain at least one working set"),
+            ModelError::EmptyApplication => {
+                write!(f, "application must contain at least one program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::FractionOutOfRange { which: "io", value: 1.5 };
+        assert!(e.to_string().contains("io fraction 1.5"));
+        let e = ModelError::FractionsExceedUnity { io: 0.7, comm: 0.6 };
+        assert!(e.to_string().contains("exceeds 1"));
+        assert!(ModelError::ZeroPhases.to_string().contains("at least one phase"));
+        assert!(ModelError::EmptyProgram.to_string().contains("working set"));
+        assert!(ModelError::EmptyApplication.to_string().contains("program"));
+        let e = ModelError::NonPositiveRelativeTime { value: -0.1 };
+        assert!(e.to_string().contains("-0.1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::ZeroPhases);
+    }
+}

@@ -1,0 +1,181 @@
+//! Working sets: `Γᵢ = (φᵢ, γᵢ, ρᵢ, τᵢ)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::validate::ModelError;
+
+/// A sequence of `τ` statistically identical phases (paper Eq. 7).
+///
+/// - `φ` (`io_fraction`): fraction of each phase spent in its I/O burst,
+/// - `γ` (`comm_fraction`): fraction spent in its communication burst,
+/// - `ρ` (`rel_time`): each phase's execution time as a fraction of the
+///   program's reference time,
+/// - `τ` (`phases`): how many consecutive phases the set spans.
+///
+/// The CPU fraction is implicit: `1 − φ − γ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkingSet {
+    /// I/O fraction `φ ∈ [0, 1]`.
+    pub io_fraction: f64,
+    /// Communication fraction `γ ∈ [0, 1]`, with `φ + γ ≤ 1`.
+    pub comm_fraction: f64,
+    /// Per-phase relative execution time `ρ > 0`.
+    pub rel_time: f64,
+    /// Number of phases `τ ≥ 1`.
+    pub phases: u32,
+}
+
+impl WorkingSet {
+    /// Creates and validates a working set.
+    pub fn new(io_fraction: f64, comm_fraction: f64, rel_time: f64, phases: u32) -> Result<Self, ModelError> {
+        let ws = Self { io_fraction, comm_fraction, rel_time, phases };
+        ws.validate()?;
+        Ok(ws)
+    }
+
+    /// Validates the paper's invariants on the tuple.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (which, v) in [("io", self.io_fraction), ("comm", self.comm_fraction)] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(ModelError::FractionOutOfRange { which, value: v });
+            }
+        }
+        if self.io_fraction + self.comm_fraction > 1.0 + 1e-12 {
+            return Err(ModelError::FractionsExceedUnity {
+                io: self.io_fraction,
+                comm: self.comm_fraction,
+            });
+        }
+        if self.rel_time <= 0.0 || !self.rel_time.is_finite() {
+            return Err(ModelError::NonPositiveRelativeTime { value: self.rel_time });
+        }
+        if self.phases == 0 {
+            return Err(ModelError::ZeroPhases);
+        }
+        Ok(())
+    }
+
+    /// CPU fraction of each phase: `1 − φ − γ` (clamped at 0 against
+    /// floating-point dust).
+    pub fn cpu_fraction(&self) -> f64 {
+        (1.0 - self.io_fraction - self.comm_fraction).max(0.0)
+    }
+
+    /// Total relative time contributed by the whole set: `ρ · τ`.
+    pub fn weight(&self) -> f64 {
+        self.rel_time * self.phases as f64
+    }
+
+    /// Whether I/O dominates the phase time (`φ > 0.5`), the informal
+    /// notion of "I/O-intensive" the paper applies to QCRD's program 2.
+    pub fn is_io_intensive(&self) -> bool {
+        self.io_fraction > 0.5
+    }
+
+    /// Whether communication dominates, as in Fig. 1's middle working set.
+    pub fn is_comm_intensive(&self) -> bool {
+        self.comm_fraction > 0.5
+    }
+}
+
+impl std::fmt::Display for WorkingSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Γ(φ={}, γ={}, ρ={}, τ={})",
+            self.io_fraction, self.comm_fraction, self.rel_time, self.phases
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn valid_set_from_figure1() {
+        let ws = WorkingSet::new(0.52, 0.29, 0.287, 1).unwrap();
+        assert!((ws.cpu_fraction() - 0.19).abs() < 1e-12);
+        assert_eq!(ws.weight(), 0.287);
+        assert!(ws.is_io_intensive());
+        assert!(!ws.is_comm_intensive());
+    }
+
+    #[test]
+    fn comm_intensive_set() {
+        let ws = WorkingSet::new(0.0, 0.85, 0.185, 2).unwrap();
+        assert!(ws.is_comm_intensive());
+        assert_eq!(ws.weight(), 0.37);
+    }
+
+    #[test]
+    fn rejects_fraction_above_one() {
+        assert!(matches!(
+            WorkingSet::new(1.2, 0.0, 0.1, 1),
+            Err(ModelError::FractionOutOfRange { which: "io", .. })
+        ));
+        assert!(matches!(
+            WorkingSet::new(0.0, -0.1, 0.1, 1),
+            Err(ModelError::FractionOutOfRange { which: "comm", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fractions_exceeding_unity() {
+        assert!(matches!(
+            WorkingSet::new(0.7, 0.6, 0.1, 1),
+            Err(ModelError::FractionsExceedUnity { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_sum_exactly_one_ok() {
+        let ws = WorkingSet::new(0.4, 0.6, 0.1, 1).unwrap();
+        assert_eq!(ws.cpu_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_rel_time() {
+        assert!(matches!(
+            WorkingSet::new(0.1, 0.1, 0.0, 1),
+            Err(ModelError::NonPositiveRelativeTime { .. })
+        ));
+        assert!(matches!(
+            WorkingSet::new(0.1, 0.1, f64::NAN, 1),
+            Err(ModelError::NonPositiveRelativeTime { .. })
+        ));
+        assert!(matches!(
+            WorkingSet::new(0.1, 0.1, f64::INFINITY, 1),
+            Err(ModelError::NonPositiveRelativeTime { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_phases() {
+        assert!(matches!(WorkingSet::new(0.1, 0.1, 0.1, 0), Err(ModelError::ZeroPhases)));
+    }
+
+    #[test]
+    fn display_uses_gamma_notation() {
+        let ws = WorkingSet::new(0.81, 0.0, 0.148, 1).unwrap();
+        assert_eq!(ws.to_string(), "Γ(φ=0.81, γ=0, ρ=0.148, τ=1)");
+    }
+
+    proptest! {
+        #[test]
+        fn fractions_partition_unity(io in 0f64..1.0, comm in 0f64..1.0,
+                                     rho in 1e-6f64..1.0, tau in 1u32..100) {
+            prop_assume!(io + comm <= 1.0);
+            let ws = WorkingSet::new(io, comm, rho, tau).unwrap();
+            let total = ws.io_fraction + ws.comm_fraction + ws.cpu_fraction();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn weight_scales_with_phases(rho in 1e-6f64..1.0, tau in 1u32..1000) {
+            let ws = WorkingSet::new(0.5, 0.0, rho, tau).unwrap();
+            prop_assert!((ws.weight() - rho * tau as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! A generational garbage-collector pause model.
+//!
+//! The SSCLI runs managed code under a generational, stop-the-world
+//! collector. The paper's web server allocates on every request — the
+//! receive buffer, the byte-array-to-string conversion, the file
+//! buffer — so some requests absorb a collection pause on top of their
+//! I/O time. That is the third latency mechanism of the managed
+//! runtime (after JIT warmup and managed dispatch), and this module
+//! makes it explicit so the ablation benches can turn it on and off:
+//!
+//! - allocation is charged by the byte into a **nursery**; filling the
+//!   nursery triggers a *minor* collection whose pause scales with the
+//!   bytes that survive,
+//! - survivors accumulate in an old generation; when it exceeds its
+//!   budget a *major* collection runs, pausing proportionally to the
+//!   live heap and compacting it.
+//!
+//! The model is deterministic: the same allocation sequence produces
+//! the same pauses, so tests can pin collection counts exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Pause-cost and sizing parameters of the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcModel {
+    /// Nursery (generation 0) size in bytes; filling it triggers a
+    /// minor collection.
+    pub nursery_bytes: u64,
+    /// Fraction of nursery bytes that survive a minor collection.
+    pub survivor_fraction: f64,
+    /// Fixed cost of a minor collection, milliseconds.
+    pub minor_base_ms: f64,
+    /// Additional minor cost per surviving megabyte, milliseconds.
+    pub minor_per_mb_ms: f64,
+    /// Old-generation budget in bytes; exceeding it triggers a major
+    /// collection.
+    pub old_budget_bytes: u64,
+    /// Fixed cost of a major collection, milliseconds.
+    pub major_base_ms: f64,
+    /// Additional major cost per live megabyte, milliseconds.
+    pub major_per_mb_ms: f64,
+    /// Fraction of the old generation still live after a major
+    /// collection (the long-lived residue).
+    pub long_lived_fraction: f64,
+}
+
+impl GcModel {
+    /// Parameters in the SSCLI's class: a small (1 MiB) nursery, cheap
+    /// minors, majors costing around a millisecond per live megabyte.
+    pub fn sscli_like() -> Self {
+        Self {
+            nursery_bytes: 1 << 20,
+            survivor_fraction: 0.1,
+            minor_base_ms: 0.2,
+            minor_per_mb_ms: 2.0,
+            old_budget_bytes: 16 << 20,
+            major_base_ms: 2.0,
+            major_per_mb_ms: 1.0,
+            long_lived_fraction: 0.25,
+        }
+    }
+
+    /// A collector that never pauses (ablation baseline: infinite
+    /// memory / manual management).
+    pub fn disabled() -> Self {
+        Self {
+            nursery_bytes: u64::MAX,
+            survivor_fraction: 0.0,
+            minor_base_ms: 0.0,
+            minor_per_mb_ms: 0.0,
+            old_budget_bytes: u64::MAX,
+            major_base_ms: 0.0,
+            major_per_mb_ms: 0.0,
+            long_lived_fraction: 0.0,
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nursery_bytes == 0 {
+            return Err("nursery must be non-empty".into());
+        }
+        for (name, v) in [
+            ("survivor_fraction", self.survivor_fraction),
+            ("long_lived_fraction", self.long_lived_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        for (name, v) in [
+            ("minor_base_ms", self.minor_base_ms),
+            ("minor_per_mb_ms", self.minor_per_mb_ms),
+            ("major_base_ms", self.major_base_ms),
+            ("major_per_mb_ms", self.major_per_mb_ms),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for GcModel {
+    fn default() -> Self {
+        Self::sscli_like()
+    }
+}
+
+/// Cumulative collector statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GcStats {
+    /// Bytes allocated over the heap's lifetime.
+    pub allocated_bytes: u64,
+    /// Minor (nursery) collections run.
+    pub minor_collections: u64,
+    /// Major (full-heap) collections run.
+    pub major_collections: u64,
+    /// Total stop-the-world pause time, milliseconds.
+    pub total_pause_ms: f64,
+}
+
+/// The collector's mutable state: nursery fill and old-generation size.
+#[derive(Debug, Clone)]
+pub struct GcState {
+    model: GcModel,
+    nursery_used: u64,
+    old_live: u64,
+    stats: GcStats,
+}
+
+impl GcState {
+    /// Creates an empty heap under `model`.
+    pub fn new(model: GcModel) -> Self {
+        Self { model, nursery_used: 0, old_live: 0, stats: GcStats::default() }
+    }
+
+    /// Allocates `bytes` and returns the pause (ms) absorbed by this
+    /// allocation — zero unless it triggered a collection.
+    ///
+    /// Allocations larger than the nursery go straight to the old
+    /// generation (the "large object" path), possibly triggering a
+    /// major collection.
+    pub fn alloc(&mut self, bytes: u64) -> f64 {
+        self.stats.allocated_bytes = self.stats.allocated_bytes.saturating_add(bytes);
+        let mut pause = 0.0;
+        if bytes >= self.model.nursery_bytes {
+            self.old_live = self.old_live.saturating_add(bytes);
+        } else {
+            self.nursery_used += bytes;
+            if self.nursery_used >= self.model.nursery_bytes {
+                pause += self.minor();
+            }
+        }
+        if self.old_live > self.model.old_budget_bytes {
+            pause += self.major();
+        }
+        self.stats.total_pause_ms += pause;
+        pause
+    }
+
+    fn minor(&mut self) -> f64 {
+        let survivors = (self.nursery_used as f64 * self.model.survivor_fraction) as u64;
+        self.old_live = self.old_live.saturating_add(survivors);
+        self.nursery_used = 0;
+        self.stats.minor_collections += 1;
+        self.model.minor_base_ms + self.model.minor_per_mb_ms * mb(survivors)
+    }
+
+    fn major(&mut self) -> f64 {
+        let pause = self.model.major_base_ms + self.model.major_per_mb_ms * mb(self.old_live);
+        self.old_live = (self.old_live as f64 * self.model.long_lived_fraction) as u64;
+        self.stats.major_collections += 1;
+        pause
+    }
+
+    /// Current old-generation live bytes.
+    pub fn old_live_bytes(&self) -> u64 {
+        self.old_live
+    }
+
+    /// Current nursery fill in bytes.
+    pub fn nursery_used_bytes(&self) -> u64 {
+        self.nursery_used
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> GcStats {
+        self.stats
+    }
+}
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_allocations_are_free_until_nursery_fills() {
+        let mut gc = GcState::new(GcModel::sscli_like());
+        // 1 MiB nursery: 255 allocations of 4 KiB stay under it.
+        for _ in 0..255 {
+            assert_eq!(gc.alloc(4096), 0.0);
+        }
+        let pause = gc.alloc(4096); // 256th crosses 1 MiB
+        assert!(pause > 0.0, "nursery fill must pause");
+        assert_eq!(gc.stats().minor_collections, 1);
+        assert_eq!(gc.nursery_used_bytes(), 0, "nursery empty after minor");
+    }
+
+    #[test]
+    fn survivors_accumulate_into_old_generation() {
+        let mut gc = GcState::new(GcModel::sscli_like());
+        gc.alloc(1 << 20); // exactly nursery-size: large-object path
+        let old_after_large = gc.old_live_bytes();
+        assert_eq!(old_after_large, 1 << 20, "large objects skip the nursery");
+        // Fill the nursery once with small objects.
+        for _ in 0..256 {
+            gc.alloc(4096);
+        }
+        assert!(gc.old_live_bytes() > old_after_large, "minor promotes survivors");
+    }
+
+    #[test]
+    fn major_collection_compacts_old_generation() {
+        let model = GcModel::sscli_like();
+        let mut gc = GcState::new(model);
+        // Blow past the 16 MiB old budget with large objects.
+        let mut majors_pause = 0.0;
+        for _ in 0..20 {
+            majors_pause += gc.alloc(2 << 20);
+        }
+        let stats = gc.stats();
+        assert!(stats.major_collections >= 1);
+        assert!(majors_pause > 0.0);
+        assert!(
+            gc.old_live_bytes() <= model.old_budget_bytes,
+            "post-major live set within budget"
+        );
+    }
+
+    #[test]
+    fn disabled_collector_never_pauses() {
+        let mut gc = GcState::new(GcModel::disabled());
+        for _ in 0..10_000 {
+            assert_eq!(gc.alloc(1 << 16), 0.0);
+        }
+        let s = gc.stats();
+        assert_eq!(s.minor_collections + s.major_collections, 0);
+        assert_eq!(s.total_pause_ms, 0.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut gc = GcState::new(GcModel::sscli_like());
+            let mut total = 0.0;
+            for i in 0..5000u64 {
+                total += gc.alloc(1000 + (i % 7) * 512);
+            }
+            (total, gc.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pause_scales_with_live_heap() {
+        let model = GcModel {
+            old_budget_bytes: 4 << 20,
+            ..GcModel::sscli_like()
+        };
+        let mut gc = GcState::new(model);
+        let p1 = gc.alloc(5 << 20); // major with ~5 MiB live
+        let mut gc2 = GcState::new(model);
+        let p2 = gc2.alloc(50 << 20); // major with ~50 MiB live
+        assert!(p2 > p1, "bigger live heap, longer major pause: {p2} vs {p1}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GcModel::sscli_like().validate().is_ok());
+        assert!(GcModel::disabled().validate().is_ok());
+        let mut bad = GcModel::sscli_like();
+        bad.survivor_fraction = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = GcModel::sscli_like();
+        bad.nursery_bytes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = GcModel::sscli_like();
+        bad.major_per_mb_ms = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn stats_track_allocated_bytes() {
+        let mut gc = GcState::new(GcModel::sscli_like());
+        gc.alloc(100);
+        gc.alloc(200);
+        assert_eq!(gc.stats().allocated_bytes, 300);
+    }
+}

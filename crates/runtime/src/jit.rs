@@ -1,0 +1,164 @@
+//! The JIT warmup cost model.
+//!
+//! "Functions are compiled only when they are required" — the SSCLI
+//! JIT-compiles a method on its first invocation, which the paper
+//! identifies as one reason the web server's first request is slowest
+//! (Table 6, Fig. 6). [`JitState`] charges a per-method compilation
+//! cost exactly once; subsequent invocations are free.
+
+use std::collections::HashMap;
+
+/// Compilation cost parameters (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitModel {
+    /// Fixed cost of entering the JIT for a method.
+    pub base_ms: f64,
+    /// Additional cost per bytecode instruction.
+    pub per_op_ms: f64,
+}
+
+impl JitModel {
+    /// Constants calibrated so a few-hundred-op handler costs a couple
+    /// of milliseconds to compile — the magnitude gap between the first
+    /// and warm requests in the paper's Table 6.
+    pub fn sscli_like() -> Self {
+        Self { base_ms: 1.2, per_op_ms: 0.01 }
+    }
+
+    /// A zero-cost model (ablation: CLI without JIT warmup, i.e. an
+    /// ahead-of-time-compiled runtime).
+    pub fn precompiled() -> Self {
+        Self { base_ms: 0.0, per_op_ms: 0.0 }
+    }
+
+    /// A HotSpot-style model for the paper's future-work comparison
+    /// ("evaluate performance of the benchmarks ... on other virtual
+    /// machines like java virtual machine"): interpretation starts
+    /// instantly (tiny base) but the optimizing compile of a hot method
+    /// is charged up front here, making first calls costlier per op.
+    pub fn jvm_like() -> Self {
+        Self { base_ms: 0.4, per_op_ms: 0.025 }
+    }
+
+    /// Compile cost for a method of `ops` instructions.
+    pub fn compile_cost(&self, ops: usize) -> f64 {
+        self.base_ms + self.per_op_ms * ops as f64
+    }
+}
+
+impl Default for JitModel {
+    fn default() -> Self {
+        Self::sscli_like()
+    }
+}
+
+/// Per-runtime JIT cache: which methods have been compiled, and what
+/// each invocation costs.
+#[derive(Debug, Clone)]
+pub struct JitState {
+    model: JitModel,
+    compiled: HashMap<String, u64>,
+}
+
+impl JitState {
+    /// Creates an empty (fully cold) JIT cache.
+    pub fn new(model: JitModel) -> Self {
+        Self { model, compiled: HashMap::new() }
+    }
+
+    /// Charges one invocation of `method` (a body of `ops`
+    /// instructions). Returns the JIT cost in ms: the compile cost on
+    /// first call, zero afterwards.
+    pub fn invoke(&mut self, method: &str, ops: usize) -> f64 {
+        let calls = self.compiled.entry(method.to_string()).or_insert(0);
+        *calls += 1;
+        if *calls == 1 {
+            self.model.compile_cost(ops)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether a method has been compiled already.
+    pub fn is_warm(&self, method: &str) -> bool {
+        self.compiled.get(method).is_some_and(|&c| c > 0)
+    }
+
+    /// Number of invocations of a method so far.
+    pub fn calls(&self, method: &str) -> u64 {
+        self.compiled.get(method).copied().unwrap_or(0)
+    }
+
+    /// Drops all compiled state (simulates an app-domain unload).
+    pub fn reset(&mut self) {
+        self.compiled.clear();
+    }
+
+    /// The model in force.
+    pub fn model(&self) -> JitModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_call_pays_then_free() {
+        let mut jit = JitState::new(JitModel::sscli_like());
+        let first = jit.invoke("doGet", 200);
+        let second = jit.invoke("doGet", 200);
+        assert!(first > 1.0, "first call pays compile cost: {first}");
+        assert_eq!(second, 0.0);
+        assert!(jit.is_warm("doGet"));
+        assert_eq!(jit.calls("doGet"), 2);
+    }
+
+    #[test]
+    fn per_method_isolation() {
+        let mut jit = JitState::new(JitModel::sscli_like());
+        jit.invoke("doGet", 100);
+        let other = jit.invoke("doPost", 100);
+        assert!(other > 0.0, "doPost compiles separately");
+    }
+
+    #[test]
+    fn cost_scales_with_method_size() {
+        let m = JitModel::sscli_like();
+        assert!(m.compile_cost(1000) > m.compile_cost(10));
+        assert_eq!(m.compile_cost(0), m.base_ms);
+    }
+
+    #[test]
+    fn jvm_like_differs_from_sscli() {
+        let jvm = JitModel::jvm_like();
+        let sscli = JitModel::sscli_like();
+        // Small methods: the SSCLI's fixed JIT entry dominates.
+        assert!(jvm.compile_cost(10) < sscli.compile_cost(10));
+        // Large methods: the optimizing compile costs more per op.
+        assert!(jvm.compile_cost(1000) > sscli.compile_cost(1000));
+    }
+
+    #[test]
+    fn precompiled_model_is_free() {
+        let mut jit = JitState::new(JitModel::precompiled());
+        assert_eq!(jit.invoke("anything", 10_000), 0.0);
+    }
+
+    #[test]
+    fn reset_recools() {
+        let mut jit = JitState::new(JitModel::sscli_like());
+        jit.invoke("m", 50);
+        jit.reset();
+        assert!(!jit.is_warm("m"));
+        assert!(jit.invoke("m", 50) > 0.0);
+    }
+
+    #[test]
+    fn cold_method_reports() {
+        let jit = JitState::new(JitModel::default());
+        assert!(!jit.is_warm("never"));
+        assert_eq!(jit.calls("never"), 0);
+    }
+}

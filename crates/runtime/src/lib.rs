@@ -1,0 +1,52 @@
+//! # clio-runtime — a CLI/SSCLI emulation layer
+//!
+//! The paper benchmarks I/O *through* the Common Language
+//! Infrastructure: managed code, JIT-compiled on first call, performing
+//! file I/O through managed stream classes. Two CLI-specific effects
+//! show up in its measurements:
+//!
+//! 1. **JIT warmup** — "there is a delay caused by the JIT compiler when
+//!    the web server is handling the first read or write request …
+//!    functions are compiled only when they are required", and
+//! 2. **managed stream overhead** — every I/O call crosses the managed
+//!    dispatch boundary before reaching the OS buffers.
+//!
+//! The SSCLI itself is not portable (or available), so this crate
+//! rebuilds the relevant mechanisms:
+//!
+//! - [`vm`] — a small stack-machine bytecode interpreter with a static
+//!   verifier (the "virtual execution system" of the CLI spec: verified
+//!   managed code, explicit operand stack, method table),
+//! - [`jit`] — a first-call compilation cost model with per-method
+//!   caching (warm methods never pay again),
+//! - [`gc`] — a generational stop-the-world collector pause model
+//!   (allocation-driven minors and majors),
+//! - [`stream`] — a managed-FileStream analog whose operation costs
+//!   combine JIT charges, managed dispatch overhead and the buffer
+//!   cache from [`clio_cache`].
+//!
+//! ```
+//! use clio_runtime::vm::{Assembly, Method, Op, Vm};
+//!
+//! let asm = Assembly::new(vec![Method {
+//!     name: "add".into(),
+//!     n_locals: 0,
+//!     code: vec![Op::PushI(2), Op::PushI(40), Op::Add, Op::Ret],
+//! }]);
+//! let mut vm = Vm::new();
+//! assert_eq!(vm.execute(&asm, 0, &[]).unwrap(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gc;
+pub mod jit;
+pub mod loader;
+pub mod stream;
+pub mod vm;
+
+pub use gc::{GcModel, GcState, GcStats};
+pub use jit::{JitModel, JitState};
+pub use loader::assemble;
+pub use stream::{ManagedIo, StreamOp};
+pub use vm::{Assembly, IoCtx, Method, Op, Vm, VmError};

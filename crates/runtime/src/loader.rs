@@ -1,0 +1,358 @@
+//! A text assembler for the managed bytecode.
+//!
+//! The CLI ships an assembler (`ilasm`) so tools and tests can author
+//! managed methods without a compiler; this is its miniature: a
+//! line-oriented syntax assembled in two passes (label collection, then
+//! encoding), producing an [`Assembly`] ready for verification and
+//! execution.
+//!
+//! ```text
+//! .method sum_to 2        ; name, number of local slots
+//!     push 10
+//!     store 0
+//! loop:
+//!     load 1
+//!     load 0
+//!     add
+//!     store 1
+//!     load 0
+//!     push 1
+//!     sub
+//!     store 0
+//!     load 0
+//!     jz done
+//!     jmp loop
+//! done:
+//!     load 1
+//!     ret
+//! .end
+//! ```
+//!
+//! `call` takes a method *name*; forward references are resolved after
+//! all methods are parsed.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::vm::{Assembly, Method, Op};
+
+/// Assembly-time failures, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Offending line (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, reason: impl Into<String>) -> AsmError {
+    AsmError { line, reason: reason.into() }
+}
+
+/// An unresolved instruction: either a final op or a symbolic reference.
+enum Pending {
+    Done(Op),
+    Jump { mnemonic: &'static str, label: String, line: usize },
+    Call { name: String, line: usize },
+}
+
+struct PendingMethod {
+    name: String,
+    n_locals: u8,
+    code: Vec<Pending>,
+    labels: HashMap<String, usize>,
+    start_line: usize,
+}
+
+/// Assembles source text into an [`Assembly`].
+pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
+    let mut methods: Vec<PendingMethod> = Vec::new();
+    let mut current: Option<PendingMethod> = None;
+
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix(".method") {
+            if current.is_some() {
+                return Err(err(line_no, "nested .method"));
+            }
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| err(line_no, ".method needs a name"))?;
+            let n_locals: u8 = it
+                .next()
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| err(line_no, "bad local count"))?;
+            current = Some(PendingMethod {
+                name: name.to_string(),
+                n_locals,
+                code: Vec::new(),
+                labels: HashMap::new(),
+                start_line: line_no,
+            });
+            continue;
+        }
+        if line == ".end" {
+            let m = current.take().ok_or_else(|| err(line_no, ".end without .method"))?;
+            methods.push(m);
+            continue;
+        }
+
+        let m = current.as_mut().ok_or_else(|| err(line_no, "instruction outside .method"))?;
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, "malformed label"));
+            }
+            if m.labels.insert(label.to_string(), m.code.len()).is_some() {
+                return Err(err(line_no, format!("duplicate label {label:?}")));
+            }
+            continue;
+        }
+
+        let mut it = line.split_whitespace();
+        let mnemonic = it.next().expect("non-empty line");
+        let operand = it.next();
+        if it.next().is_some() {
+            return Err(err(line_no, "trailing tokens"));
+        }
+        let need = |what: &str| -> Result<&str, AsmError> {
+            operand.ok_or_else(|| err(line_no, format!("{mnemonic} needs {what}")))
+        };
+        let none = |op: Op| -> Result<Pending, AsmError> {
+            if operand.is_some() {
+                Err(err(line_no, format!("{mnemonic} takes no operand")))
+            } else {
+                Ok(Pending::Done(op))
+            }
+        };
+
+        let pending = match mnemonic {
+            "push" => Pending::Done(Op::PushI(
+                need("an integer")?.parse().map_err(|_| err(line_no, "bad integer"))?,
+            )),
+            "add" => none(Op::Add)?,
+            "sub" => none(Op::Sub)?,
+            "mul" => none(Op::Mul)?,
+            "div" => none(Op::Div)?,
+            "rem" => none(Op::Rem)?,
+            "neg" => none(Op::Neg)?,
+            "clt" => none(Op::CmpLt)?,
+            "ceq" => none(Op::CmpEq)?,
+            "io.open" => none(Op::IoOpen)?,
+            "io.close" => none(Op::IoClose)?,
+            "io.read" => none(Op::IoRead)?,
+            "io.write" => none(Op::IoWrite)?,
+            "dup" => none(Op::Dup)?,
+            "pop" => none(Op::Pop)?,
+            "ret" => none(Op::Ret)?,
+            "load" => Pending::Done(Op::Load(
+                need("a slot")?.parse().map_err(|_| err(line_no, "bad slot"))?,
+            )),
+            "store" => Pending::Done(Op::Store(
+                need("a slot")?.parse().map_err(|_| err(line_no, "bad slot"))?,
+            )),
+            "jz" => Pending::Jump { mnemonic: "jz", label: need("a label")?.to_string(), line: line_no },
+            "jmp" => Pending::Jump { mnemonic: "jmp", label: need("a label")?.to_string(), line: line_no },
+            "call" => Pending::Call { name: need("a method name")?.to_string(), line: line_no },
+            other => return Err(err(line_no, format!("unknown mnemonic {other:?}"))),
+        };
+        m.code.push(pending);
+    }
+
+    if let Some(m) = current {
+        return Err(err(m.start_line, format!("method {:?} missing .end", m.name)));
+    }
+
+    // Pass 2: resolve labels and calls.
+    let name_index: HashMap<String, u16> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.clone(), i as u16))
+        .collect();
+    if name_index.len() != methods.len() {
+        return Err(err(0, "duplicate method names"));
+    }
+
+    let mut out = Vec::with_capacity(methods.len());
+    for m in methods {
+        let mut code = Vec::with_capacity(m.code.len());
+        for (pc, pending) in m.code.into_iter().enumerate() {
+            let op = match pending {
+                Pending::Done(op) => op,
+                Pending::Jump { mnemonic, label, line } => {
+                    let &target = m
+                        .labels
+                        .get(&label)
+                        .ok_or_else(|| err(line, format!("unknown label {label:?}")))?;
+                    let delta = target as i64 - pc as i64 - 1;
+                    let delta = i32::try_from(delta)
+                        .map_err(|_| err(line, "jump distance overflow"))?;
+                    if mnemonic == "jz" {
+                        Op::Jz(delta)
+                    } else {
+                        Op::Jmp(delta)
+                    }
+                }
+                Pending::Call { name, line } => {
+                    let &idx = name_index
+                        .get(&name)
+                        .ok_or_else(|| err(line, format!("unknown method {name:?}")))?;
+                    Op::Call(idx)
+                }
+            };
+            code.push(op);
+        }
+        out.push(Method { name: m.name, n_locals: m.n_locals, code });
+    }
+    Ok(Assembly::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Vm, VmError};
+
+    #[test]
+    fn assemble_and_run_arithmetic() {
+        let asm = assemble(
+            ".method calc 0\n push 6\n push 7\n mul\n ret\n.end\n",
+        )
+        .unwrap();
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 42);
+    }
+
+    #[test]
+    fn loop_with_labels() {
+        let src = r"
+.method sum_to 2
+    push 10
+    store 0
+loop:
+    load 1
+    load 0
+    add
+    store 1
+    load 0
+    push 1
+    sub
+    store 0
+    load 0
+    jz done
+    jmp loop
+done:
+    load 1
+    ret
+.end
+";
+        let asm = assemble(src).unwrap();
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 55);
+    }
+
+    #[test]
+    fn cross_method_calls_resolve_by_name() {
+        let src = r"
+.method main 0
+    call answer   ; forward reference
+    push 2
+    mul
+    ret
+.end
+.method answer 0
+    push 21
+    ret
+.end
+";
+        let asm = assemble(src).unwrap();
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 42);
+        assert_eq!(asm.find("answer"), Some(1));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let asm = assemble("; header\n\n.method m 0 ; trailing\n push 1 ; operand\n ret\n.end\n").unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".method m 0\n bogus\n ret\n.end\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble(".method m 0\n jmp nowhere\n ret\n.end\n").unwrap_err();
+        assert!(e.reason.contains("unknown label"));
+
+        let e = assemble(".method m 0\n call ghost\n ret\n.end\n").unwrap_err();
+        assert!(e.reason.contains("unknown method"));
+
+        let e = assemble("push 1\n").unwrap_err();
+        assert!(e.reason.contains("outside"));
+
+        let e = assemble(".method m 0\n push 1\n").unwrap_err();
+        assert!(e.reason.contains("missing .end"));
+
+        let e = assemble(".method m 0\n.method n 0\n.end\n").unwrap_err();
+        assert!(e.reason.contains("nested"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble(".method m 0\nx:\nx:\n push 1\n ret\n.end\n").unwrap_err();
+        assert!(e.reason.contains("duplicate label"));
+    }
+
+    #[test]
+    fn operand_arity_checked() {
+        assert!(assemble(".method m 0\n push\n ret\n.end\n").is_err());
+        assert!(assemble(".method m 0\n add 3\n ret\n.end\n").is_err());
+        assert!(assemble(".method m 0\n push 1 2\n ret\n.end\n").is_err());
+    }
+
+    #[test]
+    fn comparison_and_rem_mnemonics() {
+        let asm = assemble(
+            ".method m 0\n push 17\n push 5\n rem\n push 2\n clt\n ret\n.end\n",
+        )
+        .unwrap();
+        asm.verify().unwrap();
+        // 17 % 5 = 2; 2 < 2 = 0.
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 0);
+        let asm = assemble(".method m 0\n push 3\n neg\n push -3\n ceq\n ret\n.end\n").unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn io_mnemonics_assemble_and_verify() {
+        let src = ".method handler 0\n io.open\n pop\n push 0\n push 4096\n io.read\n pop\n io.close\n ret\n.end\n";
+        let asm = assemble(src).unwrap();
+        asm.verify().unwrap();
+        // Without an I/O context the opcode must fail cleanly.
+        assert!(matches!(
+            Vm::new().execute(&asm, 0, &[]),
+            Err(VmError::NoIoContext { .. })
+        ));
+    }
+
+    #[test]
+    fn assembled_code_passes_or_fails_verification_correctly() {
+        // Underflow is caught by the verifier, not the assembler.
+        let asm = assemble(".method bad 0\n add\n ret\n.end\n").unwrap();
+        assert!(matches!(asm.verify(), Err(VmError::StackUnderflow { .. })));
+    }
+}

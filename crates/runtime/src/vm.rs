@@ -1,0 +1,845 @@
+//! A verified stack-machine bytecode interpreter.
+//!
+//! The CLI's virtual execution system loads *verifiable* bytecode:
+//! before a method runs, the loader proves its operand stack is used
+//! consistently (no underflow, no unbalanced branches, valid jump
+//! targets). This module implements that pipeline in miniature: an
+//! [`Assembly`] of [`Method`]s is verified at load ([`Assembly::new`]
+//! panics on malformed code only at execution, [`Assembly::verify`]
+//! reports statically) and executed by [`Vm::execute`] with a fuel
+//! limit standing in for the host's scheduling quantum.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use clio_cache::page::FileId;
+
+use crate::stream::ManagedIo;
+
+/// Bytecode operations (a CIL-flavoured subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push an integer constant.
+    PushI(i64),
+    /// Pop two, push their sum.
+    Add,
+    /// Pop two, push `a - b` (b on top).
+    Sub,
+    /// Pop two, push their product.
+    Mul,
+    /// Pop two, push `a / b`; [`VmError::DivideByZero`] if `b = 0`.
+    Div,
+    /// Pop two, push `a % b`; [`VmError::DivideByZero`] if `b = 0`.
+    Rem,
+    /// Pop one, push its negation.
+    Neg,
+    /// Pop two, push 1 if `a < b` else 0 (b on top).
+    CmpLt,
+    /// Pop two, push 1 if `a == b` else 0.
+    CmpEq,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Push local slot `n`.
+    Load(u8),
+    /// Pop into local slot `n`.
+    Store(u8),
+    /// Relative jump if the popped value is zero.
+    Jz(i32),
+    /// Unconditional relative jump.
+    Jmp(i32),
+    /// Call method `m` of the assembly; its result is pushed.
+    Call(u16),
+    /// Return the top of stack from the current method.
+    Ret,
+    /// Open the bound file through the managed I/O context; pushes the
+    /// operation's cost in nanoseconds. Requires
+    /// [`Vm::execute_with_io`].
+    IoOpen,
+    /// Close the bound file; pushes the cost in nanoseconds.
+    IoClose,
+    /// Pop `len`, pop `offset`, read through the managed stream; pushes
+    /// the cost in nanoseconds.
+    IoRead,
+    /// Pop `len`, pop `offset`, write through the managed stream;
+    /// pushes the cost in nanoseconds.
+    IoWrite,
+}
+
+/// One managed method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// Symbolic name (diagnostics and the JIT cache key).
+    pub name: String,
+    /// Number of local slots.
+    pub n_locals: u8,
+    /// The body.
+    pub code: Vec<Op>,
+}
+
+/// A loaded set of methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assembly {
+    methods: Vec<Method>,
+}
+
+/// Execution and verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// An operand was required but the stack was empty.
+    StackUnderflow {
+        /// Method where it happened.
+        method: String,
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Integer division by zero.
+    DivideByZero {
+        /// Method where it happened.
+        method: String,
+    },
+    /// A jump left the method body.
+    JumpOutOfBounds {
+        /// Method where it happened.
+        method: String,
+        /// The computed target.
+        target: i64,
+    },
+    /// `Call` referenced a method index that does not exist.
+    NoSuchMethod(u16),
+    /// Local slot index exceeded `n_locals`.
+    BadLocal {
+        /// Method where it happened.
+        method: String,
+        /// The slot.
+        slot: u8,
+    },
+    /// Execution exceeded the fuel budget.
+    OutOfFuel,
+    /// A method body can fall off its end without `Ret`.
+    MissingReturn {
+        /// Offending method.
+        method: String,
+    },
+    /// An I/O opcode executed without a managed I/O context (use
+    /// [`Vm::execute_with_io`]).
+    NoIoContext {
+        /// Method where it happened.
+        method: String,
+    },
+    /// Static verification found inconsistent stack depths at a join.
+    InconsistentStack {
+        /// Offending method.
+        method: String,
+        /// Instruction index of the join.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow { method, pc } => {
+                write!(f, "stack underflow in {method} at {pc}")
+            }
+            VmError::DivideByZero { method } => write!(f, "divide by zero in {method}"),
+            VmError::JumpOutOfBounds { method, target } => {
+                write!(f, "jump to {target} outside {method}")
+            }
+            VmError::NoSuchMethod(m) => write!(f, "no method #{m}"),
+            VmError::BadLocal { method, slot } => write!(f, "bad local {slot} in {method}"),
+            VmError::OutOfFuel => write!(f, "fuel exhausted"),
+            VmError::NoIoContext { method } => {
+                write!(f, "I/O opcode in {method} without an I/O context")
+            }
+            VmError::MissingReturn { method } => write!(f, "{method} can fall off its end"),
+            VmError::InconsistentStack { method, pc } => {
+                write!(f, "inconsistent stack depth at join {pc} in {method}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl Assembly {
+    /// Loads an assembly (verification is separate; see [`verify`]).
+    ///
+    /// [`verify`]: Assembly::verify
+    pub fn new(methods: Vec<Method>) -> Self {
+        Self { methods }
+    }
+
+    /// The method table.
+    pub fn methods(&self) -> &[Method] {
+        &self.methods
+    }
+
+    /// Looks a method up by name.
+    pub fn find(&self, name: &str) -> Option<u16> {
+        self.methods.iter().position(|m| m.name == name).map(|i| i as u16)
+    }
+
+    /// Statically verifies every method: jump targets in bounds, local
+    /// slots valid, call targets present, no stack underflow on any
+    /// path, consistent stack depth at joins, and no falling off the
+    /// end. This is the CLI's "verifiable code" gate.
+    pub fn verify(&self) -> Result<(), VmError> {
+        for m in &self.methods {
+            self.verify_method(m)?;
+        }
+        Ok(())
+    }
+
+    fn verify_method(&self, m: &Method) -> Result<(), VmError> {
+        let n = m.code.len();
+        if n == 0 {
+            return Err(VmError::MissingReturn { method: m.name.clone() });
+        }
+        // Abstract interpretation over stack depth with a worklist.
+        let mut depth_at: Vec<Option<i64>> = vec![None; n];
+        let mut work: VecDeque<(usize, i64)> = VecDeque::new();
+        work.push_back((0, 0));
+
+        let jump_target = |pc: usize, delta: i32| -> Result<usize, VmError> {
+            let target = pc as i64 + 1 + delta as i64;
+            if target < 0 || target as usize >= n {
+                return Err(VmError::JumpOutOfBounds { method: m.name.clone(), target });
+            }
+            Ok(target as usize)
+        };
+
+        while let Some((pc, depth)) = work.pop_front() {
+            match depth_at[pc] {
+                Some(d) if d == depth => continue,
+                Some(_) => {
+                    return Err(VmError::InconsistentStack { method: m.name.clone(), pc })
+                }
+                None => depth_at[pc] = Some(depth),
+            }
+            let underflow = |need: i64| -> Result<(), VmError> {
+                if depth < need {
+                    Err(VmError::StackUnderflow { method: m.name.clone(), pc })
+                } else {
+                    Ok(())
+                }
+            };
+            let push_next = |target: usize, d: i64, work: &mut VecDeque<(usize, i64)>| {
+                if target >= n {
+                    return Err(VmError::MissingReturn { method: m.name.clone() });
+                }
+                work.push_back((target, d));
+                Ok(())
+            };
+            match m.code[pc] {
+                Op::PushI(_) => push_next(pc + 1, depth + 1, &mut work)?,
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::CmpLt | Op::CmpEq => {
+                    underflow(2)?;
+                    push_next(pc + 1, depth - 1, &mut work)?;
+                }
+                Op::Neg => {
+                    underflow(1)?;
+                    push_next(pc + 1, depth, &mut work)?;
+                }
+                Op::IoOpen | Op::IoClose => push_next(pc + 1, depth + 1, &mut work)?,
+                Op::IoRead | Op::IoWrite => {
+                    underflow(2)?;
+                    push_next(pc + 1, depth - 1, &mut work)?;
+                }
+                Op::Dup => {
+                    underflow(1)?;
+                    push_next(pc + 1, depth + 1, &mut work)?;
+                }
+                Op::Pop => {
+                    underflow(1)?;
+                    push_next(pc + 1, depth - 1, &mut work)?;
+                }
+                Op::Load(slot) => {
+                    if slot >= m.n_locals {
+                        return Err(VmError::BadLocal { method: m.name.clone(), slot });
+                    }
+                    push_next(pc + 1, depth + 1, &mut work)?;
+                }
+                Op::Store(slot) => {
+                    if slot >= m.n_locals {
+                        return Err(VmError::BadLocal { method: m.name.clone(), slot });
+                    }
+                    underflow(1)?;
+                    push_next(pc + 1, depth - 1, &mut work)?;
+                }
+                Op::Jz(delta) => {
+                    underflow(1)?;
+                    let t = jump_target(pc, delta)?;
+                    push_next(t, depth - 1, &mut work)?;
+                    push_next(pc + 1, depth - 1, &mut work)?;
+                }
+                Op::Jmp(delta) => {
+                    let t = jump_target(pc, delta)?;
+                    push_next(t, depth, &mut work)?;
+                }
+                Op::Call(target) => {
+                    if target as usize >= self.methods.len() {
+                        return Err(VmError::NoSuchMethod(target));
+                    }
+                    push_next(pc + 1, depth + 1, &mut work)?;
+                }
+                Op::Ret => {
+                    underflow(1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A managed I/O binding for the I/O opcodes: the stream facade plus
+/// the file the method operates on.
+#[derive(Debug)]
+pub struct IoCtx<'a> {
+    /// The managed stream facade (cache + JIT + optional GC).
+    pub io: &'a mut ManagedIo,
+    /// The file every I/O opcode targets.
+    pub file: FileId,
+}
+
+/// The execution engine.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    fuel: u64,
+    executed: u64,
+}
+
+/// Default fuel budget per [`Vm::execute`].
+pub const DEFAULT_FUEL: u64 = 10_000_000;
+
+impl Vm {
+    /// Creates a VM with the default fuel budget.
+    pub fn new() -> Self {
+        Self { fuel: DEFAULT_FUEL, executed: 0 }
+    }
+
+    /// Creates a VM with a custom fuel budget.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Self { fuel, executed: 0 }
+    }
+
+    /// Instructions executed over the VM's lifetime.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Executes method `entry` with `args` preloaded into its first
+    /// local slots; returns the value left by `Ret`.
+    pub fn execute(&mut self, asm: &Assembly, entry: u16, args: &[i64]) -> Result<i64, VmError> {
+        let mut budget = self.fuel;
+        let r = self.run_method(asm, entry, args, &mut budget, 0, &mut None);
+        self.executed += self.fuel - budget;
+        r
+    }
+
+    /// Executes with a managed I/O context bound, enabling the
+    /// `io.open` / `io.close` / `io.read` / `io.write` opcodes. Each
+    /// I/O opcode is charged through `io` (JIT warmup for the executing
+    /// method, dispatch, GC, buffer cache) and pushes its cost in
+    /// nanoseconds, so managed programs can observe their own I/O
+    /// latency — the shape of the paper's micro benchmark.
+    pub fn execute_with_io(
+        &mut self,
+        asm: &Assembly,
+        entry: u16,
+        args: &[i64],
+        io: &mut ManagedIo,
+        file: FileId,
+    ) -> Result<i64, VmError> {
+        let mut budget = self.fuel;
+        let mut ctx = Some(IoCtx { io, file });
+        let r = self.run_method(asm, entry, args, &mut budget, 0, &mut ctx);
+        self.executed += self.fuel - budget;
+        r
+    }
+
+    fn run_method(
+        &self,
+        asm: &Assembly,
+        idx: u16,
+        args: &[i64],
+        budget: &mut u64,
+        depth: usize,
+        ioctx: &mut Option<IoCtx<'_>>,
+    ) -> Result<i64, VmError> {
+        if depth > 256 {
+            return Err(VmError::OutOfFuel); // recursion guard folds into fuel semantics
+        }
+        let m = asm
+            .methods
+            .get(idx as usize)
+            .ok_or(VmError::NoSuchMethod(idx))?;
+        let mut locals = vec![0i64; m.n_locals as usize];
+        for (slot, &a) in locals.iter_mut().zip(args) {
+            *slot = a;
+        }
+        let mut stack: Vec<i64> = Vec::with_capacity(16);
+        let mut pc: usize = 0;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or_else(|| VmError::StackUnderflow {
+                    method: m.name.clone(),
+                    pc,
+                })?
+            };
+        }
+
+        loop {
+            if *budget == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            *budget -= 1;
+            let Some(&op) = m.code.get(pc) else {
+                return Err(VmError::MissingReturn { method: m.name.clone() });
+            };
+            match op {
+                Op::PushI(v) => stack.push(v),
+                Op::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a.wrapping_add(b));
+                }
+                Op::Sub => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a.wrapping_sub(b));
+                }
+                Op::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a.wrapping_mul(b));
+                }
+                Op::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero { method: m.name.clone() });
+                    }
+                    stack.push(a.wrapping_div(b));
+                }
+                Op::Rem => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero { method: m.name.clone() });
+                    }
+                    stack.push(a.wrapping_rem(b));
+                }
+                Op::Neg => {
+                    let v = pop!();
+                    stack.push(v.wrapping_neg());
+                }
+                Op::CmpLt => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(i64::from(a < b));
+                }
+                Op::CmpEq => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(i64::from(a == b));
+                }
+                Op::IoOpen | Op::IoClose => {
+                    let ctx = ioctx.as_mut().ok_or_else(|| VmError::NoIoContext {
+                        method: m.name.clone(),
+                    })?;
+                    let op = if matches!(op, Op::IoOpen) {
+                        ctx.io.open(&m.name, m.code.len(), ctx.file)
+                    } else {
+                        ctx.io.close(&m.name, m.code.len(), ctx.file)
+                    };
+                    stack.push((op.cost_ms * 1e6) as i64);
+                }
+                Op::IoRead | Op::IoWrite => {
+                    let len = pop!();
+                    let offset = pop!();
+                    let ctx = ioctx.as_mut().ok_or_else(|| VmError::NoIoContext {
+                        method: m.name.clone(),
+                    })?;
+                    let (offset, len) = (offset.max(0) as u64, len.max(0) as u64);
+                    let op = if matches!(op, Op::IoRead) {
+                        ctx.io.read(&m.name, m.code.len(), ctx.file, offset, len)
+                    } else {
+                        ctx.io.write(&m.name, m.code.len(), ctx.file, offset, len)
+                    };
+                    stack.push((op.cost_ms * 1e6) as i64);
+                }
+                Op::Dup => {
+                    let v = pop!();
+                    stack.push(v);
+                    stack.push(v);
+                }
+                Op::Pop => {
+                    let _ = pop!();
+                }
+                Op::Load(slot) => {
+                    let v = *locals.get(slot as usize).ok_or(VmError::BadLocal {
+                        method: m.name.clone(),
+                        slot,
+                    })?;
+                    stack.push(v);
+                }
+                Op::Store(slot) => {
+                    let v = pop!();
+                    *locals.get_mut(slot as usize).ok_or(VmError::BadLocal {
+                        method: m.name.clone(),
+                        slot,
+                    })? = v;
+                }
+                Op::Jz(delta) => {
+                    let v = pop!();
+                    if v == 0 {
+                        pc = Self::target(m, pc, delta)?;
+                        continue;
+                    }
+                }
+                Op::Jmp(delta) => {
+                    pc = Self::target(m, pc, delta)?;
+                    continue;
+                }
+                Op::Call(callee) => {
+                    // Arguments are not implicitly passed; callees read
+                    // their own locals (CIL-lite convention for tests).
+                    let r = self.run_method(asm, callee, &[], budget, depth + 1, ioctx)?;
+                    stack.push(r);
+                }
+                Op::Ret => {
+                    return Ok(pop!());
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    fn target(m: &Method, pc: usize, delta: i32) -> Result<usize, VmError> {
+        let t = pc as i64 + 1 + delta as i64;
+        if t < 0 || t as usize >= m.code.len() {
+            return Err(VmError::JumpOutOfBounds { method: m.name.clone(), target: t });
+        }
+        Ok(t as usize)
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn method(name: &str, n_locals: u8, code: Vec<Op>) -> Method {
+        Method { name: name.into(), n_locals, code }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let asm = Assembly::new(vec![method(
+            "calc",
+            0,
+            vec![
+                Op::PushI(6),
+                Op::PushI(7),
+                Op::Mul, // 42
+                Op::PushI(2),
+                Op::Div, // 21
+                Op::PushI(1),
+                Op::Sub, // 20
+                Op::Ret,
+            ],
+        )]);
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 20);
+    }
+
+    #[test]
+    fn locals_and_loop_sum_1_to_10() {
+        // locals: 0 = i, 1 = acc
+        let asm = Assembly::new(vec![method(
+            "sum",
+            2,
+            vec![
+                Op::PushI(10),
+                Op::Store(0),
+                // loop: acc += i; i -= 1; if i != 0 goto loop
+                Op::Load(1),
+                Op::Load(0),
+                Op::Add,
+                Op::Store(1),
+                Op::Load(0),
+                Op::PushI(1),
+                Op::Sub,
+                Op::Store(0),
+                Op::Load(0),
+                Op::Jz(1),   // exit when i == 0
+                Op::Jmp(-11),
+                Op::Load(1),
+                Op::Ret,
+            ],
+        )]);
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 55);
+    }
+
+    #[test]
+    fn args_preload_locals() {
+        let asm = Assembly::new(vec![method(
+            "double",
+            1,
+            vec![Op::Load(0), Op::PushI(2), Op::Mul, Op::Ret],
+        )]);
+        assert_eq!(Vm::new().execute(&asm, 0, &[21]).unwrap(), 42);
+    }
+
+    #[test]
+    fn cross_method_call() {
+        let asm = Assembly::new(vec![
+            method("main", 0, vec![Op::Call(1), Op::PushI(2), Op::Mul, Op::Ret]),
+            method("answer", 0, vec![Op::PushI(21), Op::Ret]),
+        ]);
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 42);
+    }
+
+    #[test]
+    fn divide_by_zero() {
+        let asm = Assembly::new(vec![method(
+            "boom",
+            0,
+            vec![Op::PushI(1), Op::PushI(0), Op::Div, Op::Ret],
+        )]);
+        assert!(matches!(
+            Vm::new().execute(&asm, 0, &[]),
+            Err(VmError::DivideByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn fuel_exhaustion_on_infinite_loop() {
+        let asm = Assembly::new(vec![method("spin", 0, vec![Op::Jmp(-1)])]);
+        assert_eq!(Vm::with_fuel(1000).execute(&asm, 0, &[]), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn verifier_rejects_underflow() {
+        let asm = Assembly::new(vec![method("bad", 0, vec![Op::Add, Op::Ret])]);
+        assert!(matches!(asm.verify(), Err(VmError::StackUnderflow { .. })));
+    }
+
+    #[test]
+    fn verifier_rejects_bad_jump() {
+        let asm = Assembly::new(vec![method("bad", 0, vec![Op::Jmp(100), Op::PushI(0), Op::Ret])]);
+        assert!(matches!(asm.verify(), Err(VmError::JumpOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn verifier_rejects_bad_local() {
+        let asm = Assembly::new(vec![method("bad", 1, vec![Op::Load(5), Op::Ret])]);
+        assert!(matches!(asm.verify(), Err(VmError::BadLocal { slot: 5, .. })));
+    }
+
+    #[test]
+    fn verifier_rejects_missing_return() {
+        let asm = Assembly::new(vec![method("bad", 0, vec![Op::PushI(1), Op::Pop])]);
+        assert!(matches!(asm.verify(), Err(VmError::MissingReturn { .. })));
+        let empty = Assembly::new(vec![method("empty", 0, vec![])]);
+        assert!(matches!(empty.verify(), Err(VmError::MissingReturn { .. })));
+    }
+
+    #[test]
+    fn verifier_rejects_inconsistent_join() {
+        // One path reaches pc 3 with depth 1, the other with depth 2.
+        let asm = Assembly::new(vec![method(
+            "bad",
+            0,
+            vec![
+                Op::PushI(1),      // 0: depth 1
+                Op::Jz(1),         // 1: branch (depth 0 after pop)
+                Op::PushI(7),      // 2: fallthrough path: depth 1
+                Op::PushI(9),      // 3: join — taken path arrives depth 0, fallthrough depth 1
+                Op::Ret,
+            ],
+        )]);
+        assert!(matches!(asm.verify(), Err(VmError::InconsistentStack { .. })));
+    }
+
+    #[test]
+    fn verifier_rejects_missing_callee() {
+        let asm = Assembly::new(vec![method("bad", 0, vec![Op::Call(9), Op::Ret])]);
+        assert!(matches!(asm.verify(), Err(VmError::NoSuchMethod(9))));
+    }
+
+    #[test]
+    fn verifier_accepts_balanced_branches() {
+        let asm = Assembly::new(vec![method(
+            "ok",
+            1,
+            vec![
+                Op::Load(0),
+                Op::Jz(2),          // if x == 0 -> push 100 path
+                Op::PushI(1),
+                Op::Jmp(1),
+                Op::PushI(100),
+                Op::Ret,
+            ],
+        )]);
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[0]).unwrap(), 100);
+        assert_eq!(Vm::new().execute(&asm, 0, &[5]).unwrap(), 1);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let asm = Assembly::new(vec![
+            method("a", 0, vec![Op::PushI(0), Op::Ret]),
+            method("b", 0, vec![Op::PushI(1), Op::Ret]),
+        ]);
+        assert_eq!(asm.find("b"), Some(1));
+        assert_eq!(asm.find("zzz"), None);
+    }
+
+    #[test]
+    fn rem_and_neg() {
+        let asm = Assembly::new(vec![method(
+            "m",
+            0,
+            vec![Op::PushI(17), Op::PushI(5), Op::Rem, Op::Neg, Op::Ret],
+        )]);
+        asm.verify().unwrap();
+        assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), -2);
+    }
+
+    #[test]
+    fn rem_by_zero_is_divide_by_zero() {
+        let asm = Assembly::new(vec![method(
+            "m",
+            0,
+            vec![Op::PushI(1), Op::PushI(0), Op::Rem, Op::Ret],
+        )]);
+        assert!(matches!(
+            Vm::new().execute(&asm, 0, &[]),
+            Err(VmError::DivideByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn comparisons_yield_zero_or_one() {
+        let lt = |a: i64, b: i64| {
+            let asm = Assembly::new(vec![method(
+                "m",
+                0,
+                vec![Op::PushI(a), Op::PushI(b), Op::CmpLt, Op::Ret],
+            )]);
+            Vm::new().execute(&asm, 0, &[]).unwrap()
+        };
+        assert_eq!(lt(1, 2), 1);
+        assert_eq!(lt(2, 1), 0);
+        assert_eq!(lt(2, 2), 0);
+        let eq = |a: i64, b: i64| {
+            let asm = Assembly::new(vec![method(
+                "m",
+                0,
+                vec![Op::PushI(a), Op::PushI(b), Op::CmpEq, Op::Ret],
+            )]);
+            Vm::new().execute(&asm, 0, &[]).unwrap()
+        };
+        assert_eq!(eq(7, 7), 1);
+        assert_eq!(eq(7, 8), 0);
+    }
+
+    #[test]
+    fn verifier_checks_new_opcodes() {
+        // CmpLt needs two operands.
+        let asm = Assembly::new(vec![method("bad", 0, vec![Op::PushI(1), Op::CmpLt, Op::Ret])]);
+        assert!(matches!(asm.verify(), Err(VmError::StackUnderflow { .. })));
+        // IoRead needs two operands.
+        let asm = Assembly::new(vec![method("bad", 0, vec![Op::PushI(1), Op::IoRead, Op::Ret])]);
+        assert!(matches!(asm.verify(), Err(VmError::StackUnderflow { .. })));
+        // Balanced I/O sequence verifies.
+        let asm = Assembly::new(vec![method(
+            "ok",
+            0,
+            vec![
+                Op::IoOpen,
+                Op::Pop,
+                Op::PushI(0),
+                Op::PushI(4096),
+                Op::IoRead,
+                Op::Ret,
+            ],
+        )]);
+        asm.verify().unwrap();
+    }
+
+    #[test]
+    fn io_opcodes_require_context() {
+        let asm = Assembly::new(vec![method("m", 0, vec![Op::IoOpen, Op::Ret])]);
+        assert!(matches!(
+            Vm::new().execute(&asm, 0, &[]),
+            Err(VmError::NoIoContext { .. })
+        ));
+    }
+
+    #[test]
+    fn managed_io_program_observes_jit_and_cache_warmth() {
+        use crate::jit::JitModel;
+        use clio_cache::cache::CacheConfig;
+
+        // handler: read 14063 bytes at offset 0, return the cost (ns).
+        // No open/close around it — closing evicts the file's pages,
+        // which is exactly what the warm-read comparison must avoid,
+        // and the read being the first I/O op makes it carry the JIT
+        // charge.
+        let asm = Assembly::new(vec![method(
+            "handler",
+            0,
+            vec![Op::PushI(0), Op::PushI(14_063), Op::IoRead, Op::Ret],
+        )]);
+        asm.verify().unwrap();
+        let mut io = ManagedIo::new(CacheConfig::default(), JitModel::sscli_like());
+        let file = io.register_file("img.jpg");
+        let mut vm = Vm::new();
+        let first = vm.execute_with_io(&asm, 0, &[], &mut io, file).unwrap();
+        let warm = vm.execute_with_io(&asm, 0, &[], &mut io, file).unwrap();
+        assert!(first > 0 && warm > 0);
+        assert!(
+            first > 2 * warm,
+            "first read (JIT + cold cache) must dominate: {first} vs {warm} ns"
+        );
+        assert!(io.is_warm("handler"));
+    }
+
+    #[test]
+    fn io_context_reaches_callees() {
+        use crate::jit::JitModel;
+        use clio_cache::cache::CacheConfig;
+
+        let asm = Assembly::new(vec![
+            method("main", 0, vec![Op::Call(1), Op::Ret]),
+            method("leaf", 0, vec![Op::PushI(0), Op::PushI(100), Op::IoRead, Op::Ret]),
+        ]);
+        asm.verify().unwrap();
+        let mut io = ManagedIo::new(CacheConfig::default(), JitModel::precompiled());
+        let file = io.register_file("f");
+        let cost = Vm::new().execute_with_io(&asm, 0, &[], &mut io, file).unwrap();
+        assert!(cost > 0, "callee performed I/O through the inherited context");
+    }
+
+    #[test]
+    fn executed_counter_accumulates() {
+        let asm = Assembly::new(vec![method("two", 0, vec![Op::PushI(2), Op::Ret])]);
+        let mut vm = Vm::new();
+        vm.execute(&asm, 0, &[]).unwrap();
+        vm.execute(&asm, 0, &[]).unwrap();
+        assert_eq!(vm.executed(), 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! The discrete-event engine.
+//!
+//! A minimal but complete event-driven scheduler: events are closures
+//! over a user-supplied world state `W`, keyed by [`SimTime`] with a
+//! monotone sequence number as the deterministic FIFO tie-breaker
+//! (simultaneous events fire in scheduling order, so runs are exactly
+//! reproducible).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type Action<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// An event-driven simulation engine over world state `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with an empty queue at time zero.
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO, seq: 0, processed: 0, queue: BinaryHeap::new() }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — causality violations
+    /// are modeling bugs, not recoverable conditions.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine<W>, &mut W) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time: at, seq, action: Box::new(action) }));
+    }
+
+    /// Schedules `action` to run `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, action: impl FnOnce(&mut Engine<W>, &mut W) + 'static) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Runs until the queue drains; returns the final simulated time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "event queue emitted a past event");
+            self.now = ev.time;
+            self.processed += 1;
+            (ev.action)(self, world);
+        }
+        self.now
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`;
+    /// events strictly after the deadline stay queued. Returns `true`
+    /// if the queue drained.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => return true,
+                Some(Reverse(ev)) if ev.time > deadline => return false,
+                _ => {}
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            self.processed += 1;
+            (ev.action)(self, world);
+        }
+    }
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::new(3.0), |_, w| w.push(3));
+        eng.schedule_at(SimTime::new(1.0), |_, w| w.push(1));
+        eng.schedule_at(SimTime::new(2.0), |_, w| w.push(2));
+        let mut world = Vec::new();
+        let end = eng.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(end, SimTime::new(3.0));
+        assert_eq!(eng.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_at(SimTime::new(5.0), move |_, w| w.push(i));
+        }
+        let mut world = Vec::new();
+        eng.run(&mut world);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<Vec<f64>> = Engine::new();
+        eng.schedule_in(1.0, |eng, w| {
+            w.push(eng.now().seconds());
+            eng.schedule_in(2.0, |eng, w| w.push(eng.now().seconds()));
+        });
+        let mut world = Vec::new();
+        eng.run(&mut world);
+        assert_eq!(world, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule_in(5.0, |eng, _| {
+            eng.schedule_at(SimTime::new(1.0), |_, _| {});
+        });
+        eng.run(&mut ());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::new(1.0), |_, w| w.push(1));
+        eng.schedule_at(SimTime::new(10.0), |_, w| w.push(10));
+        let mut world = Vec::new();
+        let drained = eng.run_until(&mut world, SimTime::new(5.0));
+        assert!(!drained);
+        assert_eq!(world, vec![1]);
+        assert_eq!(eng.pending(), 1);
+        // Resume to the end.
+        assert!(eng.run_until(&mut world, SimTime::new(100.0)));
+        assert_eq!(world, vec![1, 10]);
+    }
+
+    #[test]
+    fn empty_run_returns_zero() {
+        let mut eng: Engine<()> = Engine::default();
+        assert_eq!(eng.run(&mut ()), SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadline_inclusive() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::new(5.0), |_, w| w.push(5));
+        let mut w = Vec::new();
+        assert!(eng.run_until(&mut w, SimTime::new(5.0)));
+        assert_eq!(w, vec![5]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Machine configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::DiskModel;
+use crate::network::NetworkModel;
+
+/// Configuration of a simulated machine: a CPU pool, a striped disk
+/// array and an interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of CPUs in the pool.
+    pub cpus: usize,
+    /// Number of disks in the striped array.
+    pub disks: usize,
+    /// Per-disk service model.
+    pub disk_model: DiskModel,
+    /// Stripe unit in bytes.
+    pub stripe_unit: u64,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// CPU scheduling quantum in seconds — the granularity at which a
+    /// divisible CPU burst is spread over the pool.
+    pub cpu_quantum: f64,
+    /// Bytes of I/O represented by one second of modeled disk-burst
+    /// time on the baseline machine. The behavioral model expresses I/O
+    /// demand in seconds; this rate converts it back to a byte volume so
+    /// striping and per-chunk positioning can be simulated faithfully.
+    pub io_demand_rate: f64,
+}
+
+impl MachineConfig {
+    /// The baseline the paper's speedup figures normalize against:
+    /// one CPU, one disk.
+    pub fn uniprocessor() -> Self {
+        let disk_model = DiskModel::commodity_2003();
+        Self {
+            cpus: 1,
+            disks: 1,
+            // Effective sequential rate of the baseline disk.
+            io_demand_rate: disk_model.transfer_rate,
+            disk_model,
+            stripe_unit: 64 * 1024,
+            network: NetworkModel::lan_2003(),
+            cpu_quantum: 10e-3,
+        }
+    }
+
+    /// The uniprocessor baseline with `n` disks.
+    pub fn with_disks(n: usize) -> Self {
+        Self { disks: n, ..Self::uniprocessor() }
+    }
+
+    /// The uniprocessor baseline with `n` CPUs.
+    pub fn with_cpus(n: usize) -> Self {
+        Self { cpus: n, ..Self::uniprocessor() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpus == 0 {
+            return Err("machine needs at least one CPU".into());
+        }
+        if self.disks == 0 {
+            return Err("machine needs at least one disk".into());
+        }
+        if self.stripe_unit == 0 {
+            return Err("stripe unit must be positive".into());
+        }
+        if !(self.cpu_quantum > 0.0 && self.cpu_quantum.is_finite()) {
+            return Err(format!("invalid CPU quantum {}", self.cpu_quantum));
+        }
+        if !(self.io_demand_rate > 0.0 && self.io_demand_rate.is_finite()) {
+            return Err(format!("invalid I/O demand rate {}", self.io_demand_rate));
+        }
+        self.disk_model.validate()?;
+        self.network.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::uniprocessor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid() {
+        assert!(MachineConfig::uniprocessor().validate().is_ok());
+        assert_eq!(MachineConfig::uniprocessor().cpus, 1);
+        assert_eq!(MachineConfig::uniprocessor().disks, 1);
+    }
+
+    #[test]
+    fn with_disks_and_cpus() {
+        assert_eq!(MachineConfig::with_disks(8).disks, 8);
+        assert_eq!(MachineConfig::with_disks(8).cpus, 1);
+        assert_eq!(MachineConfig::with_cpus(16).cpus, 16);
+        assert_eq!(MachineConfig::with_cpus(16).disks, 1);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        assert!(MachineConfig { cpus: 0, ..MachineConfig::uniprocessor() }.validate().is_err());
+        assert!(MachineConfig { disks: 0, ..MachineConfig::uniprocessor() }.validate().is_err());
+        assert!(MachineConfig { stripe_unit: 0, ..MachineConfig::uniprocessor() }.validate().is_err());
+        assert!(MachineConfig { cpu_quantum: 0.0, ..MachineConfig::uniprocessor() }.validate().is_err());
+        assert!(
+            MachineConfig { io_demand_rate: -1.0, ..MachineConfig::uniprocessor() }.validate().is_err()
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = MachineConfig::with_disks(4);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

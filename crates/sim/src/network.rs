@@ -1,0 +1,79 @@
+//! Interconnect service model.
+//!
+//! The behavioral model gives each phase's communication burst as a
+//! duration, so the network's job in the simulator is contention, not
+//! bandwidth arithmetic: concurrent bursts from different programs share
+//! a fixed number of channels FCFS. A latency floor models per-message
+//! overhead (QCRD itself has `γ = 0` everywhere, but Fig. 1-style
+//! workloads and the synthesized communication-bound classes exercise
+//! this path).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Number of independent channels (parallel transfers).
+    pub channels: usize,
+    /// Per-burst latency floor in seconds (message setup cost).
+    pub latency: f64,
+}
+
+impl NetworkModel {
+    /// A switched-Ethernet-like interconnect: one channel per node pair
+    /// is abstracted as 4 shared channels, 0.1 ms setup.
+    pub fn lan_2003() -> Self {
+        Self { channels: 4, latency: 1e-4 }
+    }
+
+    /// Effective service time for a communication burst of modeled
+    /// duration `burst`: the burst time plus the latency floor.
+    pub fn service_time(&self, burst: f64) -> f64 {
+        if burst <= 0.0 {
+            0.0
+        } else {
+            self.latency + burst
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("network needs at least one channel".into());
+        }
+        if !(self.latency >= 0.0 && self.latency.is_finite()) {
+            return Err(format!("invalid latency {}", self.latency));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::lan_2003()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_burst_is_free() {
+        assert_eq!(NetworkModel::lan_2003().service_time(0.0), 0.0);
+    }
+
+    #[test]
+    fn latency_floor_added() {
+        let n = NetworkModel::lan_2003();
+        assert!((n.service_time(1.0) - 1.0001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(NetworkModel::lan_2003().validate().is_ok());
+        assert!(NetworkModel { channels: 0, latency: 0.0 }.validate().is_err());
+        assert!(NetworkModel { channels: 1, latency: -1.0 }.validate().is_err());
+        assert!(NetworkModel { channels: 1, latency: f64::NAN }.validate().is_err());
+    }
+}

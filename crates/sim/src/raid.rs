@@ -1,0 +1,425 @@
+//! RAID layout mapping and analytic service models.
+//!
+//! Figure 4 sweeps the number of disks under the QCRD application; the
+//! baseline array is a plain stripe ([`crate::disk::stripe_plan`],
+//! i.e. RAID-0). This module generalizes the array into the classic
+//! redundancy levels so the disk-count sweep can be ablated against
+//! layouts that trade bandwidth for fault tolerance:
+//!
+//! - **RAID-0** — striping, no redundancy: full aggregate bandwidth,
+//! - **RAID-1** — mirroring: reads balance across replicas, writes pay
+//!   every replica,
+//! - **RAID-5** — rotating parity (left-symmetric): reads behave like a
+//!   stripe over `n` disks, small writes pay the read-modify-write
+//!   penalty of four device operations.
+//!
+//! Mapping is done at *stripe-unit* granularity: logical unit `u` maps
+//! to a `(disk, row)` slot. Property tests pin the layout invariants —
+//! the map is injective, data never collides with its row's parity, and
+//! parity rotates evenly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::DiskModel;
+
+/// The redundancy scheme of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaidLevel {
+    /// Striping without redundancy.
+    Raid0,
+    /// Mirroring: every disk holds a full copy.
+    Raid1,
+    /// Block-interleaved rotating parity (left-symmetric layout).
+    Raid5,
+}
+
+impl RaidLevel {
+    /// All levels, in ablation order.
+    pub const ALL: [RaidLevel; 3] = [RaidLevel::Raid0, RaidLevel::Raid1, RaidLevel::Raid5];
+
+    /// Display name for bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            RaidLevel::Raid0 => "RAID-0",
+            RaidLevel::Raid1 => "RAID-1",
+            RaidLevel::Raid5 => "RAID-5",
+        }
+    }
+
+    /// Minimum member count the level is defined for.
+    pub fn min_disks(self) -> usize {
+        match self {
+            RaidLevel::Raid0 => 1,
+            RaidLevel::Raid1 => 2,
+            RaidLevel::Raid5 => 3,
+        }
+    }
+}
+
+/// Where one stripe unit lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Member disk index.
+    pub disk: usize,
+    /// Row (stripe) index on that disk, in stripe units.
+    pub row: u64,
+}
+
+/// A RAID array: level, member count and stripe unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaidArray {
+    /// Redundancy level.
+    pub level: RaidLevel,
+    /// Number of member disks.
+    pub disks: usize,
+    /// Stripe unit in bytes (ignored by RAID-1).
+    pub stripe_unit: u64,
+    /// Per-member service model.
+    pub member: DiskModel,
+}
+
+impl RaidArray {
+    /// Creates an array, validating the member count against the level.
+    ///
+    /// # Errors
+    /// Returns a message if `disks` is below the level's minimum or the
+    /// stripe unit is zero.
+    pub fn new(
+        level: RaidLevel,
+        disks: usize,
+        stripe_unit: u64,
+        member: DiskModel,
+    ) -> Result<Self, String> {
+        if disks < level.min_disks() {
+            return Err(format!("{} needs at least {} disks, got {disks}", level.name(), level.min_disks()));
+        }
+        if stripe_unit == 0 {
+            return Err("stripe unit must be positive".into());
+        }
+        member.validate()?;
+        Ok(Self { level, disks, stripe_unit, member })
+    }
+
+    /// Number of data units per stripe row.
+    pub fn data_units_per_row(&self) -> u64 {
+        match self.level {
+            RaidLevel::Raid0 => self.disks as u64,
+            RaidLevel::Raid1 => 1,
+            RaidLevel::Raid5 => self.disks as u64 - 1,
+        }
+    }
+
+    /// Fraction of raw capacity available for data.
+    pub fn capacity_efficiency(&self) -> f64 {
+        match self.level {
+            RaidLevel::Raid0 => 1.0,
+            RaidLevel::Raid1 => 1.0 / self.disks as f64,
+            RaidLevel::Raid5 => (self.disks as f64 - 1.0) / self.disks as f64,
+        }
+    }
+
+    /// Disk holding the parity of stripe `row` (RAID-5 only).
+    ///
+    /// Left-symmetric: parity starts on the last disk and rotates
+    /// toward disk 0 as rows advance.
+    pub fn parity_disk(&self, row: u64) -> Option<usize> {
+        match self.level {
+            RaidLevel::Raid5 => {
+                let n = self.disks as u64;
+                Some(((n - 1) - (row % n)) as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Maps logical data unit `u` to its slot.
+    ///
+    /// RAID-1 places every unit at row `u` on disk 0 (replicas live at
+    /// the same row on every other disk; reads may be served by any).
+    pub fn map_unit(&self, u: u64) -> Slot {
+        match self.level {
+            RaidLevel::Raid0 => {
+                Slot { disk: (u % self.disks as u64) as usize, row: u / self.disks as u64 }
+            }
+            RaidLevel::Raid1 => Slot { disk: 0, row: u },
+            RaidLevel::Raid5 => {
+                let per_row = self.data_units_per_row();
+                let row = u / per_row;
+                let k = u % per_row;
+                let parity = self.parity_disk(row).expect("raid5 has parity") as u64;
+                let n = self.disks as u64;
+                Slot { disk: ((parity + 1 + k) % n) as usize, row }
+            }
+        }
+    }
+
+    /// Service time for reading `bytes` starting at logical byte
+    /// `offset`, with all participating members working in parallel
+    /// (the batch completes when the slowest member finishes).
+    pub fn read_service(&self, offset: u64, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        match self.level {
+            // A mirror read is served by one replica.
+            RaidLevel::Raid1 => self.member.random_access(bytes),
+            _ => self.parallel_stripe_service(offset, bytes),
+        }
+    }
+
+    /// Service time for writing `bytes` at logical byte `offset`.
+    ///
+    /// RAID-1 writes hit every mirror in parallel (same elapsed time as
+    /// one disk, `disks ×` the busy time). RAID-5 writes smaller than a
+    /// full row pay the read-modify-write penalty: read old data and
+    /// parity, write new data and parity — two extra rotations on the
+    /// two devices involved.
+    pub fn write_service(&self, offset: u64, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        match self.level {
+            RaidLevel::Raid0 => self.parallel_stripe_service(offset, bytes),
+            RaidLevel::Raid1 => self.member.random_access(bytes),
+            RaidLevel::Raid5 => {
+                let row_bytes = self.data_units_per_row() * self.stripe_unit;
+                if bytes % row_bytes == 0 && offset % row_bytes == 0 {
+                    // Full-stripe write: parity computed from the new
+                    // data, one pass over every member.
+                    self.parallel_stripe_service(offset, bytes)
+                        + self.member.transfer(bytes / self.data_units_per_row())
+                } else {
+                    // Read-modify-write: the data disk and the parity
+                    // disk each do a read then a write of the touched
+                    // units — serialized by the intervening rotation.
+                    let touched = bytes.min(self.stripe_unit);
+                    2.0 * self.member.random_access(touched)
+                        + 2.0 * self.member.random_access(touched)
+                }
+            }
+        }
+    }
+
+    /// Device-seconds consumed by a write (the redundancy overhead that
+    /// does not show up in elapsed time because members run in
+    /// parallel).
+    pub fn write_device_busy(&self, offset: u64, bytes: u64) -> f64 {
+        match self.level {
+            RaidLevel::Raid0 => self.write_service(offset, bytes),
+            RaidLevel::Raid1 => self.disks as f64 * self.member.random_access(bytes),
+            RaidLevel::Raid5 => self.write_service(offset, bytes),
+        }
+    }
+
+    /// Aggregate streaming bandwidth available to reads, bytes/second.
+    pub fn read_bandwidth(&self) -> f64 {
+        match self.level {
+            RaidLevel::Raid0 | RaidLevel::Raid5 => {
+                self.disks as f64 * self.member.transfer_rate
+            }
+            RaidLevel::Raid1 => self.disks as f64 * self.member.transfer_rate,
+        }
+    }
+
+    /// Aggregate streaming bandwidth available to writes, bytes/second.
+    pub fn write_bandwidth(&self) -> f64 {
+        match self.level {
+            RaidLevel::Raid0 => self.disks as f64 * self.member.transfer_rate,
+            // Every byte lands on every mirror.
+            RaidLevel::Raid1 => self.member.transfer_rate,
+            // One member per row carries parity instead of data.
+            RaidLevel::Raid5 => (self.disks as f64 - 1.0) * self.member.transfer_rate,
+        }
+    }
+
+    /// Elapsed time for a stripe-parallel access of `bytes` at `offset`:
+    /// the burst splits into unit-sized requests across members; each
+    /// member pays one positioning plus its share of the transfer, and
+    /// the batch ends when the most-loaded member finishes.
+    fn parallel_stripe_service(&self, offset: u64, bytes: u64) -> f64 {
+        let unit = self.stripe_unit;
+        let first = offset / unit;
+        let last = (offset + bytes - 1) / unit;
+        let mut per_disk_bytes = vec![0u64; self.disks];
+        for u in first..=last {
+            let lo = (u * unit).max(offset);
+            let hi = ((u + 1) * unit).min(offset + bytes);
+            per_disk_bytes[self.map_unit(u).disk] += hi - lo;
+        }
+        per_disk_bytes
+            .iter()
+            .filter(|&&b| b > 0)
+            .map(|&b| self.member.random_access(b))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn array(level: RaidLevel, disks: usize) -> RaidArray {
+        RaidArray::new(level, disks, 64 * 1024, DiskModel::commodity_2003()).unwrap()
+    }
+
+    #[test]
+    fn member_count_validation() {
+        let m = DiskModel::commodity_2003();
+        assert!(RaidArray::new(RaidLevel::Raid0, 1, 1, m).is_ok());
+        assert!(RaidArray::new(RaidLevel::Raid1, 1, 1, m).is_err());
+        assert!(RaidArray::new(RaidLevel::Raid5, 2, 1, m).is_err());
+        assert!(RaidArray::new(RaidLevel::Raid5, 3, 1, m).is_ok());
+        assert!(RaidArray::new(RaidLevel::Raid0, 4, 0, m).is_err(), "zero stripe unit");
+    }
+
+    #[test]
+    fn raid0_round_robin_mapping() {
+        let a = array(RaidLevel::Raid0, 4);
+        assert_eq!(a.map_unit(0), Slot { disk: 0, row: 0 });
+        assert_eq!(a.map_unit(3), Slot { disk: 3, row: 0 });
+        assert_eq!(a.map_unit(4), Slot { disk: 0, row: 1 });
+    }
+
+    #[test]
+    fn raid5_parity_rotates_left() {
+        let a = array(RaidLevel::Raid5, 4);
+        assert_eq!(a.parity_disk(0), Some(3));
+        assert_eq!(a.parity_disk(1), Some(2));
+        assert_eq!(a.parity_disk(2), Some(1));
+        assert_eq!(a.parity_disk(3), Some(0));
+        assert_eq!(a.parity_disk(4), Some(3), "period is the member count");
+    }
+
+    #[test]
+    fn raid5_left_symmetric_first_rows() {
+        // 4 disks, 3 data units per row. Row 0: parity on disk 3, data
+        // on 0,1,2. Row 1: parity on disk 2, data continues on 3,0,1.
+        let a = array(RaidLevel::Raid5, 4);
+        let slots: Vec<_> = (0..6).map(|u| a.map_unit(u)).collect();
+        assert_eq!(slots[0], Slot { disk: 0, row: 0 });
+        assert_eq!(slots[1], Slot { disk: 1, row: 0 });
+        assert_eq!(slots[2], Slot { disk: 2, row: 0 });
+        assert_eq!(slots[3], Slot { disk: 3, row: 1 });
+        assert_eq!(slots[4], Slot { disk: 0, row: 1 });
+        assert_eq!(slots[5], Slot { disk: 1, row: 1 });
+    }
+
+    #[test]
+    fn raid1_reads_one_disk_writes_all() {
+        let a = array(RaidLevel::Raid1, 3);
+        let bytes = 128 * 1024;
+        assert!((a.read_service(0, bytes) - a.member.random_access(bytes)).abs() < 1e-12);
+        assert!((a.write_service(0, bytes) - a.member.random_access(bytes)).abs() < 1e-12);
+        let busy = a.write_device_busy(0, bytes);
+        assert!((busy - 3.0 * a.member.random_access(bytes)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raid5_small_write_pays_penalty() {
+        let a = array(RaidLevel::Raid5, 4);
+        let small = a.stripe_unit / 2;
+        let w = a.write_service(0, small);
+        let r = a.read_service(0, small);
+        assert!(w > 3.0 * r, "small write {w} must dwarf small read {r} (RMW penalty)");
+    }
+
+    #[test]
+    fn raid5_full_stripe_write_avoids_rmw() {
+        let a = array(RaidLevel::Raid5, 4);
+        let row = a.data_units_per_row() * a.stripe_unit;
+        let per_byte_full = a.write_service(0, row) / row as f64;
+        let per_byte_small = a.write_service(0, a.stripe_unit / 2) / (a.stripe_unit / 2) as f64;
+        assert!(per_byte_full < per_byte_small, "full-stripe writes must be cheaper per byte");
+    }
+
+    #[test]
+    fn zero_byte_requests_are_free() {
+        for level in RaidLevel::ALL {
+            let a = array(level, 4);
+            assert_eq!(a.read_service(0, 0), 0.0);
+            assert_eq!(a.write_service(0, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_ordering() {
+        let r0 = array(RaidLevel::Raid0, 4);
+        let r1 = array(RaidLevel::Raid1, 4);
+        let r5 = array(RaidLevel::Raid5, 4);
+        assert!(r0.write_bandwidth() > r5.write_bandwidth());
+        assert!(r5.write_bandwidth() > r1.write_bandwidth());
+        assert_eq!(r0.read_bandwidth(), r1.read_bandwidth());
+    }
+
+    #[test]
+    fn large_read_faster_on_more_disks() {
+        let bytes = 64 * 1024 * 1024;
+        let t4 = array(RaidLevel::Raid0, 4).read_service(0, bytes);
+        let t8 = array(RaidLevel::Raid0, 8).read_service(0, bytes);
+        assert!(t8 < t4, "doubling members must shorten a large striped read");
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_is_injective(
+            level in proptest::sample::select(&RaidLevel::ALL[..]),
+            disks in 3usize..16,
+            units in 1u64..512,
+        ) {
+            let a = array(level, disks);
+            let mut seen = HashSet::new();
+            for u in 0..units {
+                let s = a.map_unit(u);
+                prop_assert!(seen.insert((s.disk, s.row)),
+                    "unit {u} collides at disk {} row {}", s.disk, s.row);
+            }
+        }
+
+        #[test]
+        fn raid5_data_never_on_parity_disk(disks in 3usize..16, u in 0u64..10_000) {
+            let a = array(RaidLevel::Raid5, disks);
+            let s = a.map_unit(u);
+            prop_assert_ne!(Some(s.disk), a.parity_disk(s.row));
+        }
+
+        #[test]
+        fn raid5_each_row_holds_distinct_disks(disks in 3usize..16, row in 0u64..256) {
+            let a = array(RaidLevel::Raid5, disks);
+            let per_row = a.data_units_per_row();
+            let mut in_row: Vec<usize> = (0..per_row)
+                .map(|k| a.map_unit(row * per_row + k).disk)
+                .collect();
+            in_row.push(a.parity_disk(row).unwrap());
+            in_row.sort_unstable();
+            in_row.dedup();
+            prop_assert_eq!(in_row.len(), disks, "row {} does not cover all members", row);
+        }
+
+        #[test]
+        fn raid5_parity_spread_evenly(disks in 3usize..16) {
+            let a = array(RaidLevel::Raid5, disks);
+            let mut counts = vec![0u32; disks];
+            for row in 0..(disks as u64 * 8) {
+                counts[a.parity_disk(row).unwrap()] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == 8),
+                "parity not evenly rotated: {:?}", counts);
+        }
+
+        #[test]
+        fn read_service_positive_and_bounded(
+            level in proptest::sample::select(&RaidLevel::ALL[..]),
+            disks in 3usize..16,
+            offset in 0u64..1_000_000,
+            bytes in 1u64..16_000_000,
+        ) {
+            let a = array(level, disks);
+            let t = a.read_service(offset, bytes);
+            prop_assert!(t > 0.0);
+            // Never slower than one disk doing the whole thing alone.
+            prop_assert!(t <= a.member.random_access(bytes) + 1e-9);
+        }
+    }
+}

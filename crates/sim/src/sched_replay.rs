@@ -1,0 +1,375 @@
+//! Seek-aware, scheduler-driven trace replay.
+//!
+//! [`crate::trace_driven`] charges every request the disk model's flat
+//! positioning cost and serves arrivals FCFS — sufficient for the
+//! paper's bandwidth questions, blind to request *ordering*. This
+//! module replays the same traces onto disks with an explicit head
+//! position, a distance-dependent seek curve ([`SeekCurve`]) and a
+//! pluggable request scheduler ([`Policy`]): requests that find the
+//! disk busy queue up, and the scheduler picks which to serve next.
+//! Under contention (many processes, one spindle) the classic result
+//! emerges — SSTF/SCAN shorten the makespan of random-access workloads
+//! over FCFS, and do nothing for sequential ones.
+
+use std::sync::Arc;
+
+use clio_trace::record::IoOp;
+use clio_trace::TraceFile;
+
+use crate::disk::stripe_plan;
+use crate::machine::MachineConfig;
+use crate::sched::{DiskRequest, Policy, Scheduler, SeekCurve};
+use crate::time::SimTime;
+use crate::trace_driven::TraceSimReport;
+use crate::engine::Engine;
+
+/// Geometry and policy of the scheduled replay.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedReplayOptions {
+    /// Request scheduling policy at each disk.
+    pub policy: Policy,
+    /// Cylinders per disk (maps byte offsets onto head positions).
+    pub cylinders: u64,
+}
+
+impl Default for SchedReplayOptions {
+    fn default() -> Self {
+        Self { policy: Policy::Fcfs, cylinders: 60_000 }
+    }
+}
+
+/// Fixed host cost (seconds) of open/close/seek records.
+const METADATA_COST: f64 = 20e-6;
+
+struct ProcState {
+    records: Vec<usize>,
+    cursor: usize,
+    finish: SimTime,
+}
+
+struct Transfer {
+    remaining: usize,
+    proc_idx: usize,
+}
+
+struct DiskState {
+    sched: Scheduler,
+    busy: bool,
+    busy_time: f64,
+}
+
+struct World {
+    cfg: MachineConfig,
+    curve: SeekCurve,
+    bytes_per_cylinder: u64,
+    disks: Vec<DiskState>,
+    procs: Vec<ProcState>,
+    transfers: Vec<Transfer>,
+    bytes_moved: u64,
+}
+
+/// Replays `trace` on `machine` with per-disk request scheduling.
+///
+/// # Panics
+/// Panics if the machine configuration is invalid or `cylinders` is 0.
+pub fn simulate_trace_scheduled(
+    trace: &TraceFile,
+    machine: &MachineConfig,
+    options: &SchedReplayOptions,
+) -> TraceSimReport {
+    machine.validate().expect("invalid machine configuration");
+    assert!(options.cylinders > 0, "disk needs at least one cylinder");
+
+    let mut pids: Vec<u32> = Vec::new();
+    let mut per_pid: Vec<Vec<usize>> = Vec::new();
+    for (i, r) in trace.records.iter().enumerate() {
+        match pids.iter().position(|&p| p == r.pid) {
+            Some(slot) => per_pid[slot].push(i),
+            None => {
+                pids.push(r.pid);
+                per_pid.push(vec![i]);
+            }
+        }
+    }
+
+    let curve = SeekCurve::from_model(&machine.disk_model, options.cylinders);
+    let mut world = World {
+        curve,
+        bytes_per_cylinder: ((1u64 << 30) / options.cylinders).max(1),
+        disks: (0..machine.disks)
+            .map(|_| DiskState {
+                sched: Scheduler::new(options.policy, options.cylinders / 2),
+                busy: false,
+                busy_time: 0.0,
+            })
+            .collect(),
+        procs: per_pid
+            .into_iter()
+            .map(|records| ProcState { records, cursor: 0, finish: SimTime::ZERO })
+            .collect(),
+        transfers: Vec::new(),
+        bytes_moved: 0,
+        cfg: machine.clone(),
+    };
+
+    let records: Arc<[clio_trace::TraceRecord]> = trace.records.clone().into();
+    let mut engine: Engine<World> = Engine::new();
+    for p in 0..world.procs.len() {
+        let records = records.clone();
+        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, &records, p));
+    }
+    let end = engine.run(&mut world);
+
+    let disk_utilization = if world.disks.is_empty() || end.seconds() <= 0.0 {
+        0.0
+    } else {
+        world.disks.iter().map(|d| d.busy_time).sum::<f64>()
+            / (world.disks.len() as f64 * end.seconds())
+    };
+
+    TraceSimReport {
+        makespan: world.procs.iter().map(|p| p.finish.seconds()).fold(0.0, f64::max),
+        process_finish: world.procs.iter().map(|p| p.finish.seconds()).collect(),
+        pids,
+        bytes_moved: world.bytes_moved,
+        disk_utilization,
+        events: engine.processed(),
+    }
+}
+
+fn step(
+    engine: &mut Engine<World>,
+    world: &mut World,
+    records: &Arc<[clio_trace::TraceRecord]>,
+    proc_idx: usize,
+) {
+    let now = engine.now();
+    let Some(&rec_idx) = world.procs[proc_idx].records.get(world.procs[proc_idx].cursor) else {
+        world.procs[proc_idx].finish = now;
+        return;
+    };
+    world.procs[proc_idx].cursor += 1;
+    let r = records[rec_idx];
+
+    let repeats = r.num_records.max(1) as u64;
+    match r.op {
+        IoOp::Open | IoOp::Close | IoOp::Seek => {
+            let records = records.clone();
+            engine.schedule_at(now + METADATA_COST * repeats as f64, move |eng, w| {
+                step(eng, w, &records, proc_idx)
+            });
+        }
+        IoOp::Read | IoOp::Write => {
+            let bytes = r.length.saturating_mul(repeats);
+            world.bytes_moved += bytes;
+            if bytes == 0 {
+                let records = records.clone();
+                engine.schedule_at(now + METADATA_COST, move |eng, w| {
+                    step(eng, w, &records, proc_idx)
+                });
+                return;
+            }
+            issue_io(engine, world, records, proc_idx, r.offset, bytes);
+        }
+    }
+}
+
+/// Splits the transfer across the stripe and enqueues one request per
+/// participating disk; the process resumes when the last chunk lands.
+fn issue_io(
+    engine: &mut Engine<World>,
+    world: &mut World,
+    records: &Arc<[clio_trace::TraceRecord]>,
+    proc_idx: usize,
+    offset: u64,
+    bytes: u64,
+) {
+    let n_disks = world.disks.len();
+    let plan = stripe_plan(bytes, n_disks, world.cfg.stripe_unit);
+    let participating: Vec<(usize, u64)> = plan
+        .iter()
+        .enumerate()
+        .filter_map(|(d, &(chunks, tail))| {
+            let b = chunks * world.cfg.stripe_unit + tail;
+            (b > 0).then_some((d, b))
+        })
+        .collect();
+    let tid = world.transfers.len() as u64;
+    world.transfers.push(Transfer {
+        remaining: participating.len(),
+        proc_idx,
+    });
+
+    // Head position target: each disk stores its share of the logical
+    // space, so the per-disk offset shrinks by the member count.
+    let per_disk_offset = offset / n_disks.max(1) as u64;
+    let cylinder = (per_disk_offset / world.bytes_per_cylinder)
+        % world.curve.cylinders;
+
+    for (d, b) in participating {
+        world.disks[d].sched.push(DiskRequest { id: tid, cylinder, bytes: b });
+        start_if_idle(engine, world, records, d);
+    }
+}
+
+fn start_if_idle(
+    engine: &mut Engine<World>,
+    world: &mut World,
+    records: &Arc<[clio_trace::TraceRecord]>,
+    disk_idx: usize,
+) {
+    if world.disks[disk_idx].busy {
+        return;
+    }
+    let head_before = world.disks[disk_idx].sched.head();
+    let Some(req) = world.disks[disk_idx].sched.next() else {
+        return;
+    };
+    let distance = req.cylinder.abs_diff(head_before);
+    let service = world.curve.seek_time(distance)
+        + world.cfg.disk_model.rotational
+        + world.cfg.disk_model.transfer(req.bytes);
+    world.disks[disk_idx].busy = true;
+    world.disks[disk_idx].busy_time += service;
+
+    let records = records.clone();
+    let tid = req.id as usize;
+    engine.schedule_in(service, move |eng, w| {
+        w.disks[disk_idx].busy = false;
+        w.transfers[tid].remaining -= 1;
+        if w.transfers[tid].remaining == 0 {
+            let proc_idx = w.transfers[tid].proc_idx;
+            let records_for_step = records.clone();
+            let now = eng.now();
+            eng.schedule_at(now, move |eng, w| step(eng, w, &records_for_step, proc_idx));
+        }
+        start_if_idle(eng, w, &records, disk_idx);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_trace::writer::TraceWriter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Many processes hammering one disk with scattered small reads —
+    /// the queue-depth regime where scheduling matters.
+    fn contended_random_trace(procs: u32, reads_per_proc: usize, seed: u64) -> TraceFile {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = TraceWriter::new("rand.dat").with_processes(procs);
+        for _ in 0..reads_per_proc {
+            for pid in 0..procs {
+                let offset = rng.gen_range(0..(1u64 << 30));
+                w.record(IoOp::Read, pid, 0, offset, 4096);
+            }
+        }
+        w.finish().expect("valid trace")
+    }
+
+    fn sequential_trace(reads: usize, bytes: u64) -> TraceFile {
+        let mut w = TraceWriter::new("seq.dat");
+        w.op(IoOp::Open, 0, 0, 0);
+        for i in 0..reads as u64 {
+            w.op(IoOp::Read, 0, i * bytes, bytes);
+        }
+        w.op(IoOp::Close, 0, 0, 0);
+        w.finish().expect("valid trace")
+    }
+
+    fn makespan(trace: &TraceFile, policy: Policy) -> f64 {
+        simulate_trace_scheduled(
+            trace,
+            &MachineConfig::uniprocessor(),
+            &SchedReplayOptions { policy, ..Default::default() },
+        )
+        .makespan
+    }
+
+    #[test]
+    fn sstf_and_scan_beat_fcfs_under_contention() {
+        let trace = contended_random_trace(8, 24, 17);
+        let fcfs = makespan(&trace, Policy::Fcfs);
+        let sstf = makespan(&trace, Policy::Sstf);
+        let scan = makespan(&trace, Policy::Scan);
+        let clook = makespan(&trace, Policy::CLook);
+        assert!(sstf < 0.8 * fcfs, "SSTF {sstf} must clearly beat FCFS {fcfs}");
+        assert!(scan < 0.8 * fcfs, "SCAN {scan} must clearly beat FCFS {fcfs}");
+        assert!(clook < fcfs, "C-LOOK {clook} must beat FCFS {fcfs}");
+    }
+
+    #[test]
+    fn single_process_sequential_sees_no_policy_effect() {
+        // No queue ever builds, so every policy serves in order.
+        let trace = sequential_trace(32, 64 * 1024);
+        let fcfs = makespan(&trace, Policy::Fcfs);
+        for p in [Policy::Sstf, Policy::Scan, Policy::CLook] {
+            let t = makespan(&trace, p);
+            assert!(
+                (t - fcfs).abs() < 1e-9,
+                "{}: {t} differs from FCFS {fcfs} without contention",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_process_finishes_and_bytes_balance() {
+        let trace = contended_random_trace(4, 10, 3);
+        let report = simulate_trace_scheduled(
+            &trace,
+            &MachineConfig::with_disks(2),
+            &SchedReplayOptions { policy: Policy::Sstf, ..Default::default() },
+        );
+        assert_eq!(report.pids.len(), 4);
+        assert_eq!(report.process_finish.len(), 4);
+        assert!(report.process_finish.iter().all(|&f| f > 0.0));
+        assert_eq!(report.bytes_moved, 4 * 10 * 4096);
+        assert!((0.0..=1.0).contains(&report.disk_utilization));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = contended_random_trace(3, 12, 9);
+        let opts = SchedReplayOptions { policy: Policy::Scan, ..Default::default() };
+        let a = simulate_trace_scheduled(&trace, &MachineConfig::uniprocessor(), &opts);
+        let b = simulate_trace_scheduled(&trace, &MachineConfig::uniprocessor(), &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn striping_still_speeds_up_large_transfers() {
+        let trace = sequential_trace(8, 8 * 1024 * 1024);
+        let opts = SchedReplayOptions::default();
+        let t1 = simulate_trace_scheduled(&trace, &MachineConfig::with_disks(1), &opts).makespan;
+        let t8 = simulate_trace_scheduled(&trace, &MachineConfig::with_disks(8), &opts).makespan;
+        assert!(t8 < t1 / 3.0, "striping speedup survives the scheduler: {t1} -> {t8}");
+    }
+
+    #[test]
+    fn fcfs_matches_arrival_order_semantics() {
+        // With FCFS and one process the scheduled replay equals the
+        // plain replay's ordering (timings differ only through the
+        // distance-dependent seek model).
+        let trace = sequential_trace(16, 512 * 1024);
+        let report = simulate_trace_scheduled(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &SchedReplayOptions::default(),
+        );
+        assert!(report.makespan > 0.0);
+        assert_eq!(report.bytes_moved, 16 * 512 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cylinder")]
+    fn zero_cylinders_panics() {
+        let trace = sequential_trace(1, 1024);
+        let _ = simulate_trace_scheduled(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &SchedReplayOptions { cylinders: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Resource-count sweeps (Figures 4 and 5).
+//!
+//! Fig. 4 sweeps the number of disks over {2, 4, 8, 16, 32} with the
+//! speedup normalized to the single-disk uniprocessor; Fig. 5 does the
+//! same for CPUs. The functions here run the simulator across such a
+//! sweep and return a [`SpeedupCurve`].
+
+use clio_model::Application;
+use clio_stats::SpeedupCurve;
+
+use crate::executor::simulate;
+use crate::machine::MachineConfig;
+
+/// The x-axis the paper uses for both figures.
+pub const PAPER_SWEEP: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Sweeps the number of disks, holding everything else at the baseline.
+pub fn disk_sweep(app: &Application, counts: &[usize]) -> SpeedupCurve {
+    sweep(app, counts, MachineConfig::with_disks)
+}
+
+/// Sweeps the number of CPUs, holding everything else at the baseline.
+pub fn cpu_sweep(app: &Application, counts: &[usize]) -> SpeedupCurve {
+    sweep(app, counts, MachineConfig::with_cpus)
+}
+
+fn sweep(app: &Application, counts: &[usize], make: impl Fn(usize) -> MachineConfig) -> SpeedupCurve {
+    let baseline = simulate(app, &MachineConfig::uniprocessor()).makespan;
+    let mut curve = SpeedupCurve::new(1, baseline);
+    for &n in counts {
+        let t = simulate(app, &make(n)).makespan;
+        curve.push(n as u32, t);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_model::qcrd::qcrd_application;
+
+    #[test]
+    fn disk_sweep_is_modest_for_qcrd() {
+        // Fig. 4: "the speedup changes slightly with the increasing value
+        // of the disk number" — bounded well under 2x even at 32 disks.
+        let curve = disk_sweep(&qcrd_application(), &PAPER_SWEEP);
+        let speedups = curve.speedups();
+        assert_eq!(speedups.len(), 5);
+        let max = speedups.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        assert!(max < 2.0, "disk speedup {max} should stay modest");
+        assert!(max > 1.0, "some disk speedup must appear");
+        assert!(curve.is_monotone(), "more disks never hurt");
+    }
+
+    #[test]
+    fn cpu_sweep_larger_than_disk_sweep() {
+        // Fig. 5 vs Fig. 4: CPUs help QCRD more than disks because the
+        // dominant program 1 is CPU-intensive.
+        let app = qcrd_application();
+        let disk = disk_sweep(&app, &PAPER_SWEEP);
+        let cpu = cpu_sweep(&app, &PAPER_SWEEP);
+        let max_disk = disk.speedups().iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        let max_cpu = cpu.speedups().iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        assert!(max_cpu > max_disk, "cpu {max_cpu} vs disk {max_disk}");
+    }
+
+    #[test]
+    fn cpu_sweep_saturates() {
+        // Fig. 5 flattens: the I/O-bound program 2 becomes the bottleneck.
+        let curve = cpu_sweep(&qcrd_application(), &PAPER_SWEEP);
+        let s: Vec<f64> = curve.speedups().iter().map(|&(_, v)| v).collect();
+        let early_gain = s[1] - s[0]; // 2 -> 4 CPUs
+        let late_gain = s[4] - s[3]; // 16 -> 32 CPUs
+        assert!(late_gain < early_gain, "saturation: early {early_gain}, late {late_gain}");
+        assert!(curve.is_monotone());
+        assert!(s[4] < 4.0, "paper's Fig. 5 tops out near 2.x, got {}", s[4]);
+    }
+
+    #[test]
+    fn sweep_points_match_requested_counts() {
+        let curve = disk_sweep(&qcrd_application(), &[2, 8]);
+        let ns: Vec<u32> = curve.points().iter().map(|p| p.n).collect();
+        assert_eq!(ns, vec![2, 8]);
+        assert_eq!(curve.baseline_n(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the simulated clock, in seconds.
+///
+/// `SimTime` wraps `f64` but provides a *total* order (via
+/// [`f64::total_cmp`]) so it can key the event queue; constructors
+/// reject NaN so the total order is also the numeric order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    /// Panics on NaN or negative input: simulated clocks only move
+    /// forward from zero.
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "SimTime cannot be NaN");
+        assert!(seconds >= 0.0, "SimTime cannot be negative: {seconds}");
+        SimTime(seconds)
+    }
+
+    /// The raw seconds value.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero if `other` is later.
+    pub fn saturating_sub(self, other: SimTime) -> f64 {
+        (self.0 - other.0).max(0.0)
+    }
+
+    /// The later of two time points.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::new(1.0) < SimTime::new(2.0));
+        assert!(SimTime::ZERO <= SimTime::new(0.0));
+        assert_eq!(SimTime::new(1.5).max(SimTime::new(0.5)), SimTime::new(1.5));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.0) + 2.5;
+        assert_eq!(t.seconds(), 3.5);
+        assert_eq!(t - SimTime::new(1.0), 2.5);
+        let mut u = SimTime::ZERO;
+        u += 4.0;
+        assert_eq!(u.seconds(), 4.0);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(SimTime::new(1.0).saturating_sub(SimTime::new(3.0)), 0.0);
+        assert_eq!(SimTime::new(3.0).saturating_sub(SimTime::new(1.0)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::new(1.25).to_string(), "1.250000s");
+    }
+}

@@ -1,0 +1,347 @@
+//! Trace-driven machine simulation.
+//!
+//! The paper's future work calls for "benchmarks for I/O-intensive
+//! computing in a widely distributed environment". This module closes
+//! the loop between the trace infrastructure and the machine simulator:
+//! a captured [`TraceFile`] is replayed *onto the simulated machine*,
+//! with each traced process driving its own request stream and all
+//! streams contending for the shared disk array — so a single-node
+//! trace can be evaluated on hypothetical machines (more disks, faster
+//! spindles, wider stripes) or scaled out to many concurrent client
+//! processes without re-running the original application.
+//!
+//! Timing semantics: each process issues its records in order;
+//! reads/writes occupy the striped disk array for their modeled service
+//! time, opens/closes/seeks cost a fixed host overhead. Inter-record
+//! think time can be taken from the trace's captured clocks or ignored
+//! (closed-loop replay).
+
+use clio_trace::record::IoOp;
+use clio_trace::TraceFile;
+
+use crate::disk::{stripe_plan, striped_service};
+use crate::engine::Engine;
+use crate::machine::MachineConfig;
+use crate::resource::FcfsServer;
+use crate::time::SimTime;
+
+/// How inter-record delays are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThinkTime {
+    /// Ignore captured clocks: each process issues its next record the
+    /// moment the previous completes (closed-loop stress replay).
+    #[default]
+    ClosedLoop,
+    /// Respect the captured inter-record wall-clock gaps (open-loop,
+    /// rate-faithful replay).
+    FromTrace,
+}
+
+/// Replay options.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSimOptions {
+    /// Think-time handling.
+    pub think_time: ThinkTime,
+}
+
+/// Result of simulating a trace on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSimReport {
+    /// Completion time of the whole replay, seconds.
+    pub makespan: f64,
+    /// Per-process completion times, indexed by position in
+    /// [`TraceSimReport::pids`].
+    pub process_finish: Vec<f64>,
+    /// The distinct pids, in first-appearance order.
+    pub pids: Vec<u32>,
+    /// Total bytes moved through the disk array.
+    pub bytes_moved: u64,
+    /// Mean disk utilization over the makespan.
+    pub disk_utilization: f64,
+    /// Number of simulation events processed.
+    pub events: u64,
+}
+
+/// Fixed host cost (seconds) of open/close/seek records in the
+/// simulated machine — metadata operations that never touch the array.
+const METADATA_COST: f64 = 20e-6;
+
+struct ProcState {
+    /// Indices into the trace's records, in order, for this pid.
+    records: Vec<usize>,
+    cursor: usize,
+    stripe_rotation: usize,
+    finish: SimTime,
+    /// Wall clock of the previously issued record (for think time).
+    prev_wall_us: Option<u64>,
+}
+
+struct World {
+    cfg: MachineConfig,
+    disks: Vec<FcfsServer>,
+    procs: Vec<ProcState>,
+    bytes_moved: u64,
+}
+
+/// Simulates `trace` on `machine`.
+///
+/// # Panics
+/// Panics if the machine configuration is invalid.
+pub fn simulate_trace(
+    trace: &TraceFile,
+    machine: &MachineConfig,
+    options: &TraceSimOptions,
+) -> TraceSimReport {
+    machine.validate().expect("invalid machine configuration");
+
+    // Group records by pid, preserving order.
+    let mut pids: Vec<u32> = Vec::new();
+    let mut per_pid: Vec<Vec<usize>> = Vec::new();
+    for (i, r) in trace.records.iter().enumerate() {
+        match pids.iter().position(|&p| p == r.pid) {
+            Some(slot) => per_pid[slot].push(i),
+            None => {
+                pids.push(r.pid);
+                per_pid.push(vec![i]);
+            }
+        }
+    }
+
+    let mut world = World {
+        disks: (0..machine.disks).map(|_| FcfsServer::new(1)).collect(),
+        cfg: machine.clone(),
+        procs: per_pid
+            .into_iter()
+            .map(|records| ProcState {
+                records,
+                cursor: 0,
+                stripe_rotation: 0,
+                finish: SimTime::ZERO,
+                prev_wall_us: None,
+            })
+            .collect(),
+        bytes_moved: 0,
+    };
+
+    let think = options.think_time;
+    let records: Vec<clio_trace::TraceRecord> = trace.records.clone();
+    let mut engine: Engine<World> = Engine::new();
+    for p in 0..world.procs.len() {
+        let records = records.clone();
+        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, &records, p, think));
+    }
+    let end = engine.run(&mut world);
+
+    let disk_utilization = if world.disks.is_empty() {
+        0.0
+    } else {
+        world.disks.iter().map(|d| d.utilization(end)).sum::<f64>() / world.disks.len() as f64
+    };
+
+    TraceSimReport {
+        makespan: world.procs.iter().map(|p| p.finish.seconds()).fold(0.0, f64::max),
+        process_finish: world.procs.iter().map(|p| p.finish.seconds()).collect(),
+        pids,
+        bytes_moved: world.bytes_moved,
+        disk_utilization,
+        events: engine.processed(),
+    }
+}
+
+fn step(
+    engine: &mut Engine<World>,
+    world: &mut World,
+    records: &[clio_trace::TraceRecord],
+    proc_idx: usize,
+    think: ThinkTime,
+) {
+    let now = engine.now();
+    let Some(&rec_idx) = world.procs[proc_idx].records.get(world.procs[proc_idx].cursor) else {
+        world.procs[proc_idx].finish = now;
+        return;
+    };
+    world.procs[proc_idx].cursor += 1;
+    let r = records[rec_idx];
+
+    // Open-loop replay: delay issue by the captured inter-record gap.
+    let mut issue_at = now;
+    if think == ThinkTime::FromTrace {
+        if let Some(prev) = world.procs[proc_idx].prev_wall_us {
+            let gap_s = r.wall_clock_us.saturating_sub(prev) as f64 / 1e6;
+            issue_at += gap_s;
+        }
+        world.procs[proc_idx].prev_wall_us = Some(r.wall_clock_us);
+    }
+
+    let repeats = r.num_records.max(1) as u64;
+    let completion = match r.op {
+        IoOp::Open | IoOp::Close | IoOp::Seek => issue_at + METADATA_COST * repeats as f64,
+        IoOp::Read | IoOp::Write => {
+            let bytes = r.length.saturating_mul(repeats);
+            world.bytes_moved += bytes;
+            issue_io(world, proc_idx, issue_at, bytes)
+        }
+    };
+
+    let records = records.to_vec();
+    engine.schedule_at(completion, move |eng, w| step(eng, w, &records, proc_idx, think));
+}
+
+/// Issues a striped transfer; returns its completion time.
+fn issue_io(world: &mut World, proc_idx: usize, at: SimTime, bytes: u64) -> SimTime {
+    if bytes == 0 {
+        return at + METADATA_COST;
+    }
+    let cfg = &world.cfg;
+    let plan = stripe_plan(bytes, world.disks.len(), cfg.stripe_unit);
+    let rotation = world.procs[proc_idx].stripe_rotation;
+    let mut completion = at;
+    for (i, &(chunks, tail)) in plan.iter().enumerate() {
+        let service = striped_service(&cfg.disk_model, cfg.stripe_unit, chunks, tail);
+        if service <= 0.0 {
+            continue;
+        }
+        let disk = (rotation + i) % world.disks.len();
+        let (_, end) = world.disks[disk].acquire(at, service);
+        completion = completion.max(end);
+    }
+    world.procs[proc_idx].stripe_rotation = (rotation + 1) % world.disks.len();
+    completion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_trace::record::TraceRecord;
+    use clio_trace::writer::TraceWriter;
+
+    fn single_process_trace(reads: usize, bytes: u64) -> TraceFile {
+        let mut w = TraceWriter::new("sim.dat").with_tick_us(1000);
+        w.op(IoOp::Open, 0, 0, 0);
+        for i in 0..reads as u64 {
+            w.op(IoOp::Read, 0, i * bytes, bytes);
+        }
+        w.op(IoOp::Close, 0, 0, 0);
+        w.finish().expect("valid trace")
+    }
+
+    fn multi_process_trace(procs: u32, reads: usize, bytes: u64) -> TraceFile {
+        let mut w = TraceWriter::new("sim.dat").with_processes(procs).with_tick_us(1000);
+        for i in 0..reads as u64 {
+            for pid in 0..procs {
+                w.record(IoOp::Read, pid, 0, i * bytes, bytes);
+            }
+        }
+        w.finish().expect("valid trace")
+    }
+
+    #[test]
+    fn transfer_time_matches_disk_model() {
+        let trace = single_process_trace(10, 4 * 1024 * 1024);
+        let machine = MachineConfig::uniprocessor();
+        let report = simulate_trace(&trace, &machine, &TraceSimOptions::default());
+        // 40 MiB at 40 MiB/s plus positioning ≈ 1s.
+        assert!(report.makespan > 0.9 && report.makespan < 1.3, "makespan {}", report.makespan);
+        assert_eq!(report.bytes_moved, 40 * 1024 * 1024);
+        assert_eq!(report.pids, vec![0]);
+    }
+
+    #[test]
+    fn more_disks_speed_up_the_replay() {
+        let trace = single_process_trace(16, 8 * 1024 * 1024);
+        let opts = TraceSimOptions::default();
+        let t1 = simulate_trace(&trace, &MachineConfig::with_disks(1), &opts).makespan;
+        let t8 = simulate_trace(&trace, &MachineConfig::with_disks(8), &opts).makespan;
+        assert!(t8 < t1 / 4.0, "striping speedup: {t1} -> {t8}");
+    }
+
+    #[test]
+    fn concurrent_processes_contend() {
+        let one = multi_process_trace(1, 8, 4 * 1024 * 1024);
+        let four = multi_process_trace(4, 8, 4 * 1024 * 1024);
+        let opts = TraceSimOptions::default();
+        let m = MachineConfig::uniprocessor();
+        let t1 = simulate_trace(&one, &m, &opts).makespan;
+        let t4 = simulate_trace(&four, &m, &opts).makespan;
+        // 4x the work on one disk takes ~4x as long.
+        assert!(t4 > 3.0 * t1, "contention: {t1} vs {t4}");
+        assert_eq!(simulate_trace(&four, &m, &opts).pids.len(), 4);
+    }
+
+    #[test]
+    fn extra_disks_absorb_concurrent_processes() {
+        let four = multi_process_trace(4, 8, 4 * 1024 * 1024);
+        let opts = TraceSimOptions::default();
+        let t1 = simulate_trace(&four, &MachineConfig::with_disks(1), &opts).makespan;
+        let t4 = simulate_trace(&four, &MachineConfig::with_disks(4), &opts).makespan;
+        assert!(t4 < t1 / 2.5, "scale-out: {t1} -> {t4}");
+    }
+
+    #[test]
+    fn open_loop_respects_captured_gaps() {
+        // Records are 50 ms apart in wall clock — far more than their
+        // ~13 ms service time, so the captured rate gates the replay.
+        let mut w = TraceWriter::new("gaps.dat").with_tick_us(50_000);
+        w.op(IoOp::Open, 0, 0, 0);
+        for i in 0..100u64 {
+            w.op(IoOp::Read, 0, i * 512, 512);
+        }
+        w.op(IoOp::Close, 0, 0, 0);
+        let trace = w.finish().expect("valid trace");
+
+        let closed = simulate_trace(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &TraceSimOptions { think_time: ThinkTime::ClosedLoop },
+        );
+        let open = simulate_trace(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &TraceSimOptions { think_time: ThinkTime::FromTrace },
+        );
+        // Open loop must span at least the captured 5+ seconds.
+        assert!(open.makespan > 5.0, "open-loop makespan {}", open.makespan);
+        assert!(
+            closed.makespan < open.makespan / 2.0,
+            "closed loop compresses think time: {} vs {}",
+            closed.makespan,
+            open.makespan
+        );
+    }
+
+    #[test]
+    fn metadata_only_trace_is_fast() {
+        let mut w = TraceWriter::new("meta.dat");
+        w.op(IoOp::Open, 0, 0, 0);
+        for i in 0..50 {
+            w.op(IoOp::Seek, 0, i * 1000, 0);
+        }
+        w.op(IoOp::Close, 0, 0, 0);
+        let trace = w.finish().expect("valid");
+        let report =
+            simulate_trace(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
+        assert!(report.makespan < 0.01, "metadata ops are cheap: {}", report.makespan);
+        assert_eq!(report.bytes_moved, 0);
+    }
+
+    #[test]
+    fn repeat_counts_multiply_bytes() {
+        let mut rec = TraceRecord::simple(IoOp::Read, 0, 0, 1000);
+        rec.num_records = 5;
+        let trace = TraceFile::build("r.dat", 1, vec![rec]).expect("valid");
+        let report =
+            simulate_trace(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
+        assert_eq!(report.bytes_moved, 5000);
+    }
+
+    #[test]
+    fn utilization_bounded_and_deterministic() {
+        let trace = multi_process_trace(3, 10, 1024 * 1024);
+        let m = MachineConfig::with_disks(2);
+        let a = simulate_trace(&trace, &m, &TraceSimOptions::default());
+        let b = simulate_trace(&trace, &m, &TraceSimOptions::default());
+        assert_eq!(a, b, "deterministic");
+        assert!((0.0..=1.0).contains(&a.disk_utilization));
+        assert!(a.events > 0);
+    }
+}

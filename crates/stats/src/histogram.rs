@@ -1,0 +1,244 @@
+//! Logarithmically bucketed latency histograms.
+//!
+//! The operations the paper times span from sub-microsecond (warm seeks,
+//! Table 3: 7.3e-5 ms) to multiple milliseconds (cold web-server reads,
+//! Table 6: 9 ms) — five decades. A log-bucketed histogram keeps constant
+//! relative resolution across that whole range with a small fixed memory
+//! footprint, so the replayer can retain distribution shape without
+//! storing every sample.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// Number of buckets per power-of-two decade.
+const SUB_BUCKETS: usize = 8;
+
+/// A latency histogram with logarithmic buckets and exact summary stats.
+///
+/// Values are in milliseconds (matching the paper's unit), but the
+/// structure is unit-agnostic. Values ≤ 0 land in a dedicated underflow
+/// bucket (timers can round to zero on very fast operations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Smallest representable value; anything below goes to `underflow`.
+    floor: f64,
+    underflow: u64,
+    buckets: Vec<u64>,
+    summary: Summary,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram covering `[floor, floor * 2^decades)`.
+    ///
+    /// # Panics
+    /// Panics if `floor` is not strictly positive or `decades` is zero.
+    pub fn new(floor: f64, decades: usize) -> Self {
+        assert!(floor > 0.0, "histogram floor must be positive");
+        assert!(decades > 0, "histogram needs at least one decade");
+        Self {
+            floor,
+            underflow: 0,
+            buckets: vec![0; decades * SUB_BUCKETS],
+            summary: Summary::new(),
+        }
+    }
+
+    /// A histogram suited to the paper's measurement range:
+    /// 10 ns .. ~100 s in milliseconds.
+    pub fn for_io_latency() -> Self {
+        Self::new(1e-5, 24)
+    }
+
+    fn bucket_index(&self, value: f64) -> Option<usize> {
+        if value < self.floor {
+            return None;
+        }
+        let ratio = value / self.floor;
+        // log2 of ratio, scaled into sub-buckets.
+        let idx = (ratio.log2() * SUB_BUCKETS as f64).floor() as usize;
+        Some(idx.min(self.buckets.len() - 1))
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        self.summary.add(value);
+        match self.bucket_index(value) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Exact summary of the recorded values.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The lower edge of bucket `i`.
+    fn bucket_low(&self, i: usize) -> f64 {
+        self.floor * 2f64.powf(i as f64 / SUB_BUCKETS as f64)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the bucketed counts.
+    ///
+    /// Returns `None` when empty. The answer is the lower edge of the
+    /// bucket holding the q-th sample, so the approximation error is
+    /// bounded by one sub-bucket (a factor of `2^(1/8)` ≈ 9 %).
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(0.0);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_low(i));
+            }
+        }
+        self.summary.max()
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different floors or bucket counts.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.floor, other.floor, "histogram floors differ");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket counts differ");
+        self.underflow += other.underflow;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.summary.merge(&other.summary);
+    }
+
+    /// Non-empty buckets as `(lower_edge, count)` pairs, for reporting.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_low(i), c))
+            .collect()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::for_io_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::for_io_latency();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn records_count() {
+        let mut h = LatencyHistogram::for_io_latency();
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.summary().max(), Some(10.0));
+    }
+
+    #[test]
+    fn underflow_bucket() {
+        let mut h = LatencyHistogram::new(1.0, 4);
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(0.5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.approx_quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_orders() {
+        let mut h = LatencyHistogram::for_io_latency();
+        for i in 1..=1000 {
+            h.record(i as f64 * 0.01);
+        }
+        let p50 = h.approx_quantile(0.5).unwrap();
+        let p99 = h.approx_quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        // p50 of uniform 0.01..10 should be near 5 within bucket error.
+        assert!(p50 > 3.0 && p50 < 6.0, "p50={p50}");
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_bucket() {
+        let mut h = LatencyHistogram::new(1.0, 2); // covers 1..4
+        h.record(1e9);
+        assert_eq!(h.count(), 1);
+        assert!(h.approx_quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::for_io_latency();
+        let mut b = LatencyHistogram::for_io_latency();
+        a.record(1.0);
+        b.record(2.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.summary().max(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "floors differ")]
+    fn merge_incompatible_panics() {
+        let mut a = LatencyHistogram::new(1.0, 4);
+        let b = LatencyHistogram::new(2.0, 4);
+        a.merge(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_count_matches(xs in prop::collection::vec(0f64..1e4, 0..300)) {
+            let mut h = LatencyHistogram::for_io_latency();
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+        }
+
+        #[test]
+        fn quantile_monotone(xs in prop::collection::vec(1e-5f64..1e4, 1..300)) {
+            let mut h = LatencyHistogram::for_io_latency();
+            for &x in &xs { h.record(x); }
+            let q25 = h.approx_quantile(0.25).unwrap();
+            let q50 = h.approx_quantile(0.50).unwrap();
+            let q75 = h.approx_quantile(0.75).unwrap();
+            prop_assert!(q25 <= q50 && q50 <= q75);
+        }
+
+        #[test]
+        fn quantile_within_range(xs in prop::collection::vec(1e-5f64..1e4, 1..300),
+                                 q in 0f64..1.0) {
+            let mut h = LatencyHistogram::for_io_latency();
+            for &x in &xs { h.record(x); }
+            let v = h.approx_quantile(q).unwrap();
+            let max = h.summary().max().unwrap();
+            prop_assert!(v <= max * 1.0001);
+        }
+    }
+}

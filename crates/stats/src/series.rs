@@ -1,0 +1,166 @@
+//! Labeled (x, y) series for figure-style output.
+//!
+//! Figure 6 of the paper plots read response time against trial number.
+//! [`Series`] is the generic holder the bench binaries use to print such
+//! data, including a crude text sparkline so the shape is visible in a
+//! terminal without plotting tools.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// A named sequence of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Builds a series whose x values are 1-based trial numbers.
+    pub fn from_trials(name: impl Into<String>, ys: &[f64]) -> Self {
+        let mut s = Self::new(name);
+        for (i, &y) in ys.iter().enumerate() {
+            s.push((i + 1) as f64, y);
+        }
+        s
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Summary over the y values.
+    pub fn y_summary(&self) -> Summary {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+
+    /// True when the y values are non-increasing (Figure 6's expected
+    /// warm-up shape is "first trial slowest", checked with tolerance
+    /// `slack` as a fraction of the first value to forgive jitter).
+    pub fn first_is_max(&self, slack: f64) -> bool {
+        match self.points.first() {
+            None => true,
+            Some(&(_, first)) => self
+                .points
+                .iter()
+                .skip(1)
+                .all(|&(_, y)| y <= first * (1.0 + slack)),
+        }
+    }
+
+    /// Renders a one-line Unicode sparkline of the y values.
+    pub fn sparkline(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.points.is_empty() {
+            return String::new();
+        }
+        let ys: Vec<f64> = self.points.iter().map(|&(_, y)| y).collect();
+        let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        ys.iter()
+            .map(|&y| {
+                let t = ((y - min) / span * (BARS.len() - 1) as f64).round() as usize;
+                BARS[t.min(BARS.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// Renders the series as `x<TAB>y` lines for piping into plotting
+    /// tools, after a `# name` comment header.
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x}\t{y}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_trials_numbers_from_one() {
+        let s = Series::from_trials("t", &[9.0, 6.7, 6.5]);
+        assert_eq!(s.points()[0], (1.0, 9.0));
+        assert_eq!(s.points()[2], (3.0, 6.5));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("e");
+        assert!(s.is_empty());
+        assert!(s.first_is_max(0.0));
+        assert_eq!(s.sparkline(), "");
+    }
+
+    #[test]
+    fn first_is_max_shape() {
+        // Paper Table 6: 9.0, 6.7, 6.5, 7.5, 5.9, 3.2 — first is max.
+        let s = Series::from_trials("tbl6", &[9.0181, 6.7331, 6.5070, 7.4598, 5.9489, 3.2441]);
+        assert!(s.first_is_max(0.0));
+        let bad = Series::from_trials("bad", &[1.0, 2.0]);
+        assert!(!bad.first_is_max(0.0));
+        assert!(bad.first_is_max(1.5)); // generous slack forgives it
+    }
+
+    #[test]
+    fn sparkline_length_matches_points() {
+        let s = Series::from_trials("sp", &[1.0, 5.0, 3.0, 8.0]);
+        assert_eq!(s.sparkline().chars().count(), 4);
+    }
+
+    #[test]
+    fn sparkline_constant_series() {
+        let s = Series::from_trials("c", &[2.0, 2.0, 2.0]);
+        // All characters identical; must not panic on zero span.
+        let sp: Vec<char> = s.sparkline().chars().collect();
+        assert_eq!(sp.len(), 3);
+        assert!(sp.iter().all(|&c| c == sp[0]));
+    }
+
+    #[test]
+    fn tsv_format() {
+        let s = Series::from_trials("fig6", &[1.5]);
+        let tsv = s.to_tsv();
+        assert!(tsv.starts_with("# fig6\n"));
+        assert!(tsv.contains("1\t1.5\n"));
+    }
+
+    #[test]
+    fn y_summary() {
+        let s = Series::from_trials("y", &[1.0, 3.0]);
+        assert_eq!(s.y_summary().mean(), Some(2.0));
+    }
+}

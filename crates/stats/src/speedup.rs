@@ -1,0 +1,192 @@
+//! Speedup-versus-resources curves (Figures 4 and 5).
+//!
+//! The paper plots QCRD's speedup as a function of the number of disks
+//! (Fig. 4) and CPUs (Fig. 5), with the x-axis sweeping {2, 4, 8, 16, 32}
+//! against a single-resource baseline. [`SpeedupCurve`] holds one such
+//! sweep and derives speedup, efficiency and the Amdahl serial-fraction
+//! estimate that the evaluation text reasons about ("speedup is dominated
+//! by the first program").
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a resource sweep: `n` resources took `time` units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Resource count (disks or CPUs).
+    pub n: u32,
+    /// Measured (or simulated) completion time at this resource count.
+    pub time: f64,
+}
+
+/// A speedup curve anchored at a baseline time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupCurve {
+    baseline_n: u32,
+    baseline_time: f64,
+    points: Vec<SweepPoint>,
+}
+
+impl SpeedupCurve {
+    /// Creates a curve from a baseline measurement.
+    ///
+    /// # Panics
+    /// Panics if `baseline_time` is not strictly positive.
+    pub fn new(baseline_n: u32, baseline_time: f64) -> Self {
+        assert!(baseline_time > 0.0, "baseline time must be positive");
+        Self { baseline_n, baseline_time, points: Vec::new() }
+    }
+
+    /// Adds one sweep point.
+    ///
+    /// # Panics
+    /// Panics if `time` is not strictly positive.
+    pub fn push(&mut self, n: u32, time: f64) {
+        assert!(time > 0.0, "sweep time must be positive");
+        self.points.push(SweepPoint { n, time });
+    }
+
+    /// Baseline resource count.
+    pub fn baseline_n(&self) -> u32 {
+        self.baseline_n
+    }
+
+    /// Baseline completion time.
+    pub fn baseline_time(&self) -> f64 {
+        self.baseline_time
+    }
+
+    /// Raw sweep points, in insertion order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Speedup at each point: `baseline_time / time`.
+    pub fn speedups(&self) -> Vec<(u32, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.n, self.baseline_time / p.time))
+            .collect()
+    }
+
+    /// Parallel efficiency at each point: `speedup / (n / baseline_n)`.
+    pub fn efficiencies(&self) -> Vec<(u32, f64)> {
+        self.speedups()
+            .into_iter()
+            .map(|(n, s)| (n, s * self.baseline_n as f64 / n as f64))
+            .collect()
+    }
+
+    /// Estimates the Amdahl serial fraction `f` from the final sweep
+    /// point: `S(n) = 1 / (f + (1-f)/n)` solved for `f`.
+    ///
+    /// Returns `None` if the curve is empty or the last point shows no
+    /// speedup information (n == baseline).
+    pub fn amdahl_serial_fraction(&self) -> Option<f64> {
+        let last = self.points.last()?;
+        if last.n == self.baseline_n {
+            return None;
+        }
+        let s = self.baseline_time / last.time;
+        let n = last.n as f64 / self.baseline_n as f64;
+        // f = (n/s - 1) / (n - 1)
+        let f = (n / s - 1.0) / (n - 1.0);
+        Some(f.clamp(0.0, 1.0))
+    }
+
+    /// Predicted Amdahl speedup at `n` given serial fraction `f`.
+    pub fn amdahl_speedup(f: f64, n: f64) -> f64 {
+        1.0 / (f + (1.0 - f) / n)
+    }
+
+    /// Whether the curve is monotone non-decreasing in speedup, which is
+    /// the sanity property the figure-level tests assert (more resources
+    /// never slow the simulated system down).
+    pub fn is_monotone(&self) -> bool {
+        let sp = self.speedups();
+        sp.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_curve() -> SpeedupCurve {
+        let mut c = SpeedupCurve::new(1, 100.0);
+        c.push(2, 60.0);
+        c.push(4, 40.0);
+        c.push(8, 32.0);
+        c
+    }
+
+    #[test]
+    fn speedup_values() {
+        let c = sample_curve();
+        let s = c.speedups();
+        assert_eq!(s[0], (2, 100.0 / 60.0));
+        assert_eq!(s[2], (8, 3.125));
+    }
+
+    #[test]
+    fn efficiency_decreases() {
+        let c = sample_curve();
+        let e = c.efficiencies();
+        assert!(e.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn monotone_detection() {
+        let c = sample_curve();
+        assert!(c.is_monotone());
+        let mut bad = sample_curve();
+        bad.push(16, 50.0); // slower than the 8-resource point
+        assert!(!bad.is_monotone());
+    }
+
+    #[test]
+    fn amdahl_round_trip() {
+        // Build a curve from a known serial fraction and recover it.
+        let f = 0.3;
+        let mut c = SpeedupCurve::new(1, 1000.0);
+        for n in [2u32, 4, 8, 16, 32] {
+            let s = SpeedupCurve::amdahl_speedup(f, n as f64);
+            c.push(n, 1000.0 / s);
+        }
+        let est = c.amdahl_serial_fraction().unwrap();
+        assert!((est - f).abs() < 1e-9, "estimated {est}");
+    }
+
+    #[test]
+    fn amdahl_none_for_empty() {
+        let c = SpeedupCurve::new(1, 10.0);
+        assert_eq!(c.amdahl_serial_fraction(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline time must be positive")]
+    fn zero_baseline_panics() {
+        let _ = SpeedupCurve::new(1, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn serial_fraction_in_unit_interval(base in 1f64..1e6,
+                                            times in prop::collection::vec(1f64..1e6, 1..6)) {
+            let mut c = SpeedupCurve::new(1, base);
+            for (i, t) in times.iter().enumerate() {
+                c.push(2u32 << i, *t);
+            }
+            if let Some(f) = c.amdahl_serial_fraction() {
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn amdahl_speedup_bounded_by_n(f in 0f64..1.0, n in 1f64..1024.0) {
+            let s = SpeedupCurve::amdahl_speedup(f, n);
+            prop_assert!(s >= 1.0 - 1e-9);
+            prop_assert!(s <= n + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Streaming summary statistics (Welford's algorithm).
+//!
+//! Tables 1, 2 and 5 of the paper report *average* per-operation times;
+//! the replayer feeds every timed operation into a [`Summary`] per
+//! operation kind. Welford's online update keeps the variance numerically
+//! stable even when samples span six orders of magnitude, which they do:
+//! a warm page-cache read is ~70 ns while a cold prefetch-miss read is
+//! tens of milliseconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count / mean / variance / min / max accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Builds a summary from a slice of samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in samples {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another summary into this one (parallel reduction), using
+    /// the Chan et al. pairwise combination of Welford states.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `None` until at least one sample arrives.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (Bessel-corrected); `None` with fewer than 2 samples.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Coefficient of variation (σ/μ); `None` when empty or mean is zero.
+    pub fn cv(&self) -> Option<f64> {
+        match (self.std_dev(), self.mean()) {
+            (Some(sd), Some(m)) if m != 0.0 => Some(sd / m),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_none() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.variance(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.variance(), Some(4.0));
+        assert_eq!(s.std_dev(), Some(2.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), Some(0.0));
+        assert_eq!(s.sample_variance(), None);
+    }
+
+    #[test]
+    fn merge_empty_into_full() {
+        let mut a = Summary::from_samples(&[1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_full_into_empty() {
+        let b = Summary::from_samples(&[1.0, 2.0]);
+        let mut a = Summary::new();
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cv_of_constant_data_is_zero() {
+        let s = Summary::from_samples(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.cv(), Some(0.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_matches_sequential(xs in prop::collection::vec(-1e6f64..1e6, 0..200),
+                                    ys in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+            let mut merged = Summary::from_samples(&xs);
+            merged.merge(&Summary::from_samples(&ys));
+            let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+            let seq = Summary::from_samples(&all);
+            prop_assert_eq!(merged.count(), seq.count());
+            if let (Some(a), Some(b)) = (merged.mean(), seq.mean()) {
+                prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+            }
+            if let (Some(a), Some(b)) = (merged.variance(), seq.variance()) {
+                prop_assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()));
+            }
+        }
+
+        #[test]
+        fn mean_between_min_and_max(xs in prop::collection::vec(-1e9f64..1e9, 1..500)) {
+            let s = Summary::from_samples(&xs);
+            let (mean, min, max) = (s.mean().unwrap(), s.min().unwrap(), s.max().unwrap());
+            prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
+        }
+
+        #[test]
+        fn variance_nonnegative(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+            let s = Summary::from_samples(&xs);
+            prop_assert!(s.variance().unwrap() >= -1e-9);
+        }
+    }
+}
+

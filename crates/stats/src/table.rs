@@ -1,0 +1,163 @@
+//! Paper-style ASCII tables.
+//!
+//! Every experiment binary in `clio-bench` ends by printing a table whose
+//! columns match the corresponding table in the paper (e.g. Table 3:
+//! request number, data size in bytes, seek time in ms). [`Table`] is a
+//! small right-aligning formatter — deliberately minimal, so the printed
+//! rows can be diffed against EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of preformatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a row of displayable values.
+    pub fn row_display(&mut self, cells: &[&dyn fmt::Display]) {
+        let rendered: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&rendered);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Access to raw rows (for assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let total: usize = w.iter().sum::<usize>() + 3 * w.len().saturating_sub(1);
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.max(self.title.len())))?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = w[i]))
+                .collect::<Vec<_>>()
+                .join("   ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(total.max(self.title.len())))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a time in milliseconds the way the paper prints it: scientific
+/// notation below 1 µs-scale values (`7.88E-05`), fixed otherwise.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms != 0.0 && ms.abs() < 1e-3 {
+        format!("{ms:.2E}")
+    } else {
+        format!("{ms:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Table X", &["n", "bytes", "ms"]);
+        t.row(&["1".into(), "131072".into(), "0.0025".into()]);
+        t.row(&["2".into(), "4".into(), "7.33E-05".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("131072"));
+        assert!(s.contains("7.33E-05"));
+        // Rows align right: byte column ends at the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn row_display_stringifies() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row_display(&[&1u32, &2.5f64]);
+        assert_eq!(t.rows()[0], vec!["1".to_string(), "2.5".to_string()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_ms_matches_paper_style() {
+        assert_eq!(fmt_ms(7.88e-5), "7.88E-5");
+        assert_eq!(fmt_ms(0.0025), "0.0025");
+        assert_eq!(fmt_ms(2.1175), "2.1175");
+        assert_eq!(fmt_ms(0.0), "0.0000");
+    }
+
+    #[test]
+    fn empty_table_prints_headers() {
+        let t = Table::new("empty", &["h1"]);
+        let s = t.to_string();
+        assert!(s.contains("h1"));
+        assert!(t.is_empty());
+    }
+}

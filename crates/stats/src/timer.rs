@@ -1,0 +1,167 @@
+//! Monotonic stopwatches.
+//!
+//! The paper times individual I/O operations with
+//! `QueryPerformanceCounter`, which reads a monotonic hardware counter
+//! and reports elapsed milliseconds. [`Stopwatch`] plays the same role on
+//! top of [`std::time::Instant`]; [`Timed`] wraps a closure and returns
+//! both its result and the elapsed time, which is the idiom used all over
+//! the trace replayer and the web server handlers.
+
+use std::time::{Duration, Instant};
+
+/// A restartable monotonic stopwatch.
+///
+/// ```
+/// use clio_stats::Stopwatch;
+/// let mut sw = Stopwatch::started();
+/// let _work: u64 = (0..1000u64).sum();
+/// let elapsed = sw.lap();
+/// assert!(elapsed.as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    origin: Instant,
+}
+
+impl Stopwatch {
+    /// Creates a stopwatch whose origin is "now".
+    pub fn started() -> Self {
+        Self { origin: Instant::now() }
+    }
+
+    /// Elapsed time since the origin, without resetting.
+    pub fn elapsed(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    /// Elapsed time since the origin in fractional milliseconds, the unit
+    /// the paper reports everywhere.
+    pub fn elapsed_ms(&self) -> f64 {
+        duration_to_ms(self.origin.elapsed())
+    }
+
+    /// Returns the elapsed time and restarts the stopwatch.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let e = now - self.origin;
+        self.origin = now;
+        e
+    }
+
+    /// Restarts the stopwatch without reporting.
+    pub fn reset(&mut self) {
+        self.origin = Instant::now();
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::started()
+    }
+}
+
+/// Converts a [`Duration`] to fractional milliseconds.
+pub fn duration_to_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Converts fractional milliseconds back to a [`Duration`].
+///
+/// Negative inputs clamp to zero: simulated times are occasionally the
+/// result of floating-point subtraction and may underflow by an ulp.
+pub fn ms_to_duration(ms: f64) -> Duration {
+    Duration::from_secs_f64((ms / 1e3).max(0.0))
+}
+
+/// Runs `f` and returns `(result, elapsed)`.
+///
+/// This mirrors how the paper brackets each managed I/O call with
+/// counter reads: the measured region is exactly the closure body.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let sw = Stopwatch::started();
+    let out = f();
+    (out, sw.elapsed())
+}
+
+/// Extension trait: run a closure, record elapsed milliseconds into a sink.
+pub trait Timed {
+    /// Runs `f`, pushes the elapsed milliseconds into `self`, returns the
+    /// closure's result.
+    fn record_timed<T>(&mut self, f: impl FnOnce() -> T) -> T;
+}
+
+impl Timed for Vec<f64> {
+    fn record_timed<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let (out, d) = time_it(f);
+        self.push(duration_to_ms(d));
+        out
+    }
+}
+
+impl Timed for crate::summary::Summary {
+    fn record_timed<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let (out, d) = time_it(f);
+        self.add(duration_to_ms(d));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotone() {
+        let sw = Stopwatch::started();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_resets_origin() {
+        let mut sw = Stopwatch::started();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        let second = sw.elapsed();
+        assert!(first >= Duration::from_millis(1));
+        assert!(second < first, "origin must move forward on lap");
+    }
+
+    #[test]
+    fn ms_round_trip() {
+        let d = Duration::from_micros(1500);
+        let ms = duration_to_ms(d);
+        assert!((ms - 1.5).abs() < 1e-9);
+        assert_eq!(ms_to_duration(ms), d);
+    }
+
+    #[test]
+    fn ms_to_duration_clamps_negative() {
+        assert_eq!(ms_to_duration(-0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, d) = time_it(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_into_vec() {
+        let mut sink = Vec::new();
+        let v = sink.record_timed(|| "ok");
+        assert_eq!(v, "ok");
+        assert_eq!(sink.len(), 1);
+        assert!(sink[0] >= 0.0);
+    }
+
+    #[test]
+    fn timed_into_summary() {
+        let mut s = crate::Summary::new();
+        s.record_timed(|| ());
+        s.record_timed(|| ());
+        assert_eq!(s.count(), 2);
+    }
+}

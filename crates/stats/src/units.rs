@@ -1,0 +1,92 @@
+//! Byte and duration formatting helpers.
+
+/// Formats a byte count with binary unit suffixes (`KiB`, `MiB`, ...).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats a duration given in milliseconds with an adaptive unit.
+pub fn fmt_duration_ms(ms: f64) -> String {
+    let abs = ms.abs();
+    if abs >= 1000.0 {
+        format!("{:.3} s", ms / 1000.0)
+    } else if abs >= 1.0 {
+        format!("{ms:.3} ms")
+    } else if abs >= 1e-3 {
+        format!("{:.3} µs", ms * 1e3)
+    } else {
+        format!("{:.1} ns", ms * 1e6)
+    }
+}
+
+/// Parses a size string such as `"64K"`, `"1M"`, `"2G"` or plain bytes.
+///
+/// Suffixes are binary (K = 1024). Returns `None` on malformed input.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1024u64),
+        'm' | 'M' => (&s[..s.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: u64 = num.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_small() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(512), "512 B");
+    }
+
+    #[test]
+    fn bytes_scaled() {
+        assert_eq!(fmt_bytes(1024), "1.00 KiB");
+        assert_eq!(fmt_bytes(1536), "1.50 KiB");
+        assert_eq!(fmt_bytes(1024 * 1024 * 1024), "1.00 GiB");
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration_ms(1500.0), "1.500 s");
+        assert_eq!(fmt_duration_ms(2.5), "2.500 ms");
+        assert_eq!(fmt_duration_ms(0.5), "500.000 µs");
+        assert_eq!(fmt_duration_ms(0.0000788), "78.8 ns");
+    }
+
+    #[test]
+    fn parse_sizes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("64K"), Some(65536));
+        assert_eq!(parse_size("1M"), Some(1 << 20));
+        assert_eq!(parse_size("2g"), Some(2 << 30));
+        assert_eq!(parse_size(" 8k "), Some(8192));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("abc"), None);
+        assert_eq!(parse_size("-1"), None);
+    }
+
+    #[test]
+    fn parse_size_overflow_is_none() {
+        assert_eq!(parse_size("99999999999999999999G"), None);
+    }
+}

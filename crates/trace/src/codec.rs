@@ -1,0 +1,297 @@
+//! Binary and text codecs for trace files.
+//!
+//! Binary layout (all integers little-endian):
+//!
+//! ```text
+//! magic    4 bytes  "CLIO"
+//! version  u16      currently 1
+//! header   num_processes u32 | num_files u32 | num_records u64
+//!          | records_offset u64 | name_len u16 | name bytes
+//! records  num_records × 45 bytes:
+//!          op u8 | num_records u32 | pid u32 | file_id u32
+//!          | wall_clock_us u64 | proc_clock_us u64 | offset u64 | length u64
+//! ```
+//!
+//! The text codec is one record per line:
+//! `op num_records pid file_id wall_us proc_us offset length`,
+//! with `#`-prefixed comments and a `!header` line carrying the header.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::TraceError;
+use crate::header::TraceHeader;
+use crate::record::{IoOp, TraceRecord};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"CLIO";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+fn need(buf: &impl Buf, n: usize, context: &'static str) -> Result<(), TraceError> {
+    if buf.remaining() < n {
+        Err(TraceError::Truncated { context })
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes the magic, version and header.
+pub fn encode_header(header: &TraceHeader, out: &mut BytesMut) {
+    out.put_slice(&MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(header.num_processes);
+    out.put_u32_le(header.num_files);
+    out.put_u64_le(header.num_records);
+    out.put_u64_le(header.records_offset);
+    out.put_u16_le(header.sample_file.len() as u16);
+    out.put_slice(header.sample_file.as_bytes());
+}
+
+/// Decodes the magic, version and header.
+pub fn decode_header(buf: &mut Bytes) -> Result<TraceHeader, TraceError> {
+    need(buf, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic(magic));
+    }
+    need(buf, 2, "version")?;
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    need(buf, 4 + 4 + 8 + 8 + 2, "header fields")?;
+    let num_processes = buf.get_u32_le();
+    let num_files = buf.get_u32_le();
+    let num_records = buf.get_u64_le();
+    let records_offset = buf.get_u64_le();
+    let name_len = buf.get_u16_le() as usize;
+    need(buf, name_len, "sample file name")?;
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let sample_file = String::from_utf8(name_bytes.to_vec())
+        .map_err(|_| TraceError::BadHeader("sample file name is not UTF-8".into()))?;
+    let header =
+        TraceHeader { num_processes, num_files, num_records, records_offset, sample_file };
+    header.validate()?;
+    Ok(header)
+}
+
+/// Encodes one record.
+pub fn encode_record(r: &TraceRecord, out: &mut BytesMut) {
+    out.put_u8(r.op.code());
+    out.put_u32_le(r.num_records);
+    out.put_u32_le(r.pid);
+    out.put_u32_le(r.file_id);
+    out.put_u64_le(r.wall_clock_us);
+    out.put_u64_le(r.proc_clock_us);
+    out.put_u64_le(r.offset);
+    out.put_u64_le(r.length);
+}
+
+/// Decodes one record.
+pub fn decode_record(buf: &mut Bytes) -> Result<TraceRecord, TraceError> {
+    need(buf, TraceRecord::ENCODED_LEN, "record")?;
+    let code = buf.get_u8();
+    let op = IoOp::from_code(code).ok_or(TraceError::BadOpCode(code))?;
+    Ok(TraceRecord {
+        op,
+        num_records: buf.get_u32_le(),
+        pid: buf.get_u32_le(),
+        file_id: buf.get_u32_le(),
+        wall_clock_us: buf.get_u64_le(),
+        proc_clock_us: buf.get_u64_le(),
+        offset: buf.get_u64_le(),
+        length: buf.get_u64_le(),
+    })
+}
+
+/// Renders one record as a text-codec line.
+pub fn record_to_text(r: &TraceRecord) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {}",
+        r.op.name(),
+        r.num_records,
+        r.pid,
+        r.file_id,
+        r.wall_clock_us,
+        r.proc_clock_us,
+        r.offset,
+        r.length
+    )
+}
+
+/// Parses one text-codec line (line numbers are 1-based, for errors).
+pub fn record_from_text(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
+    let mut it = line.split_whitespace();
+    let op_name = it.next().ok_or_else(|| TraceError::BadTextLine {
+        line: line_no,
+        reason: "empty record line".into(),
+    })?;
+    let op = IoOp::from_name(op_name).ok_or_else(|| TraceError::BadTextLine {
+        line: line_no,
+        reason: format!("unknown operation {op_name:?}"),
+    })?;
+    let mut next_u64 = |what: &str| -> Result<u64, TraceError> {
+        let tok = it.next().ok_or_else(|| TraceError::BadTextLine {
+            line: line_no,
+            reason: format!("missing {what}"),
+        })?;
+        tok.parse().map_err(|_| TraceError::BadTextLine {
+            line: line_no,
+            reason: format!("bad {what}: {tok:?}"),
+        })
+    };
+    let num_records = next_u64("num_records")? as u32;
+    let pid = next_u64("pid")? as u32;
+    let file_id = next_u64("file_id")? as u32;
+    let wall_clock_us = next_u64("wall_clock_us")?;
+    let proc_clock_us = next_u64("proc_clock_us")?;
+    let offset = next_u64("offset")?;
+    let length = next_u64("length")?;
+    Ok(TraceRecord { op, num_records, pid, file_id, wall_clock_us, proc_clock_us, offset, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_header() -> TraceHeader {
+        TraceHeader {
+            num_processes: 4,
+            num_files: 2,
+            num_records: 3,
+            records_offset: 40,
+            sample_file: "big.dat".into(),
+        }
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = sample_header();
+        let mut out = BytesMut::new();
+        encode_header(&h, &mut out);
+        let mut buf = out.freeze();
+        assert_eq!(decode_header(&mut buf).unwrap(), h);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let r = TraceRecord {
+            op: IoOp::Write,
+            num_records: 7,
+            pid: 3,
+            file_id: 1,
+            wall_clock_us: 123456789,
+            proc_clock_us: 987654,
+            offset: 66617088,
+            length: 131072,
+        };
+        let mut out = BytesMut::new();
+        encode_record(&r, &mut out);
+        assert_eq!(out.len(), TraceRecord::ENCODED_LEN);
+        let mut buf = out.freeze();
+        assert_eq!(decode_record(&mut buf).unwrap(), r);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut out = BytesMut::new();
+        encode_header(&sample_header(), &mut out);
+        out[0] = b'X';
+        let mut buf = out.freeze();
+        assert!(matches!(decode_header(&mut buf), Err(TraceError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut out = BytesMut::new();
+        encode_header(&sample_header(), &mut out);
+        out[4] = 0xFF;
+        out[5] = 0xFF;
+        let mut buf = out.freeze();
+        assert!(matches!(decode_header(&mut buf), Err(TraceError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_boundary() {
+        let mut out = BytesMut::new();
+        encode_header(&sample_header(), &mut out);
+        let full = out.freeze();
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            assert!(
+                decode_header(&mut buf).is_err(),
+                "cut at {cut} of {} must fail",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        let mut out = BytesMut::new();
+        encode_record(&TraceRecord::simple(IoOp::Read, 0, 0, 1), &mut out);
+        out[0] = 9;
+        let mut buf = out.freeze();
+        assert!(matches!(decode_record(&mut buf), Err(TraceError::BadOpCode(9))));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let r = TraceRecord::simple(IoOp::Seek, 1, 62945280, 0);
+        let line = record_to_text(&r);
+        assert!(line.starts_with("seek "));
+        let back = record_from_text(&line, 1).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn text_errors_carry_line_numbers() {
+        let e = record_from_text("fsync 1 2 3 4 5 6 7", 42).unwrap_err();
+        assert!(e.to_string().contains("line 42"));
+        let e = record_from_text("read 1 2", 7).unwrap_err();
+        assert!(e.to_string().contains("missing"));
+        let e = record_from_text("read x 2 3 4 5 6 7", 1).unwrap_err();
+        assert!(e.to_string().contains("bad num_records"));
+        let e = record_from_text("", 3).unwrap_err();
+        assert!(e.to_string().contains("empty"));
+    }
+
+    fn arb_record() -> impl Strategy<Value = TraceRecord> {
+        (0u8..5, any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(code, nr, pid, fid, w, p, off, len)| TraceRecord {
+                op: IoOp::from_code(code).unwrap(),
+                num_records: nr,
+                pid,
+                file_id: fid,
+                wall_clock_us: w,
+                proc_clock_us: p,
+                offset: off,
+                length: len,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn binary_round_trip_any_record(r in arb_record()) {
+            let mut out = BytesMut::new();
+            encode_record(&r, &mut out);
+            let mut buf = out.freeze();
+            prop_assert_eq!(decode_record(&mut buf).unwrap(), r);
+        }
+
+        #[test]
+        fn text_round_trip_any_record(r in arb_record()) {
+            let line = record_to_text(&r);
+            prop_assert_eq!(record_from_text(&line, 1).unwrap(), r);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+            let mut buf = Bytes::from(bytes);
+            let _ = decode_header(&mut buf); // must return, never panic
+        }
+    }
+}

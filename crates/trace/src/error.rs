@@ -1,0 +1,99 @@
+//! Trace errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors arising from trace encoding, decoding or replay.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file does not begin with the `CLIO` magic.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended before the declared content.
+    Truncated {
+        /// What was being decoded when the data ran out.
+        context: &'static str,
+    },
+    /// A record carried an operation code outside 0–4.
+    BadOpCode(u8),
+    /// A header field failed validation.
+    BadHeader(String),
+    /// A text-format line could not be parsed.
+    BadTextLine {
+        /// 1-based line number.
+        line: usize,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A record referenced a file id not declared in the header.
+    FileIdOutOfRange {
+        /// The offending file id.
+        file_id: u32,
+        /// Number of files the header declares.
+        num_files: u32,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"CLIO\""),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated { context } => write!(f, "trace truncated while reading {context}"),
+            TraceError::BadOpCode(c) => write!(f, "unknown operation code {c}"),
+            TraceError::BadHeader(why) => write!(f, "invalid header: {why}"),
+            TraceError::BadTextLine { line, reason } => {
+                write!(f, "text trace line {line}: {reason}")
+            }
+            TraceError::FileIdOutOfRange { file_id, num_files } => {
+                write!(f, "record references file {file_id} but header declares {num_files} files")
+            }
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(TraceError::BadMagic(*b"NOPE").to_string().contains("CLIO"));
+        assert!(TraceError::BadVersion(9).to_string().contains('9'));
+        assert!(TraceError::Truncated { context: "header" }.to_string().contains("header"));
+        assert!(TraceError::BadOpCode(7).to_string().contains('7'));
+        assert!(TraceError::BadHeader("x".into()).to_string().contains('x'));
+        assert!(
+            TraceError::BadTextLine { line: 3, reason: "nope".into() }.to_string().contains("line 3")
+        );
+        assert!(TraceError::FileIdOutOfRange { file_id: 5, num_files: 2 }
+            .to_string()
+            .contains("file 5"));
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        let e: TraceError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,95 @@
+//! Trace file headers.
+//!
+//! "The trace file header contains parameters for number of processes,
+//! number of files, number of records, offset to the Trace records and
+//! the sample file on which the I/O operations will be issued."
+//! — paper, Section 3.2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TraceError;
+
+/// The header of a trace file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Number of processes that produced records.
+    pub num_processes: u32,
+    /// Number of distinct files the records reference.
+    pub num_files: u32,
+    /// Number of trace records following the header.
+    pub num_records: u64,
+    /// Byte offset from the start of the trace file to the records.
+    pub records_offset: u64,
+    /// The sample file on which the I/O operations will be issued.
+    pub sample_file: String,
+}
+
+impl TraceHeader {
+    /// Maximum sample-file name length the codec can store.
+    pub const MAX_SAMPLE_NAME: usize = u16::MAX as usize;
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.num_processes == 0 {
+            return Err(TraceError::BadHeader("zero processes".into()));
+        }
+        if self.num_files == 0 {
+            return Err(TraceError::BadHeader("zero files".into()));
+        }
+        if self.sample_file.is_empty() {
+            return Err(TraceError::BadHeader("empty sample file name".into()));
+        }
+        if self.sample_file.len() > Self::MAX_SAMPLE_NAME {
+            return Err(TraceError::BadHeader("sample file name too long".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_header() -> TraceHeader {
+        TraceHeader {
+            num_processes: 1,
+            num_files: 1,
+            num_records: 10,
+            records_offset: 64,
+            sample_file: "sample.dat".into(),
+        }
+    }
+
+    #[test]
+    fn valid_header_passes() {
+        assert!(ok_header().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_processes_rejected() {
+        let mut h = ok_header();
+        h.num_processes = 0;
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn zero_files_rejected() {
+        let mut h = ok_header();
+        h.num_files = 0;
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn empty_sample_name_rejected() {
+        let mut h = ok_header();
+        h.sample_file.clear();
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn oversized_sample_name_rejected() {
+        let mut h = ok_header();
+        h.sample_file = "x".repeat(TraceHeader::MAX_SAMPLE_NAME + 1);
+        assert!(h.validate().is_err());
+    }
+}

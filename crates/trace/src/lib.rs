@@ -1,0 +1,58 @@
+//! # clio-trace — I/O trace format and replay (paper Section 3)
+//!
+//! The paper's second benchmark replays I/O traces collected at the
+//! University of Maryland against a 1 GB sample file, timing each
+//! operation. This crate implements the trace infrastructure end to end:
+//!
+//! - [`record`] — the operation alphabet (`Open=0, Close=1, Read=2,
+//!   Write=3, Seek=4`) and the record layout the paper lists (operation,
+//!   repeat count, process id, file id, wall-clock time, process-clock
+//!   time, offset, length),
+//! - [`header`] — the trace-file header (number of processes, files and
+//!   records, offset to the records, sample-file name),
+//! - [`codec`] — a binary codec (magic + version + fixed-width records)
+//!   and a whitespace text codec,
+//! - [`reader`] / [`writer`] — whole-file I/O with validation,
+//! - [`stats`] — per-operation counts, byte volumes and a sequentiality
+//!   measure,
+//! - [`replay`] — two replay engines: *simulated* (against
+//!   [`clio_cache::BufferCache`]'s deterministic cost model — the mode
+//!   the tables in EXPERIMENTS.md are generated from) and *real*
+//!   (against an actual file through [`clio_cache::FileBackend`], timed
+//!   with monotonic clocks).
+//!
+//! ```
+//! use clio_trace::record::{IoOp, TraceRecord};
+//! use clio_trace::{TraceFile, header::TraceHeader};
+//!
+//! let records = vec![
+//!     TraceRecord::simple(IoOp::Open, 0, 0, 0),
+//!     TraceRecord::simple(IoOp::Read, 0, 0, 131072),
+//!     TraceRecord::simple(IoOp::Close, 0, 0, 0),
+//! ];
+//! let trace = TraceFile::build("sample.dat", 1, records).unwrap();
+//! let bytes = trace.to_bytes();
+//! let back = TraceFile::from_bytes(&bytes).unwrap();
+//! assert_eq!(trace.records, back.records);
+//! assert_eq!(trace.header.sample_file, back.header.sample_file);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod header;
+pub mod reader;
+pub mod record;
+pub mod replay;
+pub mod stats;
+pub mod synth;
+pub mod transform;
+pub mod writer;
+
+pub use error::TraceError;
+pub use header::TraceHeader;
+pub use reader::TraceFile;
+pub use record::{IoOp, TraceRecord};
+pub use replay::{OpTiming, ReplayReport};
+pub use stats::TraceStats;

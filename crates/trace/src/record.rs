@@ -1,0 +1,204 @@
+//! Trace records.
+//!
+//! "Each trace record contains parameters corresponding to the I/O
+//! operation to be performed (Open=0, Close=1, Read=2, Write=3, Seek=4),
+//! number of records for which the I/O operation need to be performed,
+//! process id, field, wall clock time, process clock time, offset,
+//! length." — paper, Section 3.2. ("Field" identifies the file the
+//! operation targets; we name it `file_id`.)
+
+use serde::{Deserialize, Serialize};
+
+/// The trace operation alphabet, with the paper's numeric codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum IoOp {
+    /// Open the target file.
+    Open = 0,
+    /// Close the target file.
+    Close = 1,
+    /// Read `length` bytes at `offset`.
+    Read = 2,
+    /// Write `length` bytes at `offset`.
+    Write = 3,
+    /// Seek from the beginning of the file to `offset`.
+    Seek = 4,
+}
+
+impl IoOp {
+    /// All operations, in code order.
+    pub const ALL: [IoOp; 5] = [IoOp::Open, IoOp::Close, IoOp::Read, IoOp::Write, IoOp::Seek];
+
+    /// Decodes the paper's numeric code.
+    pub fn from_code(code: u8) -> Option<IoOp> {
+        match code {
+            0 => Some(IoOp::Open),
+            1 => Some(IoOp::Close),
+            2 => Some(IoOp::Read),
+            3 => Some(IoOp::Write),
+            4 => Some(IoOp::Seek),
+            _ => None,
+        }
+    }
+
+    /// The numeric code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Lower-case name used by the text codec and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::Open => "open",
+            IoOp::Close => "close",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Seek => "seek",
+        }
+    }
+
+    /// Parses the text-codec name.
+    pub fn from_name(name: &str) -> Option<IoOp> {
+        match name {
+            "open" => Some(IoOp::Open),
+            "close" => Some(IoOp::Close),
+            "read" => Some(IoOp::Read),
+            "write" => Some(IoOp::Write),
+            "seek" => Some(IoOp::Seek),
+            _ => None,
+        }
+    }
+
+    /// Whether the operation moves data (read/write).
+    pub fn transfers_data(self) -> bool {
+        matches!(self, IoOp::Read | IoOp::Write)
+    }
+}
+
+/// One trace record, in the paper's field order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The operation.
+    pub op: IoOp,
+    /// Repeat count ("number of records for which the I/O operation
+    /// need to be performed"); 1 for a single operation.
+    pub num_records: u32,
+    /// Issuing process id.
+    pub pid: u32,
+    /// Target file id (the paper's "field").
+    pub file_id: u32,
+    /// Wall-clock timestamp at capture, microseconds.
+    pub wall_clock_us: u64,
+    /// Process-clock timestamp at capture, microseconds.
+    pub proc_clock_us: u64,
+    /// Byte offset of the operation.
+    pub offset: u64,
+    /// Byte length of the operation (0 for open/close/seek).
+    pub length: u64,
+}
+
+impl TraceRecord {
+    /// Encoded size of one record in the binary codec.
+    pub const ENCODED_LEN: usize = 1 + 4 + 4 + 4 + 8 + 8 + 8 + 8;
+
+    /// A single-shot record with zeroed clocks.
+    pub fn simple(op: IoOp, file_id: u32, offset: u64, length: u64) -> Self {
+        Self {
+            op,
+            num_records: 1,
+            pid: 0,
+            file_id,
+            wall_clock_us: 0,
+            proc_clock_us: 0,
+            offset,
+            length,
+        }
+    }
+
+    /// Total bytes this record moves (`length × num_records` for data
+    /// operations, 0 otherwise), saturating.
+    pub fn bytes_moved(&self) -> u64 {
+        if self.op.transfers_data() {
+            self.length.saturating_mul(self.num_records as u64)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn codes_match_paper() {
+        assert_eq!(IoOp::Open.code(), 0);
+        assert_eq!(IoOp::Close.code(), 1);
+        assert_eq!(IoOp::Read.code(), 2);
+        assert_eq!(IoOp::Write.code(), 3);
+        assert_eq!(IoOp::Seek.code(), 4);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for op in IoOp::ALL {
+            assert_eq!(IoOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(IoOp::from_code(5), None);
+        assert_eq!(IoOp::from_code(255), None);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for op in IoOp::ALL {
+            assert_eq!(IoOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(IoOp::from_name("fsync"), None);
+    }
+
+    #[test]
+    fn transfers_data() {
+        assert!(IoOp::Read.transfers_data());
+        assert!(IoOp::Write.transfers_data());
+        assert!(!IoOp::Open.transfers_data());
+        assert!(!IoOp::Close.transfers_data());
+        assert!(!IoOp::Seek.transfers_data());
+    }
+
+    #[test]
+    fn simple_record_defaults() {
+        let r = TraceRecord::simple(IoOp::Read, 2, 100, 4096);
+        assert_eq!(r.num_records, 1);
+        assert_eq!(r.pid, 0);
+        assert_eq!(r.bytes_moved(), 4096);
+    }
+
+    #[test]
+    fn bytes_moved_scales_with_repeats() {
+        let mut r = TraceRecord::simple(IoOp::Write, 0, 0, 1000);
+        r.num_records = 3;
+        assert_eq!(r.bytes_moved(), 3000);
+        let s = TraceRecord::simple(IoOp::Seek, 0, 12345, 99);
+        assert_eq!(s.bytes_moved(), 0, "seeks move no data");
+    }
+
+    #[test]
+    fn bytes_moved_saturates() {
+        let mut r = TraceRecord::simple(IoOp::Read, 0, 0, u64::MAX);
+        r.num_records = u32::MAX;
+        assert_eq!(r.bytes_moved(), u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn from_code_total_on_valid(code in 0u8..5) {
+            prop_assert!(IoOp::from_code(code).is_some());
+        }
+
+        #[test]
+        fn from_code_none_on_invalid(code in 5u8..=255) {
+            prop_assert!(IoOp::from_code(code).is_none());
+        }
+    }
+}

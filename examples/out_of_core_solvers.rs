@@ -1,0 +1,75 @@
+//! Out-of-core numerics walkthrough: the LU and Cholesky applications
+//! solved end-to-end with verification against dense references, and a
+//! look at how their I/O signatures differ.
+//!
+//! ```sh
+//! cargo run --example out_of_core_solvers
+//! ```
+
+use clio_core::apps::datagen::{dense_matrix, grid_laplacian};
+use clio_core::apps::{cholesky, lu};
+use clio_core::trace::record::IoOp;
+use clio_core::trace::stats::TraceStats;
+
+fn main() -> std::io::Result<()> {
+    // Blocked LU with partial pivoting, panels streamed through memory.
+    let lu_cfg = lu::LuConfig { n: 48, panel: 12, seed: 21 };
+    let (lu_res, lu_trace) = lu::run(&lu_cfg)?;
+    let a = dense_matrix(lu_cfg.seed, lu_cfg.n);
+    let rebuilt = lu_res.reconstruct();
+    let err = a
+        .iter()
+        .zip(&rebuilt)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("LU {}x{} (panel {}):", lu_cfg.n, lu_cfg.n, lu_cfg.panel);
+    println!("  max |A - P^T L U| = {err:.2e}");
+    let lu_stats = TraceStats::compute(&lu_trace);
+    println!(
+        "  I/O: {} seeks, {} reads, {} writes, {:.1} MiB moved",
+        lu_stats.count(IoOp::Seek),
+        lu_stats.count(IoOp::Read),
+        lu_stats.count(IoOp::Write),
+        (lu_stats.bytes_read + lu_stats.bytes_written) as f64 / (1024.0 * 1024.0)
+    );
+
+    // Left-looking sparse Cholesky of a grid Laplacian.
+    let ch_cfg = cholesky::CholeskyConfig { grid: 10 };
+    let (ch_res, ch_trace) = cholesky::run(&ch_cfg)?;
+    let (n, triplets) = grid_laplacian(ch_cfg.grid);
+    let mut dense = vec![0.0f64; n * n];
+    for &(r, c, v) in &triplets {
+        dense[r as usize * n + c as usize] = v;
+        dense[c as usize * n + r as usize] = v;
+    }
+    let rebuilt = ch_res.reconstruct_dense();
+    let err = dense
+        .iter()
+        .zip(&rebuilt)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nCholesky {n}x{n} grid Laplacian:");
+    println!("  max |A - L L^T| = {err:.2e}");
+    println!(
+        "  fill-in: {} input nnz -> {} factor nnz",
+        triplets.len(),
+        ch_res.nnz
+    );
+    let ch_stats = TraceStats::compute(&ch_trace);
+    println!(
+        "  I/O: request sizes {:.0} B .. {:.0} B (left-looking re-reads widen over time)",
+        ch_stats.request_sizes.min().unwrap_or(0.0),
+        ch_stats.request_sizes.max().unwrap_or(0.0)
+    );
+
+    println!("\nSignature comparison (the paper's Tables 3 vs 4):");
+    println!(
+        "  LU:       few giant seeks (max offset {} B) over a dense matrix file",
+        lu_trace.records.iter().filter(|r| r.op == IoOp::Seek).map(|r| r.offset).max().unwrap_or(0)
+    );
+    println!(
+        "  Cholesky: many small-to-large reads ({} total) as fill-in grows",
+        ch_stats.count(IoOp::Read)
+    );
+    Ok(())
+}

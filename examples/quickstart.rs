@@ -1,0 +1,59 @@
+//! Quickstart: run all three benchmarks of the suite and print the
+//! headline results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use clio_core::config::SuiteConfig;
+use clio_core::suite::BenchmarkSuite;
+
+fn main() -> std::io::Result<()> {
+    println!("clio-bench quickstart — the three benchmarks of");
+    println!("\"Benchmarking the CLI for I/O-Intensive Computing\" (IPDPS'05)\n");
+
+    let suite = BenchmarkSuite::new(SuiteConfig::default()).expect("default config is valid");
+    let report = suite.run()?;
+
+    // Benchmark 1: the behavioral model.
+    let qcrd = report.qcrd.expect("model benchmark enabled");
+    println!("[1] Behavioral model (QCRD on a simulated uniprocessor)");
+    println!(
+        "    application: CPU {:.1}s / IO {:.1}s  ({:.0}% / {:.0}%)",
+        qcrd.application.cpu_s, qcrd.application.io_s, qcrd.application.cpu_pct, qcrd.application.io_pct
+    );
+    let disk = report.disk_speedup.expect("sweep ran");
+    let cpu = report.cpu_speedup.expect("sweep ran");
+    println!(
+        "    speedup at 32 disks: {:.2}x | at 32 CPUs: {:.2}x",
+        disk.last().expect("non-empty").1,
+        cpu.last().expect("non-empty").1
+    );
+
+    // Benchmark 2: trace replay.
+    println!("\n[2] Trace-driven replay (simulated page cache)");
+    for m in report.trace_means.expect("trace benchmark enabled") {
+        println!(
+            "    {:<16} open {:.4} ms | close {:.4} ms{}",
+            m.app,
+            m.open_ms.unwrap_or(0.0),
+            m.close_ms.unwrap_or(0.0),
+            m.read_ms.map_or(String::new(), |r| format!(" | read {r:.4} ms")),
+        );
+    }
+
+    // Benchmark 3: the web server.
+    println!("\n[3] Multithreaded web server (real sockets + SSCLI cost model)");
+    for row in report.table5.expect("web benchmark enabled") {
+        println!(
+            "    {:>6} B: read {:.3} ms, write {:.3} ms (SSCLI model)",
+            row.bytes, row.read_ms, row.write_ms
+        );
+    }
+    let trials = report.table6.expect("web benchmark enabled");
+    let series: Vec<String> = trials.iter().map(|&(s, _)| format!("{s:.2}")).collect();
+    println!("    repeated reads (ms): {}", series.join(", "));
+    println!("    first read is slowest: {}", trials[0].0 > trials[1].0);
+
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Storage-substrate exploration: disk request schedulers and RAID
+//! levels over the paper's workloads.
+//!
+//! The paper's figures assume FCFS dispatch on a plain stripe. This
+//! example sweeps the alternatives — SSTF/SCAN/C-LOOK scheduling and
+//! RAID-0/1/5 layouts — and shows where each knob matters (random
+//! batches) and where it does not (the LU trace arrives pre-sorted).
+//!
+//! ```sh
+//! cargo run --example storage_ablation
+//! ```
+
+use clio_core::ablations::{
+    lu_device_batch, raid_ablation, random_device_batch, scheduler_ablation,
+};
+use clio_core::sim::raid::{RaidArray, RaidLevel};
+use clio_core::sim::sched::{DiskRequest, Policy, Scheduler};
+use clio_core::sim::DiskModel;
+
+fn main() {
+    println!("== Disk scheduling ==\n");
+    for (label, batch) in [
+        ("LU paper trace (arrives nearly sorted)", lu_device_batch()),
+        ("uniform random batch, n = 64", random_device_batch(64, 7)),
+    ] {
+        println!("{label}:");
+        println!("  {:8} {:>12} {:>11} {:>13}", "policy", "seek (cyl)", "seek (ms)", "service (ms)");
+        for row in scheduler_ablation(&batch) {
+            println!(
+                "  {:8} {:>12} {:>11.3} {:>13.3}",
+                row.policy, row.seek_cylinders, row.seek_ms, row.service_ms
+            );
+        }
+        println!();
+    }
+
+    println!("== Service order under each policy (textbook queue) ==\n");
+    let queue = [98u64, 183, 37, 122, 14, 124, 65, 67];
+    for policy in Policy::ALL {
+        let batch: Vec<DiskRequest> = queue
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| DiskRequest { id: i as u64, cylinder: c, bytes: 4096 })
+            .collect();
+        let order: Vec<u64> = Scheduler::order(policy, 53, batch)
+            .iter()
+            .map(|r| r.cylinder)
+            .collect();
+        println!("  {:8} {:?}", policy.name(), order);
+    }
+
+    println!("\n== RAID levels (4 members, 64 KiB stripe units) ==\n");
+    println!(
+        "  {:8} {:>14} {:>16} {:>17} {:>9}",
+        "level", "read 8MiB (ms)", "write 8MiB (ms)", "write 16KiB (ms)", "capacity"
+    );
+    for row in raid_ablation() {
+        println!(
+            "  {:8} {:>14.3} {:>16.3} {:>17.3} {:>9.2}",
+            row.level, row.read_large_ms, row.write_large_ms, row.write_small_ms,
+            row.capacity_efficiency
+        );
+    }
+
+    println!("\n== Where a striped read's time goes ==\n");
+    let model = DiskModel::commodity_2003();
+    for disks in [1usize, 2, 4, 8, 16, 32] {
+        let a = RaidArray::new(RaidLevel::Raid0, disks, 64 * 1024, model).expect("valid");
+        let t = a.read_service(0, 64 << 20);
+        println!("  {disks:>2} disks: 64 MiB read in {:7.1} ms", t * 1e3);
+    }
+    println!("\nPositioning cost stops shrinking once per-disk transfers get small —");
+    println!("the same saturation that flattens the paper's Figure 4 speedup curve.");
+}

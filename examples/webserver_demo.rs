@@ -1,0 +1,63 @@
+//! Web-server walkthrough: start the thread-per-connection server,
+//! drive it with GETs, POSTs and a concurrent load run, and print the
+//! Table-5/6-style timings.
+//!
+//! ```sh
+//! cargo run --example webserver_demo
+//! ```
+
+use clio_core::httpd::client::{self, LoadSpec};
+use clio_core::httpd::files::{self, TABLE5_SIZES, TABLE6_SIZE};
+use clio_core::httpd::server::{Server, ServerConfig};
+use clio_core::httpd::OpKind;
+use clio_core::stats::quantile;
+
+fn main() -> std::io::Result<()> {
+    let root = files::temp_doc_root("demo")?;
+    let server = Server::start(ServerConfig::ephemeral(&root))?;
+    let log = server.log();
+    println!("server listening on {}", server.addr());
+
+    // Table 5: first read + write of each file size.
+    println!("\nfirst-request times (SSCLI model / real):");
+    for &size in &TABLE5_SIZES {
+        let (status, body) = client::get(server.addr(), &files::file_name(size))?;
+        assert_eq!((status, body.len() as u64), (200, size));
+        client::post(server.addr(), "up", &files::file_content(size))?;
+    }
+    for t in log.snapshot() {
+        println!(
+            "  {:>5?} {:>6} B: {:.3} ms (model) / {:.4} ms (real)",
+            t.kind, t.bytes, t.sscli_ms, t.real_ms
+        );
+    }
+
+    // Table 6: repeated reads of the 14063-byte file.
+    log.clear();
+    for _ in 0..6 {
+        client::get(server.addr(), &files::file_name(TABLE6_SIZE))?;
+    }
+    let reads = log.of_kind(OpKind::Read);
+    println!("\nrepeated reads of {TABLE6_SIZE} B (SSCLI model, ms):");
+    let series: Vec<String> = reads.iter().map(|r| format!("{:.2}", r.sscli_ms)).collect();
+    println!("  {}", series.join(", "));
+    println!("  first is slowest: {}", reads[0].sscli_ms > reads[1].sscli_ms);
+
+    // Concurrent load: thread count grows with clients.
+    log.clear();
+    let spec = LoadSpec { clients: 8, requests: 16, post_fraction: 0.25, ..Default::default() };
+    let result = client::run_load(server.addr(), &spec);
+    println!(
+        "\nload run: {} requests, {} failures",
+        result.latencies_ms.len(),
+        result.failures
+    );
+    if let Some(p50) = quantile(&result.latencies_ms, 0.5) {
+        let p99 = quantile(&result.latencies_ms, 0.99).expect("non-empty");
+        println!("  client-side latency p50 {p50:.3} ms, p99 {p99:.3} ms");
+    }
+
+    server.stop();
+    std::fs::remove_dir_all(&root)?;
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! Property tests spanning the model and the simulator: for any valid
+//! behavioral model, the simulated execution obeys physical invariants.
+
+use clio_core::model::synth::{synth_application, SynthConfig, WorkloadClass};
+use clio_core::model::{Application, Program, WorkingSet};
+use clio_core::sim::executor::simulate;
+use clio_core::sim::machine::MachineConfig;
+use clio_core::sim::speedup::{cpu_sweep, disk_sweep};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = WorkloadClass> {
+    prop_oneof![
+        Just(WorkloadClass::IoBound),
+        Just(WorkloadClass::CpuBound),
+        Just(WorkloadClass::CommBound),
+        Just(WorkloadClass::Balanced),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Makespan is at least the longest program's demand and at most the
+    /// total serialized demand plus modeling overheads.
+    #[test]
+    fn makespan_bounded_by_demand(seed in any::<u64>(), class in arb_class(),
+                                  n_programs in 1usize..4) {
+        let cfg = SynthConfig { seed, class, reference_time: 30.0, ..Default::default() };
+        let app = synth_application(&cfg, "prop-app", n_programs);
+        let report = simulate(&app, &MachineConfig::uniprocessor());
+
+        let longest_demand = app.programs().iter()
+            .map(|p| p.total_time())
+            .fold(0.0, f64::max);
+        let total_demand: f64 = app.programs().iter().map(|p| p.total_time()).sum();
+
+        prop_assert!(report.makespan >= longest_demand * 0.99,
+                     "makespan {} < longest demand {}", report.makespan, longest_demand);
+        // Positioning and latency floors add overhead; 25% headroom.
+        prop_assert!(report.makespan <= total_demand * 1.25 + 1.0,
+                     "makespan {} >> serialized demand {}", report.makespan, total_demand);
+    }
+
+    /// More resources help, up to two modeled anomalies: FCFS
+    /// reshuffling (Graham's anomalies) and striping dilution — a small
+    /// I/O burst re-sharded over more spindles pays more positioning
+    /// events, which can cost a comm-bound application with tiny φ a
+    /// genuine ~10 % at one sweep point. The bound is therefore "never
+    /// more than ~15 % worse than the previous point", not strict
+    /// monotonicity.
+    #[test]
+    fn resources_nearly_monotone(seed in any::<u64>(), class in arb_class()) {
+        let cfg = SynthConfig { seed, class, reference_time: 20.0, ..Default::default() };
+        let app = synth_application(&cfg, "mono-app", 2);
+        let d = disk_sweep(&app, &[2, 4, 8]);
+        let c = cpu_sweep(&app, &[2, 4, 8]);
+        for sweep in [&d, &c] {
+            let s = sweep.speedups();
+            for w in s.windows(2) {
+                prop_assert!(w[1].1 >= w[0].1 * 0.85,
+                             "speedup collapsed: {:?} -> {:?}", w[0], w[1]);
+            }
+            // No point is meaningfully below the baseline.
+            for &(n, v) in &s {
+                prop_assert!(v >= 0.85, "resources made things worse at {n}: {v}");
+            }
+        }
+        // Speedup can never exceed the resource ratio.
+        for (n, s) in d.speedups() {
+            prop_assert!(s <= n as f64 * 1.01, "superlinear disk speedup {s} at {n}");
+        }
+        for (n, s) in c.speedups() {
+            prop_assert!(s <= n as f64 * 1.01, "superlinear cpu speedup {s} at {n}");
+        }
+    }
+
+    /// Per-program wall times are bounded below by demand divided by the
+    /// resource count (bursts are divisible, so a burst can use every
+    /// server of its pool in parallel), and utilizations stay in [0, 1].
+    #[test]
+    fn wall_times_dominate_parallel_demands(seed in any::<u64>(), class in arb_class()) {
+        let cfg = SynthConfig { seed, class, reference_time: 10.0, ..Default::default() };
+        let app = synth_application(&cfg, "wall-app", 3);
+        let machine = MachineConfig::with_cpus(2);
+        let report = simulate(&app, &machine);
+        for p in &report.programs {
+            prop_assert!(p.cpu_time >= p.demand.cpu / machine.cpus as f64 - 1e-6,
+                         "{}: cpu wall {} < demand/cpus {}",
+                         p.name, p.cpu_time, p.demand.cpu / machine.cpus as f64);
+            prop_assert!(p.io_time >= p.demand.disk / machine.disks as f64 * 0.99 - 1e-6);
+            prop_assert!(p.comm_time >= p.demand.comm / machine.network.channels as f64 - 1e-6);
+        }
+        prop_assert!((0.0..=1.0).contains(&report.cpu_utilization));
+        prop_assert!((0.0..=1.0).contains(&report.disk_utilization));
+    }
+
+    /// Scaling a model's reference time scales the simulated makespan
+    /// close to proportionally (fixed per-burst overheads break exact
+    /// proportionality, but only mildly).
+    #[test]
+    fn makespan_scales_with_reference_time(seed in any::<u64>()) {
+        let cfg1 = SynthConfig { seed, reference_time: 10.0, ..Default::default() };
+        let cfg2 = SynthConfig { seed, reference_time: 20.0, ..Default::default() };
+        let a1 = synth_application(&cfg1, "scale-app", 2);
+        let a2 = synth_application(&cfg2, "scale-app", 2);
+        let m1 = simulate(&a1, &MachineConfig::uniprocessor()).makespan;
+        let m2 = simulate(&a2, &MachineConfig::uniprocessor()).makespan;
+        let ratio = m2 / m1;
+        prop_assert!((1.8..=2.2).contains(&ratio), "scaling ratio {ratio}");
+    }
+}
+
+/// A deterministic cross-check: a hand-built two-program application
+/// where one program is pure CPU and the other pure I/O should overlap
+/// almost perfectly on a uniprocessor (CPU and disk are independent
+/// resources).
+#[test]
+fn independent_resources_overlap() {
+    let cpu_prog = Program::new(
+        "pure-cpu",
+        50.0,
+        vec![WorkingSet::new(0.0, 0.0, 1.0, 1).expect("valid")],
+    )
+    .expect("valid");
+    let io_prog = Program::new(
+        "pure-io",
+        50.0,
+        vec![WorkingSet::new(1.0, 0.0, 1.0, 1).expect("valid")],
+    )
+    .expect("valid");
+    let app = Application::new("overlap", vec![cpu_prog, io_prog]).expect("valid");
+    let report = simulate(&app, &MachineConfig::uniprocessor());
+    // Each needs 50s on its own resource; run concurrently the makespan
+    // should be ~50s, not ~100s.
+    assert!(
+        report.makespan < 55.0,
+        "CPU and disk programs must overlap: makespan {}",
+        report.makespan
+    );
+}

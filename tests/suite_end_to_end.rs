@@ -1,0 +1,101 @@
+//! End-to-end suite test: every paper artifact regenerates with the
+//! paper's qualitative shape, through the public `clio-core` API only.
+
+use clio_core::config::SuiteConfig;
+use clio_core::experiments;
+use clio_core::suite::BenchmarkSuite;
+use clio_core::trace::record::IoOp;
+
+#[test]
+fn all_experiments_reproduce_paper_shapes() {
+    let report = BenchmarkSuite::new(SuiteConfig::default())
+        .expect("valid config")
+        .run()
+        .expect("suite runs");
+
+    // --- Figures 2/3: QCRD breakdown ---
+    let qcrd = report.qcrd.expect("present");
+    assert!(qcrd.program1.cpu_pct > qcrd.program1.io_pct, "program 1 is CPU-heavy");
+    assert!(qcrd.program2.io_pct > qcrd.program2.cpu_pct, "program 2 is I/O-heavy");
+    assert!(qcrd.application.io_pct > 25.0, "application I/O share noticeably large");
+
+    // --- Figure 4: disk speedup is slight ---
+    let disk = report.disk_speedup.expect("present");
+    let max_disk = disk.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+    assert!(max_disk > 1.0 && max_disk < 2.0, "Fig 4 shape: {max_disk}");
+    // Monotone in disk count.
+    assert!(disk.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9));
+
+    // --- Figure 5: CPU speedup grows then saturates ---
+    let cpu = report.cpu_speedup.expect("present");
+    let max_cpu = cpu.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+    assert!(max_cpu > max_disk, "CPUs help more than disks");
+    let gain_early = cpu[1].1 - cpu[0].1;
+    let gain_late = cpu[4].1 - cpu[3].1;
+    assert!(gain_late < gain_early, "Fig 5 saturates");
+
+    // --- Tables 1-4: close slower than open, everywhere ---
+    let means = report.trace_means.expect("present");
+    assert_eq!(means.len(), 4);
+    for m in &means {
+        assert!(
+            m.close_ms.expect("close present") > m.open_ms.expect("open present"),
+            "{}: close must be slower than open",
+            m.app
+        );
+    }
+
+    // --- Table 5: reads and writes in the low-millisecond range,
+    //     writes slower than warm reads (paper: 2.4-2.9 vs 1.7-2.2) ---
+    let t5 = report.table5.expect("present");
+    assert_eq!(t5.len(), 3);
+    for row in &t5 {
+        assert!(row.read_ms > 0.0 && row.write_ms > 0.0);
+    }
+
+    // --- Table 6: first read slowest ---
+    let t6 = report.table6.expect("present");
+    let first = t6[0].0;
+    assert!(t6[1..].iter().all(|&(s, _)| s < first), "first read slowest");
+}
+
+#[test]
+fn table3_seek_offsets_are_papers() {
+    let t3 = experiments::table3_lu();
+    let seeks: Vec<u64> = t3
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.op == IoOp::Seek)
+        .map(|r| r.offset)
+        .collect();
+    assert_eq!(
+        seeks,
+        vec![66_617_088, 66_092_544, 64_518_912, 63_994_368, 62_945_280, 60_322_560]
+    );
+}
+
+#[test]
+fn table4_request_sizes_are_papers() {
+    let t4 = experiments::table4_cholesky();
+    let sizes: Vec<u64> = t4
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.op == IoOp::Read)
+        .map(|r| r.length)
+        .collect();
+    assert_eq!(sizes.first(), Some(&4));
+    assert_eq!(sizes.last(), Some(&2_446_612));
+    assert_eq!(sizes.len(), 16);
+}
+
+#[test]
+fn report_is_json_serializable() {
+    let cfg = SuiteConfig { webserver_benchmark: false, ..Default::default() };
+    let report = BenchmarkSuite::new(cfg).expect("valid").run().expect("runs");
+    let json = serde_json::to_string_pretty(&report).expect("serializes");
+    assert!(json.contains("qcrd"));
+    let back: clio_core::suite::SuiteReport = serde_json::from_str(&json).expect("parses");
+    assert!(back.table5.is_none());
+}

@@ -1,0 +1,111 @@
+//! End-to-end web-server tests: real sockets, real files, concurrent
+//! clients, and the paper's warmup observations.
+
+use clio_core::httpd::client::{self, LoadSpec};
+use clio_core::httpd::files::{self, TABLE5_SIZES};
+use clio_core::httpd::server::{Server, ServerConfig};
+use clio_core::httpd::OpKind;
+use clio_core::runtime::jit::JitModel;
+
+fn with_server<T>(tag: &str, f: impl FnOnce(&Server) -> T) -> T {
+    let root = files::temp_doc_root(tag).expect("doc root");
+    let server = Server::start(ServerConfig::ephemeral(&root)).expect("server starts");
+    let out = f(&server);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+    out
+}
+
+#[test]
+fn all_paper_files_served_byte_exact() {
+    with_server("e2e-exact", |server| {
+        for &size in &TABLE5_SIZES {
+            let (status, body) = client::get(server.addr(), &files::file_name(size))
+                .expect("GET succeeds");
+            assert_eq!(status, 200);
+            assert_eq!(body, files::file_content(size), "{size}-byte file corrupted");
+        }
+    });
+}
+
+#[test]
+fn post_then_get_round_trips_content() {
+    with_server("e2e-rt", |server| {
+        let payload = files::file_content(9_999);
+        let (status, name) = client::post(server.addr(), "up", &payload).expect("POST");
+        assert_eq!(status, 201);
+        let name = String::from_utf8(name).expect("utf8 name");
+        let (status, body) = client::get(server.addr(), &name).expect("GET back");
+        assert_eq!(status, 200);
+        assert_eq!(body, payload, "uploaded bytes must read back identically");
+    });
+}
+
+#[test]
+fn concurrent_load_has_no_failures_and_logs_every_request() {
+    with_server("e2e-load", |server| {
+        let spec = LoadSpec { clients: 6, requests: 10, post_fraction: 0.3, ..Default::default() };
+        let result = client::run_load(server.addr(), &spec);
+        assert_eq!(result.failures, 0);
+        assert_eq!(result.latencies_ms.len(), 60);
+        assert_eq!(server.log().len(), 60, "every request must be timed");
+        let writes = server.log().of_kind(OpKind::Write).len();
+        assert!(writes > 0, "post_fraction produced writes");
+    });
+}
+
+#[test]
+fn jit_warmup_dominates_first_request() {
+    with_server("e2e-jit", |server| {
+        let log = server.log();
+        for _ in 0..4 {
+            client::get(server.addr(), &files::file_name(14_063)).expect("GET");
+        }
+        let reads = log.of_kind(OpKind::Read);
+        // The JIT + cold-cache spike: first is strictly the maximum.
+        let first = reads[0].sscli_ms;
+        for r in &reads[1..] {
+            assert!(r.sscli_ms < first);
+        }
+        // And the gap is substantial (paper: 9.0 ms vs ~3-7 ms warm).
+        assert!(first > 1.5 * reads[3].sscli_ms, "warmup gap: {first} vs {}", reads[3].sscli_ms);
+    });
+}
+
+#[test]
+fn precompiled_runtime_flattens_the_first_request_spike() {
+    // Ablation: with JIT costs zeroed (AOT runtime), the first request
+    // loses its compilation component.
+    let root = files::temp_doc_root("e2e-aot").expect("doc root");
+    let mut cfg = ServerConfig::ephemeral(&root);
+    cfg.jit = JitModel::precompiled();
+    let server = Server::start(cfg).expect("server starts");
+    let log = server.log();
+    for _ in 0..3 {
+        client::get(server.addr(), &files::file_name(14_063)).expect("GET");
+    }
+    let reads = log.of_kind(OpKind::Read);
+    // First request still pays cold cache, but the spike must be far
+    // smaller than with the JIT model (which adds multiple ms).
+    let jit_like = JitModel::sscli_like().compile_cost(320);
+    assert!(
+        reads[0].sscli_ms - reads[1].sscli_ms < jit_like,
+        "no JIT: spike {} vs warm {}",
+        reads[0].sscli_ms,
+        reads[1].sscli_ms
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn unknown_file_404_and_bad_path_400() {
+    with_server("e2e-err", |server| {
+        let (status, _) = client::get(server.addr(), "missing.bin").expect("GET");
+        assert_eq!(status, 404);
+        let (status, _) = client::get(server.addr(), "../../etc/passwd").expect("GET");
+        assert_eq!(status, 400);
+        // Errors must not be recorded as timed file operations.
+        assert_eq!(server.log().len(), 0);
+    });
+}
