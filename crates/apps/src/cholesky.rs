@@ -240,11 +240,7 @@ mod tests {
         let (result, _) = run(&cfg).unwrap();
         let a = dense_laplacian(cfg.grid);
         let rebuilt = result.reconstruct_dense();
-        let err = a
-            .iter()
-            .zip(&rebuilt)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max);
+        let err = a.iter().zip(&rebuilt).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
         assert!(err < 1e-9, "reconstruction error {err}");
     }
 
@@ -305,12 +301,8 @@ mod tests {
     #[test]
     fn paper_trace_matches_table4() {
         let t = paper_trace();
-        let sizes: Vec<u64> = t
-            .records
-            .iter()
-            .filter(|r| r.op == IoOp::Read)
-            .map(|r| r.length)
-            .collect();
+        let sizes: Vec<u64> =
+            t.records.iter().filter(|r| r.op == IoOp::Read).map(|r| r.length).collect();
         assert_eq!(sizes, TABLE4_SIZES.to_vec());
         let stats = clio_trace::stats::TraceStats::compute(&t);
         assert_eq!(stats.count(IoOp::Seek), 16);

@@ -16,7 +16,12 @@ pub type Transaction = Vec<u16>;
 /// Item popularity is skewed (Zipf-ish by squaring a uniform draw) so
 /// frequent itemsets exist — uniform baskets make Apriori's candidate
 /// lattice collapse and the benchmark trivial.
-pub fn retail_transactions(seed: u64, n: usize, n_items: u16, max_basket: usize) -> Vec<Transaction> {
+pub fn retail_transactions(
+    seed: u64,
+    n: usize,
+    n_items: u16,
+    max_basket: usize,
+) -> Vec<Transaction> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -72,9 +77,30 @@ pub fn decode_transactions(data: &[u8]) -> Vec<Transaction> {
 /// a small vocabulary with the pattern word planted at a known rate.
 pub fn text_corpus(seed: u64, bytes: usize, needle: &str, plant_every: usize) -> Vec<u8> {
     const VOCAB: [&str; 24] = [
-        "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "lorem", "ipsum",
-        "dolor", "sit", "amet", "consectetur", "adipiscing", "elit", "sed", "tempor",
-        "incididunt", "labore", "dolore", "magna", "aliqua", "scatter",
+        "the",
+        "quick",
+        "brown",
+        "fox",
+        "jumps",
+        "over",
+        "lazy",
+        "dog",
+        "lorem",
+        "ipsum",
+        "dolor",
+        "sit",
+        "amet",
+        "consectetur",
+        "adipiscing",
+        "elit",
+        "sed",
+        "tempor",
+        "incididunt",
+        "labore",
+        "dolore",
+        "magna",
+        "aliqua",
+        "scatter",
     ];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(bytes + 16);

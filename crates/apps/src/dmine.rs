@@ -41,7 +41,14 @@ pub struct DmineConfig {
 
 impl Default for DmineConfig {
     fn default() -> Self {
-        Self { seed: 42, transactions: 2000, items: 64, max_basket: 8, min_support: 40, max_level: 4 }
+        Self {
+            seed: 42,
+            transactions: 2000,
+            items: 64,
+            max_basket: 8,
+            min_support: 40,
+            max_level: 4,
+        }
     }
 }
 
@@ -99,8 +106,7 @@ fn scan_transactions(
 /// Apriori candidate generation: join L(k-1) pairs sharing a (k-2)
 /// prefix, then prune candidates with an infrequent (k-1)-subset.
 fn generate_candidates(prev: &[Vec<u16>]) -> Vec<Vec<u16>> {
-    let prev_set: std::collections::HashSet<&[u16]> =
-        prev.iter().map(|v| v.as_slice()).collect();
+    let prev_set: std::collections::HashSet<&[u16]> = prev.iter().map(|v| v.as_slice()).collect();
     let mut out = Vec::new();
     for i in 0..prev.len() {
         for j in (i + 1)..prev.len() {
@@ -139,7 +145,13 @@ fn count_in_transaction(t: &Transaction, k: usize, counts: &mut HashMap<Vec<u16>
         return;
     }
     // Recursive combination enumeration; baskets are small (≤ ~10).
-    fn combos(t: &[u16], k: usize, start: usize, cur: &mut Vec<u16>, counts: &mut HashMap<Vec<u16>, u32>) {
+    fn combos(
+        t: &[u16],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<u16>,
+        counts: &mut HashMap<Vec<u16>, u32>,
+    ) {
         if cur.len() == k {
             if let Some(c) = counts.get_mut(cur.as_slice()) {
                 *c += 1;
@@ -194,10 +206,8 @@ pub fn run(cfg: &DmineConfig) -> io::Result<(DmineResult, TraceFile)> {
         scan_transactions(&mut store, file, |t| count_in_transaction(t, k, &mut counts))?;
         passes += 1;
 
-        let mut next: Vec<(Vec<u16>, u32)> = counts
-            .into_iter()
-            .filter(|&(_, c)| c >= cfg.min_support)
-            .collect();
+        let mut next: Vec<(Vec<u16>, u32)> =
+            counts.into_iter().filter(|&(_, c)| c >= cfg.min_support).collect();
         if next.is_empty() {
             break;
         }
@@ -234,7 +244,11 @@ mod tests {
     use super::*;
 
     /// Brute-force support counting for cross-checking.
-    fn brute_force(txs: &[Transaction], min_support: u32, max_level: usize) -> Vec<(Vec<u16>, u32)> {
+    fn brute_force(
+        txs: &[Transaction],
+        min_support: u32,
+        max_level: usize,
+    ) -> Vec<(Vec<u16>, u32)> {
         use std::collections::HashSet;
         let items: HashSet<u16> = txs.iter().flatten().copied().collect();
         let mut items: Vec<u16> = items.into_iter().collect();
@@ -252,10 +266,9 @@ mod tests {
             out: &mut Vec<(Vec<u16>, u32)>,
         ) {
             if !cur.is_empty() {
-                let count = txs
-                    .iter()
-                    .filter(|t| cur.iter().all(|i| t.binary_search(i).is_ok()))
-                    .count() as u32;
+                let count =
+                    txs.iter().filter(|t| cur.iter().all(|i| t.binary_search(i).is_ok())).count()
+                        as u32;
                 if count < min_support {
                     return; // supersets can't be frequent either
                 }
@@ -320,8 +333,7 @@ mod tests {
         assert!(result.passes >= 2);
         let bytes_scanned = clio_trace::stats::TraceStats::compute(&trace).bytes_read;
         // Every pass reads the whole file.
-        let file_bytes =
-            encode_transactions(&retail_transactions(42, 2000, 64, 8)).len() as u64;
+        let file_bytes = encode_transactions(&retail_transactions(42, 2000, 64, 8)).len() as u64;
         assert_eq!(bytes_scanned, file_bytes * result.passes as u64);
     }
 

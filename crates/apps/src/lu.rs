@@ -66,7 +66,13 @@ impl LuResult {
                 let mut sum = 0.0;
                 let kmax = i.min(j);
                 for k in 0..=kmax {
-                    let l = if k == i { 1.0 } else if k < i { self.factors[i * n + k] } else { 0.0 };
+                    let l = if k == i {
+                        1.0
+                    } else if k < i {
+                        self.factors[i * n + k]
+                    } else {
+                        0.0
+                    };
                     let u = if k <= j { self.factors[k * n + j] } else { 0.0 };
                     sum += l * u;
                 }
@@ -329,13 +335,8 @@ mod tests {
         assert!(stats.count(IoOp::Write) > 0);
         assert!(stats.bytes_written > 0);
         // Out-of-core LU seeks span the matrix file.
-        let max_seek = trace
-            .records
-            .iter()
-            .filter(|r| r.op == IoOp::Seek)
-            .map(|r| r.offset)
-            .max()
-            .unwrap();
+        let max_seek =
+            trace.records.iter().filter(|r| r.op == IoOp::Seek).map(|r| r.offset).max().unwrap();
         let file_bytes = (64 * 64 * 8) as u64;
         assert!(max_seek > file_bytes / 2, "seeks reach deep into the file");
     }
@@ -343,12 +344,8 @@ mod tests {
     #[test]
     fn paper_trace_matches_table3() {
         let t = paper_trace();
-        let seeks: Vec<u64> = t
-            .records
-            .iter()
-            .filter(|r| r.op == IoOp::Seek)
-            .map(|r| r.offset)
-            .collect();
+        let seeks: Vec<u64> =
+            t.records.iter().filter(|r| r.op == IoOp::Seek).map(|r| r.offset).collect();
         assert_eq!(seeks, TABLE3_OFFSETS.to_vec());
         let stats = clio_trace::stats::TraceStats::compute(&t);
         assert_eq!(stats.count(IoOp::Open), 1);

@@ -145,7 +145,7 @@ pub fn bitap_search_edit(text: &[u8], pattern: &[u8], max_errors: usize) -> Vec<
             *slot = (((cur_old << 1) | 1) & mask) // match
                 | ((old_prev << 1) | 1)          // substitution
                 | ((new_prev << 1) | 1)          // deletion (skip pattern char)
-                | old_prev;                       // insertion (extra text char)
+                | old_prev; // insertion (extra text char)
             old_prev = cur_old;
             new_prev = *slot;
         }
@@ -195,8 +195,7 @@ pub fn naive_search(text: &[u8], pattern: &[u8], max_errors: usize) -> Vec<usize
     }
     (0..=text.len() - m)
         .filter(|&s| {
-            let mismatches =
-                text[s..s + m].iter().zip(pattern).filter(|(a, b)| a != b).count();
+            let mismatches = text[s..s + m].iter().zip(pattern).filter(|(a, b)| a != b).count();
             mismatches <= max_errors
         })
         .map(|s| s + m)
@@ -345,12 +344,8 @@ mod tests {
     #[test]
     fn match_spanning_chunk_boundary_found() {
         // Force a tiny chunk so the planted word straddles boundaries.
-        let cfg = PgrepConfig {
-            corpus_bytes: 4096,
-            chunk: 64,
-            plant_every: 10,
-            ..Default::default()
-        };
+        let cfg =
+            PgrepConfig { corpus_bytes: 4096, chunk: 64, plant_every: 10, ..Default::default() };
         let (result, _) = run(&cfg).unwrap();
         let corpus = text_corpus(cfg.seed, cfg.corpus_bytes, &cfg.pattern, cfg.plant_every);
         let expect = naive_search(&corpus, cfg.pattern.as_bytes(), cfg.max_errors);

@@ -60,11 +60,7 @@ fn correlate(signal: &[i16], kernel: &[i64]) -> Vec<i16> {
     }
     (0..=n - k)
         .map(|i| {
-            let acc: i64 = kernel
-                .iter()
-                .enumerate()
-                .map(|(j, &w)| w * signal[i + j] as i64)
-                .sum();
+            let acc: i64 = kernel.iter().enumerate().map(|(j, &w)| w * signal[i + j] as i64).sum();
             (acc >> SCALE_SHIFT).clamp(i16::MIN as i64, i16::MAX as i64) as i16
         })
         .collect()
@@ -208,13 +204,12 @@ mod tests {
     #[test]
     fn scatterers_focus_to_peaks() {
         let (out, _) = form_image(RadarConfig::default()).unwrap();
-        // Background clutter is ±64 scaled by both kernels and shifts;
-        // a scatterer's return is ~50× stronger.
-        assert!(
-            out.peak > 2000,
-            "matched filtering must focus scatterers: peak {}",
-            out.peak
-        );
+        // Background clutter is ±64, which both passes scale to a
+        // peak of at most a few hundred; an interior scatterer focuses
+        // an order of magnitude above that. The exact value depends on
+        // where the seeded scatterers land, so the threshold sits
+        // between the clutter ceiling and the scatterer floor.
+        assert!(out.peak > 800, "matched filtering must focus scatterers: peak {}", out.peak);
     }
 
     #[test]
@@ -225,9 +220,13 @@ mod tests {
 
     #[test]
     fn correlate_saturates() {
+        // All-MAX input exercises the i64 accumulation: the result is
+        // exact (kernel sum 13, scaled by 2^4), not wrapped.
         let loud = vec![i16::MAX; 8];
+        let kernel_sum: i64 = RANGE_KERNEL.iter().sum();
+        let expected = ((i16::MAX as i64 * kernel_sum) >> SCALE_SHIFT) as i16;
         for v in correlate(&loud, &RANGE_KERNEL) {
-            assert!(v <= i16::MAX);
+            assert_eq!(v, expected);
         }
     }
 

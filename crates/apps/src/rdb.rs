@@ -154,12 +154,7 @@ impl Rdb {
 
     /// Index position of the first entry with key ≥ `key` (on-disk
     /// binary search; every probe is a traced small read).
-    fn lower_bound(
-        &mut self,
-        t: &Table,
-        key: u64,
-        stats: &mut QueryStats,
-    ) -> io::Result<usize> {
+    fn lower_bound(&mut self, t: &Table, key: u64, stats: &mut QueryStats) -> io::Result<usize> {
         let mut lo = 0usize;
         let mut hi = t.n_tuples;
         while lo < hi {
@@ -193,12 +188,7 @@ impl Rdb {
     }
 
     /// Range scan: all tuples with `lo ≤ key ≤ hi`, in key order.
-    pub fn range(
-        &mut self,
-        t: &Table,
-        lo: u64,
-        hi: u64,
-    ) -> io::Result<(Vec<Tuple>, QueryStats)> {
+    pub fn range(&mut self, t: &Table, lo: u64, hi: u64) -> io::Result<(Vec<Tuple>, QueryStats)> {
         let mut stats = QueryStats::default();
         let mut out = Vec::new();
         if lo > hi {

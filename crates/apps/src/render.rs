@@ -126,10 +126,8 @@ impl StripCache {
             }
             let mut buf = vec![0u8; tex_w * 2];
             store.read_at(file, (ty * tex_w * 2) as u64, &mut buf)?;
-            let row: Vec<u16> = buf
-                .chunks_exact(2)
-                .map(|c| u16::from_le_bytes([c[0], c[1]]))
-                .collect();
+            let row: Vec<u16> =
+                buf.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
             self.rows[ty] = Some(row);
             self.lru.push_back(ty);
             self.fetched += 1;
@@ -147,10 +145,7 @@ impl StripCache {
 /// Renders out-of-core through the instrumented store, returning the
 /// image, accounting and the I/O trace.
 pub fn render(cfg: RenderConfig) -> io::Result<(RenderOutput, TraceFile)> {
-    assert!(
-        cfg.tex_w > 0 && cfg.tex_h > 0 && cfg.image > 0,
-        "degenerate render geometry"
-    );
+    assert!(cfg.tex_w > 0 && cfg.tex_h > 0 && cfg.image > 0, "degenerate render geometry");
     let texture = texture_rows(cfg.seed, cfg.tex_w, cfg.tex_h);
     let mut tex_bytes = Vec::with_capacity(cfg.tex_w * cfg.tex_h * 2);
     for row in &texture {
@@ -232,10 +227,7 @@ mod tests {
         assert_eq!(out.pixels, render_reference(cfg));
         // With one resident row, wrap-around costs refetches.
         let roomy = render(RenderConfig::default()).unwrap().0;
-        assert!(
-            out.rows_fetched >= roomy.rows_fetched,
-            "smaller cache cannot fetch fewer rows"
-        );
+        assert!(out.rows_fetched >= roomy.rows_fetched, "smaller cache cannot fetch fewer rows");
     }
 
     #[test]

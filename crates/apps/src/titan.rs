@@ -260,10 +260,10 @@ mod tests {
         let raster = global_raster(cfg);
         let windows = [
             Window { x0: 0, y0: 0, x1: 10, y1: 10 },
-            Window { x0: 30, y0: 30, x1: 70, y1: 40 },   // crosses tile borders
-            Window { x0: 0, y0: 0, x1: 256, y1: 256 },   // whole raster
+            Window { x0: 30, y0: 30, x1: 70, y1: 40 }, // crosses tile borders
+            Window { x0: 0, y0: 0, x1: 256, y1: 256 }, // whole raster
             Window { x0: 255, y0: 255, x1: 256, y1: 256 }, // single corner sample
-            Window { x0: 31, y0: 0, x1: 33, y1: 1 },     // two-tile sliver
+            Window { x0: 31, y0: 0, x1: 33, y1: 1 },   // two-tile sliver
         ];
         let (results, _) = run(cfg, &windows).unwrap();
         for (win, res) in windows.iter().zip(&results) {
@@ -277,11 +277,8 @@ mod tests {
 
     #[test]
     fn empty_window() {
-        let (results, _) = run(
-            TitanConfig::default(),
-            &[Window { x0: 10, y0: 10, x1: 10, y1: 20 }],
-        )
-        .unwrap();
+        let (results, _) =
+            run(TitanConfig::default(), &[Window { x0: 10, y0: 10, x1: 10, y1: 20 }]).unwrap();
         assert_eq!(results[0].count, 0);
         assert_eq!(results[0].tiles_read, 0);
         assert_eq!(results[0].mean(), None);
@@ -311,11 +308,8 @@ mod tests {
 
     #[test]
     fn trace_shows_index_then_payload_pattern() {
-        let (_, trace) = run(
-            TitanConfig::default(),
-            &[Window { x0: 0, y0: 0, x1: 40, y1: 40 }],
-        )
-        .unwrap();
+        let (_, trace) =
+            run(TitanConfig::default(), &[Window { x0: 0, y0: 0, x1: 40, y1: 40 }]).unwrap();
         let stats = clio_trace::stats::TraceStats::compute(&trace);
         // 4 tiles → 8 seeks (index + payload each) plus open/close.
         assert_eq!(stats.count(IoOp::Seek), 8);

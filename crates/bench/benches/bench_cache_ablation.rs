@@ -18,10 +18,7 @@ use clio_core::trace::replay::replay_simulated;
 fn configs() -> Vec<(String, CacheConfig)> {
     let mut out = vec![
         ("default".to_string(), CacheConfig::default()),
-        (
-            "no_prefetch".to_string(),
-            CacheConfig { prefetch_enabled: false, ..Default::default() },
-        ),
+        ("no_prefetch".to_string(), CacheConfig { prefetch_enabled: false, ..Default::default() }),
         ("no_cache".to_string(), CacheConfig { capacity_pages: 0, ..Default::default() }),
     ];
     for pages in [256usize, 4096, 65536] {

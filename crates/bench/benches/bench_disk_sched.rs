@@ -37,7 +37,10 @@ fn print_modeled_numbers() {
     for row in raid_ablation() {
         println!(
             "{:7}  read(8MiB) {:7.3} ms  write(8MiB) {:7.3} ms  write(16KiB) {:6.3} ms  cap {:4.2}",
-            row.level, row.read_large_ms, row.write_large_ms, row.write_small_ms,
+            row.level,
+            row.read_large_ms,
+            row.write_large_ms,
+            row.write_small_ms,
             row.capacity_efficiency,
         );
     }
@@ -49,16 +52,12 @@ fn bench_schedulers(c: &mut Criterion) {
     for n in [64usize, 512] {
         let batch = random_device_batch(n, 11);
         for p in Policy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(p.name(), n),
-                &batch,
-                |b, batch| {
-                    b.iter(|| {
-                        let order = Scheduler::order(p, CYLINDERS / 2, batch.clone());
-                        criterion::black_box(order.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(p.name(), n), &batch, |b, batch| {
+                b.iter(|| {
+                    let order = Scheduler::order(p, CYLINDERS / 2, batch.clone());
+                    criterion::black_box(order.len())
+                })
+            });
         }
     }
     group.finish();

@@ -25,8 +25,7 @@ fn request_latencies(n: usize, gc: Option<GcModel>) -> Vec<f64> {
     if let Some(model) = gc {
         io = io.with_gc(model);
     }
-    let files: Vec<_> =
-        sizes.iter().map(|s| io.register_file(format!("img_{s}.jpg"))).collect();
+    let files: Vec<_> = sizes.iter().map(|s| io.register_file(format!("img_{s}.jpg"))).collect();
     let post_file = io.register_file("upload.dat");
     (0..n)
         .map(|i| {

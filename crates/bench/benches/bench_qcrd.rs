@@ -23,9 +23,7 @@ fn bench_qcrd_simulation(c: &mut Criterion) {
 }
 
 fn bench_qcrd_breakdown(c: &mut Criterion) {
-    c.bench_function("qcrd_breakdown_fig2_3", |b| {
-        b.iter(clio_core::experiments::qcrd_breakdown)
-    });
+    c.bench_function("qcrd_breakdown_fig2_3", |b| b.iter(clio_core::experiments::qcrd_breakdown));
 }
 
 criterion_group!(benches, bench_qcrd_simulation, bench_qcrd_breakdown);

@@ -35,12 +35,7 @@ fn main() {
     println!("one simulated disk (queued requests reordered per policy):");
     println!("{:8} {:>14} {:>13}", "policy", "makespan (ms)", "utilization");
     for row in scheduled_replay_ablation(&contended_trace(8, 24, 17)) {
-        println!(
-            "{:8} {:>14.3} {:>13.3}",
-            row.policy,
-            row.makespan_s * 1e3,
-            row.disk_utilization
-        );
+        println!("{:8} {:>14.3} {:>13.3}", row.policy, row.makespan_s * 1e3, row.disk_utilization);
     }
 
     println!();
@@ -52,7 +47,10 @@ fn main() {
     for row in raid_ablation() {
         println!(
             "{:8} {:>14.3} {:>15.3} {:>15.3} {:>10.2}",
-            row.level, row.read_large_ms, row.write_large_ms, row.write_small_ms,
+            row.level,
+            row.read_large_ms,
+            row.write_large_ms,
+            row.write_small_ms,
             row.capacity_efficiency
         );
     }

@@ -15,18 +15,12 @@ use clio_core::stats::{quantile, Summary, Table};
 
 fn sweep(mode: ServerMode, label: &str, table: &mut Table) {
     for &clients in &[1usize, 2, 4, 8, 16] {
-        let root = files::temp_doc_root(&format!("sweep-{label}-{clients}"))
-            .expect("doc root");
+        let root = files::temp_doc_root(&format!("sweep-{label}-{clients}")).expect("doc root");
         let mut cfg = ServerConfig::ephemeral(&root);
         cfg.mode = mode;
         let server = Server::start(cfg).expect("server starts");
 
-        let spec = LoadSpec {
-            clients,
-            requests: 24,
-            post_fraction: 0.25,
-            ..Default::default()
-        };
+        let spec = LoadSpec { clients, requests: 24, post_fraction: 0.25, ..Default::default() };
         let result = run_load(server.addr(), &spec);
         server.stop();
         let _ = std::fs::remove_dir_all(root);

@@ -5,10 +5,7 @@ use clio_core::experiments::qcrd_breakdown;
 use clio_core::report::render_qcrd;
 
 fn main() {
-    clio_bench::banner(
-        "Figure 2",
-        "QCRD execution time of computation and disk I/O (seconds)",
-    );
+    clio_bench::banner("Figure 2", "QCRD execution time of computation and disk I/O (seconds)");
     let fig = qcrd_breakdown();
     println!("{}", render_qcrd(&fig));
     println!("Simulated makespan: {:.1} s", fig.makespan_s);

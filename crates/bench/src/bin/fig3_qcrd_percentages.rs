@@ -8,11 +8,9 @@ fn main() {
     clio_bench::banner("Figure 3", "Percentage of execution time for computation and disk I/O");
     let fig = qcrd_breakdown();
     let mut t = Table::new("CPU vs IO percentage", &["Unit", "CPU (%)", "IO (%)"]);
-    for (name, b) in [
-        ("Application", fig.application),
-        ("Program 1", fig.program1),
-        ("Program 2", fig.program2),
-    ] {
+    for (name, b) in
+        [("Application", fig.application), ("Program 1", fig.program1), ("Program 2", fig.program2)]
+    {
         t.row(&[name.to_string(), format!("{:.1}", b.cpu_pct), format!("{:.1}", b.io_pct)]);
     }
     println!("{t}");

@@ -5,7 +5,10 @@ use clio_core::experiments::disk_speedup;
 use clio_core::report::render_speedup;
 
 fn main() {
-    clio_bench::banner("Figure 4", "Speedup of the application as a function of the number of disks");
+    clio_bench::banner(
+        "Figure 4",
+        "Speedup of the application as a function of the number of disks",
+    );
     let curve = disk_speedup();
     println!("{}", render_speedup("QCRD disk sweep (baseline: 1 disk)", &curve));
     if let Some(f) = curve.amdahl_serial_fraction() {

@@ -5,7 +5,10 @@ use clio_core::experiments::cpu_speedup;
 use clio_core::report::render_speedup;
 
 fn main() {
-    clio_bench::banner("Figure 5", "Speedup of the application as a function of the number of CPUs");
+    clio_bench::banner(
+        "Figure 5",
+        "Speedup of the application as a function of the number of CPUs",
+    );
     let curve = cpu_speedup();
     println!("{}", render_speedup("QCRD CPU sweep (baseline: 1 CPU)", &curve));
     if let Some(f) = curve.amdahl_serial_fraction() {

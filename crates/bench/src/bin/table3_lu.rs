@@ -8,5 +8,7 @@ fn main() {
     let table = table3_lu();
     println!("{}", render_trace_requests(&table));
     println!("{}", render_trace_means(&table));
-    println!("Paper: open 0.0006 ms, close 0.4566 ms; seeks 7.27E-05..2E-04 ms at 60-67 MB offsets");
+    println!(
+        "Paper: open 0.0006 ms, close 0.4566 ms; seeks 7.27E-05..2E-04 ms at 60-67 MB offsets"
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
             println!("Paper trials (ms): 9.0181, 6.7331, 6.5070, 7.4598, 5.9489, 3.2441");
             let first = data[0].0;
             let rest_max = data[1..].iter().map(|&(s, _)| s).fold(0.0, f64::max);
-            println!("Shape check: first read slowest: {} ({first:.3} vs max rest {rest_max:.3})", first > rest_max);
+            println!(
+                "Shape check: first read slowest: {} ({first:.3} vs max rest {rest_max:.3})",
+                first > rest_max
+            );
         }
         Err(e) => {
             eprintln!("web server experiment failed: {e}");

@@ -48,7 +48,8 @@ impl RealFsBackend {
 
     /// Creates (or truncates) a file for read/write.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(Self { file })
     }
 }

@@ -315,7 +315,13 @@ impl BufferCache {
 
     /// Performs a read or write of `len` bytes at `offset`, returning
     /// the cache outcome including the simulated latency.
-    pub fn access(&mut self, file: FileId, offset: u64, len: u64, kind: AccessKind) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         let mut out = AccessOutcome { cost_ms: self.cfg.costs.op_base, ..Default::default() };
         let (first, last) = page_span(offset, len, self.cfg.page_size);
 
@@ -351,8 +357,8 @@ impl BufferCache {
                 out.pages_missed += 1;
                 self.metrics.misses += 1;
                 out.cost_ms += self.cfg.costs.fault_per_page;
-                let dirty = kind == AccessKind::Write
-                    && self.cfg.write_policy == WritePolicy::WriteBack;
+                let dirty =
+                    kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteBack;
                 if kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteThrough {
                     out.writebacks += 1;
                     self.metrics.writebacks += 1;
@@ -409,8 +415,7 @@ impl BufferCache {
     /// The dirty flush is what makes close slower than open.
     pub fn close(&mut self, file: FileId) -> AccessOutcome {
         let mut out = AccessOutcome { cost_ms: self.cfg.costs.close_base, ..Default::default() };
-        let victims: Vec<PageId> =
-            self.pages.keys().filter(|p| p.file == file).copied().collect();
+        let victims: Vec<PageId> = self.pages.keys().filter(|p| p.file == file).copied().collect();
         for id in victims {
             let state = self.pages.remove(&id).unwrap_or_default();
             self.resident.remove(&id);
@@ -537,10 +542,7 @@ mod tests {
 
     #[test]
     fn prefetch_disabled_means_every_new_page_faults() {
-        let mut c = BufferCache::new(CacheConfig {
-            prefetch_enabled: false,
-            ..Default::default()
-        });
+        let mut c = BufferCache::new(CacheConfig { prefetch_enabled: false, ..Default::default() });
         let f = c.register_file("nopf");
         for i in 0..6u64 {
             let out = c.access(f, i * 4096, 4096, AccessKind::Read);

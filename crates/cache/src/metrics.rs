@@ -62,7 +62,13 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let m = CacheMetrics { hits: 3, misses: 1, prefetched: 4, prefetch_hits: 2, ..Default::default() };
+        let m = CacheMetrics {
+            hits: 3,
+            misses: 1,
+            prefetched: 4,
+            prefetch_hits: 2,
+            ..Default::default()
+        };
         assert_eq!(m.accesses(), 4);
         assert_eq!(m.hit_ratio(), 0.75);
         assert_eq!(m.prefetch_accuracy(), 0.5);
@@ -77,7 +83,14 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = CacheMetrics { hits: 1, misses: 2, prefetched: 3, prefetch_hits: 1, evictions: 4, writebacks: 5 };
+        let mut a = CacheMetrics {
+            hits: 1,
+            misses: 2,
+            prefetched: 3,
+            prefetch_hits: 1,
+            evictions: 4,
+            writebacks: 5,
+        };
         a.merge(&a.clone());
         assert_eq!(a.hits, 2);
         assert_eq!(a.writebacks, 10);

@@ -69,12 +69,8 @@ impl Prefetcher {
             return 0;
         }
         let ramp = state.run_length - self.cfg.trigger_after - 1;
-        
-        self
-            .cfg
-            .initial_window
-            .saturating_mul(1u64 << ramp.min(10))
-            .min(self.cfg.max_window)
+
+        self.cfg.initial_window.saturating_mul(1u64 << ramp.min(10)).min(self.cfg.max_window)
     }
 
     /// Forgets the run state of `file` (on close).
@@ -121,7 +117,11 @@ mod tests {
 
     #[test]
     fn window_capped_at_max() {
-        let mut p = Prefetcher::new(PrefetchConfig { trigger_after: 0, initial_window: 16, max_window: 32 });
+        let mut p = Prefetcher::new(PrefetchConfig {
+            trigger_after: 0,
+            initial_window: 16,
+            max_window: 32,
+        });
         let mut last = 0;
         for i in 0..10 {
             last = p.on_access(F, i, i);

@@ -297,7 +297,7 @@ mod tests {
     #[test]
     fn twoq_protected_lru_evicted_when_trial_small() {
         let mut q = TwoQSet::new(4); // kin = 1
-        // Promote 1 and 2.
+                                     // Promote 1 and 2.
         q.touch(1);
         q.touch(2);
         q.pop_victim(); // 1 ghosted (a1in over kin)

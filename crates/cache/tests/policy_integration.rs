@@ -46,10 +46,7 @@ fn lru_retains_hot_page_fifo_does_not() {
     assert_eq!(lru_hits, 18, "LRU: every hot access after the first hits");
     // FIFO re-faults the hot page each time it ages to the queue front
     // (once per capacity-many inserts), so it strictly trails LRU.
-    assert!(
-        fifo_hits < lru_hits,
-        "FIFO must re-fault the hot page: {fifo_hits} vs LRU {lru_hits}"
-    );
+    assert!(fifo_hits < lru_hits, "FIFO must re-fault the hot page: {fifo_hits} vs LRU {lru_hits}");
 }
 
 #[test]
@@ -216,11 +213,8 @@ fn scan_resistant_policies_match_lru_accounting() {
     // Same workload under every policy: total accesses, page faults +
     // hits and evictions must always balance.
     for policy in ReplacementPolicy::ALL {
-        let mut c = BufferCache::new(CacheConfig {
-            policy,
-            capacity_pages: 16,
-            ..Default::default()
-        });
+        let mut c =
+            BufferCache::new(CacheConfig { policy, capacity_pages: 16, ..Default::default() });
         let f = c.register_file("acct");
         for i in 0..500u64 {
             let off = (i * 7919) % (256 * 4096);

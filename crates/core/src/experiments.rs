@@ -37,11 +37,8 @@ pub struct Breakdown {
 impl Breakdown {
     fn from_times(cpu_s: f64, io_s: f64) -> Self {
         let total = cpu_s + io_s;
-        let (cpu_pct, io_pct) = if total > 0.0 {
-            (100.0 * cpu_s / total, 100.0 * io_s / total)
-        } else {
-            (0.0, 0.0)
-        };
+        let (cpu_pct, io_pct) =
+            if total > 0.0 { (100.0 * cpu_s / total, 100.0 * io_s / total) } else { (0.0, 0.0) };
         Self { cpu_s, io_s, cpu_pct, io_pct }
     }
 }
@@ -264,11 +261,7 @@ mod tests {
     fn table4_cold_hot_spread() {
         let t = table4_cholesky();
         let rows = t.report.request_rows();
-        let read_times: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.2 == IoOp::Read)
-            .map(|r| r.3)
-            .collect();
+        let read_times: Vec<f64> = rows.iter().filter(|r| r.2 == IoOp::Read).map(|r| r.3).collect();
         let max = read_times.iter().cloned().fold(0.0, f64::max);
         let min = read_times.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min > 10.0, "cache effects spread read times: {min}..{max}");

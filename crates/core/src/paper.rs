@@ -6,12 +6,15 @@
 //! form of EXPERIMENTS.md's "shape (held)" lines, usable in CI and
 //! printed by the `suite` binary.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::experiments;
 
 /// One verified claim.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Borrows its claim text statically, so it is serialize-only;
+/// round-trip through an owned JSON [`serde_json::Value`] instead.
+#[derive(Debug, Clone, Serialize)]
 pub struct Check {
     /// Where the paper makes the claim.
     pub artifact: &'static str,
@@ -146,7 +149,10 @@ pub fn checklist_webserver() -> std::io::Result<Vec<Check>> {
         "Table 5",
         "the first file I/O operation by the server takes more time than subsequent ones",
         rows[0].read_ms > rows[1].read_ms && rows[0].read_ms > rows[2].read_ms,
-        format!("first {:.2} ms vs later {:.2}/{:.2}", rows[0].read_ms, rows[1].read_ms, rows[2].read_ms),
+        format!(
+            "first {:.2} ms vs later {:.2}/{:.2}",
+            rows[0].read_ms, rows[1].read_ms, rows[2].read_ms
+        ),
     ));
 
     let trials = experiments::table6_repeated_reads(6)?;
@@ -181,8 +187,7 @@ pub fn checklist_extensions() -> Vec<Check> {
     ));
 
     let lu = ablations::scheduler_ablation(&ablations::lu_device_batch());
-    let lu_by =
-        |n: &str| lu.iter().find(|r| r.policy == n).map(|r| r.seek_ms).unwrap_or(f64::NAN);
+    let lu_by = |n: &str| lu.iter().find(|r| r.policy == n).map(|r| r.seek_ms).unwrap_or(f64::NAN);
     out.push(check(
         "ablation",
         "the paper's pre-sorted traces gain nothing from seek-optimizing schedulers",
@@ -191,14 +196,18 @@ pub fn checklist_extensions() -> Vec<Check> {
     ));
 
     let replay = ablations::scheduled_replay_ablation(&ablations::contended_trace(8, 24, 17));
-    let mk = |n: &str| {
-        replay.iter().find(|r| r.policy == n).map(|r| r.makespan_s).unwrap_or(f64::NAN)
-    };
+    let mk =
+        |n: &str| replay.iter().find(|r| r.policy == n).map(|r| r.makespan_s).unwrap_or(f64::NAN);
     out.push(check(
         "ablation",
         "under queueing contention, seek-aware scheduling shortens the replay makespan",
         mk("SSTF") < 0.85 * mk("FCFS") && mk("SCAN") < 0.85 * mk("FCFS"),
-        format!("makespan s: FCFS {:.2}, SSTF {:.2}, SCAN {:.2}", mk("FCFS"), mk("SSTF"), mk("SCAN")),
+        format!(
+            "makespan s: FCFS {:.2}, SSTF {:.2}, SCAN {:.2}",
+            mk("FCFS"),
+            mk("SSTF"),
+            mk("SCAN")
+        ),
     ));
 
     let raid = ablations::raid_ablation();

@@ -122,9 +122,7 @@ impl BenchmarkSuite {
         };
 
         let ablations = self.config.ablations.then(|| AblationReport {
-            scheduler_random: ablations::scheduler_ablation(&ablations::random_device_batch(
-                64, 7,
-            )),
+            scheduler_random: ablations::scheduler_ablation(&ablations::random_device_batch(64, 7)),
             scheduler_lu: ablations::scheduler_ablation(&ablations::lu_device_batch()),
             raid: ablations::raid_ablation(),
             contended_replay: ablations::scheduled_replay_ablation(&ablations::contended_trace(

@@ -188,11 +188,8 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadResult {
                     let mut lats = Vec::with_capacity(spec.requests);
                     let mut fails = 0usize;
                     let body = vec![0x5Au8; spec.post_bytes];
-                    let mut conn = if spec.keep_alive {
-                        Http11Client::connect(addr).ok()
-                    } else {
-                        None
-                    };
+                    let mut conn =
+                        if spec.keep_alive { Http11Client::connect(addr).ok() } else { None };
                     for r in 0..spec.requests {
                         // Deterministic GET/POST interleaving per client.
                         let do_post = spec.post_fraction > 0.0

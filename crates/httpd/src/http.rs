@@ -71,9 +71,10 @@ impl std::error::Error for ParseError {}
 /// Finds the end of the header block (`\r\n\r\n` or `\n\n`); returns
 /// the byte index just past it.
 pub fn header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4).or_else(|| {
-        buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2)
-    })
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
 }
 
 /// Validates and normalizes a request path: strips the leading slash,
@@ -176,12 +177,7 @@ pub struct ResponseOptions {
 }
 
 /// Builds a response with explicit connection/content-type handling.
-pub fn response_with(
-    status: u16,
-    reason: &str,
-    body: &[u8],
-    opts: &ResponseOptions,
-) -> Vec<u8> {
+pub fn response_with(status: u16, reason: &str, body: &[u8], opts: &ResponseOptions) -> Vec<u8> {
     let version = if opts.keep_alive { "HTTP/1.1" } else { "HTTP/1.0" };
     let connection = if opts.keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
@@ -244,8 +240,7 @@ mod tests {
 
     #[test]
     fn body_truncated_to_content_length() {
-        let req =
-            parse_request(b"POST /u HTTP/1.0\r\nContent-Length: 3\r\n\r\nabcdef").unwrap();
+        let req = parse_request(b"POST /u HTTP/1.0\r\nContent-Length: 3\r\n\r\nabcdef").unwrap();
         assert_eq!(req.body, b"abc");
     }
 
@@ -274,10 +269,7 @@ mod tests {
         assert_eq!(parse_request(b"GET //two HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
         assert_eq!(parse_request(b"GET / HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
         assert_eq!(parse_request(b"GET /c:win HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
-        assert_eq!(
-            parse_request(b"GET /a\\..\\b HTTP/1.0\r\n\r\n"),
-            Err(ParseError::BadPath)
-        );
+        assert_eq!(parse_request(b"GET /a\\..\\b HTTP/1.0\r\n\r\n"), Err(ParseError::BadPath));
     }
 
     #[test]
@@ -297,14 +289,14 @@ mod tests {
     fn keep_alive_rules() {
         // 1.0 defaults to close, overridable.
         assert!(!parse_request(b"GET /f HTTP/1.0\r\n\r\n").unwrap().keep_alive);
-        assert!(parse_request(b"GET /f HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
-            .unwrap()
-            .keep_alive);
+        assert!(
+            parse_request(b"GET /f HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive
+        );
         // 1.1 defaults to keep-alive, overridable.
         assert!(parse_request(b"GET /f HTTP/1.1\r\n\r\n").unwrap().keep_alive);
-        assert!(!parse_request(b"GET /f HTTP/1.1\r\nConnection: close\r\n\r\n")
-            .unwrap()
-            .keep_alive);
+        assert!(
+            !parse_request(b"GET /f HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive
+        );
     }
 
     #[test]
@@ -339,11 +331,8 @@ mod tests {
 
     #[test]
     fn response_with_head_only_omits_body() {
-        let opts = ResponseOptions {
-            content_type: Some("image/jpeg"),
-            keep_alive: true,
-            head_only: true,
-        };
+        let opts =
+            ResponseOptions { content_type: Some("image/jpeg"), keep_alive: true, head_only: true };
         let resp = response_with(200, "OK", b"12345", &opts);
         let text = String::from_utf8(resp).unwrap();
         assert!(text.contains("Content-Length: 5"), "CL states the full size");
@@ -355,10 +344,7 @@ mod tests {
 
     #[test]
     fn response_content_length_scan() {
-        assert_eq!(
-            response_content_length("HTTP/1.1 200 OK\r\ncontent-LENGTH:  42\r\n"),
-            Some(42)
-        );
+        assert_eq!(response_content_length("HTTP/1.1 200 OK\r\ncontent-LENGTH:  42\r\n"), Some(42));
         assert_eq!(response_content_length("HTTP/1.1 200 OK\r\n"), None);
     }
 

@@ -457,13 +457,7 @@ mod tests {
         assert_eq!(reads.len(), 6);
         let first = reads[0].sscli_ms;
         for (i, r) in reads.iter().enumerate().skip(1) {
-            assert!(
-                r.sscli_ms < first,
-                "trial {}: {} !< first {}",
-                i + 1,
-                r.sscli_ms,
-                first
-            );
+            assert!(r.sscli_ms < first, "trial {}: {} !< first {}", i + 1, r.sscli_ms, first);
         }
         server.stop();
         let _ = std::fs::remove_dir_all(root);

@@ -53,10 +53,7 @@ impl Application {
     /// hinges on this ("the speedup is dominated by the first program
     /// ... the first program runs longer than the second").
     pub fn concurrent_makespan(&self) -> f64 {
-        self.programs
-            .iter()
-            .map(Program::total_time)
-            .fold(0.0, f64::max)
+        self.programs.iter().map(Program::total_time).fold(0.0, f64::max)
     }
 
     /// Index of the program with the largest sequential time.
@@ -76,18 +73,10 @@ mod tests {
     use crate::working_set::WorkingSet;
 
     fn app() -> Application {
-        let long = Program::new(
-            "long",
-            100.0,
-            vec![WorkingSet::new(0.2, 0.0, 0.5, 2).unwrap()],
-        )
-        .unwrap();
-        let short = Program::new(
-            "short",
-            100.0,
-            vec![WorkingSet::new(0.9, 0.0, 0.3, 1).unwrap()],
-        )
-        .unwrap();
+        let long =
+            Program::new("long", 100.0, vec![WorkingSet::new(0.2, 0.0, 0.5, 2).unwrap()]).unwrap();
+        let short =
+            Program::new("short", 100.0, vec![WorkingSet::new(0.9, 0.0, 0.3, 1).unwrap()]).unwrap();
         Application::new("test-app", vec![long, short]).unwrap()
     }
 

@@ -42,8 +42,7 @@ pub fn seismic_application() -> Application {
         ws(0.05, 0.25, 0.085, 8), // migration compute + halo exchange
         ws(0.85, 0.00, 0.080, 1), // final image write
     ];
-    Application::new("Seismic", vec![program("seismic-worker", 240.0, sweep)])
-        .expect("one program")
+    Application::new("Seismic", vec![program("seismic-worker", 240.0, sweep)]).expect("one program")
 }
 
 /// PSTSWM-style spectral atmosphere model: compute phases separated by
@@ -55,8 +54,7 @@ pub fn pstswm_application() -> Application {
         ws(0.02, 0.20, 0.030, 10), // grid-space physics
         ws(0.90, 0.00, 0.010, 10), // checkpoint write every step
     ];
-    Application::new("PSTSWM", vec![program("pstswm-task", 300.0, timestep)])
-        .expect("one program")
+    Application::new("PSTSWM", vec![program("pstswm-task", 300.0, timestep)]).expect("one program")
 }
 
 /// Out-of-core association mining: three near-pure-I/O passes with a
@@ -86,10 +84,7 @@ pub fn render_application() -> Application {
     ];
     Application::new(
         "Render",
-        vec![
-            program("render-worker", 200.0, renderer),
-            program("compositor", 200.0, compositor),
-        ],
+        vec![program("render-worker", 200.0, renderer), program("compositor", 200.0, compositor)],
     )
     .expect("two programs")
 }

@@ -74,10 +74,7 @@ pub fn fit_working_sets(
     reference_time: f64,
     cfg: &FitConfig,
 ) -> Vec<WorkingSet> {
-    assert!(
-        reference_time > 0.0 && reference_time.is_finite(),
-        "non-positive reference time"
-    );
+    assert!(reference_time > 0.0 && reference_time.is_finite(), "non-positive reference time");
     let mut out: Vec<WorkingSet> = Vec::new();
     let mut group: Vec<Signature> = Vec::new();
 

@@ -89,7 +89,8 @@ impl Default for SynthConfig {
 pub fn synth_program(cfg: &SynthConfig, name: &str) -> Program {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ hash_name(name));
     let n_sets = rng.gen_range(cfg.working_sets.0..=cfg.working_sets.1.max(cfg.working_sets.0));
-    let phase_dist = Uniform::new_inclusive(cfg.phases.0.max(1), cfg.phases.1.max(cfg.phases.0).max(1));
+    let phase_dist =
+        Uniform::new_inclusive(cfg.phases.0.max(1), cfg.phases.1.max(cfg.phases.0).max(1));
 
     // Draw raw weights and phase counts first, normalize rel_time after.
     let mut raw: Vec<(f64, f64, f64, u32)> = Vec::with_capacity(n_sets);

@@ -27,7 +27,12 @@ pub struct WorkingSet {
 
 impl WorkingSet {
     /// Creates and validates a working set.
-    pub fn new(io_fraction: f64, comm_fraction: f64, rel_time: f64, phases: u32) -> Result<Self, ModelError> {
+    pub fn new(
+        io_fraction: f64,
+        comm_fraction: f64,
+        rel_time: f64,
+        phases: u32,
+    ) -> Result<Self, ModelError> {
         let ws = Self { io_fraction, comm_fraction, rel_time, phases };
         ws.validate()?;
         Ok(ws)

@@ -237,10 +237,7 @@ mod tests {
         let stats = gc.stats();
         assert!(stats.major_collections >= 1);
         assert!(majors_pause > 0.0);
-        assert!(
-            gc.old_live_bytes() <= model.old_budget_bytes,
-            "post-major live set within budget"
-        );
+        assert!(gc.old_live_bytes() <= model.old_budget_bytes, "post-major live set within budget");
     }
 
     #[test]
@@ -269,10 +266,7 @@ mod tests {
 
     #[test]
     fn pause_scales_with_live_heap() {
-        let model = GcModel {
-            old_budget_bytes: 4 << 20,
-            ..GcModel::sscli_like()
-        };
+        let model = GcModel { old_budget_bytes: 4 << 20, ..GcModel::sscli_like() };
         let mut gc = GcState::new(model);
         let p1 = gc.alloc(5 << 20); // major with ~5 MiB live
         let mut gc2 = GcState::new(model);

@@ -90,11 +90,8 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
             }
             let mut it = rest.split_whitespace();
             let name = it.next().ok_or_else(|| err(line_no, ".method needs a name"))?;
-            let n_locals: u8 = it
-                .next()
-                .unwrap_or("0")
-                .parse()
-                .map_err(|_| err(line_no, "bad local count"))?;
+            let n_locals: u8 =
+                it.next().unwrap_or("0").parse().map_err(|_| err(line_no, "bad local count"))?;
             current = Some(PendingMethod {
                 name: name.to_string(),
                 n_locals,
@@ -164,8 +161,14 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
             "store" => Pending::Done(Op::Store(
                 need("a slot")?.parse().map_err(|_| err(line_no, "bad slot"))?,
             )),
-            "jz" => Pending::Jump { mnemonic: "jz", label: need("a label")?.to_string(), line: line_no },
-            "jmp" => Pending::Jump { mnemonic: "jmp", label: need("a label")?.to_string(), line: line_no },
+            "jz" => {
+                Pending::Jump { mnemonic: "jz", label: need("a label")?.to_string(), line: line_no }
+            }
+            "jmp" => Pending::Jump {
+                mnemonic: "jmp",
+                label: need("a label")?.to_string(),
+                line: line_no,
+            },
             "call" => Pending::Call { name: need("a method name")?.to_string(), line: line_no },
             other => return Err(err(line_no, format!("unknown mnemonic {other:?}"))),
         };
@@ -177,11 +180,8 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
     }
 
     // Pass 2: resolve labels and calls.
-    let name_index: HashMap<String, u16> = methods
-        .iter()
-        .enumerate()
-        .map(|(i, m)| (m.name.clone(), i as u16))
-        .collect();
+    let name_index: HashMap<String, u16> =
+        methods.iter().enumerate().map(|(i, m)| (m.name.clone(), i as u16)).collect();
     if name_index.len() != methods.len() {
         return Err(err(0, "duplicate method names"));
     }
@@ -198,8 +198,8 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
                         .get(&label)
                         .ok_or_else(|| err(line, format!("unknown label {label:?}")))?;
                     let delta = target as i64 - pc as i64 - 1;
-                    let delta = i32::try_from(delta)
-                        .map_err(|_| err(line, "jump distance overflow"))?;
+                    let delta =
+                        i32::try_from(delta).map_err(|_| err(line, "jump distance overflow"))?;
                     if mnemonic == "jz" {
                         Op::Jz(delta)
                     } else {
@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn assemble_and_run_arithmetic() {
-        let asm = assemble(
-            ".method calc 0\n push 6\n push 7\n mul\n ret\n.end\n",
-        )
-        .unwrap();
+        let asm = assemble(".method calc 0\n push 6\n push 7\n mul\n ret\n.end\n").unwrap();
         asm.verify().unwrap();
         assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 42);
     }
@@ -285,7 +282,8 @@ done:
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let asm = assemble("; header\n\n.method m 0 ; trailing\n push 1 ; operand\n ret\n.end\n").unwrap();
+        let asm = assemble("; header\n\n.method m 0 ; trailing\n push 1 ; operand\n ret\n.end\n")
+            .unwrap();
         assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 1);
     }
 
@@ -326,10 +324,8 @@ done:
 
     #[test]
     fn comparison_and_rem_mnemonics() {
-        let asm = assemble(
-            ".method m 0\n push 17\n push 5\n rem\n push 2\n clt\n ret\n.end\n",
-        )
-        .unwrap();
+        let asm =
+            assemble(".method m 0\n push 17\n push 5\n rem\n push 2\n clt\n ret\n.end\n").unwrap();
         asm.verify().unwrap();
         // 17 % 5 = 2; 2 < 2 = 0.
         assert_eq!(Vm::new().execute(&asm, 0, &[]).unwrap(), 0);
@@ -343,10 +339,7 @@ done:
         let asm = assemble(src).unwrap();
         asm.verify().unwrap();
         // Without an I/O context the opcode must fail cleanly.
-        assert!(matches!(
-            Vm::new().execute(&asm, 0, &[]),
-            Err(VmError::NoIoContext { .. })
-        ));
+        assert!(matches!(Vm::new().execute(&asm, 0, &[]), Err(VmError::NoIoContext { .. })));
     }
 
     #[test]

@@ -213,9 +213,7 @@ impl Assembly {
         while let Some((pc, depth)) = work.pop_front() {
             match depth_at[pc] {
                 Some(d) if d == depth => continue,
-                Some(_) => {
-                    return Err(VmError::InconsistentStack { method: m.name.clone(), pc })
-                }
+                Some(_) => return Err(VmError::InconsistentStack { method: m.name.clone(), pc }),
                 None => depth_at[pc] = Some(depth),
             }
             let underflow = |need: i64| -> Result<(), VmError> {
@@ -371,10 +369,7 @@ impl Vm {
         if depth > 256 {
             return Err(VmError::OutOfFuel); // recursion guard folds into fuel semantics
         }
-        let m = asm
-            .methods
-            .get(idx as usize)
-            .ok_or(VmError::NoSuchMethod(idx))?;
+        let m = asm.methods.get(idx as usize).ok_or(VmError::NoSuchMethod(idx))?;
         let mut locals = vec![0i64; m.n_locals as usize];
         for (slot, &a) in locals.iter_mut().zip(args) {
             *slot = a;
@@ -384,10 +379,7 @@ impl Vm {
 
         macro_rules! pop {
             () => {
-                stack.pop().ok_or_else(|| VmError::StackUnderflow {
-                    method: m.name.clone(),
-                    pc,
-                })?
+                stack.pop().ok_or_else(|| VmError::StackUnderflow { method: m.name.clone(), pc })?
             };
         }
 
@@ -447,9 +439,9 @@ impl Vm {
                     stack.push(i64::from(a == b));
                 }
                 Op::IoOpen | Op::IoClose => {
-                    let ctx = ioctx.as_mut().ok_or_else(|| VmError::NoIoContext {
-                        method: m.name.clone(),
-                    })?;
+                    let ctx = ioctx
+                        .as_mut()
+                        .ok_or_else(|| VmError::NoIoContext { method: m.name.clone() })?;
                     let op = if matches!(op, Op::IoOpen) {
                         ctx.io.open(&m.name, m.code.len(), ctx.file)
                     } else {
@@ -460,9 +452,9 @@ impl Vm {
                 Op::IoRead | Op::IoWrite => {
                     let len = pop!();
                     let offset = pop!();
-                    let ctx = ioctx.as_mut().ok_or_else(|| VmError::NoIoContext {
-                        method: m.name.clone(),
-                    })?;
+                    let ctx = ioctx
+                        .as_mut()
+                        .ok_or_else(|| VmError::NoIoContext { method: m.name.clone() })?;
                     let (offset, len) = (offset.max(0) as u64, len.max(0) as u64);
                     let op = if matches!(op, Op::IoRead) {
                         ctx.io.read(&m.name, m.code.len(), ctx.file, offset, len)
@@ -480,18 +472,16 @@ impl Vm {
                     let _ = pop!();
                 }
                 Op::Load(slot) => {
-                    let v = *locals.get(slot as usize).ok_or(VmError::BadLocal {
-                        method: m.name.clone(),
-                        slot,
-                    })?;
+                    let v = *locals
+                        .get(slot as usize)
+                        .ok_or(VmError::BadLocal { method: m.name.clone(), slot })?;
                     stack.push(v);
                 }
                 Op::Store(slot) => {
                     let v = pop!();
-                    *locals.get_mut(slot as usize).ok_or(VmError::BadLocal {
-                        method: m.name.clone(),
-                        slot,
-                    })? = v;
+                    *locals
+                        .get_mut(slot as usize)
+                        .ok_or(VmError::BadLocal { method: m.name.clone(), slot })? = v;
                 }
                 Op::Jz(delta) => {
                     let v = pop!();
@@ -580,7 +570,7 @@ mod tests {
                 Op::Sub,
                 Op::Store(0),
                 Op::Load(0),
-                Op::Jz(1),   // exit when i == 0
+                Op::Jz(1), // exit when i == 0
                 Op::Jmp(-11),
                 Op::Load(1),
                 Op::Ret,
@@ -617,10 +607,7 @@ mod tests {
             0,
             vec![Op::PushI(1), Op::PushI(0), Op::Div, Op::Ret],
         )]);
-        assert!(matches!(
-            Vm::new().execute(&asm, 0, &[]),
-            Err(VmError::DivideByZero { .. })
-        ));
+        assert!(matches!(Vm::new().execute(&asm, 0, &[]), Err(VmError::DivideByZero { .. })));
     }
 
     #[test]
@@ -662,10 +649,10 @@ mod tests {
             "bad",
             0,
             vec![
-                Op::PushI(1),      // 0: depth 1
-                Op::Jz(1),         // 1: branch (depth 0 after pop)
-                Op::PushI(7),      // 2: fallthrough path: depth 1
-                Op::PushI(9),      // 3: join — taken path arrives depth 0, fallthrough depth 1
+                Op::PushI(1), // 0: depth 1
+                Op::Jz(1),    // 1: branch (depth 0 after pop)
+                Op::PushI(7), // 2: fallthrough path: depth 1
+                Op::PushI(9), // 3: join — taken path arrives depth 0, fallthrough depth 1
                 Op::Ret,
             ],
         )]);
@@ -685,7 +672,7 @@ mod tests {
             1,
             vec![
                 Op::Load(0),
-                Op::Jz(2),          // if x == 0 -> push 100 path
+                Op::Jz(2), // if x == 0 -> push 100 path
                 Op::PushI(1),
                 Op::Jmp(1),
                 Op::PushI(100),
@@ -720,15 +707,9 @@ mod tests {
 
     #[test]
     fn rem_by_zero_is_divide_by_zero() {
-        let asm = Assembly::new(vec![method(
-            "m",
-            0,
-            vec![Op::PushI(1), Op::PushI(0), Op::Rem, Op::Ret],
-        )]);
-        assert!(matches!(
-            Vm::new().execute(&asm, 0, &[]),
-            Err(VmError::DivideByZero { .. })
-        ));
+        let asm =
+            Assembly::new(vec![method("m", 0, vec![Op::PushI(1), Op::PushI(0), Op::Rem, Op::Ret])]);
+        assert!(matches!(Vm::new().execute(&asm, 0, &[]), Err(VmError::DivideByZero { .. })));
     }
 
     #[test]
@@ -768,14 +749,7 @@ mod tests {
         let asm = Assembly::new(vec![method(
             "ok",
             0,
-            vec![
-                Op::IoOpen,
-                Op::Pop,
-                Op::PushI(0),
-                Op::PushI(4096),
-                Op::IoRead,
-                Op::Ret,
-            ],
+            vec![Op::IoOpen, Op::Pop, Op::PushI(0), Op::PushI(4096), Op::IoRead, Op::Ret],
         )]);
         asm.verify().unwrap();
     }
@@ -783,10 +757,7 @@ mod tests {
     #[test]
     fn io_opcodes_require_context() {
         let asm = Assembly::new(vec![method("m", 0, vec![Op::IoOpen, Op::Ret])]);
-        assert!(matches!(
-            Vm::new().execute(&asm, 0, &[]),
-            Err(VmError::NoIoContext { .. })
-        ));
+        assert!(matches!(Vm::new().execute(&asm, 0, &[]), Err(VmError::NoIoContext { .. })));
     }
 
     #[test]

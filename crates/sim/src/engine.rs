@@ -70,7 +70,11 @@ impl<W> Engine<W> {
     /// # Panics
     /// Panics if `at` is in the simulated past — causality violations
     /// are modeling bugs, not recoverable conditions.
-    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine<W>, &mut W) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+    ) {
         assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -78,7 +82,11 @@ impl<W> Engine<W> {
     }
 
     /// Schedules `action` to run `delay` seconds from now.
-    pub fn schedule_in(&mut self, delay: f64, action: impl FnOnce(&mut Engine<W>, &mut W) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: f64,
+        action: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+    ) {
         assert!(delay >= 0.0, "negative delay {delay}");
         self.schedule_at(self.now + delay, action);
     }

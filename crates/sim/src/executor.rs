@@ -168,11 +168,7 @@ pub fn simulate(app: &Application, machine: &MachineConfig) -> SimReport {
     }
     let end = engine.run(&mut world);
 
-    let makespan = world
-        .programs
-        .iter()
-        .map(|p| p.report.finish.seconds())
-        .fold(0.0, f64::max);
+    let makespan = world.programs.iter().map(|p| p.report.finish.seconds()).fold(0.0, f64::max);
     let disk_utilization = if world.disks.is_empty() {
         0.0
     } else {
@@ -284,12 +280,8 @@ mod tests {
     use clio_model::{Program, WorkingSet};
 
     fn single_program_app(io: f64, comm: f64, rho: f64, phases: u32, t_ref: f64) -> Application {
-        let p = Program::new(
-            "solo",
-            t_ref,
-            vec![WorkingSet::new(io, comm, rho, phases).unwrap()],
-        )
-        .unwrap();
+        let p = Program::new("solo", t_ref, vec![WorkingSet::new(io, comm, rho, phases).unwrap()])
+            .unwrap();
         Application::new("solo-app", vec![p]).unwrap()
     }
 

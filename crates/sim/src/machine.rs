@@ -108,11 +108,15 @@ mod tests {
     fn validation_catches_zeroes() {
         assert!(MachineConfig { cpus: 0, ..MachineConfig::uniprocessor() }.validate().is_err());
         assert!(MachineConfig { disks: 0, ..MachineConfig::uniprocessor() }.validate().is_err());
-        assert!(MachineConfig { stripe_unit: 0, ..MachineConfig::uniprocessor() }.validate().is_err());
-        assert!(MachineConfig { cpu_quantum: 0.0, ..MachineConfig::uniprocessor() }.validate().is_err());
-        assert!(
-            MachineConfig { io_demand_rate: -1.0, ..MachineConfig::uniprocessor() }.validate().is_err()
-        );
+        assert!(MachineConfig { stripe_unit: 0, ..MachineConfig::uniprocessor() }
+            .validate()
+            .is_err());
+        assert!(MachineConfig { cpu_quantum: 0.0, ..MachineConfig::uniprocessor() }
+            .validate()
+            .is_err());
+        assert!(MachineConfig { io_demand_rate: -1.0, ..MachineConfig::uniprocessor() }
+            .validate()
+            .is_err());
     }
 
     #[test]

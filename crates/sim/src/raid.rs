@@ -91,7 +91,11 @@ impl RaidArray {
         member: DiskModel,
     ) -> Result<Self, String> {
         if disks < level.min_disks() {
-            return Err(format!("{} needs at least {} disks, got {disks}", level.name(), level.min_disks()));
+            return Err(format!(
+                "{} needs at least {} disks, got {disks}",
+                level.name(),
+                level.min_disks()
+            ));
         }
         if stripe_unit == 0 {
             return Err("stripe unit must be positive".into());
@@ -214,9 +218,7 @@ impl RaidArray {
     /// Aggregate streaming bandwidth available to reads, bytes/second.
     pub fn read_bandwidth(&self) -> f64 {
         match self.level {
-            RaidLevel::Raid0 | RaidLevel::Raid5 => {
-                self.disks as f64 * self.member.transfer_rate
-            }
+            RaidLevel::Raid0 | RaidLevel::Raid5 => self.disks as f64 * self.member.transfer_rate,
             RaidLevel::Raid1 => self.disks as f64 * self.member.transfer_rate,
         }
     }

@@ -471,8 +471,7 @@ mod tests {
         let mut sstf_total = 0u64;
         for _ in 0..200 {
             let head = rng.gen_range(0..10_000);
-            let batch: Vec<_> =
-                (0..32).map(|i| req(i, rng.gen_range(0..10_000))).collect();
+            let batch: Vec<_> = (0..32).map(|i| req(i, rng.gen_range(0..10_000))).collect();
             fcfs_total += travel(head, &Scheduler::order(Policy::Fcfs, head, batch.clone()));
             sstf_total += travel(head, &Scheduler::order(Policy::Sstf, head, batch));
         }

@@ -17,11 +17,11 @@ use clio_trace::record::IoOp;
 use clio_trace::TraceFile;
 
 use crate::disk::stripe_plan;
+use crate::engine::Engine;
 use crate::machine::MachineConfig;
 use crate::sched::{DiskRequest, Policy, Scheduler, SeekCurve};
 use crate::time::SimTime;
 use crate::trace_driven::TraceSimReport;
-use crate::engine::Engine;
 
 /// Geometry and policy of the scheduled replay.
 #[derive(Debug, Clone, Copy)]
@@ -195,16 +195,12 @@ fn issue_io(
         })
         .collect();
     let tid = world.transfers.len() as u64;
-    world.transfers.push(Transfer {
-        remaining: participating.len(),
-        proc_idx,
-    });
+    world.transfers.push(Transfer { remaining: participating.len(), proc_idx });
 
     // Head position target: each disk stores its share of the logical
     // space, so the per-disk offset shrinks by the member count.
     let per_disk_offset = offset / n_disks.max(1) as u64;
-    let cylinder = (per_disk_offset / world.bytes_per_cylinder)
-        % world.curve.cylinders;
+    let cylinder = (per_disk_offset / world.bytes_per_cylinder) % world.curve.cylinders;
 
     for (d, b) in participating {
         world.disks[d].sched.push(DiskRequest { id: tid, cylinder, bytes: b });

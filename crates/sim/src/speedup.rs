@@ -24,7 +24,11 @@ pub fn cpu_sweep(app: &Application, counts: &[usize]) -> SpeedupCurve {
     sweep(app, counts, MachineConfig::with_cpus)
 }
 
-fn sweep(app: &Application, counts: &[usize], make: impl Fn(usize) -> MachineConfig) -> SpeedupCurve {
+fn sweep(
+    app: &Application,
+    counts: &[usize],
+    make: impl Fn(usize) -> MachineConfig,
+) -> SpeedupCurve {
     let baseline = simulate(app, &MachineConfig::uniprocessor()).makespan;
     let mut curve = SpeedupCurve::new(1, baseline);
     for &n in counts {

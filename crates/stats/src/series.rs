@@ -67,11 +67,9 @@ impl Series {
     pub fn first_is_max(&self, slack: f64) -> bool {
         match self.points.first() {
             None => true,
-            Some(&(_, first)) => self
-                .points
-                .iter()
-                .skip(1)
-                .all(|&(_, y)| y <= first * (1.0 + slack)),
+            Some(&(_, first)) => {
+                self.points.iter().skip(1).all(|&(_, y)| y <= first * (1.0 + slack))
+            }
         }
     }
 

@@ -62,10 +62,7 @@ impl SpeedupCurve {
 
     /// Speedup at each point: `baseline_time / time`.
     pub fn speedups(&self) -> Vec<(u32, f64)> {
-        self.points
-            .iter()
-            .map(|p| (p.n, self.baseline_time / p.time))
-            .collect()
+        self.points.iter().map(|p| (p.n, self.baseline_time / p.time)).collect()
     }
 
     /// Parallel efficiency at each point: `speedup / (n / baseline_n)`.

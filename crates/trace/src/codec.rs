@@ -70,8 +70,7 @@ pub fn decode_header(buf: &mut Bytes) -> Result<TraceHeader, TraceError> {
     let name_bytes = buf.copy_to_bytes(name_len);
     let sample_file = String::from_utf8(name_bytes.to_vec())
         .map_err(|_| TraceError::BadHeader("sample file name is not UTF-8".into()))?;
-    let header =
-        TraceHeader { num_processes, num_files, num_records, records_offset, sample_file };
+    let header = TraceHeader { num_processes, num_files, num_records, records_offset, sample_file };
     header.validate()?;
     Ok(header)
 }
@@ -221,11 +220,7 @@ mod tests {
         let full = out.freeze();
         for cut in 0..full.len() {
             let mut buf = full.slice(0..cut);
-            assert!(
-                decode_header(&mut buf).is_err(),
-                "cut at {cut} of {} must fail",
-                full.len()
-            );
+            assert!(decode_header(&mut buf).is_err(), "cut at {cut} of {} must fail", full.len());
         }
     }
 
@@ -260,7 +255,16 @@ mod tests {
     }
 
     fn arb_record() -> impl Strategy<Value = TraceRecord> {
-        (0u8..5, any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        (
+            0u8..5,
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
             .prop_map(|(code, nr, pid, fid, w, p, off, len)| TraceRecord {
                 op: IoOp::from_code(code).unwrap(),
                 num_records: nr,

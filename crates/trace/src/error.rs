@@ -42,7 +42,9 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"CLIO\""),
             TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            TraceError::Truncated { context } => write!(f, "trace truncated while reading {context}"),
+            TraceError::Truncated { context } => {
+                write!(f, "trace truncated while reading {context}")
+            }
             TraceError::BadOpCode(c) => write!(f, "unknown operation code {c}"),
             TraceError::BadHeader(why) => write!(f, "invalid header: {why}"),
             TraceError::BadTextLine { line, reason } => {
@@ -82,9 +84,9 @@ mod tests {
         assert!(TraceError::Truncated { context: "header" }.to_string().contains("header"));
         assert!(TraceError::BadOpCode(7).to_string().contains('7'));
         assert!(TraceError::BadHeader("x".into()).to_string().contains('x'));
-        assert!(
-            TraceError::BadTextLine { line: 3, reason: "nope".into() }.to_string().contains("line 3")
-        );
+        assert!(TraceError::BadTextLine { line: 3, reason: "nope".into() }
+            .to_string()
+            .contains("line 3"));
         assert!(TraceError::FileIdOutOfRange { file_id: 5, num_files: 2 }
             .to_string()
             .contains("file 5"));

@@ -73,8 +73,8 @@ impl TraceFile {
         }
         // The serialized records_offset is advisory; recompute so the
         // in-memory value is always consistent with this library's layout.
-        header.records_offset = (data.len() - buf.len()
-            - records.len() * TraceRecord::ENCODED_LEN) as u64;
+        header.records_offset =
+            (data.len() - buf.len() - records.len() * TraceRecord::ENCODED_LEN) as u64;
         let t = Self { header, records };
         t.validate()?;
         Ok(t)
@@ -119,14 +119,9 @@ impl TraceFile {
                         reason: "!header needs a sample file name".into(),
                     })?
                     .to_string();
-                num_processes = it
-                    .next()
-                    .unwrap_or("1")
-                    .parse()
-                    .map_err(|_| TraceError::BadTextLine {
-                        line: line_no,
-                        reason: "bad process count".into(),
-                    })?;
+                num_processes = it.next().unwrap_or("1").parse().map_err(|_| {
+                    TraceError::BadTextLine { line: line_no, reason: "bad process count".into() }
+                })?;
                 continue;
             }
             records.push(codec::record_from_text(line, line_no)?);
@@ -238,10 +233,7 @@ mod tests {
     fn truncated_records_detected() {
         let bytes = sample().to_bytes();
         let cut = bytes.len() - 10;
-        assert!(matches!(
-            TraceFile::from_bytes(&bytes[..cut]),
-            Err(TraceError::Truncated { .. })
-        ));
+        assert!(matches!(TraceFile::from_bytes(&bytes[..cut]), Err(TraceError::Truncated { .. })));
     }
 
     #[test]

@@ -73,7 +73,8 @@ impl ReplayReport {
             .filter(|t| matches!(t.record.op, IoOp::Read | IoOp::Write | IoOp::Seek))
             .enumerate()
             .map(|(i, t)| {
-                let size = if t.record.op == IoOp::Seek { t.record.offset } else { t.record.length };
+                let size =
+                    if t.record.op == IoOp::Seek { t.record.offset } else { t.record.length };
                 (i + 1, size, t.record.op, t.elapsed_ms)
             })
             .collect()
@@ -81,10 +82,7 @@ impl ReplayReport {
 
     /// Total replayed wall/simulated time, ms.
     pub fn total_ms(&self) -> f64 {
-        self.timings
-            .iter()
-            .map(|t| t.elapsed_ms * t.record.num_records.max(1) as f64)
-            .sum()
+        self.timings.iter().map(|t| t.elapsed_ms * t.record.num_records.max(1) as f64).sum()
     }
 }
 
@@ -330,14 +328,10 @@ mod tests {
     #[test]
     fn read_past_eof_clamps() {
         let mut backend = MemBackend::with_data(vec![0u8; 100]);
-        let t = TraceFile::build(
-            "s.dat",
-            1,
-            vec![TraceRecord::simple(IoOp::Read, 0, 50, 1_000_000)],
-        )
-        .unwrap();
-        let report =
-            replay_with_backend(&t, &mut backend, RealReplayOptions::default()).unwrap();
+        let t =
+            TraceFile::build("s.dat", 1, vec![TraceRecord::simple(IoOp::Read, 0, 50, 1_000_000)])
+                .unwrap();
+        let report = replay_with_backend(&t, &mut backend, RealReplayOptions::default()).unwrap();
         assert_eq!(report.timings.len(), 1);
     }
 }

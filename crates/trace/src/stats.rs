@@ -97,8 +97,8 @@ impl TraceStats {
 /// Convenience: statistics for a raw record slice (no header needed).
 pub fn stats_for_records(records: &[TraceRecord]) -> TraceStats {
     // Build a throwaway trace; header content doesn't affect stats.
-    let trace = TraceFile::build("stats.tmp", 1, records.to_vec())
-        .expect("records are structurally valid");
+    let trace =
+        TraceFile::build("stats.tmp", 1, records.to_vec()).expect("records are structurally valid");
     TraceStats::compute(&trace)
 }
 

@@ -232,11 +232,9 @@ mod tests {
         assert!(TraceProfile { sequentiality: -0.1, ..Default::default() }.validate().is_err());
         assert!(TraceProfile { request_size: (0, 10), ..Default::default() }.validate().is_err());
         assert!(TraceProfile { request_size: (20, 10), ..Default::default() }.validate().is_err());
-        assert!(
-            TraceProfile { file_size: 10, request_size: (4, 1024), ..Default::default() }
-                .validate()
-                .is_err()
-        );
+        assert!(TraceProfile { file_size: 10, request_size: (4, 1024), ..Default::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]

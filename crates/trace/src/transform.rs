@@ -41,9 +41,7 @@ pub fn split_by_process(trace: &TraceFile) -> Result<Vec<(u32, TraceFile)>, Trac
     let mut pids: Vec<u32> = trace.records.iter().map(|r| r.pid).collect();
     pids.sort_unstable();
     pids.dedup();
-    pids.into_iter()
-        .map(|pid| Ok((pid, filter_by_pid(trace, pid)?)))
-        .collect()
+    pids.into_iter().map(|pid| Ok((pid, filter_by_pid(trace, pid)?))).collect()
 }
 
 /// Merges traces into a single timeline ordered by wall-clock time.
@@ -56,9 +54,8 @@ pub fn split_by_process(trace: &TraceFile) -> Result<Vec<(u32, TraceFile)>, Trac
 /// # Errors
 /// Fails on an empty input set or mismatched sample files.
 pub fn merge(traces: &[TraceFile]) -> Result<TraceFile, TraceError> {
-    let first = traces
-        .first()
-        .ok_or_else(|| TraceError::BadHeader("merge of zero traces".into()))?;
+    let first =
+        traces.first().ok_or_else(|| TraceError::BadHeader("merge of zero traces".into()))?;
     for t in traces {
         if t.header.sample_file != first.header.sample_file {
             return Err(TraceError::BadHeader(format!(
@@ -123,11 +120,7 @@ fn saturating_shift(t: u64, delta: i64) -> u64 {
 }
 
 fn rebuild(source: &TraceFile, records: Vec<TraceRecord>) -> Result<TraceFile, TraceError> {
-    TraceFile::build(
-        source.header.sample_file.clone(),
-        source.header.num_processes,
-        records,
-    )
+    TraceFile::build(source.header.sample_file.clone(), source.header.num_processes, records)
 }
 
 #[cfg(test)]
@@ -137,9 +130,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn sample_trace(pid_ops: &[(u32, IoOp, u64, u64)]) -> TraceFile {
-        let mut w = TraceWriter::new("sample-1gb.dat").with_processes(
-            pid_ops.iter().map(|&(p, ..)| p).max().unwrap_or(0) + 1,
-        );
+        let mut w = TraceWriter::new("sample-1gb.dat")
+            .with_processes(pid_ops.iter().map(|&(p, ..)| p).max().unwrap_or(0) + 1);
         for &(pid, op, offset, length) in pid_ops {
             w.record(op, pid, 0, offset, length);
         }

@@ -51,10 +51,7 @@ fn drive(label: &str, gc: Option<GcModel>) {
 fn main() {
     println!("1500 GETs over the paper's three image files:\n");
     drive("sscli (1 MiB)", Some(GcModel::sscli_like()));
-    drive(
-        "8 MiB nursery",
-        Some(GcModel { nursery_bytes: 8 << 20, ..GcModel::sscli_like() }),
-    );
+    drive("8 MiB nursery", Some(GcModel { nursery_bytes: 8 << 20, ..GcModel::sscli_like() }));
     drive("no GC", None);
     println!();
     println!("The median request never sees the collector; the tail does. Sizing");

@@ -17,11 +17,7 @@ fn main() -> std::io::Result<()> {
     let (lu_res, lu_trace) = lu::run(&lu_cfg)?;
     let a = dense_matrix(lu_cfg.seed, lu_cfg.n);
     let rebuilt = lu_res.reconstruct();
-    let err = a
-        .iter()
-        .zip(&rebuilt)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f64, f64::max);
+    let err = a.iter().zip(&rebuilt).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
     println!("LU {}x{} (panel {}):", lu_cfg.n, lu_cfg.n, lu_cfg.panel);
     println!("  max |A - P^T L U| = {err:.2e}");
     let lu_stats = TraceStats::compute(&lu_trace);
@@ -43,18 +39,10 @@ fn main() -> std::io::Result<()> {
         dense[c as usize * n + r as usize] = v;
     }
     let rebuilt = ch_res.reconstruct_dense();
-    let err = dense
-        .iter()
-        .zip(&rebuilt)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f64, f64::max);
+    let err = dense.iter().zip(&rebuilt).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
     println!("\nCholesky {n}x{n} grid Laplacian:");
     println!("  max |A - L L^T| = {err:.2e}");
-    println!(
-        "  fill-in: {} input nnz -> {} factor nnz",
-        triplets.len(),
-        ch_res.nnz
-    );
+    println!("  fill-in: {} input nnz -> {} factor nnz", triplets.len(), ch_res.nnz);
     let ch_stats = TraceStats::compute(&ch_trace);
     println!(
         "  I/O: request sizes {:.0} B .. {:.0} B (left-looking re-reads widen over time)",

@@ -20,7 +20,10 @@ fn main() -> std::io::Result<()> {
     println!("[1] Behavioral model (QCRD on a simulated uniprocessor)");
     println!(
         "    application: CPU {:.1}s / IO {:.1}s  ({:.0}% / {:.0}%)",
-        qcrd.application.cpu_s, qcrd.application.io_s, qcrd.application.cpu_pct, qcrd.application.io_pct
+        qcrd.application.cpu_s,
+        qcrd.application.io_s,
+        qcrd.application.cpu_pct,
+        qcrd.application.io_pct
     );
     let disk = report.disk_speedup.expect("sweep ran");
     let cpu = report.cpu_speedup.expect("sweep ran");

@@ -40,14 +40,9 @@ fn main() {
 
     // Stage 3: trace surgery. Align the render trace to start after the
     // radar trace and merge both into one mission timeline.
-    let end_of_radar = radar_trace
-        .records
-        .iter()
-        .map(|r| r.wall_clock_us)
-        .max()
-        .unwrap_or(0) as i64;
-    let shifted =
-        transform::shift_time(&render_trace, end_of_radar + 1).expect("shift is total");
+    let end_of_radar =
+        radar_trace.records.iter().map(|r| r.wall_clock_us).max().unwrap_or(0) as i64;
+    let shifted = transform::shift_time(&render_trace, end_of_radar + 1).expect("shift is total");
     // Merging requires one sample-file namespace; retarget by rebuild.
     let retargeted = clio_core::trace::TraceFile::build(
         radar_trace.header.sample_file.clone(),
@@ -65,10 +60,7 @@ fn main() {
 
     // Stage 4: replay the merged timeline through the simulated cache.
     let report = replay_simulated(&mission, CacheConfig::default());
-    println!(
-        "\nreplay through the buffer cache: {:.3} ms simulated I/O time",
-        report.total_ms()
-    );
+    println!("\nreplay through the buffer cache: {:.3} ms simulated I/O time", report.total_ms());
     let reads = transform::filter_by_op(&mission, &[IoOp::Read]).expect("filter is total");
     let read_report = replay_simulated(&reads, CacheConfig::default());
     println!(

@@ -24,7 +24,10 @@ fn main() {
         ("uniform random batch, n = 64", random_device_batch(64, 7)),
     ] {
         println!("{label}:");
-        println!("  {:8} {:>12} {:>11} {:>13}", "policy", "seek (cyl)", "seek (ms)", "service (ms)");
+        println!(
+            "  {:8} {:>12} {:>11} {:>13}",
+            "policy", "seek (cyl)", "seek (ms)", "service (ms)"
+        );
         for row in scheduler_ablation(&batch) {
             println!(
                 "  {:8} {:>12} {:>11.3} {:>13.3}",
@@ -42,10 +45,8 @@ fn main() {
             .enumerate()
             .map(|(i, &c)| DiskRequest { id: i as u64, cylinder: c, bytes: 4096 })
             .collect();
-        let order: Vec<u64> = Scheduler::order(policy, 53, batch)
-            .iter()
-            .map(|r| r.cylinder)
-            .collect();
+        let order: Vec<u64> =
+            Scheduler::order(policy, 53, batch).iter().map(|r| r.cylinder).collect();
         println!("  {:8} {:?}", policy.name(), order);
     }
 
@@ -57,7 +58,10 @@ fn main() {
     for row in raid_ablation() {
         println!(
             "  {:8} {:>14.3} {:>16.3} {:>17.3} {:>9.2}",
-            row.level, row.read_large_ms, row.write_large_ms, row.write_small_ms,
+            row.level,
+            row.read_large_ms,
+            row.write_large_ms,
+            row.write_small_ms,
             row.capacity_efficiency
         );
     }

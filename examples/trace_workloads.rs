@@ -41,11 +41,7 @@ fn main() -> std::io::Result<()> {
     std::fs::create_dir_all(&out_dir)?;
 
     let (dm, dm_trace) = dmine::run(&dmine::DmineConfig::default())?;
-    println!(
-        "Dmine found {} frequent itemsets in {} passes",
-        dm.frequent.len(),
-        dm.passes
-    );
+    println!("Dmine found {} frequent itemsets in {} passes", dm.frequent.len(), dm.passes);
     describe("dmine", &dm_trace);
 
     let (pg, pg_trace) = pgrep::run(&pgrep::PgrepConfig::default())?;
@@ -104,7 +100,11 @@ fn main() -> std::io::Result<()> {
     writer::save_text(&ch_trace, &txt_path).expect("text save");
     let reloaded = TraceFile::load(&bin_path).expect("binary load");
     assert_eq!(reloaded.records, ch_trace.records);
-    println!("\nsaved + reloaded {} ({} bytes binary)", bin_path.display(), ch_trace.to_bytes().len());
+    println!(
+        "\nsaved + reloaded {} ({} bytes binary)",
+        bin_path.display(),
+        ch_trace.to_bytes().len()
+    );
 
     std::fs::remove_dir_all(&out_dir)?;
     Ok(())

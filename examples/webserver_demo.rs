@@ -47,11 +47,7 @@ fn main() -> std::io::Result<()> {
     log.clear();
     let spec = LoadSpec { clients: 8, requests: 16, post_fraction: 0.25, ..Default::default() };
     let result = client::run_load(server.addr(), &spec);
-    println!(
-        "\nload run: {} requests, {} failures",
-        result.latencies_ms.len(),
-        result.failures
-    );
+    println!("\nload run: {} requests, {} failures", result.latencies_ms.len(), result.failures);
     if let Some(p50) = quantile(&result.latencies_ms, 0.5) {
         let p99 = quantile(&result.latencies_ms, 0.99).expect("non-empty");
         println!("  client-side latency p50 {p50:.3} ms, p99 {p99:.3} ms");

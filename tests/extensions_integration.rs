@@ -22,14 +22,8 @@ fn new_app_traces_replay_under_every_policy() {
     let (_, render_trace) = render::render(render::RenderConfig::default()).unwrap();
     for trace in [&radar_trace, &render_trace] {
         for policy in ReplacementPolicy::ALL {
-            let report = replay_simulated(
-                trace,
-                CacheConfig { policy, ..CacheConfig::default() },
-            );
-            assert!(
-                report.total_ms() > 0.0,
-                "{policy:?}: replay must accumulate simulated time"
-            );
+            let report = replay_simulated(trace, CacheConfig { policy, ..CacheConfig::default() });
+            assert!(report.total_ms() > 0.0, "{policy:?}: replay must accumulate simulated time");
             assert_eq!(report.timings.len(), trace.records.len());
         }
     }
@@ -45,8 +39,7 @@ fn transform_pipeline_feeds_replay() {
     assert!(reads_only < full, "reads-only {reads_only} !< full {full}");
     // Splitting and re-merging preserves record count and replay cost.
     let parts = transform::split_by_process(&trace).unwrap();
-    let merged =
-        transform::merge(&parts.into_iter().map(|(_, t)| t).collect::<Vec<_>>()).unwrap();
+    let merged = transform::merge(&parts.into_iter().map(|(_, t)| t).collect::<Vec<_>>()).unwrap();
     assert_eq!(merged.records.len(), trace.records.len());
     let remerged = replay_simulated(&merged, CacheConfig::default()).total_ms();
     assert!((remerged - full).abs() < 1e-9, "same records, same simulated cost");
@@ -79,10 +72,7 @@ fn cache_capacity_dominates_policy_choice_on_render_rereads() {
             CacheConfig { policy, capacity_pages: 1 << 16, ..CacheConfig::default() },
         )
         .total_ms();
-        assert!(
-            roomy <= tiny + 1e-9,
-            "{policy:?}: roomy cache {roomy} slower than tiny {tiny}"
-        );
+        assert!(roomy <= tiny + 1e-9, "{policy:?}: roomy cache {roomy} slower than tiny {tiny}");
     }
 }
 

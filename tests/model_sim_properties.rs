@@ -116,18 +116,12 @@ proptest! {
 /// resources).
 #[test]
 fn independent_resources_overlap() {
-    let cpu_prog = Program::new(
-        "pure-cpu",
-        50.0,
-        vec![WorkingSet::new(0.0, 0.0, 1.0, 1).expect("valid")],
-    )
-    .expect("valid");
-    let io_prog = Program::new(
-        "pure-io",
-        50.0,
-        vec![WorkingSet::new(1.0, 0.0, 1.0, 1).expect("valid")],
-    )
-    .expect("valid");
+    let cpu_prog =
+        Program::new("pure-cpu", 50.0, vec![WorkingSet::new(0.0, 0.0, 1.0, 1).expect("valid")])
+            .expect("valid");
+    let io_prog =
+        Program::new("pure-io", 50.0, vec![WorkingSet::new(1.0, 0.0, 1.0, 1).expect("valid")])
+            .expect("valid");
     let app = Application::new("overlap", vec![cpu_prog, io_prog]).expect("valid");
     let report = simulate(&app, &MachineConfig::uniprocessor());
     // Each needs 50s on its own resource; run concurrently the makespan

@@ -1,0 +1,42 @@
+//! Workspace smoke test: `BenchmarkSuite` end-to-end on a small
+//! configuration, asserting the report is byte-for-byte deterministic
+//! across two runs.
+//!
+//! The web-server benchmark measures a real server with real clocks, so
+//! it is excluded here; the model and trace benchmarks are simulated
+//! and must reproduce exactly.
+
+use clio_core::config::SuiteConfig;
+use clio_core::suite::BenchmarkSuite;
+
+fn small_config() -> SuiteConfig {
+    SuiteConfig {
+        model_benchmark: true,
+        trace_benchmark: true,
+        webserver_benchmark: false,
+        table6_trials: 2,
+        sweep: vec![2, 4],
+        ablations: false,
+    }
+}
+
+#[test]
+fn suite_report_is_deterministic_across_runs() {
+    let run = || {
+        let report =
+            BenchmarkSuite::new(small_config()).expect("valid config").run().expect("suite runs");
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    };
+
+    let first = run();
+    let second = run();
+
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "simulated suite must be deterministic");
+
+    // The disabled benchmark must actually be skipped.
+    let value: serde_json::Value = serde_json::from_str(&first).unwrap();
+    assert!(value["table5"].is_null(), "webserver benchmark was disabled");
+    assert!(!value["qcrd"].is_null(), "model benchmark ran");
+    assert!(!value["trace_means"].is_null(), "trace benchmark ran");
+}

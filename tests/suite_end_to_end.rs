@@ -62,29 +62,16 @@ fn all_experiments_reproduce_paper_shapes() {
 #[test]
 fn table3_seek_offsets_are_papers() {
     let t3 = experiments::table3_lu();
-    let seeks: Vec<u64> = t3
-        .trace
-        .records
-        .iter()
-        .filter(|r| r.op == IoOp::Seek)
-        .map(|r| r.offset)
-        .collect();
-    assert_eq!(
-        seeks,
-        vec![66_617_088, 66_092_544, 64_518_912, 63_994_368, 62_945_280, 60_322_560]
-    );
+    let seeks: Vec<u64> =
+        t3.trace.records.iter().filter(|r| r.op == IoOp::Seek).map(|r| r.offset).collect();
+    assert_eq!(seeks, vec![66_617_088, 66_092_544, 64_518_912, 63_994_368, 62_945_280, 60_322_560]);
 }
 
 #[test]
 fn table4_request_sizes_are_papers() {
     let t4 = experiments::table4_cholesky();
-    let sizes: Vec<u64> = t4
-        .trace
-        .records
-        .iter()
-        .filter(|r| r.op == IoOp::Read)
-        .map(|r| r.length)
-        .collect();
+    let sizes: Vec<u64> =
+        t4.trace.records.iter().filter(|r| r.op == IoOp::Read).map(|r| r.length).collect();
     assert_eq!(sizes.first(), Some(&4));
     assert_eq!(sizes.last(), Some(&2_446_612));
     assert_eq!(sizes.len(), 16);

@@ -62,8 +62,8 @@ fn replay_modes_agree_on_structure() {
     assert_eq!(times_a, times_b, "simulated replay is deterministic");
 
     let mut backend = MemBackend::with_data(vec![0u8; 8 * 1024 * 1024]);
-    let real = replay_with_backend(&trace, &mut backend, RealReplayOptions::default())
-        .expect("replays");
+    let real =
+        replay_with_backend(&trace, &mut backend, RealReplayOptions::default()).expect("replays");
     assert_eq!(real.timings.len(), sim_a.timings.len());
 }
 
@@ -73,9 +73,8 @@ fn replay_modes_agree_on_structure() {
 #[test]
 fn warm_cache_beats_cold_cache() {
     use clio_core::trace::record::TraceRecord;
-    let reads: Vec<TraceRecord> = (0..32u64)
-        .map(|i| TraceRecord::simple(IoOp::Read, 0, i * 131_072, 131_072))
-        .collect();
+    let reads: Vec<TraceRecord> =
+        (0..32u64).map(|i| TraceRecord::simple(IoOp::Read, 0, i * 131_072, 131_072)).collect();
 
     let one = TraceFile::build("sample-1gb.dat", 1, reads.clone()).expect("valid");
     let cold_total = replay_simulated(&one, CacheConfig::default()).total_ms();

@@ -20,8 +20,8 @@ fn with_server<T>(tag: &str, f: impl FnOnce(&Server) -> T) -> T {
 fn all_paper_files_served_byte_exact() {
     with_server("e2e-exact", |server| {
         for &size in &TABLE5_SIZES {
-            let (status, body) = client::get(server.addr(), &files::file_name(size))
-                .expect("GET succeeds");
+            let (status, body) =
+                client::get(server.addr(), &files::file_name(size)).expect("GET succeeds");
             assert_eq!(status, 200);
             assert_eq!(body, files::file_content(size), "{size}-byte file corrupted");
         }

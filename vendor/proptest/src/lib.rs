@@ -1,0 +1,621 @@
+//! Vendored, offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy/sampling surface this workspace's property
+//! tests use: the `proptest!` macro, range and `any::<T>()`
+//! strategies, `prop_map`, `prop_oneof!`, `collection::{vec,
+//! hash_set}`, `sample::select`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: failing cases are reported by the
+//! panicking assertion (no shrinking), and each test function runs a
+//! fixed number of deterministic seeded cases (seeds vary per case
+//! index, so runs are reproducible).
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    pub struct Union<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `choices` is empty.
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+            Union { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.choices.len());
+            self.choices[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    /// `&str` patterns act as string-generation strategies, like real
+    /// proptest. Supported subset: sequences of literal characters and
+    /// character classes `[...]` (with ranges and backslash escapes),
+    /// each optionally repeated with `{n}` or `{m,n}`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Atom: a character class or a (possibly escaped) literal.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated character class in string strategy")
+                        + i;
+                    let class = parse_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional {n} / {m,n} repetition.
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition in string strategy")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse::<usize>().expect("bad repetition bound"),
+                        n.parse::<usize>().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.parse::<usize>().expect("bad repetition bound");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            match body[i] {
+                '\\' if i + 1 < body.len() => {
+                    set.push(body[i + 1]);
+                    i += 2;
+                }
+                c if i + 2 < body.len() && body[i + 1] == '-' => {
+                    for r in c..=body[i + 2] {
+                        set.push(r);
+                    }
+                    i += 3;
+                }
+                c => {
+                    set.push(c);
+                    i += 1;
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty character class in string strategy");
+        set
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, Standard};
+
+    /// Full-range strategy for primitive `T` (`any::<T>()`).
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// The strategy behind `any::<T>()`.
+    pub fn any<T: Standard>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Allowed collection sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates hash sets whose elements come from `elem`. If the
+    /// element domain is too small for the requested size, the set is
+    /// as large as the domain allows.
+    pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            let mut out = HashSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(50) + 100 {
+                out.insert(self.elem.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Strategies for `bool` (`prop::bool::ANY`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The fair-coin strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform choice from a fixed slice of values.
+    pub struct Select<T: Clone> {
+        choices: Vec<T>,
+    }
+
+    /// Picks uniformly from `choices` (cloned up front).
+    pub fn select<T: Clone>(choices: &[T]) -> Select<T> {
+        assert!(!choices.is_empty(), "select() needs at least one choice");
+        Select { choices: choices.to_vec() }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.choices[rng.gen_range(0..self.choices.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Why a single case did not complete. Case bodies run in a
+    /// closure returning `Result<(), TestCaseError>`, matching real
+    /// proptest's shape so `return Ok(())` and `prop_assume!` work.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case's `prop_assume!` precondition failed; skip it.
+        Reject,
+    }
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Deterministic per-case RNG: every test function re-derives the same
+/// stream, so failures reproduce.
+#[doc(hidden)]
+pub fn rng_for_case(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs for `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // `prop_assume!` rejections do not count toward the
+                // case budget: keep drawing until `cases` bodies have
+                // actually executed, like real proptest, and abort if
+                // the assumption rejects nearly everything (a vacuous
+                // test should fail loudly, not pass silently).
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                let mut executed: u32 = 0;
+                let mut attempt: u32 = 0;
+                while executed < config.cases {
+                    assert!(
+                        attempt < max_attempts,
+                        "{}: prop_assume! rejected {} of {} generated cases; \
+                         the strategy almost never satisfies the assumption",
+                        stringify!($name),
+                        attempt - executed,
+                        attempt,
+                    );
+                    let mut rng = $crate::rng_for_case(stringify!($name), attempt);
+                    attempt += 1;
+                    // The closure is what lets `prop_assume!` and
+                    // `return Ok(())` exit a single case early.
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $(
+                            #[allow(unused_mut)]
+                            let mut $arg =
+                                $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                        )*
+                        let _: () = $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                    // Err is only `Reject` (failed `prop_assume!`).
+                    // Assertion failures panic.
+                    if result.is_ok() {
+                        executed += 1;
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Skips the current case when its precondition does not hold (the
+/// case closure returns `Err(Reject)`, which the runner ignores).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies (no weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The glob-import surface property tests expect.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias so `prop::collection::vec` etc. resolve.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(1u8), Just(2u8), (10u8..20).prop_map(|v| v)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 5u64..10, f in 0f64..1.0, n in any::<u32>()) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = n;
+        }
+
+        #[test]
+        fn collections_sized(v in prop::collection::vec(0u8..4, 2..6),
+                             s in prop::collection::hash_set(0u64..64, 1..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn oneof_and_select(x in arb_small(),
+                            y in crate::sample::select(&[7u8, 8, 9][..])) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+            prop_assert!((7..=9).contains(&y));
+        }
+
+        #[test]
+        fn rejected_cases_are_replaced(x in 0u32..100) {
+            // Rejecting ~half the draws must not halve the executed
+            // case count; the runner draws replacements.
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "prop_assume! rejected")]
+        fn impossible_assumption_fails_loudly(x in 0u32..100) {
+            prop_assume!(x > 100);
+            prop_assert!(x > 100, "unreachable");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::rng_for_case("t", 3);
+        let b = crate::rng_for_case("t", 3);
+        use rand::RngCore;
+        assert_eq!(a.clone().next_u64(), b.clone().next_u64());
+    }
+}
