@@ -8,6 +8,10 @@ use clio_core::httpd::files::{self, TABLE5_SIZES};
 use clio_core::httpd::server::{Server, ServerConfig};
 
 fn bench_get(c: &mut Criterion) {
+    if !clio_core::httpd::socket_tests_enabled() {
+        println!("bench_httpd: skipped (set CLIO_SOCKET_TESTS=1 to run real-socket benches)");
+        return;
+    }
     let root = files::temp_doc_root("bench-get").expect("doc root");
     let server = Server::start(ServerConfig::ephemeral(&root)).expect("server starts");
     let addr = server.addr();
@@ -29,6 +33,9 @@ fn bench_get(c: &mut Criterion) {
 }
 
 fn bench_post(c: &mut Criterion) {
+    if !clio_core::httpd::socket_tests_enabled() {
+        return;
+    }
     let root = files::temp_doc_root("bench-post").expect("doc root");
     let server = Server::start(ServerConfig::ephemeral(&root)).expect("server starts");
     let addr = server.addr();

@@ -1,0 +1,334 @@
+//! `perf_suite` — the machine-readable performance baseline.
+//!
+//! Replays synthesized traces through the simulated buffer cache (all
+//! five replacement policies) and through the trace-driven machine
+//! simulator, measuring each with the criterion stub's statistical
+//! engine (warm-up, calibrated samples, IQR outlier rejection, MAD
+//! spread) and emitting one JSON report with throughput rates
+//! (records/s, pages/s, events/s, bytes/s).
+//!
+//! The committed `BENCH_baseline.json` at the repo root is the first
+//! point of the perf trajectory: future PRs regenerate it with
+//!
+//! ```text
+//! cargo run --release -p clio-bench --bin perf_suite
+//! ```
+//!
+//! and diff the rates. CI runs `--smoke` (small traces, short
+//! measurement) and uploads the JSON as an artifact — trajectory only,
+//! no thresholds.
+//!
+//! Flags: `--smoke` (or `CLIO_PERF_SMOKE=1`), `--records N`,
+//! `--sim-records N`, `--out PATH`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{measure, MeasurementConfig, Stats};
+use serde::Serialize;
+
+use clio_core::cache::cache::CacheConfig;
+use clio_core::cache::page::pages_touched;
+use clio_core::cache::policy::ReplacementPolicy;
+use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
+use clio_core::sim::MachineConfig;
+use clio_core::trace::record::IoOp;
+use clio_core::trace::replay::replay_simulated;
+use clio_core::trace::synth::{synthesize, TraceProfile};
+use clio_core::trace::TraceFile;
+
+/// One measured benchmark with its derived rates.
+#[derive(Debug, Serialize)]
+struct PerfEntry {
+    name: String,
+    kind: String,
+    policy: Option<String>,
+    records: u64,
+    samples: u64,
+    iters_per_sample: u64,
+    outliers_rejected: u64,
+    measurement_time_ms: f64,
+    median_ms: f64,
+    mad_ms: f64,
+    records_per_sec: f64,
+    pages_per_sec: Option<f64>,
+    events_per_sec: Option<f64>,
+    bytes_per_sec: f64,
+}
+
+/// The whole baseline report.
+#[derive(Debug, Serialize)]
+struct PerfBaseline {
+    schema: String,
+    mode: String,
+    replay_records: u64,
+    sim_records: u64,
+    benches: Vec<PerfEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    smoke: bool,
+    replay_ops: usize,
+    sim_ops: usize,
+    out: Option<PathBuf>,
+}
+
+/// `env_smoke` is `CLIO_PERF_SMOKE`'s verdict, passed in (rather than
+/// read here) so tests are independent of the ambient environment.
+fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
+    let mut args = Args { smoke: env_smoke, replay_ops: 0, sim_ops: 0, out: None };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--records" => {
+                let v = it.next().ok_or("--records needs a value")?;
+                args.replay_ops = v.parse().map_err(|_| format!("bad --records {v}"))?;
+            }
+            "--sim-records" => {
+                let v = it.next().ok_or("--sim-records needs a value")?;
+                args.sim_ops = v.parse().map_err(|_| format!("bad --sim-records {v}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.replay_ops == 0 {
+        args.replay_ops = if args.smoke { 5_000 } else { 100_000 };
+    }
+    if args.sim_ops == 0 {
+        args.sim_ops = if args.smoke { 20_000 } else { 1_000_000 };
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the workspace root.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn rate(count: u64, median_ns: f64) -> f64 {
+    if median_ns > 0.0 {
+        count as f64 * 1e9 / median_ns
+    } else {
+        0.0
+    }
+}
+
+/// Counts the work one replay iteration performs: `(records, pages,
+/// bytes)` over the trace's data operations (with repeat counts).
+fn replay_work(trace: &TraceFile, page_size: u64) -> (u64, u64, u64) {
+    let mut pages = 0u64;
+    let mut bytes = 0u64;
+    for r in &trace.records {
+        if matches!(r.op, IoOp::Read | IoOp::Write) {
+            let repeats = r.num_records.max(1) as u64;
+            pages += pages_touched(r.offset, r.length, page_size) * repeats;
+            bytes += r.length * repeats;
+        }
+    }
+    (trace.len() as u64, pages, bytes)
+}
+
+fn entry_from_stats(name: &str, kind: &str, policy: Option<&str>, stats: &Stats) -> PerfEntry {
+    PerfEntry {
+        name: name.to_string(),
+        kind: kind.to_string(),
+        policy: policy.map(str::to_string),
+        records: 0,
+        samples: stats.samples as u64,
+        iters_per_sample: stats.iters_per_sample,
+        outliers_rejected: stats.outliers_rejected as u64,
+        measurement_time_ms: stats.total_time.as_secs_f64() * 1e3,
+        median_ms: stats.median_ns / 1e6,
+        mad_ms: stats.mad_ns / 1e6,
+        records_per_sec: 0.0,
+        pages_per_sec: None,
+        events_per_sec: None,
+        bytes_per_sec: 0.0,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let env_smoke = std::env::var_os("CLIO_PERF_SMOKE").is_some_and(|v| v != "0");
+    let args = match parse_args(&argv, env_smoke) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_suite: {e}");
+            eprintln!("usage: perf_suite [--smoke] [--records N] [--sim-records N] [--out PATH]");
+            std::process::exit(2);
+        }
+    };
+
+    clio_bench::banner(
+        "perf_suite",
+        "Replay + cache-policy + trace-driven-simulator throughput baseline",
+    );
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("mode: {mode} ({} replay data-ops, {} sim data-ops)\n", args.replay_ops, args.sim_ops);
+
+    // Measurement knobs: the smoke run must finish in CI seconds; the
+    // full run favors sample count. Env overrides still apply first.
+    let mut cfg = MeasurementConfig::default();
+    if args.smoke {
+        cfg.sample_size = cfg.sample_size.min(5);
+        cfg.measurement_time = cfg.measurement_time.min(Duration::from_millis(50));
+        cfg.warm_up_time = cfg.warm_up_time.min(Duration::from_millis(10));
+    }
+
+    let mut benches = Vec::new();
+
+    // --- Cache-policy replay: one mixed sequential/random trace through
+    // all five replacement policies. ---
+    let profile = TraceProfile {
+        data_ops: args.replay_ops,
+        write_fraction: 0.2,
+        sequentiality: 0.8,
+        ..Default::default()
+    };
+    let trace = synthesize(&profile);
+    let page_size = CacheConfig::default().page_size;
+    let (records, pages, bytes) = replay_work(&trace, page_size);
+
+    for policy in ReplacementPolicy::ALL {
+        let config = CacheConfig { policy, ..Default::default() };
+        let stats = measure(&cfg, |b| b.iter(|| replay_simulated(&trace, config.clone())));
+        let name = format!("replay/{}", policy.name());
+        println!(
+            "{name:<24} median {:>10.3} ms  {:>12.0} records/s  {:>14.0} bytes/s",
+            stats.median_ns / 1e6,
+            rate(records, stats.median_ns),
+            rate(bytes, stats.median_ns),
+        );
+        let mut e = entry_from_stats(&name, "cache_replay", Some(policy.name()), &stats);
+        e.records = records;
+        e.records_per_sec = rate(records, stats.median_ns);
+        e.pages_per_sec = Some(rate(pages, stats.median_ns));
+        e.bytes_per_sec = rate(bytes, stats.median_ns);
+        benches.push(e);
+    }
+
+    // --- Trace-driven machine simulation: a large four-process trace
+    // contending for a four-disk array. ---
+    let sim_profile = TraceProfile {
+        data_ops: args.sim_ops,
+        write_fraction: 0.3,
+        sequentiality: 0.7,
+        seed: 0xBA5E,
+        ..Default::default()
+    };
+    let mut sim_records = synthesize(&sim_profile).records;
+    for (i, r) in sim_records.iter_mut().enumerate() {
+        r.pid = (i % 4) as u32;
+    }
+    let sim_trace =
+        TraceFile::build("perf-sim.dat", 4, sim_records).expect("synthesized trace is valid");
+    let machine = MachineConfig::with_disks(4);
+    let options = TraceSimOptions::default();
+    let probe = simulate_trace(&sim_trace, &machine, &options);
+    let sim_cfg = MeasurementConfig { sample_size: cfg.sample_size.min(10), ..cfg };
+    let stats = measure(&sim_cfg, |b| b.iter(|| simulate_trace(&sim_trace, &machine, &options)));
+    println!(
+        "{:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
+        "sim/trace_driven",
+        stats.median_ns / 1e6,
+        rate(probe.events, stats.median_ns),
+        rate(probe.bytes_moved, stats.median_ns),
+    );
+    let mut e = entry_from_stats("sim/trace_driven", "trace_sim", None, &stats);
+    e.records = sim_trace.len() as u64;
+    e.records_per_sec = rate(sim_trace.len() as u64, stats.median_ns);
+    e.events_per_sec = Some(rate(probe.events, stats.median_ns));
+    e.bytes_per_sec = rate(probe.bytes_moved, stats.median_ns);
+    benches.push(e);
+
+    let report = PerfBaseline {
+        schema: "clio-perf-baseline-v1".to_string(),
+        mode: mode.to_string(),
+        replay_records: records,
+        sim_records: sim_trace.len() as u64,
+        benches,
+    };
+
+    let out_path = args.out.unwrap_or_else(|| {
+        let root = workspace_root();
+        if args.smoke {
+            root.join("target").join("perf_smoke.json")
+        } else {
+            root.join("BENCH_baseline.json")
+        }
+    });
+    let json = serde_json::to_string_pretty(&report).expect("baseline serializes");
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out_path, json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
+    println!("\nwrote {}", out_path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_scale_with_mode() {
+        let full = parse_args(&[], false).unwrap();
+        assert!(!full.smoke);
+        let smoke = parse_args(&s(&["--smoke"]), false).unwrap();
+        assert!(smoke.smoke);
+        assert!(smoke.replay_ops < full.replay_ops);
+        assert!(smoke.sim_ops < full.sim_ops);
+        // The env verdict alone also selects smoke sizing.
+        let env_smoke = parse_args(&[], true).unwrap();
+        assert_eq!(env_smoke.replay_ops, smoke.replay_ops);
+    }
+
+    #[test]
+    fn explicit_sizes_and_out() {
+        let a =
+            parse_args(&s(&["--records", "123", "--sim-records", "456", "--out", "x.json"]), false)
+                .unwrap();
+        assert_eq!(a.replay_ops, 123);
+        assert_eq!(a.sim_ops, 456);
+        assert_eq!(a.out, Some(PathBuf::from("x.json")));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse_args(&s(&["--nope"]), false).is_err());
+        assert!(parse_args(&s(&["--records"]), false).is_err());
+    }
+
+    #[test]
+    fn rate_handles_zero() {
+        assert_eq!(rate(100, 0.0), 0.0);
+        assert_eq!(rate(100, 1e9), 100.0);
+    }
+
+    #[test]
+    fn replay_work_counts_data_ops_only() {
+        let t = synthesize(&TraceProfile { data_ops: 50, ..Default::default() });
+        let (records, pages, bytes) = replay_work(&t, 4096);
+        assert_eq!(records, t.len() as u64);
+        assert!(pages > 0);
+        assert!(bytes > 0);
+    }
+}

@@ -17,10 +17,13 @@
 //! | `table6_repeated_reads` | Table 6 — repeated reads of one file |
 //! | `fig6_read_series` | Fig. 6 — response time vs trial number |
 //! | `suite` | everything, as JSON |
+//! | `perf_suite` | perf baseline: replay/policy/simulator throughput as JSON |
 //!
 //! The `benches/` directory holds the criterion benchmarks (simulator
 //! throughput, trace replay, web-server round trips) and the ablation
 //! benches for the cache design choices DESIGN.md calls out.
+//! `perf_suite` writes the committed `BENCH_baseline.json` at the repo
+//! root (see README "Benchmarking & the perf baseline").
 
 #![warn(missing_docs)]
 

@@ -43,3 +43,9 @@ pub use backend::{FileBackend, RealFsBackend};
 pub use cache::{AccessKind, BufferCache, CacheConfig, CacheCostModel};
 pub use metrics::CacheMetrics;
 pub use page::{PageId, PAGE_SIZE_DEFAULT};
+
+/// Upper bound on entries pre-allocated from a configured capacity:
+/// constructors reserve `min(capacity, PREALLOC_PAGES_MAX)` so the hot
+/// loop never regrows for realistic caches, while absurdly large
+/// configured capacities don't allocate gigabytes up front.
+pub const PREALLOC_PAGES_MAX: usize = 1 << 20;

@@ -36,6 +36,19 @@ impl<K: Eq + Hash + Clone> LruList<K> {
         Self { nodes: Vec::new(), free: Vec::new(), index: HashMap::new(), head: NIL, tail: NIL }
     }
 
+    /// Creates an empty list with room for `capacity` keys, so a cache
+    /// that fills to its configured size never rehashes or regrows in
+    /// the replay hot loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
     /// Number of tracked keys.
     pub fn len(&self) -> usize {
         self.index.len()

@@ -85,6 +85,16 @@ impl<K: Eq + Hash + Clone> ClockSet<K> {
         Self { entries: Vec::new(), index: HashMap::new(), free: Vec::new(), hand: 0 }
     }
 
+    /// Creates an empty set pre-sized for `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            free: Vec::new(),
+            hand: 0,
+        }
+    }
+
     /// Number of resident keys.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -179,6 +189,14 @@ impl<K: Eq + Hash + Clone> FifoSet<K> {
     /// Creates an empty set.
     pub fn new() -> Self {
         Self { queue: VecDeque::new(), resident: HashMap::new() }
+    }
+
+    /// Creates an empty set pre-sized for `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            queue: VecDeque::with_capacity(capacity),
+            resident: HashMap::with_capacity(capacity),
+        }
     }
 
     /// Number of resident keys.

@@ -50,13 +50,18 @@ impl<K: Eq + Hash + Clone> TwoQSet<K> {
     /// paper's recommended splits `Kin = capacity/4`, `Kout =
     /// capacity/2` (each at least one page).
     pub fn new(capacity: usize) -> Self {
+        let kin = (capacity / 4).max(1);
+        let kout = (capacity / 2).max(1);
+        // Pre-size the segments (bounded, so absurd capacities don't
+        // allocate gigabytes up front).
+        let cap = capacity.min(crate::PREALLOC_PAGES_MAX);
         Self {
-            a1in: LruList::new(),
-            a1out: LruList::new(),
-            am: LruList::new(),
-            resident: HashSet::new(),
-            kin: (capacity / 4).max(1),
-            kout: (capacity / 2).max(1),
+            a1in: LruList::with_capacity(kin.min(cap) + 1),
+            a1out: LruList::with_capacity(kout.min(cap) + 1),
+            am: LruList::with_capacity(cap),
+            resident: HashSet::with_capacity(cap),
+            kin,
+            kout,
         }
     }
 
@@ -152,10 +157,12 @@ impl<K: Eq + Hash + Clone> SlruSet<K> {
     /// Creates an SLRU set for a cache of `capacity` pages; the
     /// protected segment holds at most half of it (at least one page).
     pub fn new(capacity: usize) -> Self {
+        let protected_cap = (capacity / 2).max(1);
+        let cap = capacity.min(crate::PREALLOC_PAGES_MAX);
         Self {
-            probationary: LruList::new(),
-            protected: LruList::new(),
-            protected_cap: (capacity / 2).max(1),
+            probationary: LruList::with_capacity(cap),
+            protected: LruList::with_capacity(protected_cap.min(cap) + 1),
+            protected_cap,
         }
     }
 

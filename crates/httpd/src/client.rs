@@ -230,6 +230,7 @@ mod tests {
 
     #[test]
     fn load_run_all_succeed() {
+        crate::skip_unless_socket_tests!();
         let root = files::temp_doc_root("loadgen").unwrap();
         let server = Server::start(ServerConfig::ephemeral(&root)).unwrap();
         let spec = LoadSpec { clients: 3, requests: 4, ..Default::default() };
@@ -243,6 +244,7 @@ mod tests {
 
     #[test]
     fn load_run_with_posts() {
+        crate::skip_unless_socket_tests!();
         let root = files::temp_doc_root("loadpost").unwrap();
         let server = Server::start(ServerConfig::ephemeral(&root)).unwrap();
         let log = server.log();
@@ -263,6 +265,7 @@ mod tests {
 
     #[test]
     fn keep_alive_load_reuses_connections() {
+        crate::skip_unless_socket_tests!();
         let root = files::temp_doc_root("loadka").unwrap();
         let server = Server::start(ServerConfig::ephemeral(&root)).unwrap();
         let spec = LoadSpec {
@@ -281,6 +284,7 @@ mod tests {
 
     #[test]
     fn get_against_closed_port_errors() {
+        crate::skip_unless_socket_tests!();
         // Bind-then-drop to get a (likely) closed port.
         let addr = {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();

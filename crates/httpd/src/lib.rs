@@ -31,3 +31,26 @@ pub mod timing;
 pub use client::{get, post};
 pub use server::{Server, ServerConfig, ServerMode};
 pub use timing::{OpKind, RequestTiming, TimingLog};
+
+/// Whether real-socket tests and benches are enabled.
+///
+/// The server binds actual TCP sockets and several tests measure real
+/// wall clocks — the most plausible CI flake in the suite. The default
+/// tier-1 run therefore covers only the deterministic SSCLI-model
+/// path; set `CLIO_SOCKET_TESTS=1` to opt the socket tests in
+/// (anything but `0` counts as enabled).
+pub fn socket_tests_enabled() -> bool {
+    std::env::var_os("CLIO_SOCKET_TESTS").is_some_and(|v| v != "0")
+}
+
+/// Returns early from the current test unless [`socket_tests_enabled`],
+/// logging the skip so test output shows what was gated.
+#[macro_export]
+macro_rules! skip_unless_socket_tests {
+    () => {
+        if !$crate::socket_tests_enabled() {
+            eprintln!("skipped: real-socket test (set CLIO_SOCKET_TESTS=1 to run)");
+            return;
+        }
+    };
+}

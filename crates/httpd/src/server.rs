@@ -395,6 +395,7 @@ mod tests {
 
     #[test]
     fn get_serves_exact_bytes() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("get");
         let (status, body) = client::get(server.addr(), &files::file_name(7501)).unwrap();
         assert_eq!(status, 200);
@@ -405,6 +406,7 @@ mod tests {
 
     #[test]
     fn get_missing_is_404() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("404");
         let (status, _) = client::get(server.addr(), "nope.bin").unwrap();
         assert_eq!(status, 404);
@@ -414,6 +416,7 @@ mod tests {
 
     #[test]
     fn post_creates_distinct_files() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("post");
         let (s1, name1) = client::post(server.addr(), "upload", b"aaaa").unwrap();
         let (s2, name2) = client::post(server.addr(), "upload", b"bbbb").unwrap();
@@ -430,6 +433,7 @@ mod tests {
 
     #[test]
     fn timings_logged_with_sscli_costs() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("log");
         let log = server.log();
         client::get(server.addr(), &files::file_name(14063)).unwrap();
@@ -447,6 +451,7 @@ mod tests {
 
     #[test]
     fn first_get_slowest_in_sscli_model() {
+        crate::skip_unless_socket_tests!();
         // The paper's Table 6 / Fig. 6 shape, deterministically.
         let (server, root) = start_test_server("warm");
         let log = server.log();
@@ -465,6 +470,7 @@ mod tests {
 
     #[test]
     fn concurrent_clients_all_served() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("conc");
         let addr = server.addr();
         let mut handles = Vec::new();
@@ -483,6 +489,7 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("bad");
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream.write_all(b"DELETE /x HTTP/1.0\r\n\r\n").unwrap();
@@ -496,6 +503,7 @@ mod tests {
 
     #[test]
     fn pool_mode_serves_concurrent_load() {
+        crate::skip_unless_socket_tests!();
         let root = files::temp_doc_root("pool").unwrap();
         let mut cfg = ServerConfig::ephemeral(&root);
         cfg.mode = ServerMode::Pool { workers: 3 };
@@ -517,6 +525,7 @@ mod tests {
 
     #[test]
     fn pool_mode_post_and_get() {
+        crate::skip_unless_socket_tests!();
         let root = files::temp_doc_root("pool-post").unwrap();
         let mut cfg = ServerConfig::ephemeral(&root);
         cfg.mode = ServerMode::Pool { workers: 2 };
@@ -533,6 +542,7 @@ mod tests {
 
     #[test]
     fn zero_worker_pool_clamps_to_one() {
+        crate::skip_unless_socket_tests!();
         let root = files::temp_doc_root("pool-zero").unwrap();
         let mut cfg = ServerConfig::ephemeral(&root);
         cfg.mode = ServerMode::Pool { workers: 0 };
@@ -545,6 +555,7 @@ mod tests {
 
     #[test]
     fn keep_alive_serves_many_requests_on_one_connection() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("ka");
         let log = server.log();
         let mut conn = client::Http11Client::connect(server.addr()).unwrap();
@@ -565,6 +576,7 @@ mod tests {
 
     #[test]
     fn head_reports_length_without_body() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("head");
         let log = server.log();
         let mut conn = client::Http11Client::connect(server.addr()).unwrap();
@@ -582,6 +594,7 @@ mod tests {
 
     #[test]
     fn get_response_carries_content_type() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("ctype");
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream
@@ -601,6 +614,7 @@ mod tests {
 
     #[test]
     fn http10_connection_closes_after_response() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("close10");
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream
@@ -616,6 +630,7 @@ mod tests {
 
     #[test]
     fn traversal_rejected_end_to_end() {
+        crate::skip_unless_socket_tests!();
         let (server, root) = start_test_server("trav");
         let (status, _) = client::get(server.addr(), "../secret").unwrap();
         assert_eq!(status, 400);

@@ -16,6 +16,8 @@
 //! think time can be taken from the trace's captured clocks or ignored
 //! (closed-loop replay).
 
+use std::rc::Rc;
+
 use clio_trace::record::IoOp;
 use clio_trace::TraceFile;
 
@@ -124,11 +126,13 @@ pub fn simulate_trace(
     };
 
     let think = options.think_time;
-    let records: Vec<clio_trace::TraceRecord> = trace.records.clone();
+    // One shared, immutable copy of the records: every event clones the
+    // `Rc` handle (refcount bump), not the vector — replay stays O(N).
+    let records: Rc<[clio_trace::TraceRecord]> = trace.records.as_slice().into();
     let mut engine: Engine<World> = Engine::new();
     for p in 0..world.procs.len() {
-        let records = records.clone();
-        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, &records, p, think));
+        let records = Rc::clone(&records);
+        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, records, p, think));
     }
     let end = engine.run(&mut world);
 
@@ -151,7 +155,7 @@ pub fn simulate_trace(
 fn step(
     engine: &mut Engine<World>,
     world: &mut World,
-    records: &[clio_trace::TraceRecord],
+    records: Rc<[clio_trace::TraceRecord]>,
     proc_idx: usize,
     think: ThinkTime,
 ) {
@@ -183,8 +187,7 @@ fn step(
         }
     };
 
-    let records = records.to_vec();
-    engine.schedule_at(completion, move |eng, w| step(eng, w, &records, proc_idx, think));
+    engine.schedule_at(completion, move |eng, w| step(eng, w, records, proc_idx, think));
 }
 
 /// Issues a striped transfer; returns its completion time.

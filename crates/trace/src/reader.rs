@@ -82,15 +82,19 @@ impl TraceFile {
 
     /// Encodes to the binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = bytes::BytesMut::new();
         let mut header = self.header.clone();
         // Header size: magic 4 + version 2 + fixed 26 + name.
         header.records_offset = (4 + 2 + 26 + header.sample_file.len()) as u64;
+        // Exact-size buffer, moved out at the end: encoding a trace
+        // costs one allocation and zero copies of the payload.
+        let mut out = bytes::BytesMut::with_capacity(
+            header.records_offset as usize + self.records.len() * TraceRecord::ENCODED_LEN,
+        );
         codec::encode_header(&header, &mut out);
         for r in &self.records {
             codec::encode_record(r, &mut out);
         }
-        out.to_vec()
+        out.into()
     }
 
     /// Reads a binary trace from disk.

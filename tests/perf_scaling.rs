@@ -1,0 +1,71 @@
+//! O(N)-scaling regression for the trace-driven simulator.
+//!
+//! The replay engine once cloned the entire record vector on every
+//! simulated event, making an N-record replay O(N²) in memory traffic.
+//! This test pins the fix: replaying a 4× larger synthesized trace must
+//! stay within a generous constant factor of the smaller one's
+//! *per-event* wall time (O(N) predicts ≈ 1×; the per-event clone would
+//! push it to ≈ 4× and the total to ≈ 16×).
+
+use std::time::Instant;
+
+use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
+use clio_core::sim::MachineConfig;
+use clio_core::trace::synth::{synthesize, TraceProfile};
+use clio_core::trace::TraceFile;
+
+/// Best-of-5 per-event wall time (seconds) of replaying `trace`.
+fn per_event_seconds(trace: &TraceFile, machine: &MachineConfig) -> f64 {
+    let options = TraceSimOptions::default();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let report = simulate_trace(trace, machine, &options);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(report.events > 0);
+        best = best.min(elapsed / report.events as f64);
+    }
+    best
+}
+
+#[test]
+fn simulate_trace_per_event_cost_is_flat_in_trace_length() {
+    let profile = |data_ops| TraceProfile {
+        data_ops,
+        sequentiality: 0.7,
+        write_fraction: 0.2,
+        seed: 0x5CA1E,
+        ..Default::default()
+    };
+    let small = synthesize(&profile(25_000));
+    let large = synthesize(&profile(100_000));
+    assert!(large.len() >= 4 * small.len() * 9 / 10, "large trace really is ~4×");
+
+    let machine = MachineConfig::with_disks(2);
+    // Warm up allocators and caches before timing anything.
+    simulate_trace(&small, &machine, &TraceSimOptions::default());
+
+    // Generous bound, sized for noisy CI runners: O(N) predicts a
+    // per-event ratio of ≈ 1×; the old per-event clone copied the whole
+    // 160k-record vector on every event, a per-event ratio in the
+    // thousands. 3× leaves huge headroom for scheduler/thermal noise,
+    // and a transient stall on a shared runner gets two full re-measure
+    // attempts — only a *persistent* superlinear ratio (i.e. a real
+    // complexity regression) can fail all three.
+    let mut small_per_event = 0.0;
+    let mut large_per_event = 0.0;
+    for _attempt in 0..3 {
+        small_per_event = per_event_seconds(&small, &machine);
+        large_per_event = per_event_seconds(&large, &machine);
+        if large_per_event < 3.0 * small_per_event {
+            return;
+        }
+    }
+    panic!(
+        "per-event cost grew with trace length: {:.1} ns/event (N={}) -> {:.1} ns/event (N={})",
+        small_per_event * 1e9,
+        small.len(),
+        large_per_event * 1e9,
+        large.len(),
+    );
+}

@@ -40,3 +40,24 @@ fn suite_report_is_deterministic_across_runs() {
     assert!(!value["qcrd"].is_null(), "model benchmark ran");
     assert!(!value["trace_means"].is_null(), "trace benchmark ran");
 }
+
+#[test]
+fn ablation_report_is_byte_identical_across_runs() {
+    let run = || {
+        let cfg = SuiteConfig {
+            model_benchmark: false,
+            trace_benchmark: false,
+            webserver_benchmark: false,
+            ablations: true,
+            ..small_config()
+        };
+        let report = BenchmarkSuite::new(cfg).expect("valid config").run().expect("suite runs");
+        let ablations = report.ablations.expect("ablations enabled");
+        serde_json::to_string_pretty(&ablations).expect("ablation report serializes")
+    };
+
+    let first = run();
+    let second = run();
+    assert!(first.contains("SSTF"), "scheduler ablation present");
+    assert_eq!(first, second, "ablation report must be byte-identical across runs");
+}

@@ -18,6 +18,7 @@ fn with_server<T>(tag: &str, f: impl FnOnce(&Server) -> T) -> T {
 
 #[test]
 fn all_paper_files_served_byte_exact() {
+    clio_core::httpd::skip_unless_socket_tests!();
     with_server("e2e-exact", |server| {
         for &size in &TABLE5_SIZES {
             let (status, body) =
@@ -30,6 +31,7 @@ fn all_paper_files_served_byte_exact() {
 
 #[test]
 fn post_then_get_round_trips_content() {
+    clio_core::httpd::skip_unless_socket_tests!();
     with_server("e2e-rt", |server| {
         let payload = files::file_content(9_999);
         let (status, name) = client::post(server.addr(), "up", &payload).expect("POST");
@@ -43,6 +45,7 @@ fn post_then_get_round_trips_content() {
 
 #[test]
 fn concurrent_load_has_no_failures_and_logs_every_request() {
+    clio_core::httpd::skip_unless_socket_tests!();
     with_server("e2e-load", |server| {
         let spec = LoadSpec { clients: 6, requests: 10, post_fraction: 0.3, ..Default::default() };
         let result = client::run_load(server.addr(), &spec);
@@ -56,6 +59,7 @@ fn concurrent_load_has_no_failures_and_logs_every_request() {
 
 #[test]
 fn jit_warmup_dominates_first_request() {
+    clio_core::httpd::skip_unless_socket_tests!();
     with_server("e2e-jit", |server| {
         let log = server.log();
         for _ in 0..4 {
@@ -74,6 +78,7 @@ fn jit_warmup_dominates_first_request() {
 
 #[test]
 fn precompiled_runtime_flattens_the_first_request_spike() {
+    clio_core::httpd::skip_unless_socket_tests!();
     // Ablation: with JIT costs zeroed (AOT runtime), the first request
     // loses its compilation component.
     let root = files::temp_doc_root("e2e-aot").expect("doc root");
@@ -100,6 +105,7 @@ fn precompiled_runtime_flattens_the_first_request_spike() {
 
 #[test]
 fn unknown_file_404_and_bad_path_400() {
+    clio_core::httpd::skip_unless_socket_tests!();
     with_server("e2e-err", |server| {
         let (status, _) = client::get(server.addr(), "missing.bin").expect("GET");
         assert_eq!(status, 404);

@@ -159,6 +159,14 @@ impl BytesMut {
     }
 }
 
+/// Moves the written bytes out without copying (mirrors the real
+/// crate's `From<BytesMut> for Vec<u8>`).
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.data
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.data

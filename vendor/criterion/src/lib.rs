@@ -1,59 +1,255 @@
-//! Vendored, offline stand-in for `criterion`.
+//! Vendored, offline stand-in for `criterion` — with a real
+//! measurement engine.
 //!
-//! Provides the macro/type surface the bench suites compile against.
-//! Instead of criterion's statistical engine, each benchmark runs a
-//! short warm-up plus a fixed measurement loop and prints the mean
-//! iteration time — enough to smoke-run benches and catch regressions
-//! by eye, while `cargo bench --no-run` in CI guards compilation.
+//! Provides the macro/type surface the bench suites compile against,
+//! plus enough statistics to make the numbers trustworthy:
+//!
+//! # Statistical model
+//!
+//! 1. **Warm-up.** The routine runs for at least
+//!    [`MeasurementConfig::warm_up_time`] (doubling the batch size as
+//!    it goes) so caches, branch predictors and lazy initialization
+//!    settle before anything is recorded. The warm-up also yields a
+//!    per-iteration time estimate.
+//! 2. **Calibration.** The iteration count per sample is chosen from
+//!    that estimate so the whole measurement phase fits
+//!    [`MeasurementConfig::measurement_time`] across
+//!    [`MeasurementConfig::sample_size`] samples (≥ 1 iteration each).
+//! 3. **Sampling.** Each sample times one batch and records the mean
+//!    per-iteration time.
+//! 4. **Robust summary** ([`Stats`]): samples outside the Tukey fences
+//!    `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are rejected as outliers; the
+//!    reported center is the **median** of the kept samples and the
+//!    spread is the normal-consistent **MAD** (1.4826 · median absolute
+//!    deviation). Min/max are reported over all samples.
+//!
+//! Defaults (20 samples, 200 ms measurement, 50 ms warm-up) can be
+//! overridden per group via the builder methods or globally via the
+//! environment: `CLIO_BENCH_SAMPLES`, `CLIO_BENCH_MEASUREMENT_MS`,
+//! `CLIO_BENCH_WARMUP_MS`.
+//!
+//! # Machine-readable output
+//!
+//! Every finished benchmark group is emitted as one JSON file (schema
+//! `clio-criterion-v1`) under `$CLIO_BENCH_OUT`, falling back to
+//! `<workspace root>/target/criterion-json/`; `CLIO_BENCH_JSON=0`
+//! disables emission. Declaring a group [`Throughput`] adds
+//! elements/sec or bytes/sec rates to both the console line and the
+//! JSON. The [`measure`] function exposes the engine directly so
+//! harness binaries (e.g. `perf_suite`) can reuse it without the
+//! macro scaffolding.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Top-level benchmark driver.
-pub struct Criterion {
-    sample_size: usize,
+mod report;
+mod stats;
+
+pub use stats::Stats;
+
+/// Knobs of the measurement engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasurementConfig {
+    /// Number of timed samples per benchmark.
+    pub sample_size: usize,
+    /// Target wall-time budget for the whole measurement phase.
+    pub measurement_time: Duration,
+    /// Minimum warm-up time before sampling starts.
+    pub warm_up_time: Duration,
 }
 
-impl Default for Criterion {
+impl Default for MeasurementConfig {
+    /// Built-in defaults, overridden by `CLIO_BENCH_SAMPLES`,
+    /// `CLIO_BENCH_MEASUREMENT_MS` and `CLIO_BENCH_WARMUP_MS`.
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Self {
+            sample_size: env_usize("CLIO_BENCH_SAMPLES").unwrap_or(20).max(1),
+            measurement_time: Duration::from_millis(
+                env_usize("CLIO_BENCH_MEASUREMENT_MS").unwrap_or(200) as u64,
+            ),
+            warm_up_time: Duration::from_millis(
+                env_usize("CLIO_BENCH_WARMUP_MS").unwrap_or(50) as u64
+            ),
+        }
     }
 }
 
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Units an iteration processes, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (records, events, requests …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// One benchmark's identity, summary and declared throughput.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id (`group/name` for grouped benchmarks).
+    pub id: String,
+    /// Robust timing summary.
+    pub stats: Stats,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Runs the full warm-up → calibrate → sample pipeline on `f` and
+/// returns the robust summary. This is the whole engine; the
+/// [`Criterion`] driver and harness binaries share it.
+pub fn measure<F: FnMut(&mut Bencher)>(cfg: &MeasurementConfig, mut f: F) -> Stats {
+    // Warm-up: at least one batch, doubling until the budget is spent.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    let mut batch: u64 = 1;
+    loop {
+        let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        warm_iters += batch;
+        warm_elapsed += b.elapsed;
+        if warm_start.elapsed() >= cfg.warm_up_time {
+            break;
+        }
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+    let est_iter_ns = (warm_elapsed.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+    // Calibrate so `sample_size` samples fill the measurement budget.
+    let samples = cfg.sample_size.max(1);
+    let per_sample_ns = cfg.measurement_time.as_nanos() as f64 / samples as f64;
+    let iters_per_sample = (per_sample_ns / est_iter_ns).round().max(1.0) as u64;
+
+    let meas_start = Instant::now();
+    let mut sample_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        sample_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    Stats::from_samples(&sample_ns, iters_per_sample, meas_start.elapsed())
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: MeasurementConfig,
+    ungrouped: Vec<BenchResult>,
+}
+
 impl Criterion {
+    /// Overrides the sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement-time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
     /// Registers and immediately runs one benchmark.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.into().label, self.sample_size, &mut f);
+        let result = run_one(&id.into().label, &self.cfg, None, &mut f);
+        self.ungrouped.push(result);
         self
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            throughput: None,
+            results: Vec::new(),
+            _parent: self,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let results = std::mem::take(&mut self.ungrouped);
+        // Prefix with the bench binary's name: several bench binaries
+        // run in one `cargo bench` invocation, and a shared
+        // "ungrouped.json" would leave only the last one's report.
+        report::emit_group(&format!("{}-ungrouped", exe_label()), &results);
+    }
+}
+
+/// The running bench binary's name, with cargo's `-<hash>` suffix
+/// stripped so report file names are stable across rebuilds.
+fn exe_label() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|s| strip_cargo_hash(&s).to_string())
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// Strips a trailing `-<16 hex digits>` (cargo's metadata hash).
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name
+        }
+        _ => stem,
     }
 }
 
 /// A named group of benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
-    sample_size: usize,
+    cfg: MeasurementConfig,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the measurement loop count for this group.
+    /// Overrides the sample count for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.cfg.sample_size = n.max(1);
         self
     }
 
-    /// Overrides the target measurement time (accepted, unused).
-    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+    /// Overrides the measurement-time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Declares the work one iteration performs; subsequent benchmarks
+    /// in the group report derived elements/sec or bytes/sec rates.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
         self
     }
 
@@ -63,7 +259,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.sample_size, &mut f);
+        let result = run_one(&label, &self.cfg, self.throughput, &mut f);
+        self.results.push(result);
         self
     }
 
@@ -78,12 +275,21 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        let result =
+            run_one(&label, &self.cfg, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self.results.push(result);
         self
     }
 
-    /// Ends the group.
+    /// Ends the group, emitting its JSON report.
     pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        let results = std::mem::take(&mut self.results);
+        report::emit_group(&self.name, &results);
+    }
 }
 
 /// Identifies a benchmark within a group.
@@ -132,15 +338,46 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
-    // Warm-up.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
-    f(&mut b);
-    // Measure.
-    let mut b = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
-    f(&mut b);
-    let mean = if b.iters > 0 { b.elapsed / b.iters as u32 } else { Duration::ZERO };
-    println!("bench: {label:<50} {mean:>12.2?}/iter ({} iters)", b.iters);
+/// Runs one benchmark, prints its console line, returns the result.
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    cfg: &MeasurementConfig,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) -> BenchResult {
+    let stats = measure(cfg, f);
+    let rate = throughput.map(|tp| {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec =
+            if stats.median_ns > 0.0 { count as f64 * 1e9 / stats.median_ns } else { 0.0 };
+        format!(" {}{unit}/s", human_count(per_sec))
+    });
+    println!(
+        "bench: {label:<50} {:>12.2?}/iter ±{:.2?} MAD{} ({}×{} iters, {} outliers)",
+        stats.median(),
+        Duration::from_nanos(stats.mad_ns.max(0.0) as u64),
+        rate.unwrap_or_default(),
+        stats.samples,
+        stats.iters_per_sample,
+        stats.outliers_rejected,
+    );
+    BenchResult { id: label.to_string(), stats, throughput }
+}
+
+/// Human-scales a rate: `1234567.0` → `"1.23M"`.
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.2}")
+    }
 }
 
 /// Collects benchmark functions into a runnable group.
@@ -168,10 +405,21 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn fast_cfg() -> MeasurementConfig {
+        MeasurementConfig {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(2),
+            warm_up_time: Duration::from_micros(100),
+        }
+    }
+
     fn demo(c: &mut Criterion) {
+        c.sample_size(3).measurement_time(Duration::from_millis(2));
+        c.warm_up_time(Duration::from_micros(100));
         c.bench_function("demo", |b| b.iter(|| black_box(2 + 2)));
         let mut g = c.benchmark_group("grp");
-        g.sample_size(5);
+        g.sample_size(5).measurement_time(Duration::from_millis(2));
+        g.throughput(Throughput::Elements(9));
         g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
             b.iter(|| black_box(n * n));
         });
@@ -183,5 +431,41 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn measure_produces_calibrated_stats() {
+        let stats = measure(&fast_cfg(), |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(stats.samples, 5);
+        assert!(stats.iters_per_sample >= 1);
+        assert!(stats.median_ns >= 0.0);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert!(stats.outliers_rejected < stats.samples);
+    }
+
+    #[test]
+    fn slow_routines_get_one_iteration_per_sample() {
+        let cfg = MeasurementConfig {
+            sample_size: 2,
+            measurement_time: Duration::from_micros(10),
+            warm_up_time: Duration::ZERO,
+        };
+        let stats = measure(&cfg, |b| b.iter(|| std::thread::sleep(Duration::from_millis(1))));
+        assert_eq!(stats.iters_per_sample, 1, "budget smaller than one iteration clamps to 1");
+    }
+
+    #[test]
+    fn cargo_hash_suffix_stripped() {
+        assert_eq!(strip_cargo_hash("bench_qcrd-0a1b2c3d4e5f6a7b"), "bench_qcrd");
+        assert_eq!(strip_cargo_hash("bench_qcrd"), "bench_qcrd");
+        assert_eq!(strip_cargo_hash("no-hash-here"), "no-hash-here");
+        assert_eq!(strip_cargo_hash("-0a1b2c3d4e5f6a7b"), "-0a1b2c3d4e5f6a7b");
+    }
+
+    #[test]
+    fn human_count_scales() {
+        assert_eq!(human_count(950.0), "950.00");
+        assert_eq!(human_count(1_234_567.0), "1.23M");
+        assert_eq!(human_count(2.5e9), "2.50G");
     }
 }

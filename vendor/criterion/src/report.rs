@@ -1,0 +1,186 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every finished benchmark group is written as one JSON file so CI
+//! runs and future sessions can diff perf trajectories. The output
+//! directory is, in order of preference:
+//!
+//! 1. `$CLIO_BENCH_OUT` (set it to collect reports anywhere),
+//! 2. `<workspace root>/target/criterion-json/` (the workspace root is
+//!    found by walking up from the current directory to `Cargo.lock`).
+//!
+//! Emission is best-effort: an unwritable directory prints a warning
+//! and never fails the benchmark run. Set `CLIO_BENCH_JSON=0` to
+//! disable emission entirely.
+//!
+//! The JSON is hand-rolled: the stub must not depend on any other
+//! vendored crate.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+use crate::{BenchResult, Throughput};
+
+/// Resolves the report directory; `None` disables emission.
+fn output_dir() -> Option<PathBuf> {
+    if env::var_os("CLIO_BENCH_JSON").is_some_and(|v| v == "0") {
+        return None;
+    }
+    if let Some(p) = env::var_os("CLIO_BENCH_OUT") {
+        return Some(PathBuf::from(p));
+    }
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir.join("target").join("criterion-json"));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Writes one group's results; best-effort.
+pub(crate) fn emit_group(group: &str, results: &[BenchResult]) {
+    if results.is_empty() {
+        return;
+    }
+    let Some(dir) = output_dir() else { return };
+    let path = dir.join(format!("{}.json", sanitize(group)));
+    let json = render_group(group, results);
+    let write = || -> std::io::Result<()> {
+        fs::create_dir_all(&dir)?;
+        fs::write(&path, json.as_bytes())
+    };
+    if let Err(e) = write() {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Renders one group report as pretty JSON.
+pub(crate) fn render_group(group: &str, results: &[BenchResult]) -> String {
+    let mut out = String::with_capacity(256 * results.len());
+    out.push_str("{\n  \"schema\": \"clio-criterion-v1\",\n");
+    out.push_str(&format!("  \"group\": {},\n", json_str(group)));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": {},\n", json_str(&r.id)));
+        out.push_str(&format!("      \"samples\": {},\n", r.stats.samples));
+        out.push_str(&format!("      \"iters_per_sample\": {},\n", r.stats.iters_per_sample));
+        out.push_str(&format!("      \"outliers_rejected\": {},\n", r.stats.outliers_rejected));
+        out.push_str(&format!("      \"median_ns\": {},\n", json_f64(r.stats.median_ns)));
+        out.push_str(&format!("      \"mean_ns\": {},\n", json_f64(r.stats.mean_ns)));
+        out.push_str(&format!("      \"mad_ns\": {},\n", json_f64(r.stats.mad_ns)));
+        out.push_str(&format!("      \"min_ns\": {},\n", json_f64(r.stats.min_ns)));
+        out.push_str(&format!("      \"max_ns\": {},\n", json_f64(r.stats.max_ns)));
+        out.push_str(&format!(
+            "      \"measurement_time_ms\": {}",
+            json_f64(r.stats.total_time.as_secs_f64() * 1e3)
+        ));
+        if let Some(tp) = r.throughput {
+            let (unit, count) = match tp {
+                Throughput::Elements(n) => ("elements", n),
+                Throughput::Bytes(n) => ("bytes", n),
+            };
+            let per_sec =
+                if r.stats.median_ns > 0.0 { count as f64 * 1e9 / r.stats.median_ns } else { 0.0 };
+            out.push_str(&format!(
+                ",\n      \"throughput\": {{ \"unit\": \"{unit}\", \"per_iter\": {count}, \
+                 \"per_sec\": {} }}",
+                json_f64(per_sec)
+            ));
+        }
+        out.push_str(if i + 1 < results.len() { "\n    },\n" } else { "\n    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/Inf).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Replaces path-hostile characters so a group name maps to one file.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+    use std::time::Duration;
+
+    fn result(id: &str, tp: Option<Throughput>) -> BenchResult {
+        BenchResult {
+            id: id.to_string(),
+            stats: Stats::from_samples(&[100.0, 110.0, 90.0], 4, Duration::from_millis(50)),
+            throughput: tp,
+        }
+    }
+
+    #[test]
+    fn render_is_valid_shape() {
+        let json = render_group(
+            "grp",
+            &[result("grp/a", None), result("grp/b", Some(Throughput::Bytes(4096)))],
+        );
+        assert!(json.contains("\"schema\": \"clio-criterion-v1\""));
+        assert!(json.contains("\"group\": \"grp\""));
+        assert!(json.contains("\"id\": \"grp/a\""));
+        assert!(json.contains("\"median_ns\": 100"));
+        assert!(json.contains("\"unit\": \"bytes\""));
+        assert!(json.contains("\"per_iter\": 4096"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn throughput_per_sec_from_median() {
+        let json = render_group("g", &[result("g/x", Some(Throughput::Elements(1000)))]);
+        // 1000 elements / 100 ns = 1e10 per second.
+        assert!(json.contains("\"per_sec\": 10000000000"), "{json}");
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn sanitize_flattens_separators() {
+        assert_eq!(sanitize("grp/with space"), "grp_with_space");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_zero() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}
