@@ -19,7 +19,14 @@
 //! no thresholds.
 //!
 //! Flags: `--smoke` (or `CLIO_PERF_SMOKE=1`), `--records N`,
-//! `--sim-records N`, `--out PATH`.
+//! `--sim-records N`, `--threads T` (parallel replay workers; 0
+//! disables the sharded rows), `--shards S`, `--out PATH`.
+//!
+//! Every serial `replay/<policy>` row is paired with a
+//! `replay_par/<policy>` row driving the same trace through
+//! `replay_simulated_parallel` over a sharded cache — the committed
+//! baseline records serial-vs-sharded throughput side by side, and the
+//! `sim/trace_driven_pool` row exercises the crossbeam worker pool.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -30,10 +37,14 @@ use serde::Serialize;
 use clio_core::cache::cache::CacheConfig;
 use clio_core::cache::page::pages_touched;
 use clio_core::cache::policy::ReplacementPolicy;
-use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
+use clio_core::sim::trace_driven::{
+    simulate_trace, simulate_traces_parallel, SimJob, TraceSimOptions,
+};
 use clio_core::sim::MachineConfig;
 use clio_core::trace::record::IoOp;
-use clio_core::trace::replay::replay_simulated;
+use clio_core::trace::replay::{
+    replay_simulated, replay_simulated_parallel, ParallelReplayOptions,
+};
 use clio_core::trace::synth::{synthesize, TraceProfile};
 use clio_core::trace::TraceFile;
 
@@ -44,6 +55,8 @@ struct PerfEntry {
     kind: String,
     policy: Option<String>,
     records: u64,
+    threads: Option<u64>,
+    shards: Option<u64>,
     samples: u64,
     iters_per_sample: u64,
     outliers_rejected: u64,
@@ -71,13 +84,16 @@ struct Args {
     smoke: bool,
     replay_ops: usize,
     sim_ops: usize,
+    threads: usize,
+    shards: usize,
     out: Option<PathBuf>,
 }
 
 /// `env_smoke` is `CLIO_PERF_SMOKE`'s verdict, passed in (rather than
 /// read here) so tests are independent of the ambient environment.
 fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
-    let mut args = Args { smoke: env_smoke, replay_ops: 0, sim_ops: 0, out: None };
+    let mut args =
+        Args { smoke: env_smoke, replay_ops: 0, sim_ops: 0, threads: 4, shards: 16, out: None };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -89,6 +105,18 @@ fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
             "--sim-records" => {
                 let v = it.next().ok_or("--sim-records needs a value")?;
                 args.sim_ops = v.parse().map_err(|_| format!("bad --sim-records {v}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad --threads {v}"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let s: usize = v.parse().map_err(|_| format!("bad --shards {v}"))?;
+                if s == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.shards = s;
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
@@ -148,6 +176,8 @@ fn entry_from_stats(name: &str, kind: &str, policy: Option<&str>, stats: &Stats)
         kind: kind.to_string(),
         policy: policy.map(str::to_string),
         records: 0,
+        threads: None,
+        shards: None,
         samples: stats.samples as u64,
         iters_per_sample: stats.iters_per_sample,
         outliers_rejected: stats.outliers_rejected as u64,
@@ -168,7 +198,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("perf_suite: {e}");
-            eprintln!("usage: perf_suite [--smoke] [--records N] [--sim-records N] [--out PATH]");
+            eprintln!(
+                "usage: perf_suite [--smoke] [--records N] [--sim-records N] \
+                 [--threads T] [--shards S] [--out PATH]"
+            );
             std::process::exit(2);
         }
     };
@@ -178,7 +211,10 @@ fn main() {
         "Replay + cache-policy + trace-driven-simulator throughput baseline",
     );
     let mode = if args.smoke { "smoke" } else { "full" };
-    println!("mode: {mode} ({} replay data-ops, {} sim data-ops)\n", args.replay_ops, args.sim_ops);
+    println!(
+        "mode: {mode} ({} replay data-ops, {} sim data-ops, {} threads x {} shards)\n",
+        args.replay_ops, args.sim_ops, args.threads, args.shards
+    );
 
     // Measurement knobs: the smoke run must finish in CI seconds; the
     // full run favors sample count. Env overrides still apply first.
@@ -218,7 +254,36 @@ fn main() {
         e.records_per_sec = rate(records, stats.median_ns);
         e.pages_per_sec = Some(rate(pages, stats.median_ns));
         e.bytes_per_sec = rate(bytes, stats.median_ns);
+        let serial_median_ns = stats.median_ns;
         benches.push(e);
+
+        // The sharded counterpart: same trace, same policy, replayed
+        // through the lock-striped cache by a worker pool. The printed
+        // speedup is sharded-vs-serial on this machine's core count.
+        if args.threads > 0 {
+            let popts = ParallelReplayOptions { threads: args.threads, shards: args.shards };
+            let stats = measure(&cfg, |b| {
+                b.iter(|| replay_simulated_parallel(&trace, config.clone(), &popts))
+            });
+            let name = format!("replay_par/{}", policy.name());
+            println!(
+                "{name:<24} median {:>10.3} ms  {:>12.0} records/s  {:>10.2}x vs serial",
+                stats.median_ns / 1e6,
+                rate(records, stats.median_ns),
+                serial_median_ns / stats.median_ns.max(1.0),
+            );
+            let mut e =
+                entry_from_stats(&name, "cache_replay_parallel", Some(policy.name()), &stats);
+            e.records = records;
+            // Record what the engine actually used: it clamps the
+            // worker count to the shard count.
+            e.threads = Some(args.threads.clamp(1, args.shards) as u64);
+            e.shards = Some(args.shards as u64);
+            e.records_per_sec = rate(records, stats.median_ns);
+            e.pages_per_sec = Some(rate(pages, stats.median_ns));
+            e.bytes_per_sec = rate(bytes, stats.median_ns);
+            benches.push(e);
+        }
     }
 
     // --- Trace-driven machine simulation: a large four-process trace
@@ -255,8 +320,52 @@ fn main() {
     e.bytes_per_sec = rate(probe.bytes_moved, stats.median_ns);
     benches.push(e);
 
+    // --- Worker-pool driver: the same simulated workload split into
+    // four independent jobs drained by the crossbeam pool. ---
+    if args.threads > 0 {
+        let pool_traces: Vec<TraceFile> = (0..4u64)
+            .map(|i| {
+                synthesize(&TraceProfile {
+                    data_ops: (args.sim_ops / 4).max(1),
+                    write_fraction: 0.3,
+                    sequentiality: 0.7,
+                    seed: 0xBA5E + 1 + i,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        let jobs: Vec<SimJob<'_>> = pool_traces
+            .iter()
+            .map(|trace| SimJob {
+                trace,
+                machine: machine.clone(),
+                options: TraceSimOptions::default(),
+            })
+            .collect();
+        let pool_probe = simulate_traces_parallel(&jobs, args.threads);
+        let pool_events: u64 = pool_probe.iter().map(|r| r.events).sum();
+        let pool_bytes: u64 = pool_probe.iter().map(|r| r.bytes_moved).sum();
+        let pool_records: u64 = pool_traces.iter().map(|t| t.len() as u64).sum();
+        let stats = measure(&sim_cfg, |b| b.iter(|| simulate_traces_parallel(&jobs, args.threads)));
+        println!(
+            "{:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
+            "sim/trace_driven_pool",
+            stats.median_ns / 1e6,
+            rate(pool_events, stats.median_ns),
+            rate(pool_bytes, stats.median_ns),
+        );
+        let mut e = entry_from_stats("sim/trace_driven_pool", "trace_sim_pool", None, &stats);
+        e.records = pool_records;
+        // The pool clamps its worker count to the job count.
+        e.threads = Some(args.threads.clamp(1, jobs.len()) as u64);
+        e.records_per_sec = rate(pool_records, stats.median_ns);
+        e.events_per_sec = Some(rate(pool_events, stats.median_ns));
+        e.bytes_per_sec = rate(pool_bytes, stats.median_ns);
+        benches.push(e);
+    }
+
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v1".to_string(),
+        schema: "clio-perf-baseline-v2".to_string(),
         mode: mode.to_string(),
         replay_records: records,
         sim_records: sim_trace.len() as u64,
@@ -315,6 +424,19 @@ mod tests {
     fn unknown_flag_rejected() {
         assert!(parse_args(&s(&["--nope"]), false).is_err());
         assert!(parse_args(&s(&["--records"]), false).is_err());
+    }
+
+    #[test]
+    fn threads_and_shards_parse_and_validate() {
+        let a = parse_args(&s(&["--threads", "8", "--shards", "32"]), false).unwrap();
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.shards, 32);
+        let defaults = parse_args(&[], false).unwrap();
+        assert_eq!(defaults.threads, 4, "serial-vs-sharded rows emitted by default");
+        assert_eq!(defaults.shards, 16);
+        assert_eq!(parse_args(&s(&["--threads", "0"]), false).unwrap().threads, 0);
+        assert!(parse_args(&s(&["--shards", "0"]), false).is_err());
+        assert!(parse_args(&s(&["--threads", "x"]), false).is_err());
     }
 
     #[test]

@@ -216,6 +216,33 @@ struct PageState {
     prefetched: bool,
 }
 
+/// State threaded through a sequence of [`BufferCache::page_access`]
+/// calls belonging to one operation (the sharding SPI).
+///
+/// A cursor tracks two things the per-page step cannot know on its own:
+/// whether the previous page of *this* operation on *this* cache
+/// instance missed (so a continuing miss run is charged positioning
+/// only once), and — in run-promotion mode — which resident page
+/// currently stands for the whole run. [`ShardedBufferCache`] keeps one
+/// cursor per shard so each shard sees exactly the miss-run structure
+/// of its own page subsequence, which is what makes shard-local
+/// eviction decisions independent of the total shard count.
+///
+/// [`ShardedBufferCache`]: crate::shard::ShardedBufferCache
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunCursor {
+    in_miss_run: bool,
+    run_mru: Option<PageId>,
+}
+
+impl RunCursor {
+    /// Whether a run-promotion candidate is pending (i.e.
+    /// [`BufferCache::finish_run`] would do work).
+    pub fn has_pending_promotion(&self) -> bool {
+        self.run_mru.is_some()
+    }
+}
+
 /// What one operation did to the cache, and what it cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AccessOutcome {
@@ -231,6 +258,20 @@ pub struct AccessOutcome {
     pub writebacks: u64,
     /// Simulated latency of the operation, milliseconds.
     pub cost_ms: f64,
+}
+
+impl AccessOutcome {
+    /// Folds another outcome's counters and cost into this one — how
+    /// the sharded cache combines per-shard partial outcomes of one
+    /// operation.
+    pub fn absorb(&mut self, other: &AccessOutcome) {
+        self.pages_hit += other.pages_hit;
+        self.pages_missed += other.pages_missed;
+        self.pages_prefetched += other.pages_prefetched;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.cost_ms += other.cost_ms;
+    }
 }
 
 /// A page-granular buffer cache with LRU replacement and readahead.
@@ -363,75 +404,167 @@ impl BufferCache {
         let mut out = AccessOutcome { cost_ms: self.cfg.costs.op_base, ..Default::default() };
         let (first, last) = page_span(offset, len, self.cfg.page_size);
 
-        let mut in_miss_run = false;
-        let mut run_mru: Option<PageId> = None;
+        let mut cursor = RunCursor::default();
         for index in first..=last {
-            let id = PageId { file, index };
-            // `pages` and `resident` always track the same key set, so
-            // this single probe doubles as the residency check.
-            if let Some(state) = self.pages.get_mut(&id) {
-                if state.prefetched {
-                    state.prefetched = false;
-                    self.metrics.prefetch_hits += 1;
-                }
-                if kind == AccessKind::Write {
-                    match self.cfg.write_policy {
-                        WritePolicy::WriteBack => state.dirty = true,
-                        WritePolicy::WriteThrough => {
-                            out.writebacks += 1;
-                            self.metrics.writebacks += 1;
-                            out.cost_ms += self.cfg.costs.writeback_per_page;
-                        }
-                    }
-                }
-                if per_page_touch {
-                    self.resident.touch(id);
-                } else {
-                    run_mru = Some(id);
-                }
-                out.pages_hit += 1;
-                self.metrics.hits += 1;
-                out.cost_ms += self.cfg.costs.hit_per_page;
-                in_miss_run = false;
-            } else {
-                if !in_miss_run {
-                    out.cost_ms += self.cfg.costs.fault_positioning;
-                    in_miss_run = true;
-                }
-                out.pages_missed += 1;
-                self.metrics.misses += 1;
-                out.cost_ms += self.cfg.costs.fault_per_page;
-                let dirty =
-                    kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteBack;
-                if kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteThrough {
-                    out.writebacks += 1;
-                    self.metrics.writebacks += 1;
-                    out.cost_ms += self.cfg.costs.writeback_per_page;
-                }
-                self.insert_page(id, false, dirty, &mut out);
+            self.page_access(PageId { file, index }, kind, per_page_touch, &mut cursor, &mut out);
+        }
+        self.finish_run(cursor);
+
+        if self.cfg.prefetch_enabled && self.cfg.capacity_pages > 0 {
+            let window = self.prefetcher.on_access(file, first, last);
+            for ahead in 1..=window {
+                self.stage_prefetch(PageId { file, index: last + ahead }, &mut out);
             }
         }
-        if let Some(id) = run_mru {
+        out
+    }
+
+    // --- Sharding SPI -------------------------------------------------
+    //
+    // The methods below are the per-page steps `access`/`access_run`/
+    // `open`/`close` are built from. They are public so that
+    // [`crate::shard::ShardedBufferCache`] and parallel replay engines
+    // can drive each shard's `BufferCache` through exactly the same
+    // state transitions the monolithic cache performs — the
+    // single-shard equivalence property in `tests/cache_properties.rs`
+    // holds *by construction* because both paths execute this code.
+
+    /// Performs the cache transition for one page of an operation,
+    /// threading miss-run and run-promotion state through `cursor` and
+    /// accumulating counters and cost into `out`.
+    ///
+    /// With `per_page_touch` the replacement policy is touched on every
+    /// hit (the [`BufferCache::access`] semantics); without it the
+    /// cursor remembers the page as the run's promotion candidate (the
+    /// [`BufferCache::access_run`] semantics) and the caller must invoke
+    /// [`BufferCache::finish_run`] after the last page.
+    pub fn page_access(
+        &mut self,
+        id: PageId,
+        kind: AccessKind,
+        per_page_touch: bool,
+        cursor: &mut RunCursor,
+        out: &mut AccessOutcome,
+    ) {
+        // `pages` and `resident` always track the same key set, so
+        // this single probe doubles as the residency check.
+        if let Some(state) = self.pages.get_mut(&id) {
+            if state.prefetched {
+                state.prefetched = false;
+                self.metrics.prefetch_hits += 1;
+            }
+            if kind == AccessKind::Write {
+                match self.cfg.write_policy {
+                    WritePolicy::WriteBack => state.dirty = true,
+                    WritePolicy::WriteThrough => {
+                        out.writebacks += 1;
+                        self.metrics.writebacks += 1;
+                        out.cost_ms += self.cfg.costs.writeback_per_page;
+                    }
+                }
+            }
+            if per_page_touch {
+                self.resident.touch(id);
+            } else {
+                cursor.run_mru = Some(id);
+            }
+            out.pages_hit += 1;
+            self.metrics.hits += 1;
+            out.cost_ms += self.cfg.costs.hit_per_page;
+            cursor.in_miss_run = false;
+        } else {
+            if !cursor.in_miss_run {
+                out.cost_ms += self.cfg.costs.fault_positioning;
+                cursor.in_miss_run = true;
+            }
+            out.pages_missed += 1;
+            self.metrics.misses += 1;
+            out.cost_ms += self.cfg.costs.fault_per_page;
+            let dirty =
+                kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteBack;
+            if kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteThrough {
+                out.writebacks += 1;
+                self.metrics.writebacks += 1;
+                out.cost_ms += self.cfg.costs.writeback_per_page;
+            }
+            self.insert_page(id, false, dirty, out);
+        }
+    }
+
+    /// Completes a run-promotion (`per_page_touch = false`) sequence of
+    /// [`BufferCache::page_access`] calls: the run's final resident page
+    /// is promoted once, standing for the whole stretch.
+    pub fn finish_run(&mut self, cursor: RunCursor) {
+        if let Some(id) = cursor.run_mru {
             // A later fault in the same span can have evicted the page;
             // only promote what is still resident.
             if self.pages.contains_key(&id) {
                 self.resident.touch(id);
             }
         }
+    }
 
-        if self.cfg.prefetch_enabled && self.cfg.capacity_pages > 0 {
-            let window = self.prefetcher.on_access(file, first, last);
-            for ahead in 1..=window {
-                let id = PageId { file, index: last + ahead };
-                if !self.pages.contains_key(&id) {
-                    out.pages_prefetched += 1;
-                    self.metrics.prefetched += 1;
-                    out.cost_ms += self.cfg.costs.prefetch_per_page;
-                    self.insert_page(id, true, false, &mut out);
-                }
+    /// Stages one readahead page on behalf of the current operation,
+    /// charging its transfer to `out`. No-op (returning `false`) when
+    /// the page is already resident or caching is disabled.
+    pub fn stage_prefetch(&mut self, id: PageId, out: &mut AccessOutcome) -> bool {
+        if self.cfg.capacity_pages == 0 || self.pages.contains_key(&id) {
+            return false;
+        }
+        out.pages_prefetched += 1;
+        self.metrics.prefetched += 1;
+        out.cost_ms += self.cfg.costs.prefetch_per_page;
+        self.insert_page(id, true, false, out);
+        true
+    }
+
+    /// Stages a page at open time without charging fault or prefetch
+    /// cost (the platform overlaps the header read with the open).
+    pub fn stage_open_page(&mut self, id: PageId, out: &mut AccessOutcome) -> bool {
+        if self.cfg.capacity_pages == 0 || self.pages.contains_key(&id) {
+            return false;
+        }
+        out.pages_prefetched += 1;
+        self.metrics.prefetched += 1;
+        self.insert_page(id, true, false, out);
+        true
+    }
+
+    /// Evicts every resident page of `file`, writing dirty ones back
+    /// into `out` — the page-side effect of [`BufferCache::close`],
+    /// without the fixed close cost or the readahead-state reset.
+    pub fn evict_file_pages(&mut self, file: FileId, out: &mut AccessOutcome) {
+        let mut victims: Vec<PageId> =
+            self.pages.keys().filter(|p| p.file == file).copied().collect();
+        // HashMap iteration order is per-instance random, and some
+        // policies (CLOCK's slot reuse, 2Q's queue surgery) are
+        // sensitive to removal order — evict in page order so two
+        // caches fed identical streams stay identical.
+        victims.sort_unstable();
+        for id in victims {
+            let state = self.pages.remove(&id).unwrap_or_default();
+            self.resident.remove(&id);
+            out.evictions += 1;
+            self.metrics.evictions += 1;
+            if state.dirty {
+                out.writebacks += 1;
+                self.metrics.writebacks += 1;
+                out.cost_ms += self.cfg.costs.writeback_per_page;
             }
         }
-        out
+    }
+
+    /// Writes every dirty page back without evicting, accumulating into
+    /// `out` — the page-side effect of [`BufferCache::flush`].
+    pub fn flush_pages(&mut self, out: &mut AccessOutcome) {
+        for state in self.pages.values_mut() {
+            if state.dirty {
+                state.dirty = false;
+                out.writebacks += 1;
+                self.metrics.writebacks += 1;
+                out.cost_ms += self.cfg.costs.writeback_per_page;
+            }
+        }
     }
 
     /// Opens `file`: fixed metadata cost; stages the header page like
@@ -439,14 +572,7 @@ impl BufferCache {
     /// without charging fault cost (the platform overlaps it).
     pub fn open(&mut self, file: FileId) -> AccessOutcome {
         let mut out = AccessOutcome { cost_ms: self.cfg.costs.open_base, ..Default::default() };
-        if self.cfg.capacity_pages > 0 {
-            let id = PageId { file, index: 0 };
-            if !self.resident.contains(&id) {
-                out.pages_prefetched += 1;
-                self.metrics.prefetched += 1;
-                self.insert_page(id, true, false, &mut out);
-            }
-        }
+        self.stage_open_page(PageId { file, index: 0 }, &mut out);
         out
     }
 
@@ -466,18 +592,7 @@ impl BufferCache {
     /// The dirty flush is what makes close slower than open.
     pub fn close(&mut self, file: FileId) -> AccessOutcome {
         let mut out = AccessOutcome { cost_ms: self.cfg.costs.close_base, ..Default::default() };
-        let victims: Vec<PageId> = self.pages.keys().filter(|p| p.file == file).copied().collect();
-        for id in victims {
-            let state = self.pages.remove(&id).unwrap_or_default();
-            self.resident.remove(&id);
-            out.evictions += 1;
-            self.metrics.evictions += 1;
-            if state.dirty {
-                out.writebacks += 1;
-                self.metrics.writebacks += 1;
-                out.cost_ms += self.cfg.costs.writeback_per_page;
-            }
-        }
+        self.evict_file_pages(file, &mut out);
         self.prefetcher.forget(file);
         out
     }
@@ -485,14 +600,7 @@ impl BufferCache {
     /// Writes every dirty page back without evicting.
     pub fn flush(&mut self) -> AccessOutcome {
         let mut out = AccessOutcome::default();
-        for state in self.pages.values_mut() {
-            if state.dirty {
-                state.dirty = false;
-                out.writebacks += 1;
-                self.metrics.writebacks += 1;
-                out.cost_ms += self.cfg.costs.writeback_per_page;
-            }
-        }
+        self.flush_pages(&mut out);
         out
     }
 }

@@ -13,6 +13,9 @@
 //! - [`scanres`] — scan-resistant replacement (2Q, segmented LRU),
 //! - [`cache`] — the buffer cache itself, with a cost model that turns
 //!   hits/misses/prefetches into simulated latencies,
+//! - [`shard`] — the lock-striped concurrent cache: N independent
+//!   policy instances behind per-shard mutexes, for multithreaded
+//!   servers and parallel trace replay,
 //! - [`backend`] — real-filesystem and fault-injecting file backends for
 //!   replaying traces against actual disks,
 //! - [`metrics`] — hit/miss/eviction counters.
@@ -38,11 +41,14 @@ pub mod page;
 pub mod policy;
 pub mod prefetch;
 pub mod scanres;
+pub mod shard;
 
 pub use backend::{FileBackend, RealFsBackend};
 pub use cache::{AccessKind, BufferCache, CacheConfig, CacheCostModel};
 pub use metrics::CacheMetrics;
 pub use page::{PageId, PAGE_SIZE_DEFAULT};
+pub use policy::CachePolicyKind;
+pub use shard::ShardedBufferCache;
 
 /// Upper bound on entries pre-allocated from a configured capacity:
 /// constructors reserve `min(capacity, PREALLOC_PAGES_MAX)` so the hot

@@ -35,6 +35,14 @@ pub enum ReplacementPolicy {
     Slru,
 }
 
+/// The policy alphabet as seen by sharded constructors.
+///
+/// [`crate::shard::ShardedBufferCache::for_policy`] takes a
+/// `CachePolicyKind` and instantiates one full policy instance *per
+/// shard*, so all five policies shard uniformly: the kind selects the
+/// per-shard residency structure, the shard map stays policy-agnostic.
+pub type CachePolicyKind = ReplacementPolicy;
+
 impl ReplacementPolicy {
     /// All policies, in ablation order.
     pub const ALL: [ReplacementPolicy; 5] = [

@@ -39,12 +39,14 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod gc;
 pub mod jit;
 pub mod loader;
 pub mod stream;
 pub mod vm;
 
+pub use concurrent::SharedManagedIo;
 pub use gc::{GcModel, GcState, GcStats};
 pub use jit::{JitModel, JitState};
 pub use loader::assemble;

@@ -212,6 +212,63 @@ fn issue_io(world: &mut World, proc_idx: usize, at: SimTime, bytes: u64) -> SimT
     completion
 }
 
+/// One unit of work for [`simulate_traces_parallel`]: a trace replayed
+/// on a machine.
+#[derive(Debug, Clone)]
+pub struct SimJob<'a> {
+    /// The trace to replay.
+    pub trace: &'a TraceFile,
+    /// The machine to replay it on.
+    pub machine: MachineConfig,
+    /// Replay options.
+    pub options: TraceSimOptions,
+}
+
+/// Runs a batch of independent trace simulations on a pool of worker
+/// threads fed through crossbeam channels.
+///
+/// Each job is a complete, isolated [`simulate_trace`] run (the
+/// discrete-event engine itself stays single-threaded per job — its
+/// event callbacks hold `Rc` handles), so this is the scale-out axis
+/// for parameter sweeps: many machines, many policies, many traces at
+/// once. Results come back in job order and are identical to running
+/// the jobs serially, whatever the thread count — the determinism test
+/// in `tests/suite_determinism.rs` pins that.
+pub fn simulate_traces_parallel(jobs: &[SimJob<'_>], threads: usize) -> Vec<TraceSimReport> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, jobs.len());
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..jobs.len() {
+        let _ = job_tx.send(i);
+    }
+    drop(job_tx); // workers drain the queue and exit on disconnect
+
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, TraceSimReport)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(i) = job_rx.recv() {
+                    let job = &jobs[i];
+                    let report = simulate_trace(job.trace, &job.machine, &job.options);
+                    let _ = res_tx.send((i, report));
+                }
+            });
+        }
+    })
+    .expect("simulation worker pool");
+    drop(res_tx);
+
+    let mut out: Vec<Option<TraceSimReport>> = (0..jobs.len()).map(|_| None).collect();
+    while let Ok((i, report)) = res_rx.recv() {
+        out[i] = Some(report);
+    }
+    out.into_iter().map(|r| r.expect("every job completes")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +392,28 @@ mod tests {
         let report =
             simulate_trace(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
         assert_eq!(report.bytes_moved, 5000);
+    }
+
+    #[test]
+    fn worker_pool_matches_serial_in_job_order() {
+        let traces: Vec<TraceFile> =
+            (1..=4).map(|p| multi_process_trace(p, 6, 2 * 1024 * 1024)).collect();
+        let jobs: Vec<SimJob<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| SimJob {
+                trace,
+                machine: MachineConfig::with_disks(1 + i % 3),
+                options: TraceSimOptions::default(),
+            })
+            .collect();
+        let serial: Vec<TraceSimReport> =
+            jobs.iter().map(|j| simulate_trace(j.trace, &j.machine, &j.options)).collect();
+        for threads in [1usize, 2, 4, 9] {
+            let pooled = simulate_traces_parallel(&jobs, threads);
+            assert_eq!(pooled, serial, "{threads} threads");
+        }
+        assert!(simulate_traces_parallel(&[], 4).is_empty());
     }
 
     #[test]

@@ -15,13 +15,21 @@
 //! - [`replay_real`] issues the records against an actual file through
 //!   a [`FileBackend`], timing each operation with a monotonic clock —
 //!   the honest-hardware mode.
+//! - [`replay_simulated_parallel`] drives a
+//!   [`ShardedBufferCache`](clio_cache::shard::ShardedBufferCache)
+//!   with a pool of workers, each owning a disjoint set of shards —
+//!   the multi-core engine, deterministic across runs *and* thread
+//!   counts (see [`ParallelReplayReport`]).
 
 use std::io;
 use std::path::Path;
 
 use clio_cache::backend::{FileBackend, RealFsBackend};
-use clio_cache::cache::{AccessKind, BufferCache, CacheConfig};
-use clio_cache::page::FileId;
+use clio_cache::cache::{AccessKind, AccessOutcome, BufferCache, CacheConfig, RunCursor};
+use clio_cache::metrics::CacheMetrics;
+use clio_cache::page::{page_span, FileId, PageId};
+use clio_cache::prefetch::Prefetcher;
+use clio_cache::shard::{ShardedBufferCache, SHARD_BLOCK_PAGES};
 use clio_stats::{Stopwatch, Summary};
 
 use crate::reader::TraceFile;
@@ -115,6 +123,240 @@ pub fn replay_simulated(trace: &TraceFile, config: CacheConfig) -> ReplayReport 
         timings.push(OpTiming { record: *r, elapsed_ms: total / repeats as f64 });
     }
     ReplayReport::from_timings(timings)
+}
+
+/// Options for the parallel simulated replay engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelReplayOptions {
+    /// Worker threads (clamped to `1..=shards`; each worker owns the
+    /// shards `s` with `s % threads == worker`).
+    pub threads: usize,
+    /// Shard count of the [`ShardedBufferCache`] driven by the replay.
+    pub shards: usize,
+}
+
+impl Default for ParallelReplayOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads, shards: 16 }
+    }
+}
+
+/// The result of a parallel replay: the usual [`ReplayReport`] plus the
+/// cache counters the replay left behind.
+#[derive(Debug, Clone)]
+pub struct ParallelReplayReport {
+    /// Per-record timings and summaries, merged deterministically.
+    pub report: ReplayReport,
+    /// Aggregate cache metrics, merged over shards in shard order.
+    pub metrics: CacheMetrics,
+    /// Per-shard cache metrics.
+    pub shard_metrics: Vec<CacheMetrics>,
+    /// Worker threads actually used (after clamping).
+    pub threads: usize,
+}
+
+/// Replays against a sharded cache with a pool of worker threads.
+///
+/// Every worker scans the whole trace but performs cache work only for
+/// the shards it owns, driving them through the same per-page SPI
+/// ([`BufferCache::page_access`] with run promotion — the
+/// [`BufferCache::access_run`] semantics, batched per shard run) that
+/// the serial sharded path uses. Readahead decisions depend only on the
+/// access sequence, so each worker runs a private [`Prefetcher`]
+/// replica instead of contending on a shared one.
+///
+/// **Determinism.** A shard's event stream — and therefore its
+/// hit/miss/eviction counters and its per-record cost vector — is a
+/// pure function of the trace, never of scheduling. Costs are merged
+/// per record in shard order, so the returned report and metrics are
+/// bit-identical across runs *and* across thread counts; with one
+/// shard they match [`replay_simulated`]'s hit/miss accounting
+/// access-for-access.
+pub fn replay_simulated_parallel(
+    trace: &TraceFile,
+    config: CacheConfig,
+    options: &ParallelReplayOptions,
+) -> ParallelReplayReport {
+    let cache = ShardedBufferCache::new(config.clone(), options.shards);
+    let file_ids: Vec<FileId> = (0..trace.header.num_files)
+        .map(|i| cache.register_file(format!("{}#{}", trace.header.sample_file, i)))
+        .collect();
+
+    let num_shards = cache.num_shards();
+    let threads = options.threads.clamp(1, num_shards);
+    let records = &trace.records;
+
+    // costs[s][i]: simulated per-page/per-run cost record i incurred on
+    // shard s (summed over repeats); filled by the worker owning s.
+    let mut costs: Vec<Option<Vec<f64>>> = (0..num_shards).map(|_| None).collect();
+    let worker_results = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let cache = &cache;
+                let file_ids = &file_ids;
+                let config = &config;
+                scope.spawn(move |_| replay_worker(cache, config, records, file_ids, w, threads))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("replay scope");
+    for per_worker in worker_results {
+        for (shard, vec) in per_worker {
+            costs[shard] = Some(vec);
+        }
+    }
+
+    // Deterministic merge: per record, the fixed per-op cost plus the
+    // shard partial costs in shard order.
+    let mut timings = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let repeats = r.num_records.max(1) as f64;
+        let base = match r.op {
+            IoOp::Open => config.costs.open_base,
+            IoOp::Close => config.costs.close_base,
+            IoOp::Read | IoOp::Write => config.costs.op_base,
+            IoOp::Seek => config.costs.seek_base,
+        };
+        let mut total = base * repeats;
+        for shard_costs in costs.iter().flatten() {
+            total += shard_costs[i];
+        }
+        timings.push(OpTiming { record: *r, elapsed_ms: total / repeats });
+    }
+
+    let shard_metrics: Vec<CacheMetrics> =
+        (0..num_shards).map(|s| cache.shard_metrics(s)).collect();
+    let mut metrics = CacheMetrics::default();
+    for m in &shard_metrics {
+        metrics.merge(m);
+    }
+    ParallelReplayReport {
+        report: ReplayReport::from_timings(timings),
+        metrics,
+        shard_metrics,
+        threads,
+    }
+}
+
+/// Replays the shards owned by worker `w` (those with `s % threads ==
+/// w`), returning each owned shard's per-record cost vector.
+fn replay_worker(
+    cache: &ShardedBufferCache,
+    config: &CacheConfig,
+    records: &[TraceRecord],
+    file_ids: &[FileId],
+    w: usize,
+    threads: usize,
+) -> Vec<(usize, Vec<f64>)> {
+    let num_shards = cache.num_shards();
+    let page_size = config.page_size;
+    let prefetch_active = config.prefetch_enabled && config.capacity_pages > 0;
+    let mut prefetcher = Prefetcher::new(config.prefetch);
+
+    let mine: Vec<bool> = (0..num_shards).map(|s| s % threads == w).collect();
+    let owned: Vec<usize> = (0..num_shards).filter(|s| mine[*s]).collect();
+    let mut costs: Vec<Vec<f64>> = owned.iter().map(|_| vec![0.0; records.len()]).collect();
+    // shard id -> index into `owned`/`costs` (usize::MAX when foreign).
+    let mut slot = vec![usize::MAX; num_shards];
+    for (k, &s) in owned.iter().enumerate() {
+        slot[s] = k;
+    }
+
+    let mut cursors = vec![RunCursor::default(); num_shards];
+    let mut outs = vec![AccessOutcome::default(); num_shards];
+    let mut touched: Vec<usize> = Vec::with_capacity(owned.len());
+
+    for (i, r) in records.iter().enumerate() {
+        let fid = file_ids[r.file_id as usize];
+        let repeats = r.num_records.max(1);
+        for _ in 0..repeats {
+            match r.op {
+                IoOp::Open => {
+                    let id = PageId { file: fid, index: 0 };
+                    let s = cache.shard_of(id);
+                    if mine[s] {
+                        let mut out = AccessOutcome::default();
+                        cache.lock_shard(s).stage_open_page(id, &mut out);
+                        costs[slot[s]][i] += out.cost_ms;
+                    }
+                }
+                IoOp::Close => {
+                    for &s in &owned {
+                        let mut out = AccessOutcome::default();
+                        cache.lock_shard(s).evict_file_pages(fid, &mut out);
+                        costs[slot[s]][i] += out.cost_ms;
+                    }
+                    prefetcher.forget(fid);
+                }
+                IoOp::Seek => {
+                    let index = r.offset / page_size;
+                    if index > 0 {
+                        prefetcher.on_access(fid, index, index.saturating_sub(1));
+                    }
+                }
+                IoOp::Read | IoOp::Write => {
+                    let kind =
+                        if r.op == IoOp::Write { AccessKind::Write } else { AccessKind::Read };
+                    let (first, last) = page_span(r.offset, r.length, page_size);
+                    touched.clear();
+
+                    // Walk the span in shard-block groups, processing
+                    // only owned shards; each group runs under one lock
+                    // acquisition with run promotion per shard.
+                    let mut index = first;
+                    while index <= last {
+                        let s = cache.shard_of(PageId { file: fid, index });
+                        let block_end = (index | (SHARD_BLOCK_PAGES - 1)).min(last);
+                        if mine[s] {
+                            if !touched.contains(&s) {
+                                touched.push(s);
+                                cursors[s] = RunCursor::default();
+                                outs[s] = AccessOutcome::default();
+                            }
+                            let mut shard = cache.lock_shard(s);
+                            for p in index..=block_end {
+                                shard.page_access(
+                                    PageId { file: fid, index: p },
+                                    kind,
+                                    false,
+                                    &mut cursors[s],
+                                    &mut outs[s],
+                                );
+                            }
+                        }
+                        index = block_end + 1;
+                    }
+                    for &s in &touched {
+                        if cursors[s].has_pending_promotion() {
+                            cache.lock_shard(s).finish_run(cursors[s]);
+                        }
+                    }
+
+                    if prefetch_active {
+                        let window = prefetcher.on_access(fid, first, last);
+                        for ahead in 1..=window {
+                            let id = PageId { file: fid, index: last + ahead };
+                            let s = cache.shard_of(id);
+                            if mine[s] {
+                                if !touched.contains(&s) {
+                                    touched.push(s);
+                                    outs[s] = AccessOutcome::default();
+                                }
+                                cache.lock_shard(s).stage_prefetch(id, &mut outs[s]);
+                            }
+                        }
+                    }
+
+                    for &s in &touched {
+                        costs[slot[s]][i] += outs[s].cost_ms;
+                    }
+                }
+            }
+        }
+    }
+    owned.into_iter().zip(costs).collect()
 }
 
 /// Options for real-file replay.
@@ -327,6 +569,71 @@ mod tests {
         let mut backend = FaultyBackend::new(MemBackend::with_data(vec![0u8; 1024]), 1);
         let err = replay_with_backend(&simple_trace(), &mut backend, RealReplayOptions::default());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_replay_single_shard_matches_serial_counts() {
+        // One shard, one worker: the cache state machine is exactly the
+        // serial engine's, so per-record timings agree too.
+        let trace = simple_trace();
+        let serial = replay_simulated(&trace, CacheConfig::default());
+        let opts = ParallelReplayOptions { threads: 1, shards: 1 };
+        let par = replay_simulated_parallel(&trace, CacheConfig::default(), &opts);
+        assert_eq!(par.report.timings.len(), serial.timings.len());
+        for (a, b) in serial.timings.iter().zip(&par.report.timings) {
+            assert_eq!(a.record, b.record);
+            assert!(
+                (a.elapsed_ms - b.elapsed_ms).abs() < 1e-12,
+                "cost diverged: {} vs {}",
+                a.elapsed_ms,
+                b.elapsed_ms
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_replay_identical_across_thread_counts() {
+        let mut recs = Vec::new();
+        recs.push(TraceRecord::simple(IoOp::Open, 0, 0, 0));
+        for i in 0..400u64 {
+            let off = (i * 13) % 97 * 4096;
+            let op = if i % 4 == 0 { IoOp::Write } else { IoOp::Read };
+            recs.push(TraceRecord::simple(op, 0, off, 4096 * (1 + i % 9)));
+        }
+        recs.push(TraceRecord::simple(IoOp::Close, 0, 0, 0));
+        let trace = TraceFile::build("p.dat", 1, recs).unwrap();
+        let config = CacheConfig { capacity_pages: 64, ..Default::default() };
+
+        let base = replay_simulated_parallel(
+            &trace,
+            config.clone(),
+            &ParallelReplayOptions { threads: 1, shards: 8 },
+        );
+        for threads in [2usize, 3, 5, 8] {
+            let r = replay_simulated_parallel(
+                &trace,
+                config.clone(),
+                &ParallelReplayOptions { threads, shards: 8 },
+            );
+            assert_eq!(r.metrics, base.metrics, "{threads} threads");
+            assert_eq!(r.shard_metrics, base.shard_metrics, "{threads} threads");
+            let ta: Vec<f64> = base.report.timings.iter().map(|t| t.elapsed_ms).collect();
+            let tb: Vec<f64> = r.report.timings.iter().map(|t| t.elapsed_ms).collect();
+            assert_eq!(ta, tb, "bitwise-identical timings at {threads} threads");
+        }
+        assert!(base.metrics.accesses() > 0);
+    }
+
+    #[test]
+    fn parallel_replay_clamps_threads_to_shards() {
+        let trace = simple_trace();
+        let par = replay_simulated_parallel(
+            &trace,
+            CacheConfig::default(),
+            &ParallelReplayOptions { threads: 64, shards: 4 },
+        );
+        assert_eq!(par.threads, 4);
+        assert_eq!(par.shard_metrics.len(), 4);
     }
 
     #[test]

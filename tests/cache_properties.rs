@@ -1,0 +1,206 @@
+//! Property layer pinning the sharded-cache invariants, per policy:
+//!
+//! (a) the resident set never exceeds the configured capacity, for any
+//!     shard count and any operation stream;
+//! (b) a single-shard [`ShardedBufferCache`] is access-for-access
+//!     identical to [`BufferCache`] — outcomes, metrics and residency;
+//! (c) a shard's eviction decisions depend only on the subsequence of
+//!     pages that map to it (shard independence): replaying each
+//!     shard's stream through a standalone policy instance reproduces
+//!     the shard exactly. This is the invariant that makes changing
+//!     the shard count — or the thread count of the parallel replay —
+//!     unable to change which pages a shard-local policy evicts on a
+//!     given stream.
+//!
+//! These are the pins behind `replay_simulated_parallel`'s determinism
+//! guarantee; shrinking in the vendored proptest reports minimized
+//! operation streams when an invariant breaks.
+
+use clio_core::cache::cache::{AccessKind, AccessOutcome, BufferCache, CacheConfig, RunCursor};
+use clio_core::cache::page::{page_span, PageId};
+use clio_core::cache::policy::ReplacementPolicy;
+use clio_core::cache::prefetch::Prefetcher;
+use clio_core::cache::shard::{shard_capacity, ShardedBufferCache};
+use proptest::prelude::*;
+
+/// One generated cache operation; `sel` picks the operation kind.
+type Op = (u8, u64, u64, bool);
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    // Offsets span ~300 shard blocks so multi-shard configurations
+    // really stripe; lengths up to 96 KiB cross page boundaries.
+    prop::collection::vec((0u8..8, 0u64..20_000, 1u64..98_304, prop::bool::ANY), 1..max_len)
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    proptest::sample::select(&ReplacementPolicy::ALL[..])
+}
+
+fn config(policy: ReplacementPolicy, capacity: usize) -> CacheConfig {
+    CacheConfig { policy, capacity_pages: capacity, ..Default::default() }
+}
+
+proptest! {
+    // (a) Residency bound: aggregate residency stays within the
+    // configured capacity for every policy and shard count.
+    #[test]
+    fn resident_set_never_exceeds_capacity(
+        ops in arb_ops(120),
+        policy in arb_policy(),
+        capacity in 1usize..48,
+        shards in 1usize..6,
+    ) {
+        let cache = ShardedBufferCache::for_policy(policy, shards, config(policy, capacity));
+        let f = cache.register_file("prop");
+        for (sel, off_page, len, write) in ops {
+            let off = off_page * 512;
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            match sel {
+                0 => { cache.open(f); }
+                1 => { cache.close(f); }
+                2 => { cache.seek(f, off); }
+                3 => { cache.access_run(f, off, len, kind); }
+                _ => { cache.access(f, off, len, kind); }
+            }
+            prop_assert!(
+                cache.resident_pages() <= capacity,
+                "{} resident > {capacity} ({shards} shards, {})",
+                cache.resident_pages(),
+                policy.name(),
+            );
+        }
+    }
+
+    // (b) Single-shard equivalence: with one shard the sharded cache is
+    // the monolithic cache, operation for operation.
+    #[test]
+    fn single_shard_is_access_for_access_identical(
+        ops in arb_ops(120),
+        policy in arb_policy(),
+        capacity in 1usize..48,
+    ) {
+        let mut mono = BufferCache::new(config(policy, capacity));
+        let sharded = ShardedBufferCache::new(config(policy, capacity), 1);
+        let fm = mono.register_file("f");
+        let fs = sharded.register_file("f");
+        prop_assert_eq!(fm, fs);
+        for (i, (sel, off_page, len, write)) in ops.into_iter().enumerate() {
+            let off = off_page * 512;
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let (a, b) = match sel {
+                0 => (mono.open(fm), sharded.open(fs)),
+                1 => (mono.close(fm), sharded.close(fs)),
+                2 => (mono.seek(fm, off), sharded.seek(fs, off)),
+                3 => (mono.access_run(fm, off, len, kind), sharded.access_run(fs, off, len, kind)),
+                _ => (mono.access(fm, off, len, kind), sharded.access(fs, off, len, kind)),
+            };
+            prop_assert_eq!(a, b, "op {} diverged ({})", i, policy.name());
+            prop_assert_eq!(mono.resident_pages(), sharded.resident_pages());
+        }
+        prop_assert_eq!(mono.metrics(), sharded.metrics());
+        prop_assert_eq!(mono.flush(), sharded.flush());
+    }
+
+    // (c) Shard independence: each shard of an N-shard cache behaves
+    // exactly like a standalone policy instance fed only that shard's
+    // page subsequence — sibling-shard traffic can never change which
+    // pages a shard evicts.
+    #[test]
+    fn shard_evictions_depend_only_on_the_shards_own_stream(
+        ops in arb_ops(100),
+        policy in arb_policy(),
+        capacity in 4usize..64,
+        shards in 2usize..6,
+    ) {
+        let base = config(policy, capacity);
+        let cache = ShardedBufferCache::new(base.clone(), shards);
+        let f = cache.register_file("iso");
+
+        // Standalone replicas: one policy instance per shard, sized to
+        // that shard's capacity share, plus a replica of the shared
+        // readahead detector (its decisions depend only on the access
+        // sequence).
+        let mut replicas: Vec<BufferCache> = (0..shards)
+            .map(|s| {
+                BufferCache::new(CacheConfig {
+                    capacity_pages: shard_capacity(capacity, shards, s),
+                    prefetch_enabled: false,
+                    ..base.clone()
+                })
+            })
+            .collect();
+        let mut prefetcher = Prefetcher::new(base.prefetch);
+        let page_size = base.page_size;
+        // Outcome accumulator for the replicas: counters are compared
+        // via metrics, so one shared sink is fine.
+        let mut sink = AccessOutcome::default();
+
+        for (sel, off_page, len, write) in ops {
+            let off = off_page * 512;
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            match sel {
+                0 => {
+                    cache.open(f);
+                    let id = PageId { file: f, index: 0 };
+                    replicas[cache.shard_of(id)].stage_open_page(id, &mut sink);
+                }
+                1 => {
+                    cache.close(f);
+                    for r in replicas.iter_mut() {
+                        r.evict_file_pages(f, &mut sink);
+                    }
+                    prefetcher.forget(f);
+                }
+                2 => {
+                    cache.seek(f, off);
+                    let index = off / page_size;
+                    if index > 0 {
+                        prefetcher.on_access(f, index, index.saturating_sub(1));
+                    }
+                }
+                sel => {
+                    let per_page_touch = sel >= 4;
+                    if per_page_touch {
+                        cache.access(f, off, len, kind);
+                    } else {
+                        cache.access_run(f, off, len, kind);
+                    }
+                    let (first, last) = page_span(off, len, page_size);
+                    let mut cursors = vec![RunCursor::default(); shards];
+                    for index in first..=last {
+                        let id = PageId { file: f, index };
+                        let s = cache.shard_of(id);
+                        replicas[s].page_access(id, kind, per_page_touch, &mut cursors[s], &mut sink);
+                    }
+                    for (s, cursor) in cursors.into_iter().enumerate() {
+                        replicas[s].finish_run(cursor);
+                    }
+                    if base.prefetch_enabled && capacity > 0 {
+                        let window = prefetcher.on_access(f, first, last);
+                        for ahead in 1..=window {
+                            let id = PageId { file: f, index: last + ahead };
+                            replicas[cache.shard_of(id)].stage_prefetch(id, &mut sink);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (s, replica) in replicas.iter().enumerate() {
+            prop_assert_eq!(
+                cache.shard_metrics(s),
+                replica.metrics(),
+                "shard {} diverged from its standalone replica ({}, {} shards)",
+                s,
+                policy.name(),
+                shards,
+            );
+            prop_assert_eq!(
+                cache.lock_shard(s).resident_pages(),
+                replica.resident_pages(),
+                "shard {} residency diverged",
+                s,
+            );
+        }
+    }
+}

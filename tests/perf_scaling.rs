@@ -9,8 +9,10 @@
 
 use std::time::Instant;
 
+use clio_core::cache::cache::CacheConfig;
 use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
 use clio_core::sim::MachineConfig;
+use clio_core::trace::replay::{replay_simulated_parallel, ParallelReplayOptions};
 use clio_core::trace::synth::{synthesize, TraceProfile};
 use clio_core::trace::TraceFile;
 
@@ -66,6 +68,63 @@ fn simulate_trace_per_event_cost_is_flat_in_trace_length() {
         small_per_event * 1e9,
         small.len(),
         large_per_event * 1e9,
+        large.len(),
+    );
+}
+
+/// Best-of-5 per-record wall time (seconds) of the parallel replay.
+fn per_record_seconds_parallel(trace: &TraceFile, opts: &ParallelReplayOptions) -> f64 {
+    let config = CacheConfig::default();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let report = replay_simulated_parallel(trace, config.clone(), opts);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(!report.report.timings.is_empty());
+        best = best.min(elapsed / report.report.timings.len() as f64);
+    }
+    best
+}
+
+/// The parallel replay path must stay O(1) per event: worker-side
+/// filtering, per-shard cost vectors and the deterministic merge are
+/// all linear in the trace, so a 4× trace cannot cost more per record
+/// than a generous constant factor over the 1× trace.
+#[test]
+fn parallel_replay_per_record_cost_is_flat_in_trace_length() {
+    let profile = |data_ops| TraceProfile {
+        data_ops,
+        sequentiality: 0.7,
+        write_fraction: 0.2,
+        seed: 0x9A11E1,
+        ..Default::default()
+    };
+    let small = synthesize(&profile(10_000));
+    let large = synthesize(&profile(40_000));
+    assert!(large.len() >= 4 * small.len() * 9 / 10, "large trace really is ~4×");
+
+    let opts = ParallelReplayOptions { threads: 2, shards: 8 };
+    // Warm up allocators before timing anything.
+    replay_simulated_parallel(&small, CacheConfig::default(), &opts);
+
+    // Same bound discipline as the serial test above: 3× headroom and
+    // three full re-measure attempts — only a persistent superlinear
+    // ratio (a real complexity regression) can fail all three.
+    let mut small_per_record = 0.0;
+    let mut large_per_record = 0.0;
+    for _attempt in 0..3 {
+        small_per_record = per_record_seconds_parallel(&small, &opts);
+        large_per_record = per_record_seconds_parallel(&large, &opts);
+        if large_per_record < 3.0 * small_per_record {
+            return;
+        }
+    }
+    panic!(
+        "parallel replay per-record cost grew with trace length: \
+         {:.1} ns/record (N={}) -> {:.1} ns/record (N={})",
+        small_per_record * 1e9,
+        small.len(),
+        large_per_record * 1e9,
         large.len(),
     );
 }

@@ -6,8 +6,15 @@
 //! it is excluded here; the model and trace benchmarks are simulated
 //! and must reproduce exactly.
 
+use clio_core::cache::cache::CacheConfig;
 use clio_core::config::SuiteConfig;
+use clio_core::sim::trace_driven::{
+    simulate_trace, simulate_traces_parallel, SimJob, TraceSimOptions,
+};
+use clio_core::sim::MachineConfig;
 use clio_core::suite::BenchmarkSuite;
+use clio_core::trace::replay::{replay_simulated_parallel, ParallelReplayOptions};
+use clio_core::trace::synth::{synthesize, TraceProfile};
 
 fn small_config() -> SuiteConfig {
     SuiteConfig {
@@ -39,6 +46,79 @@ fn suite_report_is_deterministic_across_runs() {
     assert!(value["table5"].is_null(), "webserver benchmark was disabled");
     assert!(!value["qcrd"].is_null(), "model benchmark ran");
     assert!(!value["trace_means"].is_null(), "trace benchmark ran");
+}
+
+/// The parallel replay engine must merge deterministically: a fixed
+/// seed produces identical aggregate hit/miss counts — and bitwise
+/// identical per-record timings — across repeated runs *and* across
+/// thread counts. Scheduling may interleave shard work arbitrarily;
+/// none of it is allowed to show in the report.
+#[test]
+fn parallel_replay_deterministic_across_runs_and_thread_counts() {
+    let trace = synthesize(&TraceProfile {
+        data_ops: 3_000,
+        write_fraction: 0.3,
+        sequentiality: 0.6,
+        seed: 0xD17E,
+        ..Default::default()
+    });
+    let config = CacheConfig { capacity_pages: 512, ..Default::default() };
+
+    let run = |threads: usize| {
+        replay_simulated_parallel(
+            &trace,
+            config.clone(),
+            &ParallelReplayOptions { threads, shards: 8 },
+        )
+    };
+
+    let base = run(1);
+    assert!(base.metrics.accesses() > 0, "replay did work");
+    for threads in [1usize, 2, 4, 8] {
+        for _ in 0..2 {
+            let r = run(threads);
+            assert_eq!(
+                (r.metrics.hits, r.metrics.misses),
+                (base.metrics.hits, base.metrics.misses),
+                "aggregate hit/miss counts at {threads} threads"
+            );
+            assert_eq!(r.metrics, base.metrics, "full metrics at {threads} threads");
+            assert_eq!(r.shard_metrics, base.shard_metrics, "per-shard split at {threads} threads");
+            let ta: Vec<f64> = base.report.timings.iter().map(|t| t.elapsed_ms).collect();
+            let tb: Vec<f64> = r.report.timings.iter().map(|t| t.elapsed_ms).collect();
+            assert_eq!(ta, tb, "bitwise-identical timings at {threads} threads");
+        }
+    }
+}
+
+/// The trace-simulation worker pool must return results identical to
+/// serial execution, in job order, for any thread count.
+#[test]
+fn sim_worker_pool_deterministic_across_thread_counts() {
+    let traces: Vec<_> = (0..3u64)
+        .map(|i| {
+            synthesize(&TraceProfile {
+                data_ops: 500,
+                sequentiality: 0.5 + 0.1 * i as f64,
+                seed: 0xBEEF + i,
+                ..Default::default()
+            })
+        })
+        .collect();
+    let jobs: Vec<SimJob<'_>> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, trace)| SimJob {
+            trace,
+            machine: MachineConfig::with_disks(1 + i),
+            options: TraceSimOptions::default(),
+        })
+        .collect();
+    let serial: Vec<_> =
+        jobs.iter().map(|j| simulate_trace(j.trace, &j.machine, &j.options)).collect();
+    for threads in [1usize, 2, 3, 7] {
+        assert_eq!(simulate_traces_parallel(&jobs, threads), serial, "{threads} threads");
+    }
 }
 
 #[test]
