@@ -5,10 +5,19 @@
 //! strategies, `prop_map`, `prop_oneof!`, `collection::{vec,
 //! hash_set}`, `sample::select`, and the `prop_assert*` macros.
 //!
-//! Differences from real proptest: failing cases are reported by the
-//! panicking assertion (no shrinking), and each test function runs a
-//! fixed number of deterministic seeded cases (seeds vary per case
-//! index, so runs are reproducible).
+//! Failing cases are **shrunk**: when a case panics, the runner
+//! searches for a smaller input that still fails — binary-search
+//! minimization toward the lower bound for integer and float range
+//! strategies, length bisection plus per-index removal plus
+//! element-wise shrinking for `collection::vec`, component-wise for
+//! tuples — and reports the minimized input alongside the original.
+//! Each test function runs a fixed number of deterministic seeded
+//! cases (seeds vary per case index, so runs are reproducible).
+//!
+//! Differences from real proptest: shrinking is candidate-list based
+//! (no lazy value trees), `prop_map`/`prop_oneof!`/`sample::select`
+//! outputs do not shrink, and the shrink search is capped at a fixed
+//! candidate budget.
 
 pub mod strategy {
     use rand::rngs::StdRng;
@@ -22,6 +31,15 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Proposes strictly "smaller" variants of a failing `value`,
+        /// most aggressive first. The runner keeps any candidate that
+        /// still fails and re-shrinks from there, so implementations
+        /// should bisect toward their minimal element. The default —
+        /// no candidates — leaves the value as-is.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
@@ -48,6 +66,10 @@ pub mod strategy {
 
         fn sample(&self, rng: &mut StdRng) -> T {
             (**self).sample(rng)
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -99,13 +121,28 @@ pub mod strategy {
         }
     }
 
-    macro_rules! impl_range_strategy {
+    // Integer ranges shrink toward the lower bound along a geometric
+    // ladder: `lo`, then `v - d/2, v - d/4, …, v - 1` (d = v - lo).
+    // The runner keeps the first candidate that still fails, so a
+    // monotone failing predicate roughly halves its distance to the
+    // true threshold every round — wherever that threshold sits in
+    // the range — and the final `v - 1` rungs pin it exactly.
+    // Arithmetic runs in i128 so the widest supported ranges (e.g.
+    // `i64::MIN..0`) cannot overflow the distance computation.
+    macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
 
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     self.clone().sample_single(rng)
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
                 }
             }
 
@@ -115,19 +152,131 @@ pub mod strategy {
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     self.clone().sample_single(rng)
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
         )*};
     }
 
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+    /// `[lo, v - d/2, v - d/4, …, v - 1]` for any `v > lo`: the bound
+    /// itself, then a geometric ladder closing in on `v`.
+    fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if v <= lo {
+            return out;
+        }
+        out.push(lo);
+        let mut delta = (v - lo) / 2;
+        while delta > 0 {
+            let cand = v - delta;
+            if cand != lo {
+                out.push(cand);
+            }
+            delta /= 2;
+        }
+        out
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Float ranges bisect toward the lower bound; the search bottoms
+    // out when the midpoint can no longer be represented strictly
+    // between the bound and the current value.
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    // Re-filter after narrowing: a ladder rung that is
+                    // strictly below `value` in f64 can round back to
+                    // `value` in the target type, which would make the
+                    // descent spin on zero-progress candidates.
+                    let (lo, v) = (self.start, *value);
+                    let mut out: Vec<$t> = float_shrink_candidates(lo as f64, v as f64)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .filter(|&c| c >= lo && c < v)
+                        .collect();
+                    out.dedup();
+                    out
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let (lo, v) = (*self.start(), *value);
+                    let mut out: Vec<$t> = float_shrink_candidates(lo as f64, v as f64)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .filter(|&c| c >= lo && c < v)
+                        .collect();
+                    out.dedup();
+                    out
+                }
+            }
+        )*};
+    }
+
+    fn float_shrink_candidates(lo: f64, v: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if v <= lo || !v.is_finite() || !lo.is_finite() {
+            return out;
+        }
+        out.push(lo);
+        // The same geometric ladder as the integer shrinker, stopped
+        // after a fixed number of halvings (floats never reach an
+        // exact predecessor).
+        let mut delta = (v - lo) / 2.0;
+        for _ in 0..24 {
+            let cand = v - delta;
+            if cand > lo && cand < v {
+                out.push(cand);
+            }
+            delta /= 2.0;
+        }
+        out
+    }
+
+    impl_float_range_strategy!(f32, f64);
 
     macro_rules! impl_tuple_strategy {
         ($(($($name:ident . $idx:tt),+))*) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
 
                 fn sample(&self, rng: &mut StdRng) -> Self::Value {
                     ($(self.$idx.sample(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut v = value.clone();
+                            v.$idx = cand;
+                            out.push(v);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -309,12 +458,52 @@ pub mod collection {
         VecStrategy { elem, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.lo;
+            let n = value.len();
+            // Length bisection first (biggest jumps), then dropping a
+            // single element at each index (removes "passenger"
+            // elements anywhere in the vector), then shrinking
+            // elements in place.
+            //
+            // The candidate list is materialized eagerly — O(n) vector
+            // clones per round — which only runs on the failing path
+            // of an already-failing test; the greedy runner usually
+            // accepts an early (aggressive) candidate, so in practice
+            // most of the tail is never evaluated, merely allocated.
+            // A lazy iterator would avoid that allocation at the cost
+            // of a trait-level API change; not worth it for a stub.
+            if n > min {
+                let half = min + (n - min) / 2;
+                if half < n {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..n {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.elem.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -374,6 +563,14 @@ pub mod bool {
         fn sample(&self, rng: &mut StdRng) -> bool {
             rng.gen()
         }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -410,6 +607,12 @@ pub mod test_runner {
     pub enum TestCaseError {
         /// The case's `prop_assume!` precondition failed; skip it.
         Reject,
+        /// A `prop_assert*!` failed, with its rendered message. The
+        /// assertion macros return this instead of panicking so the
+        /// shrink search stays silent (no panic-hook spew per
+        /// candidate); plain `panic!`/`assert!` in a body still works
+        /// and is caught by the runner's `catch_unwind`.
+        Fail(String),
     }
 
     /// Per-test configuration (`#![proptest_config(...)]`).
@@ -446,8 +649,139 @@ pub fn rng_for_case(test_name: &str, case: u32) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
 }
 
+/// Outcome of executing one case body under `catch_unwind`.
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum CaseResult {
+    /// The body ran to completion.
+    Pass,
+    /// `prop_assume!` rejected the inputs; draw a replacement.
+    Reject,
+    /// The body panicked (assertion failure); payload message attached.
+    Fail(String),
+}
+
+/// Runs one case body, converting a `prop_assert*` error or a genuine
+/// panic into [`CaseResult::Fail`].
+#[doc(hidden)]
+pub fn run_one_case<V, F>(case: &F, value: V) -> CaseResult
+where
+    F: Fn(V) -> Result<(), test_runner::TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value))) {
+        Ok(Ok(())) => CaseResult::Pass,
+        Ok(Err(test_runner::TestCaseError::Reject)) => CaseResult::Reject,
+        Ok(Err(test_runner::TestCaseError::Fail(msg))) => CaseResult::Fail(msg),
+        Err(payload) => CaseResult::Fail(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Upper bound on candidate evaluations during one shrink search —
+/// generous enough for the geometric integer ladder to pin thresholds
+/// in 64-bit ranges (≈ log² rounds × rungs).
+const SHRINK_BUDGET: u32 = 4096;
+
+/// The `proptest!` runner: draws `config.cases` inputs from
+/// `strategy`, executes `case` on each, replaces `prop_assume!`
+/// rejections, and minimizes the first failure via
+/// [`shrink_and_report`].
+#[doc(hidden)]
+pub fn run_property<S, F>(
+    test_name: &str,
+    config: test_runner::ProptestConfig,
+    strategy: S,
+    case: F,
+) where
+    S: strategy::Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    // `prop_assume!` rejections do not count toward the case budget:
+    // keep drawing until `cases` bodies have actually executed, like
+    // real proptest, and abort if the assumption rejects nearly
+    // everything (a vacuous test should fail loudly, not pass
+    // silently).
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    let mut executed: u32 = 0;
+    let mut attempt: u32 = 0;
+    while executed < config.cases {
+        assert!(
+            attempt < max_attempts,
+            "{}: prop_assume! rejected {} of {} generated cases; \
+             the strategy almost never satisfies the assumption",
+            test_name,
+            attempt - executed,
+            attempt,
+        );
+        let mut rng = rng_for_case(test_name, attempt);
+        attempt += 1;
+        let value = strategy::Strategy::sample(&strategy, &mut rng);
+        match run_one_case(&case, value.clone()) {
+            CaseResult::Pass => executed += 1,
+            CaseResult::Reject => {}
+            CaseResult::Fail(msg) => shrink_and_report(&strategy, &case, value, msg, test_name),
+        }
+    }
+}
+
+/// Minimizes a failing input by greedy candidate descent — keep any
+/// [`Strategy::shrink`] candidate that still fails, restart from it —
+/// then reports both the minimized and the original input via `panic!`.
+/// Candidates that pass (or are rejected by `prop_assume!`) are
+/// discarded, so the reported input is always a genuine failure.
+#[doc(hidden)]
+pub fn shrink_and_report<S, F>(
+    strategy: &S,
+    case: &F,
+    original: S::Value,
+    first_msg: String,
+    test_name: &str,
+) -> !
+where
+    S: strategy::Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut current = original.clone();
+    let mut msg = first_msg;
+    let mut budget = SHRINK_BUDGET;
+    let mut steps = 0u32;
+    'descend: while budget > 0 {
+        for cand in strategy.shrink(&current) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            if let CaseResult::Fail(m) = run_one_case(case, cand.clone()) {
+                current = cand;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    panic!(
+        "[proptest] {test_name} failed after {steps} shrink steps\n  \
+         minimized failing input: {current:?}\n  \
+         original failing input: {original:?}\n  \
+         failure: {msg}"
+    )
+}
+
 /// Declares property tests: each `fn name(arg in strategy, ...)` body
-/// runs for `cases` deterministic samples.
+/// runs for `cases` deterministic samples; a failing case is shrunk
+/// and reported as a minimized input (see [`shrink_and_report`]).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -461,46 +795,23 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
-                // `prop_assume!` rejections do not count toward the
-                // case budget: keep drawing until `cases` bodies have
-                // actually executed, like real proptest, and abort if
-                // the assumption rejects nearly everything (a vacuous
-                // test should fail loudly, not pass silently).
-                let max_attempts = config.cases.saturating_mul(20).max(100);
-                let mut executed: u32 = 0;
-                let mut attempt: u32 = 0;
-                while executed < config.cases {
-                    assert!(
-                        attempt < max_attempts,
-                        "{}: prop_assume! rejected {} of {} generated cases; \
-                         the strategy almost never satisfies the assumption",
-                        stringify!($name),
-                        attempt - executed,
-                        attempt,
-                    );
-                    let mut rng = $crate::rng_for_case(stringify!($name), attempt);
-                    attempt += 1;
-                    // The closure is what lets `prop_assume!` and
-                    // `return Ok(())` exit a single case early.
-                    #[allow(clippy::redundant_closure_call)]
-                    let result: ::std::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > = (|| {
-                        $(
-                            #[allow(unused_mut)]
-                            let mut $arg =
-                                $crate::strategy::Strategy::sample(&($strat), &mut rng);
-                        )*
+                // All argument strategies form one tuple strategy, so a
+                // failing case shrinks component-wise through the same
+                // machinery that sampled it. The case closure is what
+                // lets `prop_assume!` and `return Ok(())` exit a single
+                // case early, and what the shrink search re-runs
+                // against candidate inputs.
+                $crate::run_property(
+                    stringify!($name),
+                    config,
+                    ($( $strat, )*),
+                    |__vals| {
+                        #[allow(unused_mut)]
+                        let ($(mut $arg,)*) = __vals;
                         let _: () = $body;
                         ::std::result::Result::Ok(())
-                    })();
-                    // Err is only `Reject` (failed `prop_assume!`).
-                    // Assertion failures panic.
-                    if result.is_ok() {
-                        executed += 1;
-                    }
-                }
+                    },
+                );
             }
         )*
     };
@@ -522,22 +833,80 @@ macro_rules! prop_assume {
     };
 }
 
-/// Asserts a condition inside a property test.
+/// Asserts a condition inside a property test. Unlike `assert!`, a
+/// failure returns `Err(TestCaseError::Fail(..))` from the case
+/// closure instead of panicking, so the shrink search evaluates
+/// candidates without spraying panic messages to stderr.
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => { assert!($($tt)*) };
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "prop_assert!({}) failed: {}",
+                    stringify!($cond),
+                    format_args!($($fmt)+),
+                ),
+            ));
+        }
+    };
 }
 
-/// Asserts equality inside a property test.
+/// Asserts equality inside a property test (error-returning; see
+/// [`prop_assert!`]).
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("prop_assert_eq! failed\n  left: {l:?}\n right: {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "prop_assert_eq! failed: {}\n  left: {l:?}\n right: {r:?}",
+                    format_args!($($fmt)+),
+                ),
+            ));
+        }
+    }};
 }
 
-/// Asserts inequality inside a property test.
+/// Asserts inequality inside a property test (error-returning; see
+/// [`prop_assert!`]).
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("prop_assert_ne! failed\n  both: {l:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "prop_assert_ne! failed: {}\n  both: {l:?}",
+                    format_args!($($fmt)+),
+                ),
+            ));
+        }
+    }};
 }
 
 /// Uniform choice among several strategies (no weights).
@@ -609,6 +978,111 @@ mod tests {
             prop_assume!(x > 100);
             prop_assert!(x > 100, "unreachable");
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // End-to-end: a failing monotone predicate must be reported at
+        // its exact threshold — binary search lands on 42, whatever
+        // the first failing sample was.
+        #[test]
+        #[should_panic(expected = "minimized failing input: (42,)")]
+        fn failing_case_is_minimized(x in 0u32..1000) {
+            prop_assert!(x < 42, "x was {x}");
+        }
+
+        // A threshold above the range midpoint: the geometric ladder
+        // must still pin it exactly (a lo/mid/pred-only shrinker
+        // degenerates to step-by-one here and runs out of budget).
+        #[test]
+        #[should_panic(expected = "minimized failing input: (600000,)")]
+        fn failing_case_minimizes_above_the_midpoint(x in 0u32..1_000_000) {
+            prop_assert!(x < 600_000);
+        }
+    }
+
+    #[test]
+    fn integer_shrink_ladders_toward_lower_bound() {
+        let strat = 0u64..1000;
+        let cands = strat.shrink(&700);
+        assert_eq!(cands[0], 0, "the bound leads");
+        assert_eq!(cands[1], 350, "then the midpoint");
+        assert_eq!(*cands.last().unwrap(), 699, "the predecessor closes the ladder");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "strictly increasing: {cands:?}");
+        assert!(strat.shrink(&0).is_empty(), "bound itself cannot shrink");
+        let inclusive = 5u64..=10;
+        assert_eq!(inclusive.shrink(&6), vec![5], "adjacent collapses to the bound");
+    }
+
+    #[test]
+    fn signed_shrink_survives_extreme_ranges() {
+        // `v - lo` on the widest signed ranges must not overflow.
+        let strat = i64::MIN..0;
+        let cands = strat.shrink(&-1);
+        assert_eq!(cands[0], i64::MIN);
+        assert_eq!(cands[1], -1 - i64::MAX / 2, "first rung is v - d/2: {cands:?}");
+        assert_eq!(*cands.last().unwrap(), -2, "predecessor closes the ladder");
+        let full = i64::MIN..=i64::MAX;
+        assert_eq!(full.shrink(&i64::MAX)[0], i64::MIN);
+    }
+
+    #[test]
+    fn float_shrink_ladders() {
+        let strat = 1.0f64..8.0;
+        let cands = strat.shrink(&5.0);
+        assert_eq!(cands[0], 1.0);
+        assert_eq!(cands[1], 3.0);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+        assert!(strat.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_halves_removes_and_shrinks_elements() {
+        let strat = crate::collection::vec(0u32..100, 1..10);
+        let v = vec![7u32, 50, 3];
+        let cands = strat.shrink(&v);
+        assert!(cands.contains(&vec![7, 50]), "drop-last via removal");
+        assert!(cands.contains(&vec![7, 3]), "passenger removal mid-vector");
+        assert!(cands.contains(&vec![0, 50, 3]), "element shrink in place");
+        assert!(cands.iter().all(|c| !c.is_empty()), "min size respected");
+    }
+
+    #[test]
+    fn bool_shrinks_true_to_false() {
+        assert_eq!(crate::bool::ANY.shrink(&true), vec![false]);
+        assert!(crate::bool::ANY.shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn shrink_search_finds_minimal_vec() {
+        // Property: fails iff the vec contains an element >= 5. The
+        // greedy descent must reach the canonical minimal failure [5].
+        let strat = (crate::collection::vec(0u32..100, 0..20),);
+        let case = |vals: (Vec<u32>,)| {
+            assert!(vals.0.iter().all(|&x| x < 5), "found {vals:?}");
+            Ok(())
+        };
+        let original = (vec![1u32, 9, 2, 64, 3],);
+        let err = std::panic::catch_unwind(|| {
+            crate::shrink_and_report(&strat, &case, original, "seed".into(), "t")
+        })
+        .expect_err("shrink_and_report always panics");
+        let msg = err.downcast_ref::<String>().expect("string payload").clone();
+        assert!(
+            msg.contains("minimized failing input: ([5],)"),
+            "expected minimal [5], got: {msg}"
+        );
+        assert!(msg.contains("original failing input: ([1, 9, 2, 64, 3],)"), "{msg}");
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        let cands = crate::strategy::Strategy::shrink(&strat, &(4, 6));
+        assert!(cands.contains(&(0, 6)));
+        assert!(cands.contains(&(4, 0)));
+        assert!(!cands.contains(&(0, 0)), "no simultaneous shrink jumps");
     }
 
     #[test]
