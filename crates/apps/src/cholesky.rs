@@ -1,7 +1,7 @@
 //! Cholesky: sparse out-of-core Cholesky factorization.
 //!
 //! "This application is capable of computing Cholesky decomposition for
-//! sparse, symmetric positive-definite matrices" [4]. The factor `L` is
+//! sparse, symmetric positive-definite matrices" \[4\]. The factor `L` is
 //! built column by column with the classic *left-looking* scheme: to
 //! compute column `j`, every earlier column `k` with `L(j,k) ≠ 0` must
 //! be fetched again. With columns stored out-of-core this produces the

@@ -1,7 +1,7 @@
 //! Dmine: association-rule mining (Apriori).
 //!
 //! "This application extracts association rules from retail data"
-//! (Mueller's Apriori study [6]). The I/O signature that the paper's
+//! (Mueller's Apriori study \[6\]). The I/O signature that the paper's
 //! Table 1 reports — long runs of synchronous 131 072-byte sequential
 //! reads, one pass per candidate level — comes from Apriori re-scanning
 //! the transaction file once per itemset size. This module implements

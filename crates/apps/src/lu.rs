@@ -1,7 +1,7 @@
 //! LU: out-of-core blocked LU factorization with partial pivoting.
 //!
 //! "This application computes the dense LU decomposition of an
-//! out-of-core matrix" [5]. The matrix lives in a file (row-major f64);
+//! out-of-core matrix" \[5\]. The matrix lives in a file (row-major f64);
 //! memory holds one column panel at a time. Each panel step performs
 //! the access pattern that dominates the paper's Table 3 trace: long
 //! seeks to row segments at offsets tens of megabytes apart, strided

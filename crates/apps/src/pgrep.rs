@@ -1,7 +1,7 @@
 //! Pgrep: parallel approximate text search.
 //!
 //! "A modified parallel version of the agrep program from the University
-//! of Arizona" [11]. The search kernel is Wu & Manber's bitap automaton
+//! of Arizona" \[11\]. The search kernel is Wu & Manber's bitap automaton
 //! in its k-mismatches (Hamming distance) form: `k + 1` bit-parallel
 //! state words, one per error budget. The driver streams the corpus
 //! from the instrumented store in fixed chunks (with `pattern-1` bytes

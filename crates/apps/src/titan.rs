@@ -1,6 +1,6 @@
 //! Titan: a tiled remote-sensing raster database.
 //!
-//! "Titan: a high-performance remote-sensing database" [3] stored
+//! "Titan: a high-performance remote-sensing database" \[3\] stored
 //! satellite imagery as tiles with a spatial index and answered
 //! rectangular range queries. This module implements that storage
 //! engine in miniature: a raster of `u16` samples is split into tiles,

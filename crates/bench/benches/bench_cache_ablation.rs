@@ -13,7 +13,8 @@ use clio_core::apps::cholesky;
 use clio_core::cache::cache::CacheConfig;
 use clio_core::cache::policy::{ReplacementPolicy, WritePolicy};
 use clio_core::cache::prefetch::PrefetchConfig;
-use clio_core::trace::replay::replay_simulated;
+use clio_core::trace::replay::replay_source;
+use clio_core::trace::source::SliceSource;
 
 fn configs() -> Vec<(String, CacheConfig)> {
     let mut out = vec![
@@ -64,14 +65,14 @@ fn bench_ablation(c: &mut Criterion) {
     // Print the simulated-latency effect of each knob once.
     println!("\n# cache ablation: simulated total replay latency (ms)");
     for (name, cfg) in configs() {
-        let report = replay_simulated(&trace, cfg);
+        let report = replay_source(&mut SliceSource::new(&trace), cfg);
         println!("#   {name:<22} {:.4}", report.total_ms());
     }
 
     let mut group = c.benchmark_group("cache_ablation_replay");
     for (name, cfg) in configs() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| replay_simulated(&trace, cfg.clone()));
+            b.iter(|| replay_source(&mut SliceSource::new(&trace), cfg.clone()));
         });
     }
     group.finish();

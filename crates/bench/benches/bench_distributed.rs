@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use clio_core::sim::machine::MachineConfig;
-use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
+use clio_core::sim::trace_driven::{trace_sim, TraceSimOptions};
 use clio_core::trace::record::IoOp;
 use clio_core::trace::writer::TraceWriter;
 use clio_core::trace::TraceFile;
@@ -29,11 +29,8 @@ fn bench_distributed(c: &mut Criterion) {
         let trace = client_trace(procs);
         let mut row = format!("#   {procs:>2} clients:");
         for &disks in &[1usize, 4, 16] {
-            let report = simulate_trace(
-                &trace,
-                &MachineConfig::with_disks(disks),
-                &TraceSimOptions::default(),
-            );
+            let report =
+                trace_sim(&trace, &MachineConfig::with_disks(disks), &TraceSimOptions::default());
             row.push_str(&format!("  {disks}d={:.2}", report.makespan));
         }
         println!("{row}");
@@ -43,9 +40,7 @@ fn bench_distributed(c: &mut Criterion) {
     for &procs in &[1u32, 4, 16] {
         let trace = client_trace(procs);
         group.bench_with_input(BenchmarkId::from_parameter(procs), &trace, |b, t| {
-            b.iter(|| {
-                simulate_trace(t, &MachineConfig::with_disks(4), &TraceSimOptions::default())
-            });
+            b.iter(|| trace_sim(t, &MachineConfig::with_disks(4), &TraceSimOptions::default()));
         });
     }
     group.finish();

@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use clio_core::apps::{cholesky, dmine, lu, pgrep, radar, rdb, render, titan};
 use clio_core::cache::cache::CacheConfig;
-use clio_core::trace::replay::replay_simulated;
+use clio_core::trace::replay::replay_source;
+use clio_core::trace::source::SliceSource;
 use clio_core::trace::TraceFile;
 
 fn paper_traces() -> Vec<(&'static str, TraceFile)> {
@@ -22,7 +23,7 @@ fn bench_replays(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_replay");
     for (name, trace) in paper_traces() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
-            b.iter(|| replay_simulated(t, CacheConfig::default()));
+            b.iter(|| replay_source(&mut SliceSource::new(t), CacheConfig::default()));
         });
     }
     group.finish();

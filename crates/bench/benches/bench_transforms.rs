@@ -8,7 +8,7 @@ use clio_core::ablations::contended_trace;
 use clio_core::apps::radar;
 use clio_core::sim::machine::MachineConfig;
 use clio_core::sim::sched::Policy;
-use clio_core::sim::sched_replay::{simulate_trace_scheduled, SchedReplayOptions};
+use clio_core::sim::sched_replay::{scheduled_trace_sim, SchedReplayOptions};
 use clio_core::trace::record::IoOp;
 use clio_core::trace::transform;
 
@@ -40,7 +40,7 @@ fn bench_scheduled_replay(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 b.iter(|| {
-                    simulate_trace_scheduled(
+                    scheduled_trace_sim(
                         &trace,
                         &MachineConfig::uniprocessor(),
                         &SchedReplayOptions { policy, ..Default::default() },

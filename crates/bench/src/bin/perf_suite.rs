@@ -1,34 +1,43 @@
 //! `perf_suite` — the machine-readable performance baseline.
 //!
-//! Replays synthesized traces through the simulated buffer cache (all
-//! five replacement policies) and through the trace-driven machine
+//! Replays a workload through the simulated buffer cache (all five
+//! replacement policies) and through the trace-driven machine
 //! simulator, measuring each with the criterion stub's statistical
 //! engine (warm-up, calibrated samples, IQR outlier rejection, MAD
 //! spread) and emitting one JSON report with throughput rates
-//! (records/s, pages/s, events/s, bytes/s).
+//! (records/s, pages/s, events/s, bytes/s). Every engine is driven
+//! through the unified `Experiment::builder()` API.
 //!
-//! The committed `BENCH_baseline.json` at the repo root is the first
-//! point of the perf trajectory: future PRs regenerate it with
+//! The committed `BENCH_baseline.json` at the repo root is the perf
+//! trajectory: future PRs regenerate it with
 //!
 //! ```text
 //! cargo run --release -p clio-bench --bin perf_suite
 //! ```
 //!
 //! and diff the rates. CI runs `--smoke` (small traces, short
-//! measurement) and uploads the JSON as an artifact — trajectory only,
-//! no thresholds.
+//! measurement) and uploads the JSON as an artifact — trajectory only;
+//! the committed-baseline floors are enforced by
+//! `tests/perf_regression.rs`.
 //!
-//! Flags: `--smoke` (or `CLIO_PERF_SMOKE=1`), `--records N`,
-//! `--sim-records N`, `--threads T` (parallel replay workers; 0
-//! disables the sharded rows), `--shards S`, `--out PATH`.
+//! Flags: `--smoke` (or `CLIO_PERF_SMOKE=1`), `--records N` (scales
+//! the *synthetic* parts of the workload; app/file workloads keep
+//! their intrinsic size), `--sim-records N`, `--threads T` (parallel
+//! replay workers; 0
+//! disables the sharded rows), `--shards S`, `--workload SPEC`
+//! (`synth`, `seq`, `rand`, `dmine`, `titan`, `lu`, `cholesky`,
+//! `pgrep`, `mix:<a>,<b>`, `mix:<a>*<wa>,<b>*<wb>`, `chain:<a>,<b>`),
+//! `--list` (print the benchmark rows and exit), `--out PATH`.
+//! Unknown flags exit nonzero with usage.
 //!
 //! Every serial `replay/<policy>` row is paired with a
-//! `replay_par/<policy>` row driving the same trace through
-//! `replay_simulated_parallel` over a sharded cache — the committed
-//! baseline records serial-vs-sharded throughput side by side, and the
-//! `sim/trace_driven_pool` row exercises the crossbeam worker pool.
+//! `replay_par/<policy>` row driving the same workload through the
+//! sharded-parallel engine — the committed baseline records
+//! serial-vs-sharded throughput side by side, and the
+//! `sim/trace_driven_pool` row exercises the `run_many` worker pool.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{measure, MeasurementConfig, Stats};
@@ -37,14 +46,9 @@ use serde::Serialize;
 use clio_core::cache::cache::CacheConfig;
 use clio_core::cache::page::pages_touched;
 use clio_core::cache::policy::ReplacementPolicy;
-use clio_core::sim::trace_driven::{
-    simulate_trace, simulate_traces_parallel, SimJob, TraceSimOptions,
-};
+use clio_core::exp::{run_many, Engine, Experiment, Workload};
 use clio_core::sim::MachineConfig;
 use clio_core::trace::record::IoOp;
-use clio_core::trace::replay::{
-    replay_simulated, replay_simulated_parallel, ParallelReplayOptions,
-};
 use clio_core::trace::synth::{synthesize, TraceProfile};
 use clio_core::trace::TraceFile;
 
@@ -74,6 +78,7 @@ struct PerfEntry {
 struct PerfBaseline {
     schema: String,
     mode: String,
+    workload: String,
     replay_records: u64,
     sim_records: u64,
     benches: Vec<PerfEntry>,
@@ -82,22 +87,36 @@ struct PerfBaseline {
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
     smoke: bool,
+    list: bool,
     replay_ops: usize,
     sim_ops: usize,
     threads: usize,
     shards: usize,
+    workload: String,
     out: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: perf_suite [--smoke] [--records N] [--sim-records N] \
+                     [--threads T] [--shards S] [--workload SPEC] [--list] [--out PATH]";
 
 /// `env_smoke` is `CLIO_PERF_SMOKE`'s verdict, passed in (rather than
 /// read here) so tests are independent of the ambient environment.
 fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
-    let mut args =
-        Args { smoke: env_smoke, replay_ops: 0, sim_ops: 0, threads: 4, shards: 16, out: None };
+    let mut args = Args {
+        smoke: env_smoke,
+        list: false,
+        replay_ops: 0,
+        sim_ops: 0,
+        threads: 4,
+        shards: 16,
+        workload: "synth".to_string(),
+        out: None,
+    };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--list" => args.list = true,
             "--records" => {
                 let v = it.next().ok_or("--records needs a value")?;
                 args.replay_ops = v.parse().map_err(|_| format!("bad --records {v}"))?;
@@ -118,6 +137,13 @@ fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
                 }
                 args.shards = s;
             }
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a value")?;
+                // Validate the spec at parse time so a typo exits with
+                // usage rather than surfacing mid-run.
+                Workload::parse(v)?;
+                args.workload = v.clone();
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 args.out = Some(PathBuf::from(v));
@@ -132,6 +158,49 @@ fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
         args.sim_ops = if args.smoke { 20_000 } else { 1_000_000 };
     }
     Ok(args)
+}
+
+/// Row names — the single source for both `--list` and the
+/// measurement loop, so the two cannot drift apart.
+fn serial_row(policy: ReplacementPolicy) -> String {
+    format!("replay/{}", policy.name())
+}
+
+/// Sharded-parallel counterpart of [`serial_row`].
+fn parallel_row(policy: ReplacementPolicy) -> String {
+    format!("replay_par/{}", policy.name())
+}
+
+/// The trace-driven simulator row.
+const SIM_ROW: &str = "sim/trace_driven";
+
+/// The `run_many` worker-pool row.
+const POOL_ROW: &str = "sim/trace_driven_pool";
+
+/// The benchmark rows this configuration would measure, in order.
+fn row_names(args: &Args) -> Vec<String> {
+    let mut rows = Vec::new();
+    for policy in ReplacementPolicy::ALL {
+        rows.push(serial_row(policy));
+        if args.threads > 0 {
+            rows.push(parallel_row(policy));
+        }
+    }
+    rows.push(SIM_ROW.to_string());
+    if args.threads > 0 {
+        rows.push(POOL_ROW.to_string());
+    }
+    rows
+}
+
+/// The replay workload: the parsed spec, rescaled to the requested
+/// operation count. `synth` is the historical mixed profile (80 %
+/// sequential, 20 % writes) — the same stream at top level and inside
+/// `mix:`/`chain:` specs.
+fn replay_workload(args: &Args) -> Workload {
+    let mut w = Workload::parse(&args.workload).expect("spec validated during parsing");
+    w.scale_data_ops(args.replay_ops);
+    w
 }
 
 /// Walks up from the current directory to the workspace root.
@@ -198,22 +267,40 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("perf_suite: {e}");
-            eprintln!(
-                "usage: perf_suite [--smoke] [--records N] [--sim-records N] \
-                 [--threads T] [--shards S] [--out PATH]"
-            );
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
+
+    if args.list {
+        for row in row_names(&args) {
+            println!("{row}");
+        }
+        return;
+    }
 
     clio_bench::banner(
         "perf_suite",
         "Replay + cache-policy + trace-driven-simulator throughput baseline",
     );
+
+    // Materialize the replay workload up front (the measured loops
+    // replay a frozen Arc — they never re-synthesize or re-load), so
+    // the banner can report the records the run actually measures.
+    // `--records` scales synthetic workload parts only; app/file
+    // workloads keep their intrinsic size.
+    let trace = replay_workload(&args).materialize().unwrap_or_else(|e| {
+        eprintln!("perf_suite: cannot materialize workload {}: {e}", args.workload);
+        std::process::exit(1);
+    });
+    let frozen = Workload::Trace(trace.clone());
+    let page_size = CacheConfig::default().page_size;
+    let (records, pages, bytes) = replay_work(&trace, page_size);
+
     let mode = if args.smoke { "smoke" } else { "full" };
     println!(
-        "mode: {mode} ({} replay data-ops, {} sim data-ops, {} threads x {} shards)\n",
-        args.replay_ops, args.sim_ops, args.threads, args.shards
+        "mode: {mode} (workload {}, {} replay records, {} sim data-ops, {} threads x {} shards)\n",
+        args.workload, records, args.sim_ops, args.threads, args.shards
     );
 
     // Measurement knobs: the smoke run must finish in CI seconds; the
@@ -227,22 +314,19 @@ fn main() {
 
     let mut benches = Vec::new();
 
-    // --- Cache-policy replay: one mixed sequential/random trace through
-    // all five replacement policies. ---
-    let profile = TraceProfile {
-        data_ops: args.replay_ops,
-        write_fraction: 0.2,
-        sequentiality: 0.8,
-        ..Default::default()
-    };
-    let trace = synthesize(&profile);
-    let page_size = CacheConfig::default().page_size;
-    let (records, pages, bytes) = replay_work(&trace, page_size);
+    // --- Cache-policy replay: the selected workload through all five
+    // replacement policies. ---
 
     for policy in ReplacementPolicy::ALL {
         let config = CacheConfig { policy, ..Default::default() };
-        let stats = measure(&cfg, |b| b.iter(|| replay_simulated(&trace, config.clone())));
-        let name = format!("replay/{}", policy.name());
+        let exp = Experiment::builder()
+            .workload(frozen.clone())
+            .engine(Engine::SerialReplay)
+            .cache(config.clone())
+            .build()
+            .expect("serial replay experiment is valid");
+        let stats = measure(&cfg, |b| b.iter(|| exp.run().expect("replay runs")));
+        let name = serial_row(policy);
         println!(
             "{name:<24} median {:>10.3} ms  {:>12.0} records/s  {:>14.0} bytes/s",
             stats.median_ns / 1e6,
@@ -257,15 +341,20 @@ fn main() {
         let serial_median_ns = stats.median_ns;
         benches.push(e);
 
-        // The sharded counterpart: same trace, same policy, replayed
-        // through the lock-striped cache by a worker pool. The printed
+        // The sharded counterpart: same workload, same policy, through
+        // the lock-striped cache and its worker pool. The printed
         // speedup is sharded-vs-serial on this machine's core count.
         if args.threads > 0 {
-            let popts = ParallelReplayOptions { threads: args.threads, shards: args.shards };
-            let stats = measure(&cfg, |b| {
-                b.iter(|| replay_simulated_parallel(&trace, config.clone(), &popts))
-            });
-            let name = format!("replay_par/{}", policy.name());
+            let exp = Experiment::builder()
+                .workload(frozen.clone())
+                .engine(Engine::ParallelReplay)
+                .cache(config.clone())
+                .threads(args.threads)
+                .shards(args.shards)
+                .build()
+                .expect("parallel replay experiment is valid");
+            let stats = measure(&cfg, |b| b.iter(|| exp.run().expect("parallel replay runs")));
+            let name = parallel_row(policy);
             println!(
                 "{name:<24} median {:>10.3} ms  {:>12.0} records/s  {:>10.2}x vs serial",
                 stats.median_ns / 1e6,
@@ -299,21 +388,26 @@ fn main() {
     for (i, r) in sim_records.iter_mut().enumerate() {
         r.pid = (i % 4) as u32;
     }
-    let sim_trace =
-        TraceFile::build("perf-sim.dat", 4, sim_records).expect("synthesized trace is valid");
+    let sim_trace = Arc::new(
+        TraceFile::build("perf-sim.dat", 4, sim_records).expect("synthesized trace is valid"),
+    );
     let machine = MachineConfig::with_disks(4);
-    let options = TraceSimOptions::default();
-    let probe = simulate_trace(&sim_trace, &machine, &options);
+    let sim_exp = Experiment::builder()
+        .workload(Workload::Trace(sim_trace.clone()))
+        .engine(Engine::TraceSim)
+        .machine(machine.clone())
+        .build()
+        .expect("trace-sim experiment is valid");
+    let probe = sim_exp.run().expect("sim runs").sim.expect("trace sim fills the sim section");
     let sim_cfg = MeasurementConfig { sample_size: cfg.sample_size.min(10), ..cfg };
-    let stats = measure(&sim_cfg, |b| b.iter(|| simulate_trace(&sim_trace, &machine, &options)));
+    let stats = measure(&sim_cfg, |b| b.iter(|| sim_exp.run().expect("sim runs")));
     println!(
-        "{:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
-        "sim/trace_driven",
+        "{SIM_ROW:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
         stats.median_ns / 1e6,
         rate(probe.events, stats.median_ns),
         rate(probe.bytes_moved, stats.median_ns),
     );
-    let mut e = entry_from_stats("sim/trace_driven", "trace_sim", None, &stats);
+    let mut e = entry_from_stats(SIM_ROW, "trace_sim", None, &stats);
     e.records = sim_trace.len() as u64;
     e.records_per_sec = rate(sim_trace.len() as u64, stats.median_ns);
     e.events_per_sec = Some(rate(probe.events, stats.median_ns));
@@ -321,43 +415,44 @@ fn main() {
     benches.push(e);
 
     // --- Worker-pool driver: the same simulated workload split into
-    // four independent jobs drained by the crossbeam pool. ---
+    // four independent experiments drained by `run_many`'s pool. ---
     if args.threads > 0 {
-        let pool_traces: Vec<TraceFile> = (0..4u64)
+        let pool_experiments: Vec<Experiment> = (0..4u64)
             .map(|i| {
-                synthesize(&TraceProfile {
+                let trace = Arc::new(synthesize(&TraceProfile {
                     data_ops: (args.sim_ops / 4).max(1),
                     write_fraction: 0.3,
                     sequentiality: 0.7,
                     seed: 0xBA5E + 1 + i,
                     ..Default::default()
-                })
+                }));
+                Experiment::builder()
+                    .workload(Workload::Trace(trace))
+                    .engine(Engine::TraceSim)
+                    .machine(machine.clone())
+                    .build()
+                    .expect("pool experiment is valid")
             })
             .collect();
-        let jobs: Vec<SimJob<'_>> = pool_traces
-            .iter()
-            .map(|trace| SimJob {
-                trace,
-                machine: machine.clone(),
-                options: TraceSimOptions::default(),
-            })
-            .collect();
-        let pool_probe = simulate_traces_parallel(&jobs, args.threads);
-        let pool_events: u64 = pool_probe.iter().map(|r| r.events).sum();
-        let pool_bytes: u64 = pool_probe.iter().map(|r| r.bytes_moved).sum();
-        let pool_records: u64 = pool_traces.iter().map(|t| t.len() as u64).sum();
-        let stats = measure(&sim_cfg, |b| b.iter(|| simulate_traces_parallel(&jobs, args.threads)));
+        let pool_probe = run_many(&pool_experiments, args.threads).expect("pool runs");
+        let sims: Vec<_> =
+            pool_probe.iter().map(|r| r.sim.as_ref().expect("sim section")).collect();
+        let pool_events: u64 = sims.iter().map(|r| r.events).sum();
+        let pool_bytes: u64 = sims.iter().map(|r| r.bytes_moved).sum();
+        let pool_records: u64 = pool_probe.iter().map(|r| r.records).sum();
+        let stats = measure(&sim_cfg, |b| {
+            b.iter(|| run_many(&pool_experiments, args.threads).expect("pool runs"))
+        });
         println!(
-            "{:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
-            "sim/trace_driven_pool",
+            "{POOL_ROW:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
             stats.median_ns / 1e6,
             rate(pool_events, stats.median_ns),
             rate(pool_bytes, stats.median_ns),
         );
-        let mut e = entry_from_stats("sim/trace_driven_pool", "trace_sim_pool", None, &stats);
+        let mut e = entry_from_stats(POOL_ROW, "trace_sim_pool", None, &stats);
         e.records = pool_records;
         // The pool clamps its worker count to the job count.
-        e.threads = Some(args.threads.clamp(1, jobs.len()) as u64);
+        e.threads = Some(args.threads.clamp(1, pool_experiments.len()) as u64);
         e.records_per_sec = rate(pool_records, stats.median_ns);
         e.events_per_sec = Some(rate(pool_events, stats.median_ns));
         e.bytes_per_sec = rate(pool_bytes, stats.median_ns);
@@ -365,8 +460,9 @@ fn main() {
     }
 
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v2".to_string(),
+        schema: "clio-perf-baseline-v3".to_string(),
         mode: mode.to_string(),
+        workload: args.workload.clone(),
         replay_records: records,
         sim_records: sim_trace.len() as u64,
         benches,
@@ -424,6 +520,8 @@ mod tests {
     fn unknown_flag_rejected() {
         assert!(parse_args(&s(&["--nope"]), false).is_err());
         assert!(parse_args(&s(&["--records"]), false).is_err());
+        // The typo the silent-ignore era would have swallowed.
+        assert!(parse_args(&s(&["--thread", "4"]), false).is_err());
     }
 
     #[test]
@@ -437,6 +535,55 @@ mod tests {
         assert_eq!(parse_args(&s(&["--threads", "0"]), false).unwrap().threads, 0);
         assert!(parse_args(&s(&["--shards", "0"]), false).is_err());
         assert!(parse_args(&s(&["--threads", "x"]), false).is_err());
+    }
+
+    #[test]
+    fn workload_specs_validate_at_parse_time() {
+        let a = parse_args(&s(&["--workload", "mix:dmine,lu"]), false).unwrap();
+        assert_eq!(a.workload, "mix:dmine,lu");
+        assert!(parse_args(&s(&["--workload", "nope"]), false).is_err());
+        assert!(parse_args(&s(&["--workload", "mix:dmine*0,lu"]), false).is_err());
+        assert!(parse_args(&s(&["--workload"]), false).is_err());
+    }
+
+    #[test]
+    fn list_enumerates_rows() {
+        let a = parse_args(&s(&["--list"]), false).unwrap();
+        assert!(a.list);
+        let rows = row_names(&a);
+        assert!(rows.contains(&serial_row(ReplacementPolicy::Lru)));
+        assert!(rows.contains(&parallel_row(ReplacementPolicy::Lru)));
+        assert!(rows.contains(&SIM_ROW.to_string()));
+        assert!(rows.contains(&POOL_ROW.to_string()));
+        // With threads disabled, the sharded and pool rows vanish.
+        let serial = parse_args(&s(&["--threads", "0"]), false).unwrap();
+        let rows = row_names(&serial);
+        assert!(!rows.iter().any(|r| r.starts_with("replay_par/")));
+        assert!(!rows.contains(&POOL_ROW.to_string()));
+    }
+
+    #[test]
+    fn default_workload_is_the_historical_mixed_profile() {
+        let args = parse_args(&s(&["--records", "77"]), false).unwrap();
+        match replay_workload(&args) {
+            Workload::Synthetic(p) => {
+                assert_eq!(p.data_ops, 77);
+                assert_eq!(p.write_fraction, 0.2);
+                assert_eq!(p.sequentiality, 0.8);
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_workloads_rescale_their_synthetic_parts() {
+        let args =
+            parse_args(&s(&["--workload", "mix:seq,rand", "--records", "31"]), false).unwrap();
+        let w = replay_workload(&args);
+        let trace = w.materialize().unwrap();
+        // Two synthetic sides of 31 data ops each, plus opens/closes
+        // and the explicit seeks of the random side.
+        assert!(trace.len() as u64 >= 62, "got {}", trace.len());
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! `bench_disk_sched` criterion bench.
 
 use clio_apps::lu;
+use clio_exp::{Engine, Experiment, Workload};
 use clio_sim::machine::MachineConfig;
 use clio_sim::raid::{RaidArray, RaidLevel};
 use clio_sim::sched::{run_schedule, DiskRequest, Policy, SeekCurve};
-use clio_sim::sched_replay::{simulate_trace_scheduled, SchedReplayOptions};
 use clio_sim::DiskModel;
 use clio_trace::record::IoOp;
 use clio_trace::writer::TraceWriter;
@@ -206,18 +206,24 @@ pub fn contended_trace(procs: u32, reads: usize, seed: u64) -> TraceFile {
 /// Replays `trace` on a single simulated disk under every policy — the
 /// end-to-end (queueing-sensitive) version of [`scheduler_ablation`].
 pub fn scheduled_replay_ablation(trace: &TraceFile) -> Vec<ReplayRow> {
+    let workload = Workload::trace(trace.clone());
     Policy::ALL
         .iter()
         .map(|&policy| {
-            let report = simulate_trace_scheduled(
-                trace,
-                &MachineConfig::uniprocessor(),
-                &SchedReplayOptions { policy, ..Default::default() },
-            );
+            let report = Experiment::builder()
+                .workload(workload.clone())
+                .engine(Engine::ScheduledSim)
+                .machine(MachineConfig::uniprocessor())
+                .sched_policy(policy)
+                .build()
+                .expect("scheduled-sim ablation experiment is valid")
+                .run()
+                .expect("scheduled simulation is infallible");
+            let sim = report.sim.expect("scheduled sim fills the sim section");
             ReplayRow {
                 policy: policy.name().to_string(),
-                makespan_s: report.makespan,
-                disk_utilization: report.disk_utilization,
+                makespan_s: sim.makespan,
+                disk_utilization: sim.disk_utilization,
             }
         })
         .collect()

@@ -7,7 +7,7 @@
 
 use std::io;
 
-use clio_cache::cache::CacheConfig;
+use clio_exp::{Engine, Experiment, Workload};
 use clio_httpd::files::{self, TABLE5_SIZES, TABLE6_SIZE};
 use clio_httpd::server::{Server, ServerConfig};
 use clio_httpd::{client, OpKind};
@@ -17,7 +17,7 @@ use clio_sim::machine::MachineConfig;
 use clio_sim::speedup::{cpu_sweep, disk_sweep, PAPER_SWEEP};
 use clio_stats::{Series, SpeedupCurve};
 use clio_trace::record::IoOp;
-use clio_trace::replay::{replay_simulated, ReplayReport};
+use clio_trace::replay::ReplayReport;
 use clio_trace::TraceFile;
 use serde::{Deserialize, Serialize};
 
@@ -109,8 +109,19 @@ impl TraceTable {
 }
 
 fn replay_table(app: &'static str, trace: TraceFile) -> TraceTable {
-    let report = replay_simulated(&trace, CacheConfig::default());
-    TraceTable { app, trace, report }
+    let shared = std::sync::Arc::new(trace);
+    let report = Experiment::builder()
+        .workload(Workload::Trace(shared.clone()))
+        .engine(Engine::SerialReplay)
+        .build()
+        .expect("default replay experiment is valid")
+        .run()
+        .expect("simulated replay is infallible");
+    TraceTable {
+        app,
+        trace: std::sync::Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone()),
+        report: report.replay.expect("serial replay fills the replay section"),
+    }
 }
 
 /// Runs E5 (Table 1): the Dmine trace — synchronous sequential

@@ -38,9 +38,35 @@ pub mod suite;
 
 pub use clio_apps as apps;
 pub use clio_cache as cache;
+pub use clio_exp as exp;
 pub use clio_httpd as httpd;
 pub use clio_model as model;
 pub use clio_runtime as runtime;
 pub use clio_sim as sim;
 pub use clio_stats as stats;
 pub use clio_trace as trace;
+
+/// The workspace prelude: one `use` for the unified experiment API.
+///
+/// ```
+/// use clio_core::prelude::*;
+///
+/// let report = Experiment::builder()
+///     .workload(Workload::Synthetic(TraceProfile::default()))
+///     .engine(Engine::SerialReplay)
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert!(report.total_ms().unwrap() > 0.0);
+/// ```
+pub mod prelude {
+    pub use clio_cache::cache::CacheConfig;
+    pub use clio_exp::{
+        run_many, AppWorkload, Engine, ExpError, Experiment, ExperimentBuilder, MixKind, Report,
+        ReportSummary, Workload,
+    };
+    pub use clio_sim::machine::MachineConfig;
+    pub use clio_trace::record::IoOp;
+    pub use clio_trace::synth::TraceProfile;
+}

@@ -1,0 +1,74 @@
+//! Engines: *what to replay the workload on*.
+
+use std::path::PathBuf;
+
+/// The replay/simulation machinery an experiment drives.
+///
+/// Engine-specific knobs (cache configuration, thread and shard
+/// counts, machine model, scheduler policy) live on the
+/// [`ExperimentBuilder`](crate::ExperimentBuilder); the engine selects
+/// which of them apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Engine {
+    /// Serial replay against the simulated buffer cache — fully
+    /// streaming: the workload is consumed record by record, never
+    /// materialized.
+    SerialReplay,
+    /// Sharded-parallel replay against the lock-striped cache
+    /// (deterministic across runs and thread counts). Materializes the
+    /// workload: every worker scans the whole record stream.
+    ParallelReplay,
+    /// Trace-driven machine simulation: processes contend for a
+    /// striped disk array. Materializes the workload (records are
+    /// grouped by pid up front).
+    TraceSim,
+    /// Seek-aware scheduled simulation: per-disk request queues
+    /// reordered by the configured policy. Materializes the workload.
+    ScheduledSim,
+    /// Replay against a real file at `sample`, timed with monotonic
+    /// clocks. Materializes the workload.
+    RealReplay {
+        /// Path of the sample file the records are issued against.
+        sample: PathBuf,
+    },
+}
+
+impl Engine {
+    /// Stable machine-readable name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::SerialReplay => "serial_replay",
+            Engine::ParallelReplay => "parallel_replay",
+            Engine::TraceSim => "trace_sim",
+            Engine::ScheduledSim => "scheduled_sim",
+            Engine::RealReplay { .. } => "real_replay",
+        }
+    }
+
+    /// Whether this engine produces a per-record replay report (as
+    /// opposed to a makespan-style simulation report).
+    pub fn is_replay(&self) -> bool {
+        matches!(self, Engine::SerialReplay | Engine::ParallelReplay | Engine::RealReplay { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Engine::SerialReplay.name(), "serial_replay");
+        assert_eq!(Engine::ParallelReplay.name(), "parallel_replay");
+        assert_eq!(Engine::TraceSim.name(), "trace_sim");
+        assert_eq!(Engine::ScheduledSim.name(), "scheduled_sim");
+        assert_eq!(Engine::RealReplay { sample: "x".into() }.name(), "real_replay");
+    }
+
+    #[test]
+    fn replay_classification() {
+        assert!(Engine::SerialReplay.is_replay());
+        assert!(!Engine::TraceSim.is_replay());
+        assert!(!Engine::ScheduledSim.is_replay());
+    }
+}

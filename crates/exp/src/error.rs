@@ -1,0 +1,74 @@
+//! Experiment-level errors.
+
+use std::fmt;
+use std::io;
+
+use clio_trace::error::TraceError;
+
+/// Anything that can go wrong building or running an experiment.
+#[derive(Debug)]
+pub enum ExpError {
+    /// The workload specification is invalid (bad profile, bad mix
+    /// weights, unparsable spec string).
+    InvalidWorkload(String),
+    /// The experiment configuration is invalid (missing workload, bad
+    /// machine, zero shards, …).
+    InvalidConfig(String),
+    /// The trace layer failed (unreadable file, corrupt codec, …).
+    Trace(TraceError),
+    /// An engine hit the real filesystem and failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
+            ExpError::InvalidConfig(m) => write!(f, "invalid experiment configuration: {m}"),
+            ExpError::Trace(e) => write!(f, "trace error: {e}"),
+            ExpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExpError::Trace(e) => Some(e),
+            ExpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for ExpError {
+    fn from(e: TraceError) -> Self {
+        ExpError::Trace(e)
+    }
+}
+
+impl From<io::Error> for ExpError {
+    fn from(e: io::Error) -> Self {
+        ExpError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExpError::InvalidWorkload("bad weights".into());
+        assert!(e.to_string().contains("bad weights"));
+        let e = ExpError::InvalidConfig("no workload".into());
+        assert!(e.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: ExpError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

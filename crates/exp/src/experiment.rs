@@ -1,0 +1,376 @@
+//! The experiment builder and runner.
+
+use std::sync::Arc;
+
+use clio_cache::cache::CacheConfig;
+use clio_sim::machine::MachineConfig;
+use clio_sim::sched::Policy;
+use clio_sim::sched_replay::{scheduled_trace_sim, SchedReplayOptions};
+use clio_sim::trace_driven::{trace_sim, trace_sim_pool, SimJob, ThinkTime, TraceSimOptions};
+use clio_trace::replay::{
+    replay_parallel, replay_real_file, replay_source, ParallelReplayOptions, RealReplayOptions,
+};
+use clio_trace::TraceFile;
+
+use crate::engine::Engine;
+use crate::error::ExpError;
+use crate::report::Report;
+use crate::workload::Workload;
+
+/// A fully validated, runnable experiment. Build one with
+/// [`Experiment::builder`]; run it as many times as measurement needs —
+/// every run re-opens the workload from the start.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    workload: Workload,
+    engine: Engine,
+    cache: CacheConfig,
+    parallel: ParallelReplayOptions,
+    machine: MachineConfig,
+    sim_options: TraceSimOptions,
+    sched: SchedReplayOptions,
+    real: RealReplayOptions,
+}
+
+impl Experiment {
+    /// Starts a builder with default knobs (default cache, 4×16
+    /// thread/shard parallel replay, uniprocessor machine, FCFS
+    /// scheduling, non-destructive real replay).
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// The engine this experiment drives.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The workload this experiment replays.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Runs the experiment.
+    pub fn run(&self) -> Result<Report, ExpError> {
+        let mut report = Report::new(self.engine.name(), self.workload.label());
+        match &self.engine {
+            Engine::SerialReplay => {
+                // The one fully streaming path: records flow from the
+                // source straight into the cache, one at a time.
+                let mut source = self.workload.open()?;
+                let replay = replay_source(&mut *source, self.cache.clone());
+                report.records = replay.timings.len() as u64;
+                report.replay = Some(replay);
+            }
+            Engine::ParallelReplay => {
+                let trace = self.materialized()?;
+                let par = replay_parallel(&trace, self.cache.clone(), &self.parallel);
+                report.records = par.report.timings.len() as u64;
+                report.replay = Some(par.report);
+                report.cache_metrics = Some(par.metrics);
+                report.shard_metrics = Some(par.shard_metrics);
+                report.threads_used = Some(par.threads);
+            }
+            Engine::TraceSim => {
+                let trace = self.materialized()?;
+                report.records = trace.len() as u64;
+                report.sim = Some(trace_sim(&trace, &self.machine, &self.sim_options));
+            }
+            Engine::ScheduledSim => {
+                let trace = self.materialized()?;
+                report.records = trace.len() as u64;
+                report.sim = Some(scheduled_trace_sim(&trace, &self.machine, &self.sched));
+            }
+            Engine::RealReplay { sample } => {
+                let trace = self.materialized()?;
+                let replay = replay_real_file(&trace, sample, self.real)?;
+                report.records = replay.timings.len() as u64;
+                report.replay = Some(replay);
+            }
+        }
+        Ok(report)
+    }
+
+    /// The workload as an in-memory trace (shared traces come back
+    /// without copying).
+    fn materialized(&self) -> Result<Arc<TraceFile>, ExpError> {
+        self.workload.materialize()
+    }
+}
+
+/// Runs a batch of experiments, scaling out across `threads` worker
+/// threads when the batch allows it.
+///
+/// A batch of [`Engine::TraceSim`] experiments is dispatched to the
+/// simulator's crossbeam worker pool — the scale-out axis for
+/// parameter sweeps (many machines × many workloads at once). Any
+/// other batch runs serially in order. Either way the results come
+/// back in input order and are identical to running each experiment
+/// alone — determinism is never traded for parallelism.
+pub fn run_many(experiments: &[Experiment], threads: usize) -> Result<Vec<Report>, ExpError> {
+    let all_trace_sim = experiments.iter().all(|e| e.engine == Engine::TraceSim);
+    if !all_trace_sim || experiments.len() < 2 {
+        return experiments.iter().map(Experiment::run).collect();
+    }
+
+    let traces: Vec<Arc<TraceFile>> =
+        experiments.iter().map(Experiment::materialized).collect::<Result<_, _>>()?;
+    let jobs: Vec<SimJob<'_>> = experiments
+        .iter()
+        .zip(&traces)
+        .map(|(e, trace)| SimJob {
+            trace,
+            machine: e.machine.clone(),
+            options: e.sim_options.clone(),
+        })
+        .collect();
+    let results = trace_sim_pool(&jobs, threads);
+
+    Ok(experiments
+        .iter()
+        .zip(&traces)
+        .zip(results)
+        .map(|((e, trace), sim)| {
+            let mut report = Report::new(e.engine.name(), e.workload.label());
+            report.records = trace.len() as u64;
+            report.sim = Some(sim);
+            report
+        })
+        .collect())
+}
+
+/// Configures and validates an [`Experiment`].
+///
+/// ```
+/// use clio_exp::{Engine, Experiment, Workload};
+/// use clio_trace::synth::TraceProfile;
+///
+/// let exp = Experiment::builder()
+///     .workload(Workload::Synthetic(TraceProfile::default()))
+///     .engine(Engine::ParallelReplay)
+///     .threads(2)
+///     .shards(8)
+///     .build()
+///     .unwrap();
+/// let report = exp.run().unwrap();
+/// assert_eq!(report.threads_used, Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    workload: Option<Workload>,
+    engine: Engine,
+    cache: CacheConfig,
+    parallel: ParallelReplayOptions,
+    machine: MachineConfig,
+    sim_options: TraceSimOptions,
+    sched: SchedReplayOptions,
+    real: RealReplayOptions,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        Self {
+            workload: None,
+            engine: Engine::SerialReplay,
+            cache: CacheConfig::default(),
+            parallel: ParallelReplayOptions { threads: 4, shards: 16 },
+            machine: MachineConfig::uniprocessor(),
+            sim_options: TraceSimOptions::default(),
+            sched: SchedReplayOptions::default(),
+            real: RealReplayOptions::default(),
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Sets the workload (required).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Selects the engine (default: streaming serial replay).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Configures the simulated buffer cache (replay engines).
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Worker threads for the parallel replay engine (clamped to the
+    /// shard count at run time). [`run_many`] pools size themselves
+    /// from their own `threads` argument, not from this knob.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.parallel.threads = threads;
+        self
+    }
+
+    /// Shard count of the parallel replay engine's striped cache.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.parallel.shards = shards;
+        self
+    }
+
+    /// The simulated machine (sim engines; default uniprocessor).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Think-time handling for the trace-driven simulator.
+    pub fn think_time(mut self, think_time: ThinkTime) -> Self {
+        self.sim_options.think_time = think_time;
+        self
+    }
+
+    /// Disk scheduling policy for the scheduled simulator.
+    pub fn sched_policy(mut self, policy: Policy) -> Self {
+        self.sched.policy = policy;
+        self
+    }
+
+    /// Cylinder count of the scheduled simulator's modeled disks.
+    pub fn cylinders(mut self, cylinders: u64) -> Self {
+        self.sched.cylinders = cylinders;
+        self
+    }
+
+    /// Options for the real-file replay engine.
+    pub fn real_options(mut self, options: RealReplayOptions) -> Self {
+        self.real = options;
+        self
+    }
+
+    /// Validates the configuration into a runnable [`Experiment`].
+    pub fn build(self) -> Result<Experiment, ExpError> {
+        let workload = self
+            .workload
+            .ok_or_else(|| ExpError::InvalidConfig("a workload is required".into()))?;
+        if self.parallel.shards == 0 {
+            return Err(ExpError::InvalidConfig("shard count must be at least 1".into()));
+        }
+        if matches!(self.engine, Engine::TraceSim | Engine::ScheduledSim) {
+            self.machine.validate().map_err(ExpError::InvalidConfig)?;
+        }
+        if matches!(self.engine, Engine::ScheduledSim) && self.sched.cylinders == 0 {
+            return Err(ExpError::InvalidConfig("disks need at least one cylinder".into()));
+        }
+        Ok(Experiment {
+            workload,
+            engine: self.engine,
+            cache: self.cache,
+            parallel: self.parallel,
+            machine: self.machine,
+            sim_options: self.sim_options,
+            sched: self.sched,
+            real: self.real,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_trace::record::IoOp;
+    use clio_trace::synth::TraceProfile;
+
+    fn synth(ops: usize) -> Workload {
+        Workload::Synthetic(TraceProfile { data_ops: ops, ..Default::default() })
+    }
+
+    #[test]
+    fn builder_requires_a_workload() {
+        let err = Experiment::builder().build().unwrap_err();
+        assert!(err.to_string().contains("workload"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        let err = Experiment::builder().workload(synth(1)).shards(0).build().unwrap_err();
+        assert!(err.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_cylinders_for_scheduled_sim() {
+        let err = Experiment::builder()
+            .workload(synth(1))
+            .engine(Engine::ScheduledSim)
+            .cylinders(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cylinder"));
+    }
+
+    #[test]
+    fn serial_replay_reports_per_op_means() {
+        let report = Experiment::builder().workload(synth(32)).build().unwrap().run().unwrap();
+        assert_eq!(report.engine, "serial_replay");
+        assert!(report.records >= 34);
+        assert!(report.mean_ms(IoOp::Read).is_some());
+        assert!(report.total_ms().unwrap() > 0.0);
+        assert!(report.sim.is_none());
+    }
+
+    #[test]
+    fn experiments_rerun_identically() {
+        let exp = Experiment::builder().workload(synth(64)).build().unwrap();
+        let a = exp.run().unwrap();
+        let b = exp.run().unwrap();
+        assert_eq!(
+            a.replay.unwrap().timings,
+            b.replay.unwrap().timings,
+            "re-running an experiment must be deterministic"
+        );
+    }
+
+    #[test]
+    fn trace_sim_reports_makespan() {
+        let report = Experiment::builder()
+            .workload(synth(16))
+            .engine(Engine::TraceSim)
+            .machine(MachineConfig::with_disks(2))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.makespan_s().unwrap() > 0.0);
+        assert!(report.replay.is_none());
+    }
+
+    #[test]
+    fn run_many_matches_individual_runs() {
+        let experiments: Vec<Experiment> = (1..=3)
+            .map(|d| {
+                Experiment::builder()
+                    .workload(synth(16))
+                    .engine(Engine::TraceSim)
+                    .machine(MachineConfig::with_disks(d))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let solo: Vec<_> = experiments.iter().map(|e| e.run().unwrap()).collect();
+        for threads in [1usize, 2, 8] {
+            let pooled = run_many(&experiments, threads).unwrap();
+            assert_eq!(pooled.len(), solo.len());
+            for (p, s) in pooled.iter().zip(&solo) {
+                assert_eq!(p.sim, s.sim, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn run_many_handles_mixed_batches_serially() {
+        let experiments = vec![
+            Experiment::builder().workload(synth(8)).build().unwrap(),
+            Experiment::builder().workload(synth(8)).engine(Engine::TraceSim).build().unwrap(),
+        ];
+        let reports = run_many(&experiments, 4).unwrap();
+        assert_eq!(reports[0].engine, "serial_replay");
+        assert_eq!(reports[1].engine, "trace_sim");
+    }
+}

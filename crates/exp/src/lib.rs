@@ -1,0 +1,64 @@
+//! # clio-exp — the unified experiment API
+//!
+//! The paper runs one conceptual experiment: *drive an I/O workload
+//! through a cache/machine model and report costs*. This crate is that
+//! sentence as an API — one composable front door to every replay and
+//! simulation engine in the workspace:
+//!
+//! ```text
+//! Workload  ─────►  Engine  ─────►  Report
+//! (what to replay)  (what to replay it on)  (what came out)
+//! ```
+//!
+//! - [`Workload`] names a record stream: statistically synthesized,
+//!   app-generated (dmine/titan/lu/cholesky/pgrep), loaded from a
+//!   file, an in-memory trace, a custom iterator-backed source, or a
+//!   chained/interleaved/ratio-weighted mix of two workloads. Opening
+//!   a workload yields a **streaming**
+//!   [`TraceSource`](clio_trace::source::TraceSource) — records come
+//!   one at a time, so the serial replay engine never needs the whole
+//!   trace in memory.
+//! - [`Engine`] selects the machinery: serial cached replay,
+//!   sharded-parallel replay, trace-driven machine simulation,
+//!   seek-aware scheduled simulation, or real-backend replay.
+//! - [`Report`] is the single result type subsuming the engines'
+//!   native reports, with serde JSON output via [`Report::summary`].
+//!
+//! ```
+//! use clio_exp::{Engine, Experiment, Workload};
+//! use clio_trace::record::IoOp;
+//! use clio_trace::synth::TraceProfile;
+//!
+//! let report = Experiment::builder()
+//!     .workload(Workload::Synthetic(TraceProfile::dmine_like()))
+//!     .engine(Engine::SerialReplay)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! // The paper's universal observation survives any front door:
+//! assert!(report.mean_ms(IoOp::Close).unwrap() > report.mean_ms(IoOp::Open).unwrap());
+//! ```
+//!
+//! The pre-existing free functions (`replay_simulated`,
+//! `simulate_trace`, …) remain as `#[deprecated]` shims; equivalence
+//! tests pin this builder path bit-identical to them.
+//!
+//! **Layering rule:** `clio-exp` may depend on `clio-trace`,
+//! `clio-sim`, `clio-cache` and `clio-apps` — never the reverse. The
+//! substrates stay engine libraries; this crate is the only place that
+//! knows about all of them at once.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod experiment;
+pub mod report;
+pub mod workload;
+
+pub use engine::Engine;
+pub use error::ExpError;
+pub use experiment::{run_many, Experiment, ExperimentBuilder};
+pub use report::{Report, ReportSummary};
+pub use workload::{AppWorkload, MixKind, Workload};

@@ -1,0 +1,156 @@
+//! The single result type every engine reports into.
+
+use clio_cache::metrics::CacheMetrics;
+use clio_sim::trace_driven::TraceSimReport;
+use clio_trace::record::IoOp;
+use clio_trace::replay::ReplayReport;
+use serde::{Deserialize, Serialize};
+
+/// What an experiment produced.
+///
+/// One type subsumes the engines' native reports: replay engines fill
+/// [`Report::replay`] (and the parallel engine adds cache counters),
+/// simulation engines fill [`Report::sim`]. The untouched sections are
+/// `None`. [`Report::summary`] flattens everything into a
+/// serde-serializable [`ReportSummary`] for JSON archival.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Stable engine name (see [`crate::Engine::name`]).
+    pub engine: String,
+    /// Workload label (see [`crate::Workload::label`]).
+    pub workload: String,
+    /// Number of records the experiment consumed.
+    pub records: u64,
+    /// Per-record replay timings and per-op summaries (replay engines).
+    pub replay: Option<ReplayReport>,
+    /// Aggregate cache counters (parallel replay).
+    pub cache_metrics: Option<CacheMetrics>,
+    /// Per-shard cache counters (parallel replay).
+    pub shard_metrics: Option<Vec<CacheMetrics>>,
+    /// Worker threads actually used after clamping (parallel replay).
+    pub threads_used: Option<usize>,
+    /// Machine-simulation outcome (sim engines).
+    pub sim: Option<TraceSimReport>,
+}
+
+impl Report {
+    /// An empty report shell for `engine` over `workload`.
+    pub(crate) fn new(engine: &str, workload: String) -> Self {
+        Self {
+            engine: engine.to_string(),
+            workload,
+            records: 0,
+            replay: None,
+            cache_metrics: None,
+            shard_metrics: None,
+            threads_used: None,
+            sim: None,
+        }
+    }
+
+    /// Mean latency of one operation kind, ms (replay engines).
+    pub fn mean_ms(&self, op: IoOp) -> Option<f64> {
+        self.replay.as_ref().and_then(|r| r.mean_ms(op))
+    }
+
+    /// Total replayed simulated/wall time, ms (replay engines).
+    pub fn total_ms(&self) -> Option<f64> {
+        self.replay.as_ref().map(|r| r.total_ms())
+    }
+
+    /// Simulated makespan, seconds (sim engines).
+    pub fn makespan_s(&self) -> Option<f64> {
+        self.sim.as_ref().map(|s| s.makespan)
+    }
+
+    /// Flattens the report into its serializable summary.
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary {
+            engine: self.engine.clone(),
+            workload: self.workload.clone(),
+            records: self.records,
+            total_ms: self.total_ms(),
+            open_ms: self.mean_ms(IoOp::Open),
+            close_ms: self.mean_ms(IoOp::Close),
+            read_ms: self.mean_ms(IoOp::Read),
+            write_ms: self.mean_ms(IoOp::Write),
+            seek_ms: self.mean_ms(IoOp::Seek),
+            makespan_s: self.makespan_s(),
+            bytes_moved: self.sim.as_ref().map(|s| s.bytes_moved),
+            disk_utilization: self.sim.as_ref().map(|s| s.disk_utilization),
+            sim_events: self.sim.as_ref().map(|s| s.events),
+            cache: self.cache_metrics,
+            threads: self.threads_used.map(|t| t as u64),
+        }
+    }
+
+    /// The summary as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.summary()).expect("report summary serializes")
+    }
+}
+
+/// The serializable flattening of a [`Report`]: the headline numbers
+/// of whichever engine ran, `null` elsewhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// Stable engine name.
+    pub engine: String,
+    /// Workload label.
+    pub workload: String,
+    /// Records consumed.
+    pub records: u64,
+    /// Total replayed time, ms (replay engines).
+    pub total_ms: Option<f64>,
+    /// Mean open latency, ms.
+    pub open_ms: Option<f64>,
+    /// Mean close latency, ms.
+    pub close_ms: Option<f64>,
+    /// Mean read latency, ms.
+    pub read_ms: Option<f64>,
+    /// Mean write latency, ms.
+    pub write_ms: Option<f64>,
+    /// Mean seek latency, ms.
+    pub seek_ms: Option<f64>,
+    /// Simulated makespan, seconds (sim engines).
+    pub makespan_s: Option<f64>,
+    /// Bytes moved through the simulated disk array.
+    pub bytes_moved: Option<u64>,
+    /// Mean disk utilization over the makespan.
+    pub disk_utilization: Option<f64>,
+    /// Simulation events processed.
+    pub sim_events: Option<u64>,
+    /// Aggregate cache counters (parallel replay).
+    pub cache: Option<CacheMetrics>,
+    /// Worker threads used (parallel replay).
+    pub threads: Option<u64>,
+}
+
+impl ReportSummary {
+    /// The summary as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report summary serializes")
+    }
+
+    /// Parses a summary back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_summarizes_to_nulls() {
+        let r = Report::new("serial_replay", "synth(ops=0)".into());
+        let s = r.summary();
+        assert_eq!(s.engine, "serial_replay");
+        assert!(s.total_ms.is_none());
+        assert!(s.makespan_s.is_none());
+        let json = r.to_json();
+        let back: ReportSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,400 @@
+//! Workloads: *what* to replay.
+//!
+//! A [`Workload`] is a named recipe for a record stream. Opening it
+//! yields a fresh streaming [`TraceSource`]; opening it again yields
+//! the same stream from the start (every constructor is deterministic),
+//! which is what lets one experiment be run — and measured — many
+//! times.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use clio_trace::source::{
+    materialize, ChainSource, InterleaveSource, SharedSource, TraceSource, WeightedSource,
+};
+use clio_trace::synth::{SynthSource, TraceProfile};
+use clio_trace::TraceFile;
+
+use crate::error::ExpError;
+
+/// The paper's traced applications, with their table parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppWorkload {
+    /// Data mining (Table 1): synchronous sequential 131 072-byte
+    /// reads, `reads` per pass over `passes` passes.
+    Dmine {
+        /// Reads per pass.
+        reads: usize,
+        /// Number of passes over the dataset.
+        passes: usize,
+    },
+    /// Titan (Table 2): `reads` 187 681-byte tile reads.
+    Titan {
+        /// Number of tile reads.
+        reads: usize,
+    },
+    /// LU (Table 3): six giant seeks plus out-of-core writes.
+    Lu,
+    /// Sparse Cholesky (Table 4): sixteen seek+read requests, 4 B to
+    /// 2.4 MB.
+    Cholesky,
+    /// Parallel grep over a synthesized corpus (default config).
+    Pgrep,
+}
+
+impl AppWorkload {
+    /// The Table 1 configuration (64 reads × 2 passes).
+    pub const DMINE_PAPER: AppWorkload = AppWorkload::Dmine { reads: 64, passes: 2 };
+    /// The Table 2 configuration (16 tile reads).
+    pub const TITAN_PAPER: AppWorkload = AppWorkload::Titan { reads: 16 };
+
+    /// Generates the application's trace.
+    fn trace(&self) -> Result<TraceFile, ExpError> {
+        Ok(match *self {
+            AppWorkload::Dmine { reads, passes } => clio_apps::dmine::paper_trace(reads, passes),
+            AppWorkload::Titan { reads } => clio_apps::titan::paper_trace(reads),
+            AppWorkload::Lu => clio_apps::lu::paper_trace(),
+            AppWorkload::Cholesky => clio_apps::cholesky::paper_trace(),
+            AppWorkload::Pgrep => {
+                let (_, trace) = clio_apps::pgrep::run(&clio_apps::pgrep::PgrepConfig::default())?;
+                trace
+            }
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppWorkload::Dmine { .. } => "dmine",
+            AppWorkload::Titan { .. } => "titan",
+            AppWorkload::Lu => "lu",
+            AppWorkload::Cholesky => "cholesky",
+            AppWorkload::Pgrep => "pgrep",
+        }
+    }
+}
+
+/// How a [`Workload::Mix`] merges its two inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// Strict alternation: one record from each side in turn.
+    RoundRobin,
+    /// `(a, b)` records from the respective sides per cycle; both
+    /// weights must be positive.
+    Weighted(u32, u32),
+}
+
+/// A user-supplied source factory — the escape hatch that lets any
+/// iterator-backed [`TraceSource`] ride through the builder.
+#[derive(Clone)]
+pub struct CustomWorkload {
+    label: String,
+    factory: Arc<dyn Fn() -> Box<dyn TraceSource> + Send + Sync>,
+}
+
+impl fmt::Debug for CustomWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CustomWorkload").field("label", &self.label).finish_non_exhaustive()
+    }
+}
+
+/// What to replay. See the module docs for the catalogue.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Statistically synthesized stream (streams with O(1) memory —
+    /// never materialized).
+    Synthetic(TraceProfile),
+    /// One of the paper's traced applications.
+    App(AppWorkload),
+    /// A binary trace file loaded from disk.
+    File(PathBuf),
+    /// An in-memory trace (shared, cheap to re-open).
+    Trace(Arc<TraceFile>),
+    /// Sequential composition: all of the first, then all of the
+    /// second. The phases share the pid space (so the order survives
+    /// pid-grouping engines) but work on their own files.
+    Chain(Box<Workload>, Box<Workload>),
+    /// Concurrent mix of two workloads (namespaces kept disjoint).
+    Mix(Box<Workload>, Box<Workload>, MixKind),
+    /// A user-supplied source factory.
+    Custom(CustomWorkload),
+}
+
+impl Workload {
+    /// Wraps an owned trace.
+    pub fn trace(trace: TraceFile) -> Workload {
+        Workload::Trace(Arc::new(trace))
+    }
+
+    /// Round-robin mix of two workloads.
+    pub fn mix(a: Workload, b: Workload) -> Workload {
+        Workload::Mix(Box::new(a), Box::new(b), MixKind::RoundRobin)
+    }
+
+    /// Ratio-weighted mix: `wa` records of `a` per `wb` records of `b`.
+    pub fn mix_weighted(a: Workload, wa: u32, b: Workload, wb: u32) -> Workload {
+        Workload::Mix(Box::new(a), Box::new(b), MixKind::Weighted(wa, wb))
+    }
+
+    /// Sequential chain: `a` to completion, then `b` — per process,
+    /// even under the sim engines (the phases share the pid space).
+    pub fn chain(a: Workload, b: Workload) -> Workload {
+        Workload::Chain(Box::new(a), Box::new(b))
+    }
+
+    /// A custom iterator-backed workload: `factory` is called once per
+    /// [`Workload::open`] and must return an equivalent stream each
+    /// time for the workload to be re-runnable.
+    pub fn custom(
+        label: impl Into<String>,
+        factory: impl Fn() -> Box<dyn TraceSource> + Send + Sync + 'static,
+    ) -> Workload {
+        Workload::Custom(CustomWorkload { label: label.into(), factory: Arc::new(factory) })
+    }
+
+    /// Opens the workload as a fresh streaming source.
+    pub fn open(&self) -> Result<Box<dyn TraceSource>, ExpError> {
+        Ok(match self {
+            Workload::Synthetic(profile) => {
+                Box::new(SynthSource::new(profile.clone()).map_err(ExpError::InvalidWorkload)?)
+            }
+            Workload::App(app) => Box::new(SharedSource::new(Arc::new(app.trace()?))),
+            Workload::File(path) => Box::new(SharedSource::new(Arc::new(TraceFile::load(path)?))),
+            Workload::Trace(trace) => Box::new(SharedSource::new(trace.clone())),
+            Workload::Chain(a, b) => Box::new(ChainSource::new(a.open()?, b.open()?)),
+            Workload::Mix(a, b, MixKind::RoundRobin) => {
+                Box::new(InterleaveSource::new(a.open()?, b.open()?))
+            }
+            Workload::Mix(a, b, MixKind::Weighted(wa, wb)) => {
+                if *wa == 0 || *wb == 0 {
+                    return Err(ExpError::InvalidWorkload(format!(
+                        "mix weights must be positive, got {wa}:{wb}"
+                    )));
+                }
+                Box::new(WeightedSource::new(a.open()?, b.open()?, *wa, *wb))
+            }
+            Workload::Custom(c) => (c.factory)(),
+        })
+    }
+
+    /// Collects the workload into an in-memory [`TraceFile`] (the sim
+    /// engines need whole-trace process grouping). Workloads that are
+    /// already a whole trace ([`Workload::Trace`], [`Workload::File`],
+    /// [`Workload::App`]) come back without a second record copy.
+    pub fn materialize(&self) -> Result<Arc<TraceFile>, ExpError> {
+        match self {
+            Workload::Trace(trace) => Ok(trace.clone()),
+            Workload::App(app) => Ok(Arc::new(app.trace()?)),
+            Workload::File(path) => Ok(Arc::new(TraceFile::load(path)?)),
+            _ => Ok(Arc::new(materialize(&mut *self.open()?)?)),
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Synthetic(p) => format!("synth(ops={})", p.data_ops),
+            Workload::App(app) => app.name().to_string(),
+            Workload::File(path) => format!("file({})", path.display()),
+            Workload::Trace(trace) => format!("trace({})", trace.header.sample_file),
+            Workload::Chain(a, b) => format!("chain({},{})", a.label(), b.label()),
+            Workload::Mix(a, b, MixKind::RoundRobin) => {
+                format!("mix({},{})", a.label(), b.label())
+            }
+            Workload::Mix(a, b, MixKind::Weighted(wa, wb)) => {
+                format!("mix({}*{wa},{}*{wb})", a.label(), b.label())
+            }
+            Workload::Custom(c) => c.label.clone(),
+        }
+    }
+
+    /// Rescales every synthetic component to `data_ops` operations —
+    /// how CLI size flags reach parsed workload specs.
+    pub fn scale_data_ops(&mut self, data_ops: usize) {
+        match self {
+            Workload::Synthetic(p) => p.data_ops = data_ops,
+            Workload::Chain(a, b) | Workload::Mix(a, b, _) => {
+                a.scale_data_ops(data_ops);
+                b.scale_data_ops(data_ops);
+            }
+            _ => {}
+        }
+    }
+
+    /// Parses a CLI workload spec.
+    ///
+    /// Atoms: `synth` (the mixed benchmark profile: 80 % sequential,
+    /// 20 % writes), `seq` (dmine-like sequential reads), `rand`
+    /// (cholesky-like scattered requests), `dmine`,
+    /// `titan`, `lu`, `cholesky`, `pgrep`. Combinators over two atoms:
+    /// `mix:<a>,<b>` (round-robin), `mix:<a>*<wa>,<b>*<wb>`
+    /// (ratio-weighted), `chain:<a>,<b>`.
+    pub fn parse(spec: &str) -> Result<Workload, String> {
+        if let Some(rest) = spec.strip_prefix("mix:") {
+            let (a, b) = split_pair(rest)?;
+            let (wa, a) = split_weight(a)?;
+            let (wb, b) = split_weight(b)?;
+            let (a, b) = (Self::parse_atom(a)?, Self::parse_atom(b)?);
+            return Ok(match (wa, wb) {
+                (1, 1) => Workload::mix(a, b),
+                _ => Workload::mix_weighted(a, wa, b, wb),
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("chain:") {
+            let (a, b) = split_pair(rest)?;
+            return Ok(Workload::chain(Self::parse_atom(a)?, Self::parse_atom(b)?));
+        }
+        Self::parse_atom(spec)
+    }
+
+    fn parse_atom(name: &str) -> Result<Workload, String> {
+        Ok(match name {
+            // The mixed profile perf_suite has always benchmarked —
+            // the same stream whether named at top level or inside a
+            // mix:/chain: spec.
+            "synth" => Workload::Synthetic(TraceProfile {
+                write_fraction: 0.2,
+                sequentiality: 0.8,
+                ..Default::default()
+            }),
+            "seq" => Workload::Synthetic(TraceProfile::dmine_like()),
+            "rand" => Workload::Synthetic(TraceProfile::cholesky_like()),
+            "dmine" => Workload::App(AppWorkload::DMINE_PAPER),
+            "titan" => Workload::App(AppWorkload::TITAN_PAPER),
+            "lu" => Workload::App(AppWorkload::Lu),
+            "cholesky" => Workload::App(AppWorkload::Cholesky),
+            "pgrep" => Workload::App(AppWorkload::Pgrep),
+            other => {
+                return Err(format!(
+                    "unknown workload {other:?} (try synth, seq, rand, dmine, titan, lu, \
+                     cholesky, pgrep, mix:<a>,<b>, mix:<a>*<wa>,<b>*<wb>, chain:<a>,<b>)"
+                ))
+            }
+        })
+    }
+}
+
+/// Splits `"a,b"` into its two operands.
+fn split_pair(rest: &str) -> Result<(&str, &str), String> {
+    rest.split_once(',')
+        .map(|(a, b)| (a.trim(), b.trim()))
+        .ok_or_else(|| format!("expected two comma-separated workloads, got {rest:?}"))
+}
+
+/// Splits an optional `name*weight` suffix; weight defaults to 1.
+fn split_weight(atom: &str) -> Result<(u32, &str), String> {
+    match atom.split_once('*') {
+        None => Ok((1, atom)),
+        Some((name, w)) => {
+            let w: u32 = w.trim().parse().map_err(|_| format!("bad mix weight {w:?}"))?;
+            if w == 0 {
+                return Err("mix weights must be positive".into());
+            }
+            Ok((w, name.trim()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_trace::record::{IoOp, TraceRecord};
+    use clio_trace::source::{IterSource, SourceMeta};
+
+    #[test]
+    fn synthetic_opens_as_a_stream() {
+        let w = Workload::Synthetic(TraceProfile { data_ops: 10, ..Default::default() });
+        let mut src = w.open().unwrap();
+        let mut n = 0;
+        while src.next_record().is_some() {
+            n += 1;
+        }
+        assert!(n >= 12, "open + close + 10 data ops, got {n}");
+    }
+
+    #[test]
+    fn reopening_yields_the_same_stream() {
+        let w = Workload::Synthetic(TraceProfile { data_ops: 50, ..Default::default() });
+        let a = w.materialize().unwrap();
+        let b = w.materialize().unwrap();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn materialize_shares_in_memory_traces() {
+        let t = clio_apps::lu::paper_trace();
+        let w = Workload::trace(t.clone());
+        let m = w.materialize().unwrap();
+        assert_eq!(m.records, t.records);
+    }
+
+    #[test]
+    fn app_workloads_produce_their_paper_traces() {
+        let w = Workload::App(AppWorkload::DMINE_PAPER);
+        let t = w.materialize().unwrap();
+        assert_eq!(t.records, clio_apps::dmine::paper_trace(64, 2).records);
+    }
+
+    #[test]
+    fn parse_atoms_and_combinators() {
+        assert!(matches!(Workload::parse("synth").unwrap(), Workload::Synthetic(_)));
+        assert!(matches!(
+            Workload::parse("dmine").unwrap(),
+            Workload::App(AppWorkload::Dmine { reads: 64, passes: 2 })
+        ));
+        assert!(matches!(
+            Workload::parse("mix:dmine,lu").unwrap(),
+            Workload::Mix(_, _, MixKind::RoundRobin)
+        ));
+        assert!(matches!(
+            Workload::parse("mix:dmine*3,lu*1").unwrap(),
+            Workload::Mix(_, _, MixKind::Weighted(3, 1))
+        ));
+        assert!(matches!(Workload::parse("chain:seq,rand").unwrap(), Workload::Chain(_, _)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Workload::parse("nope").is_err());
+        assert!(Workload::parse("mix:dmine").is_err());
+        assert!(Workload::parse("mix:dmine*0,lu").is_err());
+        assert!(Workload::parse("mix:dmine*x,lu").is_err());
+        assert!(Workload::parse("chain:dmine,nope").is_err());
+    }
+
+    #[test]
+    fn scale_reaches_nested_synthetics() {
+        let mut w = Workload::parse("mix:seq,rand").unwrap();
+        w.scale_data_ops(123);
+        match &w {
+            Workload::Mix(a, b, _) => {
+                for side in [a.as_ref(), b.as_ref()] {
+                    match side {
+                        Workload::Synthetic(p) => assert_eq!(p.data_ops, 123),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_workload_streams_from_an_iterator() {
+        let w = Workload::custom("generator", || {
+            let meta = SourceMeta { sample_file: "gen.dat".into(), num_processes: 1, num_files: 1 };
+            let gen = (0..64u64).map(|i| TraceRecord::simple(IoOp::Read, 0, i * 4096, 4096));
+            Box::new(IterSource::new(meta, gen))
+        });
+        assert_eq!(w.label(), "generator");
+        let t = w.materialize().unwrap();
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    fn mix_label_mentions_both_sides() {
+        let w = Workload::parse("mix:dmine*3,lu*2").unwrap();
+        assert_eq!(w.label(), "mix(dmine*3,lu*2)");
+    }
+}

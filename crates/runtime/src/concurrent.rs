@@ -5,8 +5,7 @@
 //! the whole managed state — JIT map, GC and buffer cache alike. That
 //! was faithful to the paper's measurements but caps a multithreaded
 //! server at one core. [`SharedManagedIo`] is the production-scale
-//! variant: the page cache is a
-//! [`ShardedBufferCache`](clio_cache::shard::ShardedBufferCache)
+//! variant: the page cache is a [`ShardedBufferCache`]
 //! (lock-striped, so concurrent requests only contend when their pages
 //! share a shard) and only the small JIT/GC state sits behind its own
 //! short-lived mutex.

@@ -72,7 +72,7 @@ struct World {
 ///
 /// # Panics
 /// Panics if the machine configuration is invalid or `cylinders` is 0.
-pub fn simulate_trace_scheduled(
+pub fn scheduled_trace_sim(
     trace: &TraceFile,
     machine: &MachineConfig,
     options: &SchedReplayOptions,
@@ -243,6 +243,19 @@ fn start_if_idle(
     });
 }
 
+/// Replays `trace` on `machine` with per-disk request scheduling.
+#[deprecated(
+    since = "0.1.0",
+    note = "use clio_exp's Experiment::builder() (or scheduled_trace_sim)"
+)]
+pub fn simulate_trace_scheduled(
+    trace: &TraceFile,
+    machine: &MachineConfig,
+    options: &SchedReplayOptions,
+) -> TraceSimReport {
+    scheduled_trace_sim(trace, machine, options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,7 +288,7 @@ mod tests {
     }
 
     fn makespan(trace: &TraceFile, policy: Policy) -> f64 {
-        simulate_trace_scheduled(
+        scheduled_trace_sim(
             trace,
             &MachineConfig::uniprocessor(),
             &SchedReplayOptions { policy, ..Default::default() },
@@ -313,7 +326,7 @@ mod tests {
     #[test]
     fn every_process_finishes_and_bytes_balance() {
         let trace = contended_random_trace(4, 10, 3);
-        let report = simulate_trace_scheduled(
+        let report = scheduled_trace_sim(
             &trace,
             &MachineConfig::with_disks(2),
             &SchedReplayOptions { policy: Policy::Sstf, ..Default::default() },
@@ -329,8 +342,8 @@ mod tests {
     fn deterministic_across_runs() {
         let trace = contended_random_trace(3, 12, 9);
         let opts = SchedReplayOptions { policy: Policy::Scan, ..Default::default() };
-        let a = simulate_trace_scheduled(&trace, &MachineConfig::uniprocessor(), &opts);
-        let b = simulate_trace_scheduled(&trace, &MachineConfig::uniprocessor(), &opts);
+        let a = scheduled_trace_sim(&trace, &MachineConfig::uniprocessor(), &opts);
+        let b = scheduled_trace_sim(&trace, &MachineConfig::uniprocessor(), &opts);
         assert_eq!(a, b);
     }
 
@@ -338,8 +351,8 @@ mod tests {
     fn striping_still_speeds_up_large_transfers() {
         let trace = sequential_trace(8, 8 * 1024 * 1024);
         let opts = SchedReplayOptions::default();
-        let t1 = simulate_trace_scheduled(&trace, &MachineConfig::with_disks(1), &opts).makespan;
-        let t8 = simulate_trace_scheduled(&trace, &MachineConfig::with_disks(8), &opts).makespan;
+        let t1 = scheduled_trace_sim(&trace, &MachineConfig::with_disks(1), &opts).makespan;
+        let t8 = scheduled_trace_sim(&trace, &MachineConfig::with_disks(8), &opts).makespan;
         assert!(t8 < t1 / 3.0, "striping speedup survives the scheduler: {t1} -> {t8}");
     }
 
@@ -349,7 +362,7 @@ mod tests {
         // plain replay's ordering (timings differ only through the
         // distance-dependent seek model).
         let trace = sequential_trace(16, 512 * 1024);
-        let report = simulate_trace_scheduled(
+        let report = scheduled_trace_sim(
             &trace,
             &MachineConfig::uniprocessor(),
             &SchedReplayOptions::default(),
@@ -362,7 +375,7 @@ mod tests {
     #[should_panic(expected = "at least one cylinder")]
     fn zero_cylinders_panics() {
         let trace = sequential_trace(1, 1024);
-        let _ = simulate_trace_scheduled(
+        let _ = scheduled_trace_sim(
             &trace,
             &MachineConfig::uniprocessor(),
             &SchedReplayOptions { cylinders: 0, ..Default::default() },

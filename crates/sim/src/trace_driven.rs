@@ -89,7 +89,7 @@ struct World {
 ///
 /// # Panics
 /// Panics if the machine configuration is invalid.
-pub fn simulate_trace(
+pub fn trace_sim(
     trace: &TraceFile,
     machine: &MachineConfig,
     options: &TraceSimOptions,
@@ -212,7 +212,7 @@ fn issue_io(world: &mut World, proc_idx: usize, at: SimTime, bytes: u64) -> SimT
     completion
 }
 
-/// One unit of work for [`simulate_traces_parallel`]: a trace replayed
+/// One unit of work for [`trace_sim_pool`]: a trace replayed
 /// on a machine.
 #[derive(Debug, Clone)]
 pub struct SimJob<'a> {
@@ -227,14 +227,14 @@ pub struct SimJob<'a> {
 /// Runs a batch of independent trace simulations on a pool of worker
 /// threads fed through crossbeam channels.
 ///
-/// Each job is a complete, isolated [`simulate_trace`] run (the
+/// Each job is a complete, isolated [`trace_sim`] run (the
 /// discrete-event engine itself stays single-threaded per job — its
 /// event callbacks hold `Rc` handles), so this is the scale-out axis
 /// for parameter sweeps: many machines, many policies, many traces at
 /// once. Results come back in job order and are identical to running
 /// the jobs serially, whatever the thread count — the determinism test
 /// in `tests/suite_determinism.rs` pins that.
-pub fn simulate_traces_parallel(jobs: &[SimJob<'_>], threads: usize) -> Vec<TraceSimReport> {
+pub fn trace_sim_pool(jobs: &[SimJob<'_>], threads: usize) -> Vec<TraceSimReport> {
     if jobs.is_empty() {
         return Vec::new();
     }
@@ -253,7 +253,7 @@ pub fn simulate_traces_parallel(jobs: &[SimJob<'_>], threads: usize) -> Vec<Trac
             scope.spawn(move |_| {
                 while let Ok(i) = job_rx.recv() {
                     let job = &jobs[i];
-                    let report = simulate_trace(job.trace, &job.machine, &job.options);
+                    let report = trace_sim(job.trace, &job.machine, &job.options);
                     let _ = res_tx.send((i, report));
                 }
             });
@@ -267,6 +267,25 @@ pub fn simulate_traces_parallel(jobs: &[SimJob<'_>], threads: usize) -> Vec<Trac
         out[i] = Some(report);
     }
     out.into_iter().map(|r| r.expect("every job completes")).collect()
+}
+
+/// Simulates `trace` on `machine`.
+#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or trace_sim)")]
+pub fn simulate_trace(
+    trace: &TraceFile,
+    machine: &MachineConfig,
+    options: &TraceSimOptions,
+) -> TraceSimReport {
+    trace_sim(trace, machine, options)
+}
+
+/// Runs a batch of independent trace simulations on a worker pool.
+#[deprecated(
+    since = "0.1.0",
+    note = "use clio_exp's run_many / Experiment::builder() (or trace_sim_pool)"
+)]
+pub fn simulate_traces_parallel(jobs: &[SimJob<'_>], threads: usize) -> Vec<TraceSimReport> {
+    trace_sim_pool(jobs, threads)
 }
 
 #[cfg(test)]
@@ -299,7 +318,7 @@ mod tests {
     fn transfer_time_matches_disk_model() {
         let trace = single_process_trace(10, 4 * 1024 * 1024);
         let machine = MachineConfig::uniprocessor();
-        let report = simulate_trace(&trace, &machine, &TraceSimOptions::default());
+        let report = trace_sim(&trace, &machine, &TraceSimOptions::default());
         // 40 MiB at 40 MiB/s plus positioning ≈ 1s.
         assert!(report.makespan > 0.9 && report.makespan < 1.3, "makespan {}", report.makespan);
         assert_eq!(report.bytes_moved, 40 * 1024 * 1024);
@@ -310,8 +329,8 @@ mod tests {
     fn more_disks_speed_up_the_replay() {
         let trace = single_process_trace(16, 8 * 1024 * 1024);
         let opts = TraceSimOptions::default();
-        let t1 = simulate_trace(&trace, &MachineConfig::with_disks(1), &opts).makespan;
-        let t8 = simulate_trace(&trace, &MachineConfig::with_disks(8), &opts).makespan;
+        let t1 = trace_sim(&trace, &MachineConfig::with_disks(1), &opts).makespan;
+        let t8 = trace_sim(&trace, &MachineConfig::with_disks(8), &opts).makespan;
         assert!(t8 < t1 / 4.0, "striping speedup: {t1} -> {t8}");
     }
 
@@ -321,19 +340,19 @@ mod tests {
         let four = multi_process_trace(4, 8, 4 * 1024 * 1024);
         let opts = TraceSimOptions::default();
         let m = MachineConfig::uniprocessor();
-        let t1 = simulate_trace(&one, &m, &opts).makespan;
-        let t4 = simulate_trace(&four, &m, &opts).makespan;
+        let t1 = trace_sim(&one, &m, &opts).makespan;
+        let t4 = trace_sim(&four, &m, &opts).makespan;
         // 4x the work on one disk takes ~4x as long.
         assert!(t4 > 3.0 * t1, "contention: {t1} vs {t4}");
-        assert_eq!(simulate_trace(&four, &m, &opts).pids.len(), 4);
+        assert_eq!(trace_sim(&four, &m, &opts).pids.len(), 4);
     }
 
     #[test]
     fn extra_disks_absorb_concurrent_processes() {
         let four = multi_process_trace(4, 8, 4 * 1024 * 1024);
         let opts = TraceSimOptions::default();
-        let t1 = simulate_trace(&four, &MachineConfig::with_disks(1), &opts).makespan;
-        let t4 = simulate_trace(&four, &MachineConfig::with_disks(4), &opts).makespan;
+        let t1 = trace_sim(&four, &MachineConfig::with_disks(1), &opts).makespan;
+        let t4 = trace_sim(&four, &MachineConfig::with_disks(4), &opts).makespan;
         assert!(t4 < t1 / 2.5, "scale-out: {t1} -> {t4}");
     }
 
@@ -349,12 +368,12 @@ mod tests {
         w.op(IoOp::Close, 0, 0, 0);
         let trace = w.finish().expect("valid trace");
 
-        let closed = simulate_trace(
+        let closed = trace_sim(
             &trace,
             &MachineConfig::uniprocessor(),
             &TraceSimOptions { think_time: ThinkTime::ClosedLoop },
         );
-        let open = simulate_trace(
+        let open = trace_sim(
             &trace,
             &MachineConfig::uniprocessor(),
             &TraceSimOptions { think_time: ThinkTime::FromTrace },
@@ -378,8 +397,7 @@ mod tests {
         }
         w.op(IoOp::Close, 0, 0, 0);
         let trace = w.finish().expect("valid");
-        let report =
-            simulate_trace(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
+        let report = trace_sim(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
         assert!(report.makespan < 0.01, "metadata ops are cheap: {}", report.makespan);
         assert_eq!(report.bytes_moved, 0);
     }
@@ -389,8 +407,7 @@ mod tests {
         let mut rec = TraceRecord::simple(IoOp::Read, 0, 0, 1000);
         rec.num_records = 5;
         let trace = TraceFile::build("r.dat", 1, vec![rec]).expect("valid");
-        let report =
-            simulate_trace(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
+        let report = trace_sim(&trace, &MachineConfig::uniprocessor(), &TraceSimOptions::default());
         assert_eq!(report.bytes_moved, 5000);
     }
 
@@ -408,20 +425,20 @@ mod tests {
             })
             .collect();
         let serial: Vec<TraceSimReport> =
-            jobs.iter().map(|j| simulate_trace(j.trace, &j.machine, &j.options)).collect();
+            jobs.iter().map(|j| trace_sim(j.trace, &j.machine, &j.options)).collect();
         for threads in [1usize, 2, 4, 9] {
-            let pooled = simulate_traces_parallel(&jobs, threads);
+            let pooled = trace_sim_pool(&jobs, threads);
             assert_eq!(pooled, serial, "{threads} threads");
         }
-        assert!(simulate_traces_parallel(&[], 4).is_empty());
+        assert!(trace_sim_pool(&[], 4).is_empty());
     }
 
     #[test]
     fn utilization_bounded_and_deterministic() {
         let trace = multi_process_trace(3, 10, 1024 * 1024);
         let m = MachineConfig::with_disks(2);
-        let a = simulate_trace(&trace, &m, &TraceSimOptions::default());
-        let b = simulate_trace(&trace, &m, &TraceSimOptions::default());
+        let a = trace_sim(&trace, &m, &TraceSimOptions::default());
+        let b = trace_sim(&trace, &m, &TraceSimOptions::default());
         assert_eq!(a, b, "deterministic");
         assert!((0.0..=1.0).contains(&a.disk_utilization));
         assert!(a.events > 0);

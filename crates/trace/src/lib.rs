@@ -15,6 +15,10 @@
 //! - [`reader`] / [`writer`] — whole-file I/O with validation,
 //! - [`stats`] — per-operation counts, byte volumes and a sequentiality
 //!   measure,
+//! - [`source`] — streaming [`TraceSource`]s: records yielded one at a
+//!   time (iterator-backed, shared, synthesized) plus chain/interleave/
+//!   weighted-merge combinators for mixed workloads — replay without a
+//!   full in-memory trace,
 //! - [`replay`] — two replay engines: *simulated* (against
 //!   [`clio_cache::BufferCache`]'s deterministic cost model — the mode
 //!   the tables in EXPERIMENTS.md are generated from) and *real*
@@ -45,6 +49,7 @@ pub mod header;
 pub mod reader;
 pub mod record;
 pub mod replay;
+pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod transform;
@@ -55,4 +60,5 @@ pub use header::TraceHeader;
 pub use reader::TraceFile;
 pub use record::{IoOp, TraceRecord};
 pub use replay::{OpTiming, ReplayReport};
+pub use source::{SourceMeta, TraceSource};
 pub use stats::TraceStats;

@@ -5,21 +5,29 @@
 //! writing, seeking in a file to analyze the behavior of I/O
 //! operations." — paper, Section 3.3.
 //!
-//! Two engines share the reporting shape:
+//! Three engines share the reporting shape:
 //!
-//! - [`replay_simulated`] issues every record against a
+//! - [`replay_source`] streams records from any
+//!   [`TraceSource`] against a
 //!   [`BufferCache`], taking the deterministic simulated latency from
-//!   its cost model. This is the engine behind the regenerated
-//!   Tables 1–4: page-cache hits, prefetch charges and dirty-flush
-//!   closes reproduce the paper's anomalies exactly and repeatably.
-//! - [`replay_real`] issues the records against an actual file through
-//!   a [`FileBackend`], timing each operation with a monotonic clock —
-//!   the honest-hardware mode.
-//! - [`replay_simulated_parallel`] drives a
-//!   [`ShardedBufferCache`](clio_cache::shard::ShardedBufferCache)
+//!   its cost model — no in-memory [`TraceFile`] required. This is the
+//!   engine behind the regenerated Tables 1–4: page-cache hits,
+//!   prefetch charges and dirty-flush closes reproduce the paper's
+//!   anomalies exactly and repeatably.
+//! - [`replay_real_file`] / [`replay_backend`] issue the records
+//!   against an actual file through a [`FileBackend`], timing each
+//!   operation with a monotonic clock — the honest-hardware mode.
+//! - [`replay_parallel`] drives a
+//!   [`ShardedBufferCache`]
 //!   with a pool of workers, each owning a disjoint set of shards —
 //!   the multi-core engine, deterministic across runs *and* thread
 //!   counts (see [`ParallelReplayReport`]).
+//!
+//! The preferred front door to all of them is
+//! `clio_exp::Experiment::builder()`; the free functions kept from
+//! earlier revisions (`replay_simulated`, `replay_simulated_parallel`,
+//! `replay_real`, `replay_with_backend`) are deprecated shims over the
+//! engines above, pinned bit-identical by equivalence tests.
 
 use std::io;
 use std::path::Path;
@@ -34,6 +42,7 @@ use clio_stats::{Stopwatch, Summary};
 
 use crate::reader::TraceFile;
 use crate::record::{IoOp, TraceRecord};
+use crate::source::{SliceSource, TraceSource};
 
 /// One replayed operation and its latency.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,15 +103,24 @@ impl ReplayReport {
     }
 }
 
-/// Replays against a buffer cache; deterministic.
-pub fn replay_simulated(trace: &TraceFile, config: CacheConfig) -> ReplayReport {
+/// Replays a streaming record source against a buffer cache;
+/// deterministic. Records are consumed one at a time, so the source
+/// never needs to exist as a whole in memory — an iterator-backed or
+/// synthesized stream replays exactly like a loaded [`TraceFile`].
+///
+/// # Panics
+/// Panics if a record's `file_id` is not below the source's declared
+/// `meta().num_files` (loaded traces are validated; hand-rolled
+/// sources must declare honest metadata).
+pub fn replay_source<S: TraceSource + ?Sized>(source: &mut S, config: CacheConfig) -> ReplayReport {
+    let meta = source.meta();
     let mut cache = BufferCache::new(config);
-    let file_ids: Vec<FileId> = (0..trace.header.num_files)
-        .map(|i| cache.register_file(format!("{}#{}", trace.header.sample_file, i)))
+    let file_ids: Vec<FileId> = (0..meta.num_files)
+        .map(|i| cache.register_file(format!("{}#{}", meta.sample_file, i)))
         .collect();
 
-    let mut timings = Vec::with_capacity(trace.records.len());
-    for r in &trace.records {
+    let mut timings = Vec::with_capacity(source.size_hint().0);
+    while let Some(r) = source.next_record() {
         let fid = file_ids[r.file_id as usize];
         let repeats = r.num_records.max(1);
         let mut total = 0.0;
@@ -120,9 +138,18 @@ pub fn replay_simulated(trace: &TraceFile, config: CacheConfig) -> ReplayReport 
             };
             total += outcome.cost_ms;
         }
-        timings.push(OpTiming { record: *r, elapsed_ms: total / repeats as f64 });
+        timings.push(OpTiming { record: r, elapsed_ms: total / repeats as f64 });
     }
     ReplayReport::from_timings(timings)
+}
+
+/// Replays against a buffer cache; deterministic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use clio_exp's Experiment::builder() (or replay_source for low-level streaming)"
+)]
+pub fn replay_simulated(trace: &TraceFile, config: CacheConfig) -> ReplayReport {
+    replay_source(&mut SliceSource::new(trace), config)
 }
 
 /// Options for the parallel simulated replay engine.
@@ -171,9 +198,9 @@ pub struct ParallelReplayReport {
 /// pure function of the trace, never of scheduling. Costs are merged
 /// per record in shard order, so the returned report and metrics are
 /// bit-identical across runs *and* across thread counts; with one
-/// shard they match [`replay_simulated`]'s hit/miss accounting
+/// shard they match [`replay_source`]'s hit/miss accounting
 /// access-for-access.
-pub fn replay_simulated_parallel(
+pub fn replay_parallel(
     trace: &TraceFile,
     config: CacheConfig,
     options: &ParallelReplayOptions,
@@ -238,6 +265,16 @@ pub fn replay_simulated_parallel(
         shard_metrics,
         threads,
     }
+}
+
+/// Replays against a sharded cache with a pool of worker threads.
+#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or replay_parallel)")]
+pub fn replay_simulated_parallel(
+    trace: &TraceFile,
+    config: CacheConfig,
+    options: &ParallelReplayOptions,
+) -> ParallelReplayReport {
+    replay_parallel(trace, config, options)
 }
 
 /// Replays the shards owned by worker `w` (those with `s % threads ==
@@ -376,7 +413,7 @@ impl Default for RealReplayOptions {
 }
 
 /// Replays against a real file at `sample_path`, timing every operation.
-pub fn replay_real(
+pub fn replay_real_file(
     trace: &TraceFile,
     sample_path: impl AsRef<Path>,
     options: RealReplayOptions,
@@ -386,11 +423,21 @@ pub fn replay_real(
     } else {
         RealFsBackend::open_readonly(sample_path)?
     };
-    replay_with_backend(trace, &mut backend, options)
+    replay_backend(trace, &mut backend, options)
+}
+
+/// Replays against a real file at `sample_path`, timing every operation.
+#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or replay_real_file)")]
+pub fn replay_real(
+    trace: &TraceFile,
+    sample_path: impl AsRef<Path>,
+    options: RealReplayOptions,
+) -> io::Result<ReplayReport> {
+    replay_real_file(trace, sample_path, options)
 }
 
 /// Replays against any backend (tests use the in-memory one).
-pub fn replay_with_backend(
+pub fn replay_backend(
     trace: &TraceFile,
     backend: &mut dyn FileBackend,
     options: RealReplayOptions,
@@ -453,10 +500,26 @@ pub fn replay_with_backend(
     Ok(ReplayReport::from_timings(timings))
 }
 
+/// Replays against any backend (tests use the in-memory one).
+#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or replay_backend)")]
+pub fn replay_with_backend(
+    trace: &TraceFile,
+    backend: &mut dyn FileBackend,
+    options: RealReplayOptions,
+) -> io::Result<ReplayReport> {
+    replay_backend(trace, backend, options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use clio_cache::backend::{FaultyBackend, MemBackend};
+
+    /// Canonical serial replay of a materialized trace (the test-side
+    /// shorthand for `replay_source` over a borrowed slice).
+    fn replay(trace: &TraceFile, config: CacheConfig) -> ReplayReport {
+        replay_source(&mut SliceSource::new(trace), config)
+    }
 
     fn simple_trace() -> TraceFile {
         TraceFile::build(
@@ -476,7 +539,7 @@ mod tests {
 
     #[test]
     fn simulated_replay_second_read_is_warm() {
-        let report = replay_simulated(&simple_trace(), CacheConfig::default());
+        let report = replay(&simple_trace(), CacheConfig::default());
         let reads: Vec<f64> = report
             .timings
             .iter()
@@ -489,7 +552,7 @@ mod tests {
 
     #[test]
     fn simulated_close_slower_than_open() {
-        let report = replay_simulated(&simple_trace(), CacheConfig::default());
+        let report = replay(&simple_trace(), CacheConfig::default());
         let open = report.mean_ms(IoOp::Open).unwrap();
         let close = report.mean_ms(IoOp::Close).unwrap();
         assert!(close > open, "close {close} vs open {open} (paper's universal observation)");
@@ -497,8 +560,8 @@ mod tests {
 
     #[test]
     fn simulated_replay_is_deterministic() {
-        let a = replay_simulated(&simple_trace(), CacheConfig::default());
-        let b = replay_simulated(&simple_trace(), CacheConfig::default());
+        let a = replay(&simple_trace(), CacheConfig::default());
+        let b = replay(&simple_trace(), CacheConfig::default());
         let ta: Vec<f64> = a.timings.iter().map(|t| t.elapsed_ms).collect();
         let tb: Vec<f64> = b.timings.iter().map(|t| t.elapsed_ms).collect();
         assert_eq!(ta, tb);
@@ -506,7 +569,7 @@ mod tests {
 
     #[test]
     fn request_rows_match_paper_table_shape() {
-        let report = replay_simulated(&simple_trace(), CacheConfig::default());
+        let report = replay(&simple_trace(), CacheConfig::default());
         let rows = report.request_rows();
         // 2 reads + 1 seek + 1 write.
         assert_eq!(rows.len(), 4);
@@ -521,7 +584,7 @@ mod tests {
         let mut rec = TraceRecord::simple(IoOp::Read, 0, 0, 4096);
         rec.num_records = 5;
         let t = TraceFile::build("s.dat", 1, vec![rec]).unwrap();
-        let report = replay_simulated(&t, CacheConfig::default());
+        let report = replay(&t, CacheConfig::default());
         // First of the 5 faults, the rest hit: mean is between.
         let mean = report.timings[0].elapsed_ms;
         assert!(mean > 0.0);
@@ -533,8 +596,7 @@ mod tests {
     fn real_replay_against_mem_backend() {
         let mut backend = MemBackend::with_data(vec![7u8; 2_000_000]);
         let report =
-            replay_with_backend(&simple_trace(), &mut backend, RealReplayOptions::default())
-                .unwrap();
+            replay_backend(&simple_trace(), &mut backend, RealReplayOptions::default()).unwrap();
         assert_eq!(report.timings.len(), 6);
         assert!(report.timings.iter().all(|t| t.elapsed_ms >= 0.0));
         assert!(report.mean_ms(IoOp::Read).is_some());
@@ -544,7 +606,7 @@ mod tests {
     fn real_replay_readonly_does_not_write() {
         let mut backend = MemBackend::with_data(vec![7u8; 2_000_000]);
         let before = backend.data().to_vec();
-        replay_with_backend(&simple_trace(), &mut backend, RealReplayOptions::default()).unwrap();
+        replay_backend(&simple_trace(), &mut backend, RealReplayOptions::default()).unwrap();
         assert_eq!(backend.data(), &before[..], "read-only replay must not mutate");
     }
 
@@ -560,14 +622,14 @@ mod tests {
         .unwrap();
         let mut backend = MemBackend::with_data(vec![7u8; 2_000_000]);
         let opts = RealReplayOptions { allow_writes: true, ..Default::default() };
-        replay_with_backend(&t, &mut backend, opts).unwrap();
+        replay_backend(&t, &mut backend, opts).unwrap();
         assert_eq!(backend.data()[1_000_000], 0u8, "write landed");
     }
 
     #[test]
     fn real_replay_propagates_backend_failure() {
         let mut backend = FaultyBackend::new(MemBackend::with_data(vec![0u8; 1024]), 1);
-        let err = replay_with_backend(&simple_trace(), &mut backend, RealReplayOptions::default());
+        let err = replay_backend(&simple_trace(), &mut backend, RealReplayOptions::default());
         assert!(err.is_err());
     }
 
@@ -576,9 +638,9 @@ mod tests {
         // One shard, one worker: the cache state machine is exactly the
         // serial engine's, so per-record timings agree too.
         let trace = simple_trace();
-        let serial = replay_simulated(&trace, CacheConfig::default());
+        let serial = replay(&trace, CacheConfig::default());
         let opts = ParallelReplayOptions { threads: 1, shards: 1 };
-        let par = replay_simulated_parallel(&trace, CacheConfig::default(), &opts);
+        let par = replay_parallel(&trace, CacheConfig::default(), &opts);
         assert_eq!(par.report.timings.len(), serial.timings.len());
         for (a, b) in serial.timings.iter().zip(&par.report.timings) {
             assert_eq!(a.record, b.record);
@@ -604,13 +666,13 @@ mod tests {
         let trace = TraceFile::build("p.dat", 1, recs).unwrap();
         let config = CacheConfig { capacity_pages: 64, ..Default::default() };
 
-        let base = replay_simulated_parallel(
+        let base = replay_parallel(
             &trace,
             config.clone(),
             &ParallelReplayOptions { threads: 1, shards: 8 },
         );
         for threads in [2usize, 3, 5, 8] {
-            let r = replay_simulated_parallel(
+            let r = replay_parallel(
                 &trace,
                 config.clone(),
                 &ParallelReplayOptions { threads, shards: 8 },
@@ -627,7 +689,7 @@ mod tests {
     #[test]
     fn parallel_replay_clamps_threads_to_shards() {
         let trace = simple_trace();
-        let par = replay_simulated_parallel(
+        let par = replay_parallel(
             &trace,
             CacheConfig::default(),
             &ParallelReplayOptions { threads: 64, shards: 4 },
@@ -642,7 +704,7 @@ mod tests {
         let t =
             TraceFile::build("s.dat", 1, vec![TraceRecord::simple(IoOp::Read, 0, 50, 1_000_000)])
                 .unwrap();
-        let report = replay_with_backend(&t, &mut backend, RealReplayOptions::default()).unwrap();
+        let report = replay_backend(&t, &mut backend, RealReplayOptions::default()).unwrap();
         assert_eq!(report.timings.len(), 1);
     }
 }

@@ -1,0 +1,526 @@
+//! Streaming trace sources.
+//!
+//! A [`TraceSource`] yields [`TraceRecord`]s one at a time, so a replay
+//! engine can consume a workload without a full in-memory [`TraceFile`]
+//! ever existing — the door to replaying traces larger than memory and
+//! to synthesizing unbounded workloads on the fly. Everything a replay
+//! engine needs up front (sample-file name, file and process counts)
+//! travels separately as [`SourceMeta`].
+//!
+//! Concrete sources:
+//!
+//! - [`SliceSource`] — borrows a [`TraceFile`] (or a raw record slice);
+//!   the zero-copy adapter legacy entry points use,
+//! - [`SharedSource`] — owns an `Arc<TraceFile>`; the adapter for
+//!   workloads that hold a materialized trace,
+//! - [`IterSource`] — wraps *any* `Iterator<Item = TraceRecord>`, so a
+//!   generator closure can feed a replay directly,
+//! - [`crate::synth::SynthSource`] — the streaming statistical
+//!   synthesizer.
+//!
+//! Combinators build mixed scenarios out of simpler ones:
+//!
+//! - [`ChainSource`] — run A to completion, then B,
+//! - [`InterleaveSource`] — round-robin merge of A and B,
+//! - [`WeightedSource`] — ratio-weighted merge (a records from A per b
+//!   from B).
+//!
+//! The concurrent merges give the two inputs **disjoint namespaces**:
+//! B's file ids are offset by A's file count and B's pids by A's
+//! process count, so a mix models two applications running concurrently
+//! against their own files (contending for cache capacity and disk
+//! time, not sharing pages). A chain offsets only file ids — its pid
+//! spaces stay shared so the composition is sequential per process
+//! even under pid-grouping engines. Captured clocks pass through
+//! untouched.
+
+use std::sync::Arc;
+
+use crate::error::TraceError;
+use crate::reader::TraceFile;
+use crate::record::TraceRecord;
+
+/// The header-level facts a replay engine needs before the first record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceMeta {
+    /// Name of the sample file the trace runs against.
+    pub sample_file: String,
+    /// Number of capturing processes.
+    pub num_processes: u32,
+    /// Number of distinct files the records may reference; every
+    /// record's `file_id` must be below this.
+    pub num_files: u32,
+}
+
+impl SourceMeta {
+    /// Extracts the metadata of an existing trace.
+    pub fn of(trace: &TraceFile) -> Self {
+        Self {
+            sample_file: trace.header.sample_file.clone(),
+            num_processes: trace.header.num_processes,
+            num_files: trace.header.num_files,
+        }
+    }
+}
+
+/// A stream of trace records.
+///
+/// Implementations must yield records in capture order and must keep
+/// every record's `file_id` below `meta().num_files` — replay engines
+/// size their file tables from the metadata.
+pub trait TraceSource {
+    /// The header-level metadata of the stream.
+    fn meta(&self) -> SourceMeta;
+
+    /// The next record, or `None` once the stream is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Bounds on the number of records remaining, iterator-style:
+    /// `(lower, upper)` with `None` for "unknown". Engines use the
+    /// lower bound to pre-size result buffers.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn meta(&self) -> SourceMeta {
+        (**self).meta()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        (**self).next_record()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (**self).size_hint()
+    }
+}
+
+/// Collects a source into an in-memory [`TraceFile`].
+///
+/// The header is rebuilt from the metadata and the collected records;
+/// sources whose metadata declares more files than the records touch
+/// keep the declared count.
+pub fn materialize<S: TraceSource + ?Sized>(source: &mut S) -> Result<TraceFile, TraceError> {
+    let meta = source.meta();
+    let mut records = Vec::with_capacity(source.size_hint().0);
+    while let Some(r) = source.next_record() {
+        records.push(r);
+    }
+    let mut trace = TraceFile::build(meta.sample_file, meta.num_processes, records)?;
+    if meta.num_files > trace.header.num_files {
+        trace.header.num_files = meta.num_files;
+    }
+    Ok(trace)
+}
+
+/// A zero-copy source over a borrowed trace (or raw record slice).
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    records: &'a [TraceRecord],
+    meta: SourceMeta,
+    cursor: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Streams an existing trace without copying it.
+    pub fn new(trace: &'a TraceFile) -> Self {
+        Self { records: &trace.records, meta: SourceMeta::of(trace), cursor: 0 }
+    }
+
+    /// Streams a raw record slice under explicit metadata.
+    pub fn from_parts(records: &'a [TraceRecord], meta: SourceMeta) -> Self {
+        Self { records, meta, cursor: 0 }
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn meta(&self) -> SourceMeta {
+        self.meta.clone()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.cursor).copied();
+        self.cursor += r.is_some() as usize;
+        r
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.records.len() - self.cursor;
+        (left, Some(left))
+    }
+}
+
+/// A source over a shared, reference-counted trace.
+#[derive(Debug, Clone)]
+pub struct SharedSource {
+    trace: Arc<TraceFile>,
+    cursor: usize,
+}
+
+impl SharedSource {
+    /// Streams a shared trace (cheap to re-open: clone the `Arc`).
+    pub fn new(trace: Arc<TraceFile>) -> Self {
+        Self { trace, cursor: 0 }
+    }
+}
+
+impl TraceSource for SharedSource {
+    fn meta(&self) -> SourceMeta {
+        SourceMeta::of(&self.trace)
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.trace.records.get(self.cursor).copied();
+        self.cursor += r.is_some() as usize;
+        r
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.trace.records.len() - self.cursor;
+        (left, Some(left))
+    }
+}
+
+/// A source over any record iterator — the adapter that lets generator
+/// closures feed a replay with no backing collection at all.
+#[derive(Debug, Clone)]
+pub struct IterSource<I> {
+    iter: I,
+    meta: SourceMeta,
+}
+
+impl<I: Iterator<Item = TraceRecord>> IterSource<I> {
+    /// Wraps `iter` under `meta`. The caller vouches that every yielded
+    /// record's `file_id` is below `meta.num_files`.
+    pub fn new(meta: SourceMeta, iter: I) -> Self {
+        Self { iter, meta }
+    }
+}
+
+impl<I: Iterator<Item = TraceRecord>> TraceSource for IterSource<I> {
+    fn meta(&self) -> SourceMeta {
+        self.meta.clone()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.iter.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// Offsets a record of the second input into the combined namespace.
+fn remap(mut r: TraceRecord, pid_offset: u32, file_offset: u32) -> TraceRecord {
+    r.pid += pid_offset;
+    r.file_id += file_offset;
+    r
+}
+
+/// Combined metadata of two inputs: disjoint file and process spaces.
+fn combined_meta(kind: &str, a: &SourceMeta, b: &SourceMeta) -> SourceMeta {
+    SourceMeta {
+        sample_file: format!("{kind}({},{})", a.sample_file, b.sample_file),
+        num_processes: a.num_processes + b.num_processes,
+        num_files: a.num_files + b.num_files,
+    }
+}
+
+/// Adds two size hints.
+fn add_hints(a: (usize, Option<usize>), b: (usize, Option<usize>)) -> (usize, Option<usize>) {
+    (a.0 + b.0, a.1.zip(b.1).map(|(x, y)| x + y))
+}
+
+/// Sequential composition: all of A, then all of B.
+///
+/// Unlike the concurrent merges, a chain keeps the two inputs' **pid
+/// spaces shared** — B's process `p` continues A's process `p`, which
+/// is what makes the composition genuinely sequential even under
+/// engines that group records by pid (a process issues all of its A
+/// records before its first B record). Only B's file ids are offset
+/// into a fresh namespace (phase two works on its own files).
+#[derive(Debug)]
+pub struct ChainSource<A, B> {
+    a: A,
+    b: B,
+    meta: SourceMeta,
+    file_offset: u32,
+}
+
+impl<A: TraceSource, B: TraceSource> ChainSource<A, B> {
+    /// Chains `a` before `b`.
+    pub fn new(a: A, b: B) -> Self {
+        let (ma, mb) = (a.meta(), b.meta());
+        let meta = SourceMeta {
+            sample_file: format!("chain({},{})", ma.sample_file, mb.sample_file),
+            num_processes: ma.num_processes.max(mb.num_processes),
+            num_files: ma.num_files + mb.num_files,
+        };
+        Self { a, b, meta, file_offset: ma.num_files }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for ChainSource<A, B> {
+    fn meta(&self) -> SourceMeta {
+        self.meta.clone()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.a.next_record().or_else(|| self.b.next_record().map(|r| remap(r, 0, self.file_offset)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        add_hints(self.a.size_hint(), self.b.size_hint())
+    }
+}
+
+/// Round-robin merge: one record from A, one from B, alternating; when
+/// one side runs dry the other drains. B is remapped into the combined
+/// namespace. Deterministic — the schedule depends only on the inputs.
+#[derive(Debug)]
+pub struct InterleaveSource<A, B> {
+    a: A,
+    b: B,
+    meta: SourceMeta,
+    pid_offset: u32,
+    file_offset: u32,
+    /// Whose turn it is next.
+    take_a: bool,
+}
+
+impl<A: TraceSource, B: TraceSource> InterleaveSource<A, B> {
+    /// Interleaves `a` and `b`, starting with `a`.
+    pub fn new(a: A, b: B) -> Self {
+        let (ma, mb) = (a.meta(), b.meta());
+        let meta = combined_meta("mix", &ma, &mb);
+        Self { a, b, meta, pid_offset: ma.num_processes, file_offset: ma.num_files, take_a: true }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for InterleaveSource<A, B> {
+    fn meta(&self) -> SourceMeta {
+        self.meta.clone()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let from_b =
+            |s: &mut Self| s.b.next_record().map(|r| remap(r, s.pid_offset, s.file_offset));
+        if self.take_a {
+            self.take_a = false;
+            self.a.next_record().or_else(|| from_b(self))
+        } else {
+            self.take_a = true;
+            from_b(self).or_else(|| self.a.next_record())
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        add_hints(self.a.size_hint(), self.b.size_hint())
+    }
+}
+
+/// Ratio-weighted merge: `weight_a` records from A, then `weight_b`
+/// from B, repeating; an exhausted side yields its turns to the other.
+/// B is remapped into the combined namespace. Deterministic.
+#[derive(Debug)]
+pub struct WeightedSource<A, B> {
+    a: A,
+    b: B,
+    meta: SourceMeta,
+    pid_offset: u32,
+    file_offset: u32,
+    weight_a: u32,
+    weight_b: u32,
+    /// Records already taken in the current burst.
+    taken: u32,
+    /// Whether the current burst draws from A.
+    on_a: bool,
+}
+
+impl<A: TraceSource, B: TraceSource> WeightedSource<A, B> {
+    /// Merges `weight_a` records of `a` per `weight_b` records of `b`.
+    ///
+    /// # Panics
+    /// Panics if either weight is zero.
+    pub fn new(a: A, b: B, weight_a: u32, weight_b: u32) -> Self {
+        assert!(weight_a > 0 && weight_b > 0, "merge weights must be positive");
+        let (ma, mb) = (a.meta(), b.meta());
+        let meta = combined_meta("mix", &ma, &mb);
+        Self {
+            a,
+            b,
+            meta,
+            pid_offset: ma.num_processes,
+            file_offset: ma.num_files,
+            weight_a,
+            weight_b,
+            taken: 0,
+            on_a: true,
+        }
+    }
+
+    fn flip(&mut self) {
+        self.on_a = !self.on_a;
+        self.taken = 0;
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for WeightedSource<A, B> {
+    fn meta(&self) -> SourceMeta {
+        self.meta.clone()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        // The stream ends only when *both* sides come up dry; flips
+        // that merely end a full burst don't count against that.
+        let mut dry_sides = 0;
+        while dry_sides < 2 {
+            let budget = if self.on_a { self.weight_a } else { self.weight_b };
+            if self.taken >= budget {
+                self.flip();
+                continue;
+            }
+            let next = if self.on_a {
+                self.a.next_record()
+            } else {
+                self.b.next_record().map(|r| remap(r, self.pid_offset, self.file_offset))
+            };
+            match next {
+                Some(r) => {
+                    self.taken += 1;
+                    return Some(r);
+                }
+                None => {
+                    dry_sides += 1;
+                    self.flip();
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        add_hints(self.a.size_hint(), self.b.size_hint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::IoOp;
+
+    fn reads(n: usize, file_id: u32) -> TraceFile {
+        let records = (0..n)
+            .map(|i| TraceRecord::simple(IoOp::Read, file_id, i as u64 * 4096, 4096))
+            .collect();
+        TraceFile::build(format!("f{file_id}.dat"), 1, records).unwrap()
+    }
+
+    fn drain(mut s: impl TraceSource) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        while let Some(r) = s.next_record() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn slice_source_round_trips() {
+        let t = reads(5, 0);
+        let src = SliceSource::new(&t);
+        assert_eq!(src.meta(), SourceMeta::of(&t));
+        assert_eq!(src.size_hint(), (5, Some(5)));
+        assert_eq!(drain(src), t.records);
+    }
+
+    #[test]
+    fn shared_source_round_trips() {
+        let t = Arc::new(reads(4, 0));
+        let src = SharedSource::new(t.clone());
+        assert_eq!(drain(src), t.records);
+    }
+
+    #[test]
+    fn materialize_rebuilds_the_trace() {
+        let t = reads(6, 0);
+        let back = materialize(&mut SliceSource::new(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn materialize_keeps_declared_file_count() {
+        // A source may declare files its records never touch.
+        let meta = SourceMeta { sample_file: "s.dat".into(), num_processes: 1, num_files: 3 };
+        let records = vec![TraceRecord::simple(IoOp::Read, 0, 0, 4096)];
+        let mut src = IterSource::new(meta, records.into_iter());
+        let t = materialize(&mut src).unwrap();
+        assert_eq!(t.header.num_files, 3);
+    }
+
+    #[test]
+    fn iter_source_streams_a_generator() {
+        let meta = SourceMeta { sample_file: "gen.dat".into(), num_processes: 1, num_files: 1 };
+        let gen = (0..100u64).map(|i| TraceRecord::simple(IoOp::Read, 0, i * 8192, 8192));
+        let src = IterSource::new(meta, gen);
+        let records = drain(src);
+        assert_eq!(records.len(), 100);
+        assert_eq!(records[99].offset, 99 * 8192);
+    }
+
+    #[test]
+    fn chain_runs_a_then_b_with_shared_pids_and_fresh_files() {
+        let (a, b) = (reads(2, 0), reads(3, 0));
+        let src = ChainSource::new(SliceSource::new(&a), SliceSource::new(&b));
+        let meta = src.meta();
+        assert_eq!(meta.num_files, 2);
+        assert_eq!(meta.num_processes, 1, "chained phases share the pid space");
+        let records = drain(src);
+        assert_eq!(records.len(), 5);
+        assert!(records[..2].iter().all(|r| r.file_id == 0 && r.pid == 0));
+        assert!(records[2..].iter().all(|r| r.file_id == 1 && r.pid == 0));
+    }
+
+    #[test]
+    fn interleave_alternates_and_drains_the_longer_side() {
+        let (a, b) = (reads(2, 0), reads(4, 0));
+        let src = InterleaveSource::new(SliceSource::new(&a), SliceSource::new(&b));
+        let files: Vec<u32> = drain(src).iter().map(|r| r.file_id).collect();
+        assert_eq!(files, vec![0, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn weighted_merge_respects_the_ratio() {
+        let (a, b) = (reads(6, 0), reads(2, 0));
+        let src = WeightedSource::new(SliceSource::new(&a), SliceSource::new(&b), 3, 1);
+        let files: Vec<u32> = drain(src).iter().map(|r| r.file_id).collect();
+        assert_eq!(files, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn weighted_merge_survives_either_side_draining_first() {
+        let (a, b) = (reads(1, 0), reads(5, 0));
+        let src = WeightedSource::new(SliceSource::new(&a), SliceSource::new(&b), 2, 1);
+        let records = drain(src);
+        assert_eq!(records.len(), 6);
+        assert_eq!(records.iter().filter(|r| r.file_id == 1).count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge weights must be positive")]
+    fn zero_weight_panics() {
+        let (a, b) = (reads(1, 0), reads(1, 0));
+        let _ = WeightedSource::new(SliceSource::new(&a), SliceSource::new(&b), 0, 1);
+    }
+
+    #[test]
+    fn merged_streams_materialize_to_valid_traces() {
+        let (a, b) = (reads(3, 0), reads(3, 0));
+        let mut src = InterleaveSource::new(SliceSource::new(&a), SliceSource::new(&b));
+        let t = materialize(&mut src).unwrap();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.header.num_files, 2);
+    }
+}

@@ -12,9 +12,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::reader::TraceFile;
-use crate::record::IoOp;
+use crate::record::{IoOp, TraceRecord};
+use crate::source::{materialize, SourceMeta, TraceSource};
 use crate::stats::TraceStats;
-use crate::writer::TraceWriter;
 
 /// A statistical description of a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,43 +102,156 @@ impl TraceProfile {
     }
 }
 
+/// The sample-file name every synthesized trace replays against.
+const SYNTH_SAMPLE: &str = "synthetic-sample.dat";
+
+/// Virtual-clock advance per synthesized record, microseconds (the
+/// [`crate::writer::TraceWriter`] default).
+const SYNTH_TICK_US: u64 = 10;
+
+/// Where the synthesis state machine is in the open → data ops → close
+/// record sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SynthState {
+    Open,
+    Data,
+    Done,
+}
+
+/// A streaming statistical synthesizer: yields the same record stream
+/// as [`synthesize`] — one record at a time, with O(1) memory — so
+/// workloads of any length can be replayed without ever materializing
+/// them. [`synthesize`] itself is this source collected into a
+/// [`TraceFile`], which is what makes the two bit-identical.
+#[derive(Debug, Clone)]
+pub struct SynthSource {
+    profile: TraceProfile,
+    rng: StdRng,
+    state: SynthState,
+    /// Data record staged behind an explicit seek.
+    pending: Option<TraceRecord>,
+    emitted_data_ops: usize,
+    position: u64,
+    clock_us: u64,
+}
+
+impl SynthSource {
+    /// Creates a streaming synthesizer for `profile`.
+    pub fn new(profile: TraceProfile) -> Result<Self, String> {
+        profile.validate()?;
+        let rng = StdRng::seed_from_u64(profile.seed);
+        Ok(Self {
+            profile,
+            rng,
+            state: SynthState::Open,
+            pending: None,
+            emitted_data_ops: 0,
+            position: 0,
+            clock_us: 0,
+        })
+    }
+
+    /// Stamps a record the way [`crate::writer::TraceWriter`] does:
+    /// advance the virtual clock, then record both clocks.
+    fn stamp(&mut self, op: IoOp, offset: u64, length: u64) -> TraceRecord {
+        self.clock_us += SYNTH_TICK_US;
+        TraceRecord {
+            op,
+            num_records: 1,
+            pid: 0,
+            file_id: 0,
+            wall_clock_us: self.clock_us,
+            proc_clock_us: self.clock_us,
+            offset,
+            length,
+        }
+    }
+
+    /// Draws the next data operation; returns the seek record when the
+    /// profile calls for an explicit reposition (the data record is
+    /// then staged in `pending`).
+    fn next_data_op(&mut self) -> TraceRecord {
+        let p = self.profile.clone();
+        let (lo, hi) = p.request_size;
+        let size = if lo == hi {
+            lo
+        } else {
+            let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln());
+            self.rng.gen_range(ln_lo..=ln_hi).exp().round().clamp(lo as f64, hi as f64) as u64
+        };
+        let sequential = self.rng.gen_bool(p.sequentiality);
+        let mut seek = None;
+        if !sequential {
+            self.position = self.rng.gen_range(0..=p.file_size - size);
+            if p.explicit_seeks {
+                seek = Some(self.stamp(IoOp::Seek, self.position, 0));
+            }
+        } else if self.position + size > p.file_size {
+            self.position = 0; // wrap the sequential stream at EOF
+        }
+        let op = if self.rng.gen_bool(p.write_fraction) { IoOp::Write } else { IoOp::Read };
+        let data = self.stamp(op, self.position, size);
+        self.position += size;
+        self.emitted_data_ops += 1;
+        match seek {
+            Some(s) => {
+                self.pending = Some(data);
+                s
+            }
+            None => data,
+        }
+    }
+}
+
+impl TraceSource for SynthSource {
+    fn meta(&self) -> SourceMeta {
+        SourceMeta { sample_file: SYNTH_SAMPLE.into(), num_processes: 1, num_files: 1 }
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if let Some(data) = self.pending.take() {
+            return Some(data);
+        }
+        match self.state {
+            SynthState::Open => {
+                self.state = SynthState::Data;
+                Some(self.stamp(IoOp::Open, 0, 0))
+            }
+            SynthState::Data => {
+                if self.emitted_data_ops >= self.profile.data_ops {
+                    self.state = SynthState::Done;
+                    return Some(self.stamp(IoOp::Close, 0, 0));
+                }
+                Some(self.next_data_op())
+            }
+            SynthState::Done => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Open + close + the data ops; explicit seeks can double the
+        // data-op count.
+        let left = self.profile.data_ops - self.emitted_data_ops;
+        let base = left
+            + matches!(self.state, SynthState::Open) as usize
+            + !matches!(self.state, SynthState::Done) as usize
+            + self.pending.is_some() as usize;
+        (base, Some(base + left))
+    }
+}
+
 /// Synthesizes a trace matching `profile` (open, the data ops, close).
+///
+/// This is [`SynthSource`] collected into a [`TraceFile`]; streaming
+/// and materialized synthesis share one code path and are therefore
+/// record-for-record identical.
 ///
 /// # Panics
 /// Panics if the profile fails validation — synthesis parameters are
 /// programmer input, not runtime data.
 pub fn synthesize(profile: &TraceProfile) -> TraceFile {
-    profile.validate().expect("invalid trace profile");
-    let mut rng = StdRng::seed_from_u64(profile.seed);
-    let mut w = TraceWriter::new("synthetic-sample.dat");
-    w.op(IoOp::Open, 0, 0, 0);
-
-    let (lo, hi) = profile.request_size;
-    let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln());
-    let mut position = 0u64;
-
-    for _ in 0..profile.data_ops {
-        let size = if lo == hi {
-            lo
-        } else {
-            rng.gen_range(ln_lo..=ln_hi).exp().round().clamp(lo as f64, hi as f64) as u64
-        };
-        let sequential = rng.gen_bool(profile.sequentiality);
-        if !sequential {
-            position = rng.gen_range(0..=profile.file_size - size);
-            if profile.explicit_seeks {
-                w.op(IoOp::Seek, 0, position, 0);
-            }
-        } else if position + size > profile.file_size {
-            position = 0; // wrap the sequential stream at EOF
-        }
-        let op = if rng.gen_bool(profile.write_fraction) { IoOp::Write } else { IoOp::Read };
-        w.op(op, 0, position, size);
-        position += size;
-    }
-
-    w.op(IoOp::Close, 0, 0, 0);
-    w.finish().expect("synthesized records are valid")
+    let mut source = SynthSource::new(profile.clone()).expect("invalid trace profile");
+    materialize(&mut source).expect("synthesized records are valid")
 }
 
 /// Extracts the profile axes back out of a trace for verification:
@@ -241,6 +354,43 @@ mod tests {
     #[should_panic(expected = "invalid trace profile")]
     fn synthesize_panics_on_invalid() {
         synthesize(&TraceProfile { write_fraction: 2.0, ..Default::default() });
+    }
+
+    #[test]
+    fn streaming_source_rejects_invalid_profiles() {
+        assert!(
+            SynthSource::new(TraceProfile { sequentiality: 7.0, ..Default::default() }).is_err()
+        );
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_record_for_record() {
+        let p = TraceProfile {
+            write_fraction: 0.3,
+            sequentiality: 0.5,
+            data_ops: 300,
+            ..Default::default()
+        };
+        let t = synthesize(&p);
+        let mut src = SynthSource::new(p).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(r) = src.next_record() {
+            streamed.push(r);
+        }
+        assert_eq!(streamed, t.records, "streaming and materialized synthesis diverged");
+    }
+
+    #[test]
+    fn streaming_source_size_hint_brackets_the_stream() {
+        let p = TraceProfile { data_ops: 40, sequentiality: 0.5, ..Default::default() };
+        let mut src = SynthSource::new(p).unwrap();
+        let (lo, hi) = src.size_hint();
+        let mut n = 0usize;
+        while src.next_record().is_some() {
+            n += 1;
+        }
+        assert!(n >= lo, "{n} >= {lo}");
+        assert!(n <= hi.unwrap(), "{n} <= {hi:?}");
     }
 
     proptest! {

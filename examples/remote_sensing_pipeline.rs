@@ -13,11 +13,21 @@
 //! ```
 
 use clio_core::apps::{radar, render};
-use clio_core::cache::cache::CacheConfig;
+use clio_core::prelude::{Experiment, Report, Workload};
 use clio_core::trace::record::IoOp;
-use clio_core::trace::replay::replay_simulated;
 use clio_core::trace::stats::TraceStats;
 use clio_core::trace::transform;
+use clio_core::trace::TraceFile;
+
+/// Serial cached replay through the unified experiment API.
+fn replay(trace: &TraceFile) -> Report {
+    Experiment::builder()
+        .workload(Workload::trace(trace.clone()))
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs")
+}
 
 fn main() {
     // Stage 1: focus a SAR scene.
@@ -59,13 +69,16 @@ fn main() {
     }
 
     // Stage 4: replay the merged timeline through the simulated cache.
-    let report = replay_simulated(&mission, CacheConfig::default());
-    println!("\nreplay through the buffer cache: {:.3} ms simulated I/O time", report.total_ms());
+    let report = replay(&mission);
+    println!(
+        "\nreplay through the buffer cache: {:.3} ms simulated I/O time",
+        report.total_ms().expect("replay engines report total time")
+    );
     let reads = transform::filter_by_op(&mission, &[IoOp::Read]).expect("filter is total");
-    let read_report = replay_simulated(&reads, CacheConfig::default());
+    let read_report = replay(&reads);
     println!(
         "reads alone: {} records, {:.3} ms simulated",
         reads.records.len(),
-        read_report.total_ms()
+        read_report.total_ms().expect("replay engines report total time")
     );
 }

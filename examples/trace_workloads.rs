@@ -8,9 +8,8 @@
 //! ```
 
 use clio_core::apps::{cholesky, dmine, lu, pgrep, rdb, titan};
-use clio_core::cache::cache::CacheConfig;
+use clio_core::prelude::{Experiment, Workload};
 use clio_core::trace::record::IoOp;
-use clio_core::trace::replay::replay_simulated;
 use clio_core::trace::stats::TraceStats;
 use clio_core::trace::writer;
 use clio_core::trace::TraceFile;
@@ -26,10 +25,15 @@ fn describe(name: &str, trace: &TraceFile) {
         stats.count(IoOp::Seek),
         stats.sequentiality * 100.0
     );
-    let report = replay_simulated(trace, CacheConfig::default());
+    let report = Experiment::builder()
+        .workload(Workload::trace(trace.clone()))
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs");
     println!(
         "  replayed: total {:.3} ms | mean read {} | open {} / close {}",
-        report.total_ms(),
+        report.total_ms().expect("replay engines report total time"),
         report.mean_ms(IoOp::Read).map_or("n/a".into(), |v| format!("{v:.5} ms")),
         report.mean_ms(IoOp::Open).map_or("n/a".into(), |v| format!("{v:.5} ms")),
         report.mean_ms(IoOp::Close).map_or("n/a".into(), |v| format!("{v:.5} ms")),

@@ -12,7 +12,7 @@
 //!     unable to change which pages a shard-local policy evicts on a
 //!     given stream.
 //!
-//! These are the pins behind `replay_simulated_parallel`'s determinism
+//! These are the pins behind `replay_parallel`'s determinism
 //! guarantee; shrinking in the vendored proptest reports minimized
 //! operation streams when an invariant breaks.
 

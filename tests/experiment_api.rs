@@ -1,0 +1,328 @@
+//! Equivalence and property layer for the unified experiment API.
+//!
+//! Two families of pins:
+//!
+//! 1. **Legacy-shim equivalence.** The deprecated free functions
+//!    (`replay_simulated`, `replay_simulated_parallel`,
+//!    `simulate_trace`, `simulate_trace_scheduled`) must produce
+//!    **bit-identical** reports to the `Experiment::builder()` path —
+//!    per policy, per engine. This is the contract that lets callers
+//!    migrate without re-baselining a single number.
+//! 2. **Streaming equivalence.** A workload consumed as a stream
+//!    (synthesizer, iterator-backed generator) must replay
+//!    access-for-access identically to the same workload materialized
+//!    as a `TraceFile` first.
+
+use proptest::prelude::*;
+
+use clio_core::cache::policy::ReplacementPolicy;
+use clio_core::prelude::*;
+use clio_core::trace::record::TraceRecord;
+use clio_core::trace::replay::{OpTiming, ParallelReplayOptions};
+use clio_core::trace::source::{IterSource, SourceMeta};
+use clio_core::trace::synth::synthesize;
+use clio_core::trace::TraceFile;
+
+/// Builder-path serial replay timings for a materialized trace.
+fn builder_timings(trace: &TraceFile, config: CacheConfig) -> Vec<OpTiming> {
+    Experiment::builder()
+        .workload(Workload::trace(trace.clone()))
+        .engine(Engine::SerialReplay)
+        .cache(config)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs")
+        .replay
+        .expect("serial replay fills the replay section")
+        .timings
+}
+
+#[test]
+fn builder_serial_replay_is_bit_identical_to_legacy_per_policy() {
+    let trace = synthesize(&TraceProfile {
+        data_ops: 600,
+        write_fraction: 0.25,
+        sequentiality: 0.6,
+        ..Default::default()
+    });
+    for policy in ReplacementPolicy::ALL {
+        let config = CacheConfig { policy, capacity_pages: 256, ..Default::default() };
+        #[allow(deprecated)]
+        let legacy = clio_core::trace::replay::replay_simulated(&trace, config.clone());
+        let new = builder_timings(&trace, config);
+        assert_eq!(new, legacy.timings, "{policy:?}: builder diverged from legacy");
+    }
+}
+
+#[test]
+fn builder_parallel_replay_is_bit_identical_to_legacy() {
+    let trace = synthesize(&TraceProfile {
+        data_ops: 800,
+        write_fraction: 0.3,
+        sequentiality: 0.5,
+        seed: 0xE0,
+        ..Default::default()
+    });
+    let config = CacheConfig { capacity_pages: 128, ..Default::default() };
+    let opts = ParallelReplayOptions { threads: 3, shards: 8 };
+    #[allow(deprecated)]
+    let legacy = clio_core::trace::replay::replay_simulated_parallel(&trace, config.clone(), &opts);
+    let report = Experiment::builder()
+        .workload(Workload::trace(trace.clone()))
+        .engine(Engine::ParallelReplay)
+        .cache(config)
+        .threads(3)
+        .shards(8)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs");
+    assert_eq!(report.replay.unwrap().timings, legacy.report.timings);
+    assert_eq!(report.cache_metrics.unwrap(), legacy.metrics);
+    assert_eq!(report.shard_metrics.unwrap(), legacy.shard_metrics);
+    assert_eq!(report.threads_used.unwrap(), legacy.threads);
+}
+
+#[test]
+fn builder_trace_sim_is_bit_identical_to_legacy() {
+    let mut records = synthesize(&TraceProfile { data_ops: 400, ..Default::default() }).records;
+    for (i, r) in records.iter_mut().enumerate() {
+        r.pid = (i % 3) as u32;
+    }
+    let trace = TraceFile::build("sim.dat", 3, records).expect("valid trace");
+    let machine = MachineConfig::with_disks(2);
+    #[allow(deprecated)]
+    let legacy = clio_core::sim::trace_driven::simulate_trace(
+        &trace,
+        &machine,
+        &clio_core::sim::trace_driven::TraceSimOptions::default(),
+    );
+    let report = Experiment::builder()
+        .workload(Workload::trace(trace))
+        .engine(Engine::TraceSim)
+        .machine(machine)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("sim runs");
+    assert_eq!(report.sim.unwrap(), legacy);
+}
+
+#[test]
+fn builder_scheduled_sim_is_bit_identical_to_legacy() {
+    let trace = synthesize(&TraceProfile {
+        data_ops: 200,
+        sequentiality: 0.1,
+        seed: 0x5C4ED,
+        ..Default::default()
+    });
+    for policy in clio_core::sim::sched::Policy::ALL {
+        #[allow(deprecated)]
+        let legacy = clio_core::sim::sched_replay::simulate_trace_scheduled(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &clio_core::sim::sched_replay::SchedReplayOptions { policy, ..Default::default() },
+        );
+        let report = Experiment::builder()
+            .workload(Workload::trace(trace.clone()))
+            .engine(Engine::ScheduledSim)
+            .machine(MachineConfig::uniprocessor())
+            .sched_policy(policy)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .expect("sim runs");
+        assert_eq!(report.sim.unwrap(), legacy, "{}", policy.name());
+    }
+}
+
+#[test]
+fn real_replay_engine_runs_against_a_real_file() {
+    let dir = std::env::temp_dir().join(format!("clio-exp-real-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sample = dir.join("sample.dat");
+    std::fs::write(&sample, vec![7u8; 256 * 1024]).expect("sample file");
+
+    let trace = synthesize(&TraceProfile {
+        data_ops: 32,
+        file_size: 256 * 1024,
+        request_size: (512, 4096),
+        ..Default::default()
+    });
+    let report = Experiment::builder()
+        .workload(Workload::trace(trace.clone()))
+        .engine(Engine::RealReplay { sample: sample.clone() })
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("real replay runs");
+    let replay = report.replay.expect("real replay fills the replay section");
+    assert_eq!(replay.timings.len(), trace.len());
+    assert!(replay.timings.iter().all(|t| t.elapsed_ms >= 0.0));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The acceptance pin: a trace replays from a purely streaming,
+/// iterator-backed source — no `TraceFile` (and no record vector) ever
+/// exists on the streaming path — and the result is bit-identical to
+/// replaying the materialized equivalent.
+#[test]
+fn iterator_backed_source_replays_without_a_tracefile() {
+    fn records() -> impl Iterator<Item = TraceRecord> {
+        use clio_core::trace::record::IoOp;
+        let open = std::iter::once(TraceRecord::simple(IoOp::Open, 0, 0, 0));
+        let reads = (0..5_000u64).map(|i| {
+            let offset = (i * 37) % 509 * 8192;
+            TraceRecord::simple(if i % 5 == 0 { IoOp::Write } else { IoOp::Read }, 0, offset, 8192)
+        });
+        let close = std::iter::once(TraceRecord::simple(IoOp::Close, 0, 0, 0));
+        open.chain(reads).chain(close)
+    }
+    let meta = SourceMeta { sample_file: "gen.dat".into(), num_processes: 1, num_files: 1 };
+
+    let streaming = Workload::custom("generator", {
+        let meta = meta.clone();
+        move || Box::new(IterSource::new(meta.clone(), records()))
+    });
+    let streamed = Experiment::builder()
+        .workload(streaming)
+        .engine(Engine::SerialReplay)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs");
+
+    let materialized = TraceFile::build("gen.dat", 1, records().collect()).expect("valid trace");
+    let reference = builder_timings(&materialized, CacheConfig::default());
+
+    assert_eq!(streamed.records as usize, materialized.len());
+    assert_eq!(
+        streamed.replay.expect("replay section").timings,
+        reference,
+        "streaming replay diverged from materialized replay"
+    );
+}
+
+#[test]
+fn mixed_workloads_are_deterministic_and_conserve_records() {
+    for spec in ["mix:dmine,lu", "mix:dmine*3,cholesky*1", "chain:dmine,titan"] {
+        let w = Workload::parse(spec).expect("spec parses");
+        let a = w.materialize().expect("materializes");
+        let b = w.materialize().expect("materializes");
+        assert_eq!(a.records, b.records, "{spec}: reopening must be deterministic");
+
+        let (left, right) = match &w {
+            Workload::Mix(l, r, _) | Workload::Chain(l, r) => (l.clone(), r.clone()),
+            other => panic!("unexpected {other:?}"),
+        };
+        let nl = left.materialize().unwrap().len();
+        let nr = right.materialize().unwrap().len();
+        assert_eq!(a.len(), nl + nr, "{spec}: merge must conserve records");
+
+        let report = Experiment::builder()
+            .workload(w)
+            .engine(Engine::SerialReplay)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .expect("replay runs");
+        assert_eq!(report.records as usize, nl + nr);
+        assert!(report.total_ms().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn report_summary_serializes_and_round_trips() {
+    let report = Experiment::builder()
+        .workload(Workload::App(AppWorkload::DMINE_PAPER))
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs");
+    let json = report.to_json();
+    let back = ReportSummary::from_json(&json).expect("summary parses");
+    assert_eq!(back, report.summary());
+    assert_eq!(back.engine, "serial_replay");
+    assert!(back.close_ms.unwrap() > back.open_ms.unwrap());
+}
+
+#[test]
+fn run_many_trace_sims_match_solo_runs_at_any_thread_count() {
+    let experiments: Vec<Experiment> = (1..=4)
+        .map(|disks| {
+            Experiment::builder()
+                .workload(Workload::Synthetic(TraceProfile {
+                    data_ops: 120,
+                    seed: disks as u64,
+                    ..Default::default()
+                }))
+                .engine(Engine::TraceSim)
+                .machine(MachineConfig::with_disks(disks))
+                .build()
+                .expect("valid experiment")
+        })
+        .collect();
+    let solo: Vec<_> = experiments.iter().map(|e| e.run().expect("runs")).collect();
+    for threads in [1usize, 2, 8] {
+        let pooled = run_many(&experiments, threads).expect("pool runs");
+        for (p, s) in pooled.iter().zip(&solo) {
+            assert_eq!(p.sim, s.sim, "{threads} threads");
+            assert_eq!(p.records, s.records);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Builder-default equivalence, per policy: for any profile, the
+    /// new `Experiment` run equals the legacy `replay_simulated`
+    /// bit-for-bit.
+    #[test]
+    fn builder_equals_legacy_for_any_profile(
+        wf in 0f64..1.0,
+        seq in 0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let profile = TraceProfile {
+            seed,
+            write_fraction: wf,
+            sequentiality: seq,
+            data_ops: 200,
+            ..Default::default()
+        };
+        let trace = synthesize(&profile);
+        let config = CacheConfig { capacity_pages: 64, ..Default::default() };
+        #[allow(deprecated)]
+        let legacy = clio_core::trace::replay::replay_simulated(&trace, config.clone());
+        let new = builder_timings(&trace, config);
+        prop_assert_eq!(new, legacy.timings);
+    }
+
+    /// Streaming-vs-materialized equivalence: the synthesizer consumed
+    /// as a stream replays identically to the synthesized trace.
+    #[test]
+    fn streaming_synth_equals_materialized_synth(
+        wf in 0f64..1.0,
+        seq in 0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let profile = TraceProfile {
+            seed,
+            write_fraction: wf,
+            sequentiality: seq,
+            data_ops: 200,
+            ..Default::default()
+        };
+        let streamed = Experiment::builder()
+            .workload(Workload::Synthetic(profile.clone()))
+            .build()
+            .expect("valid experiment")
+            .run()
+            .expect("replay runs");
+        let materialized = builder_timings(&synthesize(&profile), CacheConfig::default());
+        prop_assert_eq!(streamed.replay.expect("replay section").timings, materialized);
+    }
+}

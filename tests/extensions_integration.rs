@@ -7,22 +7,41 @@ use clio_core::ablations::{random_device_batch, scheduler_ablation};
 use clio_core::apps::{radar, render};
 use clio_core::cache::cache::CacheConfig;
 use clio_core::cache::policy::ReplacementPolicy;
+use std::sync::Arc;
+
+use clio_core::prelude::{Experiment, Workload};
 use clio_core::runtime::gc::GcModel;
 use clio_core::runtime::jit::JitModel;
 use clio_core::runtime::loader::assemble;
 use clio_core::runtime::stream::ManagedIo;
 use clio_core::runtime::vm::Vm;
 use clio_core::trace::record::IoOp;
-use clio_core::trace::replay::replay_simulated;
+use clio_core::trace::replay::ReplayReport;
 use clio_core::trace::transform;
+use clio_core::trace::TraceFile;
+
+/// Serial cached replay through the unified experiment API. Takes the
+/// trace behind an `Arc` so repeated replays (one per policy) share
+/// one copy of the records.
+fn replay(trace: &Arc<TraceFile>, config: CacheConfig) -> ReplayReport {
+    Experiment::builder()
+        .workload(Workload::Trace(trace.clone()))
+        .cache(config)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs")
+        .replay
+        .expect("serial replay fills the replay section")
+}
 
 #[test]
 fn new_app_traces_replay_under_every_policy() {
     let (_, radar_trace) = radar::form_image(radar::RadarConfig::default()).unwrap();
     let (_, render_trace) = render::render(render::RenderConfig::default()).unwrap();
-    for trace in [&radar_trace, &render_trace] {
+    for trace in [Arc::new(radar_trace), Arc::new(render_trace)] {
         for policy in ReplacementPolicy::ALL {
-            let report = replay_simulated(trace, CacheConfig { policy, ..CacheConfig::default() });
+            let report = replay(&trace, CacheConfig { policy, ..CacheConfig::default() });
             assert!(report.total_ms() > 0.0, "{policy:?}: replay must accumulate simulated time");
             assert_eq!(report.timings.len(), trace.records.len());
         }
@@ -33,15 +52,15 @@ fn new_app_traces_replay_under_every_policy() {
 fn transform_pipeline_feeds_replay() {
     let (_, trace) = radar::form_image(radar::RadarConfig::default()).unwrap();
     // Reads-only view must be cheaper to replay than the full trace.
-    let reads = transform::filter_by_op(&trace, &[IoOp::Read]).unwrap();
-    let full = replay_simulated(&trace, CacheConfig::default()).total_ms();
-    let reads_only = replay_simulated(&reads, CacheConfig::default()).total_ms();
+    let reads = Arc::new(transform::filter_by_op(&trace, &[IoOp::Read]).unwrap());
+    let full = replay(&Arc::new(trace.clone()), CacheConfig::default()).total_ms();
+    let reads_only = replay(&reads, CacheConfig::default()).total_ms();
     assert!(reads_only < full, "reads-only {reads_only} !< full {full}");
     // Splitting and re-merging preserves record count and replay cost.
     let parts = transform::split_by_process(&trace).unwrap();
     let merged = transform::merge(&parts.into_iter().map(|(_, t)| t).collect::<Vec<_>>()).unwrap();
     assert_eq!(merged.records.len(), trace.records.len());
-    let remerged = replay_simulated(&merged, CacheConfig::default()).total_ms();
+    let remerged = replay(&Arc::new(merged), CacheConfig::default()).total_ms();
     assert!((remerged - full).abs() < 1e-9, "same records, same simulated cost");
 }
 
@@ -51,13 +70,10 @@ fn cache_capacity_dominates_policy_choice_on_render_rereads() {
     // texture reads is where policies differ. Use the trace from one
     // render replayed twice through a small cache.
     let (_, trace) = render::render(render::RenderConfig::default()).unwrap();
-    let doubled = transform::merge(&[trace.clone(), trace]).unwrap();
+    let doubled = Arc::new(transform::merge(&[trace.clone(), trace]).unwrap());
     let cost = |policy| {
-        replay_simulated(
-            &doubled,
-            CacheConfig { policy, capacity_pages: 16, ..CacheConfig::default() },
-        )
-        .total_ms()
+        replay(&doubled, CacheConfig { policy, capacity_pages: 16, ..CacheConfig::default() })
+            .total_ms()
     };
     // No strict winner is guaranteed for every geometry; the invariants
     // are (a) every policy yields a positive finite cost, and (b) for
@@ -67,7 +83,7 @@ fn cache_capacity_dominates_policy_choice_on_render_rereads() {
     for policy in ReplacementPolicy::ALL {
         let tiny = cost(policy);
         assert!(tiny.is_finite() && tiny > 0.0, "{policy:?}: bad cost {tiny}");
-        let roomy = replay_simulated(
+        let roomy = replay(
             &doubled,
             CacheConfig { policy, capacity_pages: 1 << 16, ..CacheConfig::default() },
         )

@@ -10,9 +10,9 @@
 use std::time::Instant;
 
 use clio_core::cache::cache::CacheConfig;
-use clio_core::sim::trace_driven::{simulate_trace, TraceSimOptions};
+use clio_core::sim::trace_driven::{trace_sim, TraceSimOptions};
 use clio_core::sim::MachineConfig;
-use clio_core::trace::replay::{replay_simulated_parallel, ParallelReplayOptions};
+use clio_core::trace::replay::{replay_parallel, ParallelReplayOptions};
 use clio_core::trace::synth::{synthesize, TraceProfile};
 use clio_core::trace::TraceFile;
 
@@ -22,7 +22,7 @@ fn per_event_seconds(trace: &TraceFile, machine: &MachineConfig) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..5 {
         let start = Instant::now();
-        let report = simulate_trace(trace, machine, &options);
+        let report = trace_sim(trace, machine, &options);
         let elapsed = start.elapsed().as_secs_f64();
         assert!(report.events > 0);
         best = best.min(elapsed / report.events as f64);
@@ -31,7 +31,7 @@ fn per_event_seconds(trace: &TraceFile, machine: &MachineConfig) -> f64 {
 }
 
 #[test]
-fn simulate_trace_per_event_cost_is_flat_in_trace_length() {
+fn trace_sim_per_event_cost_is_flat_in_trace_length() {
     let profile = |data_ops| TraceProfile {
         data_ops,
         sequentiality: 0.7,
@@ -45,7 +45,7 @@ fn simulate_trace_per_event_cost_is_flat_in_trace_length() {
 
     let machine = MachineConfig::with_disks(2);
     // Warm up allocators and caches before timing anything.
-    simulate_trace(&small, &machine, &TraceSimOptions::default());
+    trace_sim(&small, &machine, &TraceSimOptions::default());
 
     // Generous bound, sized for noisy CI runners: O(N) predicts a
     // per-event ratio of ≈ 1×; the old per-event clone copied the whole
@@ -78,7 +78,7 @@ fn per_record_seconds_parallel(trace: &TraceFile, opts: &ParallelReplayOptions) 
     let mut best = f64::INFINITY;
     for _ in 0..5 {
         let start = Instant::now();
-        let report = replay_simulated_parallel(trace, config.clone(), opts);
+        let report = replay_parallel(trace, config.clone(), opts);
         let elapsed = start.elapsed().as_secs_f64();
         assert!(!report.report.timings.is_empty());
         best = best.min(elapsed / report.report.timings.len() as f64);
@@ -105,7 +105,7 @@ fn parallel_replay_per_record_cost_is_flat_in_trace_length() {
 
     let opts = ParallelReplayOptions { threads: 2, shards: 8 };
     // Warm up allocators before timing anything.
-    replay_simulated_parallel(&small, CacheConfig::default(), &opts);
+    replay_parallel(&small, CacheConfig::default(), &opts);
 
     // Same bound discipline as the serial test above: 3× headroom and
     // three full re-measure attempts — only a persistent superlinear

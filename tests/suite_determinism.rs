@@ -8,12 +8,10 @@
 
 use clio_core::cache::cache::CacheConfig;
 use clio_core::config::SuiteConfig;
-use clio_core::sim::trace_driven::{
-    simulate_trace, simulate_traces_parallel, SimJob, TraceSimOptions,
-};
+use clio_core::sim::trace_driven::{trace_sim, trace_sim_pool, SimJob, TraceSimOptions};
 use clio_core::sim::MachineConfig;
 use clio_core::suite::BenchmarkSuite;
-use clio_core::trace::replay::{replay_simulated_parallel, ParallelReplayOptions};
+use clio_core::trace::replay::{replay_parallel, ParallelReplayOptions};
 use clio_core::trace::synth::{synthesize, TraceProfile};
 
 fn small_config() -> SuiteConfig {
@@ -65,11 +63,7 @@ fn parallel_replay_deterministic_across_runs_and_thread_counts() {
     let config = CacheConfig { capacity_pages: 512, ..Default::default() };
 
     let run = |threads: usize| {
-        replay_simulated_parallel(
-            &trace,
-            config.clone(),
-            &ParallelReplayOptions { threads, shards: 8 },
-        )
+        replay_parallel(&trace, config.clone(), &ParallelReplayOptions { threads, shards: 8 })
     };
 
     let base = run(1);
@@ -114,10 +108,9 @@ fn sim_worker_pool_deterministic_across_thread_counts() {
             options: TraceSimOptions::default(),
         })
         .collect();
-    let serial: Vec<_> =
-        jobs.iter().map(|j| simulate_trace(j.trace, &j.machine, &j.options)).collect();
+    let serial: Vec<_> = jobs.iter().map(|j| trace_sim(j.trace, &j.machine, &j.options)).collect();
     for threads in [1usize, 2, 3, 7] {
-        assert_eq!(simulate_traces_parallel(&jobs, threads), serial, "{threads} threads");
+        assert_eq!(trace_sim_pool(&jobs, threads), serial, "{threads} threads");
     }
 }
 

@@ -4,9 +4,9 @@
 
 use clio_core::apps::{cholesky, dmine, lu, pgrep, titan};
 use clio_core::cache::backend::MemBackend;
-use clio_core::cache::cache::CacheConfig;
+use clio_core::prelude::{Engine, Experiment, Workload};
 use clio_core::trace::record::IoOp;
-use clio_core::trace::replay::{replay_simulated, replay_with_backend, RealReplayOptions};
+use clio_core::trace::replay::{replay_backend, RealReplayOptions};
 use clio_core::trace::stats::TraceStats;
 use clio_core::trace::{writer, TraceFile};
 
@@ -55,15 +55,19 @@ fn all_app_traces_round_trip_through_disk() {
 fn replay_modes_agree_on_structure() {
     let (_, trace) = cholesky::run(&cholesky::CholeskyConfig { grid: 4 }).expect("runs");
 
-    let sim_a = replay_simulated(&trace, CacheConfig::default());
-    let sim_b = replay_simulated(&trace, CacheConfig::default());
+    let exp = Experiment::builder()
+        .workload(Workload::trace(trace.clone()))
+        .engine(Engine::SerialReplay)
+        .build()
+        .expect("valid experiment");
+    let sim_a = exp.run().expect("replay runs").replay.expect("replay report");
+    let sim_b = exp.run().expect("replay runs").replay.expect("replay report");
     let times_a: Vec<f64> = sim_a.timings.iter().map(|t| t.elapsed_ms).collect();
     let times_b: Vec<f64> = sim_b.timings.iter().map(|t| t.elapsed_ms).collect();
     assert_eq!(times_a, times_b, "simulated replay is deterministic");
 
     let mut backend = MemBackend::with_data(vec![0u8; 8 * 1024 * 1024]);
-    let real =
-        replay_with_backend(&trace, &mut backend, RealReplayOptions::default()).expect("replays");
+    let real = replay_backend(&trace, &mut backend, RealReplayOptions::default()).expect("replays");
     assert_eq!(real.timings.len(), sim_a.timings.len());
 }
 
@@ -77,12 +81,22 @@ fn warm_cache_beats_cold_cache() {
         (0..32u64).map(|i| TraceRecord::simple(IoOp::Read, 0, i * 131_072, 131_072)).collect();
 
     let one = TraceFile::build("sample-1gb.dat", 1, reads.clone()).expect("valid");
-    let cold_total = replay_simulated(&one, CacheConfig::default()).total_ms();
+    let replay_total = |t: &TraceFile| {
+        Experiment::builder()
+            .workload(Workload::trace(t.clone()))
+            .build()
+            .expect("valid experiment")
+            .run()
+            .expect("replay runs")
+            .total_ms()
+            .expect("replay engines report total time")
+    };
+    let cold_total = replay_total(&one);
 
     let mut doubled = reads.clone();
     doubled.extend(reads);
     let both = TraceFile::build("sample-1gb.dat", 1, doubled).expect("valid");
-    let both_total = replay_simulated(&both, CacheConfig::default()).total_ms();
+    let both_total = replay_total(&both);
 
     let warm_total = both_total - cold_total;
     assert!(
