@@ -27,14 +27,20 @@
 //! disables the sharded rows), `--shards S`, `--workload SPEC`
 //! (`synth`, `seq`, `rand`, `dmine`, `titan`, `lu`, `cholesky`,
 //! `pgrep`, `mix:<a>,<b>`, `mix:<a>*<wa>,<b>*<wb>`, `chain:<a>,<b>`),
-//! `--list` (print the benchmark rows and exit), `--out PATH`.
-//! Unknown flags exit nonzero with usage.
+//! `--report full|summary` (summary replays with O(1)-memory running
+//! aggregates — the mode for >memory traces), `--list` (print the
+//! benchmark rows and exit), `--out PATH`. Unknown flags exit nonzero
+//! with usage.
 //!
 //! Every serial `replay/<policy>` row is paired with a
 //! `replay_par/<policy>` row driving the same workload through the
 //! sharded-parallel engine — the committed baseline records
-//! serial-vs-sharded throughput side by side, and the
-//! `sim/trace_driven_pool` row exercises the `run_many` worker pool.
+//! serial-vs-sharded throughput side by side — and the
+//! `replay_stream/serial` / `replay_stream/parallel` rows measure the
+//! fully streaming pipeline: the workload is consumed straight off its
+//! source (synthesis included, nothing frozen, nothing materialized)
+//! in summary mode. The `sim/trace_driven_pool` row exercises the
+//! `run_many` worker pool.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -46,9 +52,10 @@ use serde::Serialize;
 use clio_core::cache::cache::CacheConfig;
 use clio_core::cache::page::pages_touched;
 use clio_core::cache::policy::ReplacementPolicy;
-use clio_core::exp::{run_many, Engine, Experiment, Workload};
+use clio_core::exp::{run_many, Engine, Experiment, ReportMode, Workload};
 use clio_core::sim::MachineConfig;
 use clio_core::trace::record::IoOp;
+use clio_core::trace::source::TraceSource;
 use clio_core::trace::synth::{synthesize, TraceProfile};
 use clio_core::trace::TraceFile;
 
@@ -78,6 +85,7 @@ struct PerfEntry {
 struct PerfBaseline {
     schema: String,
     mode: String,
+    report: String,
     workload: String,
     replay_records: u64,
     sim_records: u64,
@@ -93,11 +101,13 @@ struct Args {
     threads: usize,
     shards: usize,
     workload: String,
+    report: ReportMode,
     out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: perf_suite [--smoke] [--records N] [--sim-records N] \
-                     [--threads T] [--shards S] [--workload SPEC] [--list] [--out PATH]";
+                     [--threads T] [--shards S] [--workload SPEC] \
+                     [--report full|summary] [--list] [--out PATH]";
 
 /// `env_smoke` is `CLIO_PERF_SMOKE`'s verdict, passed in (rather than
 /// read here) so tests are independent of the ambient environment.
@@ -110,6 +120,7 @@ fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
         threads: 4,
         shards: 16,
         workload: "synth".to_string(),
+        report: ReportMode::Full,
         out: None,
     };
     let mut it = argv.iter();
@@ -144,6 +155,14 @@ fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
                 Workload::parse(v)?;
                 args.workload = v.clone();
             }
+            "--report" => {
+                let v = it.next().ok_or("--report needs a value")?;
+                args.report = match v.as_str() {
+                    "full" => ReportMode::Full,
+                    "summary" => ReportMode::Summary,
+                    other => return Err(format!("bad --report {other} (full or summary)")),
+                };
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 args.out = Some(PathBuf::from(v));
@@ -177,6 +196,13 @@ const SIM_ROW: &str = "sim/trace_driven";
 /// The `run_many` worker-pool row.
 const POOL_ROW: &str = "sim/trace_driven_pool";
 
+/// End-to-end streaming serial replay (summary mode, workload consumed
+/// straight off its source — synthesis included, nothing materialized).
+const STREAM_SERIAL_ROW: &str = "replay_stream/serial";
+
+/// End-to-end streaming parallel replay (one stream per worker).
+const STREAM_PARALLEL_ROW: &str = "replay_stream/parallel";
+
 /// The benchmark rows this configuration would measure, in order.
 fn row_names(args: &Args) -> Vec<String> {
     let mut rows = Vec::new();
@@ -185,6 +211,10 @@ fn row_names(args: &Args) -> Vec<String> {
         if args.threads > 0 {
             rows.push(parallel_row(policy));
         }
+    }
+    rows.push(STREAM_SERIAL_ROW.to_string());
+    if args.threads > 0 {
+        rows.push(STREAM_PARALLEL_ROW.to_string());
     }
     rows.push(SIM_ROW.to_string());
     if args.threads > 0 {
@@ -225,18 +255,32 @@ fn rate(count: u64, median_ns: f64) -> f64 {
 }
 
 /// Counts the work one replay iteration performs: `(records, pages,
-/// bytes)` over the trace's data operations (with repeat counts).
-fn replay_work(trace: &TraceFile, page_size: u64) -> (u64, u64, u64) {
+/// bytes)` over a stream's data operations (with repeat counts) — one
+/// pass, O(1) memory.
+fn count_work(source: &mut dyn TraceSource, page_size: u64) -> (u64, u64, u64) {
+    let mut records = 0u64;
     let mut pages = 0u64;
     let mut bytes = 0u64;
-    for r in &trace.records {
+    while let Some(r) = source.next_record() {
+        records += 1;
         if matches!(r.op, IoOp::Read | IoOp::Write) {
             let repeats = r.num_records.max(1) as u64;
             pages += pages_touched(r.offset, r.length, page_size) * repeats;
             bytes += r.length * repeats;
         }
     }
-    (trace.len() as u64, pages, bytes)
+    (records, pages, bytes)
+}
+
+/// [`count_work`] over a materialized trace.
+fn replay_work(trace: &TraceFile, page_size: u64) -> (u64, u64, u64) {
+    count_work(&mut clio_core::trace::source::SliceSource::new(trace), page_size)
+}
+
+/// [`count_work`] over a fresh stream of a workload — the streaming
+/// rows never materialize.
+fn replay_work_source(workload: &Workload, page_size: u64) -> (u64, u64, u64) {
+    count_work(&mut *workload.open().expect("workload opens"), page_size)
 }
 
 fn entry_from_stats(name: &str, kind: &str, policy: Option<&str>, stats: &Stats) -> PerfEntry {
@@ -298,8 +342,13 @@ fn main() {
     let (records, pages, bytes) = replay_work(&trace, page_size);
 
     let mode = if args.smoke { "smoke" } else { "full" };
+    let report_mode = match args.report {
+        ReportMode::Full => "full",
+        ReportMode::Summary => "summary",
+    };
     println!(
-        "mode: {mode} (workload {}, {} replay records, {} sim data-ops, {} threads x {} shards)\n",
+        "mode: {mode} (workload {}, {} replay records, {} sim data-ops, {} threads x {} shards, \
+         {report_mode} reports)\n",
         args.workload, records, args.sim_ops, args.threads, args.shards
     );
 
@@ -323,6 +372,7 @@ fn main() {
             .workload(frozen.clone())
             .engine(Engine::SerialReplay)
             .cache(config.clone())
+            .report_mode(args.report)
             .build()
             .expect("serial replay experiment is valid");
         let stats = measure(&cfg, |b| b.iter(|| exp.run().expect("replay runs")));
@@ -351,6 +401,7 @@ fn main() {
                 .cache(config.clone())
                 .threads(args.threads)
                 .shards(args.shards)
+                .report_mode(args.report)
                 .build()
                 .expect("parallel replay experiment is valid");
             let stats = measure(&cfg, |b| b.iter(|| exp.run().expect("parallel replay runs")));
@@ -371,6 +422,63 @@ fn main() {
             e.records_per_sec = rate(records, stats.median_ns);
             e.pages_per_sec = Some(rate(pages, stats.median_ns));
             e.bytes_per_sec = rate(bytes, stats.median_ns);
+            benches.push(e);
+        }
+    }
+
+    // --- End-to-end streaming replay: the *unfrozen* workload,
+    // consumed straight off its source every iteration (synthesis
+    // included), in summary mode — the >memory-trace configuration.
+    // The work counts come from a streaming pass too; with the exact
+    // SynthSource size hints, nothing here ever materializes. ---
+    {
+        let streaming = replay_workload(&args);
+        let (s_records, s_pages, s_bytes) = replay_work_source(&streaming, page_size);
+        let stream_exp = Experiment::builder()
+            .workload(streaming.clone())
+            .engine(Engine::SerialReplay)
+            .report_mode(ReportMode::Summary)
+            .build()
+            .expect("streaming serial experiment is valid");
+        let stats = measure(&cfg, |b| b.iter(|| stream_exp.run().expect("streaming replay runs")));
+        println!(
+            "{STREAM_SERIAL_ROW:<24} median {:>10.3} ms  {:>12.0} records/s  {:>14.0} bytes/s",
+            stats.median_ns / 1e6,
+            rate(s_records, stats.median_ns),
+            rate(s_bytes, stats.median_ns),
+        );
+        let mut e = entry_from_stats(STREAM_SERIAL_ROW, "cache_replay_stream", None, &stats);
+        e.records = s_records;
+        e.records_per_sec = rate(s_records, stats.median_ns);
+        e.pages_per_sec = Some(rate(s_pages, stats.median_ns));
+        e.bytes_per_sec = rate(s_bytes, stats.median_ns);
+        benches.push(e);
+
+        if args.threads > 0 {
+            let stream_par = Experiment::builder()
+                .workload(streaming)
+                .engine(Engine::ParallelReplay)
+                .threads(args.threads)
+                .shards(args.shards)
+                .report_mode(ReportMode::Summary)
+                .build()
+                .expect("streaming parallel experiment is valid");
+            let stats =
+                measure(&cfg, |b| b.iter(|| stream_par.run().expect("streaming replay runs")));
+            println!(
+                "{STREAM_PARALLEL_ROW:<24} median {:>10.3} ms  {:>12.0} records/s  \
+                 {:>14.0} bytes/s",
+                stats.median_ns / 1e6,
+                rate(s_records, stats.median_ns),
+                rate(s_bytes, stats.median_ns),
+            );
+            let mut e = entry_from_stats(STREAM_PARALLEL_ROW, "cache_replay_stream", None, &stats);
+            e.records = s_records;
+            e.threads = Some(args.threads.clamp(1, args.shards) as u64);
+            e.shards = Some(args.shards as u64);
+            e.records_per_sec = rate(s_records, stats.median_ns);
+            e.pages_per_sec = Some(rate(s_pages, stats.median_ns));
+            e.bytes_per_sec = rate(s_bytes, stats.median_ns);
             benches.push(e);
         }
     }
@@ -460,8 +568,9 @@ fn main() {
     }
 
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v3".to_string(),
+        schema: "clio-perf-baseline-v4".to_string(),
         mode: mode.to_string(),
+        report: report_mode.to_string(),
         workload: args.workload.clone(),
         replay_records: records,
         sim_records: sim_trace.len() as u64,
@@ -553,13 +662,38 @@ mod tests {
         let rows = row_names(&a);
         assert!(rows.contains(&serial_row(ReplacementPolicy::Lru)));
         assert!(rows.contains(&parallel_row(ReplacementPolicy::Lru)));
+        assert!(rows.contains(&STREAM_SERIAL_ROW.to_string()));
+        assert!(rows.contains(&STREAM_PARALLEL_ROW.to_string()));
         assert!(rows.contains(&SIM_ROW.to_string()));
         assert!(rows.contains(&POOL_ROW.to_string()));
-        // With threads disabled, the sharded and pool rows vanish.
+        // With threads disabled, the sharded, streaming-parallel and
+        // pool rows vanish.
         let serial = parse_args(&s(&["--threads", "0"]), false).unwrap();
         let rows = row_names(&serial);
         assert!(!rows.iter().any(|r| r.starts_with("replay_par/")));
+        assert!(rows.contains(&STREAM_SERIAL_ROW.to_string()));
+        assert!(!rows.contains(&STREAM_PARALLEL_ROW.to_string()));
         assert!(!rows.contains(&POOL_ROW.to_string()));
+    }
+
+    #[test]
+    fn report_mode_parses_and_validates() {
+        assert_eq!(parse_args(&[], false).unwrap().report, ReportMode::Full);
+        let a = parse_args(&s(&["--report", "summary"]), false).unwrap();
+        assert_eq!(a.report, ReportMode::Summary);
+        let a = parse_args(&s(&["--report", "full"]), false).unwrap();
+        assert_eq!(a.report, ReportMode::Full);
+        assert!(parse_args(&s(&["--report", "tiny"]), false).is_err());
+        assert!(parse_args(&s(&["--report"]), false).is_err());
+    }
+
+    #[test]
+    fn streaming_work_counts_match_materialized_counts() {
+        let args = parse_args(&s(&["--records", "120"]), false).unwrap();
+        let w = replay_workload(&args);
+        let trace = w.materialize().unwrap();
+        let streamed = replay_work_source(&w, 4096);
+        assert_eq!(streamed, replay_work(&trace, 4096));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod prelude {
     pub use clio_cache::cache::CacheConfig;
     pub use clio_exp::{
         run_many, AppWorkload, Engine, ExpError, Experiment, ExperimentBuilder, MixKind, Report,
-        ReportSummary, Workload,
+        ReportMode, ReportSummary, Workload,
     };
     pub use clio_sim::machine::MachineConfig;
     pub use clio_trace::record::IoOp;

@@ -15,18 +15,21 @@ pub enum Engine {
     /// materialized.
     SerialReplay,
     /// Sharded-parallel replay against the lock-striped cache
-    /// (deterministic across runs and thread counts). Materializes the
-    /// workload: every worker scans the whole record stream.
+    /// (deterministic across runs and thread counts). Streaming: every
+    /// worker opens its own stream over the workload, and a merge walk
+    /// re-opens it once more — no materialized trace anywhere.
     ParallelReplay,
     /// Trace-driven machine simulation: processes contend for a
-    /// striped disk array. Materializes the workload (records are
-    /// grouped by pid up front).
+    /// striped disk array. Streaming: a discovery pass finds the
+    /// process roster, then a bounded per-pid splitter feeds each
+    /// simulated process — no up-front pid grouping.
     TraceSim,
     /// Seek-aware scheduled simulation: per-disk request queues
-    /// reordered by the configured policy. Materializes the workload.
+    /// reordered by the configured policy. Streaming, like
+    /// [`Engine::TraceSim`].
     ScheduledSim,
     /// Replay against a real file at `sample`, timed with monotonic
-    /// clocks. Materializes the workload.
+    /// clocks. Streaming: records are issued straight off the source.
     RealReplay {
         /// Path of the sample file the records are issued against.
         sample: PathBuf,

@@ -5,10 +5,14 @@ use std::sync::Arc;
 use clio_cache::cache::CacheConfig;
 use clio_sim::machine::MachineConfig;
 use clio_sim::sched::Policy;
-use clio_sim::sched_replay::{scheduled_trace_sim, SchedReplayOptions};
-use clio_sim::trace_driven::{trace_sim, trace_sim_pool, SimJob, ThinkTime, TraceSimOptions};
+use clio_sim::sched_replay::{scheduled_trace_sim_source, SchedReplayOptions};
+use clio_sim::trace_driven::{
+    trace_sim_pool, trace_sim_source, SimJob, ThinkTime, TraceSimOptions,
+};
 use clio_trace::replay::{
-    replay_parallel, replay_real_file, replay_source, ParallelReplayOptions, RealReplayOptions,
+    replay_parallel_source, replay_parallel_source_stats, replay_real_source,
+    replay_real_source_stats, replay_source, replay_source_stats, ParallelReplayOptions,
+    RealReplayOptions, ReportMode,
 };
 use clio_trace::TraceFile;
 
@@ -30,12 +34,13 @@ pub struct Experiment {
     sim_options: TraceSimOptions,
     sched: SchedReplayOptions,
     real: RealReplayOptions,
+    mode: ReportMode,
 }
 
 impl Experiment {
     /// Starts a builder with default knobs (default cache, 4×16
     /// thread/shard parallel replay, uniprocessor machine, FCFS
-    /// scheduling, non-destructive real replay).
+    /// scheduling, non-destructive real replay, full report mode).
     pub fn builder() -> ExperimentBuilder {
         ExperimentBuilder::default()
     }
@@ -50,49 +55,99 @@ impl Experiment {
         &self.workload
     }
 
+    /// The report mode this experiment runs in.
+    pub fn report_mode(&self) -> ReportMode {
+        self.mode
+    }
+
     /// Runs the experiment.
+    ///
+    /// Every engine consumes the workload as a stream: the serial
+    /// engines open it once, the parallel engine opens one stream per
+    /// worker plus one for its merge walk, and the simulators run a
+    /// discovery pass plus a replay pass — no engine materializes a
+    /// [`TraceFile`]. In [`ReportMode::Summary`] the replay engines
+    /// additionally keep only O(1) running aggregates instead of
+    /// per-record timings.
     pub fn run(&self) -> Result<Report, ExpError> {
         let mut report = Report::new(self.engine.name(), self.workload.label());
+        // Surface workload errors as ExpError up front, without
+        // generating a single record: parameter checks are structural
+        // (`validate`), and the load-once atoms (file, app) are
+        // resolved into one shared in-memory trace here — so the
+        // re-opens below (one per parallel worker, two per simulator)
+        // clone an `Arc` rather than re-loading from disk or re-running
+        // an application, and cannot fail for a validated workload.
+        self.workload.validate()?;
+        let workload = self.workload.resolve()?;
+        let reopen = || workload.open().expect("a validated, resolved workload re-opens");
         match &self.engine {
             Engine::SerialReplay => {
-                // The one fully streaming path: records flow from the
-                // source straight into the cache, one at a time.
-                let mut source = self.workload.open()?;
-                let replay = replay_source(&mut *source, self.cache.clone());
-                report.records = replay.timings.len() as u64;
-                report.replay = Some(replay);
+                let mut source = reopen();
+                match self.mode {
+                    ReportMode::Full => {
+                        let replay = replay_source(&mut *source, self.cache.clone());
+                        report.records = replay.timings.len() as u64;
+                        report.replay = Some(replay);
+                    }
+                    ReportMode::Summary => {
+                        let stats = replay_source_stats(&mut *source, self.cache.clone());
+                        report.records = stats.records();
+                        report.replay_stats = Some(stats);
+                    }
+                }
             }
-            Engine::ParallelReplay => {
-                let trace = self.materialized()?;
-                let par = replay_parallel(&trace, self.cache.clone(), &self.parallel);
-                report.records = par.report.timings.len() as u64;
-                report.replay = Some(par.report);
-                report.cache_metrics = Some(par.metrics);
-                report.shard_metrics = Some(par.shard_metrics);
-                report.threads_used = Some(par.threads);
-            }
+            Engine::ParallelReplay => match self.mode {
+                ReportMode::Full => {
+                    let par = replay_parallel_source(reopen, self.cache.clone(), &self.parallel);
+                    report.records = par.report.timings.len() as u64;
+                    report.replay = Some(par.report);
+                    report.cache_metrics = Some(par.metrics);
+                    report.shard_metrics = Some(par.shard_metrics);
+                    report.threads_used = Some(par.threads);
+                }
+                ReportMode::Summary => {
+                    let par =
+                        replay_parallel_source_stats(reopen, self.cache.clone(), &self.parallel);
+                    report.records = par.stats.records();
+                    report.replay_stats = Some(par.stats);
+                    report.cache_metrics = Some(par.metrics);
+                    report.shard_metrics = Some(par.shard_metrics);
+                    report.threads_used = Some(par.threads);
+                }
+            },
             Engine::TraceSim => {
-                let trace = self.materialized()?;
-                report.records = trace.len() as u64;
-                report.sim = Some(trace_sim(&trace, &self.machine, &self.sim_options));
+                let sim = trace_sim_source(reopen, &self.machine, &self.sim_options);
+                report.records = sim.records;
+                report.sim = Some(sim);
             }
             Engine::ScheduledSim => {
-                let trace = self.materialized()?;
-                report.records = trace.len() as u64;
-                report.sim = Some(scheduled_trace_sim(&trace, &self.machine, &self.sched));
+                let sim = scheduled_trace_sim_source(reopen, &self.machine, &self.sched);
+                report.records = sim.records;
+                report.sim = Some(sim);
             }
             Engine::RealReplay { sample } => {
-                let trace = self.materialized()?;
-                let replay = replay_real_file(&trace, sample, self.real)?;
-                report.records = replay.timings.len() as u64;
-                report.replay = Some(replay);
+                let mut source = reopen();
+                match self.mode {
+                    ReportMode::Full => {
+                        let replay = replay_real_source(&mut *source, sample, self.real)?;
+                        report.records = replay.timings.len() as u64;
+                        report.replay = Some(replay);
+                    }
+                    ReportMode::Summary => {
+                        let stats = replay_real_source_stats(&mut *source, sample, self.real)?;
+                        report.records = stats.records();
+                        report.replay_stats = Some(stats);
+                    }
+                }
             }
         }
         Ok(report)
     }
 
     /// The workload as an in-memory trace (shared traces come back
-    /// without copying).
+    /// without copying) — only [`run_many`]'s batch dispatch still
+    /// needs this; [`Experiment::run`] streams everywhere.
     fn materialized(&self) -> Result<Arc<TraceFile>, ExpError> {
         self.workload.materialize()
     }
@@ -128,11 +183,10 @@ pub fn run_many(experiments: &[Experiment], threads: usize) -> Result<Vec<Report
 
     Ok(experiments
         .iter()
-        .zip(&traces)
         .zip(results)
-        .map(|((e, trace), sim)| {
+        .map(|(e, sim)| {
             let mut report = Report::new(e.engine.name(), e.workload.label());
-            report.records = trace.len() as u64;
+            report.records = sim.records;
             report.sim = Some(sim);
             report
         })
@@ -142,7 +196,7 @@ pub fn run_many(experiments: &[Experiment], threads: usize) -> Result<Vec<Report
 /// Configures and validates an [`Experiment`].
 ///
 /// ```
-/// use clio_exp::{Engine, Experiment, Workload};
+/// use clio_exp::{Engine, Experiment, ReportMode, Workload};
 /// use clio_trace::synth::TraceProfile;
 ///
 /// let exp = Experiment::builder()
@@ -150,10 +204,13 @@ pub fn run_many(experiments: &[Experiment], threads: usize) -> Result<Vec<Report
 ///     .engine(Engine::ParallelReplay)
 ///     .threads(2)
 ///     .shards(8)
+///     .report_mode(ReportMode::Summary)
 ///     .build()
 ///     .unwrap();
 /// let report = exp.run().unwrap();
 /// assert_eq!(report.threads_used, Some(2));
+/// assert!(report.replay.is_none(), "summary mode keeps no per-record timings");
+/// assert!(report.total_ms().unwrap() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExperimentBuilder {
@@ -165,6 +222,7 @@ pub struct ExperimentBuilder {
     sim_options: TraceSimOptions,
     sched: SchedReplayOptions,
     real: RealReplayOptions,
+    mode: ReportMode,
 }
 
 impl Default for ExperimentBuilder {
@@ -178,6 +236,7 @@ impl Default for ExperimentBuilder {
             sim_options: TraceSimOptions::default(),
             sched: SchedReplayOptions::default(),
             real: RealReplayOptions::default(),
+            mode: ReportMode::Full,
         }
     }
 }
@@ -245,6 +304,17 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Report mode for the replay engines (default [`ReportMode::Full`]).
+    ///
+    /// [`ReportMode::Summary`] keeps running aggregates only — report
+    /// memory stays O(1) in the trace length, and
+    /// [`Report::summary`](crate::Report::summary) is bit-identical to
+    /// full mode's — the setting for workloads larger than memory.
+    pub fn report_mode(mut self, mode: ReportMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Validates the configuration into a runnable [`Experiment`].
     pub fn build(self) -> Result<Experiment, ExpError> {
         let workload = self
@@ -268,6 +338,7 @@ impl ExperimentBuilder {
             sim_options: self.sim_options,
             sched: self.sched,
             real: self.real,
+            mode: self.mode,
         })
     }
 }
@@ -316,6 +387,30 @@ mod tests {
     }
 
     #[test]
+    fn summary_mode_summarizes_identically() {
+        for engine in [Engine::SerialReplay, Engine::ParallelReplay] {
+            let full = Experiment::builder()
+                .workload(synth(64))
+                .engine(engine.clone())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            let summary = Experiment::builder()
+                .workload(synth(64))
+                .engine(engine.clone())
+                .report_mode(ReportMode::Summary)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(summary.replay.is_none(), "{engine:?}");
+            assert!(summary.replay_stats.is_some(), "{engine:?}");
+            assert_eq!(summary.summary(), full.summary(), "{engine:?}");
+        }
+    }
+
+    #[test]
     fn experiments_rerun_identically() {
         let exp = Experiment::builder().workload(synth(64)).build().unwrap();
         let a = exp.run().unwrap();
@@ -339,6 +434,7 @@ mod tests {
             .unwrap();
         assert!(report.makespan_s().unwrap() > 0.0);
         assert!(report.replay.is_none());
+        assert!(report.records >= 18, "records counted by the streaming discovery pass");
     }
 
     #[test]
@@ -359,6 +455,7 @@ mod tests {
             assert_eq!(pooled.len(), solo.len());
             for (p, s) in pooled.iter().zip(&solo) {
                 assert_eq!(p.sim, s.sim, "{threads} threads");
+                assert_eq!(p.records, s.records, "{threads} threads");
             }
         }
     }

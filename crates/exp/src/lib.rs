@@ -16,13 +16,20 @@
 //!   chained/interleaved/ratio-weighted mix of two workloads. Opening
 //!   a workload yields a **streaming**
 //!   [`TraceSource`](clio_trace::source::TraceSource) — records come
-//!   one at a time, so the serial replay engine never needs the whole
-//!   trace in memory.
+//!   one at a time, and every engine consumes them that way: the
+//!   serial engines stream once, the parallel engine opens one stream
+//!   per worker (plus a merge walk), and the simulators demultiplex a
+//!   stream per process through a bounded
+//!   [`PidSplitter`](clio_trace::source::PidSplitter). No engine
+//!   materializes the workload.
 //! - [`Engine`] selects the machinery: serial cached replay,
 //!   sharded-parallel replay, trace-driven machine simulation,
 //!   seek-aware scheduled simulation, or real-backend replay.
 //! - [`Report`] is the single result type subsuming the engines'
 //!   native reports, with serde JSON output via [`Report::summary`].
+//!   [`ReportMode::Summary`] keeps running aggregates instead of
+//!   per-record timings — O(1) report memory, bit-identical summary
+//!   numbers — so workloads larger than memory flow end to end.
 //!
 //! ```
 //! use clio_exp::{Engine, Experiment, Workload};
@@ -40,9 +47,10 @@
 //! assert!(report.mean_ms(IoOp::Close).unwrap() > report.mean_ms(IoOp::Open).unwrap());
 //! ```
 //!
-//! The pre-existing free functions (`replay_simulated`,
-//! `simulate_trace`, …) remain as `#[deprecated]` shims; equivalence
-//! tests pin this builder path bit-identical to them.
+//! The deprecated pre-`Experiment` free functions (`replay_simulated`,
+//! `simulate_trace`, …) are gone; equivalence tests pin this builder
+//! path bit-identical to the canonical low-level engines
+//! (`replay_source`, `replay_parallel`, `trace_sim`, …) instead.
 //!
 //! **Layering rule:** `clio-exp` may depend on `clio-trace`,
 //! `clio-sim`, `clio-cache` and `clio-apps` — never the reverse. The
@@ -62,3 +70,5 @@ pub use error::ExpError;
 pub use experiment::{run_many, Experiment, ExperimentBuilder};
 pub use report::{Report, ReportSummary};
 pub use workload::{AppWorkload, MixKind, Workload};
+
+pub use clio_trace::replay::ReportMode;

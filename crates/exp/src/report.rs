@@ -3,16 +3,19 @@
 use clio_cache::metrics::CacheMetrics;
 use clio_sim::trace_driven::TraceSimReport;
 use clio_trace::record::IoOp;
-use clio_trace::replay::ReplayReport;
+use clio_trace::replay::{ReplayReport, ReplayStats};
 use serde::{Deserialize, Serialize};
 
 /// What an experiment produced.
 ///
 /// One type subsumes the engines' native reports: replay engines fill
-/// [`Report::replay`] (and the parallel engine adds cache counters),
-/// simulation engines fill [`Report::sim`]. The untouched sections are
-/// `None`. [`Report::summary`] flattens everything into a
-/// serde-serializable [`ReportSummary`] for JSON archival.
+/// [`Report::replay`] (full mode) or [`Report::replay_stats`] (summary
+/// mode — running aggregates only, O(1) in the trace length), the
+/// parallel engine adds cache counters, and simulation engines fill
+/// [`Report::sim`]. The untouched sections are `None`.
+/// [`Report::summary`] flattens everything into a serde-serializable
+/// [`ReportSummary`] for JSON archival — bit-identical between the two
+/// replay report modes.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Stable engine name (see [`crate::Engine::name`]).
@@ -21,8 +24,12 @@ pub struct Report {
     pub workload: String,
     /// Number of records the experiment consumed.
     pub records: u64,
-    /// Per-record replay timings and per-op summaries (replay engines).
+    /// Per-record replay timings and per-op summaries (replay engines
+    /// in [`ReportMode::Full`](clio_trace::replay::ReportMode::Full)).
     pub replay: Option<ReplayReport>,
+    /// Running replay aggregates (replay engines in
+    /// [`ReportMode::Summary`](clio_trace::replay::ReportMode::Summary)).
+    pub replay_stats: Option<ReplayStats>,
     /// Aggregate cache counters (parallel replay).
     pub cache_metrics: Option<CacheMetrics>,
     /// Per-shard cache counters (parallel replay).
@@ -41,6 +48,7 @@ impl Report {
             workload,
             records: 0,
             replay: None,
+            replay_stats: None,
             cache_metrics: None,
             shard_metrics: None,
             threads_used: None,
@@ -48,14 +56,21 @@ impl Report {
         }
     }
 
+    /// The replay aggregates, whichever report mode produced them:
+    /// full mode's are derived from its timings, summary mode's were
+    /// accumulated while streaming — bit-identical either way.
+    pub fn stats(&self) -> Option<&ReplayStats> {
+        self.replay.as_ref().map(|r| r.stats()).or(self.replay_stats.as_ref())
+    }
+
     /// Mean latency of one operation kind, ms (replay engines).
     pub fn mean_ms(&self, op: IoOp) -> Option<f64> {
-        self.replay.as_ref().and_then(|r| r.mean_ms(op))
+        self.stats().and_then(|s| s.mean_ms(op))
     }
 
     /// Total replayed simulated/wall time, ms (replay engines).
     pub fn total_ms(&self) -> Option<f64> {
-        self.replay.as_ref().map(|r| r.total_ms())
+        self.stats().map(|s| s.total_ms())
     }
 
     /// Simulated makespan, seconds (sim engines).

@@ -191,6 +191,56 @@ impl Workload {
         }
     }
 
+    /// Validates the workload **cheaply** — parameter checks only, no
+    /// records generated, no files touched. Everything this accepts,
+    /// [`Workload::open`] can open (the one exception is
+    /// [`Workload::Custom`], whose factory is opaque by design).
+    pub fn validate(&self) -> Result<(), ExpError> {
+        match self {
+            Workload::Synthetic(p) => p.validate().map_err(ExpError::InvalidWorkload),
+            Workload::Mix(a, b, kind) => {
+                if let MixKind::Weighted(wa, wb) = kind {
+                    if *wa == 0 || *wb == 0 {
+                        return Err(ExpError::InvalidWorkload(format!(
+                            "mix weights must be positive, got {wa}:{wb}"
+                        )));
+                    }
+                }
+                a.validate()?;
+                b.validate()
+            }
+            Workload::Chain(a, b) => {
+                a.validate()?;
+                b.validate()
+            }
+            Workload::App(_) | Workload::File(_) | Workload::Trace(_) | Workload::Custom(_) => {
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves the load-once atoms — [`Workload::File`] (disk load)
+    /// and [`Workload::App`] (application run) — into shared
+    /// [`Workload::Trace`]s, recursively through chains and mixes, so
+    /// that engines which re-open the workload many times (one stream
+    /// per parallel worker, discovery + replay passes in the
+    /// simulators) clone an `Arc` instead of re-loading or re-running
+    /// the application per stream. Streaming atoms (synthetic, custom,
+    /// trace) pass through untouched; the label is unchanged by
+    /// resolution, so resolve *after* taking the label.
+    pub fn resolve(&self) -> Result<Workload, ExpError> {
+        Ok(match self {
+            Workload::File(_) | Workload::App(_) => Workload::Trace(self.materialize()?),
+            Workload::Chain(a, b) => {
+                Workload::Chain(Box::new(a.resolve()?), Box::new(b.resolve()?))
+            }
+            Workload::Mix(a, b, kind) => {
+                Workload::Mix(Box::new(a.resolve()?), Box::new(b.resolve()?), *kind)
+            }
+            other => other.clone(),
+        })
+    }
+
     /// A short human-readable description.
     pub fn label(&self) -> String {
         match self {
@@ -396,5 +446,41 @@ mod tests {
     fn mix_label_mentions_both_sides() {
         let w = Workload::parse("mix:dmine*3,lu*2").unwrap();
         assert_eq!(w.label(), "mix(dmine*3,lu*2)");
+    }
+
+    #[test]
+    fn validate_is_structural_and_catches_nested_errors() {
+        assert!(Workload::parse("mix:seq,rand").unwrap().validate().is_ok());
+        let bad = Workload::mix(
+            Workload::Synthetic(TraceProfile { write_fraction: 2.0, ..Default::default() }),
+            Workload::Synthetic(TraceProfile::default()),
+        );
+        assert!(bad.validate().is_err(), "nested invalid profile must surface");
+        assert!(Workload::App(AppWorkload::Lu).validate().is_ok());
+    }
+
+    #[test]
+    fn resolve_shares_one_trace_across_reopens() {
+        // App atoms resolve to a shared in-memory trace: re-opening is
+        // an Arc clone, not a re-run of the application.
+        let resolved = Workload::App(AppWorkload::Lu).resolve().unwrap();
+        match &resolved {
+            Workload::Trace(trace) => {
+                assert_eq!(trace.records, clio_apps::lu::paper_trace().records)
+            }
+            other => panic!("expected a resolved trace, got {other:?}"),
+        }
+        // Streaming atoms pass through; labels never change.
+        let synth = Workload::Synthetic(TraceProfile::default());
+        assert!(matches!(synth.resolve().unwrap(), Workload::Synthetic(_)));
+        let mix = Workload::parse("mix:dmine,lu").unwrap();
+        let resolved = mix.resolve().unwrap();
+        assert!(matches!(&resolved, Workload::Mix(a, b, _)
+            if matches!(a.as_ref(), Workload::Trace(_)) && matches!(b.as_ref(), Workload::Trace(_))));
+        assert_eq!(
+            resolved.materialize().unwrap().records,
+            mix.materialize().unwrap().records,
+            "resolution must not change the stream"
+        );
     }
 }

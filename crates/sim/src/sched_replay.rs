@@ -11,9 +11,8 @@
 //! emerges — SSTF/SCAN shorten the makespan of random-access workloads
 //! over FCFS, and do nothing for sequential ones.
 
-use std::sync::Arc;
-
 use clio_trace::record::IoOp;
+use clio_trace::source::{scan_pids, PidSplitter, SliceSource, TraceSource};
 use clio_trace::TraceFile;
 
 use crate::disk::stripe_plan;
@@ -42,8 +41,8 @@ impl Default for SchedReplayOptions {
 const METADATA_COST: f64 = 20e-6;
 
 struct ProcState {
-    records: Vec<usize>,
-    cursor: usize,
+    /// The pid whose stream this process consumes.
+    pid: u32,
     finish: SimTime,
 }
 
@@ -58,7 +57,7 @@ struct DiskState {
     busy_time: f64,
 }
 
-struct World {
+struct World<'s> {
     cfg: MachineConfig,
     curve: SeekCurve,
     bytes_per_cylinder: u64,
@@ -66,6 +65,8 @@ struct World {
     procs: Vec<ProcState>,
     transfers: Vec<Transfer>,
     bytes_moved: u64,
+    /// Per-pid demultiplexer over this run's own stream.
+    splitter: PidSplitter<Box<dyn TraceSource + 's>>,
 }
 
 /// Replays `trace` on `machine` with per-disk request scheduling.
@@ -77,20 +78,35 @@ pub fn scheduled_trace_sim(
     machine: &MachineConfig,
     options: &SchedReplayOptions,
 ) -> TraceSimReport {
+    scheduled_trace_sim_source(
+        || Box::new(SliceSource::new(trace)) as Box<dyn TraceSource + '_>,
+        machine,
+        options,
+    )
+}
+
+/// Replays a re-openable record stream on `machine` with per-disk
+/// request scheduling — fully streaming, exactly like
+/// [`crate::trace_driven::trace_sim_source`]: a discovery pass for the
+/// process roster, then a replay pass fed through a
+/// [`PidSplitter`] with bounded per-pid
+/// buffering. `open` is called twice and must yield the same stream
+/// both times.
+///
+/// # Panics
+/// Panics if the machine configuration is invalid or `cylinders` is 0.
+pub fn scheduled_trace_sim_source<'s, F>(
+    open: F,
+    machine: &MachineConfig,
+    options: &SchedReplayOptions,
+) -> TraceSimReport
+where
+    F: Fn() -> Box<dyn TraceSource + 's>,
+{
     machine.validate().expect("invalid machine configuration");
     assert!(options.cylinders > 0, "disk needs at least one cylinder");
 
-    let mut pids: Vec<u32> = Vec::new();
-    let mut per_pid: Vec<Vec<usize>> = Vec::new();
-    for (i, r) in trace.records.iter().enumerate() {
-        match pids.iter().position(|&p| p == r.pid) {
-            Some(slot) => per_pid[slot].push(i),
-            None => {
-                pids.push(r.pid);
-                per_pid.push(vec![i]);
-            }
-        }
-    }
+    let (pids, records) = scan_pids(&mut *open());
 
     let curve = SeekCurve::from_model(&machine.disk_model, options.cylinders);
     let mut world = World {
@@ -103,20 +119,16 @@ pub fn scheduled_trace_sim(
                 busy_time: 0.0,
             })
             .collect(),
-        procs: per_pid
-            .into_iter()
-            .map(|records| ProcState { records, cursor: 0, finish: SimTime::ZERO })
-            .collect(),
+        procs: pids.iter().map(|&pid| ProcState { pid, finish: SimTime::ZERO }).collect(),
         transfers: Vec::new(),
         bytes_moved: 0,
         cfg: machine.clone(),
+        splitter: PidSplitter::new(open()),
     };
 
-    let records: Arc<[clio_trace::TraceRecord]> = trace.records.clone().into();
-    let mut engine: Engine<World> = Engine::new();
+    let mut engine: Engine<World<'s>> = Engine::new();
     for p in 0..world.procs.len() {
-        let records = records.clone();
-        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, &records, p));
+        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, p));
     }
     let end = engine.run(&mut world);
 
@@ -134,52 +146,42 @@ pub fn scheduled_trace_sim(
         bytes_moved: world.bytes_moved,
         disk_utilization,
         events: engine.processed(),
+        records,
     }
 }
 
-fn step(
-    engine: &mut Engine<World>,
-    world: &mut World,
-    records: &Arc<[clio_trace::TraceRecord]>,
-    proc_idx: usize,
-) {
+fn step<'s>(engine: &mut Engine<World<'s>>, world: &mut World<'s>, proc_idx: usize) {
     let now = engine.now();
-    let Some(&rec_idx) = world.procs[proc_idx].records.get(world.procs[proc_idx].cursor) else {
+    let pid = world.procs[proc_idx].pid;
+    let Some(r) = world.splitter.next_for(pid) else {
         world.procs[proc_idx].finish = now;
         return;
     };
-    world.procs[proc_idx].cursor += 1;
-    let r = records[rec_idx];
 
     let repeats = r.num_records.max(1) as u64;
     match r.op {
         IoOp::Open | IoOp::Close | IoOp::Seek => {
-            let records = records.clone();
             engine.schedule_at(now + METADATA_COST * repeats as f64, move |eng, w| {
-                step(eng, w, &records, proc_idx)
+                step(eng, w, proc_idx)
             });
         }
         IoOp::Read | IoOp::Write => {
             let bytes = r.length.saturating_mul(repeats);
             world.bytes_moved += bytes;
             if bytes == 0 {
-                let records = records.clone();
-                engine.schedule_at(now + METADATA_COST, move |eng, w| {
-                    step(eng, w, &records, proc_idx)
-                });
+                engine.schedule_at(now + METADATA_COST, move |eng, w| step(eng, w, proc_idx));
                 return;
             }
-            issue_io(engine, world, records, proc_idx, r.offset, bytes);
+            issue_io(engine, world, proc_idx, r.offset, bytes);
         }
     }
 }
 
 /// Splits the transfer across the stripe and enqueues one request per
 /// participating disk; the process resumes when the last chunk lands.
-fn issue_io(
-    engine: &mut Engine<World>,
-    world: &mut World,
-    records: &Arc<[clio_trace::TraceRecord]>,
+fn issue_io<'s>(
+    engine: &mut Engine<World<'s>>,
+    world: &mut World<'s>,
     proc_idx: usize,
     offset: u64,
     bytes: u64,
@@ -204,16 +206,11 @@ fn issue_io(
 
     for (d, b) in participating {
         world.disks[d].sched.push(DiskRequest { id: tid, cylinder, bytes: b });
-        start_if_idle(engine, world, records, d);
+        start_if_idle(engine, world, d);
     }
 }
 
-fn start_if_idle(
-    engine: &mut Engine<World>,
-    world: &mut World,
-    records: &Arc<[clio_trace::TraceRecord]>,
-    disk_idx: usize,
-) {
+fn start_if_idle<'s>(engine: &mut Engine<World<'s>>, world: &mut World<'s>, disk_idx: usize) {
     if world.disks[disk_idx].busy {
         return;
     }
@@ -228,32 +225,17 @@ fn start_if_idle(
     world.disks[disk_idx].busy = true;
     world.disks[disk_idx].busy_time += service;
 
-    let records = records.clone();
     let tid = req.id as usize;
     engine.schedule_in(service, move |eng, w| {
         w.disks[disk_idx].busy = false;
         w.transfers[tid].remaining -= 1;
         if w.transfers[tid].remaining == 0 {
             let proc_idx = w.transfers[tid].proc_idx;
-            let records_for_step = records.clone();
             let now = eng.now();
-            eng.schedule_at(now, move |eng, w| step(eng, w, &records_for_step, proc_idx));
+            eng.schedule_at(now, move |eng, w| step(eng, w, proc_idx));
         }
-        start_if_idle(eng, w, &records, disk_idx);
+        start_if_idle(eng, w, disk_idx);
     });
-}
-
-/// Replays `trace` on `machine` with per-disk request scheduling.
-#[deprecated(
-    since = "0.1.0",
-    note = "use clio_exp's Experiment::builder() (or scheduled_trace_sim)"
-)]
-pub fn simulate_trace_scheduled(
-    trace: &TraceFile,
-    machine: &MachineConfig,
-    options: &SchedReplayOptions,
-) -> TraceSimReport {
-    scheduled_trace_sim(trace, machine, options)
 }
 
 #[cfg(test)]

@@ -15,10 +15,16 @@
 //! time, opens/closes/seeks cost a fixed host overhead. Inter-record
 //! think time can be taken from the trace's captured clocks or ignored
 //! (closed-loop replay).
-
-use std::rc::Rc;
+//!
+//! The simulator is **streaming**: [`trace_sim_source`] replays any
+//! re-openable record stream through a
+//! [`PidSplitter`] — one cheap discovery
+//! pass for the process roster, one replay pass with bounded per-pid
+//! buffering — so no materialized [`TraceFile`] or per-pid index is
+//! ever built. [`trace_sim`] is the same engine over a borrowed trace.
 
 use clio_trace::record::IoOp;
+use clio_trace::source::{scan_pids, PidSplitter, SliceSource, TraceSource};
 use clio_trace::TraceFile;
 
 use crate::disk::{stripe_plan, striped_service};
@@ -62,6 +68,8 @@ pub struct TraceSimReport {
     pub disk_utilization: f64,
     /// Number of simulation events processed.
     pub events: u64,
+    /// Number of trace records replayed.
+    pub records: u64,
 }
 
 /// Fixed host cost (seconds) of open/close/seek records in the
@@ -69,20 +77,21 @@ pub struct TraceSimReport {
 const METADATA_COST: f64 = 20e-6;
 
 struct ProcState {
-    /// Indices into the trace's records, in order, for this pid.
-    records: Vec<usize>,
-    cursor: usize,
+    /// The pid whose stream this process consumes.
+    pid: u32,
     stripe_rotation: usize,
     finish: SimTime,
     /// Wall clock of the previously issued record (for think time).
     prev_wall_us: Option<u64>,
 }
 
-struct World {
+struct World<'s> {
     cfg: MachineConfig,
     disks: Vec<FcfsServer>,
     procs: Vec<ProcState>,
     bytes_moved: u64,
+    /// Per-pid demultiplexer over this run's own stream.
+    splitter: PidSplitter<Box<dyn TraceSource + 's>>,
 }
 
 /// Simulates `trace` on `machine`.
@@ -94,45 +103,59 @@ pub fn trace_sim(
     machine: &MachineConfig,
     options: &TraceSimOptions,
 ) -> TraceSimReport {
+    trace_sim_source(
+        || Box::new(SliceSource::new(trace)) as Box<dyn TraceSource + '_>,
+        machine,
+        options,
+    )
+}
+
+/// Simulates a re-openable record stream on `machine` — fully
+/// streaming: one cheap pass discovers the process roster (so every
+/// process can start at time zero in first-appearance order, exactly
+/// as the materialized path does), then the replay pass feeds each
+/// simulated process from a [`PidSplitter`] with bounded per-pid
+/// buffering. No `TraceFile` and no per-pid index are ever built.
+///
+/// `open` is called twice and must yield the same stream both times
+/// (the contract `clio_exp::Workload::open` documents).
+///
+/// # Panics
+/// Panics if the machine configuration is invalid.
+pub fn trace_sim_source<'s, F>(
+    open: F,
+    machine: &MachineConfig,
+    options: &TraceSimOptions,
+) -> TraceSimReport
+where
+    F: Fn() -> Box<dyn TraceSource + 's>,
+{
     machine.validate().expect("invalid machine configuration");
 
-    // Group records by pid, preserving order.
-    let mut pids: Vec<u32> = Vec::new();
-    let mut per_pid: Vec<Vec<usize>> = Vec::new();
-    for (i, r) in trace.records.iter().enumerate() {
-        match pids.iter().position(|&p| p == r.pid) {
-            Some(slot) => per_pid[slot].push(i),
-            None => {
-                pids.push(r.pid);
-                per_pid.push(vec![i]);
-            }
-        }
-    }
+    // Discovery pass: pids in first-appearance order, plus the record
+    // count for the report. O(#pids) memory.
+    let (pids, records) = scan_pids(&mut *open());
 
     let mut world = World {
         disks: (0..machine.disks).map(|_| FcfsServer::new(1)).collect(),
         cfg: machine.clone(),
-        procs: per_pid
-            .into_iter()
-            .map(|records| ProcState {
-                records,
-                cursor: 0,
+        procs: pids
+            .iter()
+            .map(|&pid| ProcState {
+                pid,
                 stripe_rotation: 0,
                 finish: SimTime::ZERO,
                 prev_wall_us: None,
             })
             .collect(),
         bytes_moved: 0,
+        splitter: PidSplitter::new(open()),
     };
 
     let think = options.think_time;
-    // One shared, immutable copy of the records: every event clones the
-    // `Rc` handle (refcount bump), not the vector — replay stays O(N).
-    let records: Rc<[clio_trace::TraceRecord]> = trace.records.as_slice().into();
-    let mut engine: Engine<World> = Engine::new();
+    let mut engine: Engine<World<'s>> = Engine::new();
     for p in 0..world.procs.len() {
-        let records = Rc::clone(&records);
-        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, records, p, think));
+        engine.schedule_at(SimTime::ZERO, move |eng, w| step(eng, w, p, think));
     }
     let end = engine.run(&mut world);
 
@@ -149,23 +172,22 @@ pub fn trace_sim(
         bytes_moved: world.bytes_moved,
         disk_utilization,
         events: engine.processed(),
+        records,
     }
 }
 
-fn step(
-    engine: &mut Engine<World>,
-    world: &mut World,
-    records: Rc<[clio_trace::TraceRecord]>,
+fn step<'s>(
+    engine: &mut Engine<World<'s>>,
+    world: &mut World<'s>,
     proc_idx: usize,
     think: ThinkTime,
 ) {
     let now = engine.now();
-    let Some(&rec_idx) = world.procs[proc_idx].records.get(world.procs[proc_idx].cursor) else {
+    let pid = world.procs[proc_idx].pid;
+    let Some(r) = world.splitter.next_for(pid) else {
         world.procs[proc_idx].finish = now;
         return;
     };
-    world.procs[proc_idx].cursor += 1;
-    let r = records[rec_idx];
 
     // Open-loop replay: delay issue by the captured inter-record gap.
     let mut issue_at = now;
@@ -187,11 +209,11 @@ fn step(
         }
     };
 
-    engine.schedule_at(completion, move |eng, w| step(eng, w, records, proc_idx, think));
+    engine.schedule_at(completion, move |eng, w| step(eng, w, proc_idx, think));
 }
 
 /// Issues a striped transfer; returns its completion time.
-fn issue_io(world: &mut World, proc_idx: usize, at: SimTime, bytes: u64) -> SimTime {
+fn issue_io(world: &mut World<'_>, proc_idx: usize, at: SimTime, bytes: u64) -> SimTime {
     if bytes == 0 {
         return at + METADATA_COST;
     }
@@ -269,25 +291,6 @@ pub fn trace_sim_pool(jobs: &[SimJob<'_>], threads: usize) -> Vec<TraceSimReport
     out.into_iter().map(|r| r.expect("every job completes")).collect()
 }
 
-/// Simulates `trace` on `machine`.
-#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or trace_sim)")]
-pub fn simulate_trace(
-    trace: &TraceFile,
-    machine: &MachineConfig,
-    options: &TraceSimOptions,
-) -> TraceSimReport {
-    trace_sim(trace, machine, options)
-}
-
-/// Runs a batch of independent trace simulations on a worker pool.
-#[deprecated(
-    since = "0.1.0",
-    note = "use clio_exp's run_many / Experiment::builder() (or trace_sim_pool)"
-)]
-pub fn simulate_traces_parallel(jobs: &[SimJob<'_>], threads: usize) -> Vec<TraceSimReport> {
-    trace_sim_pool(jobs, threads)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +326,28 @@ mod tests {
         assert!(report.makespan > 0.9 && report.makespan < 1.3, "makespan {}", report.makespan);
         assert_eq!(report.bytes_moved, 40 * 1024 * 1024);
         assert_eq!(report.pids, vec![0]);
+        assert_eq!(report.records, trace.len() as u64);
+    }
+
+    #[test]
+    fn streamed_source_sim_is_identical_to_materialized_sim() {
+        // trace_sim *is* trace_sim_source over a slice; pin that a
+        // genuinely streaming re-openable source (fresh SliceSource per
+        // open, as a stand-in for any iterator/synthesizer workload)
+        // produces the identical report — multi-process, both
+        // think-time modes.
+        let trace = multi_process_trace(4, 12, 512 * 1024);
+        for think in [ThinkTime::ClosedLoop, ThinkTime::FromTrace] {
+            let options = TraceSimOptions { think_time: think };
+            let machine = MachineConfig::with_disks(2);
+            let materialized = trace_sim(&trace, &machine, &options);
+            let streamed = trace_sim_source(
+                || Box::new(SliceSource::new(&trace)) as Box<dyn TraceSource + '_>,
+                &machine,
+                &options,
+            );
+            assert_eq!(streamed, materialized, "{think:?}");
+        }
     }
 
     #[test]

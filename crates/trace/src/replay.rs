@@ -14,20 +14,29 @@
 //!   engine behind the regenerated Tables 1–4: page-cache hits,
 //!   prefetch charges and dirty-flush closes reproduce the paper's
 //!   anomalies exactly and repeatably.
-//! - [`replay_real_file`] / [`replay_backend`] issue the records
+//! - [`replay_real_source`] / [`replay_backend`] issue the records
 //!   against an actual file through a [`FileBackend`], timing each
 //!   operation with a monotonic clock — the honest-hardware mode.
-//! - [`replay_parallel`] drives a
+//! - [`replay_parallel_source`] drives a
 //!   [`ShardedBufferCache`]
-//!   with a pool of workers, each owning a disjoint set of shards —
-//!   the multi-core engine, deterministic across runs *and* thread
-//!   counts (see [`ParallelReplayReport`]).
+//!   with a pool of workers, each owning a disjoint set of shards and
+//!   its **own stream** over the workload (no shared materialized
+//!   trace) — the multi-core engine, deterministic across runs *and*
+//!   thread counts (see [`ParallelReplayReport`]).
+//!   [`replay_parallel`] is the materialized reference path over a
+//!   borrowed [`TraceFile`]; the equivalence layer pins the two
+//!   bitwise-identical.
+//!
+//! Every engine comes in two [`ReportMode`]s: *Full* keeps the
+//! per-record [`OpTiming`] vector (O(N) report memory — the paper's
+//! per-request tables need it), *Summary* folds each record into a
+//! running [`ReplayStats`] as it streams past (O(1) report memory —
+//! the mode for traces larger than memory). Both modes feed the same
+//! accumulators in the same order, so their summary numbers are
+//! bit-identical.
 //!
 //! The preferred front door to all of them is
-//! `clio_exp::Experiment::builder()`; the free functions kept from
-//! earlier revisions (`replay_simulated`, `replay_simulated_parallel`,
-//! `replay_real`, `replay_with_backend`) are deprecated shims over the
-//! engines above, pinned bit-identical by equivalence tests.
+//! `clio_exp::Experiment::builder()`.
 
 use std::io;
 use std::path::Path;
@@ -44,6 +53,23 @@ use crate::reader::TraceFile;
 use crate::record::{IoOp, TraceRecord};
 use crate::source::{SliceSource, TraceSource};
 
+/// How a replay engine reports its results.
+///
+/// The replayed work — cache state machine, cost model, hit/miss
+/// accounting — is identical in both modes; the mode only selects what
+/// the engine *keeps*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Keep every per-record [`OpTiming`] (O(N) report memory). The
+    /// per-request tables of the paper (Tables 3 and 4) need this.
+    #[default]
+    Full,
+    /// Keep only the running [`ReplayStats`] aggregates (O(1) report
+    /// memory in the trace length) — the mode for traces larger than
+    /// memory. Summary numbers are bit-identical to Full mode's.
+    Summary,
+}
+
 /// One replayed operation and its latency.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpTiming {
@@ -54,24 +80,35 @@ pub struct OpTiming {
     pub elapsed_ms: f64,
 }
 
-/// The result of replaying one trace.
-#[derive(Debug, Clone)]
-pub struct ReplayReport {
-    /// Per-record timings, in replay order.
-    pub timings: Vec<OpTiming>,
+/// Running replay aggregates: per-op latency summaries, the total
+/// replayed time and the record count — everything
+/// [`ReportMode::Summary`] keeps, O(1) in the trace length.
+///
+/// Records are folded in replay order with [`ReplayStats::add`]; the
+/// full-report path feeds the same accumulator from its collected
+/// timings, which is what makes the two modes' summaries bit-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayStats {
+    records: u64,
+    total_ms: f64,
     per_op: [Summary; 5],
 }
 
-impl ReplayReport {
-    fn from_timings(timings: Vec<OpTiming>) -> Self {
-        let mut per_op: [Summary; 5] = Default::default();
-        for t in &timings {
-            per_op[t.record.op.code() as usize].add(t.elapsed_ms);
-        }
-        Self { timings, per_op }
+impl ReplayStats {
+    /// Folds one replayed record into the running aggregates.
+    pub fn add(&mut self, record: &TraceRecord, elapsed_ms: f64) {
+        self.records += 1;
+        self.total_ms += elapsed_ms * record.num_records.max(1) as f64;
+        self.per_op[record.op.code() as usize].add(elapsed_ms);
     }
 
-    /// Latency summary for one operation kind.
+    /// Number of records replayed.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Latency summary (count/mean/min/max/variance) for one operation
+    /// kind.
     pub fn summary(&self, op: IoOp) -> &Summary {
         &self.per_op[op.code() as usize]
     }
@@ -79,6 +116,45 @@ impl ReplayReport {
     /// Mean latency for one operation kind (ms); `None` if absent.
     pub fn mean_ms(&self, op: IoOp) -> Option<f64> {
         self.summary(op).mean()
+    }
+
+    /// Total replayed wall/simulated time, ms (repeat counts weighted).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ms
+    }
+}
+
+/// The result of replaying one trace in [`ReportMode::Full`].
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Per-record timings, in replay order.
+    pub timings: Vec<OpTiming>,
+    stats: ReplayStats,
+}
+
+impl ReplayReport {
+    fn from_timings(timings: Vec<OpTiming>) -> Self {
+        let mut stats = ReplayStats::default();
+        for t in &timings {
+            stats.add(&t.record, t.elapsed_ms);
+        }
+        Self { timings, stats }
+    }
+
+    /// The running aggregates over the timings — the exact object a
+    /// [`ReportMode::Summary`] replay of the same workload returns.
+    pub fn stats(&self) -> &ReplayStats {
+        &self.stats
+    }
+
+    /// Latency summary for one operation kind.
+    pub fn summary(&self, op: IoOp) -> &Summary {
+        self.stats.summary(op)
+    }
+
+    /// Mean latency for one operation kind (ms); `None` if absent.
+    pub fn mean_ms(&self, op: IoOp) -> Option<f64> {
+        self.stats.mean_ms(op)
     }
 
     /// The data-operation timings (reads/writes/seeks), as
@@ -99,27 +175,24 @@ impl ReplayReport {
 
     /// Total replayed wall/simulated time, ms.
     pub fn total_ms(&self) -> f64 {
-        self.timings.iter().map(|t| t.elapsed_ms * t.record.num_records.max(1) as f64).sum()
+        self.stats.total_ms()
     }
 }
 
-/// Replays a streaming record source against a buffer cache;
-/// deterministic. Records are consumed one at a time, so the source
-/// never needs to exist as a whole in memory — an iterator-backed or
-/// synthesized stream replays exactly like a loaded [`TraceFile`].
-///
-/// # Panics
-/// Panics if a record's `file_id` is not below the source's declared
-/// `meta().num_files` (loaded traces are validated; hand-rolled
-/// sources must declare honest metadata).
-pub fn replay_source<S: TraceSource + ?Sized>(source: &mut S, config: CacheConfig) -> ReplayReport {
+/// The shared serial engine: streams `source` against a buffer cache
+/// and hands every `(record, elapsed_ms)` pair to `visit` in replay
+/// order. Both report modes are thin sinks over this.
+fn replay_cached_with<S: TraceSource + ?Sized>(
+    source: &mut S,
+    config: CacheConfig,
+    mut visit: impl FnMut(&TraceRecord, f64),
+) {
     let meta = source.meta();
     let mut cache = BufferCache::new(config);
     let file_ids: Vec<FileId> = (0..meta.num_files)
         .map(|i| cache.register_file(format!("{}#{}", meta.sample_file, i)))
         .collect();
 
-    let mut timings = Vec::with_capacity(source.size_hint().0);
     while let Some(r) = source.next_record() {
         let fid = file_ids[r.file_id as usize];
         let repeats = r.num_records.max(1);
@@ -138,18 +211,44 @@ pub fn replay_source<S: TraceSource + ?Sized>(source: &mut S, config: CacheConfi
             };
             total += outcome.cost_ms;
         }
-        timings.push(OpTiming { record: r, elapsed_ms: total / repeats as f64 });
+        visit(&r, total / repeats as f64);
     }
+}
+
+/// Replays a streaming record source against a buffer cache;
+/// deterministic. Records are consumed one at a time, so the source
+/// never needs to exist as a whole in memory — an iterator-backed or
+/// synthesized stream replays exactly like a loaded [`TraceFile`].
+///
+/// This is the [`ReportMode::Full`] engine (per-record timings kept);
+/// [`replay_source_stats`] is its O(1)-report-memory counterpart.
+///
+/// # Panics
+/// Panics if a record's `file_id` is not below the source's declared
+/// `meta().num_files` (loaded traces are validated; hand-rolled
+/// sources must declare honest metadata).
+pub fn replay_source<S: TraceSource + ?Sized>(source: &mut S, config: CacheConfig) -> ReplayReport {
+    let mut timings = Vec::with_capacity(source.size_hint().0);
+    replay_cached_with(source, config, |r, elapsed_ms| {
+        timings.push(OpTiming { record: *r, elapsed_ms })
+    });
     ReplayReport::from_timings(timings)
 }
 
-/// Replays against a buffer cache; deterministic.
-#[deprecated(
-    since = "0.1.0",
-    note = "use clio_exp's Experiment::builder() (or replay_source for low-level streaming)"
-)]
-pub fn replay_simulated(trace: &TraceFile, config: CacheConfig) -> ReplayReport {
-    replay_source(&mut SliceSource::new(trace), config)
+/// [`replay_source`] in [`ReportMode::Summary`]: the same replay, but
+/// each record is folded into running [`ReplayStats`] and dropped —
+/// report memory stays O(1) however long the stream is. The returned
+/// stats are bit-identical to `replay_source(..).stats()`.
+///
+/// # Panics
+/// Same contract as [`replay_source`].
+pub fn replay_source_stats<S: TraceSource + ?Sized>(
+    source: &mut S,
+    config: CacheConfig,
+) -> ReplayStats {
+    let mut stats = ReplayStats::default();
+    replay_cached_with(source, config, |r, elapsed_ms| stats.add(r, elapsed_ms));
+    stats
 }
 
 /// Options for the parallel simulated replay engine.
@@ -183,7 +282,173 @@ pub struct ParallelReplayReport {
     pub threads: usize,
 }
 
-/// Replays against a sharded cache with a pool of worker threads.
+/// The [`ReportMode::Summary`] result of a parallel replay: running
+/// aggregates instead of per-record timings, plus the same cache
+/// counters.
+#[derive(Debug, Clone)]
+pub struct ParallelReplayStats {
+    /// Running replay aggregates, merged deterministically.
+    pub stats: ReplayStats,
+    /// Aggregate cache metrics, merged over shards in shard order.
+    pub metrics: CacheMetrics,
+    /// Per-shard cache metrics.
+    pub shard_metrics: Vec<CacheMetrics>,
+    /// Worker threads actually used (after clamping).
+    pub threads: usize,
+}
+
+/// Per-worker replay state over the shards this worker owns — the one
+/// record-level cache-driving state machine shared by the materialized
+/// ([`replay_parallel`]) and per-worker-stream
+/// ([`replay_parallel_source`]) engines, so the two paths cannot drift.
+struct ShardWorker<'c> {
+    cache: &'c ShardedBufferCache,
+    page_size: u64,
+    prefetch_active: bool,
+    prefetcher: Prefetcher,
+    /// `mine[s]`: whether this worker owns shard `s`.
+    mine: Vec<bool>,
+    /// The owned shard ids, ascending.
+    owned: Vec<usize>,
+    /// shard id -> index into `owned` (usize::MAX when foreign).
+    slot: Vec<usize>,
+    cursors: Vec<RunCursor>,
+    outs: Vec<AccessOutcome>,
+    touched: Vec<usize>,
+}
+
+impl<'c> ShardWorker<'c> {
+    /// Worker `w` of `threads` over `cache` (owns shards `s` with
+    /// `s % threads == w`).
+    fn new(cache: &'c ShardedBufferCache, config: &CacheConfig, w: usize, threads: usize) -> Self {
+        let num_shards = cache.num_shards();
+        let mine: Vec<bool> = (0..num_shards).map(|s| s % threads == w).collect();
+        let owned: Vec<usize> = (0..num_shards).filter(|s| mine[*s]).collect();
+        let mut slot = vec![usize::MAX; num_shards];
+        for (k, &s) in owned.iter().enumerate() {
+            slot[s] = k;
+        }
+        Self {
+            cache,
+            page_size: config.page_size,
+            prefetch_active: config.prefetch_enabled && config.capacity_pages > 0,
+            prefetcher: Prefetcher::new(config.prefetch),
+            mine,
+            owned,
+            slot,
+            cursors: vec![RunCursor::default(); num_shards],
+            outs: vec![AccessOutcome::default(); num_shards],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Replays one record against the owned shards, reporting each
+    /// owned shard's incurred cost (summed over the record's repeats)
+    /// through `add(slot_index, cost_ms)`.
+    fn replay_record(&mut self, fid: FileId, r: &TraceRecord, mut add: impl FnMut(usize, f64)) {
+        let repeats = r.num_records.max(1);
+        for _ in 0..repeats {
+            match r.op {
+                IoOp::Open => {
+                    let id = PageId { file: fid, index: 0 };
+                    let s = self.cache.shard_of(id);
+                    if self.mine[s] {
+                        let mut out = AccessOutcome::default();
+                        self.cache.lock_shard(s).stage_open_page(id, &mut out);
+                        add(self.slot[s], out.cost_ms);
+                    }
+                }
+                IoOp::Close => {
+                    for &s in &self.owned {
+                        let mut out = AccessOutcome::default();
+                        self.cache.lock_shard(s).evict_file_pages(fid, &mut out);
+                        add(self.slot[s], out.cost_ms);
+                    }
+                    self.prefetcher.forget(fid);
+                }
+                IoOp::Seek => {
+                    let index = r.offset / self.page_size;
+                    if index > 0 {
+                        self.prefetcher.on_access(fid, index, index.saturating_sub(1));
+                    }
+                }
+                IoOp::Read | IoOp::Write => {
+                    let kind =
+                        if r.op == IoOp::Write { AccessKind::Write } else { AccessKind::Read };
+                    let (first, last) = page_span(r.offset, r.length, self.page_size);
+                    self.touched.clear();
+
+                    // Walk the span in shard-block groups, processing
+                    // only owned shards; each group runs under one lock
+                    // acquisition with run promotion per shard.
+                    let mut index = first;
+                    while index <= last {
+                        let s = self.cache.shard_of(PageId { file: fid, index });
+                        let block_end = (index | (SHARD_BLOCK_PAGES - 1)).min(last);
+                        if self.mine[s] {
+                            if !self.touched.contains(&s) {
+                                self.touched.push(s);
+                                self.cursors[s] = RunCursor::default();
+                                self.outs[s] = AccessOutcome::default();
+                            }
+                            let mut shard = self.cache.lock_shard(s);
+                            for p in index..=block_end {
+                                shard.page_access(
+                                    PageId { file: fid, index: p },
+                                    kind,
+                                    false,
+                                    &mut self.cursors[s],
+                                    &mut self.outs[s],
+                                );
+                            }
+                        }
+                        index = block_end + 1;
+                    }
+                    for &s in &self.touched {
+                        if self.cursors[s].has_pending_promotion() {
+                            self.cache.lock_shard(s).finish_run(self.cursors[s]);
+                        }
+                    }
+
+                    if self.prefetch_active {
+                        let window = self.prefetcher.on_access(fid, first, last);
+                        for ahead in 1..=window {
+                            let id = PageId { file: fid, index: last + ahead };
+                            let s = self.cache.shard_of(id);
+                            if self.mine[s] {
+                                if !self.touched.contains(&s) {
+                                    self.touched.push(s);
+                                    self.outs[s] = AccessOutcome::default();
+                                }
+                                self.cache.lock_shard(s).stage_prefetch(id, &mut self.outs[s]);
+                            }
+                        }
+                    }
+
+                    for &s in &self.touched {
+                        add(self.slot[s], self.outs[s].cost_ms);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fixed per-operation base cost the merge step adds on top of the
+/// shard partial costs.
+fn base_cost(config: &CacheConfig, op: IoOp) -> f64 {
+    match op {
+        IoOp::Open => config.costs.open_base,
+        IoOp::Close => config.costs.close_base,
+        IoOp::Read | IoOp::Write => config.costs.op_base,
+        IoOp::Seek => config.costs.seek_base,
+    }
+}
+
+/// Replays against a sharded cache with a pool of worker threads, from
+/// a borrowed, materialized trace — the reference implementation the
+/// per-worker-stream engine ([`replay_parallel_source`]) is pinned
+/// bitwise-identical against.
 ///
 /// Every worker scans the whole trace but performs cache work only for
 /// the shards it owns, driving them through the same per-page SPI
@@ -223,7 +488,16 @@ pub fn replay_parallel(
                 let cache = &cache;
                 let file_ids = &file_ids;
                 let config = &config;
-                scope.spawn(move |_| replay_worker(cache, config, records, file_ids, w, threads))
+                scope.spawn(move |_| {
+                    let mut worker = ShardWorker::new(cache, config, w, threads);
+                    let mut costs: Vec<Vec<f64>> =
+                        worker.owned.iter().map(|_| vec![0.0; records.len()]).collect();
+                    for (i, r) in records.iter().enumerate() {
+                        let fid = file_ids[r.file_id as usize];
+                        worker.replay_record(fid, r, |slot, c| costs[slot][i] += c);
+                    }
+                    worker.owned.iter().copied().zip(costs).collect::<Vec<_>>()
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("replay worker panicked")).collect::<Vec<_>>()
@@ -240,13 +514,7 @@ pub fn replay_parallel(
     let mut timings = Vec::with_capacity(records.len());
     for (i, r) in records.iter().enumerate() {
         let repeats = r.num_records.max(1) as f64;
-        let base = match r.op {
-            IoOp::Open => config.costs.open_base,
-            IoOp::Close => config.costs.close_base,
-            IoOp::Read | IoOp::Write => config.costs.op_base,
-            IoOp::Seek => config.costs.seek_base,
-        };
-        let mut total = base * repeats;
+        let mut total = base_cost(&config, r.op) * repeats;
         for shard_costs in costs.iter().flatten() {
             total += shard_costs[i];
         }
@@ -267,133 +535,188 @@ pub fn replay_parallel(
     }
 }
 
-/// Replays against a sharded cache with a pool of worker threads.
-#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or replay_parallel)")]
-pub fn replay_simulated_parallel(
-    trace: &TraceFile,
-    config: CacheConfig,
-    options: &ParallelReplayOptions,
-) -> ParallelReplayReport {
-    replay_parallel(trace, config, options)
-}
+/// Records per pipelined merge chunk of the per-worker-stream parallel
+/// engine: workers hand their shard partial costs to the merging thread
+/// in chunks of this many records, so in-flight memory is
+/// O(threads × chunk) however long the stream is.
+const PAR_CHUNK: usize = 1024;
 
-/// Replays the shards owned by worker `w` (those with `s % threads ==
-/// w`), returning each owned shard's per-record cost vector.
-fn replay_worker(
-    cache: &ShardedBufferCache,
+/// The per-worker-stream parallel engine shared by both report modes:
+/// every worker opens its *own* stream via `open` (no materialized
+/// trace anywhere), replays it against the shards it owns, and ships
+/// per-record shard costs to this (calling) thread in bounded chunks.
+/// The calling thread walks one more stream of its own, merges the
+/// chunk costs per record in ascending shard order — the same order as
+/// [`replay_parallel`]'s merge, which is what keeps the two engines and
+/// every thread count bitwise-identical — and hands each
+/// `(record, elapsed_ms)` pair to `visit` in record order.
+fn replay_parallel_with<'s>(
+    open: &(dyn Fn() -> Box<dyn TraceSource + 's> + Sync),
     config: &CacheConfig,
-    records: &[TraceRecord],
-    file_ids: &[FileId],
-    w: usize,
-    threads: usize,
-) -> Vec<(usize, Vec<f64>)> {
+    options: &ParallelReplayOptions,
+    visit: &mut dyn FnMut(&TraceRecord, f64),
+) -> (CacheMetrics, Vec<CacheMetrics>, usize) {
+    let mut lead = open();
+    let meta = lead.meta();
+    let cache = ShardedBufferCache::new(config.clone(), options.shards);
+    let file_ids: Vec<FileId> = (0..meta.num_files)
+        .map(|i| cache.register_file(format!("{}#{}", meta.sample_file, i)))
+        .collect();
     let num_shards = cache.num_shards();
-    let page_size = config.page_size;
-    let prefetch_active = config.prefetch_enabled && config.capacity_pages > 0;
-    let mut prefetcher = Prefetcher::new(config.prefetch);
+    let threads = options.threads.clamp(1, num_shards);
 
-    let mine: Vec<bool> = (0..num_shards).map(|s| s % threads == w).collect();
-    let owned: Vec<usize> = (0..num_shards).filter(|s| mine[*s]).collect();
-    let mut costs: Vec<Vec<f64>> = owned.iter().map(|_| vec![0.0; records.len()]).collect();
-    // shard id -> index into `owned`/`costs` (usize::MAX when foreign).
-    let mut slot = vec![usize::MAX; num_shards];
-    for (k, &s) in owned.iter().enumerate() {
-        slot[s] = k;
-    }
-
-    let mut cursors = vec![RunCursor::default(); num_shards];
-    let mut outs = vec![AccessOutcome::default(); num_shards];
-    let mut touched: Vec<usize> = Vec::with_capacity(owned.len());
-
-    for (i, r) in records.iter().enumerate() {
-        let fid = file_ids[r.file_id as usize];
-        let repeats = r.num_records.max(1);
-        for _ in 0..repeats {
-            match r.op {
-                IoOp::Open => {
-                    let id = PageId { file: fid, index: 0 };
-                    let s = cache.shard_of(id);
-                    if mine[s] {
-                        let mut out = AccessOutcome::default();
-                        cache.lock_shard(s).stage_open_page(id, &mut out);
-                        costs[slot[s]][i] += out.cost_ms;
+    crossbeam::scope(|scope| {
+        // One bounded channel per worker: a worker can run at most two
+        // chunks ahead of the merge, so worker-side buffering stays
+        // O(chunk) regardless of stream length.
+        let mut rxs = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = crossbeam::channel::bounded::<Vec<Vec<f64>>>(2);
+            rxs.push(rx);
+            let cache = &cache;
+            let file_ids = &file_ids;
+            scope.spawn(move |_| {
+                let mut source = open();
+                let mut worker = ShardWorker::new(cache, config, w, threads);
+                let n_owned = worker.owned.len();
+                let fresh = |n: usize| -> Vec<Vec<f64>> {
+                    (0..n).map(|_| Vec::with_capacity(PAR_CHUNK)).collect()
+                };
+                let mut chunk = fresh(n_owned);
+                while let Some(r) = source.next_record() {
+                    for col in chunk.iter_mut() {
+                        col.push(0.0);
+                    }
+                    let i = chunk[0].len() - 1;
+                    let fid = file_ids[r.file_id as usize];
+                    worker.replay_record(fid, &r, |slot, c| chunk[slot][i] += c);
+                    if i + 1 == PAR_CHUNK
+                        && tx.send(std::mem::replace(&mut chunk, fresh(n_owned))).is_err()
+                    {
+                        return; // merge side is gone; stop quietly
                     }
                 }
-                IoOp::Close => {
-                    for &s in &owned {
-                        let mut out = AccessOutcome::default();
-                        cache.lock_shard(s).evict_file_pages(fid, &mut out);
-                        costs[slot[s]][i] += out.cost_ms;
-                    }
-                    prefetcher.forget(fid);
+                if !chunk[0].is_empty() {
+                    let _ = tx.send(chunk);
                 }
-                IoOp::Seek => {
-                    let index = r.offset / page_size;
-                    if index > 0 {
-                        prefetcher.on_access(fid, index, index.saturating_sub(1));
-                    }
-                }
-                IoOp::Read | IoOp::Write => {
-                    let kind =
-                        if r.op == IoOp::Write { AccessKind::Write } else { AccessKind::Read };
-                    let (first, last) = page_span(r.offset, r.length, page_size);
-                    touched.clear();
+            });
+        }
 
-                    // Walk the span in shard-block groups, processing
-                    // only owned shards; each group runs under one lock
-                    // acquisition with run promotion per shard.
-                    let mut index = first;
-                    while index <= last {
-                        let s = cache.shard_of(PageId { file: fid, index });
-                        let block_end = (index | (SHARD_BLOCK_PAGES - 1)).min(last);
-                        if mine[s] {
-                            if !touched.contains(&s) {
-                                touched.push(s);
-                                cursors[s] = RunCursor::default();
-                                outs[s] = AccessOutcome::default();
-                            }
-                            let mut shard = cache.lock_shard(s);
-                            for p in index..=block_end {
-                                shard.page_access(
-                                    PageId { file: fid, index: p },
-                                    kind,
-                                    false,
-                                    &mut cursors[s],
-                                    &mut outs[s],
-                                );
-                            }
-                        }
-                        index = block_end + 1;
-                    }
-                    for &s in &touched {
-                        if cursors[s].has_pending_promotion() {
-                            cache.lock_shard(s).finish_run(cursors[s]);
-                        }
-                    }
-
-                    if prefetch_active {
-                        let window = prefetcher.on_access(fid, first, last);
-                        for ahead in 1..=window {
-                            let id = PageId { file: fid, index: last + ahead };
-                            let s = cache.shard_of(id);
-                            if mine[s] {
-                                if !touched.contains(&s) {
-                                    touched.push(s);
-                                    outs[s] = AccessOutcome::default();
-                                }
-                                cache.lock_shard(s).stage_prefetch(id, &mut outs[s]);
-                            }
-                        }
-                    }
-
-                    for &s in &touched {
-                        costs[slot[s]][i] += outs[s].cost_ms;
+        // The merge walk: this thread's own stream supplies the record
+        // (op kind, repeat count) the chunk costs attach to.
+        let mut records_buf: Vec<TraceRecord> = Vec::with_capacity(PAR_CHUNK);
+        let mut done = false;
+        while !done {
+            records_buf.clear();
+            while records_buf.len() < PAR_CHUNK {
+                match lead.next_record() {
+                    Some(r) => records_buf.push(r),
+                    None => {
+                        done = true;
+                        break;
                     }
                 }
             }
+            if records_buf.is_empty() {
+                break;
+            }
+            let chunks: Vec<Vec<Vec<f64>>> = rxs
+                .iter()
+                .map(|rx| rx.recv().expect("replay worker died (or its stream ended early)"))
+                .collect();
+            for c in &chunks {
+                assert_eq!(
+                    c[0].len(),
+                    records_buf.len(),
+                    "a worker's re-opened stream diverged from the lead stream — \
+                     Workload factories must be deterministic"
+                );
+            }
+            for (i, r) in records_buf.iter().enumerate() {
+                let repeats = r.num_records.max(1) as f64;
+                let mut total = base_cost(config, r.op) * repeats;
+                for s in 0..num_shards {
+                    total += chunks[s % threads][s / threads][i];
+                }
+                visit(r, total / repeats);
+            }
         }
+        // Disconnect before joining: a worker whose (dishonest) stream
+        // ran longer than the lead's fails its send instead of blocking
+        // the scope forever.
+        drop(rxs);
+    })
+    .expect("replay scope");
+
+    let shard_metrics: Vec<CacheMetrics> =
+        (0..num_shards).map(|s| cache.shard_metrics(s)).collect();
+    let mut metrics = CacheMetrics::default();
+    for m in &shard_metrics {
+        metrics.merge(m);
     }
-    owned.into_iter().zip(costs).collect()
+    (metrics, shard_metrics, threads)
+}
+
+/// Replays a re-openable workload against a sharded cache with a pool
+/// of worker threads, each streaming its **own** source — no
+/// materialized [`TraceFile`] exists anywhere in the engine.
+///
+/// `open` is called once per worker plus once for the merging thread;
+/// every call must yield the same record stream (the same contract
+/// `clio_exp::Workload::open` documents). Reports are bitwise-identical
+/// to [`replay_parallel`] over the materialized equivalent, across runs
+/// and thread counts.
+///
+/// This is the [`ReportMode::Full`] engine;
+/// [`replay_parallel_source_stats`] is the O(1)-report-memory
+/// counterpart.
+///
+/// # Panics
+/// Panics if a worker panics, if a re-opened stream diverges from the
+/// lead stream, or if a record's `file_id` is not below the declared
+/// `meta().num_files`.
+pub fn replay_parallel_source<'s, F>(
+    open: F,
+    config: CacheConfig,
+    options: &ParallelReplayOptions,
+) -> ParallelReplayReport
+where
+    F: Fn() -> Box<dyn TraceSource + 's> + Sync,
+{
+    let mut timings = Vec::new();
+    let (metrics, shard_metrics, threads) =
+        replay_parallel_with(&open, &config, options, &mut |r, elapsed_ms| {
+            timings.push(OpTiming { record: *r, elapsed_ms })
+        });
+    ParallelReplayReport {
+        report: ReplayReport::from_timings(timings),
+        metrics,
+        shard_metrics,
+        threads,
+    }
+}
+
+/// [`replay_parallel_source`] in [`ReportMode::Summary`]: per-worker
+/// streams in, running aggregates out — both workload memory and report
+/// memory stay O(1) in the trace length. The stats are bit-identical to
+/// `replay_parallel_source(..).report.stats()`.
+///
+/// # Panics
+/// Same contract as [`replay_parallel_source`].
+pub fn replay_parallel_source_stats<'s, F>(
+    open: F,
+    config: CacheConfig,
+    options: &ParallelReplayOptions,
+) -> ParallelReplayStats
+where
+    F: Fn() -> Box<dyn TraceSource + 's> + Sync,
+{
+    let mut stats = ReplayStats::default();
+    let (metrics, shard_metrics, threads) =
+        replay_parallel_with(&open, &config, options, &mut |r, elapsed_ms| {
+            stats.add(r, elapsed_ms)
+        });
+    ParallelReplayStats { stats, metrics, shard_metrics, threads }
 }
 
 /// Options for real-file replay.
@@ -412,41 +735,19 @@ impl Default for RealReplayOptions {
     }
 }
 
-/// Replays against a real file at `sample_path`, timing every operation.
-pub fn replay_real_file(
-    trace: &TraceFile,
-    sample_path: impl AsRef<Path>,
-    options: RealReplayOptions,
-) -> io::Result<ReplayReport> {
-    let mut backend = if options.allow_writes {
-        RealFsBackend::open(sample_path)?
-    } else {
-        RealFsBackend::open_readonly(sample_path)?
-    };
-    replay_backend(trace, &mut backend, options)
-}
-
-/// Replays against a real file at `sample_path`, timing every operation.
-#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or replay_real_file)")]
-pub fn replay_real(
-    trace: &TraceFile,
-    sample_path: impl AsRef<Path>,
-    options: RealReplayOptions,
-) -> io::Result<ReplayReport> {
-    replay_real_file(trace, sample_path, options)
-}
-
-/// Replays against any backend (tests use the in-memory one).
-pub fn replay_backend(
-    trace: &TraceFile,
+/// The shared real-replay engine: streams `source` against `backend`,
+/// timing every operation, and hands each `(record, elapsed_ms)` pair
+/// to `visit` in replay order.
+fn replay_backend_with<S: TraceSource + ?Sized>(
+    source: &mut S,
     backend: &mut dyn FileBackend,
     options: RealReplayOptions,
-) -> io::Result<ReplayReport> {
+    visit: &mut dyn FnMut(&TraceRecord, f64),
+) -> io::Result<()> {
     let chunk = options.max_chunk.max(1);
     let mut buf = vec![0u8; chunk.min(1 << 20)];
-    let mut timings = Vec::with_capacity(trace.records.len());
 
-    for r in &trace.records {
+    while let Some(r) = source.next_record() {
         let repeats = r.num_records.max(1);
         let mut total_ms = 0.0;
         for _ in 0..repeats {
@@ -495,19 +796,86 @@ pub fn replay_backend(
             }
             total_ms += sw.elapsed_ms();
         }
-        timings.push(OpTiming { record: *r, elapsed_ms: total_ms / repeats as f64 });
+        visit(&r, total_ms / repeats as f64);
     }
+    Ok(())
+}
+
+/// Replays a streaming source against a real file at `sample_path`,
+/// timing every operation — the workload is never materialized.
+pub fn replay_real_source<S: TraceSource + ?Sized>(
+    source: &mut S,
+    sample_path: impl AsRef<Path>,
+    options: RealReplayOptions,
+) -> io::Result<ReplayReport> {
+    let mut backend = open_real_backend(sample_path, options)?;
+    replay_backend_source(source, &mut backend, options)
+}
+
+/// [`replay_real_source`] in [`ReportMode::Summary`]: running
+/// aggregates only, O(1) report memory.
+pub fn replay_real_source_stats<S: TraceSource + ?Sized>(
+    source: &mut S,
+    sample_path: impl AsRef<Path>,
+    options: RealReplayOptions,
+) -> io::Result<ReplayStats> {
+    let mut backend = open_real_backend(sample_path, options)?;
+    replay_backend_source_stats(source, &mut backend, options)
+}
+
+fn open_real_backend(
+    sample_path: impl AsRef<Path>,
+    options: RealReplayOptions,
+) -> io::Result<RealFsBackend> {
+    if options.allow_writes {
+        RealFsBackend::open(sample_path)
+    } else {
+        RealFsBackend::open_readonly(sample_path)
+    }
+}
+
+/// Replays against a real file at `sample_path`, timing every operation.
+pub fn replay_real_file(
+    trace: &TraceFile,
+    sample_path: impl AsRef<Path>,
+    options: RealReplayOptions,
+) -> io::Result<ReplayReport> {
+    replay_real_source(&mut SliceSource::new(trace), sample_path, options)
+}
+
+/// Replays a streaming source against any backend (tests use the
+/// in-memory one).
+pub fn replay_backend_source<S: TraceSource + ?Sized>(
+    source: &mut S,
+    backend: &mut dyn FileBackend,
+    options: RealReplayOptions,
+) -> io::Result<ReplayReport> {
+    let mut timings = Vec::with_capacity(source.size_hint().0);
+    replay_backend_with(source, backend, options, &mut |r, elapsed_ms| {
+        timings.push(OpTiming { record: *r, elapsed_ms })
+    })?;
     Ok(ReplayReport::from_timings(timings))
 }
 
+/// [`replay_backend_source`] in [`ReportMode::Summary`]: running
+/// aggregates only, O(1) report memory.
+pub fn replay_backend_source_stats<S: TraceSource + ?Sized>(
+    source: &mut S,
+    backend: &mut dyn FileBackend,
+    options: RealReplayOptions,
+) -> io::Result<ReplayStats> {
+    let mut stats = ReplayStats::default();
+    replay_backend_with(source, backend, options, &mut |r, elapsed_ms| stats.add(r, elapsed_ms))?;
+    Ok(stats)
+}
+
 /// Replays against any backend (tests use the in-memory one).
-#[deprecated(since = "0.1.0", note = "use clio_exp's Experiment::builder() (or replay_backend)")]
-pub fn replay_with_backend(
+pub fn replay_backend(
     trace: &TraceFile,
     backend: &mut dyn FileBackend,
     options: RealReplayOptions,
 ) -> io::Result<ReplayReport> {
-    replay_backend(trace, backend, options)
+    replay_backend_source(&mut SliceSource::new(trace), backend, options)
 }
 
 #[cfg(test)]
@@ -519,6 +887,12 @@ mod tests {
     /// shorthand for `replay_source` over a borrowed slice).
     fn replay(trace: &TraceFile, config: CacheConfig) -> ReplayReport {
         replay_source(&mut SliceSource::new(trace), config)
+    }
+
+    /// A factory of fresh streams over `trace`, for the per-worker
+    /// stream engine.
+    fn reopen<'t>(trace: &'t TraceFile) -> impl Fn() -> Box<dyn TraceSource + 't> + Sync + 't {
+        move || Box::new(SliceSource::new(trace))
     }
 
     fn simple_trace() -> TraceFile {
@@ -535,6 +909,19 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    /// A longer mixed trace that actually exercises eviction.
+    fn mixed_trace(n: u64) -> TraceFile {
+        let mut recs = Vec::new();
+        recs.push(TraceRecord::simple(IoOp::Open, 0, 0, 0));
+        for i in 0..n {
+            let off = (i * 13) % 97 * 4096;
+            let op = if i % 4 == 0 { IoOp::Write } else { IoOp::Read };
+            recs.push(TraceRecord::simple(op, 0, off, 4096 * (1 + i % 9)));
+        }
+        recs.push(TraceRecord::simple(IoOp::Close, 0, 0, 0));
+        TraceFile::build("p.dat", 1, recs).unwrap()
     }
 
     #[test]
@@ -565,6 +952,17 @@ mod tests {
         let ta: Vec<f64> = a.timings.iter().map(|t| t.elapsed_ms).collect();
         let tb: Vec<f64> = b.timings.iter().map(|t| t.elapsed_ms).collect();
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn summary_mode_matches_full_mode_bit_for_bit() {
+        let trace = mixed_trace(400);
+        let config = CacheConfig { capacity_pages: 64, ..Default::default() };
+        let full = replay(&trace, config.clone());
+        let stats = replay_source_stats(&mut SliceSource::new(&trace), config);
+        assert_eq!(&stats, full.stats(), "summary-mode stats diverged from full-mode stats");
+        assert_eq!(stats.records() as usize, full.timings.len());
+        assert_eq!(stats.total_ms(), full.total_ms());
     }
 
     #[test]
@@ -600,6 +998,21 @@ mod tests {
         assert_eq!(report.timings.len(), 6);
         assert!(report.timings.iter().all(|t| t.elapsed_ms >= 0.0));
         assert!(report.mean_ms(IoOp::Read).is_some());
+    }
+
+    #[test]
+    fn real_replay_summary_mode_reports_every_op() {
+        let trace = simple_trace();
+        let mut backend = MemBackend::with_data(vec![7u8; 2_000_000]);
+        let stats = replay_backend_source_stats(
+            &mut SliceSource::new(&trace),
+            &mut backend,
+            RealReplayOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.records() as usize, trace.len());
+        assert!(stats.mean_ms(IoOp::Read).is_some());
+        assert!(stats.total_ms() >= 0.0);
     }
 
     #[test]
@@ -655,15 +1068,7 @@ mod tests {
 
     #[test]
     fn parallel_replay_identical_across_thread_counts() {
-        let mut recs = Vec::new();
-        recs.push(TraceRecord::simple(IoOp::Open, 0, 0, 0));
-        for i in 0..400u64 {
-            let off = (i * 13) % 97 * 4096;
-            let op = if i % 4 == 0 { IoOp::Write } else { IoOp::Read };
-            recs.push(TraceRecord::simple(op, 0, off, 4096 * (1 + i % 9)));
-        }
-        recs.push(TraceRecord::simple(IoOp::Close, 0, 0, 0));
-        let trace = TraceFile::build("p.dat", 1, recs).unwrap();
+        let trace = mixed_trace(400);
         let config = CacheConfig { capacity_pages: 64, ..Default::default() };
 
         let base = replay_parallel(
@@ -684,6 +1089,41 @@ mod tests {
             assert_eq!(ta, tb, "bitwise-identical timings at {threads} threads");
         }
         assert!(base.metrics.accesses() > 0);
+    }
+
+    #[test]
+    fn per_worker_streams_match_materialized_parallel_replay() {
+        // The streamed engine re-opens the workload per worker; its
+        // merged timings and metrics must be bitwise-identical to the
+        // materialized engine's, at every thread count — including
+        // stream lengths that are not a multiple of the merge chunk.
+        let trace = mixed_trace(PAR_CHUNK as u64 + 137);
+        let config = CacheConfig { capacity_pages: 64, ..Default::default() };
+        let reference = replay_parallel(
+            &trace,
+            config.clone(),
+            &ParallelReplayOptions { threads: 2, shards: 8 },
+        );
+        for threads in [1usize, 2, 3, 8] {
+            let opts = ParallelReplayOptions { threads, shards: 8 };
+            let streamed = replay_parallel_source(reopen(&trace), config.clone(), &opts);
+            assert_eq!(streamed.report.timings, reference.report.timings, "{threads} threads");
+            assert_eq!(streamed.metrics, reference.metrics, "{threads} threads");
+            assert_eq!(streamed.shard_metrics, reference.shard_metrics, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_summary_mode_matches_full_mode_bit_for_bit() {
+        let trace = mixed_trace(600);
+        let config = CacheConfig { capacity_pages: 64, ..Default::default() };
+        let opts = ParallelReplayOptions { threads: 3, shards: 8 };
+        let full = replay_parallel_source(reopen(&trace), config.clone(), &opts);
+        let summary = replay_parallel_source_stats(reopen(&trace), config, &opts);
+        assert_eq!(&summary.stats, full.report.stats());
+        assert_eq!(summary.metrics, full.metrics);
+        assert_eq!(summary.shard_metrics, full.shard_metrics);
+        assert_eq!(summary.threads, full.threads);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! - [`WeightedSource`] — ratio-weighted merge (a records from A per b
 //!   from B).
 //!
+//! [`PidSplitter`] demultiplexes any source into per-process streams
+//! in one pass with bounded buffering — the adapter the pid-grouping
+//! simulators consume streaming workloads through.
+//!
 //! The concurrent merges give the two inputs **disjoint namespaces**:
 //! B's file ids are offset by A's file count and B's pids by A's
 //! process count, so a mix models two applications running concurrently
@@ -407,6 +411,117 @@ impl<A: TraceSource, B: TraceSource> TraceSource for WeightedSource<A, B> {
     }
 }
 
+/// A streaming per-pid splitter: demultiplexes one [`TraceSource`]
+/// into per-process record streams in a **single pass**, with bounded
+/// buffering — the adapter that lets the pid-grouping simulators
+/// consume a workload without materializing it.
+///
+/// [`PidSplitter::next_for`] pulls the next record of one pid; records
+/// of *other* pids encountered on the way are parked in per-pid FIFO
+/// buffers and handed out when their pid is asked for. **Bounded-buffer
+/// invariant:** the records buffered at any moment are exactly those
+/// between each pid's consumption point and the global read cursor, so
+/// peak buffering is the trace's maximum *pid-interleave distance* (how
+/// far one process's consecutive records sit apart in capture order) —
+/// a property of the workload's process interleaving, never of its
+/// length. For the round-robin interleavings the trace writer and the
+/// mix combinators emit, that is O(#pids). [`PidSplitter::peak_buffered`]
+/// reports the high-water mark so tests can pin the invariant.
+#[derive(Debug)]
+pub struct PidSplitter<S> {
+    source: S,
+    /// Parked records, per pid slot (first-appearance order).
+    buffers: Vec<std::collections::VecDeque<TraceRecord>>,
+    /// Slot -> pid, in first-appearance order.
+    pids: Vec<u32>,
+    source_done: bool,
+    buffered: usize,
+    peak_buffered: usize,
+}
+
+impl<S: TraceSource> PidSplitter<S> {
+    /// Wraps `source`; nothing is read until the first demand.
+    pub fn new(source: S) -> Self {
+        Self {
+            source,
+            buffers: Vec::new(),
+            pids: Vec::new(),
+            source_done: false,
+            buffered: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    /// Slot of `pid`, registering it on first sight.
+    fn slot_of(&mut self, pid: u32) -> usize {
+        match self.pids.iter().position(|&p| p == pid) {
+            Some(slot) => slot,
+            None => {
+                self.pids.push(pid);
+                self.buffers.push(std::collections::VecDeque::new());
+                self.pids.len() - 1
+            }
+        }
+    }
+
+    /// The next record of `pid` in capture order, or `None` once that
+    /// process's stream is exhausted. Records of other pids read on the
+    /// way are parked for their own streams.
+    pub fn next_for(&mut self, pid: u32) -> Option<TraceRecord> {
+        let slot = self.slot_of(pid);
+        if let Some(r) = self.buffers[slot].pop_front() {
+            self.buffered -= 1;
+            return Some(r);
+        }
+        while !self.source_done {
+            match self.source.next_record() {
+                None => self.source_done = true,
+                Some(r) if r.pid == pid => return Some(r),
+                Some(r) => {
+                    let other = self.slot_of(r.pid);
+                    self.buffers[other].push_back(r);
+                    self.buffered += 1;
+                    self.peak_buffered = self.peak_buffered.max(self.buffered);
+                }
+            }
+        }
+        None
+    }
+
+    /// The pids seen so far, in first-appearance order.
+    pub fn pids_seen(&self) -> &[u32] {
+        &self.pids
+    }
+
+    /// High-water mark of parked records — the observable side of the
+    /// bounded-buffer invariant.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Total records currently parked.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+}
+
+/// Streams `source` to exhaustion, returning `(pids, record_count)`
+/// with the pids in first-appearance order — the cheap O(#pids)-memory
+/// discovery pass the pid-grouping simulators run before replaying a
+/// re-openable workload (process order, and therefore event tie-break
+/// order, must match the materialized path exactly).
+pub fn scan_pids<S: TraceSource + ?Sized>(source: &mut S) -> (Vec<u32>, u64) {
+    let mut pids: Vec<u32> = Vec::new();
+    let mut count = 0u64;
+    while let Some(r) = source.next_record() {
+        count += 1;
+        if !pids.contains(&r.pid) {
+            pids.push(r.pid);
+        }
+    }
+    (pids, count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,5 +637,108 @@ mod tests {
         let t = materialize(&mut src).unwrap();
         assert!(t.validate().is_ok());
         assert_eq!(t.header.num_files, 2);
+    }
+
+    /// A `procs`-process round-robin trace: pid 0, 1, …, procs-1, 0, ….
+    fn round_robin(procs: u32, rounds: usize) -> TraceFile {
+        let mut records = Vec::new();
+        for i in 0..rounds as u64 {
+            for pid in 0..procs {
+                let mut r = TraceRecord::simple(IoOp::Read, 0, i * 4096, 4096);
+                r.pid = pid;
+                records.push(r);
+            }
+        }
+        TraceFile::build("rr.dat", procs, records).unwrap()
+    }
+
+    #[test]
+    fn splitter_yields_each_pid_in_capture_order() {
+        let t = round_robin(3, 5);
+        let mut split = PidSplitter::new(SliceSource::new(&t));
+        for pid in 0..3u32 {
+            let expected: Vec<TraceRecord> =
+                t.records.iter().filter(|r| r.pid == pid).copied().collect();
+            let mut got = Vec::new();
+            while let Some(r) = split.next_for(pid) {
+                got.push(r);
+            }
+            assert_eq!(got, expected, "pid {pid}");
+        }
+        assert_eq!(split.pids_seen(), &[0, 1, 2]);
+        assert_eq!(split.buffered(), 0, "everything handed out");
+    }
+
+    #[test]
+    fn splitter_interleaved_demand_keeps_buffers_bounded() {
+        // Round-robin demand over a round-robin trace: buffering never
+        // exceeds one interleave stride — the bounded-buffer invariant.
+        let procs = 4u32;
+        let t = round_robin(procs, 50);
+        let mut split = PidSplitter::new(SliceSource::new(&t));
+        let mut served = 0usize;
+        'outer: loop {
+            for pid in 0..procs {
+                if split.next_for(pid).is_none() {
+                    break 'outer;
+                }
+                served += 1;
+            }
+        }
+        assert_eq!(served, t.len());
+        assert!(
+            split.peak_buffered() < 2 * procs as usize,
+            "peak {} must stay within one interleave stride of {} pids",
+            split.peak_buffered(),
+            procs
+        );
+    }
+
+    #[test]
+    fn splitter_worst_case_buffers_the_leading_block_only() {
+        // All of pid 1's records come first: demanding pid 0 must park
+        // exactly that block, no more.
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            let mut r = TraceRecord::simple(IoOp::Read, 0, i * 4096, 4096);
+            r.pid = 1;
+            records.push(r);
+        }
+        records.push(TraceRecord::simple(IoOp::Read, 0, 0, 4096)); // pid 0
+        let t = TraceFile::build("block.dat", 2, records).unwrap();
+        let mut split = PidSplitter::new(SliceSource::new(&t));
+        assert!(split.next_for(0).is_some());
+        assert_eq!(split.peak_buffered(), 10);
+        assert_eq!(split.buffered(), 10);
+        for _ in 0..10 {
+            assert!(split.next_for(1).is_some());
+        }
+        assert_eq!(split.buffered(), 0);
+        assert!(split.next_for(1).is_none());
+    }
+
+    #[test]
+    fn splitter_unknown_pid_drains_nothing_extra() {
+        let t = round_robin(2, 3);
+        let mut split = PidSplitter::new(SliceSource::new(&t));
+        // Asking for a pid the trace never mentions scans to the end —
+        // and parks everything, which is then served normally.
+        assert!(split.next_for(99).is_none());
+        assert_eq!(split.buffered(), t.len());
+        assert!(split.next_for(0).is_some());
+    }
+
+    #[test]
+    fn scan_pids_reports_first_appearance_order_and_count() {
+        let mut records = Vec::new();
+        for &pid in &[2u32, 0, 2, 1, 0, 2] {
+            let mut r = TraceRecord::simple(IoOp::Read, 0, 0, 4096);
+            r.pid = pid;
+            records.push(r);
+        }
+        let t = TraceFile::build("order.dat", 3, records).unwrap();
+        let (pids, count) = scan_pids(&mut SliceSource::new(&t));
+        assert_eq!(pids, vec![2, 0, 1]);
+        assert_eq!(count, 6);
     }
 }

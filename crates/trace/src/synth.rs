@@ -123,6 +123,11 @@ enum SynthState {
 /// workloads of any length can be replayed without ever materializing
 /// them. [`synthesize`] itself is this source collected into a
 /// [`TraceFile`], which is what makes the two bit-identical.
+///
+/// The source's [`TraceSource::size_hint`] is **exact**: construction
+/// runs one counting replay of the profile's deterministic RNG stream
+/// (O(`data_ops`) time, O(1) memory, no records retained), so progress
+/// reporting and pre-sizing never need to materialize the workload.
 #[derive(Debug, Clone)]
 pub struct SynthSource {
     profile: TraceProfile,
@@ -133,22 +138,39 @@ pub struct SynthSource {
     emitted_data_ops: usize,
     position: u64,
     clock_us: u64,
+    /// Records left to emit — exact, counted at construction.
+    remaining: usize,
+    /// `(ln(lo), ln(hi))` of the request-size range, hoisted out of
+    /// the per-record draw.
+    ln_size_bounds: (f64, f64),
 }
 
 impl SynthSource {
     /// Creates a streaming synthesizer for `profile`.
     pub fn new(profile: TraceProfile) -> Result<Self, String> {
         profile.validate()?;
-        let rng = StdRng::seed_from_u64(profile.seed);
-        Ok(Self {
-            profile,
-            rng,
+        let (lo, hi) = profile.request_size;
+        let mut source = Self {
+            rng: StdRng::seed_from_u64(profile.seed),
             state: SynthState::Open,
             pending: None,
             emitted_data_ops: 0,
             position: 0,
             clock_us: 0,
-        })
+            remaining: 0,
+            ln_size_bounds: ((lo as f64).ln(), (hi as f64).ln()),
+            profile,
+        };
+        // The record count depends on the RNG's seek decisions, so the
+        // only honest exact count is a dry run: replay a clone of the
+        // generator state, counting records and keeping none.
+        let mut probe = source.clone();
+        let mut total = 0usize;
+        while probe.advance().is_some() {
+            total += 1;
+        }
+        source.remaining = total;
+        Ok(source)
     }
 
     /// Stamps a record the way [`crate::writer::TraceWriter`] does:
@@ -171,25 +193,29 @@ impl SynthSource {
     /// profile calls for an explicit reposition (the data record is
     /// then staged in `pending`).
     fn next_data_op(&mut self) -> TraceRecord {
-        let p = self.profile.clone();
-        let (lo, hi) = p.request_size;
+        // The profile axes are all `Copy` scalars: read them into
+        // locals (no clone) — this is the synthesis hot path.
+        let (lo, hi) = self.profile.request_size;
+        let (sequentiality, write_fraction) =
+            (self.profile.sequentiality, self.profile.write_fraction);
+        let (file_size, explicit_seeks) = (self.profile.file_size, self.profile.explicit_seeks);
         let size = if lo == hi {
             lo
         } else {
-            let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln());
+            let (ln_lo, ln_hi) = self.ln_size_bounds;
             self.rng.gen_range(ln_lo..=ln_hi).exp().round().clamp(lo as f64, hi as f64) as u64
         };
-        let sequential = self.rng.gen_bool(p.sequentiality);
+        let sequential = self.rng.gen_bool(sequentiality);
         let mut seek = None;
         if !sequential {
-            self.position = self.rng.gen_range(0..=p.file_size - size);
-            if p.explicit_seeks {
+            self.position = self.rng.gen_range(0..=file_size - size);
+            if explicit_seeks {
                 seek = Some(self.stamp(IoOp::Seek, self.position, 0));
             }
-        } else if self.position + size > p.file_size {
+        } else if self.position + size > file_size {
             self.position = 0; // wrap the sequential stream at EOF
         }
-        let op = if self.rng.gen_bool(p.write_fraction) { IoOp::Write } else { IoOp::Read };
+        let op = if self.rng.gen_bool(write_fraction) { IoOp::Write } else { IoOp::Read };
         let data = self.stamp(op, self.position, size);
         self.position += size;
         self.emitted_data_ops += 1;
@@ -203,12 +229,11 @@ impl SynthSource {
     }
 }
 
-impl TraceSource for SynthSource {
-    fn meta(&self) -> SourceMeta {
-        SourceMeta { sample_file: SYNTH_SAMPLE.into(), num_processes: 1, num_files: 1 }
-    }
-
-    fn next_record(&mut self) -> Option<TraceRecord> {
+impl SynthSource {
+    /// Steps the generator state machine one record, without touching
+    /// the exact-count bookkeeping (shared by the counting dry run and
+    /// the real stream).
+    fn advance(&mut self) -> Option<TraceRecord> {
         if let Some(data) = self.pending.take() {
             return Some(data);
         }
@@ -227,16 +252,25 @@ impl TraceSource for SynthSource {
             SynthState::Done => None,
         }
     }
+}
+
+impl TraceSource for SynthSource {
+    fn meta(&self) -> SourceMeta {
+        SourceMeta { sample_file: SYNTH_SAMPLE.into(), num_processes: 1, num_files: 1 }
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.advance();
+        if r.is_some() {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        r
+    }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        // Open + close + the data ops; explicit seeks can double the
-        // data-op count.
-        let left = self.profile.data_ops - self.emitted_data_ops;
-        let base = left
-            + matches!(self.state, SynthState::Open) as usize
-            + !matches!(self.state, SynthState::Done) as usize
-            + self.pending.is_some() as usize;
-        (base, Some(base + left))
+        // Exact: counted by the construction-time dry run, decremented
+        // per emitted record.
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -381,16 +415,39 @@ mod tests {
     }
 
     #[test]
-    fn streaming_source_size_hint_brackets_the_stream() {
-        let p = TraceProfile { data_ops: 40, sequentiality: 0.5, ..Default::default() };
-        let mut src = SynthSource::new(p).unwrap();
-        let (lo, hi) = src.size_hint();
-        let mut n = 0usize;
-        while src.next_record().is_some() {
-            n += 1;
+    fn streaming_source_size_hint_is_exact() {
+        // The satellite pin: hint == actual record count, at
+        // construction and at every point mid-stream, for profiles
+        // with and without explicit seeks.
+        for p in [
+            TraceProfile { data_ops: 40, sequentiality: 0.5, ..Default::default() },
+            TraceProfile { data_ops: 33, explicit_seeks: false, ..Default::default() },
+            TraceProfile { data_ops: 57, ..TraceProfile::cholesky_like() },
+        ] {
+            let actual = synthesize(&p).len();
+            let mut src = SynthSource::new(p).unwrap();
+            let (lo, hi) = src.size_hint();
+            assert_eq!(lo, actual, "lower hint must be exact");
+            assert_eq!(hi, Some(actual), "upper hint must be exact");
+            let mut n = 0usize;
+            while src.next_record().is_some() {
+                n += 1;
+                let (lo, hi) = src.size_hint();
+                assert_eq!(lo, actual - n, "hint exact mid-stream");
+                assert_eq!(hi, Some(actual - n));
+            }
+            assert_eq!(n, actual);
         }
-        assert!(n >= lo, "{n} >= {lo}");
-        assert!(n <= hi.unwrap(), "{n} <= {hi:?}");
+    }
+
+    #[test]
+    fn streaming_source_meta_is_exact() {
+        let p = TraceProfile { data_ops: 25, ..Default::default() };
+        let meta = SynthSource::new(p.clone()).unwrap().meta();
+        let t = synthesize(&p);
+        assert_eq!(meta.sample_file, t.header.sample_file);
+        assert_eq!(meta.num_processes, t.header.num_processes);
+        assert_eq!(meta.num_files, t.header.num_files);
     }
 
     proptest! {

@@ -2,10 +2,11 @@
 //! `Report`.
 //!
 //! One builder drives every engine in the workspace — streaming serial
-//! replay, sharded-parallel replay, and the trace-driven machine
-//! simulator — over workloads that range from a purely streaming
-//! synthesizer (no trace is ever materialized) to a ratio-weighted mix
-//! of two paper applications.
+//! replay, sharded-parallel replay (one stream per worker), and the
+//! trace-driven machine simulator — over workloads that range from a
+//! purely streaming synthesizer (no trace is ever materialized) to a
+//! ratio-weighted mix of two paper applications, in full or
+//! O(1)-memory summary report mode.
 //!
 //! ```sh
 //! cargo run --example experiment_api
@@ -98,12 +99,39 @@ fn main() {
         );
     }
 
-    // 5. Every report flattens to one JSON shape.
+    // 5. Summary mode: the >memory-trace configuration. The replay
+    //    keeps only running aggregates (O(1) report memory however
+    //    long the stream is), and the flattened summary is
+    //    bit-identical to full mode's.
+    let summary = Experiment::builder()
+        .workload(synthetic.clone())
+        .engine(Engine::SerialReplay)
+        .report_mode(ReportMode::Summary)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs");
+    let full = Experiment::builder()
+        .workload(synthetic)
+        .engine(Engine::SerialReplay)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("replay runs");
+    assert!(summary.replay.is_none(), "summary mode keeps no per-record timings");
+    assert_eq!(summary.summary(), full.summary(), "summary numbers are bit-identical");
+    println!(
+        "\n[5] summary mode: {} records aggregated in O(1) memory, total {:.3} ms (== full mode)",
+        summary.records,
+        summary.total_ms().unwrap(),
+    );
+
+    // 6. Every report flattens to one JSON shape.
     let report = Experiment::builder()
         .workload(Workload::App(AppWorkload::Lu))
         .build()
         .expect("valid experiment")
         .run()
         .expect("replay runs");
-    println!("\n[5] report as JSON:\n{}", report.to_json());
+    println!("\n[6] report as JSON:\n{}", report.to_json());
 }

@@ -2,12 +2,15 @@
 //!
 //! Two families of pins:
 //!
-//! 1. **Legacy-shim equivalence.** The deprecated free functions
-//!    (`replay_simulated`, `replay_simulated_parallel`,
-//!    `simulate_trace`, `simulate_trace_scheduled`) must produce
-//!    **bit-identical** reports to the `Experiment::builder()` path —
-//!    per policy, per engine. This is the contract that lets callers
-//!    migrate without re-baselining a single number.
+//! 1. **Canonical-engine equivalence.** The `Experiment::builder()`
+//!    path must produce **bit-identical** reports to the low-level
+//!    canonical engines (`replay_source`, `replay_parallel`,
+//!    `trace_sim`, `scheduled_trace_sim`) — per policy, per engine.
+//!    This is the contract that lets callers move between the two
+//!    API levels without re-baselining a single number. (The
+//!    pre-`Experiment` deprecated shims these pins originally covered
+//!    are deleted; the pins now anchor directly to the engines the
+//!    shims delegated to.)
 //! 2. **Streaming equivalence.** A workload consumed as a stream
 //!    (synthesizer, iterator-backed generator) must replay
 //!    access-for-access identically to the same workload materialized
@@ -18,8 +21,8 @@ use proptest::prelude::*;
 use clio_core::cache::policy::ReplacementPolicy;
 use clio_core::prelude::*;
 use clio_core::trace::record::TraceRecord;
-use clio_core::trace::replay::{OpTiming, ParallelReplayOptions};
-use clio_core::trace::source::{IterSource, SourceMeta};
+use clio_core::trace::replay::{replay_parallel, replay_source, OpTiming, ParallelReplayOptions};
+use clio_core::trace::source::{IterSource, SliceSource, SourceMeta};
 use clio_core::trace::synth::synthesize;
 use clio_core::trace::TraceFile;
 
@@ -39,7 +42,7 @@ fn builder_timings(trace: &TraceFile, config: CacheConfig) -> Vec<OpTiming> {
 }
 
 #[test]
-fn builder_serial_replay_is_bit_identical_to_legacy_per_policy() {
+fn builder_serial_replay_is_bit_identical_to_canonical_per_policy() {
     let trace = synthesize(&TraceProfile {
         data_ops: 600,
         write_fraction: 0.25,
@@ -48,15 +51,17 @@ fn builder_serial_replay_is_bit_identical_to_legacy_per_policy() {
     });
     for policy in ReplacementPolicy::ALL {
         let config = CacheConfig { policy, capacity_pages: 256, ..Default::default() };
-        #[allow(deprecated)]
-        let legacy = clio_core::trace::replay::replay_simulated(&trace, config.clone());
+        let canonical = replay_source(&mut SliceSource::new(&trace), config.clone());
         let new = builder_timings(&trace, config);
-        assert_eq!(new, legacy.timings, "{policy:?}: builder diverged from legacy");
+        assert_eq!(new, canonical.timings, "{policy:?}: builder diverged from replay_source");
     }
 }
 
 #[test]
-fn builder_parallel_replay_is_bit_identical_to_legacy() {
+fn builder_parallel_replay_is_bit_identical_to_canonical() {
+    // The builder streams one source per worker; `replay_parallel` is
+    // the materialized reference engine. Their reports must agree
+    // bitwise — timings, aggregate and per-shard metrics alike.
     let trace = synthesize(&TraceProfile {
         data_ops: 800,
         write_fraction: 0.3,
@@ -66,8 +71,7 @@ fn builder_parallel_replay_is_bit_identical_to_legacy() {
     });
     let config = CacheConfig { capacity_pages: 128, ..Default::default() };
     let opts = ParallelReplayOptions { threads: 3, shards: 8 };
-    #[allow(deprecated)]
-    let legacy = clio_core::trace::replay::replay_simulated_parallel(&trace, config.clone(), &opts);
+    let canonical = replay_parallel(&trace, config.clone(), &opts);
     let report = Experiment::builder()
         .workload(Workload::trace(trace.clone()))
         .engine(Engine::ParallelReplay)
@@ -78,22 +82,21 @@ fn builder_parallel_replay_is_bit_identical_to_legacy() {
         .expect("valid experiment")
         .run()
         .expect("replay runs");
-    assert_eq!(report.replay.unwrap().timings, legacy.report.timings);
-    assert_eq!(report.cache_metrics.unwrap(), legacy.metrics);
-    assert_eq!(report.shard_metrics.unwrap(), legacy.shard_metrics);
-    assert_eq!(report.threads_used.unwrap(), legacy.threads);
+    assert_eq!(report.replay.unwrap().timings, canonical.report.timings);
+    assert_eq!(report.cache_metrics.unwrap(), canonical.metrics);
+    assert_eq!(report.shard_metrics.unwrap(), canonical.shard_metrics);
+    assert_eq!(report.threads_used.unwrap(), canonical.threads);
 }
 
 #[test]
-fn builder_trace_sim_is_bit_identical_to_legacy() {
+fn builder_trace_sim_is_bit_identical_to_canonical() {
     let mut records = synthesize(&TraceProfile { data_ops: 400, ..Default::default() }).records;
     for (i, r) in records.iter_mut().enumerate() {
         r.pid = (i % 3) as u32;
     }
     let trace = TraceFile::build("sim.dat", 3, records).expect("valid trace");
     let machine = MachineConfig::with_disks(2);
-    #[allow(deprecated)]
-    let legacy = clio_core::sim::trace_driven::simulate_trace(
+    let canonical = clio_core::sim::trace_driven::trace_sim(
         &trace,
         &machine,
         &clio_core::sim::trace_driven::TraceSimOptions::default(),
@@ -106,11 +109,11 @@ fn builder_trace_sim_is_bit_identical_to_legacy() {
         .expect("valid experiment")
         .run()
         .expect("sim runs");
-    assert_eq!(report.sim.unwrap(), legacy);
+    assert_eq!(report.sim.unwrap(), canonical);
 }
 
 #[test]
-fn builder_scheduled_sim_is_bit_identical_to_legacy() {
+fn builder_scheduled_sim_is_bit_identical_to_canonical() {
     let trace = synthesize(&TraceProfile {
         data_ops: 200,
         sequentiality: 0.1,
@@ -118,8 +121,7 @@ fn builder_scheduled_sim_is_bit_identical_to_legacy() {
         ..Default::default()
     });
     for policy in clio_core::sim::sched::Policy::ALL {
-        #[allow(deprecated)]
-        let legacy = clio_core::sim::sched_replay::simulate_trace_scheduled(
+        let canonical = clio_core::sim::sched_replay::scheduled_trace_sim(
             &trace,
             &MachineConfig::uniprocessor(),
             &clio_core::sim::sched_replay::SchedReplayOptions { policy, ..Default::default() },
@@ -133,7 +135,7 @@ fn builder_scheduled_sim_is_bit_identical_to_legacy() {
             .expect("valid experiment")
             .run()
             .expect("sim runs");
-        assert_eq!(report.sim.unwrap(), legacy, "{}", policy.name());
+        assert_eq!(report.sim.unwrap(), canonical, "{}", policy.name());
     }
 }
 
@@ -278,10 +280,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Builder-default equivalence, per policy: for any profile, the
-    /// new `Experiment` run equals the legacy `replay_simulated`
+    /// `Experiment` run equals the canonical `replay_source` engine
     /// bit-for-bit.
     #[test]
-    fn builder_equals_legacy_for_any_profile(
+    fn builder_equals_canonical_for_any_profile(
         wf in 0f64..1.0,
         seq in 0f64..1.0,
         seed in any::<u64>(),
@@ -295,10 +297,9 @@ proptest! {
         };
         let trace = synthesize(&profile);
         let config = CacheConfig { capacity_pages: 64, ..Default::default() };
-        #[allow(deprecated)]
-        let legacy = clio_core::trace::replay::replay_simulated(&trace, config.clone());
+        let canonical = replay_source(&mut SliceSource::new(&trace), config.clone());
         let new = builder_timings(&trace, config);
-        prop_assert_eq!(new, legacy.timings);
+        prop_assert_eq!(new, canonical.timings);
     }
 
     /// Streaming-vs-materialized equivalence: the synthesizer consumed

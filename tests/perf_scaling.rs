@@ -1,20 +1,96 @@
-//! O(N)-scaling regression for the trace-driven simulator.
+//! O(N)-scaling regressions: time *and* memory.
 //!
 //! The replay engine once cloned the entire record vector on every
 //! simulated event, making an N-record replay O(N²) in memory traffic.
-//! This test pins the fix: replaying a 4× larger synthesized trace must
-//! stay within a generous constant factor of the smaller one's
-//! *per-event* wall time (O(N) predicts ≈ 1×; the per-event clone would
-//! push it to ≈ 4× and the total to ≈ 16×).
+//! The timing tests pin the fix: replaying a 4× larger synthesized
+//! trace must stay within a generous constant factor of the smaller
+//! one's *per-event* wall time (O(N) predicts ≈ 1×; the per-event
+//! clone would push it to ≈ 4× and the total to ≈ 16×).
+//!
+//! The memory tests gate the streaming pipeline: in
+//! `ReportMode::Summary`, serial and parallel replay of a synthetic
+//! workload must hold peak *live* heap flat as the trace grows — the
+//! whole point of the summary mode is that report memory is O(1) in
+//! trace length. A counting global allocator (live-byte high-water
+//! mark) makes the claim measurable.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use clio_core::cache::cache::CacheConfig;
+use clio_core::prelude::*;
 use clio_core::sim::trace_driven::{trace_sim, TraceSimOptions};
-use clio_core::sim::MachineConfig;
 use clio_core::trace::replay::{replay_parallel, ParallelReplayOptions};
 use clio_core::trace::synth::{synthesize, TraceProfile};
 use clio_core::trace::TraceFile;
+
+/// A pass-through allocator that tracks live bytes and their
+/// high-water mark, so a test can measure the peak working memory of a
+/// region of code.
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+/// Serializes the tests in this binary: the memory gates need the
+/// allocator counters to themselves, and the timing gates are best not
+/// run while another test churns the machine.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Peak live-heap growth (bytes) while running `f`, relative to the
+/// live bytes at entry.
+fn peak_heap_growth(f: impl FnOnce()) -> usize {
+    let before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(before, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(before)
+}
 
 /// Best-of-5 per-event wall time (seconds) of replaying `trace`.
 fn per_event_seconds(trace: &TraceFile, machine: &MachineConfig) -> f64 {
@@ -32,6 +108,7 @@ fn per_event_seconds(trace: &TraceFile, machine: &MachineConfig) -> f64 {
 
 #[test]
 fn trace_sim_per_event_cost_is_flat_in_trace_length() {
+    let _guard = exclusive();
     let profile = |data_ops| TraceProfile {
         data_ops,
         sequentiality: 0.7,
@@ -92,6 +169,7 @@ fn per_record_seconds_parallel(trace: &TraceFile, opts: &ParallelReplayOptions) 
 /// than a generous constant factor over the 1× trace.
 #[test]
 fn parallel_replay_per_record_cost_is_flat_in_trace_length() {
+    let _guard = exclusive();
     let profile = |data_ops| TraceProfile {
         data_ops,
         sequentiality: 0.7,
@@ -127,4 +205,55 @@ fn parallel_replay_per_record_cost_is_flat_in_trace_length() {
         large_per_record * 1e9,
         large.len(),
     );
+}
+
+/// Peak heap growth of one summary-mode builder run over a synthetic
+/// workload of `data_ops` operations.
+fn summary_replay_peak(engine: &Engine, data_ops: usize) -> usize {
+    let exp = Experiment::builder()
+        .workload(Workload::Synthetic(TraceProfile {
+            data_ops,
+            sequentiality: 0.7,
+            write_fraction: 0.2,
+            seed: 0x3E3,
+            ..Default::default()
+        }))
+        .engine(engine.clone())
+        .threads(2)
+        .shards(8)
+        .report_mode(ReportMode::Summary)
+        .build()
+        .expect("valid experiment");
+    let mut records = 0;
+    let peak = peak_heap_growth(|| {
+        let report = exp.run().expect("replay runs");
+        records = report.records;
+        assert!(report.replay.is_none(), "summary mode keeps no timings");
+    });
+    assert!(records as usize > data_ops, "the whole stream was consumed");
+    peak
+}
+
+/// The memory gate: summary-mode replay must hold peak working memory
+/// flat while the workload grows 8×. A report (or engine buffer) that
+/// secretly scales O(N) — per-record timings, a materialized trace, an
+/// unbounded channel backlog — adds megabytes at the large size and
+/// trips the 2× + 512 KiB bound; the real constant-memory pipeline
+/// (capacity-bound cache tables, bounded merge chunks) sits far below
+/// it.
+#[test]
+fn summary_mode_replay_memory_is_flat_in_trace_length() {
+    let _guard = exclusive();
+    for engine in [Engine::SerialReplay, Engine::ParallelReplay] {
+        // Warm-up: let one run populate whatever lazy statics exist so
+        // the measured runs see steady state.
+        summary_replay_peak(&engine, 1_000);
+        let small = summary_replay_peak(&engine, 10_000);
+        let large = summary_replay_peak(&engine, 80_000);
+        assert!(
+            large < 2 * small + 512 * 1024,
+            "{engine:?}: peak heap grew with trace length: \
+             {small} B at 10k ops -> {large} B at 80k ops"
+        );
+    }
 }

@@ -50,7 +50,7 @@ impl<T> ScopedJoinHandle<'_, T> {
     }
 }
 
-/// Unbounded MPMC channel.
+/// Unbounded and bounded MPMC channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
@@ -59,21 +59,40 @@ pub mod channel {
     struct Shared<T> {
         inner: Mutex<Inner<T>>,
         ready: Condvar,
+        /// Signalled when the queue drains below a bounded channel's
+        /// capacity (or on receiver disconnect); unused when unbounded.
+        vacancy: Condvar,
+        cap: Option<usize>,
     }
 
     struct Inner<T> {
         queue: VecDeque<T>,
         senders: usize,
+        receivers: usize,
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+            vacancy: Condvar::new(),
+            cap,
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
     }
 
     /// Creates an unbounded channel; receivers may be cloned and share
     /// the queue (each message is delivered to exactly one receiver).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1 }),
-            ready: Condvar::new(),
-        });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        new_channel(None)
+    }
+
+    /// Creates a bounded channel of capacity `cap` (at least 1):
+    /// [`Sender::send`] blocks while the queue is full — the
+    /// backpressure that keeps pipelined producers from running
+    /// unboundedly ahead of their consumer.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
     }
 
     /// Sending half.
@@ -82,9 +101,21 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; never blocks.
+        /// Enqueues a message. On an unbounded channel this never
+        /// blocks; on a bounded channel it blocks until the queue has
+        /// room. Returns the value back as `Err` when every receiver
+        /// has been dropped (so a blocked producer can observe a
+        /// vanished consumer instead of deadlocking).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.shared.cap {
+                while inner.queue.len() >= cap && inner.receivers > 0 {
+                    inner = self.shared.vacancy.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
             inner.queue.push_back(value);
             drop(inner);
             self.shared.ready.notify_one();
@@ -120,7 +151,24 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers += 1;
+            drop(inner);
             Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers -= 1;
+            let disconnected = inner.receivers == 0;
+            drop(inner);
+            if disconnected {
+                // Wake any producer parked on a full bounded queue so it
+                // can fail its send instead of waiting forever.
+                self.shared.vacancy.notify_all();
+            }
         }
     }
 
@@ -130,6 +178,8 @@ pub mod channel {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.vacancy.notify_one();
                     return Ok(v);
                 }
                 if inner.senders == 0 {
@@ -143,14 +193,18 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             match inner.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(inner);
+                    self.shared.vacancy.notify_one();
+                    Ok(v)
+                }
                 None if inner.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
         }
     }
 
-    /// All receivers are gone (cannot happen with this stub's API use).
+    /// Every receiver has been dropped; the message comes back.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -190,6 +244,33 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        // The producer can only ever be 2 ahead; drain and check order.
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receivers_vanish() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap(); // fills the queue
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx); // wakes the parked producer
+        assert!(blocked.join().unwrap().is_err(), "send must fail, not deadlock");
     }
 
     #[test]
