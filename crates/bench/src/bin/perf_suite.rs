@@ -568,7 +568,7 @@ fn main() {
     }
 
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v4".to_string(),
+        schema: "clio-perf-baseline-v5".to_string(),
         mode: mode.to_string(),
         report: report_mode.to_string(),
         workload: args.workload.clone(),

@@ -22,88 +22,10 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::lru::LruList;
 use crate::metrics::CacheMetrics;
 use crate::page::{page_span, FileId, PageId};
-use crate::policy::{ClockSet, FifoSet, ReplacementPolicy, WritePolicy};
+use crate::policy::{PolicySet, ReplacementPolicy, WritePolicy};
 use crate::prefetch::{PrefetchConfig, Prefetcher};
-use crate::scanres::{SlruSet, TwoQSet};
-
-/// Policy-dispatched residency tracking.
-#[derive(Debug, Clone)]
-enum ResidencySet {
-    Lru(LruList<PageId>),
-    Clock(ClockSet<PageId>),
-    Fifo(FifoSet<PageId>),
-    TwoQ(TwoQSet<PageId>),
-    Slru(SlruSet<PageId>),
-}
-
-impl ResidencySet {
-    /// `capacity` sizes the internal segments of the capacity-aware
-    /// policies (2Q, SLRU) and pre-sizes every policy's tables so the
-    /// replay hot loop never rehashes or regrows.
-    fn new(policy: ReplacementPolicy, capacity: usize) -> Self {
-        let prealloc = capacity.min(crate::PREALLOC_PAGES_MAX);
-        match policy {
-            ReplacementPolicy::Lru => ResidencySet::Lru(LruList::with_capacity(prealloc)),
-            ReplacementPolicy::Clock => ResidencySet::Clock(ClockSet::with_capacity(prealloc)),
-            ReplacementPolicy::Fifo => ResidencySet::Fifo(FifoSet::with_capacity(prealloc)),
-            ReplacementPolicy::TwoQ => ResidencySet::TwoQ(TwoQSet::new(capacity)),
-            ReplacementPolicy::Slru => ResidencySet::Slru(SlruSet::new(capacity)),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            ResidencySet::Lru(s) => s.len(),
-            ResidencySet::Clock(s) => s.len(),
-            ResidencySet::Fifo(s) => s.len(),
-            ResidencySet::TwoQ(s) => s.len(),
-            ResidencySet::Slru(s) => s.len(),
-        }
-    }
-
-    fn contains(&self, key: &PageId) -> bool {
-        match self {
-            ResidencySet::Lru(s) => s.contains(key),
-            ResidencySet::Clock(s) => s.contains(key),
-            ResidencySet::Fifo(s) => s.contains(key),
-            ResidencySet::TwoQ(s) => s.contains(key),
-            ResidencySet::Slru(s) => s.contains(key),
-        }
-    }
-
-    fn touch(&mut self, key: PageId) -> bool {
-        match self {
-            ResidencySet::Lru(s) => s.touch(key),
-            ResidencySet::Clock(s) => s.touch(key),
-            ResidencySet::Fifo(s) => s.touch(key),
-            ResidencySet::TwoQ(s) => s.touch(key),
-            ResidencySet::Slru(s) => s.touch(key),
-        }
-    }
-
-    fn pop_victim(&mut self) -> Option<PageId> {
-        match self {
-            ResidencySet::Lru(s) => s.pop_oldest(),
-            ResidencySet::Clock(s) => s.pop_victim(),
-            ResidencySet::Fifo(s) => s.pop_victim(),
-            ResidencySet::TwoQ(s) => s.pop_victim(),
-            ResidencySet::Slru(s) => s.pop_victim(),
-        }
-    }
-
-    fn remove(&mut self, key: &PageId) -> bool {
-        match self {
-            ResidencySet::Lru(s) => s.remove(key),
-            ResidencySet::Clock(s) => s.remove(key),
-            ResidencySet::Fifo(s) => s.remove(key),
-            ResidencySet::TwoQ(s) => s.remove(key),
-            ResidencySet::Slru(s) => s.remove(key),
-        }
-    }
-}
 
 /// Whether an access reads or writes the spanned pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,7 +200,7 @@ impl AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct BufferCache {
     cfg: CacheConfig,
-    resident: ResidencySet,
+    resident: Box<dyn PolicySet<PageId>>,
     pages: HashMap<PageId, PageState>,
     prefetcher: Prefetcher,
     metrics: CacheMetrics,
@@ -290,7 +212,9 @@ impl BufferCache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.page_size > 0, "page size must be positive");
         let prefetcher = Prefetcher::new(cfg.prefetch);
-        let resident = ResidencySet::new(cfg.policy, cfg.capacity_pages);
+        // The single registry point: the configured policy builds its
+        // own residency set, sized so the replay hot loop never regrows.
+        let resident = cfg.policy.build(cfg.capacity_pages);
         let pages = HashMap::with_capacity(cfg.capacity_pages.min(crate::PREALLOC_PAGES_MAX));
         Self {
             cfg,

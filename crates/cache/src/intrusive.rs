@@ -1,0 +1,410 @@
+//! The intrusive multi-list core shared by every replacement policy.
+//!
+//! One slab of nodes, one key index, `N` doubly-linked lists threaded
+//! through the slab by index. Every policy in this crate is a thin
+//! state machine over this structure:
+//!
+//! - LRU and FIFO are a [`MultiList`] with one list,
+//! - SIEVE adds a hand cursor and uses the per-node flag as its
+//!   visited bit,
+//! - SLRU splits residency across two lists (probationary/protected),
+//! - 2Q uses three (trial, protected, ghost),
+//! - ARC uses four (T1/T2 resident, B1/B2 ghost).
+//!
+//! The payoff is a single hash probe per operation and zero
+//! steady-state allocation: moving a key between segments relinks the
+//! node it already owns (three index writes), instead of removing from
+//! one hash-backed list and inserting into another. Freed slots go on
+//! an internal free list and are reused, so a cache that has warmed up
+//! to its capacity never allocates again — the property pinned by the
+//! counting-allocator gate in `tests/perf_scaling.rs`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel slot index meaning "no node".
+pub const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+    /// Which of the `N` lists this node is linked into.
+    list: u8,
+    /// Policy-defined mark (SIEVE's visited bit; unused elsewhere).
+    flag: bool,
+}
+
+/// `N` intrusive doubly-linked lists over one slab and one key index.
+///
+/// Slots are stable: a node keeps its slab index for its whole
+/// lifetime, however many times it moves between lists, so policies
+/// may hold slot indices (SIEVE's hand) across operations — they are
+/// invalidated only by removing that very node.
+///
+/// Each list orders nodes front (most recently pushed) to back; which
+/// end means "hot" is the policy's business.
+#[derive(Debug, Clone)]
+pub struct MultiList<K: Eq + Hash + Clone, const N: usize> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: [usize; N],
+    tail: [usize; N],
+    len: [usize; N],
+}
+
+impl<K: Eq + Hash + Clone, const N: usize> MultiList<K, N> {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty structure pre-sized for `capacity` keys across
+    /// all lists, so a policy that stays within it never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity.min(16)),
+            index: HashMap::with_capacity(capacity),
+            head: [NIL; N],
+            tail: [NIL; N],
+            len: [0; N],
+        }
+    }
+
+    /// Total number of keys across all lists.
+    pub fn total_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of keys in `list`.
+    pub fn list_len(&self, list: usize) -> usize {
+        self.len[list]
+    }
+
+    /// Whether no keys are tracked in any list.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is tracked (in any list).
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The slab slot of `key`, if tracked.
+    pub fn slot_of(&self, key: &K) -> Option<usize> {
+        self.index.get(key).copied()
+    }
+
+    /// Which list `key` is in, if tracked.
+    pub fn which_list(&self, key: &K) -> Option<usize> {
+        self.slot_of(key).map(|s| self.nodes[s].list as usize)
+    }
+
+    /// The key stored in `slot`.
+    pub fn key_at(&self, slot: usize) -> &K {
+        &self.nodes[slot].key
+    }
+
+    /// Which list the node in `slot` is linked into.
+    pub fn list_at(&self, slot: usize) -> usize {
+        self.nodes[slot].list as usize
+    }
+
+    /// The policy flag of `slot`.
+    pub fn flag_at(&self, slot: usize) -> bool {
+        self.nodes[slot].flag
+    }
+
+    /// Sets the policy flag of `slot`.
+    pub fn set_flag_at(&mut self, slot: usize, flag: bool) {
+        self.nodes[slot].flag = flag;
+    }
+
+    /// The slot before `slot` in its list (toward the front), or
+    /// [`NIL`].
+    pub fn prev_of(&self, slot: usize) -> usize {
+        self.nodes[slot].prev
+    }
+
+    /// The slot after `slot` in its list (toward the back), or [`NIL`].
+    pub fn next_of(&self, slot: usize) -> usize {
+        self.nodes[slot].next
+    }
+
+    /// The front slot of `list`, or [`NIL`] when empty.
+    pub fn head_of(&self, list: usize) -> usize {
+        self.head[list]
+    }
+
+    /// The back slot of `list`, or [`NIL`] when empty.
+    pub fn tail_of(&self, list: usize) -> usize {
+        self.tail[list]
+    }
+
+    /// The key at the back of `list`, without removing it.
+    pub fn peek_back(&self, list: usize) -> Option<&K> {
+        (self.tail[list] != NIL).then(|| &self.nodes[self.tail[list]].key)
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let list = self.nodes[slot].list as usize;
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head[list] = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail[list] = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+        self.len[list] -= 1;
+    }
+
+    fn link_front(&mut self, slot: usize, list: usize) {
+        let old_head = self.head[list];
+        {
+            let node = &mut self.nodes[slot];
+            node.list = list as u8;
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head].prev = slot;
+        }
+        self.head[list] = slot;
+        if self.tail[list] == NIL {
+            self.tail[list] = slot;
+        }
+        self.len[list] += 1;
+    }
+
+    /// Inserts an untracked `key` at the front of `list` with a clear
+    /// flag, returning its slot. Returns `None` (and does nothing) if
+    /// the key is already tracked.
+    pub fn insert_front(&mut self, list: usize, key: K) -> Option<usize> {
+        if self.index.contains_key(&key) {
+            return None;
+        }
+        Some(self.push_front_new(list, key))
+    }
+
+    /// [`MultiList::insert_front`] without the presence check: the hot
+    /// path for policies that have already probed the index this
+    /// operation. The key **must not** be tracked (debug-asserted).
+    pub fn push_front_new(&mut self, list: usize, key: K) -> usize {
+        debug_assert!(!self.index.contains_key(&key), "push_front_new on a tracked key");
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] =
+                    Node { key: key.clone(), prev: NIL, next: NIL, list: 0, flag: false };
+                s
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                    list: 0,
+                    flag: false,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.link_front(slot, list);
+        slot
+    }
+
+    /// Relinks the node in `slot` to the front of `list` (possibly a
+    /// different list from the one it is in). O(1), no allocation, flag
+    /// preserved.
+    pub fn promote(&mut self, slot: usize, list: usize) {
+        if self.head[list] == slot {
+            return; // already the front of the target list
+        }
+        self.unlink(slot);
+        self.link_front(slot, list);
+    }
+
+    /// Removes and returns the key at the back of `list`, freeing its
+    /// slot.
+    pub fn pop_back(&mut self, list: usize) -> Option<K> {
+        let slot = self.tail[list];
+        (slot != NIL).then(|| self.remove_slot(slot))
+    }
+
+    /// Moves the back node of `from` to the front of `to`, returning a
+    /// clone of its key. The node keeps its slot; its flag is cleared.
+    pub fn transfer_back(&mut self, from: usize, to: usize) -> Option<K> {
+        let slot = self.tail[from];
+        if slot == NIL {
+            return None;
+        }
+        self.unlink(slot);
+        self.nodes[slot].flag = false;
+        self.link_front(slot, to);
+        Some(self.nodes[slot].key.clone())
+    }
+
+    /// Removes `key` entirely, returning which list it was in.
+    pub fn remove(&mut self, key: &K) -> Option<usize> {
+        let slot = self.index.remove(key)?;
+        let list = self.nodes[slot].list as usize;
+        self.unlink(slot);
+        self.free.push(slot);
+        Some(list)
+    }
+
+    /// Removes the node in `slot` entirely, returning its key.
+    pub fn remove_slot(&mut self, slot: usize) -> K {
+        self.unlink(slot);
+        let key = self.nodes[slot].key.clone();
+        self.index.remove(&key);
+        self.free.push(slot);
+        key
+    }
+
+    /// Keys of `list`, front to back (test/diagnostic helper; O(n)).
+    pub fn iter(&self, list: usize) -> impl Iterator<Item = &K> {
+        ListIter { multi: self, cur: self.head[list] }
+    }
+}
+
+impl<K: Eq + Hash + Clone, const N: usize> Default for MultiList<K, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct ListIter<'a, K: Eq + Hash + Clone, const N: usize> {
+    multi: &'a MultiList<K, N>,
+    cur: usize,
+}
+
+impl<'a, K: Eq + Hash + Clone, const N: usize> Iterator for ListIter<'a, K, N> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<&'a K> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.multi.nodes[self.cur];
+        self.cur = node.next;
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_pop_one_list() {
+        let mut m: MultiList<u32, 1> = MultiList::new();
+        m.insert_front(0, 1);
+        m.insert_front(0, 2);
+        m.insert_front(0, 3);
+        assert_eq!(m.iter(0).copied().collect::<Vec<_>>(), vec![3, 2, 1]);
+        assert_eq!(m.pop_back(0), Some(1));
+        assert_eq!(m.pop_back(0), Some(2));
+        assert_eq!(m.pop_back(0), Some(3));
+        assert_eq!(m.pop_back(0), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut m: MultiList<u32, 2> = MultiList::new();
+        assert!(m.insert_front(0, 7).is_some());
+        assert!(m.insert_front(1, 7).is_none(), "key already tracked in list 0");
+        assert_eq!(m.which_list(&7), Some(0));
+        assert_eq!(m.total_len(), 1);
+    }
+
+    #[test]
+    fn promote_within_and_across_lists() {
+        let mut m: MultiList<u32, 2> = MultiList::new();
+        for k in [1, 2, 3] {
+            m.insert_front(0, k);
+        }
+        let s2 = m.slot_of(&2).unwrap();
+        m.promote(s2, 0); // within-list MRU move
+        assert_eq!(m.iter(0).copied().collect::<Vec<_>>(), vec![2, 3, 1]);
+        m.promote(s2, 1); // cross-list move keeps the slot
+        assert_eq!(m.slot_of(&2), Some(s2));
+        assert_eq!(m.which_list(&2), Some(1));
+        assert_eq!(m.list_len(0), 2);
+        assert_eq!(m.list_len(1), 1);
+        assert_eq!(m.iter(0).copied().collect::<Vec<_>>(), vec![3, 1]);
+    }
+
+    #[test]
+    fn promote_head_is_a_noop() {
+        let mut m: MultiList<u32, 1> = MultiList::new();
+        m.insert_front(0, 1);
+        m.insert_front(0, 2);
+        let head = m.slot_of(&2).unwrap();
+        m.promote(head, 0);
+        assert_eq!(m.iter(0).copied().collect::<Vec<_>>(), vec![2, 1]);
+    }
+
+    #[test]
+    fn transfer_back_moves_between_lists() {
+        let mut m: MultiList<u32, 2> = MultiList::new();
+        for k in [1, 2, 3] {
+            m.insert_front(0, k);
+        }
+        assert_eq!(m.transfer_back(0, 1), Some(1));
+        assert_eq!(m.which_list(&1), Some(1));
+        assert_eq!(m.list_len(0), 2);
+        assert_eq!(m.peek_back(1), Some(&1));
+        assert_eq!(m.transfer_back(1, 0), Some(1));
+        assert_eq!(m.which_list(&1), Some(0));
+        assert_eq!(m.iter(0).copied().collect::<Vec<_>>(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn flags_survive_promotion_but_not_transfer() {
+        let mut m: MultiList<u32, 2> = MultiList::new();
+        let s = m.insert_front(0, 9).unwrap();
+        m.set_flag_at(s, true);
+        m.insert_front(0, 10);
+        m.promote(s, 1);
+        assert!(m.flag_at(s), "promote preserves the flag");
+        m.transfer_back(1, 0);
+        assert!(!m.flag_at(s), "transfer_back clears the flag");
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut m: MultiList<u32, 1> = MultiList::new();
+        m.insert_front(0, 1);
+        m.insert_front(0, 2);
+        let s1 = m.slot_of(&1).unwrap();
+        assert_eq!(m.remove(&1), Some(0));
+        assert_eq!(m.remove(&1), None);
+        let s3 = m.insert_front(0, 3).unwrap();
+        assert_eq!(s3, s1, "freed slot reused");
+        assert_eq!(m.total_len(), 2);
+    }
+
+    #[test]
+    fn navigation_follows_links() {
+        let mut m: MultiList<u32, 1> = MultiList::new();
+        for k in [1, 2, 3] {
+            m.insert_front(0, k);
+        }
+        let tail = m.tail_of(0);
+        assert_eq!(*m.key_at(tail), 1);
+        let mid = m.prev_of(tail);
+        assert_eq!(*m.key_at(mid), 2);
+        assert_eq!(m.prev_of(m.prev_of(mid)), NIL);
+        assert_eq!(m.next_of(tail), NIL);
+        assert_eq!(m.head_of(0), m.prev_of(mid));
+    }
+}

@@ -8,9 +8,17 @@
 //! makes those mechanisms explicit and deterministic:
 //!
 //! - [`page`] — page identity and offset↔page arithmetic,
+//! - [`intrusive`] — the slab-backed intrusive multi-list every list
+//!   policy threads its segments through (O(1) relink, zero per-access
+//!   allocation once warm),
 //! - [`lru`] — an O(1) LRU list,
+//! - [`policy`] — the [`PolicySet`] trait all seven replacement
+//!   policies implement, and the selector enum whose `build` method is
+//!   the single policy registry,
 //! - [`prefetch`] — a sequential readahead detector,
 //! - [`scanres`] — scan-resistant replacement (2Q, segmented LRU),
+//! - [`sieve`] — SIEVE (visited-bit hand, lazy promotion),
+//! - [`arc`] — ARC (adaptive recency/frequency with ghost lists),
 //! - [`cache`] — the buffer cache itself, with a cost model that turns
 //!   hits/misses/prefetches into simulated latencies,
 //! - [`shard`] — the lock-striped concurrent cache: N independent
@@ -33,8 +41,10 @@
 
 #![warn(missing_docs)]
 
+pub mod arc;
 pub mod backend;
 pub mod cache;
+pub mod intrusive;
 pub mod lru;
 pub mod metrics;
 pub mod page;
@@ -42,12 +52,13 @@ pub mod policy;
 pub mod prefetch;
 pub mod scanres;
 pub mod shard;
+pub mod sieve;
 
 pub use backend::{FileBackend, RealFsBackend};
 pub use cache::{AccessKind, BufferCache, CacheConfig, CacheCostModel};
 pub use metrics::CacheMetrics;
 pub use page::{PageId, PAGE_SIZE_DEFAULT};
-pub use policy::CachePolicyKind;
+pub use policy::{CachePolicyKind, PolicySet};
 pub use shard::ShardedBufferCache;
 
 /// Upper bound on entries pre-allocated from a configured capacity:

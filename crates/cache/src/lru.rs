@@ -1,178 +1,88 @@
 //! An O(1) least-recently-used list.
 //!
-//! Slab-backed intrusive doubly-linked list plus a hash index. The cache
-//! touches a page on every hit, so all operations — touch, insert,
-//! evict-oldest, remove — must be constant-time; a `VecDeque` scan would
-//! turn trace replay into O(n²).
+//! A single-list view over the intrusive slab core
+//! ([`crate::intrusive::MultiList`]). The cache touches a page on every
+//! hit, so all operations — touch, insert, evict-oldest, remove — must
+//! be constant-time; a `VecDeque` scan would turn trace replay into
+//! O(n²). A warm list also never allocates: hits relink the node in
+//! place and evictions recycle slots through the slab's free list.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
-const NIL: usize = usize::MAX;
-
-#[derive(Debug, Clone)]
-struct Node<K> {
-    key: K,
-    prev: usize,
-    next: usize,
-}
+use crate::intrusive::MultiList;
 
 /// An LRU ordering over keys of type `K`.
 ///
 /// The list orders keys from most- to least-recently used; values live
 /// with the caller (the cache stores page state separately).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LruList<K: Eq + Hash + Clone> {
-    nodes: Vec<Node<K>>,
-    free: Vec<usize>,
-    index: HashMap<K, usize>,
-    head: usize,
-    tail: usize,
+    inner: MultiList<K, 1>,
 }
 
 impl<K: Eq + Hash + Clone> LruList<K> {
     /// Creates an empty list.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), free: Vec::new(), index: HashMap::new(), head: NIL, tail: NIL }
+        Self { inner: MultiList::new() }
     }
 
-    /// Creates an empty list with room for `capacity` keys, so a cache
-    /// that fills to its configured size never rehashes or regrows in
-    /// the replay hot loop.
+    /// Creates an empty list pre-sized for `capacity` keys (bounded by
+    /// [`crate::PREALLOC_PAGES_MAX`]), so a cache that fills to its
+    /// configured size never rehashes or regrows in the replay hot
+    /// loop.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            nodes: Vec::with_capacity(capacity),
-            free: Vec::new(),
-            index: HashMap::with_capacity(capacity),
-            head: NIL,
-            tail: NIL,
-        }
+        Self { inner: MultiList::with_capacity(capacity.min(crate::PREALLOC_PAGES_MAX)) }
     }
 
     /// Number of tracked keys.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.inner.total_len()
     }
 
     /// Whether no keys are tracked.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.inner.is_empty()
     }
 
     /// Whether `key` is tracked.
     pub fn contains(&self, key: &K) -> bool {
-        self.index.contains_key(key)
-    }
-
-    fn unlink(&mut self, slot: usize) {
-        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
-        if prev == NIL {
-            self.head = next;
-        } else {
-            self.nodes[prev].next = next;
-        }
-        if next == NIL {
-            self.tail = prev;
-        } else {
-            self.nodes[next].prev = prev;
-        }
-    }
-
-    fn push_front(&mut self, slot: usize) {
-        self.nodes[slot].prev = NIL;
-        self.nodes[slot].next = self.head;
-        if self.head != NIL {
-            self.nodes[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
+        self.inner.contains(key)
     }
 
     /// Inserts `key` as most-recently used, or moves it to the front if
     /// already present. Returns `true` if the key was newly inserted.
     pub fn touch(&mut self, key: K) -> bool {
-        if let Some(&slot) = self.index.get(&key) {
-            if self.head != slot {
-                self.unlink(slot);
-                self.push_front(slot);
-            }
-            false
-        } else {
-            let slot = match self.free.pop() {
-                Some(s) => {
-                    self.nodes[s] = Node { key: key.clone(), prev: NIL, next: NIL };
-                    s
-                }
-                None => {
-                    self.nodes.push(Node { key: key.clone(), prev: NIL, next: NIL });
-                    self.nodes.len() - 1
-                }
-            };
-            self.index.insert(key, slot);
-            self.push_front(slot);
-            true
-        }
-    }
-
-    /// Removes and returns the least-recently used key.
-    pub fn pop_oldest(&mut self) -> Option<K> {
-        if self.tail == NIL {
-            return None;
-        }
-        let slot = self.tail;
-        let key = self.nodes[slot].key.clone();
-        self.unlink(slot);
-        self.index.remove(&key);
-        self.free.push(slot);
-        Some(key)
-    }
-
-    /// Removes a specific key; returns whether it was present.
-    pub fn remove(&mut self, key: &K) -> bool {
-        match self.index.remove(key) {
-            None => false,
+        match self.inner.slot_of(&key) {
             Some(slot) => {
-                self.unlink(slot);
-                self.free.push(slot);
+                self.inner.promote(slot, 0);
+                false
+            }
+            None => {
+                self.inner.push_front_new(0, key);
                 true
             }
         }
     }
 
+    /// Removes and returns the least-recently used key.
+    pub fn pop_oldest(&mut self) -> Option<K> {
+        self.inner.pop_back(0)
+    }
+
+    /// Removes a specific key; returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
     /// The least-recently used key, without removing it.
     pub fn peek_oldest(&self) -> Option<&K> {
-        (self.tail != NIL).then(|| &self.nodes[self.tail].key)
+        self.inner.peek_back(0)
     }
 
     /// Keys from most- to least-recently used (test/diagnostic helper;
     /// O(n)).
     pub fn iter_mru(&self) -> impl Iterator<Item = &K> {
-        MruIter { list: self, cur: self.head }
-    }
-}
-
-impl<K: Eq + Hash + Clone> Default for LruList<K> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-struct MruIter<'a, K: Eq + Hash + Clone> {
-    list: &'a LruList<K>,
-    cur: usize,
-}
-
-impl<'a, K: Eq + Hash + Clone> Iterator for MruIter<'a, K> {
-    type Item = &'a K;
-    fn next(&mut self) -> Option<&'a K> {
-        if self.cur == NIL {
-            return None;
-        }
-        let node = &self.list.nodes[self.cur];
-        self.cur = node.next;
-        Some(&node.key)
+        self.inner.iter(0)
     }
 }
 

@@ -1,21 +1,99 @@
-//! Alternative replacement policies.
+//! Replacement policies and the [`PolicySet`] abstraction they share.
 //!
 //! The paper's platform (the NT cache manager) approximates LRU; this
-//! module adds the two classic alternatives so the ablation benches can
-//! quantify how much of the Table-1–4 behaviour is policy-dependent:
+//! module names the alternatives the ablation benches compare against
+//! and defines the one interface they all answer to:
 //!
+//! - [`PolicySet`] — the object-safe residency-set trait every policy
+//!   implements (`touch` / `insert` / `pop_victim` / `remove` /
+//!   `contains` / `len`, plus the crate-wide `with_capacity`
+//!   constructor convention),
+//! - [`ReplacementPolicy`] — the serializable policy selector whose
+//!   [`ReplacementPolicy::build`] method is the **single registry
+//!   point** mapping a selector to a boxed policy instance; the cache,
+//!   the sharded cache, and the experiment layer all construct
+//!   policies through it,
 //! - [`ClockSet`] — the second-chance/CLOCK approximation of LRU
 //!   (reference bits swept by a hand),
 //! - [`FifoSet`] — pure insertion-order eviction (no recency at all).
 //!
-//! Both expose the same operations as [`crate::lru::LruList`], so the
-//! cache can swap them behind [`ReplacementPolicy`].
+//! The remaining policies live in their own modules:
+//! [`crate::lru::LruList`], [`crate::scanres::TwoQSet`],
+//! [`crate::scanres::SlruSet`], [`crate::sieve::SieveSet`] and
+//! [`crate::arc::ArcSet`].
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::fmt;
 use std::hash::Hash;
 
 use serde::{Deserialize, Serialize};
+
+use crate::arc::ArcSet;
+use crate::intrusive::MultiList;
+use crate::lru::LruList;
+use crate::scanres::{SlruSet, TwoQSet};
+use crate::sieve::SieveSet;
+
+/// The residency-set interface every replacement policy implements.
+///
+/// A policy set tracks *which* keys are resident and decides *what* to
+/// evict; the owning cache decides *when* (by calling
+/// [`PolicySet::pop_victim`] until it is under budget). That split
+/// keeps a shard's eviction stream a pure function of its own access
+/// subsequence — the property `tests/cache_properties.rs` pins for
+/// every policy.
+///
+/// Implementations are selected at exactly one place,
+/// [`ReplacementPolicy::build`], and used as `Box<dyn PolicySet<K>>`.
+pub trait PolicySet<K>: fmt::Debug + Send {
+    /// Creates an empty set sized for a cache of `capacity` keys (the
+    /// crate-wide constructor convention; implementations bound their
+    /// preallocation by [`crate::PREALLOC_PAGES_MAX`]).
+    fn with_capacity(capacity: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Number of resident keys (ghost/shadow entries never count).
+    fn len(&self) -> usize;
+
+    /// Whether no keys are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is resident.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Records a reference to `key`, inserting it if absent. Returns
+    /// `true` if the key was not resident before (the caller must
+    /// fetch the page).
+    fn touch(&mut self, key: K) -> bool;
+
+    /// Inserts `key` without distinguishing it from a touch (policies
+    /// that treat first-insert specially already do so inside
+    /// [`PolicySet::touch`]).
+    fn insert(&mut self, key: K) -> bool {
+        self.touch(key)
+    }
+
+    /// Evicts and returns the policy's chosen victim, or `None` when
+    /// nothing is resident.
+    fn pop_victim(&mut self) -> Option<K>;
+
+    /// Removes a specific key (used when a file closes and its pages
+    /// are purged); returns whether a *resident* entry was removed.
+    fn remove(&mut self, key: &K) -> bool;
+
+    /// Clones the set behind the object; lets `Box<dyn PolicySet<K>>`
+    /// implement `Clone` so caches stay cheaply copyable in tests.
+    fn boxed_clone(&self) -> Box<dyn PolicySet<K>>;
+}
+
+impl<K> Clone for Box<dyn PolicySet<K>> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
 
 /// Which replacement policy the cache uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -33,24 +111,32 @@ pub enum ReplacementPolicy {
     /// Segmented LRU: probationary + protected segments
     /// ([`crate::scanres::SlruSet`]).
     Slru,
+    /// SIEVE (Zhang et al.): lazy promotion via a visited-bit hand
+    /// ([`crate::sieve::SieveSet`]).
+    Sieve,
+    /// ARC (Megiddo & Modha): adaptive recency/frequency lists with
+    /// ghost-driven tuning ([`crate::arc::ArcSet`]).
+    Arc,
 }
 
 /// The policy alphabet as seen by sharded constructors.
 ///
 /// [`crate::shard::ShardedBufferCache::for_policy`] takes a
 /// `CachePolicyKind` and instantiates one full policy instance *per
-/// shard*, so all five policies shard uniformly: the kind selects the
+/// shard*, so all seven policies shard uniformly: the kind selects the
 /// per-shard residency structure, the shard map stays policy-agnostic.
 pub type CachePolicyKind = ReplacementPolicy;
 
 impl ReplacementPolicy {
     /// All policies, in ablation order.
-    pub const ALL: [ReplacementPolicy; 5] = [
+    pub const ALL: [ReplacementPolicy; 7] = [
         ReplacementPolicy::Lru,
         ReplacementPolicy::Clock,
         ReplacementPolicy::Fifo,
         ReplacementPolicy::TwoQ,
         ReplacementPolicy::Slru,
+        ReplacementPolicy::Sieve,
+        ReplacementPolicy::Arc,
     ];
 
     /// Short display name for bench rows.
@@ -61,6 +147,34 @@ impl ReplacementPolicy {
             ReplacementPolicy::Fifo => "FIFO",
             ReplacementPolicy::TwoQ => "2Q",
             ReplacementPolicy::Slru => "SLRU",
+            ReplacementPolicy::Sieve => "SIEVE",
+            ReplacementPolicy::Arc => "ARC",
+        }
+    }
+
+    /// Builds the residency set this selector names, sized for a cache
+    /// of `capacity` keys.
+    ///
+    /// This is the **single registry point** from selector to
+    /// implementation: [`crate::cache::BufferCache`] (and through it
+    /// the sharded cache and the experiment layer) constructs every
+    /// policy here, so adding a policy means one new enum variant and
+    /// one new match arm.
+    pub fn build<K>(self, capacity: usize) -> Box<dyn PolicySet<K>>
+    where
+        K: Eq + Hash + Clone + fmt::Debug + Send + 'static,
+    {
+        fn boxed<K, P: PolicySet<K> + 'static>(capacity: usize) -> Box<dyn PolicySet<K>> {
+            Box::new(P::with_capacity(capacity))
+        }
+        match self {
+            ReplacementPolicy::Lru => boxed::<K, LruList<K>>(capacity),
+            ReplacementPolicy::Clock => boxed::<K, ClockSet<K>>(capacity),
+            ReplacementPolicy::Fifo => boxed::<K, FifoSet<K>>(capacity),
+            ReplacementPolicy::TwoQ => boxed::<K, TwoQSet<K>>(capacity),
+            ReplacementPolicy::Slru => boxed::<K, SlruSet<K>>(capacity),
+            ReplacementPolicy::Sieve => boxed::<K, SieveSet<K>>(capacity),
+            ReplacementPolicy::Arc => boxed::<K, ArcSet<K>>(capacity),
         }
     }
 }
@@ -79,6 +193,10 @@ pub enum WritePolicy {
 
 /// CLOCK (second chance): a circular buffer of entries with reference
 /// bits; the hand sweeps, clearing bits, and evicts the first clear one.
+///
+/// CLOCK keeps its dedicated circular-buffer layout rather than the
+/// intrusive list core: its hand walks *positions*, not links, and the
+/// slot array is already allocation-free once warm.
 #[derive(Debug, Clone)]
 pub struct ClockSet<K: Eq + Hash + Clone> {
     entries: Vec<Option<(K, bool)>>,
@@ -93,8 +211,10 @@ impl<K: Eq + Hash + Clone> ClockSet<K> {
         Self { entries: Vec::new(), index: HashMap::new(), free: Vec::new(), hand: 0 }
     }
 
-    /// Creates an empty set pre-sized for `capacity` keys.
+    /// Creates an empty set pre-sized for `capacity` keys (bounded by
+    /// [`crate::PREALLOC_PAGES_MAX`]).
     pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.min(crate::PREALLOC_PAGES_MAX);
         Self {
             entries: Vec::with_capacity(capacity),
             index: HashMap::with_capacity(capacity),
@@ -187,74 +307,111 @@ impl<K: Eq + Hash + Clone> Default for ClockSet<K> {
 }
 
 /// FIFO: eviction in insertion order, re-touching never promotes.
-#[derive(Debug, Clone)]
+///
+/// A single intrusive list where hits do nothing: the front is the
+/// newest insert, the back the next victim. Rebasing on
+/// [`crate::intrusive::MultiList`] (from the old `VecDeque` + lazy
+/// ghost map) makes `remove` eager — no stale queue entries to skip —
+/// and the warm set allocation-free.
+#[derive(Debug, Clone, Default)]
 pub struct FifoSet<K: Eq + Hash + Clone> {
-    queue: VecDeque<K>,
-    resident: HashMap<K, ()>,
+    inner: MultiList<K, 1>,
 }
 
 impl<K: Eq + Hash + Clone> FifoSet<K> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        Self { queue: VecDeque::new(), resident: HashMap::new() }
+        Self { inner: MultiList::new() }
     }
 
-    /// Creates an empty set pre-sized for `capacity` keys.
+    /// Creates an empty set pre-sized for `capacity` keys (bounded by
+    /// [`crate::PREALLOC_PAGES_MAX`]).
     pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            queue: VecDeque::with_capacity(capacity),
-            resident: HashMap::with_capacity(capacity),
-        }
+        Self { inner: MultiList::with_capacity(capacity.min(crate::PREALLOC_PAGES_MAX)) }
     }
 
     /// Number of resident keys.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.inner.total_len()
     }
 
     /// Whether no keys are resident.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.inner.is_empty()
     }
 
     /// Whether `key` is resident.
     pub fn contains(&self, key: &K) -> bool {
-        self.resident.contains_key(key)
+        self.inner.contains(key)
     }
 
     /// Inserts if absent (FIFO never reorders on re-touch). Returns
     /// `true` if newly inserted.
     pub fn touch(&mut self, key: K) -> bool {
-        if self.resident.contains_key(&key) {
+        if self.inner.contains(&key) {
             return false;
         }
-        self.resident.insert(key.clone(), ());
-        self.queue.push_back(key);
+        self.inner.push_front_new(0, key);
         true
     }
 
     /// Evicts the oldest resident key.
     pub fn pop_victim(&mut self) -> Option<K> {
-        while let Some(key) = self.queue.pop_front() {
-            if self.resident.remove(&key).is_some() {
-                return Some(key);
-            }
-            // Stale entry left behind by remove(); skip.
-        }
-        None
+        self.inner.pop_back(0)
     }
 
-    /// Removes a specific key lazily; returns whether it was present.
+    /// Removes a specific key; returns whether it was present.
     pub fn remove(&mut self, key: &K) -> bool {
-        self.resident.remove(key).is_some()
+        self.inner.remove(key).is_some()
     }
 }
 
-impl<K: Eq + Hash + Clone> Default for FifoSet<K> {
-    fn default() -> Self {
-        Self::new()
-    }
+/// Implements [`PolicySet`] for a policy type by delegating each trait
+/// method to the inherent method of the same behaviour.
+macro_rules! impl_policy_set {
+    ($ty:ident, $pop:ident) => {
+        impl<K> PolicySet<K> for $ty<K>
+        where
+            K: Eq + Hash + Clone + fmt::Debug + Send + 'static,
+        {
+            fn with_capacity(capacity: usize) -> Self {
+                $ty::with_capacity(capacity)
+            }
+
+            fn len(&self) -> usize {
+                $ty::len(self)
+            }
+
+            fn contains(&self, key: &K) -> bool {
+                $ty::contains(self, key)
+            }
+
+            fn touch(&mut self, key: K) -> bool {
+                $ty::touch(self, key)
+            }
+
+            fn pop_victim(&mut self) -> Option<K> {
+                $ty::$pop(self)
+            }
+
+            fn remove(&mut self, key: &K) -> bool {
+                $ty::remove(self, key)
+            }
+
+            fn boxed_clone(&self) -> Box<dyn PolicySet<K>> {
+                Box::new(self.clone())
+            }
+        }
+    };
 }
+
+impl_policy_set!(LruList, pop_oldest);
+impl_policy_set!(ClockSet, pop_victim);
+impl_policy_set!(FifoSet, pop_victim);
+impl_policy_set!(TwoQSet, pop_victim);
+impl_policy_set!(SlruSet, pop_victim);
+impl_policy_set!(SieveSet, pop_victim);
+impl_policy_set!(ArcSet, pop_victim);
 
 #[cfg(test)]
 mod tests {
@@ -338,5 +495,42 @@ mod tests {
         assert_eq!(w, WritePolicy::WriteThrough);
         assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
         assert_eq!(WritePolicy::default(), WritePolicy::WriteBack);
+        // The new variants round-trip and ALL covers all seven.
+        for policy in ReplacementPolicy::ALL {
+            let json = serde_json::to_string(&policy).unwrap();
+            let back: ReplacementPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, policy, "serde round-trip for {}", policy.name());
+        }
+        let s: ReplacementPolicy = serde_json::from_str("\"Sieve\"").unwrap();
+        assert_eq!(s, ReplacementPolicy::Sieve);
+        let a: ReplacementPolicy = serde_json::from_str("\"Arc\"").unwrap();
+        assert_eq!(a, ReplacementPolicy::Arc);
+        assert_eq!(ReplacementPolicy::ALL.len(), 7);
+    }
+
+    #[test]
+    fn registry_builds_every_policy() {
+        for policy in ReplacementPolicy::ALL {
+            let mut set: Box<dyn PolicySet<u64>> = policy.build(8);
+            assert!(set.is_empty(), "{} starts empty", policy.name());
+            assert!(set.touch(1), "{}: first touch inserts", policy.name());
+            assert!(!set.touch(1), "{}: second touch hits", policy.name());
+            assert!(set.contains(&1));
+            assert_eq!(set.len(), 1);
+            assert!(set.insert(2), "{}: insert of a new key", policy.name());
+            assert!(set.remove(&2), "{}: remove a resident key", policy.name());
+            assert_eq!(set.pop_victim(), Some(1), "{}: sole key is the victim", policy.name());
+            assert_eq!(set.pop_victim(), None);
+        }
+    }
+
+    #[test]
+    fn boxed_policy_sets_clone_independently() {
+        let mut original: Box<dyn PolicySet<u64>> = ReplacementPolicy::Lru.build(8);
+        original.touch(1);
+        let mut copy = original.clone();
+        copy.touch(2);
+        assert_eq!(original.len(), 1, "clone must not alias the original");
+        assert_eq!(copy.len(), 2);
     }
 }

@@ -6,8 +6,8 @@
 //! reads, Titan tile scans). One sweep through a file larger than the
 //! cache flushes the loop's hot pages out of an LRU cache even though
 //! none of the swept pages will ever be touched again. The two classic
-//! answers are implemented here behind the same residency-set interface
-//! as [`crate::lru::LruList`]:
+//! answers are implemented here as segment layouts over the intrusive
+//! slab core ([`crate::intrusive::MultiList`]):
 //!
 //! - [`TwoQSet`] — Johnson & Shasha's 2Q: new pages enter a small FIFO
 //!   trial queue (`A1in`); only pages re-referenced *after leaving it*
@@ -19,27 +19,32 @@
 //!   protected segment, whose overflow demotes back to probationary
 //!   rather than straight out of the cache.
 //!
-//! Both are capacity-aware (unlike LRU/CLOCK/FIFO they must balance
-//! their internal segments), so they take the page budget at
+//! Because the segments are lists threaded through one slab with one
+//! key index, a touch costs a single hash probe and a relink — the
+//! same as plain LRU — where the previous three-`LruList`-plus-
+//! `HashSet` layout paid up to five probes per touch (the 2Q
+//! throughput anomaly in early `BENCH_baseline.json` revisions).
+//!
+//! Both policies are capacity-aware (unlike LRU/CLOCK/FIFO they must
+//! balance their internal segments), so they take the page budget at
 //! construction.
 
-use std::collections::HashSet;
 use std::hash::Hash;
 
-use crate::lru::LruList;
+use crate::intrusive::MultiList;
+
+// TwoQSet's segment indices.
+const A1IN: usize = 0;
+const AM: usize = 1;
+const A1OUT: usize = 2;
 
 /// Johnson & Shasha's 2Q, full version (A1in / A1out / Am).
 #[derive(Debug, Clone)]
 pub struct TwoQSet<K: Eq + Hash + Clone> {
-    /// Trial FIFO of pages seen exactly once, resident.
-    a1in: LruList<K>,
-    /// Ghost queue of recently evicted trial keys, *not* resident.
-    a1out: LruList<K>,
-    /// Protected main LRU, resident.
-    am: LruList<K>,
-    /// Resident-key index across `a1in` and `am`.
-    resident: HashSet<K>,
-    /// Target size of `a1in` (classic: ¼ of capacity).
+    /// `A1in` (trial FIFO, resident), `Am` (protected LRU, resident)
+    /// and `A1out` (ghost queue, keys only) over one slab.
+    lists: MultiList<K, 3>,
+    /// Target size of `A1in` (classic: ¼ of capacity).
     kin: usize,
     /// Bound on the ghost queue (classic: ½ of capacity).
     kout: usize,
@@ -52,103 +57,102 @@ impl<K: Eq + Hash + Clone> TwoQSet<K> {
     pub fn new(capacity: usize) -> Self {
         let kin = (capacity / 4).max(1);
         let kout = (capacity / 2).max(1);
-        // Pre-size the segments (bounded, so absurd capacities don't
-        // allocate gigabytes up front).
+        // Pre-size for residents plus ghosts (bounded, so absurd
+        // capacities don't allocate gigabytes up front).
         let cap = capacity.min(crate::PREALLOC_PAGES_MAX);
-        Self {
-            a1in: LruList::with_capacity(kin.min(cap) + 1),
-            a1out: LruList::with_capacity(kout.min(cap) + 1),
-            am: LruList::with_capacity(cap),
-            resident: HashSet::with_capacity(cap),
-            kin,
-            kout,
-        }
+        Self { lists: MultiList::with_capacity(cap + kout.min(cap) + 1), kin, kout }
+    }
+
+    /// [`TwoQSet::new`] under the crate-wide constructor convention.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(capacity)
     }
 
     /// Number of resident keys.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.lists.list_len(A1IN) + self.lists.list_len(AM)
     }
 
     /// Whether no keys are resident.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.len() == 0
     }
 
     /// Whether `key` is resident (ghost entries do not count).
     pub fn contains(&self, key: &K) -> bool {
-        self.resident.contains(key)
+        matches!(self.lists.which_list(key), Some(A1IN) | Some(AM))
     }
 
     /// Records a reference to `key`. Returns `true` if the key was not
     /// resident before (the caller must fetch the page).
     pub fn touch(&mut self, key: K) -> bool {
-        if self.am.contains(&key) {
-            self.am.touch(key);
-            return false;
+        match self.lists.slot_of(&key) {
+            Some(slot) => match self.lists.list_at(slot) {
+                AM => {
+                    self.lists.promote(slot, AM);
+                    false
+                }
+                A1IN => {
+                    // Classic 2Q: a hit inside the trial queue does not
+                    // move the page — only a reference after eviction
+                    // promotes.
+                    false
+                }
+                _ => {
+                    // Seen before and evicted from trial: this is the
+                    // second reference — admit to the protected queue.
+                    self.lists.promote(slot, AM);
+                    true
+                }
+            },
+            None => {
+                self.lists.push_front_new(A1IN, key);
+                true
+            }
         }
-        if self.a1in.contains(&key) {
-            // Classic 2Q: a hit inside the trial queue does not move
-            // the page — only a reference after eviction promotes.
-            return false;
-        }
-        if self.a1out.remove(&key) {
-            // Seen before and evicted from trial: this is the second
-            // reference — admit to the protected queue.
-            self.am.touch(key.clone());
-            self.resident.insert(key);
-            return true;
-        }
-        self.a1in.touch(key.clone());
-        self.resident.insert(key);
-        true
     }
 
     /// Evicts and returns a victim. Trial pages go first once the trial
     /// queue is over its target, leaving a ghost behind; otherwise the
     /// protected queue's LRU page goes (no ghost — it had its chance).
     pub fn pop_victim(&mut self) -> Option<K> {
-        let victim = if self.a1in.len() > self.kin || self.am.is_empty() {
-            let v = self.a1in.pop_oldest()?;
-            self.a1out.touch(v.clone());
-            while self.a1out.len() > self.kout {
-                self.a1out.pop_oldest();
+        if self.lists.list_len(A1IN) > self.kin || self.lists.list_len(AM) == 0 {
+            let v = self.lists.transfer_back(A1IN, A1OUT)?;
+            while self.lists.list_len(A1OUT) > self.kout {
+                self.lists.pop_back(A1OUT);
             }
-            v
+            Some(v)
         } else {
-            self.am.pop_oldest()?
-        };
-        self.resident.remove(&victim);
-        Some(victim)
+            self.lists.pop_back(AM)
+        }
     }
 
     /// Removes a specific key (resident or ghost); returns whether a
     /// *resident* entry was removed.
     pub fn remove(&mut self, key: &K) -> bool {
-        self.a1out.remove(key);
-        let was_resident = self.a1in.remove(key) || self.am.remove(key);
-        if was_resident {
-            self.resident.remove(key);
-        }
-        was_resident
+        matches!(self.lists.remove(key), Some(A1IN) | Some(AM))
     }
 
     /// Number of keys in the protected queue (diagnostics/tests).
     pub fn protected_len(&self) -> usize {
-        self.am.len()
+        self.lists.list_len(AM)
     }
 
     /// Number of ghost keys (diagnostics/tests).
     pub fn ghost_len(&self) -> usize {
-        self.a1out.len()
+        self.lists.list_len(A1OUT)
     }
 }
+
+// SlruSet's segment indices.
+const PROBATION: usize = 0;
+const PROTECTED: usize = 1;
 
 /// Segmented LRU: probationary + protected segments.
 #[derive(Debug, Clone)]
 pub struct SlruSet<K: Eq + Hash + Clone> {
-    probationary: LruList<K>,
-    protected: LruList<K>,
+    /// Probationary and protected segments over one slab.
+    lists: MultiList<K, 2>,
     /// Cap on the protected segment (classic: ½ of capacity).
     protected_cap: usize,
 }
@@ -159,26 +163,27 @@ impl<K: Eq + Hash + Clone> SlruSet<K> {
     pub fn new(capacity: usize) -> Self {
         let protected_cap = (capacity / 2).max(1);
         let cap = capacity.min(crate::PREALLOC_PAGES_MAX);
-        Self {
-            probationary: LruList::with_capacity(cap),
-            protected: LruList::with_capacity(protected_cap.min(cap) + 1),
-            protected_cap,
-        }
+        Self { lists: MultiList::with_capacity(cap + 1), protected_cap }
+    }
+
+    /// [`SlruSet::new`] under the crate-wide constructor convention.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(capacity)
     }
 
     /// Number of resident keys.
     pub fn len(&self) -> usize {
-        self.probationary.len() + self.protected.len()
+        self.lists.total_len()
     }
 
     /// Whether no keys are resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lists.is_empty()
     }
 
     /// Whether `key` is resident in either segment.
     pub fn contains(&self, key: &K) -> bool {
-        self.probationary.contains(key) || self.protected.contains(key)
+        self.lists.contains(key)
     }
 
     /// Records a reference. First touch lands probationary; a repeat
@@ -186,37 +191,35 @@ impl<K: Eq + Hash + Clone> SlruSet<K> {
     /// back to probationary if it is full. Returns `true` if newly
     /// resident.
     pub fn touch(&mut self, key: K) -> bool {
-        if self.protected.contains(&key) {
-            self.protected.touch(key);
-            return false;
-        }
-        if self.probationary.remove(&key) {
-            self.protected.touch(key);
-            while self.protected.len() > self.protected_cap {
-                if let Some(demoted) = self.protected.pop_oldest() {
-                    self.probationary.touch(demoted);
+        match self.lists.slot_of(&key) {
+            Some(slot) => {
+                self.lists.promote(slot, PROTECTED);
+                while self.lists.list_len(PROTECTED) > self.protected_cap {
+                    self.lists.transfer_back(PROTECTED, PROBATION);
                 }
+                false
             }
-            return false;
+            None => {
+                self.lists.push_front_new(PROBATION, key);
+                true
+            }
         }
-        self.probationary.touch(key);
-        true
     }
 
     /// Evicts the probationary LRU entry, falling back to the
     /// protected segment only when probation is empty.
     pub fn pop_victim(&mut self) -> Option<K> {
-        self.probationary.pop_oldest().or_else(|| self.protected.pop_oldest())
+        self.lists.pop_back(PROBATION).or_else(|| self.lists.pop_back(PROTECTED))
     }
 
     /// Removes a specific key; returns whether it was present.
     pub fn remove(&mut self, key: &K) -> bool {
-        self.probationary.remove(key) || self.protected.remove(key)
+        self.lists.remove(key).is_some()
     }
 
     /// Number of keys in the protected segment (diagnostics/tests).
     pub fn protected_len(&self) -> usize {
-        self.protected.len()
+        self.lists.list_len(PROTECTED)
     }
 }
 

@@ -63,8 +63,8 @@ pub use clio_trace as trace;
 pub mod prelude {
     pub use clio_cache::cache::CacheConfig;
     pub use clio_exp::{
-        run_many, AppWorkload, Engine, ExpError, Experiment, ExperimentBuilder, MixKind, Report,
-        ReportMode, ReportSummary, Workload,
+        run_many, run_policy_comparison, AppWorkload, Engine, ExpError, Experiment,
+        ExperimentBuilder, MixKind, PolicyRow, Report, ReportMode, ReportSummary, Workload,
     };
     pub use clio_sim::machine::MachineConfig;
     pub use clio_trace::record::IoOp;

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use clio_cache::cache::CacheConfig;
+use clio_cache::policy::ReplacementPolicy;
 use clio_sim::machine::MachineConfig;
 use clio_sim::sched::Policy;
 use clio_sim::sched_replay::{scheduled_trace_sim_source, SchedReplayOptions};
@@ -11,14 +12,14 @@ use clio_sim::trace_driven::{
 };
 use clio_trace::replay::{
     replay_parallel_source, replay_parallel_source_stats, replay_real_source,
-    replay_real_source_stats, replay_source, replay_source_stats, ParallelReplayOptions,
-    RealReplayOptions, ReportMode,
+    replay_real_source_stats, replay_source_stats_with_metrics, replay_source_with_metrics,
+    ParallelReplayOptions, RealReplayOptions, ReportMode,
 };
 use clio_trace::TraceFile;
 
 use crate::engine::Engine;
 use crate::error::ExpError;
-use crate::report::Report;
+use crate::report::{PolicyRow, Report, ReportSummary};
 use crate::workload::Workload;
 
 /// A fully validated, runnable experiment. Build one with
@@ -81,19 +82,24 @@ impl Experiment {
         self.workload.validate()?;
         let workload = self.workload.resolve()?;
         let reopen = || workload.open().expect("a validated, resolved workload re-opens");
+        let started = std::time::Instant::now();
         match &self.engine {
             Engine::SerialReplay => {
                 let mut source = reopen();
                 match self.mode {
                     ReportMode::Full => {
-                        let replay = replay_source(&mut *source, self.cache.clone());
+                        let (replay, metrics) =
+                            replay_source_with_metrics(&mut *source, self.cache.clone());
                         report.records = replay.timings.len() as u64;
                         report.replay = Some(replay);
+                        report.cache_metrics = Some(metrics);
                     }
                     ReportMode::Summary => {
-                        let stats = replay_source_stats(&mut *source, self.cache.clone());
+                        let (stats, metrics) =
+                            replay_source_stats_with_metrics(&mut *source, self.cache.clone());
                         report.records = stats.records();
                         report.replay_stats = Some(stats);
+                        report.cache_metrics = Some(metrics);
                     }
                 }
             }
@@ -142,6 +148,7 @@ impl Experiment {
                 }
             }
         }
+        report.wall_ms = Some(started.elapsed().as_secs_f64() * 1e3);
         Ok(report)
     }
 
@@ -191,6 +198,66 @@ pub fn run_many(experiments: &[Experiment], threads: usize) -> Result<Vec<Report
             report
         })
         .collect())
+}
+
+/// Replays `base`'s workload under **every** replacement policy
+/// ([`ReplacementPolicy::ALL`], in ablation order) and returns `base`'s
+/// own summary with the per-policy comparison table attached
+/// ([`ReportSummary::policies`]): hit ratio, evictions and wall-clock
+/// records/s per policy.
+///
+/// Only the cache-driving engines compare policies meaningfully, so
+/// `base` must use [`Engine::SerialReplay`] or
+/// [`Engine::ParallelReplay`]; anything else is an
+/// [`ExpError::InvalidConfig`]. The variants are dispatched through
+/// [`run_many`] with `threads` workers, and each variant differs from
+/// `base` in exactly one knob — the cache's replacement policy — so
+/// the rows are a controlled ablation.
+pub fn run_policy_comparison(base: &Experiment, threads: usize) -> Result<ReportSummary, ExpError> {
+    if !matches!(base.engine, Engine::SerialReplay | Engine::ParallelReplay) {
+        return Err(ExpError::InvalidConfig(format!(
+            "policy comparison needs a cache-driving replay engine, not {}",
+            base.engine.name()
+        )));
+    }
+    let experiments: Vec<Experiment> = ReplacementPolicy::ALL
+        .iter()
+        .map(|&policy| {
+            let mut e = base.clone();
+            e.cache.policy = policy;
+            e
+        })
+        .collect();
+    let reports = run_many(&experiments, threads)?;
+
+    let rows: Vec<PolicyRow> = ReplacementPolicy::ALL
+        .iter()
+        .zip(&reports)
+        .map(|(policy, report)| {
+            let metrics = report.cache_metrics.unwrap_or_default();
+            let records_per_sec =
+                report.wall_ms.filter(|ms| *ms > 0.0).map(|ms| report.records as f64 / (ms / 1e3));
+            PolicyRow {
+                policy: policy.name().to_string(),
+                records: report.records,
+                hits: metrics.hits,
+                misses: metrics.misses,
+                hit_ratio: metrics.hit_ratio(),
+                evictions: metrics.evictions,
+                records_per_sec,
+            }
+        })
+        .collect();
+
+    // Anchor the summary on the base experiment's own policy so the
+    // headline numbers describe the configuration the caller built.
+    let anchor = ReplacementPolicy::ALL
+        .iter()
+        .position(|&p| p == base.cache.policy)
+        .expect("ALL covers every policy");
+    let mut summary = reports[anchor].summary();
+    summary.policies = Some(rows);
+    Ok(summary)
 }
 
 /// Configures and validates an [`Experiment`].

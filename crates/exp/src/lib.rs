@@ -67,8 +67,8 @@ pub mod workload;
 
 pub use engine::Engine;
 pub use error::ExpError;
-pub use experiment::{run_many, Experiment, ExperimentBuilder};
-pub use report::{Report, ReportSummary};
+pub use experiment::{run_many, run_policy_comparison, Experiment, ExperimentBuilder};
+pub use report::{PolicyRow, Report, ReportSummary};
 pub use workload::{AppWorkload, MixKind, Workload};
 
 pub use clio_trace::replay::ReportMode;

@@ -38,6 +38,12 @@ pub struct Report {
     pub threads_used: Option<usize>,
     /// Machine-simulation outcome (sim engines).
     pub sim: Option<TraceSimReport>,
+    /// Wall-clock time [`crate::Experiment::run`] spent producing this
+    /// report, ms. Diagnostic only: it is **not** serialized and not
+    /// part of [`ReportSummary`] (summaries must stay bit-identical
+    /// across report modes and runs); the cross-policy comparison
+    /// derives its records/s column from it.
+    pub wall_ms: Option<f64>,
 }
 
 impl Report {
@@ -53,6 +59,7 @@ impl Report {
             shard_metrics: None,
             threads_used: None,
             sim: None,
+            wall_ms: None,
         }
     }
 
@@ -96,6 +103,7 @@ impl Report {
             sim_events: self.sim.as_ref().map(|s| s.events),
             cache: self.cache_metrics,
             threads: self.threads_used.map(|t| t as u64),
+            policies: None,
         }
     }
 
@@ -139,6 +147,33 @@ pub struct ReportSummary {
     pub cache: Option<CacheMetrics>,
     /// Worker threads used (parallel replay).
     pub threads: Option<u64>,
+    /// Per-policy comparison rows, one per replacement policy in
+    /// ablation order — filled only by
+    /// [`crate::run_policy_comparison`]; `null` for single-policy runs.
+    pub policies: Option<Vec<PolicyRow>>,
+}
+
+/// One replacement policy's row in a cross-policy comparison: the same
+/// workload replayed under each policy, reduced to the numbers the
+/// ablation tables plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRow {
+    /// Policy display name (see
+    /// `clio_cache::policy::ReplacementPolicy::name`).
+    pub policy: String,
+    /// Records replayed under this policy.
+    pub records: u64,
+    /// Page-level cache hits.
+    pub hits: u64,
+    /// Page-level cache misses (demand faults).
+    pub misses: u64,
+    /// Hits over hits-plus-misses, in `[0, 1]` (0 when no accesses).
+    pub hit_ratio: f64,
+    /// Pages evicted by the policy.
+    pub evictions: u64,
+    /// Replay throughput, records per wall-clock second; `None` when
+    /// the run finished too fast to time.
+    pub records_per_sec: Option<f64>,
 }
 
 impl ReportSummary {

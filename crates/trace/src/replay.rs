@@ -181,12 +181,13 @@ impl ReplayReport {
 
 /// The shared serial engine: streams `source` against a buffer cache
 /// and hands every `(record, elapsed_ms)` pair to `visit` in replay
-/// order. Both report modes are thin sinks over this.
+/// order, returning the cache counters the replay left behind. Both
+/// report modes are thin sinks over this.
 fn replay_cached_with<S: TraceSource + ?Sized>(
     source: &mut S,
     config: CacheConfig,
     mut visit: impl FnMut(&TraceRecord, f64),
-) {
+) -> CacheMetrics {
     let meta = source.meta();
     let mut cache = BufferCache::new(config);
     let file_ids: Vec<FileId> = (0..meta.num_files)
@@ -213,6 +214,7 @@ fn replay_cached_with<S: TraceSource + ?Sized>(
         }
         visit(&r, total / repeats as f64);
     }
+    cache.metrics()
 }
 
 /// Replays a streaming record source against a buffer cache;
@@ -228,11 +230,22 @@ fn replay_cached_with<S: TraceSource + ?Sized>(
 /// `meta().num_files` (loaded traces are validated; hand-rolled
 /// sources must declare honest metadata).
 pub fn replay_source<S: TraceSource + ?Sized>(source: &mut S, config: CacheConfig) -> ReplayReport {
+    replay_source_with_metrics(source, config).0
+}
+
+/// [`replay_source`] plus the hit/miss/eviction counters the replay
+/// left in the cache — the serial counterpart of
+/// [`ParallelReplayReport::metrics`], and what feeds per-policy rows in
+/// cross-policy comparisons.
+pub fn replay_source_with_metrics<S: TraceSource + ?Sized>(
+    source: &mut S,
+    config: CacheConfig,
+) -> (ReplayReport, CacheMetrics) {
     let mut timings = Vec::with_capacity(source.size_hint().0);
-    replay_cached_with(source, config, |r, elapsed_ms| {
+    let metrics = replay_cached_with(source, config, |r, elapsed_ms| {
         timings.push(OpTiming { record: *r, elapsed_ms })
     });
-    ReplayReport::from_timings(timings)
+    (ReplayReport::from_timings(timings), metrics)
 }
 
 /// [`replay_source`] in [`ReportMode::Summary`]: the same replay, but
@@ -246,9 +259,18 @@ pub fn replay_source_stats<S: TraceSource + ?Sized>(
     source: &mut S,
     config: CacheConfig,
 ) -> ReplayStats {
+    replay_source_stats_with_metrics(source, config).0
+}
+
+/// [`replay_source_stats`] plus the replay's cache counters — O(1)
+/// report memory with the same metrics as the full-mode engine.
+pub fn replay_source_stats_with_metrics<S: TraceSource + ?Sized>(
+    source: &mut S,
+    config: CacheConfig,
+) -> (ReplayStats, CacheMetrics) {
     let mut stats = ReplayStats::default();
-    replay_cached_with(source, config, |r, elapsed_ms| stats.add(r, elapsed_ms));
-    stats
+    let metrics = replay_cached_with(source, config, |r, elapsed_ms| stats.add(r, elapsed_ms));
+    (stats, metrics)
 }
 
 /// Options for the parallel simulated replay engine.

@@ -18,10 +18,11 @@
 
 use clio_core::cache::cache::{AccessKind, AccessOutcome, BufferCache, CacheConfig, RunCursor};
 use clio_core::cache::page::{page_span, PageId};
-use clio_core::cache::policy::ReplacementPolicy;
+use clio_core::cache::policy::{PolicySet, ReplacementPolicy};
 use clio_core::cache::prefetch::Prefetcher;
 use clio_core::cache::shard::{shard_capacity, ShardedBufferCache};
 use proptest::prelude::*;
+use std::collections::VecDeque;
 
 /// One generated cache operation; `sel` picks the operation kind.
 type Op = (u8, u64, u64, bool);
@@ -202,5 +203,48 @@ proptest! {
                 s,
             );
         }
+    }
+
+    // The intrusive-list LRU — reached exactly as the cache reaches it,
+    // through the `PolicySet` registry — is access-for-access identical
+    // to the obvious VecDeque reference semantics: same touch/remove
+    // return values, same eviction order, same membership, at every
+    // step of an arbitrary operation stream.
+    #[test]
+    fn intrusive_lru_matches_reference_semantics(
+        ops in prop::collection::vec((0u8..3, 0u32..24), 0..250),
+        capacity in 0usize..32,
+    ) {
+        let mut lru: Box<dyn PolicySet<u32>> = ReplacementPolicy::Lru.build(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new(); // front = MRU
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    let was_present = model.contains(&key);
+                    model.retain(|&k| k != key);
+                    model.push_front(key);
+                    prop_assert_eq!(lru.touch(key), !was_present, "touch({}) insert flag", key);
+                }
+                1 => {
+                    prop_assert_eq!(lru.pop_victim(), model.pop_back(), "eviction order");
+                }
+                _ => {
+                    let before = model.len();
+                    model.retain(|&k| k != key);
+                    prop_assert_eq!(lru.remove(&key), model.len() != before, "remove({})", key);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            prop_assert_eq!(lru.is_empty(), model.is_empty());
+            for k in &model {
+                prop_assert!(lru.contains(k), "model key {} missing from the intrusive list", k);
+            }
+        }
+        // Drain: the full eviction sequence is the model's back-to-front
+        // order.
+        while let Some(expect) = model.pop_back() {
+            prop_assert_eq!(lru.pop_victim(), Some(expect), "drain order");
+        }
+        prop_assert_eq!(lru.pop_victim(), None);
     }
 }

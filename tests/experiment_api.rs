@@ -327,3 +327,56 @@ proptest! {
         prop_assert_eq!(streamed.replay.expect("replay section").timings, materialized);
     }
 }
+
+#[test]
+fn policy_comparison_tables_every_policy() {
+    let base = Experiment::builder()
+        .workload(Workload::Synthetic(TraceProfile {
+            data_ops: 400,
+            write_fraction: 0.25,
+            sequentiality: 0.6,
+            seed: 0xAB1E,
+            ..Default::default()
+        }))
+        .cache(CacheConfig { capacity_pages: 64, ..Default::default() })
+        .build()
+        .expect("valid experiment");
+
+    let summary = run_policy_comparison(&base, 2).expect("comparison runs");
+    let rows = summary.policies.as_ref().expect("comparison attaches the policy table");
+    assert_eq!(rows.len(), ReplacementPolicy::ALL.len(), "one row per policy");
+    for (policy, row) in ReplacementPolicy::ALL.iter().zip(rows) {
+        assert_eq!(row.policy, policy.name(), "rows come back in ablation order");
+        assert!(row.records > 0, "{}: consumed the workload", row.policy);
+        assert!(
+            (0.0..=1.0).contains(&row.hit_ratio),
+            "{}: hit ratio {} out of range",
+            row.policy,
+            row.hit_ratio
+        );
+        assert!(row.hits + row.misses > 0, "{}: accesses counted", row.policy);
+        assert!(
+            row.records_per_sec.unwrap_or(1.0) > 0.0,
+            "{}: throughput must be positive when timed",
+            row.policy
+        );
+    }
+    // The anchor summary describes the base experiment's own run.
+    assert_eq!(summary.engine, "serial_replay");
+    assert_eq!(summary.records, rows[0].records, "anchor row is the base policy (LRU)");
+
+    // The table survives the JSON archival round trip.
+    let back = ReportSummary::from_json(&summary.to_json()).expect("summary parses back");
+    assert_eq!(back, summary);
+}
+
+#[test]
+fn policy_comparison_rejects_non_cache_engines() {
+    let base = Experiment::builder()
+        .workload(Workload::Synthetic(TraceProfile { data_ops: 8, ..Default::default() }))
+        .engine(Engine::TraceSim)
+        .build()
+        .expect("valid experiment");
+    let err = run_policy_comparison(&base, 1).unwrap_err();
+    assert!(err.to_string().contains("policy comparison"), "got: {err}");
+}

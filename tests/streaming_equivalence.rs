@@ -242,7 +242,7 @@ proptest! {
         seq in 0f64..1.0,
         seed in any::<u64>(),
     ) {
-        let policy = ReplacementPolicy::ALL[(seed % 5) as usize];
+        let policy = ReplacementPolicy::ALL[(seed % ReplacementPolicy::ALL.len() as u64) as usize];
         let cache = CacheConfig { policy, capacity_pages: 64, ..Default::default() };
         let workload = Workload::Synthetic(TraceProfile {
             seed,
