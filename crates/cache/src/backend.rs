@@ -2,9 +2,11 @@
 //!
 //! The trace replayer and the web server can run against a real
 //! filesystem ([`RealFsBackend`]), an in-memory file ([`MemBackend`],
-//! deterministic and test-friendly), or a fault-injecting wrapper
-//! ([`FaultyBackend`]) that simulates media errors for failure-path
-//! testing.
+//! deterministic and test-friendly), or fault-injecting wrappers:
+//! [`FaultyBackend`] dies permanently after a budget of operations
+//! (failure-path testing), [`FlakyBackend`] fails every `period`-th
+//! operation once and then recovers (transient-error and retry-path
+//! testing).
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -185,6 +187,63 @@ impl<B: FileBackend> FileBackend for FaultyBackend<B> {
     }
 }
 
+/// Wraps a backend and fails every `period`-th operation **once** with
+/// a transient [`io::ErrorKind::Interrupted`] error; the immediate
+/// retry of the same operation succeeds. Deterministic — the failure
+/// schedule is a pure function of the operation count — which makes it
+/// the test double for bounded-retry replay paths.
+#[derive(Debug)]
+pub struct FlakyBackend<B> {
+    inner: B,
+    period: u64,
+    ops: u64,
+    faults: u64,
+}
+
+impl<B: FileBackend> FlakyBackend<B> {
+    /// Fails operation numbers `period`, `2·period`, … once each.
+    /// `period == 0` never fails.
+    pub fn new(inner: B, period: u64) -> Self {
+        Self { inner, period, ops: 0, faults: 0 }
+    }
+
+    /// Transient faults injected so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    fn gate(&mut self) -> io::Result<()> {
+        self.ops += 1;
+        if self.period > 0 && self.ops % self.period == 0 {
+            self.faults += 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected transient failure"));
+        }
+        Ok(())
+    }
+}
+
+impl<B: FileBackend> FileBackend for FlakyBackend<B> {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.gate()?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<usize> {
+        self.gate()?;
+        self.inner.write_at(offset, data)
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.gate()?;
+        self.inner.len()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +322,29 @@ mod tests {
     fn faulty_backend_zero_budget_fails_immediately() {
         let mut b = FaultyBackend::new(MemBackend::new(), 0);
         assert!(b.sync().is_err());
+    }
+
+    #[test]
+    fn flaky_backend_fails_once_per_period_then_recovers() {
+        let mut b = FlakyBackend::new(MemBackend::with_data(vec![0u8; 64]), 3);
+        let mut buf = [0u8; 8];
+        assert!(b.read_at(0, &mut buf).is_ok()); // op 1
+        assert!(b.read_at(0, &mut buf).is_ok()); // op 2
+        let err = b.read_at(0, &mut buf).unwrap_err(); // op 3: transient
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(b.read_at(0, &mut buf).is_ok(), "the retry succeeds"); // op 4
+        assert_eq!(b.faults(), 1);
+        assert!(b.len().is_ok()); // op 5
+        assert!(b.len().is_err()); // op 6: transient again
+        assert_eq!(b.faults(), 2);
+    }
+
+    #[test]
+    fn flaky_backend_zero_period_never_fails() {
+        let mut b = FlakyBackend::new(MemBackend::new(), 0);
+        for _ in 0..100 {
+            assert!(b.sync().is_ok());
+        }
+        assert_eq!(b.faults(), 0);
     }
 }

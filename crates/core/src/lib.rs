@@ -63,8 +63,9 @@ pub use clio_trace as trace;
 pub mod prelude {
     pub use clio_cache::cache::CacheConfig;
     pub use clio_exp::{
-        run_many, run_policy_comparison, AppWorkload, Engine, ExpError, Experiment,
-        ExperimentBuilder, MixKind, PolicyRow, Report, ReportMode, ReportSummary, Workload,
+        run_many, run_policy_comparison, AppWorkload, DiskFaultPlan, Engine, ExpError, Experiment,
+        ExperimentBuilder, MixKind, PolicyRow, QuarantineSummary, Report, ReportMode,
+        ReportSummary, SlowWindow, VerifyError, VerifyMode, Workload,
     };
     pub use clio_sim::machine::MachineConfig;
     pub use clio_trace::record::IoOp;

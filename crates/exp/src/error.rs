@@ -4,6 +4,7 @@ use std::fmt;
 use std::io;
 
 use clio_trace::error::TraceError;
+use clio_trace::verify::VerifyError;
 
 /// Anything that can go wrong building or running an experiment.
 #[derive(Debug)]
@@ -16,6 +17,11 @@ pub enum ExpError {
     InvalidConfig(String),
     /// The trace layer failed (unreadable file, corrupt codec, …).
     Trace(TraceError),
+    /// Strict admission rejected the workload's record stream. The
+    /// [`VerifyError`] rides along whole, so callers can match on the
+    /// rule (`err.code()`) and record index instead of parsing a
+    /// message.
+    Verify(VerifyError),
     /// An engine hit the real filesystem and failed.
     Io(io::Error),
 }
@@ -26,6 +32,7 @@ impl fmt::Display for ExpError {
             ExpError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
             ExpError::InvalidConfig(m) => write!(f, "invalid experiment configuration: {m}"),
             ExpError::Trace(e) => write!(f, "trace error: {e}"),
+            ExpError::Verify(e) => write!(f, "trace admission rejected: {e}"),
             ExpError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -35,6 +42,7 @@ impl std::error::Error for ExpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExpError::Trace(e) => Some(e),
+            ExpError::Verify(e) => Some(e),
             ExpError::Io(e) => Some(e),
             _ => None,
         }
@@ -44,6 +52,12 @@ impl std::error::Error for ExpError {
 impl From<TraceError> for ExpError {
     fn from(e: TraceError) -> Self {
         ExpError::Trace(e)
+    }
+}
+
+impl From<VerifyError> for ExpError {
+    fn from(e: VerifyError) -> Self {
+        ExpError::Verify(e)
     }
 }
 
@@ -63,6 +77,20 @@ mod tests {
         assert!(e.to_string().contains("bad weights"));
         let e = ExpError::InvalidConfig("no workload".into());
         assert!(e.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn verify_errors_keep_their_code_and_index() {
+        let e: ExpError = VerifyError::ZeroRepeat { index: 41 }.into();
+        match &e {
+            ExpError::Verify(v) => {
+                assert_eq!(v.code(), "V07");
+                assert_eq!(v.index(), 41);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.to_string().contains("V07"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use clio_cache::cache::CacheConfig;
 use clio_cache::policy::ReplacementPolicy;
 use clio_sim::machine::MachineConfig;
 use clio_sim::sched::Policy;
-use clio_sim::sched_replay::{scheduled_trace_sim_source, SchedReplayOptions};
+use clio_sim::sched_replay::{scheduled_trace_sim_source, DiskFaultPlan, SchedReplayOptions};
 use clio_sim::trace_driven::{
     trace_sim_pool, trace_sim_source, SimJob, ThinkTime, TraceSimOptions,
 };
@@ -15,11 +15,12 @@ use clio_trace::replay::{
     replay_real_source_stats, replay_source_stats_with_metrics, replay_source_with_metrics,
     ParallelReplayOptions, RealReplayOptions, ReportMode,
 };
+use clio_trace::verify::{QuarantineSource, VerifyMode};
 use clio_trace::TraceFile;
 
 use crate::engine::Engine;
 use crate::error::ExpError;
-use crate::report::{PolicyRow, Report, ReportSummary};
+use crate::report::{PolicyRow, QuarantineSummary, Report, ReportSummary};
 use crate::workload::Workload;
 
 /// A fully validated, runnable experiment. Build one with
@@ -36,6 +37,7 @@ pub struct Experiment {
     sched: SchedReplayOptions,
     real: RealReplayOptions,
     mode: ReportMode,
+    verify: VerifyMode,
 }
 
 impl Experiment {
@@ -81,6 +83,33 @@ impl Experiment {
         // an application, and cannot fail for a validated workload.
         self.workload.validate()?;
         let workload = self.workload.resolve()?;
+        // Trace admission (off by default). Strict vets the stream and
+        // replays it untouched — a verified clean run is bit-identical
+        // to an unverified one. Lenient records the quarantine ledger
+        // once, then rebinds the workload so that *every* stream any
+        // engine opens (the parallel engine opens one per worker) is
+        // filtered through the same decision procedure — without
+        // tallying twice.
+        let workload = match self.verify {
+            VerifyMode::Off => workload,
+            VerifyMode::Strict => {
+                workload.verify(VerifyMode::Strict)?;
+                workload
+            }
+            VerifyMode::Lenient => {
+                let ledger = workload
+                    .verify(VerifyMode::Lenient)?
+                    .expect("lenient admission always yields a ledger");
+                report.quarantine = Some(QuarantineSummary::from(&ledger));
+                let options = workload.verify_options();
+                let label = workload.label();
+                let inner = workload;
+                Workload::custom(label, move || {
+                    let source = inner.open().expect("a validated, resolved workload re-opens");
+                    Box::new(QuarantineSource::with_options(source, options))
+                })
+            }
+        };
         let reopen = || workload.open().expect("a validated, resolved workload re-opens");
         let started = std::time::Instant::now();
         match &self.engine {
@@ -290,6 +319,7 @@ pub struct ExperimentBuilder {
     sched: SchedReplayOptions,
     real: RealReplayOptions,
     mode: ReportMode,
+    verify: VerifyMode,
 }
 
 impl Default for ExperimentBuilder {
@@ -304,6 +334,7 @@ impl Default for ExperimentBuilder {
             sched: SchedReplayOptions::default(),
             real: RealReplayOptions::default(),
             mode: ReportMode::Full,
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -365,9 +396,37 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Degraded-disk fault plan for the scheduled simulator (default:
+    /// a quiet plan — no slow windows, no transient errors).
+    ///
+    /// Slow windows multiply service times while the simulated clock
+    /// is inside them; `error_every` makes every N-th request fail its
+    /// first service attempt, retried with bounded backoff up to
+    /// `max_retries` times and dropped gracefully past that. The
+    /// retry/drop tallies land in
+    /// [`Report::sim`](crate::Report)'s `retries` / `dropped_requests`.
+    pub fn disk_faults(mut self, faults: DiskFaultPlan) -> Self {
+        self.sched.faults = faults;
+        self
+    }
+
     /// Options for the real-file replay engine.
     pub fn real_options(mut self, options: RealReplayOptions) -> Self {
         self.real = options;
+        self
+    }
+
+    /// Trace admission mode (default [`VerifyMode::Off`]).
+    ///
+    /// [`VerifyMode::Strict`] vets every record before replay and
+    /// fails the run with [`ExpError::Verify`] (rule code + record
+    /// index) at the first violation; a stream that passes replays
+    /// bit-identically to an unverified one. [`VerifyMode::Lenient`]
+    /// quarantines invalid records instead — the survivors replay, and
+    /// the ledger lands in [`Report::quarantine`] /
+    /// [`ReportSummary::quarantine`].
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = mode;
         self
     }
 
@@ -406,6 +465,7 @@ impl ExperimentBuilder {
             sched: self.sched,
             real: self.real,
             mode: self.mode,
+            verify: self.verify,
         })
     }
 }

@@ -58,6 +58,7 @@
 //! knows about all of them at once.
 
 #![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod engine;
 pub mod error;
@@ -68,7 +69,9 @@ pub mod workload;
 pub use engine::Engine;
 pub use error::ExpError;
 pub use experiment::{run_many, run_policy_comparison, Experiment, ExperimentBuilder};
-pub use report::{PolicyRow, Report, ReportSummary};
+pub use report::{PolicyRow, QuarantineSummary, Report, ReportSummary};
 pub use workload::{AppWorkload, MixKind, Workload};
 
+pub use clio_sim::sched_replay::{DiskFaultPlan, SlowWindow};
 pub use clio_trace::replay::ReportMode;
+pub use clio_trace::verify::{VerifyError, VerifyMode};

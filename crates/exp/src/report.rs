@@ -4,6 +4,7 @@ use clio_cache::metrics::CacheMetrics;
 use clio_sim::trace_driven::TraceSimReport;
 use clio_trace::record::IoOp;
 use clio_trace::replay::{ReplayReport, ReplayStats};
+use clio_trace::verify::{VerifyReport, ViolationCounts};
 use serde::{Deserialize, Serialize};
 
 /// What an experiment produced.
@@ -38,6 +39,9 @@ pub struct Report {
     pub threads_used: Option<usize>,
     /// Machine-simulation outcome (sim engines).
     pub sim: Option<TraceSimReport>,
+    /// Lenient-admission quarantine ledger
+    /// ([`crate::VerifyMode::Lenient`] runs only).
+    pub quarantine: Option<QuarantineSummary>,
     /// Wall-clock time [`crate::Experiment::run`] spent producing this
     /// report, ms. Diagnostic only: it is **not** serialized and not
     /// part of [`ReportSummary`] (summaries must stay bit-identical
@@ -59,6 +63,7 @@ impl Report {
             shard_metrics: None,
             threads_used: None,
             sim: None,
+            quarantine: None,
             wall_ms: None,
         }
     }
@@ -103,6 +108,7 @@ impl Report {
             sim_events: self.sim.as_ref().map(|s| s.events),
             cache: self.cache_metrics,
             threads: self.threads_used.map(|t| t as u64),
+            quarantine: self.quarantine,
             policies: None,
         }
     }
@@ -147,10 +153,40 @@ pub struct ReportSummary {
     pub cache: Option<CacheMetrics>,
     /// Worker threads used (parallel replay).
     pub threads: Option<u64>,
+    /// Lenient-admission quarantine ledger: how many records the
+    /// verifier examined, admitted and skipped, and the per-rule
+    /// violation tallies. `null` unless the experiment ran with
+    /// [`crate::VerifyMode::Lenient`].
+    pub quarantine: Option<QuarantineSummary>,
     /// Per-policy comparison rows, one per replacement policy in
     /// ablation order — filled only by
     /// [`crate::run_policy_comparison`]; `null` for single-policy runs.
     pub policies: Option<Vec<PolicyRow>>,
+}
+
+/// The admission verifier's ledger from a lenient run, flattened for
+/// serialization: stream totals plus the per-rule violation tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineSummary {
+    /// Records the admission pass examined.
+    pub examined: u64,
+    /// Records admitted to replay.
+    pub admitted: u64,
+    /// Records skipped (quarantined) by a record-level rule.
+    pub quarantined: u64,
+    /// Per-rule violation tallies (includes the stream-level `V06`).
+    pub violations: ViolationCounts,
+}
+
+impl From<&VerifyReport> for QuarantineSummary {
+    fn from(r: &VerifyReport) -> Self {
+        Self {
+            examined: r.records,
+            admitted: r.admitted,
+            quarantined: r.quarantined,
+            violations: r.violations,
+        }
+    }
 }
 
 /// One replacement policy's row in a cross-policy comparison: the same

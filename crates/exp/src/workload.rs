@@ -14,6 +14,7 @@ use clio_trace::source::{
     materialize, ChainSource, InterleaveSource, SharedSource, TraceSource, WeightedSource,
 };
 use clio_trace::synth::{SynthSource, TraceProfile};
+use clio_trace::verify::{verify_lenient, verify_strict, VerifyMode, VerifyOptions, VerifyReport};
 use clio_trace::TraceFile;
 
 use crate::error::ExpError;
@@ -217,6 +218,50 @@ impl Workload {
                 Ok(())
             }
         }
+    }
+
+    /// The verifier rule selection matching this workload's structure.
+    ///
+    /// Chained workloads legitimately restart their capture clocks at
+    /// the phase boundary (phase B's stamps follow phase A's stream but
+    /// restart from B's own capture), so the clock-monotonicity rule
+    /// (`V03`) is disabled for any workload containing a
+    /// [`Workload::Chain`]. Mixes keep every rule: their combinators
+    /// hold the sides' pid namespaces disjoint, and the verifier's
+    /// clock rule is per pid.
+    pub fn verify_options(&self) -> VerifyOptions {
+        VerifyOptions { check_clocks: !self.has_chain(), ..Default::default() }
+    }
+
+    fn has_chain(&self) -> bool {
+        match self {
+            Workload::Chain(_, _) => true,
+            Workload::Mix(a, b, _) => a.has_chain() || b.has_chain(),
+            _ => false,
+        }
+    }
+
+    /// Extends [`Workload::validate`]'s structural checks to full
+    /// trace admission: one streaming pass over the workload's records
+    /// under the rules of [`Workload::verify_options`].
+    ///
+    /// [`VerifyMode::Off`] keeps the historical trust-the-stream
+    /// behavior and returns `None` without generating a record.
+    /// [`VerifyMode::Strict`] rejects the workload at the first
+    /// violation ([`ExpError::Verify`], rule code and record index
+    /// intact). [`VerifyMode::Lenient`] always succeeds and returns the
+    /// full quarantine ledger.
+    ///
+    /// Note this *opens* the workload (apps run, files load); call it
+    /// on a [resolved](Workload::resolve) workload to pay that once.
+    pub fn verify(&self, mode: VerifyMode) -> Result<Option<VerifyReport>, ExpError> {
+        self.validate()?;
+        let options = self.verify_options();
+        Ok(match mode {
+            VerifyMode::Off => None,
+            VerifyMode::Strict => Some(verify_strict(&mut *self.open()?, options)?),
+            VerifyMode::Lenient => Some(verify_lenient(&mut *self.open()?, options)),
+        })
     }
 
     /// Resolves the load-once atoms — [`Workload::File`] (disk load)

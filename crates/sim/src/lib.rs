@@ -67,4 +67,5 @@ pub use machine::MachineConfig;
 pub use raid::{RaidArray, RaidLevel};
 pub use resource::FcfsServer;
 pub use sched::{DiskRequest, Policy, Scheduler, SeekCurve};
+pub use sched_replay::{DiskFaultPlan, SchedReplayOptions, SlowWindow};
 pub use time::SimTime;

@@ -23,17 +23,75 @@ use crate::time::SimTime;
 use crate::trace_driven::TraceSimReport;
 
 /// Geometry and policy of the scheduled replay.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SchedReplayOptions {
     /// Request scheduling policy at each disk.
     pub policy: Policy,
     /// Cylinders per disk (maps byte offsets onto head positions).
     pub cylinders: u64,
+    /// Degraded-hardware fault plan (default: healthy disks).
+    pub faults: DiskFaultPlan,
 }
 
 impl Default for SchedReplayOptions {
     fn default() -> Self {
-        Self { policy: Policy::Fcfs, cylinders: 60_000 }
+        Self { policy: Policy::Fcfs, cylinders: 60_000, faults: DiskFaultPlan::default() }
+    }
+}
+
+/// A window of simulated time during which every disk serves requests
+/// slower by a constant factor — a thermal throttle, a background
+/// scrub, a RAID rebuild.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowWindow {
+    /// Window start, simulated seconds (inclusive).
+    pub start_s: f64,
+    /// Window end, simulated seconds (exclusive).
+    pub end_s: f64,
+    /// Service-time multiplier inside the window (`>= 1.0` slows the
+    /// disk down; overlapping windows multiply).
+    pub multiplier: f64,
+}
+
+/// A deterministic degraded-disk scenario for the scheduled replay:
+/// latency-multiplier windows plus transient per-request errors with
+/// bounded retry — the fault model the healthy-path sims never
+/// exercise.
+///
+/// The default plan is quiet (no windows, `error_every == 0`) and
+/// provably changes nothing: a `×1.0` multiplier is bit-identical in
+/// IEEE arithmetic and the error branch is never taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Degraded-latency windows (empty = full speed throughout).
+    pub slow_windows: Vec<SlowWindow>,
+    /// Every `error_every`-th request **started** on a disk fails its
+    /// first service attempt with a transient error (0 = never).
+    pub error_every: u64,
+    /// Service attempts allowed beyond the first. With 0 retries a
+    /// failed request is dropped — counted, and its process resumes,
+    /// so degradation never deadlocks the simulation.
+    pub max_retries: u32,
+    /// Simulated back-off between a failed attempt and its retry,
+    /// seconds. The disk stays busy through the back-off, as a real
+    /// device does while its firmware re-reads.
+    pub retry_backoff_s: f64,
+}
+
+impl Default for DiskFaultPlan {
+    fn default() -> Self {
+        Self { slow_windows: Vec::new(), error_every: 0, max_retries: 1, retry_backoff_s: 1e-3 }
+    }
+}
+
+impl DiskFaultPlan {
+    /// The combined service-time multiplier at simulated time `t_s`
+    /// (product over every containing window; `1.0` outside all).
+    pub fn multiplier_at(&self, t_s: f64) -> f64 {
+        self.slow_windows
+            .iter()
+            .filter(|w| w.start_s <= t_s && t_s < w.end_s)
+            .fold(1.0, |m, w| m * w.multiplier)
     }
 }
 
@@ -55,6 +113,12 @@ struct DiskState {
     sched: Scheduler,
     busy: bool,
     busy_time: f64,
+    /// Requests this disk has started serving (drives the
+    /// `error_every` fault schedule).
+    started: u64,
+    /// A request whose first attempt failed, waiting out its back-off;
+    /// served before anything queued.
+    retry: Option<(DiskRequest, u32)>,
 }
 
 struct World<'s> {
@@ -64,7 +128,14 @@ struct World<'s> {
     disks: Vec<DiskState>,
     procs: Vec<ProcState>,
     transfers: Vec<Transfer>,
+    /// Completed transfer slots, reusable by the next `issue_io` — the
+    /// transfer table stays O(max in-flight transfers), not
+    /// O(#IO-records).
+    free_transfers: Vec<usize>,
     bytes_moved: u64,
+    faults: DiskFaultPlan,
+    retries: u64,
+    dropped: u64,
     /// Per-pid demultiplexer over this run's own stream.
     splitter: PidSplitter<Box<dyn TraceSource + 's>>,
 }
@@ -117,11 +188,17 @@ where
                 sched: Scheduler::new(options.policy, options.cylinders / 2),
                 busy: false,
                 busy_time: 0.0,
+                started: 0,
+                retry: None,
             })
             .collect(),
         procs: pids.iter().map(|&pid| ProcState { pid, finish: SimTime::ZERO }).collect(),
         transfers: Vec::new(),
+        free_transfers: Vec::new(),
         bytes_moved: 0,
+        faults: options.faults.clone(),
+        retries: 0,
+        dropped: 0,
         cfg: machine.clone(),
         splitter: PidSplitter::new(open()),
     };
@@ -147,6 +224,8 @@ where
         disk_utilization,
         events: engine.processed(),
         records,
+        retries: world.retries,
+        dropped_requests: world.dropped,
     }
 }
 
@@ -196,8 +275,19 @@ fn issue_io<'s>(
             (b > 0).then_some((d, b))
         })
         .collect();
-    let tid = world.transfers.len() as u64;
-    world.transfers.push(Transfer { remaining: participating.len(), proc_idx });
+    // Reuse a completed slot when one exists: a completed transfer has
+    // fired all of its chunk completions, so nothing references it.
+    let transfer = Transfer { remaining: participating.len(), proc_idx };
+    let tid = match world.free_transfers.pop() {
+        Some(tid) => {
+            world.transfers[tid] = transfer;
+            tid as u64
+        }
+        None => {
+            world.transfers.push(transfer);
+            (world.transfers.len() - 1) as u64
+        }
+    };
 
     // Head position target: each disk stores its share of the logical
     // space, so the per-disk offset shrinks by the member count.
@@ -215,27 +305,79 @@ fn start_if_idle<'s>(engine: &mut Engine<World<'s>>, world: &mut World<'s>, disk
         return;
     }
     let head_before = world.disks[disk_idx].sched.head();
-    let Some(req) = world.disks[disk_idx].sched.next() else {
-        return;
+    // A request waiting out its retry back-off goes first (its head
+    // position is wherever the failed attempt left it); otherwise ask
+    // the scheduler for the next queued request.
+    let (req, attempt) = match world.disks[disk_idx].retry.take() {
+        Some((req, attempt)) => (req, attempt),
+        None => {
+            let Some(req) = world.disks[disk_idx].sched.next() else {
+                return;
+            };
+            world.disks[disk_idx].started += 1;
+            (req, 0)
+        }
     };
     let distance = req.cylinder.abs_diff(head_before);
-    let service = world.curve.seek_time(distance)
+    // Degraded latency: the fault plan's slow windows scale the whole
+    // service time. The quiet plan multiplies by exactly 1.0, which is
+    // bit-identical in IEEE arithmetic — no drift on healthy runs.
+    let service = (world.curve.seek_time(distance)
         + world.cfg.disk_model.rotational
-        + world.cfg.disk_model.transfer(req.bytes);
+        + world.cfg.disk_model.transfer(req.bytes))
+        * world.faults.multiplier_at(engine.now().seconds());
     world.disks[disk_idx].busy = true;
     world.disks[disk_idx].busy_time += service;
 
+    // Transient error: every `error_every`-th request started on this
+    // disk fails its first attempt after consuming its service time
+    // (the firmware tried and gave up).
+    let failed = attempt == 0
+        && world.faults.error_every > 0
+        && world.disks[disk_idx].started % world.faults.error_every == 0;
     let tid = req.id as usize;
+    if failed {
+        if world.faults.max_retries == 0 {
+            // No retry budget: drop the request gracefully — count it
+            // and let the transfer complete so the process resumes.
+            world.dropped += 1;
+            engine.schedule_in(service, move |eng, w| {
+                w.disks[disk_idx].busy = false;
+                complete_chunk(eng, w, tid);
+                start_if_idle(eng, w, disk_idx);
+            });
+        } else {
+            // Bounded retry: hold the disk busy through the back-off,
+            // then re-serve the same request (attempt 1 succeeds —
+            // the error is transient).
+            world.retries += 1;
+            let backoff = world.faults.retry_backoff_s.max(0.0);
+            engine.schedule_in(service + backoff, move |eng, w| {
+                w.disks[disk_idx].busy = false;
+                w.disks[disk_idx].retry = Some((req, attempt + 1));
+                start_if_idle(eng, w, disk_idx);
+            });
+        }
+        return;
+    }
+
     engine.schedule_in(service, move |eng, w| {
         w.disks[disk_idx].busy = false;
-        w.transfers[tid].remaining -= 1;
-        if w.transfers[tid].remaining == 0 {
-            let proc_idx = w.transfers[tid].proc_idx;
-            let now = eng.now();
-            eng.schedule_at(now, move |eng, w| step(eng, w, proc_idx));
-        }
+        complete_chunk(eng, w, tid);
         start_if_idle(eng, w, disk_idx);
     });
+}
+
+/// One striped chunk of transfer `tid` landed; when the last one does,
+/// the owning process resumes and the slot is recycled.
+fn complete_chunk<'s>(engine: &mut Engine<World<'s>>, world: &mut World<'s>, tid: usize) {
+    world.transfers[tid].remaining -= 1;
+    if world.transfers[tid].remaining == 0 {
+        let proc_idx = world.transfers[tid].proc_idx;
+        world.free_transfers.push(tid);
+        let now = engine.now();
+        engine.schedule_at(now, move |eng, w| step(eng, w, proc_idx));
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +493,121 @@ mod tests {
         );
         assert!(report.makespan > 0.0);
         assert_eq!(report.bytes_moved, 16 * 512 * 1024);
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_bit_identical_to_no_plan() {
+        // A ×1.0 window over the whole run and a zeroed error schedule
+        // must not perturb a single f64: the healthy path multiplies by
+        // exactly 1.0 and never takes the error branch.
+        let trace = contended_random_trace(4, 16, 11);
+        let healthy = scheduled_trace_sim(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &SchedReplayOptions::default(),
+        );
+        let quiet = scheduled_trace_sim(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &SchedReplayOptions {
+                faults: DiskFaultPlan {
+                    slow_windows: vec![SlowWindow {
+                        start_s: 0.0,
+                        end_s: f64::INFINITY,
+                        multiplier: 1.0,
+                    }],
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(healthy, quiet);
+        assert_eq!(healthy.retries, 0);
+        assert_eq!(healthy.dropped_requests, 0);
+    }
+
+    #[test]
+    fn slow_windows_stretch_the_makespan() {
+        let trace = contended_random_trace(4, 16, 11);
+        let machine = MachineConfig::uniprocessor();
+        let healthy = scheduled_trace_sim(&trace, &machine, &SchedReplayOptions::default());
+        let degraded = scheduled_trace_sim(
+            &trace,
+            &machine,
+            &SchedReplayOptions {
+                faults: DiskFaultPlan {
+                    slow_windows: vec![SlowWindow {
+                        start_s: 0.0,
+                        end_s: f64::INFINITY,
+                        multiplier: 4.0,
+                    }],
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert!(
+            degraded.makespan > 2.0 * healthy.makespan,
+            "a 4× slow window must visibly stretch the run: {} -> {}",
+            healthy.makespan,
+            degraded.makespan
+        );
+        assert_eq!(degraded.bytes_moved, healthy.bytes_moved, "slowness loses no data");
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_bounded() {
+        let trace = contended_random_trace(4, 16, 11);
+        let machine = MachineConfig::uniprocessor();
+        let healthy = scheduled_trace_sim(&trace, &machine, &SchedReplayOptions::default());
+        let flaky = scheduled_trace_sim(
+            &trace,
+            &machine,
+            &SchedReplayOptions {
+                faults: DiskFaultPlan { error_every: 5, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert!(flaky.retries > 0, "every 5th request fails once");
+        assert_eq!(flaky.dropped_requests, 0, "the retry budget recovers them all");
+        assert!(flaky.makespan > healthy.makespan, "retries cost simulated time");
+        assert_eq!(flaky.bytes_moved, healthy.bytes_moved);
+        assert!(flaky.process_finish.iter().all(|&f| f > 0.0), "every process finishes");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_drops_gracefully() {
+        let trace = contended_random_trace(4, 16, 11);
+        let report = scheduled_trace_sim(
+            &trace,
+            &MachineConfig::uniprocessor(),
+            &SchedReplayOptions {
+                faults: DiskFaultPlan { error_every: 5, max_retries: 0, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert!(report.dropped_requests > 0);
+        assert_eq!(report.retries, 0);
+        // Graceful degradation, not a hang: every process still runs
+        // its stream to completion.
+        assert!(report.process_finish.iter().all(|&f| f > 0.0));
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let trace = contended_random_trace(3, 12, 9);
+        let opts = SchedReplayOptions {
+            policy: Policy::Sstf,
+            faults: DiskFaultPlan {
+                slow_windows: vec![SlowWindow { start_s: 0.0, end_s: 0.5, multiplier: 3.0 }],
+                error_every: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = scheduled_trace_sim(&trace, &MachineConfig::uniprocessor(), &opts);
+        let b = scheduled_trace_sim(&trace, &MachineConfig::uniprocessor(), &opts);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct TraceSimReport {
     pub events: u64,
     /// Number of trace records replayed.
     pub records: u64,
+    /// Transient disk errors recovered by retry (scheduled replay
+    /// under a [`crate::sched_replay::DiskFaultPlan`]; 0 elsewhere).
+    pub retries: u64,
+    /// Requests dropped after exhausting the retry budget (scheduled
+    /// replay under a fault plan; 0 elsewhere).
+    pub dropped_requests: u64,
 }
 
 /// Fixed host cost (seconds) of open/close/seek records in the
@@ -173,6 +179,8 @@ where
         disk_utilization,
         events: engine.processed(),
         records,
+        retries: 0,
+        dropped_requests: 0,
     }
 }
 

@@ -23,7 +23,15 @@
 //!   [`clio_cache::BufferCache`]'s deterministic cost model — the mode
 //!   the tables in EXPERIMENTS.md are generated from) and *real*
 //!   (against an actual file through [`clio_cache::FileBackend`], timed
-//!   with monotonic clocks).
+//!   with monotonic clocks),
+//! - [`verify`] — the trust boundary: a streaming O(1)-memory admission
+//!   pass over any [`TraceSource`] with a fixed rule table (`V01`–`V09`),
+//!   strict (reject with a coded [`verify::VerifyError`]) or lenient
+//!   (quarantine-and-tally via [`verify::QuarantineSource`]),
+//! - [`fault`] — deterministic seeded fault injection
+//!   ([`fault::FaultSource`]): bit-flips, truncation, duplication,
+//!   reordering and clock rewinds on a schedule, to prove the verifier
+//!   catches what it claims to catch.
 //!
 //! ```
 //! use clio_trace::record::{IoOp, TraceRecord};
@@ -42,9 +50,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod header;
 pub mod reader;
 pub mod record;
@@ -53,12 +63,18 @@ pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod transform;
+pub mod verify;
 pub mod writer;
 
 pub use error::TraceError;
+pub use fault::{FaultKind, FaultPlan, FaultSource, FaultSpec};
 pub use header::TraceHeader;
 pub use reader::TraceFile;
 pub use record::{IoOp, TraceRecord};
 pub use replay::{OpTiming, ReplayReport};
 pub use source::{SourceMeta, TraceSource};
 pub use stats::TraceStats;
+pub use verify::{
+    verify_lenient, verify_strict, QuarantineSource, VerifyError, VerifyMode, VerifyOptions,
+    VerifyReport, ViolationCounts,
+};

@@ -40,6 +40,7 @@
 
 use std::io;
 use std::path::Path;
+use std::time::Duration;
 
 use clio_cache::backend::{FileBackend, RealFsBackend};
 use clio_cache::cache::{AccessKind, AccessOutcome, BufferCache, CacheConfig, RunCursor};
@@ -749,12 +750,49 @@ pub struct RealReplayOptions {
     pub allow_writes: bool,
     /// Largest single transfer; larger requests are chunked.
     pub max_chunk: usize,
+    /// Extra attempts per backend operation after a transient failure
+    /// (default 0: any error aborts the replay, the historical
+    /// behavior).
+    pub retries: u32,
+    /// Sleep between a failed attempt and its retry, doubled per
+    /// attempt (default zero: retry immediately). Retry time is wall
+    /// time and lands in the failing operation's measured latency, as
+    /// it would on real degraded hardware.
+    pub retry_backoff: Duration,
 }
 
 impl Default for RealReplayOptions {
     fn default() -> Self {
-        Self { allow_writes: false, max_chunk: 16 * 1024 * 1024 }
+        Self {
+            allow_writes: false,
+            max_chunk: 16 * 1024 * 1024,
+            retries: 0,
+            retry_backoff: Duration::ZERO,
+        }
     }
+}
+
+/// Runs `op`, retrying transient failures up to `options.retries`
+/// extra attempts with exponential back-off — the bounded-retry path
+/// that keeps a replay alive across a flaky backend instead of
+/// aborting at the first `EINTR`-style hiccup.
+fn with_retry<T>(
+    options: &RealReplayOptions,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut backoff = options.retry_backoff;
+    for _ in 0..options.retries {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(_) => {
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+            }
+        }
+    }
+    op()
 }
 
 /// The shared real-replay engine: streams `source` against `backend`,
@@ -779,20 +817,20 @@ fn replay_backend_with<S: TraceSource + ?Sized>(
                     // The single shared backend stands for the sample
                     // file; open/close cost on real hardware is measured
                     // by the metadata round trip.
-                    backend.len()?;
+                    with_retry(&options, || backend.len())?;
                 }
                 IoOp::Seek => {
                     // "Seek operations are performed from the beginning
                     // of the file to the offset": a positioned backend
                     // realizes this as a bounds probe.
-                    backend.len()?;
+                    with_retry(&options, || backend.len())?;
                 }
                 IoOp::Read => {
                     let mut remaining = r.length as usize;
                     let mut off = r.offset;
                     while remaining > 0 {
                         let n = remaining.min(buf.len());
-                        let got = backend.read_at(off, &mut buf[..n])?;
+                        let got = with_retry(&options, || backend.read_at(off, &mut buf[..n]))?;
                         if got == 0 {
                             break; // past EOF: paper traces clamp at 1 GB
                         }
@@ -806,13 +844,13 @@ fn replay_backend_with<S: TraceSource + ?Sized>(
                         let mut off = r.offset;
                         while remaining > 0 {
                             let n = remaining.min(buf.len());
-                            backend.write_at(off, &buf[..n])?;
+                            with_retry(&options, || backend.write_at(off, &buf[..n]))?;
                             off += n as u64;
                             remaining -= n;
                         }
                     } else {
                         let n = (r.length as usize).min(buf.len());
-                        backend.read_at(r.offset, &mut buf[..n])?;
+                        with_retry(&options, || backend.read_at(r.offset, &mut buf[..n]))?;
                     }
                 }
             }
@@ -903,7 +941,7 @@ pub fn replay_backend(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clio_cache::backend::{FaultyBackend, MemBackend};
+    use clio_cache::backend::{FaultyBackend, FlakyBackend, MemBackend};
 
     /// Canonical serial replay of a materialized trace (the test-side
     /// shorthand for `replay_source` over a borrowed slice).
@@ -1168,5 +1206,37 @@ mod tests {
                 .unwrap();
         let report = replay_backend(&t, &mut backend, RealReplayOptions::default()).unwrap();
         assert_eq!(report.timings.len(), 1);
+    }
+
+    #[test]
+    fn bounded_retry_rides_through_transient_faults() {
+        // Every 3rd backend op fails once; a single retry per op keeps
+        // the whole replay alive and the result complete.
+        let trace = simple_trace();
+        let mut backend = FlakyBackend::new(MemBackend::with_data(vec![0u8; 2 << 20]), 3);
+        let options = RealReplayOptions { retries: 1, ..Default::default() };
+        let report = replay_backend(&trace, &mut backend, options).unwrap();
+        assert_eq!(report.timings.len(), trace.len());
+        assert!(backend.faults() > 0, "the fault schedule really fired");
+    }
+
+    #[test]
+    fn zero_retries_abort_at_the_first_transient_fault() {
+        // The historical default: no retry budget, so the same flaky
+        // backend kills the replay.
+        let trace = simple_trace();
+        let mut backend = FlakyBackend::new(MemBackend::with_data(vec![0u8; 2 << 20]), 3);
+        let err = replay_backend(&trace, &mut backend, RealReplayOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn retries_cannot_save_a_permanently_dead_backend() {
+        // Bounded means bounded: a backend that fails every attempt
+        // still surfaces its error instead of looping forever.
+        let trace = simple_trace();
+        let mut backend = FaultyBackend::new(MemBackend::with_data(vec![0u8; 2 << 20]), 0);
+        let options = RealReplayOptions { retries: 3, ..Default::default() };
+        assert!(replay_backend(&trace, &mut backend, options).is_err());
     }
 }

@@ -95,11 +95,13 @@ impl TraceStats {
 }
 
 /// Convenience: statistics for a raw record slice (no header needed).
-pub fn stats_for_records(records: &[TraceRecord]) -> TraceStats {
+/// Surfaces the structural error instead of panicking — raw record
+/// slices are exactly the untrusted input the admission layer exists
+/// for.
+pub fn stats_for_records(records: &[TraceRecord]) -> Result<TraceStats, crate::TraceError> {
     // Build a throwaway trace; header content doesn't affect stats.
-    let trace =
-        TraceFile::build("stats.tmp", 1, records.to_vec()).expect("records are structurally valid");
-    TraceStats::compute(&trace)
+    let trace = TraceFile::build("stats.tmp", 1, records.to_vec())?;
+    Ok(TraceStats::compute(&trace))
 }
 
 #[cfg(test)]

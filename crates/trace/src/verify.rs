@@ -1,0 +1,823 @@
+//! Trace admission: one streaming pass over untrusted input.
+//!
+//! Every engine in the workspace trusts its record stream — a corrupt,
+//! truncated or time-warped trace silently produces a wrong report
+//! instead of a diagnosis. This module is the trust boundary: a single
+//! O(1)-memory pass over any [`TraceSource`] that checks each record
+//! against a fixed rule table and rejects (or quarantines) violations
+//! with a **specific error code carrying the record index**, in the
+//! spirit of a bytecode verifier (one abstract-interpretation pass over
+//! untrusted input at load time, every rejection a named rule).
+//!
+//! # The rule table
+//!
+//! | Code | Error | Rule |
+//! |------|-------|------|
+//! | `V01` | [`VerifyError::PidOutOfRange`] | `pid < meta.num_processes` |
+//! | `V02` | [`VerifyError::FileIdOutOfRange`] | `file_id < meta.num_files` |
+//! | `V03` | [`VerifyError::ClockRewind`] | per-pid wall clocks never decrease |
+//! | `V04` | [`VerifyError::ReopenedFile`] | no `Open` of an already-open `(pid, file)` |
+//! | `V05` | [`VerifyError::UnbalancedClose`] | every `Close` closes an open `(pid, file)` |
+//! | `V06` | [`VerifyError::UnclosedAtEof`] | no `(pid, file)` left open at end of stream |
+//! | `V07` | [`VerifyError::ZeroRepeat`] | `num_records > 0` |
+//! | `V08` | [`VerifyError::OffsetOverflow`] | `offset + length·num_records` fits in `u64` |
+//! | `V09` | [`VerifyError::MetadataWithLength`] | open/close/seek records carry `length == 0` |
+//!
+//! Clock monotonicity is per pid (capture clocks are shared across the
+//! processes of one trace, but mixed workloads interleave independent
+//! streams) and non-strict (hand-built traces legitimately carry
+//! all-zero clocks). The balance rules track *explicitly opened* pairs
+//! only: data operations without a preceding `Open` are legal — many
+//! traces record raw access streams — but a `Close` without an `Open`,
+//! a second `Open`, or an `Open` left dangling at end of stream each
+//! name a distinct corruption.
+//!
+//! # Strict and lenient admission
+//!
+//! [`verify_strict`] stops at the first violation and returns its code —
+//! the reject-at-the-door mode. [`verify_lenient`] examines the whole
+//! stream, tallying every violation per rule ([`ViolationCounts`]), and
+//! [`QuarantineSource`] applies the same decision procedure record by
+//! record as a filtering [`TraceSource`]: invalid records are skipped,
+//! valid ones pass through bit-identically — graceful degradation
+//! instead of garbage-in/garbage-out. Quarantine decisions depend only
+//! on the stream and the options, so a lenient replay is exactly the
+//! replay of the clean records that survive.
+//!
+//! ```
+//! use clio_trace::synth::{SynthSource, TraceProfile};
+//! use clio_trace::verify::{verify_strict, VerifyOptions};
+//!
+//! let mut source = SynthSource::new(TraceProfile::default()).unwrap();
+//! let report = verify_strict(&mut source, VerifyOptions::default()).unwrap();
+//! assert_eq!(report.quarantined, 0);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{IoOp, TraceRecord};
+use crate::source::{SourceMeta, TraceSource};
+
+/// How an experiment treats trace admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// No admission pass: the stream is trusted as-is (the historical
+    /// behavior, and bit-identical to it).
+    #[default]
+    Off,
+    /// One admission pass before replay; the first violation aborts the
+    /// run with its [`VerifyError`] code.
+    Strict,
+    /// One admission pass tallying violations, then replay through a
+    /// [`QuarantineSource`]: invalid records are skipped and counted,
+    /// the surviving records replay bit-identically.
+    Lenient,
+}
+
+/// Which rule families the verifier applies.
+///
+/// All rules default on. Chained workloads legitimately restart their
+/// capture clocks at the phase boundary, so
+/// `clio-exp` disables [`VerifyOptions::check_clocks`] for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Apply `V03` (per-pid wall-clock monotonicity).
+    pub check_clocks: bool,
+    /// Apply `V04`–`V06` (open/close balance per `(pid, file)`).
+    pub check_balance: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self { check_clocks: true, check_balance: true }
+    }
+}
+
+/// A trace admission violation: one rule, one record index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// `V01`: a record's pid is not below the roster's process count.
+    PidOutOfRange {
+        /// 0-based index of the offending record.
+        index: u64,
+        /// The offending pid.
+        pid: u32,
+        /// Processes the header roster declares.
+        num_processes: u32,
+    },
+    /// `V02`: a record's file id is not below the roster's file count.
+    FileIdOutOfRange {
+        /// 0-based index of the offending record.
+        index: u64,
+        /// The offending file id.
+        file_id: u32,
+        /// Files the header roster declares.
+        num_files: u32,
+    },
+    /// `V03`: a record's wall clock ran backwards within its pid.
+    ClockRewind {
+        /// 0-based index of the offending record.
+        index: u64,
+        /// The pid whose clock rewound.
+        pid: u32,
+        /// The previous wall-clock stamp seen for this pid, µs.
+        prev_us: u64,
+        /// The offending (earlier) stamp, µs.
+        clock_us: u64,
+    },
+    /// `V04`: an `Open` of a `(pid, file)` pair that is already open.
+    ReopenedFile {
+        /// 0-based index of the offending `Open`.
+        index: u64,
+        /// The opening pid.
+        pid: u32,
+        /// The re-opened file.
+        file_id: u32,
+    },
+    /// `V05`: a `Close` of a `(pid, file)` pair that is not open.
+    UnbalancedClose {
+        /// 0-based index of the offending `Close`.
+        index: u64,
+        /// The closing pid.
+        pid: u32,
+        /// The never-opened (or already-closed) file.
+        file_id: u32,
+    },
+    /// `V06`: the stream ended with a `(pid, file)` pair still open —
+    /// the signature of a truncated trace.
+    UnclosedAtEof {
+        /// 0-based index of the dangling `Open`.
+        index: u64,
+        /// The pid left holding the file.
+        pid: u32,
+        /// The file left open.
+        file_id: u32,
+    },
+    /// `V07`: a record with a repeat count of zero.
+    ZeroRepeat {
+        /// 0-based index of the offending record.
+        index: u64,
+    },
+    /// `V08`: `offset + length × num_records` overflows `u64`.
+    OffsetOverflow {
+        /// 0-based index of the offending record.
+        index: u64,
+        /// The record's byte offset.
+        offset: u64,
+        /// The record's byte length.
+        length: u64,
+    },
+    /// `V09`: an open/close/seek record carrying a nonzero length.
+    MetadataWithLength {
+        /// 0-based index of the offending record.
+        index: u64,
+        /// The metadata operation.
+        op: IoOp,
+        /// The (nonzero) length it carried.
+        length: u64,
+    },
+}
+
+impl VerifyError {
+    /// The stable rule code (`"V01"`–`"V09"`), as listed in the module
+    /// docs' rule table.
+    pub fn code(&self) -> &'static str {
+        match self {
+            VerifyError::PidOutOfRange { .. } => "V01",
+            VerifyError::FileIdOutOfRange { .. } => "V02",
+            VerifyError::ClockRewind { .. } => "V03",
+            VerifyError::ReopenedFile { .. } => "V04",
+            VerifyError::UnbalancedClose { .. } => "V05",
+            VerifyError::UnclosedAtEof { .. } => "V06",
+            VerifyError::ZeroRepeat { .. } => "V07",
+            VerifyError::OffsetOverflow { .. } => "V08",
+            VerifyError::MetadataWithLength { .. } => "V09",
+        }
+    }
+
+    /// The 0-based index of the record that triggered the rule (for
+    /// `V06`, the dangling `Open`).
+    pub fn index(&self) -> u64 {
+        match *self {
+            VerifyError::PidOutOfRange { index, .. }
+            | VerifyError::FileIdOutOfRange { index, .. }
+            | VerifyError::ClockRewind { index, .. }
+            | VerifyError::ReopenedFile { index, .. }
+            | VerifyError::UnbalancedClose { index, .. }
+            | VerifyError::UnclosedAtEof { index, .. }
+            | VerifyError::ZeroRepeat { index }
+            | VerifyError::OffsetOverflow { index, .. }
+            | VerifyError::MetadataWithLength { index, .. } => index,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at record {}: ", self.code(), self.index())?;
+        match self {
+            VerifyError::PidOutOfRange { pid, num_processes, .. } => {
+                write!(f, "pid {pid} outside the {num_processes}-process roster")
+            }
+            VerifyError::FileIdOutOfRange { file_id, num_files, .. } => {
+                write!(f, "file id {file_id} outside the {num_files}-file roster")
+            }
+            VerifyError::ClockRewind { pid, prev_us, clock_us, .. } => {
+                write!(f, "pid {pid} wall clock rewound {prev_us}µs -> {clock_us}µs")
+            }
+            VerifyError::ReopenedFile { pid, file_id, .. } => {
+                write!(f, "pid {pid} re-opened file {file_id} without closing it")
+            }
+            VerifyError::UnbalancedClose { pid, file_id, .. } => {
+                write!(f, "pid {pid} closed file {file_id} it never opened")
+            }
+            VerifyError::UnclosedAtEof { pid, file_id, .. } => {
+                write!(f, "pid {pid} left file {file_id} open at end of stream (truncated?)")
+            }
+            VerifyError::ZeroRepeat { .. } => write!(f, "repeat count of zero"),
+            VerifyError::OffsetOverflow { offset, length, .. } => {
+                write!(f, "offset {offset} + length {length} overflows the byte space")
+            }
+            VerifyError::MetadataWithLength { op, length, .. } => {
+                write!(f, "{} record carries {length} bytes of payload", op.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Per-rule violation tallies from a lenient pass — the quarantine
+/// ledger a report surfaces. Field order follows the rule table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ViolationCounts {
+    /// `V01` violations.
+    pub pid_out_of_range: u64,
+    /// `V02` violations.
+    pub file_out_of_range: u64,
+    /// `V03` violations.
+    pub clock_rewind: u64,
+    /// `V04` violations.
+    pub reopened_file: u64,
+    /// `V05` violations.
+    pub unbalanced_close: u64,
+    /// `V06` violations (stream-level: dangling opens at end of stream).
+    pub unclosed_at_eof: u64,
+    /// `V07` violations.
+    pub zero_repeat: u64,
+    /// `V08` violations.
+    pub offset_overflow: u64,
+    /// `V09` violations.
+    pub metadata_with_length: u64,
+}
+
+impl ViolationCounts {
+    /// Adds one violation to the tally for its rule.
+    pub fn tally(&mut self, error: &VerifyError) {
+        let slot = match error {
+            VerifyError::PidOutOfRange { .. } => &mut self.pid_out_of_range,
+            VerifyError::FileIdOutOfRange { .. } => &mut self.file_out_of_range,
+            VerifyError::ClockRewind { .. } => &mut self.clock_rewind,
+            VerifyError::ReopenedFile { .. } => &mut self.reopened_file,
+            VerifyError::UnbalancedClose { .. } => &mut self.unbalanced_close,
+            VerifyError::UnclosedAtEof { .. } => &mut self.unclosed_at_eof,
+            VerifyError::ZeroRepeat { .. } => &mut self.zero_repeat,
+            VerifyError::OffsetOverflow { .. } => &mut self.offset_overflow,
+            VerifyError::MetadataWithLength { .. } => &mut self.metadata_with_length,
+        };
+        *slot += 1;
+    }
+
+    /// Total violations across every rule.
+    pub fn total(&self) -> u64 {
+        self.pid_out_of_range
+            + self.file_out_of_range
+            + self.clock_rewind
+            + self.reopened_file
+            + self.unbalanced_close
+            + self.unclosed_at_eof
+            + self.zero_repeat
+            + self.offset_overflow
+            + self.metadata_with_length
+    }
+}
+
+/// What an admission pass found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Records examined.
+    pub records: u64,
+    /// Records that passed every rule.
+    pub admitted: u64,
+    /// Records rejected by a record-level rule (`V06` is stream-level
+    /// and tallied in [`VerifyReport::violations`] only).
+    pub quarantined: u64,
+    /// Per-rule violation tallies.
+    pub violations: ViolationCounts,
+    /// The first violation, if any — the error a strict pass would
+    /// have returned.
+    pub first: Option<VerifyError>,
+}
+
+/// The incremental rule checker: feed it records in stream order, then
+/// [`Verifier::finish`] at end of stream.
+///
+/// Memory is O(1) in the trace length: the open-pair table is bounded
+/// by the concurrently-open `(pid, file)` pairs and the clock table by
+/// the process roster — never by the record count.
+#[derive(Debug)]
+pub struct Verifier {
+    options: VerifyOptions,
+    num_processes: u32,
+    num_files: u32,
+    /// Currently-open `(pid, file)` pairs, mapped to the index of the
+    /// `Open` that opened them (for `V06` reporting).
+    open: HashMap<(u32, u32), u64>,
+    /// Last accepted wall-clock stamp per pid.
+    last_clock: HashMap<u32, u64>,
+    index: u64,
+}
+
+impl Verifier {
+    /// A verifier for a stream with header roster `meta`, default rules.
+    pub fn new(meta: &SourceMeta) -> Self {
+        Self::with_options(meta, VerifyOptions::default())
+    }
+
+    /// A verifier with an explicit rule selection.
+    pub fn with_options(meta: &SourceMeta, options: VerifyOptions) -> Self {
+        Self {
+            options,
+            num_processes: meta.num_processes,
+            num_files: meta.num_files,
+            open: HashMap::new(),
+            last_clock: HashMap::new(),
+            index: 0,
+        }
+    }
+
+    /// Records examined so far.
+    pub fn records(&self) -> u64 {
+        self.index
+    }
+
+    /// Checks the next record of the stream against the rule table.
+    ///
+    /// On `Err` the record is rejected and contributes **nothing** to
+    /// the verifier state — exactly the semantics of quarantining it:
+    /// subsequent records are judged as if the bad one never existed.
+    pub fn check(&mut self, r: &TraceRecord) -> Result<(), VerifyError> {
+        let index = self.index;
+        self.index += 1;
+
+        if r.pid >= self.num_processes {
+            return Err(VerifyError::PidOutOfRange {
+                index,
+                pid: r.pid,
+                num_processes: self.num_processes,
+            });
+        }
+        if r.file_id >= self.num_files {
+            return Err(VerifyError::FileIdOutOfRange {
+                index,
+                file_id: r.file_id,
+                num_files: self.num_files,
+            });
+        }
+        if r.num_records == 0 {
+            return Err(VerifyError::ZeroRepeat { index });
+        }
+        let bytes = r.length.checked_mul(r.num_records as u64);
+        if bytes.and_then(|b| r.offset.checked_add(b)).is_none() {
+            return Err(VerifyError::OffsetOverflow { index, offset: r.offset, length: r.length });
+        }
+        if !r.op.transfers_data() && r.length != 0 {
+            return Err(VerifyError::MetadataWithLength { index, op: r.op, length: r.length });
+        }
+        if self.options.check_clocks {
+            if let Some(&prev) = self.last_clock.get(&r.pid) {
+                if r.wall_clock_us < prev {
+                    return Err(VerifyError::ClockRewind {
+                        index,
+                        pid: r.pid,
+                        prev_us: prev,
+                        clock_us: r.wall_clock_us,
+                    });
+                }
+            }
+        }
+        if self.options.check_balance {
+            let pair = (r.pid, r.file_id);
+            match r.op {
+                IoOp::Open => {
+                    if self.open.contains_key(&pair) {
+                        return Err(VerifyError::ReopenedFile {
+                            index,
+                            pid: r.pid,
+                            file_id: r.file_id,
+                        });
+                    }
+                    self.open.insert(pair, index);
+                }
+                IoOp::Close => {
+                    if self.open.remove(&pair).is_none() {
+                        return Err(VerifyError::UnbalancedClose {
+                            index,
+                            pid: r.pid,
+                            file_id: r.file_id,
+                        });
+                    }
+                }
+                IoOp::Read | IoOp::Write | IoOp::Seek => {}
+            }
+        }
+        if self.options.check_clocks {
+            self.last_clock.insert(r.pid, r.wall_clock_us);
+        }
+        Ok(())
+    }
+
+    /// End-of-stream check (`V06`): reports the earliest dangling
+    /// `Open`, if any.
+    pub fn finish(&self) -> Result<(), VerifyError> {
+        self.open
+            .iter()
+            .min_by_key(|(_, &opened_at)| opened_at)
+            .map(|(&(pid, file_id), &opened_at)| {
+                Err(VerifyError::UnclosedAtEof { index: opened_at, pid, file_id })
+            })
+            .unwrap_or(Ok(()))
+    }
+
+    /// Every dangling `Open` at end of stream, for lenient tallying.
+    fn dangling(&self) -> Vec<VerifyError> {
+        let mut all: Vec<VerifyError> = self
+            .open
+            .iter()
+            .map(|(&(pid, file_id), &opened_at)| VerifyError::UnclosedAtEof {
+                index: opened_at,
+                pid,
+                file_id,
+            })
+            .collect();
+        all.sort_by_key(VerifyError::index);
+        all
+    }
+}
+
+/// Strict admission: one streaming pass, stopping at the **first**
+/// violation (including a `V06` dangling `Open` at end of stream).
+/// Returns the clean-pass report on success.
+pub fn verify_strict<S: TraceSource + ?Sized>(
+    source: &mut S,
+    options: VerifyOptions,
+) -> Result<VerifyReport, VerifyError> {
+    let meta = source.meta();
+    let mut verifier = Verifier::with_options(&meta, options);
+    while let Some(r) = source.next_record() {
+        verifier.check(&r)?;
+    }
+    verifier.finish()?;
+    let records = verifier.records();
+    Ok(VerifyReport { records, admitted: records, ..VerifyReport::default() })
+}
+
+/// Lenient admission: one streaming pass over the **whole** stream,
+/// tallying every violation per rule. Rejected records contribute
+/// nothing to the verifier state, so the tallies are exactly the
+/// records a [`QuarantineSource`] over the same stream would skip.
+pub fn verify_lenient<S: TraceSource + ?Sized>(
+    source: &mut S,
+    options: VerifyOptions,
+) -> VerifyReport {
+    let meta = source.meta();
+    let mut verifier = Verifier::with_options(&meta, options);
+    let mut report = VerifyReport::default();
+    while let Some(r) = source.next_record() {
+        match verifier.check(&r) {
+            Ok(()) => report.admitted += 1,
+            Err(e) => {
+                report.quarantined += 1;
+                report.violations.tally(&e);
+                report.first.get_or_insert(e);
+            }
+        }
+    }
+    for e in verifier.dangling() {
+        report.violations.tally(&e);
+        report.first.get_or_insert(e);
+    }
+    report.records = verifier.records();
+    report
+}
+
+/// A filtering [`TraceSource`]: streams `inner` through the verifier,
+/// skipping rejected records and passing accepted ones through
+/// bit-identically — the lenient replay path.
+///
+/// The decision procedure is [`Verifier::check`] with the same options,
+/// so the records this source yields are exactly the `admitted` count
+/// of [`verify_lenient`] over the same stream.
+#[derive(Debug)]
+pub struct QuarantineSource<S> {
+    inner: S,
+    verifier: Verifier,
+}
+
+impl<S: TraceSource> QuarantineSource<S> {
+    /// Wraps `inner` with the default rule selection.
+    pub fn new(inner: S) -> Self {
+        Self::with_options(inner, VerifyOptions::default())
+    }
+
+    /// Wraps `inner` with an explicit rule selection.
+    pub fn with_options(inner: S, options: VerifyOptions) -> Self {
+        let verifier = Verifier::with_options(&inner.meta(), options);
+        Self { inner, verifier }
+    }
+}
+
+impl<S: TraceSource> TraceSource for QuarantineSource<S> {
+    fn meta(&self) -> SourceMeta {
+        self.inner.meta()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            let r = self.inner.next_record()?;
+            if self.verifier.check(&r).is_ok() {
+                return Some(r);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Quarantining can only shrink the stream: keep the upper
+        // bound, drop the lower.
+        (0, self.inner.size_hint().1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{materialize, SliceSource};
+    use crate::synth::{synthesize, SynthSource, TraceProfile};
+    use crate::writer::TraceWriter;
+    use proptest::prelude::*;
+
+    fn meta(processes: u32, files: u32) -> SourceMeta {
+        SourceMeta { sample_file: "v.dat".into(), num_processes: processes, num_files: files }
+    }
+
+    fn rec(op: IoOp, pid: u32, file_id: u32, clock: u64) -> TraceRecord {
+        TraceRecord {
+            op,
+            num_records: 1,
+            pid,
+            file_id,
+            wall_clock_us: clock,
+            proc_clock_us: clock,
+            offset: 0,
+            length: if op.transfers_data() { 4096 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn clean_streams_pass_every_rule() {
+        let records = [
+            rec(IoOp::Open, 0, 0, 10),
+            rec(IoOp::Seek, 0, 0, 20),
+            rec(IoOp::Read, 0, 0, 30),
+            rec(IoOp::Write, 0, 0, 40),
+            rec(IoOp::Close, 0, 0, 50),
+        ];
+        let mut src = SliceSource::from_parts(&records, meta(1, 1));
+        let report = verify_strict(&mut src, VerifyOptions::default()).unwrap();
+        assert_eq!(report.records, 5);
+        assert_eq!(report.admitted, 5);
+        assert_eq!(report.quarantined, 0);
+    }
+
+    #[test]
+    fn access_without_open_is_legal() {
+        // Many traces record raw access streams with no open/close at
+        // all; the balance rules must not reject them.
+        let records = [rec(IoOp::Read, 0, 0, 0), rec(IoOp::Read, 0, 0, 0)];
+        let mut src = SliceSource::from_parts(&records, meta(1, 1));
+        assert!(verify_strict(&mut src, VerifyOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn each_rule_fires_with_its_code_and_index() {
+        let cases: Vec<(Vec<TraceRecord>, &str, u64)> = vec![
+            (vec![rec(IoOp::Read, 0, 0, 0), rec(IoOp::Read, 7, 0, 0)], "V01", 1),
+            (vec![rec(IoOp::Read, 0, 9, 0)], "V02", 0),
+            (vec![rec(IoOp::Read, 0, 0, 50), rec(IoOp::Read, 0, 0, 40)], "V03", 1),
+            (vec![rec(IoOp::Open, 0, 0, 0), rec(IoOp::Open, 0, 0, 0)], "V04", 1),
+            (vec![rec(IoOp::Close, 0, 0, 0)], "V05", 0),
+            (vec![rec(IoOp::Open, 0, 0, 0), rec(IoOp::Read, 0, 0, 0)], "V06", 0),
+            (
+                vec![{
+                    let mut r = rec(IoOp::Read, 0, 0, 0);
+                    r.num_records = 0;
+                    r
+                }],
+                "V07",
+                0,
+            ),
+            (
+                vec![{
+                    let mut r = rec(IoOp::Read, 0, 0, 0);
+                    r.offset = u64::MAX;
+                    r.length = 2;
+                    r
+                }],
+                "V08",
+                0,
+            ),
+            (
+                vec![{
+                    let mut r = rec(IoOp::Seek, 0, 0, 0);
+                    r.length = 512;
+                    r
+                }],
+                "V09",
+                0,
+            ),
+        ];
+        for (records, code, index) in cases {
+            let mut src = SliceSource::from_parts(&records, meta(2, 2));
+            let err = verify_strict(&mut src, VerifyOptions::default())
+                .expect_err(&format!("{code} must fire"));
+            assert_eq!(err.code(), code, "{err}");
+            assert_eq!(err.index(), index, "{err}");
+            assert!(err.to_string().contains(code), "{err}");
+        }
+    }
+
+    #[test]
+    fn per_pid_clocks_tolerate_interleaved_streams() {
+        // Two pids whose global clock order interleaves non-monotonically
+        // is fine as long as each pid's own clocks never rewind.
+        let records = [
+            rec(IoOp::Read, 0, 0, 100),
+            rec(IoOp::Read, 1, 0, 10),
+            rec(IoOp::Read, 0, 0, 100),
+            rec(IoOp::Read, 1, 0, 20),
+        ];
+        let mut src = SliceSource::from_parts(&records, meta(2, 1));
+        assert!(verify_strict(&mut src, VerifyOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn options_disable_rule_families() {
+        let rewind = [rec(IoOp::Read, 0, 0, 50), rec(IoOp::Read, 0, 0, 40)];
+        let opts = VerifyOptions { check_clocks: false, ..Default::default() };
+        let mut src = SliceSource::from_parts(&rewind, meta(1, 1));
+        assert!(verify_strict(&mut src, opts).is_ok());
+
+        let dangling = [rec(IoOp::Open, 0, 0, 0)];
+        let opts = VerifyOptions { check_balance: false, ..Default::default() };
+        let mut src = SliceSource::from_parts(&dangling, meta(1, 1));
+        assert!(verify_strict(&mut src, opts).is_ok());
+    }
+
+    #[test]
+    fn writer_stamped_traces_pass() {
+        let mut w = TraceWriter::new("w.dat").with_processes(3);
+        for i in 0..3u32 {
+            w.record(IoOp::Open, i, 0, 0, 0);
+        }
+        for i in 0..30u32 {
+            w.record(IoOp::Read, i % 3, 0, (i as u64) * 4096, 4096);
+        }
+        for i in 0..3u32 {
+            w.record(IoOp::Close, i, 0, 0, 0);
+        }
+        let trace = w.finish().unwrap();
+        let mut src = SliceSource::new(&trace);
+        let report = verify_strict(&mut src, VerifyOptions::default()).unwrap();
+        assert_eq!(report.admitted, 36);
+    }
+
+    #[test]
+    fn lenient_tallies_match_quarantine_filter() {
+        // A stream with one of everything recoverable: the lenient
+        // report's admitted count equals what the filter yields.
+        let mut records = vec![rec(IoOp::Open, 0, 0, 10)];
+        for i in 0..10u64 {
+            records.push(rec(IoOp::Read, 0, 0, 20 + i * 10));
+        }
+        records[3].file_id = 99; // V02
+        records[5].wall_clock_us = 1; // V03
+        records.push(rec(IoOp::Close, 0, 0, 500));
+        records.push(rec(IoOp::Close, 0, 0, 510)); // V05
+
+        let m = meta(1, 1);
+        let report =
+            verify_lenient(&mut SliceSource::from_parts(&records, m.clone()), Default::default());
+        assert_eq!(report.records, 13);
+        assert_eq!(report.quarantined, 3);
+        assert_eq!(report.violations.file_out_of_range, 1);
+        assert_eq!(report.violations.clock_rewind, 1);
+        assert_eq!(report.violations.unbalanced_close, 1);
+        assert_eq!(report.violations.total(), 3);
+        assert_eq!(report.first.unwrap().code(), "V02");
+
+        let mut filtered = QuarantineSource::new(SliceSource::from_parts(&records, m));
+        let survived = materialize(&mut filtered).unwrap();
+        assert_eq!(survived.len() as u64, report.admitted);
+    }
+
+    #[test]
+    fn quarantining_a_bad_open_cascades_to_its_close() {
+        // The Open is invalid (metadata record with a payload), so it
+        // is skipped — and the later Close of the same pair becomes
+        // unbalanced and is skipped too. Deterministic cascade, not a
+        // crash.
+        let mut bad_open = rec(IoOp::Open, 0, 0, 10);
+        bad_open.length = 512;
+        let records = [bad_open, rec(IoOp::Read, 0, 0, 20), rec(IoOp::Close, 0, 0, 30)];
+        let report =
+            verify_lenient(&mut SliceSource::from_parts(&records, meta(1, 1)), Default::default());
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.violations.metadata_with_length, 1);
+        assert_eq!(report.violations.unbalanced_close, 1);
+    }
+
+    #[test]
+    fn verifier_memory_tracks_roster_not_stream() {
+        // O(1) claim made concrete: a long single-pid stream leaves one
+        // clock entry and no open pairs.
+        let mut v = Verifier::new(&meta(1, 1));
+        for i in 0..10_000u64 {
+            v.check(&rec(IoOp::Read, 0, 0, i)).unwrap();
+        }
+        assert_eq!(v.last_clock.len(), 1);
+        assert!(v.open.is_empty());
+    }
+
+    fn arb_profile() -> impl Strategy<Value = TraceProfile> {
+        (any::<u64>(), 0usize..200, 0.0f64..=1.0, 0.0f64..=1.0, proptest::bool::ANY).prop_map(
+            |(seed, data_ops, write_fraction, sequentiality, explicit_seeks)| TraceProfile {
+                seed,
+                data_ops,
+                write_fraction,
+                sequentiality,
+                explicit_seeks,
+                ..Default::default()
+            },
+        )
+    }
+
+    proptest! {
+        /// Admission completeness, half one: no false positives — every
+        /// stream the synthesizer can produce passes strict
+        /// verification under every profile knob.
+        #[test]
+        fn every_synth_trace_passes_strict(profile in arb_profile()) {
+            let mut src = SynthSource::new(profile).unwrap();
+            let report = verify_strict(&mut src, VerifyOptions::default()).unwrap();
+            prop_assert_eq!(report.quarantined, 0);
+            prop_assert_eq!(report.records, report.admitted);
+        }
+
+        /// Admission completeness, half two: a single-record corruption
+        /// of a clean trace is either caught by a rule or the mutated
+        /// stream is still admissible — and everything admitted replays
+        /// to completion without panicking.
+        #[test]
+        fn single_record_mutation_caught_or_harmless(
+            seed in any::<u64>(),
+            index in 0usize..100,
+            mutation in 0u8..6,
+        ) {
+            let profile = TraceProfile { seed, data_ops: 98, ..Default::default() };
+            let mut trace = synthesize(&profile);
+            let index = index % trace.len();
+            let r = &mut trace.records[index];
+            match mutation {
+                0 => r.file_id = r.file_id.wrapping_add(1 << 30),
+                1 => r.pid = r.pid.wrapping_add(7),
+                2 => r.wall_clock_us = r.wall_clock_us.saturating_sub(10_000),
+                3 => r.num_records = 0,
+                4 => { r.offset = u64::MAX; r.length = u64::MAX; }
+                _ => r.op = IoOp::Close,
+            }
+            let verdict =
+                verify_strict(&mut SliceSource::new(&trace), VerifyOptions::default());
+            if verdict.is_ok() {
+                // Admitted ⇒ the replay engine must survive it.
+                let report = crate::replay::replay_source(
+                    &mut SliceSource::new(&trace),
+                    Default::default(),
+                );
+                prop_assert_eq!(report.timings.len(), trace.len());
+            }
+        }
+    }
+}

@@ -317,3 +317,22 @@ fn summary_mode_replay_memory_is_flat_in_trace_length() {
         );
     }
 }
+
+/// The same flat-memory bound for the seek-aware scheduled simulator:
+/// its transfer table must recycle completed slots through the free
+/// list instead of growing one entry per request, and its demultiplexer
+/// stays bounded — so an 8× workload cannot move peak heap. Before slot
+/// recycling, the transfer vector alone grew O(N) and trips this bound.
+#[test]
+fn scheduled_sim_memory_is_flat_in_trace_length() {
+    let _guard = exclusive();
+    let engine = Engine::ScheduledSim;
+    summary_replay_peak(&engine, 1_000);
+    let small = summary_replay_peak(&engine, 10_000);
+    let large = summary_replay_peak(&engine, 80_000);
+    assert!(
+        large < 2 * small + 512 * 1024,
+        "scheduled sim peak heap grew with trace length: \
+         {small} B at 10k ops -> {large} B at 80k ops"
+    );
+}
