@@ -3,52 +3,55 @@
 //! The paper notes that in its design "the number of threads increases
 //! with the increasing number of clients". This sweep drives both that
 //! design and a bounded worker pool with {1, 2, 4, 8, 16} concurrent
-//! clients and reports client-observed latency (median and p99 with a
-//! 95 % confidence interval on the mean), showing where unbounded
-//! thread growth starts to cost.
+//! clients and reports client-observed latency percentiles and
+//! throughput, showing where unbounded thread growth starts to cost.
+//!
+//! The sweep itself lives in [`clio_core::load::socket_sweep`], shared
+//! with the gated socket tests so the two cannot drift. Real sockets
+//! and wall clocks are involved, so — like every other socket surface
+//! in the workspace — the binary requires `CLIO_SOCKET_TESTS=1` and
+//! exits cleanly without it.
+//!
+//! Set `CLIO_LOAD_CURVE_OUT=<path>` to also write the latency curve as
+//! a `clio-load-curve-v1` JSON artifact.
 
-use clio_core::httpd::client::{run_load, LoadSpec};
-use clio_core::httpd::files;
-use clio_core::httpd::server::{Server, ServerConfig, ServerMode};
-use clio_core::stats::confidence::fmt_with_ci;
-use clio_core::stats::{quantile, Summary, Table};
-
-fn sweep(mode: ServerMode, label: &str, table: &mut Table) {
-    for &clients in &[1usize, 2, 4, 8, 16] {
-        let root = files::temp_doc_root(&format!("sweep-{label}-{clients}")).expect("doc root");
-        let mut cfg = ServerConfig::ephemeral(&root);
-        cfg.mode = mode;
-        let server = Server::start(cfg).expect("server starts");
-
-        let spec = LoadSpec { clients, requests: 24, post_fraction: 0.25, ..Default::default() };
-        let result = run_load(server.addr(), &spec);
-        server.stop();
-        let _ = std::fs::remove_dir_all(root);
-
-        let lat = &result.latencies_ms;
-        let summary = Summary::from_samples(lat);
-        table.row(&[
-            label.to_string(),
-            clients.to_string(),
-            format!("{}", lat.len()),
-            result.failures.to_string(),
-            format!("{:.3}", quantile(lat, 0.5).unwrap_or(0.0)),
-            format!("{:.3}", quantile(lat, 0.99).unwrap_or(0.0)),
-            fmt_with_ci(&summary),
-        ]);
-    }
-}
+use clio_core::httpd::socket_tests_enabled;
+use clio_core::load::{fmt_ms, socket_sweep};
+use clio_core::stats::Table;
 
 fn main() {
     clio_bench::banner(
         "Concurrency sweep (extension)",
         "Client-observed latency vs concurrent clients, both threading models",
     );
+    if !socket_tests_enabled() {
+        println!("skipped: real-socket sweep; set CLIO_SOCKET_TESTS=1 to run");
+        return;
+    }
+
+    let curve = socket_sweep(&[1, 2, 4, 8, 16], 24).expect("socket sweep");
+
     let mut table = Table::new(
         "web server latency vs client count (ms)",
-        &["mode", "clients", "requests", "fail", "p50", "p99", "mean ± 95% CI"],
+        &["mode", "clients", "requests", "fail", "p50", "p95", "p99", "mean", "rps"],
     );
-    sweep(ServerMode::ThreadPerConnection, "thread-per-conn", &mut table);
-    sweep(ServerMode::Pool { workers: 4 }, "pool-4", &mut table);
+    for p in &curve.points {
+        table.row(&[
+            p.mode.clone(),
+            p.clients.to_string(),
+            p.requests.to_string(),
+            p.failures.to_string(),
+            fmt_ms(p.p50_ms),
+            fmt_ms(p.p95_ms),
+            fmt_ms(p.p99_ms),
+            fmt_ms(p.mean_ms),
+            fmt_ms(p.throughput_rps),
+        ]);
+    }
     println!("{table}");
+
+    if let Ok(path) = std::env::var("CLIO_LOAD_CURVE_OUT") {
+        std::fs::write(&path, curve.to_json()).expect("write latency curve");
+        println!("latency curve written to {path}");
+    }
 }

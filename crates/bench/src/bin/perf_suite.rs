@@ -40,7 +40,10 @@
 //! fully streaming pipeline: the workload is consumed straight off its
 //! source (synthesis included, nothing frozen, nothing materialized)
 //! in summary mode. The `sim/trace_driven_pool` row exercises the
-//! `run_many` worker pool.
+//! `run_many` worker pool. The `serve/clients_{1,2,4,8,16,32}` rows
+//! drive the closed-loop serving model (`Engine::Serve`) at each
+//! client count, recording wall-clock engine throughput plus the
+//! deterministic virtual-clock rps and p99 latency.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -78,6 +81,19 @@ struct PerfEntry {
     pages_per_sec: Option<f64>,
     events_per_sec: Option<f64>,
     bytes_per_sec: f64,
+    /// Closed-loop clients (`serve/*` rows only).
+    clients: Option<u64>,
+    /// Virtual-clock throughput of the serving model (deterministic,
+    /// unlike the wall-clock rates).
+    virtual_rps: Option<f64>,
+    /// Virtual-clock p50 request latency of the serving model, ms.
+    p50_virtual_ms: Option<f64>,
+    /// Virtual-clock p95 request latency of the serving model, ms.
+    p95_virtual_ms: Option<f64>,
+    /// Virtual-clock p99 request latency of the serving model, ms.
+    p99_virtual_ms: Option<f64>,
+    /// Virtual-clock p99.9 request latency of the serving model, ms.
+    p999_virtual_ms: Option<f64>,
 }
 
 /// The whole baseline report.
@@ -203,6 +219,14 @@ const STREAM_SERIAL_ROW: &str = "replay_stream/serial";
 /// End-to-end streaming parallel replay (one stream per worker).
 const STREAM_PARALLEL_ROW: &str = "replay_stream/parallel";
 
+/// Client counts of the closed-loop serving rows.
+const SERVE_LEVELS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The closed-loop serving-model row at a given client count.
+fn serve_row(clients: usize) -> String {
+    format!("serve/clients_{clients}")
+}
+
 /// The benchmark rows this configuration would measure, in order.
 fn row_names(args: &Args) -> Vec<String> {
     let mut rows = Vec::new();
@@ -215,6 +239,9 @@ fn row_names(args: &Args) -> Vec<String> {
     rows.push(STREAM_SERIAL_ROW.to_string());
     if args.threads > 0 {
         rows.push(STREAM_PARALLEL_ROW.to_string());
+    }
+    for clients in SERVE_LEVELS {
+        rows.push(serve_row(clients));
     }
     rows.push(SIM_ROW.to_string());
     if args.threads > 0 {
@@ -301,6 +328,12 @@ fn entry_from_stats(name: &str, kind: &str, policy: Option<&str>, stats: &Stats)
         pages_per_sec: None,
         events_per_sec: None,
         bytes_per_sec: 0.0,
+        clients: None,
+        virtual_rps: None,
+        p50_virtual_ms: None,
+        p95_virtual_ms: None,
+        p99_virtual_ms: None,
+        p999_virtual_ms: None,
     }
 }
 
@@ -483,6 +516,48 @@ fn main() {
         }
     }
 
+    // --- Closed-loop serving model: N virtual clients over the shared
+    // managed runtime, one row per client count. Requests per client
+    // shrink as clients grow, so every row serves the same total and
+    // the wall-clock rates compare across levels. The virtual-clock
+    // throughput and p99 ride along — deterministic, so they diff
+    // exactly across baselines. ---
+    {
+        let streaming = replay_workload(&args);
+        for clients in SERVE_LEVELS {
+            let exp = Experiment::builder()
+                .workload(streaming.clone())
+                .engine(Engine::Serve)
+                .clients(clients)
+                .requests_per_client((args.replay_ops / clients).max(1))
+                .shards(args.shards)
+                .report_mode(ReportMode::Summary)
+                .build()
+                .expect("serve experiment is valid");
+            let probe =
+                exp.run().expect("serve runs").serve.expect("the serve engine fills its section");
+            let stats = measure(&cfg, |b| b.iter(|| exp.run().expect("serve runs")));
+            let name = serve_row(clients);
+            println!(
+                "{name:<24} median {:>10.3} ms  {:>12.0} requests/s  {:>10.0} virtual rps",
+                stats.median_ns / 1e6,
+                rate(probe.requests, stats.median_ns),
+                probe.throughput_rps.unwrap_or_default(),
+            );
+            let mut e = entry_from_stats(&name, "serve_model", None, &stats);
+            e.records = probe.requests;
+            e.records_per_sec = rate(probe.requests, stats.median_ns);
+            e.shards = Some(args.shards as u64);
+            e.clients = Some(clients as u64);
+            e.virtual_rps = probe.throughput_rps;
+            e.p50_virtual_ms = probe.p50_ms;
+            e.p95_virtual_ms = probe.p95_ms;
+            e.p99_virtual_ms = probe.p99_ms;
+            e.p999_virtual_ms = probe.p999_ms;
+            benches.push(e);
+        }
+    }
+
     // --- Trace-driven machine simulation: a large four-process trace
     // contending for a four-disk array. ---
     let sim_profile = TraceProfile {
@@ -568,7 +643,7 @@ fn main() {
     }
 
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v5".to_string(),
+        schema: "clio-perf-baseline-v6".to_string(),
         mode: mode.to_string(),
         report: report_mode.to_string(),
         workload: args.workload.clone(),
@@ -666,6 +741,9 @@ mod tests {
         assert!(rows.contains(&STREAM_PARALLEL_ROW.to_string()));
         assert!(rows.contains(&SIM_ROW.to_string()));
         assert!(rows.contains(&POOL_ROW.to_string()));
+        for clients in SERVE_LEVELS {
+            assert!(rows.contains(&serve_row(clients)));
+        }
         // With threads disabled, the sharded, streaming-parallel and
         // pool rows vanish.
         let serial = parse_args(&s(&["--threads", "0"]), false).unwrap();

@@ -72,9 +72,19 @@ impl ShardedBufferCache {
     /// Creates a cache with `shards` lock-striped shards (clamped to at
     /// least 1). `cfg.capacity_pages` is the *aggregate* capacity,
     /// partitioned across shards.
+    ///
+    /// The shard count is additionally clamped to `capacity_pages`:
+    /// with more shards than pages, [`shard_capacity`] would hand the
+    /// high shards capacity 0, and a zero-capacity [`BufferCache`]
+    /// never caches — pages hashed there would see a 0 % hit ratio
+    /// forever while the low shards sat half empty. Clamping instead
+    /// guarantees every shard at least one page whenever the aggregate
+    /// capacity is nonzero, so every page of the id space remains
+    /// cacheable. (A zero aggregate capacity still means "never
+    /// cache", now on a single shard.)
     pub fn new(cfg: CacheConfig, shards: usize) -> Self {
         assert!(cfg.page_size > 0, "page size must be positive");
-        let n = shards.max(1);
+        let n = shards.max(1).min(cfg.capacity_pages.max(1));
         let prefetcher = Mutex::new(Prefetcher::new(cfg.prefetch));
         let shards = (0..n)
             .map(|i| {
@@ -466,6 +476,35 @@ mod tests {
         assert_eq!(m.misses, misses, "no lost miss updates");
         assert_eq!(m.accesses(), 4 * 2_000, "every page accounted");
         assert!(c.resident_pages() <= 128);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_capacity() {
+        // 3 pages over 8 requested shards: without the clamp, shards
+        // 3..8 would get capacity 0 and their pages would never cache.
+        let c = ShardedBufferCache::new(cfg(3), 8);
+        assert_eq!(c.num_shards(), 3, "shards clamp to capacity_pages");
+        for s in 0..c.num_shards() {
+            assert!(
+                c.lock_shard(s).config().capacity_pages >= 1,
+                "every shard holds at least one page"
+            );
+        }
+        // Every page is cacheable: a re-access of any page hits.
+        let f = c.register_file("tiny");
+        for block in 0..64u64 {
+            let off = block * SHARD_BLOCK_PAGES * 4096;
+            c.access(f, off, 4096, AccessKind::Read);
+            let out = c.access(f, off, 4096, AccessKind::Read);
+            assert_eq!(out.pages_hit, 1, "block {block} is cacheable after the clamp");
+            assert!(c.resident_pages() <= 3);
+        }
+        // Capacity 1 degenerates to a single shard; zero-capacity
+        // stays a single never-caching shard.
+        assert_eq!(ShardedBufferCache::new(cfg(1), 16).num_shards(), 1);
+        assert_eq!(ShardedBufferCache::new(cfg(0), 16).num_shards(), 1);
+        // Plenty of capacity: the requested count is honoured.
+        assert_eq!(ShardedBufferCache::new(cfg(1024), 16).num_shards(), 16);
     }
 
     #[test]

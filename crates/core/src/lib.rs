@@ -40,6 +40,7 @@ pub use clio_apps as apps;
 pub use clio_cache as cache;
 pub use clio_exp as exp;
 pub use clio_httpd as httpd;
+pub use clio_load as load;
 pub use clio_model as model;
 pub use clio_runtime as runtime;
 pub use clio_sim as sim;

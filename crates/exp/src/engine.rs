@@ -34,6 +34,15 @@ pub enum Engine {
         /// Path of the sample file the records are issued against.
         sample: PathBuf,
     },
+    /// Closed-loop serving model: N virtual clients drive the shared
+    /// managed runtime ([`SharedManagedIo`](clio_runtime::SharedManagedIo))
+    /// under a serial virtual-clock event loop, reporting latency
+    /// percentiles and throughput into
+    /// [`Report::serve`](crate::Report::serve). Deterministic across
+    /// runs and host thread counts. Client count and think time come
+    /// from the builder's serving knobs
+    /// ([`clients`](crate::ExperimentBuilder::clients) et al.).
+    Serve,
 }
 
 impl Engine {
@@ -45,6 +54,7 @@ impl Engine {
             Engine::TraceSim => "trace_sim",
             Engine::ScheduledSim => "scheduled_sim",
             Engine::RealReplay { .. } => "real_replay",
+            Engine::Serve => "serve",
         }
     }
 
@@ -66,6 +76,7 @@ mod tests {
         assert_eq!(Engine::TraceSim.name(), "trace_sim");
         assert_eq!(Engine::ScheduledSim.name(), "scheduled_sim");
         assert_eq!(Engine::RealReplay { sample: "x".into() }.name(), "real_replay");
+        assert_eq!(Engine::Serve.name(), "serve");
     }
 
     #[test]
@@ -73,5 +84,6 @@ mod tests {
         assert!(Engine::SerialReplay.is_replay());
         assert!(!Engine::TraceSim.is_replay());
         assert!(!Engine::ScheduledSim.is_replay());
+        assert!(!Engine::Serve.is_replay());
     }
 }

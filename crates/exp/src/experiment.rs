@@ -21,6 +21,7 @@ use clio_trace::TraceFile;
 use crate::engine::Engine;
 use crate::error::ExpError;
 use crate::report::{PolicyRow, QuarantineSummary, Report, ReportSummary};
+use crate::serve::{self, ServeOptions};
 use crate::workload::Workload;
 
 /// A fully validated, runnable experiment. Build one with
@@ -36,6 +37,7 @@ pub struct Experiment {
     sim_options: TraceSimOptions,
     sched: SchedReplayOptions,
     real: RealReplayOptions,
+    serve: ServeOptions,
     mode: ReportMode,
     verify: VerifyMode,
 }
@@ -160,6 +162,19 @@ impl Experiment {
                 let sim = scheduled_trace_sim_source(reopen, &self.machine, &self.sched);
                 report.records = sim.records;
                 report.sim = Some(sim);
+            }
+            Engine::Serve => {
+                let outcome = serve::run_serve(
+                    &workload,
+                    self.cache.clone(),
+                    self.parallel.shards,
+                    &self.serve,
+                    self.mode,
+                )?;
+                report.records = outcome.records;
+                report.cache_metrics = Some(outcome.cache_metrics);
+                report.serve_latencies = outcome.latencies;
+                report.serve = Some(outcome.summary);
             }
             Engine::RealReplay { sample } => {
                 let mut source = reopen();
@@ -318,6 +333,7 @@ pub struct ExperimentBuilder {
     sim_options: TraceSimOptions,
     sched: SchedReplayOptions,
     real: RealReplayOptions,
+    serve: ServeOptions,
     mode: ReportMode,
     verify: VerifyMode,
 }
@@ -333,6 +349,7 @@ impl Default for ExperimentBuilder {
             sim_options: TraceSimOptions::default(),
             sched: SchedReplayOptions::default(),
             real: RealReplayOptions::default(),
+            serve: ServeOptions::default(),
             mode: ReportMode::Full,
             verify: VerifyMode::Off,
         }
@@ -416,6 +433,36 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Concurrent closed-loop clients for the serving engine
+    /// ([`Engine::Serve`]; default 1). Each client issues its next
+    /// request only after the previous response, over its own seeded
+    /// stream derived from the workload.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.serve.clients = clients;
+        self
+    }
+
+    /// Requests each serving client issues (default: its whole
+    /// stream).
+    pub fn requests_per_client(mut self, requests: usize) -> Self {
+        self.serve.requests_per_client = requests;
+        self
+    }
+
+    /// Virtual think time between a serving client's response and its
+    /// next request, ms (default 0).
+    pub fn think_ms(mut self, ms: f64) -> Self {
+        self.serve.think_ms = ms;
+        self
+    }
+
+    /// JIT model for the serving engine's managed runtime (default
+    /// SSCLI-calibrated).
+    pub fn serve_jit(mut self, jit: clio_runtime::JitModel) -> Self {
+        self.serve.jit = jit;
+        self
+    }
+
     /// Trace admission mode (default [`VerifyMode::Off`]).
     ///
     /// [`VerifyMode::Strict`] vets every record before replay and
@@ -455,6 +502,14 @@ impl ExperimentBuilder {
         if matches!(self.engine, Engine::ScheduledSim) && self.sched.cylinders == 0 {
             return Err(ExpError::InvalidConfig("disks need at least one cylinder".into()));
         }
+        if matches!(self.engine, Engine::Serve) && self.serve.clients == 0 {
+            return Err(ExpError::InvalidConfig("serving needs at least one client".into()));
+        }
+        if !self.serve.think_ms.is_finite() || self.serve.think_ms < 0.0 {
+            return Err(ExpError::InvalidConfig(
+                "think time must be finite and non-negative".into(),
+            ));
+        }
         Ok(Experiment {
             workload,
             engine: self.engine,
@@ -464,6 +519,7 @@ impl ExperimentBuilder {
             sim_options: self.sim_options,
             sched: self.sched,
             real: self.real,
+            serve: self.serve,
             mode: self.mode,
             verify: self.verify,
         })

@@ -64,12 +64,14 @@ pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod report;
+pub mod serve;
 pub mod workload;
 
 pub use engine::Engine;
 pub use error::ExpError;
 pub use experiment::{run_many, run_policy_comparison, Experiment, ExperimentBuilder};
 pub use report::{PolicyRow, QuarantineSummary, Report, ReportSummary};
+pub use serve::{ServeOptions, ServeSummary};
 pub use workload::{AppWorkload, MixKind, Workload};
 
 pub use clio_sim::sched_replay::{DiskFaultPlan, SlowWindow};

@@ -7,6 +7,8 @@ use clio_trace::replay::{ReplayReport, ReplayStats};
 use clio_trace::verify::{VerifyReport, ViolationCounts};
 use serde::{Deserialize, Serialize};
 
+use crate::serve::ServeSummary;
+
 /// What an experiment produced.
 ///
 /// One type subsumes the engines' native reports: replay engines fill
@@ -42,6 +44,13 @@ pub struct Report {
     /// Lenient-admission quarantine ledger
     /// ([`crate::VerifyMode::Lenient`] runs only).
     pub quarantine: Option<QuarantineSummary>,
+    /// Closed-loop serving outcome ([`crate::Engine::Serve`]): latency
+    /// percentiles, throughput and the explicit failure count.
+    pub serve: Option<ServeSummary>,
+    /// Per-request serve latencies in completion order
+    /// ([`crate::Engine::Serve`] in full report mode only — summary
+    /// mode streams them through an O(1)-memory percentile sink).
+    pub serve_latencies: Option<Vec<f64>>,
     /// Wall-clock time [`crate::Experiment::run`] spent producing this
     /// report, ms. Diagnostic only: it is **not** serialized and not
     /// part of [`ReportSummary`] (summaries must stay bit-identical
@@ -64,6 +73,8 @@ impl Report {
             threads_used: None,
             sim: None,
             quarantine: None,
+            serve: None,
+            serve_latencies: None,
             wall_ms: None,
         }
     }
@@ -109,6 +120,7 @@ impl Report {
             cache: self.cache_metrics,
             threads: self.threads_used.map(|t| t as u64),
             quarantine: self.quarantine,
+            serve: self.serve.clone(),
             policies: None,
         }
     }
@@ -158,6 +170,11 @@ pub struct ReportSummary {
     /// violation tallies. `null` unless the experiment ran with
     /// [`crate::VerifyMode::Lenient`].
     pub quarantine: Option<QuarantineSummary>,
+    /// Closed-loop serving section: latency percentiles (`null`, never
+    /// a fabricated `0.0`, when no request completed), throughput and
+    /// the explicit failure count. `null` unless the experiment ran
+    /// [`crate::Engine::Serve`].
+    pub serve: Option<ServeSummary>,
     /// Per-policy comparison rows, one per replacement policy in
     /// ablation order — filled only by
     /// [`crate::run_policy_comparison`]; `null` for single-policy runs.

@@ -21,6 +21,9 @@
 //! - [`client`] — a load-generating client for the benches.
 
 #![warn(missing_docs)]
+// Library code reports failures; tests may assert with unwrap. (CI
+// runs clippy with -D warnings, so this warn is a hard gate there.)
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod client;
 pub mod files;

@@ -1,0 +1,402 @@
+//! # clio-load — the closed-loop load harness
+//!
+//! The paper's §4 web-server benchmark scales client count and watches
+//! latency; the ROADMAP's north star scales it to "millions of users".
+//! This crate is the measurement harness for that axis: N closed-loop
+//! clients (each issues its next request only after the previous
+//! response) driven over a sweep of concurrency levels, reduced to one
+//! latency curve — p50/p95/p99/p999, throughput and an explicit
+//! failure count per level.
+//!
+//! Two backends produce the same [`LoadPoint`] rows:
+//!
+//! - **Model** ([`LoadHarness`]): the deterministic virtual-clock
+//!   serving engine ([`clio_exp::Engine::Serve`]) over
+//!   [`SharedManagedIo`](clio_runtime::SharedManagedIo). Tier-1 safe:
+//!   no sockets, no wall clocks, bit-identical across runs and host
+//!   thread counts.
+//! - **Socket** ([`socket_sweep`]): the real multithreaded
+//!   [`clio_httpd`] server exercised over TCP by
+//!   [`clio_httpd::client::run_load`]. Wall-clock timing — gate it
+//!   behind `CLIO_SOCKET_TESTS=1`
+//!   ([`clio_httpd::socket_tests_enabled`]), like every other socket
+//!   surface.
+//!
+//! Percentile semantics are shared and strict: an empty sample set
+//! reports `None` (rendered `-` by [`fmt_ms`]), never a fabricated
+//! `0.0`, and `failures` rides next to the latencies so an all-failed
+//! run cannot masquerade as a fast one.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use clio_cache::cache::CacheConfig;
+use clio_exp::{Engine, ExpError, Experiment, ReportMode, ServeSummary, Workload};
+use clio_httpd::client::{run_load, LoadSpec};
+use clio_httpd::files;
+use clio_httpd::server::{Server, ServerConfig, ServerMode};
+use clio_runtime::JitModel;
+use clio_stats::sink::PercentileSink;
+use clio_stats::Stopwatch;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of the serialized [`LoadCurve`].
+pub const LOAD_CURVE_SCHEMA: &str = "clio-load-curve-v1";
+
+/// Client counts the harness sweeps by default (the ROADMAP's
+/// flat-or-rising-to-32 target).
+pub const DEFAULT_CLIENT_LEVELS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One concurrency level's outcome, identical in shape across the
+/// model and socket backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// `"model"` (deterministic virtual clock) or `"socket"` (real
+    /// TCP, wall clock).
+    pub backend: String,
+    /// Serving mode: `"model"` for the deterministic engine, the
+    /// threading model (`"thread-per-conn"`, `"pool-N"`) for sockets.
+    pub mode: String,
+    /// Concurrent closed-loop clients at this level.
+    pub clients: u64,
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests that failed — explicit, so rosy latencies cannot hide
+    /// an all-failed run.
+    pub failures: u64,
+    /// First issue to last completion, ms (virtual or wall).
+    pub makespan_ms: f64,
+    /// Completed requests per second; `None` when nothing completed.
+    pub throughput_rps: Option<f64>,
+    /// Median latency, ms; `None` when no request completed.
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: Option<f64>,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: Option<f64>,
+    /// Mean latency, ms.
+    pub mean_ms: Option<f64>,
+    /// Slowest request, ms.
+    pub max_ms: Option<f64>,
+}
+
+impl LoadPoint {
+    /// Lifts a serving summary into a curve row.
+    pub fn from_summary(summary: &ServeSummary, backend: &str, mode: &str) -> Self {
+        Self {
+            backend: backend.to_string(),
+            mode: mode.to_string(),
+            clients: summary.clients,
+            requests: summary.requests,
+            failures: summary.failures,
+            makespan_ms: summary.makespan_ms,
+            throughput_rps: summary.throughput_rps,
+            p50_ms: summary.p50_ms,
+            p95_ms: summary.p95_ms,
+            p99_ms: summary.p99_ms,
+            p999_ms: summary.p999_ms,
+            mean_ms: summary.mean_ms,
+            max_ms: summary.max_ms,
+        }
+    }
+}
+
+/// A throughput-vs-concurrency curve: one [`LoadPoint`] per swept
+/// client count, serializable as the CI latency-curve artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadCurve {
+    /// Schema tag ([`LOAD_CURVE_SCHEMA`]).
+    pub schema: String,
+    /// Workload label the clients replayed.
+    pub workload: String,
+    /// One row per (mode, client count), in sweep order.
+    pub points: Vec<LoadPoint>,
+}
+
+impl LoadCurve {
+    /// An empty curve for `workload`.
+    pub fn new(workload: impl Into<String>) -> Self {
+        Self { schema: LOAD_CURVE_SCHEMA.into(), workload: workload.into(), points: Vec::new() }
+    }
+
+    /// The curve as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("load curve serializes")
+    }
+
+    /// Parses a curve back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Whether throughput is flat-or-rising along the rows of `mode`:
+    /// every level's throughput is at least `tolerance` (e.g. `0.95`)
+    /// times the best seen at any lower level. Rows with no throughput
+    /// (nothing completed) fail the check.
+    pub fn throughput_flat_or_rising(&self, mode: &str, tolerance: f64) -> bool {
+        let mut best: f64 = 0.0;
+        let mut seen = false;
+        for p in self.points.iter().filter(|p| p.mode == mode) {
+            seen = true;
+            let Some(rps) = p.throughput_rps else { return false };
+            if rps < best * tolerance {
+                return false;
+            }
+            best = best.max(rps);
+        }
+        seen
+    }
+}
+
+/// Formats an optional millisecond figure: three decimals, or `-` for
+/// "no samples" — the honest rendering of an empty percentile.
+pub fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// The deterministic closed-loop harness: sweeps client counts over
+/// the serving model and collects the latency curve.
+///
+/// ```
+/// use clio_load::LoadHarness;
+/// use clio_exp::Workload;
+/// use clio_trace::synth::TraceProfile;
+///
+/// let curve = LoadHarness::new(Workload::Synthetic(TraceProfile::default()))
+///     .clients_levels(&[1, 2, 4])
+///     .requests_per_client(16)
+///     .run()
+///     .unwrap();
+/// assert_eq!(curve.points.len(), 3);
+/// assert!(curve.points[0].p50_ms.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadHarness {
+    workload: Workload,
+    levels: Vec<usize>,
+    requests_per_client: usize,
+    think_ms: f64,
+    cache: CacheConfig,
+    shards: usize,
+    jit: JitModel,
+    mode: ReportMode,
+}
+
+impl LoadHarness {
+    /// A harness over `workload` with the default sweep
+    /// ([`DEFAULT_CLIENT_LEVELS`]), 16 cache shards and the
+    /// SSCLI-calibrated JIT.
+    pub fn new(workload: Workload) -> Self {
+        Self {
+            workload,
+            levels: DEFAULT_CLIENT_LEVELS.to_vec(),
+            requests_per_client: 0,
+            think_ms: 0.0,
+            cache: CacheConfig::default(),
+            shards: 16,
+            jit: JitModel::sscli_like(),
+            mode: ReportMode::Summary,
+        }
+    }
+
+    /// Client counts to sweep (default `[1, 2, 4, 8, 16, 32]`).
+    pub fn clients_levels(mut self, levels: &[usize]) -> Self {
+        self.levels = levels.to_vec();
+        self
+    }
+
+    /// Requests per client at every level (default: each client's
+    /// whole stream).
+    pub fn requests_per_client(mut self, requests: usize) -> Self {
+        self.requests_per_client = requests;
+        self
+    }
+
+    /// Virtual think time between response and next request, ms.
+    pub fn think_ms(mut self, ms: f64) -> Self {
+        self.think_ms = ms;
+        self
+    }
+
+    /// Cache geometry of the serving runtime.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Shard count of the serving runtime's striped cache.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// JIT model of the serving runtime.
+    pub fn jit(mut self, jit: JitModel) -> Self {
+        self.jit = jit;
+        self
+    }
+
+    /// Report mode per level (default [`ReportMode::Summary`]: O(1)
+    /// memory in the per-request sample count).
+    pub fn report_mode(mut self, mode: ReportMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs one level and returns the full serving report (for callers
+    /// that want the engine's report sections, e.g. cache metrics).
+    pub fn run_level(&self, clients: usize) -> Result<clio_exp::Report, ExpError> {
+        Experiment::builder()
+            .workload(self.workload.clone())
+            .engine(Engine::Serve)
+            .cache(self.cache.clone())
+            .shards(self.shards)
+            .clients(clients)
+            .requests_per_client(self.requests_per_client)
+            .think_ms(self.think_ms)
+            .serve_jit(self.jit)
+            .report_mode(self.mode)
+            .build()?
+            .run()
+    }
+
+    /// Sweeps every configured level and returns the latency curve.
+    pub fn run(&self) -> Result<LoadCurve, ExpError> {
+        let mut curve = LoadCurve::new(self.workload.label());
+        for &clients in &self.levels {
+            let report = self.run_level(clients)?;
+            let summary =
+                report.serve.as_ref().expect("the serve engine always fills the serve section");
+            curve.points.push(LoadPoint::from_summary(summary, "model", "model"));
+        }
+        Ok(curve)
+    }
+}
+
+/// Drives one real-socket level: starts a [`clio_httpd`] server in
+/// `mode` over a fresh temp doc root, runs `clients` closed-loop
+/// clients of `requests` requests each (25 % POSTs, like the paper's
+/// mixed table), and reduces the observed latencies to a
+/// [`LoadPoint`].
+///
+/// Callers must hold the socket gate
+/// ([`clio_httpd::socket_tests_enabled`]) — this function does real
+/// TCP and real wall-clock timing.
+pub fn socket_point(
+    mode: ServerMode,
+    mode_label: &str,
+    clients: usize,
+    requests: usize,
+) -> std::io::Result<LoadPoint> {
+    let root = files::temp_doc_root(&format!("load-{mode_label}-{clients}"))?;
+    let mut cfg = ServerConfig::ephemeral(&root);
+    cfg.mode = mode;
+    let server = Server::start(cfg)?;
+
+    let spec = LoadSpec { clients, requests, post_fraction: 0.25, ..Default::default() };
+    let sw = Stopwatch::started();
+    let result = run_load(server.addr(), &spec);
+    let makespan_ms = sw.elapsed_ms();
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+
+    let mut sink = PercentileSink::default();
+    for &ms in &result.latencies_ms {
+        sink.record(ms);
+    }
+    let summary = ServeSummary::from_sink(&sink, clients, result.failures as u64, makespan_ms, 0.0);
+    Ok(LoadPoint::from_summary(&summary, "socket", mode_label))
+}
+
+/// The mode×clients socket sweep (the old `concurrency_sweep` table):
+/// thread-per-connection and a 4-worker pool, across `levels`.
+///
+/// Callers must hold the socket gate; see [`socket_point`].
+pub fn socket_sweep(levels: &[usize], requests: usize) -> std::io::Result<LoadCurve> {
+    let mut curve = LoadCurve::new("httpd(paper docs)");
+    for (mode, label) in [
+        (ServerMode::ThreadPerConnection, "thread-per-conn"),
+        (ServerMode::Pool { workers: 4 }, "pool-4"),
+    ] {
+        for &clients in levels {
+            curve.points.push(socket_point(mode, label, clients, requests)?);
+        }
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_trace::synth::TraceProfile;
+
+    fn harness(ops: usize) -> LoadHarness {
+        LoadHarness::new(Workload::Synthetic(TraceProfile { data_ops: ops, ..Default::default() }))
+    }
+
+    #[test]
+    fn model_sweep_is_deterministic() {
+        let h = harness(48).clients_levels(&[1, 4]);
+        assert_eq!(h.run().unwrap(), h.run().unwrap());
+    }
+
+    #[test]
+    fn curve_round_trips_through_json() {
+        let curve = harness(32).clients_levels(&[1, 2]).run().unwrap();
+        let back = LoadCurve::from_json(&curve.to_json()).unwrap();
+        assert_eq!(back, curve);
+        assert_eq!(back.schema, LOAD_CURVE_SCHEMA);
+    }
+
+    #[test]
+    fn failures_are_explicit_and_percentiles_honest() {
+        // A point with zero completed requests must render "-" and
+        // None, never 0.0 — the failure-masking bug this crate fixes.
+        let empty = PercentileSink::default();
+        let summary = ServeSummary::from_sink(&empty, 4, 7, 12.0, 0.0);
+        let point = LoadPoint::from_summary(&summary, "socket", "pool-4");
+        assert_eq!(point.failures, 7);
+        assert_eq!(point.p50_ms, None);
+        assert_eq!(point.throughput_rps, None);
+        assert_eq!(fmt_ms(point.p50_ms), "-");
+        assert_eq!(fmt_ms(Some(1.23456)), "1.235");
+    }
+
+    #[test]
+    fn flat_or_rising_check() {
+        let mut curve = LoadCurve::new("x");
+        let point = |clients: u64, rps: Option<f64>| {
+            let mut p = LoadPoint::from_summary(
+                &ServeSummary::from_sink(&PercentileSink::default(), clients as usize, 0, 0.0, 0.0),
+                "model",
+                "model",
+            );
+            p.throughput_rps = rps;
+            p
+        };
+        curve.points = vec![point(1, Some(100.0)), point(2, Some(180.0)), point(4, Some(179.0))];
+        assert!(curve.throughput_flat_or_rising("model", 0.95));
+        assert!(!curve.throughput_flat_or_rising("model", 1.0), "tiny dip fails at tolerance 1");
+        curve.points.push(point(8, None));
+        assert!(!curve.throughput_flat_or_rising("model", 0.95), "empty level fails");
+        assert!(!curve.throughput_flat_or_rising("missing-mode", 0.95), "no rows fails");
+    }
+
+    #[test]
+    fn model_throughput_flat_or_rising_to_32() {
+        // The ROADMAP success metric, at reduced size for the unit
+        // layer (the perf suite runs the full profile).
+        let curve = harness(96).requests_per_client(48).run().unwrap();
+        assert_eq!(curve.points.len(), DEFAULT_CLIENT_LEVELS.len());
+        assert!(
+            curve.throughput_flat_or_rising("model", 0.9),
+            "throughput sags under concurrency: {:?}",
+            curve.points.iter().map(|p| p.throughput_rps).collect::<Vec<_>>(),
+        );
+    }
+}

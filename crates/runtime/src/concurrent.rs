@@ -7,8 +7,11 @@
 //! server at one core. [`SharedManagedIo`] is the production-scale
 //! variant: the page cache is a [`ShardedBufferCache`]
 //! (lock-striped, so concurrent requests only contend when their pages
-//! share a shard) and only the small JIT/GC state sits behind its own
-//! short-lived mutex.
+//! share a shard) and the JIT table is a [`SharedJit`] — striped
+//! read-write locks over atomic call counters, so warm invocations (the
+//! steady state of a loaded server) never funnel through one global
+//! mutex. Only the optional GC state keeps a mutex: its pause model is
+//! inherently serial (one collector).
 //!
 //! Cost composition is identical to [`crate::stream::ManagedIo`]:
 //! `JIT charge + GC pause + managed dispatch + cache cost`, so the
@@ -21,7 +24,7 @@ use clio_cache::CacheMetrics;
 use parking_lot::Mutex;
 
 use crate::gc::{GcModel, GcState, GcStats};
-use crate::jit::{JitModel, JitState};
+use crate::jit::{JitModel, SharedJit};
 use crate::stream::{StreamOp, DEFAULT_DISPATCH_MS, PER_CALL_ALLOC_BYTES};
 
 /// Thread-safe managed-runtime I/O facade: `&self` everywhere, pages
@@ -29,7 +32,7 @@ use crate::stream::{StreamOp, DEFAULT_DISPATCH_MS, PER_CALL_ALLOC_BYTES};
 #[derive(Debug)]
 pub struct SharedManagedIo {
     cache: ShardedBufferCache,
-    jit: Mutex<JitState>,
+    jit: SharedJit,
     gc: Option<Mutex<GcState>>,
     dispatch_ms: f64,
 }
@@ -40,7 +43,7 @@ impl SharedManagedIo {
     pub fn new(cache_cfg: CacheConfig, shards: usize, jit_model: JitModel) -> Self {
         Self {
             cache: ShardedBufferCache::new(cache_cfg, shards),
-            jit: Mutex::new(JitState::new(jit_model)),
+            jit: SharedJit::new(jit_model),
             gc: None,
             dispatch_ms: DEFAULT_DISPATCH_MS,
         }
@@ -71,7 +74,7 @@ impl SharedManagedIo {
 
     /// Opens a file from managed method `method`.
     pub fn open(&self, method: &str, method_ops: usize, file: FileId) -> StreamOp {
-        let jit_ms = self.jit.lock().invoke(method, method_ops);
+        let jit_ms = self.jit.invoke(method, method_ops);
         let gc_ms = self.charge_alloc(PER_CALL_ALLOC_BYTES);
         let out = self.cache.open(file);
         StreamOp {
@@ -116,7 +119,7 @@ impl SharedManagedIo {
         len: u64,
         kind: AccessKind,
     ) -> StreamOp {
-        let jit_ms = self.jit.lock().invoke(method, method_ops);
+        let jit_ms = self.jit.invoke(method, method_ops);
         let gc_ms = self.charge_alloc(len + PER_CALL_ALLOC_BYTES);
         let out = self.cache.access(file, offset, len, kind);
         StreamOp {
@@ -130,7 +133,7 @@ impl SharedManagedIo {
 
     /// Closes a file (flushing its dirty pages).
     pub fn close(&self, method: &str, method_ops: usize, file: FileId) -> StreamOp {
-        let jit_ms = self.jit.lock().invoke(method, method_ops);
+        let jit_ms = self.jit.invoke(method, method_ops);
         let gc_ms = self.charge_alloc(PER_CALL_ALLOC_BYTES);
         let out = self.cache.close(file);
         StreamOp {
@@ -156,7 +159,7 @@ impl SharedManagedIo {
 
     /// Whether `method` has been JIT-compiled.
     pub fn is_warm(&self, method: &str) -> bool {
-        self.jit.lock().is_warm(method)
+        self.jit.is_warm(method)
     }
 
     /// Aggregate cache metrics across all shards.

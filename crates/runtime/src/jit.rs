@@ -5,8 +5,20 @@
 //! identifies as one reason the web server's first request is slowest
 //! (Table 6, Fig. 6). [`JitState`] charges a per-method compilation
 //! cost exactly once; subsequent invocations are free.
+//!
+//! [`SharedJit`] is the concurrent variant: the method table is striped
+//! across several read-write locks and the per-method call counter is
+//! atomic, so warm invocations — the steady state of a loaded server —
+//! take a shared read lock plus one `fetch_add` instead of funnelling
+//! every request through a single mutex. Compile accounting is
+//! unchanged: whichever thread's increment observes call number zero
+//! pays the compile cost, exactly once per method.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 /// Compilation cost parameters (milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +112,92 @@ impl JitState {
     }
 }
 
+/// Number of lock stripes in [`SharedJit`]. Methods hash across these
+/// with a deterministic FNV-1a hash, so stripe assignment is stable
+/// across runs and platforms.
+const JIT_STRIPES: usize = 16;
+
+/// FNV-1a over the method name — small, deterministic, and independent
+/// of the standard library's randomized `HashMap` hasher.
+fn stripe_of(method: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in method.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % JIT_STRIPES as u64) as usize
+}
+
+/// Concurrent JIT cache: the same cost model as [`JitState`], shareable
+/// across threads without a global mutex.
+///
+/// The method table is striped over 16 read-write locks;
+/// each method's call count is an [`AtomicU64`] behind an `Arc`, so the
+/// warm path (method already in the table) touches only a read lock and
+/// one atomic increment. The cold path takes the stripe's write lock
+/// just long enough to insert the counter; the compile cost itself is
+/// charged by whichever thread's `fetch_add` returns zero — exactly one
+/// per method, same as the serial state.
+#[derive(Debug)]
+pub struct SharedJit {
+    model: JitModel,
+    stripes: Vec<RwLock<HashMap<String, Arc<AtomicU64>>>>,
+}
+
+impl SharedJit {
+    /// Creates an empty (fully cold) concurrent JIT cache.
+    pub fn new(model: JitModel) -> Self {
+        Self { model, stripes: (0..JIT_STRIPES).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    /// The call counter for `method`, inserting a cold entry if needed.
+    fn counter(&self, method: &str) -> Arc<AtomicU64> {
+        let stripe = &self.stripes[stripe_of(method)];
+        if let Some(c) = stripe.read().get(method) {
+            return Arc::clone(c);
+        }
+        Arc::clone(stripe.write().entry(method.to_string()).or_default())
+    }
+
+    /// Charges one invocation of `method` (a body of `ops`
+    /// instructions). Returns the JIT cost in ms: the compile cost on
+    /// the first call (exactly one caller pays it, even under
+    /// contention), zero afterwards.
+    pub fn invoke(&self, method: &str, ops: usize) -> f64 {
+        let prior = self.counter(method).fetch_add(1, Ordering::AcqRel);
+        if prior == 0 {
+            self.model.compile_cost(ops)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether a method has been compiled already.
+    pub fn is_warm(&self, method: &str) -> bool {
+        self.stripes[stripe_of(method)]
+            .read()
+            .get(method)
+            .is_some_and(|c| c.load(Ordering::Acquire) > 0)
+    }
+
+    /// Number of invocations of a method so far.
+    pub fn calls(&self, method: &str) -> u64 {
+        self.stripes[stripe_of(method)].read().get(method).map_or(0, |c| c.load(Ordering::Acquire))
+    }
+
+    /// Drops all compiled state (simulates an app-domain unload).
+    pub fn reset(&self) {
+        for stripe in &self.stripes {
+            stripe.write().clear();
+        }
+    }
+
+    /// The model in force.
+    pub fn model(&self) -> JitModel {
+        self.model
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +258,62 @@ mod tests {
         let jit = JitState::new(JitModel::default());
         assert!(!jit.is_warm("never"));
         assert_eq!(jit.calls("never"), 0);
+    }
+
+    #[test]
+    fn shared_jit_matches_serial_state() {
+        let mut serial = JitState::new(JitModel::sscli_like());
+        let shared = SharedJit::new(JitModel::sscli_like());
+        let stream =
+            [("doGet", 320), ("doPost", 280), ("doGet", 320), ("open", 40), ("doGet", 320)];
+        for (method, ops) in stream {
+            assert_eq!(serial.invoke(method, ops), shared.invoke(method, ops), "{method}");
+        }
+        for method in ["doGet", "doPost", "open", "never"] {
+            assert_eq!(serial.calls(method), shared.calls(method), "{method} calls");
+            assert_eq!(serial.is_warm(method), shared.is_warm(method), "{method} warmth");
+        }
+    }
+
+    #[test]
+    fn shared_jit_charges_compile_exactly_once_under_contention() {
+        use std::sync::Arc;
+        let jit = Arc::new(SharedJit::new(JitModel::sscli_like()));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let jit = Arc::clone(&jit);
+            handles.push(std::thread::spawn(move || {
+                let mut paid = 0u32;
+                for i in 0..1000u32 {
+                    // Every thread hammers the same few methods.
+                    let method = ["doGet", "doPost", "close"][((t + i) % 3) as usize];
+                    if jit.invoke(method, 200) > 0.0 {
+                        paid += 1;
+                    }
+                }
+                paid
+            }));
+        }
+        let total_paid: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total_paid, 3, "each method compiled exactly once across all threads");
+        assert_eq!(jit.calls("doGet") + jit.calls("doPost") + jit.calls("close"), 8000);
+    }
+
+    #[test]
+    fn shared_jit_reset_recools() {
+        let jit = SharedJit::new(JitModel::sscli_like());
+        jit.invoke("m", 50);
+        assert!(jit.is_warm("m"));
+        jit.reset();
+        assert!(!jit.is_warm("m"));
+        assert!(jit.invoke("m", 50) > 0.0);
+    }
+
+    #[test]
+    fn stripe_of_is_deterministic() {
+        for name in ["doGet", "doPost", "a", "zz", ""] {
+            assert_eq!(stripe_of(name), stripe_of(name));
+            assert!(stripe_of(name) < JIT_STRIPES);
+        }
     }
 }

@@ -38,6 +38,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code reports failures; tests may assert with unwrap. (CI
+// runs clippy with -D warnings, so this warn is a hard gate there.)
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod concurrent;
 pub mod gc;
@@ -48,7 +51,7 @@ pub mod vm;
 
 pub use concurrent::SharedManagedIo;
 pub use gc::{GcModel, GcState, GcStats};
-pub use jit::{JitModel, JitState};
+pub use jit::{JitModel, JitState, SharedJit};
 pub use loader::assemble;
 pub use stream::{ManagedIo, StreamOp};
 pub use vm::{Assembly, IoCtx, Method, Op, Vm, VmError};

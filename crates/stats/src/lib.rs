@@ -9,6 +9,7 @@
 //! - [`summary`] — streaming mean/variance/min/max (Welford),
 //! - [`histogram`] — logarithmically bucketed latency histograms,
 //! - [`percentile`] — exact quantiles over recorded samples,
+//! - [`sink`] — streaming percentile sink (O(1) memory, bounded error),
 //! - [`speedup`] — speedup-versus-resources series (Figures 4 and 5),
 //! - [`series`] — (trial, value) series (Figure 6),
 //! - [`table`] — paper-style ASCII tables (Tables 1–6),
@@ -23,6 +24,7 @@ pub mod confidence;
 pub mod histogram;
 pub mod percentile;
 pub mod series;
+pub mod sink;
 pub mod speedup;
 pub mod summary;
 pub mod table;
@@ -33,6 +35,7 @@ pub use confidence::{confidence_interval, ConfidenceInterval, Level};
 pub use histogram::LatencyHistogram;
 pub use percentile::{quantile, quantiles};
 pub use series::Series;
+pub use sink::PercentileSink;
 pub use speedup::SpeedupCurve;
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,364 @@
+//! Streaming percentile sink with bounded relative error.
+//!
+//! The closed-loop load harness records one latency per request; at
+//! millions of requests a full sample vector ([`crate::percentile`])
+//! stops being an option in summary mode. This sink is the O(1)-memory
+//! replacement: geometrically spaced buckets (a DDSketch-style layout)
+//! whose width is chosen from a target relative error, so
+//! `sink.quantile(q)` agrees with the exact
+//! [`quantile`](crate::percentile::quantile) of the same samples to
+//! within that error — tight enough that p50/p95/p99/p999 rows from the
+//! streaming and exact paths are interchangeable.
+//!
+//! Memory is bounded by the value range, not the sample count: covering
+//! ten decades at 1 % error takes ~2300 buckets, and only non-empty
+//! buckets are stored. Sinks with the same accuracy merge losslessly,
+//! which is what lets per-client recorders combine into one report.
+
+use std::collections::BTreeMap;
+
+/// Default target relative error (1 %).
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// Streaming percentile estimator over non-negative samples.
+///
+/// Values are in milliseconds by convention (matching the rest of the
+/// suite) but the structure is unit-agnostic. Values ≤ 0 are counted in
+/// a dedicated zero bucket and reported as exactly `0.0` — timers round
+/// to zero on very fast requests, and inventing a small positive
+/// latency for them would skew the low percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileSink {
+    /// Bucket boundary ratio: bucket `k` covers `(gamma^k, gamma^(k+1)]`.
+    gamma: f64,
+    /// Precomputed `1 / ln(gamma)` for the index map.
+    inv_ln_gamma: f64,
+    /// Count per bucket index; only touched buckets are stored.
+    buckets: BTreeMap<i32, u64>,
+    /// Samples ≤ 0 (reported as exactly zero).
+    zeros: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl PercentileSink {
+    /// Creates a sink whose quantiles are accurate to `relative_error`
+    /// (e.g. `0.01` for 1 %).
+    ///
+    /// # Panics
+    /// Panics unless `0 < relative_error < 1`.
+    pub fn new(relative_error: f64) -> Self {
+        assert!(relative_error > 0.0 && relative_error < 1.0, "relative error must be in (0, 1)");
+        let gamma = (1.0 + relative_error) / (1.0 - relative_error);
+        Self {
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Bucket index for a strictly positive value.
+    fn index_of(&self, value: f64) -> i32 {
+        (value.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// The representative value of bucket `k`: the geometric midpoint
+    /// `2·gamma^k / (gamma + 1)`, which bounds the relative error at
+    /// `(gamma − 1) / (gamma + 1)` — exactly the requested accuracy.
+    fn value_of(&self, index: i32) -> f64 {
+        2.0 * self.gamma.powi(index) / (self.gamma + 1.0)
+    }
+
+    /// Records one sample. NaN samples are ignored, matching the exact
+    /// quantile's NaN filtering.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value <= 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(self.index_of(value)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of the recorded samples, accurate
+    /// to the sink's relative error.
+    ///
+    /// Returns `None` when empty — never a fabricated `0.0`; an
+    /// all-failed run must not report rosy latencies.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the answer in the sorted samples (0-based), matching
+        // the exact estimator's `q * (n - 1)` position.
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        if rank < self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&index, &c) in &self.buckets {
+            seen += c;
+            if seen > rank {
+                // Clamp to the observed extremes so q=0 / q=1 return
+                // the true min/max rather than a bucket midpoint.
+                return Some(self.value_of(index).clamp(self.min.max(0.0), self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Several quantiles in one call, `None` when empty.
+    pub fn quantiles(&self, qs: &[f64]) -> Option<Vec<f64>> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(qs.iter().map(|&q| self.quantile(q).unwrap_or(self.max)).collect())
+    }
+
+    /// Merges another sink recorded at the same accuracy.
+    ///
+    /// # Panics
+    /// Panics if the two sinks were built with different relative
+    /// errors (their buckets would not line up).
+    pub fn merge(&mut self, other: &PercentileSink) {
+        assert_eq!(self.gamma, other.gamma, "sink accuracies differ");
+        for (&index, &c) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += c;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of non-empty buckets currently stored — the memory
+    /// footprint, for the O(1)-memory pin.
+    pub fn stored_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl Default for PercentileSink {
+    fn default() -> Self {
+        Self::new(DEFAULT_RELATIVE_ERROR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile::quantile;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_none_never_zero() {
+        let s = PercentileSink::default();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantiles(&[0.5, 0.99]), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let mut s = PercentileSink::default();
+        s.record(42.0);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!((v - 42.0).abs() / 42.0 <= 0.01, "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn zeros_report_as_zero() {
+        let mut s = PercentileSink::default();
+        s.record(0.0);
+        s.record(0.0);
+        s.record(0.0);
+        s.record(10.0);
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(s.min(), Some(0.0));
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut s = PercentileSink::default();
+        s.record(f64::NAN);
+        assert!(s.is_empty());
+        s.record(1.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn extremes_clamp_to_observed() {
+        let mut s = PercentileSink::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn merge_matches_single_sink() {
+        let mut a = PercentileSink::default();
+        let mut b = PercentileSink::default();
+        let mut whole = PercentileSink::default();
+        for i in 0..500 {
+            let v = (i as f64).mul_add(0.37, 0.01);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracies differ")]
+    fn merge_incompatible_panics() {
+        let mut a = PercentileSink::new(0.01);
+        let b = PercentileSink::new(0.02);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = PercentileSink::default();
+        for i in 0..1_000_000u64 {
+            // Ten decades of values, a million samples.
+            s.record(1e-5 * 1.000_023f64.powi((i % 500_000) as i32));
+        }
+        assert_eq!(s.count(), 1_000_000);
+        assert!(s.stored_buckets() < 3000, "buckets={}", s.stored_buckets());
+    }
+
+    /// The order statistics bracketing the exact `q`-quantile: the
+    /// interpolated estimator lands between these two samples, so the
+    /// sink's answer must land within relative error of that bracket.
+    fn bracket(samples: &[f64], q: f64) -> (f64, f64) {
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+        (v[pos.floor() as usize], v[pos.ceil() as usize])
+    }
+
+    fn assert_within(samples: &[f64], q: f64, approx: f64, err: f64) {
+        let (lo, hi) = bracket(samples, q);
+        assert!(
+            approx >= lo * (1.0 - err) - 1e-12 && approx <= hi * (1.0 + err) + 1e-12,
+            "q={q}: approx {approx} outside [{lo}, {hi}] ± {err}"
+        );
+    }
+
+    /// Shared check: every requested quantile within the advertised
+    /// relative error of the exact estimator's bracketing samples.
+    fn assert_close(samples: &[f64], err: f64) {
+        let mut s = PercentileSink::new(err);
+        for &x in samples {
+            s.record(x);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert!(quantile(samples, q).is_some());
+            assert_within(samples, q, s.quantile(q).unwrap(), err);
+        }
+    }
+
+    #[test]
+    fn tracks_exact_quantile_uniform() {
+        let samples: Vec<f64> = (1..=10_000).map(|i| i as f64 * 0.01).collect();
+        assert_close(&samples, 0.01);
+    }
+
+    #[test]
+    fn tracks_exact_quantile_heavy_tail() {
+        // Mixture: many sub-millisecond hits, a tail of slow requests.
+        let samples: Vec<f64> =
+            (0..5000)
+                .map(|i| {
+                    if i % 100 == 0 {
+                        50.0 + i as f64 * 0.01
+                    } else {
+                        0.05 + (i % 7) as f64 * 0.001
+                    }
+                })
+                .collect();
+        assert_close(&samples, 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_track_exact(
+            xs in prop::collection::vec(1e-4f64..1e3, 1..400),
+            q in 0f64..1.0,
+        ) {
+            let mut s = PercentileSink::default();
+            for &x in &xs { s.record(x); }
+            prop_assert!(quantile(&xs, q).is_some());
+            let approx = s.quantile(q).unwrap();
+            let (lo, hi) = bracket(&xs, q);
+            prop_assert!(
+                approx >= lo * 0.99 - 1e-12 && approx <= hi * 1.01 + 1e-12,
+                "q={} approx={} bracket=[{}, {}]", q, approx, lo, hi,
+            );
+        }
+
+        #[test]
+        fn quantile_monotone(xs in prop::collection::vec(0f64..1e4, 1..300)) {
+            let mut s = PercentileSink::default();
+            for &x in &xs { s.record(x); }
+            let v = s.quantiles(&[0.25, 0.5, 0.75, 0.99]).unwrap();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

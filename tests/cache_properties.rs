@@ -115,6 +115,9 @@ proptest! {
     ) {
         let base = config(policy, capacity);
         let cache = ShardedBufferCache::new(base.clone(), shards);
+        // The constructor clamps the shard count to the page capacity;
+        // mirror whatever it actually built.
+        let shards = cache.num_shards();
         let f = cache.register_file("iso");
 
         // Standalone replicas: one policy instance per shard, sized to
@@ -202,6 +205,49 @@ proptest! {
                 "shard {} residency diverged",
                 s,
             );
+        }
+    }
+
+    // (d) Shard-count clamp: requesting more shards than there are
+    // capacity pages must not strand any page in a zero-capacity shard
+    // (capacity 0 means "never cache", so such pages would miss
+    // forever). With the clamp, every shard holds at least one page,
+    // so any single page re-accessed back-to-back hits — regardless of
+    // policy — while the aggregate residency bound still holds.
+    #[test]
+    fn oversharded_cache_stays_fully_cacheable(
+        pages in prop::collection::vec(0u64..20_000, 1..40),
+        policy in arb_policy(),
+        capacity in 1usize..16,
+        shards in 1usize..32,
+    ) {
+        let cache = ShardedBufferCache::for_policy(policy, shards, config(policy, capacity));
+        prop_assert!(
+            cache.num_shards() <= capacity,
+            "{} shards exceed {} capacity pages",
+            cache.num_shards(),
+            capacity,
+        );
+        for s in 0..cache.num_shards() {
+            prop_assert!(
+                cache.lock_shard(s).config().capacity_pages >= 1,
+                "shard {}/{} has zero capacity",
+                s,
+                cache.num_shards(),
+            );
+        }
+        let f = cache.register_file("clamp");
+        let page_size = config(policy, capacity).page_size;
+        for index in pages {
+            let off = index * page_size;
+            cache.access(f, off, 1, AccessKind::Read);
+            let again = cache.access(f, off, 1, AccessKind::Read);
+            prop_assert_eq!(
+                again.pages_hit, 1,
+                "page {} uncacheable ({}, {} shards, {} pages)",
+                index, policy.name(), shards, capacity,
+            );
+            prop_assert!(cache.resident_pages() <= capacity);
         }
     }
 

@@ -107,6 +107,13 @@ fn smoke_run_stays_above_committed_baseline_floors() {
         }
     }
     assert!(compared > 0, "no comparable benches between baseline and smoke run — gate is vacuous");
+    // The serving path must stay covered: at least one closed-loop
+    // `serve/*` row has to survive the baseline/smoke intersection.
+    assert!(
+        rates(&baseline).iter().any(|(n, _)| n.starts_with("serve/"))
+            && smoke_rates.iter().any(|(n, _)| n.starts_with("serve/")),
+        "no serve/ rows in the baseline/smoke intersection — the serving path is ungated"
+    );
     assert!(
         failures.is_empty(),
         "perf regression gate tripped ({} of {compared} rows):\n  {}",
