@@ -40,7 +40,10 @@
 //! fully streaming pipeline: the workload is consumed straight off its
 //! source (synthesis included, nothing frozen, nothing materialized)
 //! in summary mode. The `sim/trace_driven_pool` row exercises the
-//! `run_many` worker pool. The `serve/clients_{1,2,4,8,16,32}` rows
+//! `run_many` worker pool. The `trace_io/{encode,decode}_bytes_per_sec`
+//! rows measure the v2 compact trace codec (decode includes the
+//! admission pass), with `trace_io/compact_vs_v1_size` recording the
+//! compact-vs-v1 size ratio. The `serve/clients_{1,2,4,8,16,32}` rows
 //! drive the closed-loop serving model (`Engine::Serve`) at each
 //! client count, recording wall-clock engine throughput plus the
 //! deterministic virtual-clock rps and p99 latency.
@@ -94,6 +97,8 @@ struct PerfEntry {
     p99_virtual_ms: Option<f64>,
     /// Virtual-clock p99.9 request latency of the serving model, ms.
     p999_virtual_ms: Option<f64>,
+    /// v2-compact-to-v1 size ratio (`trace_io/*` rows only).
+    compact_ratio: Option<f64>,
 }
 
 /// The whole baseline report.
@@ -219,6 +224,17 @@ const STREAM_SERIAL_ROW: &str = "replay_stream/serial";
 /// End-to-end streaming parallel replay (one stream per worker).
 const STREAM_PARALLEL_ROW: &str = "replay_stream/parallel";
 
+/// v2 compact encode throughput (v1-equivalent bytes per second).
+const TRACE_ENCODE_ROW: &str = "trace_io/encode_bytes_per_sec";
+
+/// v2 compact verified-decode throughput (v1-equivalent bytes per
+/// second; every iteration re-runs the admission pass and drains the
+/// stream).
+const TRACE_DECODE_ROW: &str = "trace_io/decode_bytes_per_sec";
+
+/// The compact-vs-v1 size row: no timing, just the ratio.
+const TRACE_RATIO_ROW: &str = "trace_io/compact_vs_v1_size";
+
 /// Client counts of the closed-loop serving rows.
 const SERVE_LEVELS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
@@ -240,6 +256,9 @@ fn row_names(args: &Args) -> Vec<String> {
     if args.threads > 0 {
         rows.push(STREAM_PARALLEL_ROW.to_string());
     }
+    rows.push(TRACE_ENCODE_ROW.to_string());
+    rows.push(TRACE_DECODE_ROW.to_string());
+    rows.push(TRACE_RATIO_ROW.to_string());
     for clients in SERVE_LEVELS {
         rows.push(serve_row(clients));
     }
@@ -334,6 +353,7 @@ fn entry_from_stats(name: &str, kind: &str, policy: Option<&str>, stats: &Stats)
         p95_virtual_ms: None,
         p99_virtual_ms: None,
         p999_virtual_ms: None,
+        compact_ratio: None,
     }
 }
 
@@ -516,6 +536,80 @@ fn main() {
         }
     }
 
+    // --- Trace I/O: the v2 compact codec over the materialized replay
+    // trace — encode throughput, verified-decode throughput (every
+    // iteration re-runs the admission pass and drains the stream), and
+    // the compact-vs-v1 size ratio. Byte rates are in v1-equivalent
+    // (raw) bytes, the "decode at disk speed" figure of merit. ---
+    {
+        use clio_core::trace::compact;
+        let v1_len = trace.to_bytes().len() as u64;
+        let encoded = Arc::new(compact::encode_trace(&trace).expect("compact encode succeeds"));
+        let compact_ratio = encoded.len() as f64 / v1_len as f64;
+
+        let stats = measure(&cfg, |b| {
+            b.iter(|| compact::encode_trace(&trace).expect("compact encode succeeds"))
+        });
+        println!(
+            "{TRACE_ENCODE_ROW:<24} median {:>10.3} ms  {:>12.0} records/s  {:>14.0} bytes/s",
+            stats.median_ns / 1e6,
+            rate(records, stats.median_ns),
+            rate(v1_len, stats.median_ns),
+        );
+        let mut e = entry_from_stats(TRACE_ENCODE_ROW, "trace_io", None, &stats);
+        e.records = records;
+        e.records_per_sec = rate(records, stats.median_ns);
+        e.bytes_per_sec = rate(v1_len, stats.median_ns);
+        e.compact_ratio = Some(compact_ratio);
+        benches.push(e);
+
+        let stats = measure(&cfg, |b| {
+            b.iter(|| {
+                let mut src = compact::CompactSource::from_bytes(encoded.clone())
+                    .expect("verified decode succeeds");
+                let mut n = 0u64;
+                while src.next_record().is_some() {
+                    n += 1;
+                }
+                n
+            })
+        });
+        println!(
+            "{TRACE_DECODE_ROW:<24} median {:>10.3} ms  {:>12.0} records/s  {:>14.0} bytes/s",
+            stats.median_ns / 1e6,
+            rate(records, stats.median_ns),
+            rate(v1_len, stats.median_ns),
+        );
+        let mut e = entry_from_stats(TRACE_DECODE_ROW, "trace_io", None, &stats);
+        e.records = records;
+        e.records_per_sec = rate(records, stats.median_ns);
+        e.bytes_per_sec = rate(v1_len, stats.median_ns);
+        e.compact_ratio = Some(compact_ratio);
+        benches.push(e);
+
+        // The size row carries no timing — rates stay zero so the perf
+        // gate skips it; the ratio is the datum.
+        println!(
+            "{TRACE_RATIO_ROW:<24} v1 {v1_len:>10} B  v2 {:>10} B  ratio {compact_ratio:>8.3}",
+            encoded.len(),
+        );
+        let size_stats = Stats {
+            samples: 0,
+            iters_per_sample: 0,
+            outliers_rejected: 0,
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            mad_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            total_time: Duration::ZERO,
+        };
+        let mut e = entry_from_stats(TRACE_RATIO_ROW, "trace_io_size", None, &size_stats);
+        e.records = records;
+        e.compact_ratio = Some(compact_ratio);
+        benches.push(e);
+    }
+
     // --- Closed-loop serving model: N virtual clients over the shared
     // managed runtime, one row per client count. Requests per client
     // shrink as clients grow, so every row serves the same total and
@@ -643,7 +737,7 @@ fn main() {
     }
 
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v6".to_string(),
+        schema: "clio-perf-baseline-v7".to_string(),
         mode: mode.to_string(),
         report: report_mode.to_string(),
         workload: args.workload.clone(),
@@ -739,6 +833,9 @@ mod tests {
         assert!(rows.contains(&parallel_row(ReplacementPolicy::Lru)));
         assert!(rows.contains(&STREAM_SERIAL_ROW.to_string()));
         assert!(rows.contains(&STREAM_PARALLEL_ROW.to_string()));
+        assert!(rows.contains(&TRACE_ENCODE_ROW.to_string()));
+        assert!(rows.contains(&TRACE_DECODE_ROW.to_string()));
+        assert!(rows.contains(&TRACE_RATIO_ROW.to_string()));
         assert!(rows.contains(&SIM_ROW.to_string()));
         assert!(rows.contains(&POOL_ROW.to_string()));
         for clients in SERVE_LEVELS {

@@ -1,0 +1,234 @@
+//! Converts traces between the v1 fixed-width and v2 compact binary
+//! formats, printing the compression ratio.
+//!
+//! ```text
+//! trace_convert <input> <output>            # direction sniffed by magic
+//! trace_convert --to v1|v2 <input> <output> # direction forced
+//! trace_convert --selftest [--out <path>]   # round-trip every built-in
+//!                                           # workload atom, print (and
+//!                                           # optionally write) ratios
+//! ```
+//!
+//! The self-test is the CI trace-format job: each atom is materialized,
+//! encoded to v2, decoded back through the verified streaming path, and
+//! compared record-for-record; any mismatch or a ratio above the 0.60
+//! acceptance bound exits nonzero.
+
+use std::process::ExitCode;
+
+use clio_core::prelude::*;
+use clio_core::trace::compact;
+use clio_core::trace::TraceFile;
+
+/// The built-in workload atoms the self-test round-trips (the same
+/// list `verify_smoke` admits).
+const ATOMS: [&str; 8] = ["synth", "seq", "rand", "dmine", "titan", "lu", "cholesky", "pgrep"];
+
+/// The acceptance bound: v2 must be at most this fraction of v1.
+const RATIO_BOUND: f64 = 0.60;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_convert [--to v1|v2] <input> <output>\n       \
+         trace_convert --selftest [--out <path>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut to: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut selftest = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--to" => match it.next() {
+                Some(v) => to = Some(v),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v),
+                None => return usage(),
+            },
+            "--selftest" => selftest = true,
+            "--help" | "-h" => return usage(),
+            _ => positional.push(arg),
+        }
+    }
+
+    if selftest {
+        return run_selftest(out_path.as_deref());
+    }
+    let [input, output] = positional.as_slice() else {
+        return usage();
+    };
+    match convert(input, output, to.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_convert: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn convert(input: &str, output: &str, to: Option<&str>) -> Result<(), String> {
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let input_is_v2 = compact::is_compact(&data);
+    let target = match to {
+        Some("v1") => "v1",
+        Some("v2") => "v2",
+        Some(other) => return Err(format!("unknown target format {other:?} (try v1 or v2)")),
+        // No explicit target: convert to the other format.
+        None if input_is_v2 => "v1",
+        None => "v2",
+    };
+
+    let trace = if input_is_v2 {
+        compact::decode_trace(data).map_err(|e| format!("{input}: {e}"))?
+    } else {
+        TraceFile::from_bytes(&data).map_err(|e| format!("{input}: {e}"))?
+    };
+
+    let v1_bytes = trace.to_bytes();
+    let v2_bytes = compact::encode_trace(&trace).map_err(|e| e.to_string())?;
+    let (written, label) = match target {
+        "v1" => (&v1_bytes, "v1 fixed-width"),
+        _ => (&v2_bytes, "v2 compact"),
+    };
+    std::fs::write(output, written).map_err(|e| format!("{output}: {e}"))?;
+
+    let ratio = v2_bytes.len() as f64 / v1_bytes.len() as f64;
+    println!(
+        "{input} -> {output} ({label}): {} records, v1 {} B, v2 {} B, compression ratio {ratio:.3}",
+        trace.len(),
+        v1_bytes.len(),
+        v2_bytes.len(),
+    );
+    Ok(())
+}
+
+/// One self-test row: the atom's sizes in both formats.
+struct Row {
+    atom: &'static str,
+    records: usize,
+    v1_bytes: usize,
+    v2_bytes: usize,
+}
+
+impl Row {
+    fn ratio(&self) -> f64 {
+        self.v2_bytes as f64 / self.v1_bytes as f64
+    }
+}
+
+fn run_selftest(out_path: Option<&str>) -> ExitCode {
+    clio_bench::banner("Trace format", "v1<->v2 round-trip over every built-in workload atom");
+
+    println!(
+        "{:10} {:>9} {:>12} {:>12} {:>8}  verdict",
+        "atom", "records", "v1 bytes", "v2 bytes", "ratio"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failed = false;
+    for atom in ATOMS {
+        let trace = match Workload::parse(atom)
+            .map_err(ExpError::InvalidWorkload)
+            .and_then(|w| w.materialize())
+        {
+            Ok(t) => t,
+            Err(e) => {
+                println!(
+                    "{atom:10} {:>9} {:>12} {:>12} {:>8}  UNAVAILABLE: {e}",
+                    "-", "-", "-", "-"
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let v1_bytes = trace.to_bytes();
+        let v2_bytes = match compact::encode_trace(&trace) {
+            Ok(b) => b,
+            Err(e) => {
+                println!(
+                    "{atom:10} {:>9} {:>12} {:>12} {:>8}  ENCODE FAILED: {e}",
+                    trace.len(),
+                    "-",
+                    "-",
+                    "-"
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let verdict = match compact::decode_trace(v2_bytes.clone()) {
+            Ok(back) if back.records == trace.records => "pass",
+            Ok(_) => {
+                failed = true;
+                "RECORDS DIFFER"
+            }
+            Err(e) => {
+                println!(
+                    "{atom:10} {:>9} {:>12} {:>12} {:>8}  DECODE FAILED: {e}",
+                    trace.len(),
+                    "-",
+                    "-",
+                    "-"
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let row =
+            Row { atom, records: trace.len(), v1_bytes: v1_bytes.len(), v2_bytes: v2_bytes.len() };
+        let ratio = row.ratio();
+        let verdict = if verdict == "pass" && ratio > RATIO_BOUND {
+            failed = true;
+            "RATIO ABOVE BOUND"
+        } else {
+            verdict
+        };
+        println!(
+            "{atom:10} {:>9} {:>12} {:>12} {ratio:>8.3}  {verdict}",
+            row.records, row.v1_bytes, row.v2_bytes
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = out_path {
+        let json = ratios_json(&rows);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("trace_convert: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote compression-ratio table to {path}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the ratio table as a small JSON artifact (schema:
+/// `clio-trace-ratios-v1`).
+fn ratios_json(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "{\n  \"schema\": \"clio-trace-ratios-v1\",\n  \"ratio_bound\": 0.60,\n  \"atoms\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"atom\": \"{}\", \"records\": {}, \"v1_bytes\": {}, \"v2_bytes\": {}, \"ratio\": {:.4}}}{}\n",
+            r.atom,
+            r.records,
+            r.v1_bytes,
+            r.v2_bytes,
+            r.ratio(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

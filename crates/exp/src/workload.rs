@@ -108,7 +108,8 @@ pub enum Workload {
     Synthetic(TraceProfile),
     /// One of the paper's traced applications.
     App(AppWorkload),
-    /// A binary trace file loaded from disk.
+    /// A binary trace file loaded from disk — v1 fixed-width or v2
+    /// compact, auto-detected by magic.
     File(PathBuf),
     /// An in-memory trace (shared, cheap to re-open).
     Trace(Arc<TraceFile>),
@@ -161,7 +162,9 @@ impl Workload {
                 Box::new(SynthSource::new(profile.clone()).map_err(ExpError::InvalidWorkload)?)
             }
             Workload::App(app) => Box::new(SharedSource::new(Arc::new(app.trace()?))),
-            Workload::File(path) => Box::new(SharedSource::new(Arc::new(TraceFile::load(path)?))),
+            // v1 vs v2 sniffed by magic: a compact file opens as a
+            // verified streaming CompactSource, a v1 file materializes.
+            Workload::File(path) => clio_trace::compact::open_path(path)?,
             Workload::Trace(trace) => Box::new(SharedSource::new(trace.clone())),
             Workload::Chain(a, b) => Box::new(ChainSource::new(a.open()?, b.open()?)),
             Workload::Mix(a, b, MixKind::RoundRobin) => {
@@ -187,7 +190,7 @@ impl Workload {
         match self {
             Workload::Trace(trace) => Ok(trace.clone()),
             Workload::App(app) => Ok(Arc::new(app.trace()?)),
-            Workload::File(path) => Ok(Arc::new(TraceFile::load(path)?)),
+            Workload::File(path) => Ok(Arc::new(clio_trace::compact::load_auto(path)?)),
             _ => Ok(Arc::new(materialize(&mut *self.open()?)?)),
         }
     }

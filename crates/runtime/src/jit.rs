@@ -128,20 +128,33 @@ fn stripe_of(method: &str) -> usize {
     (h % JIT_STRIPES as u64) as usize
 }
 
+/// One method's call counter, padded out to a cache line.
+///
+/// Hot methods are incremented from every worker thread on every
+/// request; without the alignment, counters allocated back-to-back
+/// share a 64-byte line and each `fetch_add` invalidates the line for
+/// every other hot method's owner core (false sharing). The padding
+/// costs 56 bytes per *method* — a one-time, bounded overhead — and
+/// keeps each hot counter's ping-ponging confined to its own line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct MethodCounter(AtomicU64);
+
 /// Concurrent JIT cache: the same cost model as [`JitState`], shareable
 /// across threads without a global mutex.
 ///
-/// The method table is striped over 16 read-write locks;
-/// each method's call count is an [`AtomicU64`] behind an `Arc`, so the
+/// The method table is striped over 16 read-write locks; each method's
+/// call count is a cache-line-padded atomic behind an `Arc`, so the
 /// warm path (method already in the table) touches only a read lock and
-/// one atomic increment. The cold path takes the stripe's write lock
-/// just long enough to insert the counter; the compile cost itself is
-/// charged by whichever thread's `fetch_add` returns zero — exactly one
-/// per method, same as the serial state.
+/// one atomic increment on a line no other method shares. The cold path
+/// takes the stripe's write lock just long enough to insert the
+/// counter; the compile cost itself is charged by whichever thread's
+/// `fetch_add` returns zero — exactly one per method, same as the
+/// serial state.
 #[derive(Debug)]
 pub struct SharedJit {
     model: JitModel,
-    stripes: Vec<RwLock<HashMap<String, Arc<AtomicU64>>>>,
+    stripes: Vec<RwLock<HashMap<String, Arc<MethodCounter>>>>,
 }
 
 impl SharedJit {
@@ -151,7 +164,7 @@ impl SharedJit {
     }
 
     /// The call counter for `method`, inserting a cold entry if needed.
-    fn counter(&self, method: &str) -> Arc<AtomicU64> {
+    fn counter(&self, method: &str) -> Arc<MethodCounter> {
         let stripe = &self.stripes[stripe_of(method)];
         if let Some(c) = stripe.read().get(method) {
             return Arc::clone(c);
@@ -164,7 +177,7 @@ impl SharedJit {
     /// the first call (exactly one caller pays it, even under
     /// contention), zero afterwards.
     pub fn invoke(&self, method: &str, ops: usize) -> f64 {
-        let prior = self.counter(method).fetch_add(1, Ordering::AcqRel);
+        let prior = self.counter(method).0.fetch_add(1, Ordering::AcqRel);
         if prior == 0 {
             self.model.compile_cost(ops)
         } else {
@@ -177,12 +190,15 @@ impl SharedJit {
         self.stripes[stripe_of(method)]
             .read()
             .get(method)
-            .is_some_and(|c| c.load(Ordering::Acquire) > 0)
+            .is_some_and(|c| c.0.load(Ordering::Acquire) > 0)
     }
 
     /// Number of invocations of a method so far.
     pub fn calls(&self, method: &str) -> u64 {
-        self.stripes[stripe_of(method)].read().get(method).map_or(0, |c| c.load(Ordering::Acquire))
+        self.stripes[stripe_of(method)]
+            .read()
+            .get(method)
+            .map_or(0, |c| c.0.load(Ordering::Acquire))
     }
 
     /// Drops all compiled state (simulates an app-domain unload).
@@ -307,6 +323,14 @@ mod tests {
         jit.reset();
         assert!(!jit.is_warm("m"));
         assert!(jit.invoke("m", 50) > 0.0);
+    }
+
+    #[test]
+    fn method_counters_occupy_their_own_cache_line() {
+        // The false-sharing fix: two hot methods' counters can never
+        // land on the same 64-byte line.
+        assert_eq!(std::mem::align_of::<MethodCounter>(), 64);
+        assert!(std::mem::size_of::<MethodCounter>() >= 64);
     }
 
     #[test]

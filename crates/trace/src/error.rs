@@ -33,6 +33,28 @@ pub enum TraceError {
         /// Number of files the header declares.
         num_files: u32,
     },
+    /// Bytes remained after the last declared record (or after the v2
+    /// end marker) — the signature of a concatenated or padded file.
+    TrailingBytes {
+        /// How many unconsumed bytes followed the declared content.
+        extra: usize,
+    },
+    /// A v2 block failed a structural check while decoding.
+    CorruptBlock {
+        /// 0-based index of the offending block.
+        block: u64,
+        /// Which structural rule the block broke.
+        context: &'static str,
+    },
+    /// A v2 block's payload did not match its stored CRC32.
+    ChecksumMismatch {
+        /// 0-based index of the offending block.
+        block: u64,
+        /// The checksum the block header declares.
+        stored: u32,
+        /// The checksum computed over the payload actually present.
+        computed: u32,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -52,6 +74,19 @@ impl fmt::Display for TraceError {
             }
             TraceError::FileIdOutOfRange { file_id, num_files } => {
                 write!(f, "record references file {file_id} but header declares {num_files} files")
+            }
+            TraceError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the declared trace content")
+            }
+            TraceError::CorruptBlock { block, context } => {
+                write!(f, "corrupt block {block}: {context}")
+            }
+            TraceError::ChecksumMismatch { block, stored, computed } => {
+                write!(
+                    f,
+                    "block {block} checksum mismatch: stored {stored:#010x}, \
+                     computed {computed:#010x}"
+                )
             }
             TraceError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -90,6 +125,13 @@ mod tests {
         assert!(TraceError::FileIdOutOfRange { file_id: 5, num_files: 2 }
             .to_string()
             .contains("file 5"));
+        assert!(TraceError::TrailingBytes { extra: 9 }.to_string().contains("9 trailing"));
+        assert!(TraceError::CorruptBlock { block: 3, context: "bad op nibble" }
+            .to_string()
+            .contains("block 3"));
+        let e = TraceError::ChecksumMismatch { block: 1, stored: 0xDEAD, computed: 0xBEEF };
+        assert!(e.to_string().contains("0x0000dead"));
+        assert!(e.to_string().contains("0x0000beef"));
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   records, offset to the records, sample-file name),
 //! - [`codec`] — a binary codec (magic + version + fixed-width records)
 //!   and a whitespace text codec,
+//! - [`compact`] — the v2 block-framed compact format: delta/varint
+//!   columns, per-block CRC32, a seekable index footer, a streaming
+//!   [`compact::CompactWriter`] and a verified streaming
+//!   [`compact::CompactSource`] (admission-on-ingest: corrupt input is
+//!   rejected with a coded error at the block where it breaks),
 //! - [`reader`] / [`writer`] — whole-file I/O with validation,
 //! - [`stats`] — per-operation counts, byte volumes and a sequentiality
 //!   measure,
@@ -53,6 +58,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod codec;
+pub mod compact;
 pub mod error;
 pub mod fault;
 pub mod header;
@@ -66,6 +72,7 @@ pub mod transform;
 pub mod verify;
 pub mod writer;
 
+pub use compact::{CompactSource, CompactWriter};
 pub use error::TraceError;
 pub use fault::{FaultKind, FaultPlan, FaultSource, FaultSpec};
 pub use header::TraceHeader;

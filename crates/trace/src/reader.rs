@@ -71,6 +71,12 @@ impl TraceFile {
         for _ in 0..header.num_records {
             records.push(codec::decode_record(&mut buf)?);
         }
+        if !buf.is_empty() {
+            // A well-formed v1 file ends exactly at the last record;
+            // anything after it is a concatenated or padded file, not
+            // trace content — reject rather than silently drop it.
+            return Err(TraceError::TrailingBytes { extra: buf.len() });
+        }
         // The serialized records_offset is advisory; recompute so the
         // in-memory value is always consistent with this library's layout.
         header.records_offset =
@@ -238,6 +244,16 @@ mod tests {
         let bytes = sample().to_bytes();
         let cut = bytes.len() - 10;
         assert!(matches!(TraceFile::from_bytes(&bytes[..cut]), Err(TraceError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.extend_from_slice(&[0u8; 7]);
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes),
+            Err(TraceError::TrailingBytes { extra: 7 })
+        ));
     }
 
     #[test]

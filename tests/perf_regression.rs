@@ -114,6 +114,14 @@ fn smoke_run_stays_above_committed_baseline_floors() {
             && smoke_rates.iter().any(|(n, _)| n.starts_with("serve/")),
         "no serve/ rows in the baseline/smoke intersection — the serving path is ungated"
     );
+    // Likewise the compact trace codec: the verified-decode row must
+    // survive the intersection, or ingest throughput is ungated.
+    assert!(
+        rates(&baseline).iter().any(|(n, _)| n == "trace_io/decode_bytes_per_sec")
+            && smoke_rates.iter().any(|(n, _)| n == "trace_io/decode_bytes_per_sec"),
+        "no trace_io/decode_bytes_per_sec row in the baseline/smoke intersection — \
+         the compact codec is ungated"
+    );
     assert!(
         failures.is_empty(),
         "perf regression gate tripped ({} of {compared} rows):\n  {}",
