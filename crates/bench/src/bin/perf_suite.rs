@@ -26,7 +26,9 @@
 //! replay workers; 0
 //! disables the sharded rows), `--shards S`, `--workload SPEC`
 //! (`synth`, `seq`, `rand`, `dmine`, `titan`, `lu`, `cholesky`,
-//! `pgrep`, `mix:<a>,<b>`, `mix:<a>*<wa>,<b>*<wb>`, `chain:<a>,<b>`),
+//! `pgrep`, `mix:<a>,<b>`, `mix:<a>*<wa>,<b>*<wb>`, `share:<a>,<b>`,
+//! `chain:<a>,<b>`, scenario wrappers `zipf:`, `hot:`, `burst:`,
+//! `diurnal:`, `phase:`, and `fault:<atoms>:<spec>` scenarios),
 //! `--report full|summary` (summary replays with O(1)-memory running
 //! aggregates — the mode for >memory traces), `--list` (print the
 //! benchmark rows and exit), `--out PATH`. Unknown flags exit nonzero
@@ -46,7 +48,10 @@
 //! compact-vs-v1 size ratio. The `serve/clients_{1,2,4,8,16,32}` rows
 //! drive the closed-loop serving model (`Engine::Serve`) at each
 //! client count, recording wall-clock engine throughput plus the
-//! deterministic virtual-clock rps and p99 latency.
+//! deterministic virtual-clock rps and p99 latency. The
+//! `scenario/{zipf,burst,phase,share}` rows measure each scenario
+//! family as a fully streaming serial replay, and `scenario/fault`
+//! drives the scheduled simulator through a degraded-disk fault plan.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -58,7 +63,7 @@ use serde::Serialize;
 use clio_core::cache::cache::CacheConfig;
 use clio_core::cache::page::pages_touched;
 use clio_core::cache::policy::ReplacementPolicy;
-use clio_core::exp::{run_many, Engine, Experiment, ReportMode, Workload};
+use clio_core::exp::{run_many, Engine, Experiment, ReportMode, Scenario, Workload};
 use clio_core::sim::MachineConfig;
 use clio_core::trace::record::IoOp;
 use clio_core::trace::source::TraceSource;
@@ -172,8 +177,10 @@ fn parse_args(argv: &[String], env_smoke: bool) -> Result<Args, String> {
             "--workload" => {
                 let v = it.next().ok_or("--workload needs a value")?;
                 // Validate the spec at parse time so a typo exits with
-                // usage rather than surfacing mid-run.
-                Workload::parse(v)?;
+                // usage rather than surfacing mid-run. The scenario
+                // grammar subsumes the workload grammar, so scenario
+                // wrappers and `fault:` specs are accepted here too.
+                Scenario::parse(v)?;
                 args.workload = v.clone();
             }
             "--report" => {
@@ -238,6 +245,28 @@ const TRACE_RATIO_ROW: &str = "trace_io/compact_vs_v1_size";
 /// Client counts of the closed-loop serving rows.
 const SERVE_LEVELS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+/// The scenario-engine rows: each scenario family measured end to end
+/// as a streaming serial replay (summary mode), keyed `(row suffix,
+/// spec)`.
+const SCENARIO_SPECS: [(&str, &str); 4] = [
+    ("zipf", "zipf:0.9"),
+    ("burst", "burst:64x256"),
+    ("phase", "phase:4"),
+    ("share", "share:seq,rand"),
+];
+
+/// The fault scenario row: Zipf-skewed synthesis through the scheduled
+/// simulator on a degraded disk (slow window + transient errors).
+const SCENARIO_FAULT_ROW: &str = "scenario/fault";
+
+/// The fault scenario's spec (also a valid `--workload` value).
+const SCENARIO_FAULT_SPEC: &str = "fault:slow@0-1x8+err@64:zipf:0.9";
+
+/// A scenario-family row name.
+fn scenario_row(key: &str) -> String {
+    format!("scenario/{key}")
+}
+
 /// The closed-loop serving-model row at a given client count.
 fn serve_row(clients: usize) -> String {
     format!("serve/clients_{clients}")
@@ -262,6 +291,10 @@ fn row_names(args: &Args) -> Vec<String> {
     for clients in SERVE_LEVELS {
         rows.push(serve_row(clients));
     }
+    for (key, _) in SCENARIO_SPECS {
+        rows.push(scenario_row(key));
+    }
+    rows.push(SCENARIO_FAULT_ROW.to_string());
     rows.push(SIM_ROW.to_string());
     if args.threads > 0 {
         rows.push(POOL_ROW.to_string());
@@ -274,9 +307,12 @@ fn row_names(args: &Args) -> Vec<String> {
 /// sequential, 20 % writes) — the same stream at top level and inside
 /// `mix:`/`chain:` specs.
 fn replay_workload(args: &Args) -> Workload {
-    let mut w = Workload::parse(&args.workload).expect("spec validated during parsing");
-    w.scale_data_ops(args.replay_ops);
-    w
+    // The workload half of the scenario drives the replay rows; any
+    // fault plan in the spec only bites on the scheduled-sim scenario
+    // row below.
+    let mut s = Scenario::parse(&args.workload).expect("spec validated during parsing");
+    s.workload.scale_data_ops(args.replay_ops);
+    s.workload
 }
 
 /// Walks up from the current directory to the workspace root.
@@ -652,6 +688,65 @@ fn main() {
         }
     }
 
+    // --- Scenario engine: each scenario family measured end to end as
+    // a streaming serial replay (summary mode, synthesis included) —
+    // skewed popularity, burst arrivals, phased working sets, and the
+    // shared-file mix all cost differently per record, so each family
+    // gets its own throughput row. ---
+    for (key, spec) in SCENARIO_SPECS {
+        let mut sc = Scenario::parse(spec).expect("scenario spec parses");
+        sc.workload.scale_data_ops(args.replay_ops);
+        let (s_records, s_pages, s_bytes) = replay_work_source(&sc.workload, page_size);
+        let exp = Experiment::builder()
+            .workload(sc.workload)
+            .engine(Engine::SerialReplay)
+            .report_mode(ReportMode::Summary)
+            .build()
+            .expect("scenario experiment is valid");
+        let stats = measure(&cfg, |b| b.iter(|| exp.run().expect("scenario replay runs")));
+        let name = scenario_row(key);
+        println!(
+            "{name:<24} median {:>10.3} ms  {:>12.0} records/s  {:>14.0} bytes/s",
+            stats.median_ns / 1e6,
+            rate(s_records, stats.median_ns),
+            rate(s_bytes, stats.median_ns),
+        );
+        let mut e = entry_from_stats(&name, "scenario_replay", None, &stats);
+        e.records = s_records;
+        e.records_per_sec = rate(s_records, stats.median_ns);
+        e.pages_per_sec = Some(rate(s_pages, stats.median_ns));
+        e.bytes_per_sec = rate(s_bytes, stats.median_ns);
+        benches.push(e);
+    }
+
+    // The fault scenario drives the scheduled simulator: a degraded
+    // disk (slow window, transient errors with retry) under skewed
+    // load — the one engine whose costs the fault plan reaches.
+    {
+        let mut sc = Scenario::parse(SCENARIO_FAULT_SPEC).expect("fault scenario parses");
+        sc.workload.scale_data_ops(args.replay_ops);
+        let fault_exp = Experiment::builder()
+            .scenario(sc)
+            .engine(Engine::ScheduledSim)
+            .build()
+            .expect("fault scenario experiment is valid");
+        let probe =
+            fault_exp.run().expect("fault sim runs").sim.expect("scheduled sim fills its section");
+        let stats = measure(&cfg, |b| b.iter(|| fault_exp.run().expect("fault sim runs")));
+        println!(
+            "{SCENARIO_FAULT_ROW:<24} median {:>10.3} ms  {:>12.0} events/s  {:>14.0} bytes/s",
+            stats.median_ns / 1e6,
+            rate(probe.events, stats.median_ns),
+            rate(probe.bytes_moved, stats.median_ns),
+        );
+        let mut e = entry_from_stats(SCENARIO_FAULT_ROW, "scenario_sim", None, &stats);
+        e.records = probe.records;
+        e.records_per_sec = rate(probe.records, stats.median_ns);
+        e.events_per_sec = Some(rate(probe.events, stats.median_ns));
+        e.bytes_per_sec = rate(probe.bytes_moved, stats.median_ns);
+        benches.push(e);
+    }
+
     // --- Trace-driven machine simulation: a large four-process trace
     // contending for a four-disk array. ---
     let sim_profile = TraceProfile {
@@ -737,7 +832,7 @@ fn main() {
     }
 
     let report = PerfBaseline {
-        schema: "clio-perf-baseline-v7".to_string(),
+        schema: "clio-perf-baseline-v8".to_string(),
         mode: mode.to_string(),
         report: report_mode.to_string(),
         workload: args.workload.clone(),
@@ -822,6 +917,25 @@ mod tests {
         assert!(parse_args(&s(&["--workload", "nope"]), false).is_err());
         assert!(parse_args(&s(&["--workload", "mix:dmine*0,lu"]), false).is_err());
         assert!(parse_args(&s(&["--workload"]), false).is_err());
+        // The scenario grammar is accepted wholesale.
+        for spec in ["zipf:0.9", "burst:64x256", "phase:4", "share:seq,rand", SCENARIO_FAULT_SPEC] {
+            assert!(parse_args(&s(&["--workload", spec]), false).is_ok(), "{spec}");
+        }
+        assert!(parse_args(&s(&["--workload", "zipf:0"]), false).is_err());
+        assert!(parse_args(&s(&["--workload", "fault:wat@1:synth"]), false).is_err());
+    }
+
+    #[test]
+    fn scenario_specs_stay_parseable_and_scale() {
+        // Every committed scenario row's spec must parse and rescale,
+        // or the measurement loop would panic.
+        for (_, spec) in SCENARIO_SPECS {
+            let mut sc = Scenario::parse(spec).unwrap();
+            sc.workload.scale_data_ops(500);
+            assert!(sc.workload.open().is_ok(), "{spec}");
+        }
+        let sc = Scenario::parse(SCENARIO_FAULT_SPEC).unwrap();
+        assert!(sc.has_faults());
     }
 
     #[test]
@@ -841,6 +955,10 @@ mod tests {
         for clients in SERVE_LEVELS {
             assert!(rows.contains(&serve_row(clients)));
         }
+        for (key, _) in SCENARIO_SPECS {
+            assert!(rows.contains(&scenario_row(key)));
+        }
+        assert!(rows.contains(&SCENARIO_FAULT_ROW.to_string()));
         // With threads disabled, the sharded, streaming-parallel and
         // pool rows vanish.
         let serial = parse_args(&s(&["--threads", "0"]), false).unwrap();

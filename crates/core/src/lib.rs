@@ -66,9 +66,9 @@ pub mod prelude {
     pub use clio_exp::{
         run_many, run_policy_comparison, AppWorkload, DiskFaultPlan, Engine, ExpError, Experiment,
         ExperimentBuilder, MixKind, PolicyRow, QuarantineSummary, Report, ReportMode,
-        ReportSummary, SlowWindow, VerifyError, VerifyMode, Workload,
+        ReportSummary, Scenario, SlowWindow, VerifyError, VerifyMode, Workload,
     };
     pub use clio_sim::machine::MachineConfig;
     pub use clio_trace::record::IoOp;
-    pub use clio_trace::synth::TraceProfile;
+    pub use clio_trace::synth::{Arrival, Popularity, TraceProfile};
 }

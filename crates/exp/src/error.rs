@@ -4,14 +4,20 @@ use std::fmt;
 use std::io;
 
 use clio_trace::error::TraceError;
+use clio_trace::synth::ProfileError;
 use clio_trace::verify::VerifyError;
 
 /// Anything that can go wrong building or running an experiment.
 #[derive(Debug)]
 pub enum ExpError {
-    /// The workload specification is invalid (bad profile, bad mix
-    /// weights, unparsable spec string).
+    /// The workload specification is invalid (bad mix weights,
+    /// unparsable spec string).
     InvalidWorkload(String),
+    /// A synthetic [`TraceProfile`](clio_trace::synth::TraceProfile)
+    /// is degenerate. The coded [`ProfileError`] rides along whole, so
+    /// callers can match on the rule (`err.code()`, `P01`–`P07`)
+    /// instead of parsing a message.
+    Profile(ProfileError),
     /// The experiment configuration is invalid (missing workload, bad
     /// machine, zero shards, …).
     InvalidConfig(String),
@@ -30,6 +36,7 @@ impl fmt::Display for ExpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExpError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
+            ExpError::Profile(e) => write!(f, "invalid trace profile: {e}"),
             ExpError::InvalidConfig(m) => write!(f, "invalid experiment configuration: {m}"),
             ExpError::Trace(e) => write!(f, "trace error: {e}"),
             ExpError::Verify(e) => write!(f, "trace admission rejected: {e}"),
@@ -42,6 +49,7 @@ impl std::error::Error for ExpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExpError::Trace(e) => Some(e),
+            ExpError::Profile(e) => Some(e),
             ExpError::Verify(e) => Some(e),
             ExpError::Io(e) => Some(e),
             _ => None,
@@ -52,6 +60,12 @@ impl std::error::Error for ExpError {
 impl From<TraceError> for ExpError {
     fn from(e: TraceError) -> Self {
         ExpError::Trace(e)
+    }
+}
+
+impl From<ProfileError> for ExpError {
+    fn from(e: ProfileError) -> Self {
+        ExpError::Profile(e)
     }
 }
 
@@ -90,6 +104,17 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(e.to_string().contains("V07"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn profile_errors_keep_their_code() {
+        let e: ExpError = ProfileError::ZeroDataOps.into();
+        match &e {
+            ExpError::Profile(p) => assert_eq!(p.code(), "P04"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.to_string().contains("P04"));
         assert!(std::error::Error::source(&e).is_some());
     }
 

@@ -363,6 +363,16 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the workload *and* the disk-fault plan from one parsed
+    /// [`Scenario`](crate::Scenario) — the builder form of a
+    /// `fault:…` spec. Equivalent to
+    /// `.workload(s.workload).disk_faults(s.faults)`.
+    pub fn scenario(mut self, scenario: crate::Scenario) -> Self {
+        self.workload = Some(scenario.workload);
+        self.sched.faults = scenario.faults;
+        self
+    }
+
     /// Selects the engine (default: streaming serial replay).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
@@ -489,10 +499,16 @@ impl ExperimentBuilder {
     }
 
     /// Validates the configuration into a runnable [`Experiment`].
+    ///
+    /// Workload parameters are validated here too (structurally — no
+    /// records generated), so a degenerate synthetic profile fails at
+    /// build time with its coded [`ExpError::Profile`] instead of deep
+    /// inside a run.
     pub fn build(self) -> Result<Experiment, ExpError> {
         let workload = self
             .workload
             .ok_or_else(|| ExpError::InvalidConfig("a workload is required".into()))?;
+        workload.validate()?;
         if self.parallel.shards == 0 {
             return Err(ExpError::InvalidConfig("shard count must be at least 1".into()));
         }
@@ -540,6 +556,48 @@ mod tests {
     fn builder_requires_a_workload() {
         let err = Experiment::builder().build().unwrap_err();
         assert!(err.to_string().contains("workload"));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_profiles_with_coded_errors() {
+        // Build-time validation: the coded ProfileError surfaces from
+        // `build()`, not from the first run.
+        let zero = Workload::Synthetic(TraceProfile { data_ops: 0, ..Default::default() });
+        match Experiment::builder().workload(zero).build().unwrap_err() {
+            ExpError::Profile(p) => assert_eq!(p.code(), "P04"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let wild = Workload::Synthetic(TraceProfile { write_fraction: 2.0, ..Default::default() });
+        match Experiment::builder().workload(wild).build().unwrap_err() {
+            ExpError::Profile(p) => assert_eq!(p.code(), "P01"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Nested inside a combinator, same treatment.
+        let nested = Workload::mix(
+            synth(8),
+            Workload::Synthetic(TraceProfile { sequentiality: -0.1, ..Default::default() }),
+        );
+        assert!(matches!(
+            Experiment::builder().workload(nested).build().unwrap_err(),
+            ExpError::Profile(_)
+        ));
+    }
+
+    #[test]
+    fn scenario_knob_sets_workload_and_faults() {
+        let s = crate::Scenario::parse("fault:slow@0-1x8+err@64:synth").unwrap();
+        let exp = Experiment::builder()
+            .scenario(s)
+            .engine(Engine::ScheduledSim)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let sim = exp.sim.expect("scheduled sim reports");
+        assert!(sim.records > 0);
+        // The error plan actually bites: with error_every=64 over a
+        // 256-op workload, retries must be recorded.
+        assert!(sim.retries > 0, "expected transient-error retries, got {sim:?}");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! - [`Workload`] names a record stream: statistically synthesized,
 //!   app-generated (dmine/titan/lu/cholesky/pgrep), loaded from a
 //!   file, an in-memory trace, a custom iterator-backed source, or a
-//!   chained/interleaved/ratio-weighted mix of two workloads. Opening
+//!   chained/interleaved/ratio-weighted/shared-file mix of two
+//!   workloads — with scenario knobs (Zipfian/hotspot popularity,
+//!   bursty/diurnal arrivals, phased working sets, disk-fault plans)
+//!   riding on the same parse grammar (see [`Scenario`]). Opening
 //!   a workload yields a **streaming**
 //!   [`TraceSource`](clio_trace::source::TraceSource) — records come
 //!   one at a time, and every engine consumes them that way: the
@@ -64,6 +67,7 @@ pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod report;
+pub mod scenario;
 pub mod serve;
 pub mod workload;
 
@@ -71,6 +75,7 @@ pub use engine::Engine;
 pub use error::ExpError;
 pub use experiment::{run_many, run_policy_comparison, Experiment, ExperimentBuilder};
 pub use report::{PolicyRow, QuarantineSummary, Report, ReportSummary};
+pub use scenario::Scenario;
 pub use serve::{ServeOptions, ServeSummary};
 pub use workload::{AppWorkload, MixKind, Workload};
 

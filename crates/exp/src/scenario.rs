@@ -1,0 +1,160 @@
+//! Named scenarios: a workload plus the disk conditions to run it
+//! under.
+//!
+//! A [`Scenario`] binds a parsed [`Workload`] to a
+//! [`DiskFaultPlan`], so a single CLI spec can name an *adverse
+//! regime* — skewed popularity over a degraded disk, a burst storm
+//! with transient errors — and any harness can replay it
+//! deterministically. The grammar extends [`Workload::parse`] with one
+//! prefix:
+//!
+//! ```text
+//! fault:<atom>[+<atom>…]:<workload-spec>
+//!     slow@<start>-<end>x<mult>   latency window [start, end) s, ×mult
+//!     err@<every>                 every Nth disk request fails once
+//! ```
+//!
+//! e.g. `fault:slow@0-1x8+err@64:zipf:0.9` — Zipf-skewed synthesis on
+//! a disk that is 8× slower for its first simulated second and throws
+//! a transient error every 64th request. Any spec without the `fault:`
+//! prefix parses as a plain workload under a quiet
+//! ([`Default`]) fault plan, so every existing spec is a scenario too.
+//!
+//! The fault plan only bites on engines that model the disk
+//! ([`Engine::ScheduledSim`](crate::Engine)); the workload half drives
+//! every engine.
+
+use clio_sim::sched_replay::{DiskFaultPlan, SlowWindow};
+
+use crate::workload::Workload;
+
+/// A named, parseable pairing of a workload with the disk-fault
+/// conditions to run it under. See the [module docs](self) for the
+/// spec grammar.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The scenario's name — for parsed scenarios, the spec string
+    /// itself, so reports and baselines stay greppable.
+    pub name: String,
+    /// What to replay.
+    pub workload: Workload,
+    /// The disk conditions to replay it under (quiet by default).
+    pub faults: DiskFaultPlan,
+}
+
+impl Scenario {
+    /// A scenario over a quiet (fault-free) disk.
+    pub fn new(name: impl Into<String>, workload: Workload) -> Scenario {
+        Scenario { name: name.into(), workload, faults: DiskFaultPlan::default() }
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: DiskFaultPlan) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Whether the scenario carries any non-quiet disk condition.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.slow_windows.is_empty() || self.faults.error_every != 0
+    }
+
+    /// Parses a scenario spec: `fault:<atoms>:<workload-spec>`, or any
+    /// plain [`Workload::parse`] spec (quiet disk).
+    pub fn parse(spec: &str) -> Result<Scenario, String> {
+        let Some(rest) = spec.strip_prefix("fault:") else {
+            return Ok(Scenario::new(spec, Workload::parse(spec)?));
+        };
+        let (atoms, wspec) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("expected fault:<atoms>:<workload>, got {spec:?}"))?;
+        let mut faults = DiskFaultPlan::default();
+        for atom in atoms.split('+') {
+            let atom = atom.trim();
+            if let Some(body) = atom.strip_prefix("slow@") {
+                faults.slow_windows.push(parse_slow_window(body)?);
+            } else if let Some(body) = atom.strip_prefix("err@") {
+                let every: u64 =
+                    body.trim().parse().map_err(|_| format!("bad error period {body:?}"))?;
+                if every == 0 {
+                    return Err("err@ period must be >= 1".into());
+                }
+                faults.error_every = every;
+            } else {
+                return Err(format!(
+                    "unknown fault atom {atom:?} (try slow@<start>-<end>x<mult> or err@<every>)"
+                ));
+            }
+        }
+        Ok(Scenario::new(spec, Workload::parse(wspec)?).with_faults(faults))
+    }
+}
+
+/// Parses a `<start>-<end>x<mult>` slow-window body.
+fn parse_slow_window(body: &str) -> Result<SlowWindow, String> {
+    let (range, mult) = body
+        .split_once('x')
+        .ok_or_else(|| format!("expected slow@<start>-<end>x<mult>, got slow@{body:?}"))?;
+    let (start, end) = range
+        .split_once('-')
+        .ok_or_else(|| format!("expected slow@<start>-<end>x<mult>, got slow@{body:?}"))?;
+    let start_s: f64 =
+        start.trim().parse().map_err(|_| format!("bad slow-window start {start:?}"))?;
+    let end_s: f64 = end.trim().parse().map_err(|_| format!("bad slow-window end {end:?}"))?;
+    let multiplier: f64 =
+        mult.trim().parse().map_err(|_| format!("bad slow-window multiplier {mult:?}"))?;
+    if !start_s.is_finite() || !end_s.is_finite() || start_s < 0.0 || end_s <= start_s {
+        return Err(format!("slow window [{start_s}, {end_s}) is not a forward time range"));
+    }
+    if !multiplier.is_finite() || multiplier < 1.0 {
+        return Err(format!("slow-window multiplier {multiplier} must be finite and >= 1"));
+    }
+    Ok(SlowWindow { start_s, end_s, multiplier })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_specs_parse_as_quiet_scenarios() {
+        let s = Scenario::parse("zipf:0.9").unwrap();
+        assert_eq!(s.name, "zipf:0.9");
+        assert!(!s.has_faults());
+        assert!(matches!(s.workload, Workload::Synthetic(_)));
+    }
+
+    #[test]
+    fn fault_atoms_bind_a_plan() {
+        let s = Scenario::parse("fault:slow@0-1x8+err@64:synth").unwrap();
+        assert_eq!(s.name, "fault:slow@0-1x8+err@64:synth");
+        assert!(s.has_faults());
+        assert_eq!(s.faults.slow_windows.len(), 1);
+        let w = s.faults.slow_windows[0];
+        assert_eq!((w.start_s, w.end_s, w.multiplier), (0.0, 1.0, 8.0));
+        assert_eq!(s.faults.error_every, 64);
+        // multiplier_at sees the window.
+        assert_eq!(s.faults.multiplier_at(0.5), 8.0);
+        assert_eq!(s.faults.multiplier_at(1.5), 1.0);
+    }
+
+    #[test]
+    fn fault_workload_half_is_the_full_grammar() {
+        let s = Scenario::parse("fault:err@32:zipf:0.9@phase:4@seq").unwrap();
+        assert_eq!(s.faults.error_every, 32);
+        assert!(matches!(s.workload, Workload::Synthetic(_)));
+        let s = Scenario::parse("fault:slow@0-2x4:share:seq,rand").unwrap();
+        assert!(matches!(s.workload, Workload::Mix(_, _, _)));
+    }
+
+    #[test]
+    fn rejects_malformed_fault_specs() {
+        assert!(Scenario::parse("fault:synth").is_err(), "missing atoms");
+        assert!(Scenario::parse("fault:wat@3:synth").is_err(), "unknown atom");
+        assert!(Scenario::parse("fault:err@0:synth").is_err(), "zero period");
+        assert!(Scenario::parse("fault:slow@2-1x8:synth").is_err(), "backwards window");
+        assert!(Scenario::parse("fault:slow@0-1x0.5:synth").is_err(), "speed-up multiplier");
+        assert!(Scenario::parse("fault:slow@0-1:synth").is_err(), "missing multiplier");
+        assert!(Scenario::parse("fault:err@64:nope").is_err(), "bad inner workload");
+    }
+}

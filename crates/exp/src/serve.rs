@@ -375,17 +375,25 @@ mod tests {
 
     #[test]
     fn empty_workload_reports_none_not_zero() {
-        let out = run(4, 0);
-        // A synthetic stream with zero data ops still has open/close
-        // records, so force truly-empty via requests cap on an empty
-        // custom stream instead: percentiles must be None when nothing
-        // completed.
-        if out.summary.requests == 0 {
-            assert_eq!(out.summary.p50_ms, None);
-            assert_eq!(out.summary.throughput_rps, None);
-        } else {
-            assert!(out.summary.p50_ms.is_some());
-        }
+        // Zero-data-op profiles are now rejected at validation (P04),
+        // so drive a truly empty custom stream: percentiles must be
+        // None — never a fabricated 0.0 — when nothing completed.
+        use clio_trace::source::{IterSource, SourceMeta};
+        let empty = Workload::custom("empty", || {
+            let meta = SourceMeta { sample_file: "e.dat".into(), num_processes: 1, num_files: 1 };
+            Box::new(IterSource::new(meta, std::iter::empty()))
+        });
+        let out = run_serve(
+            &empty,
+            CacheConfig::default(),
+            16,
+            &ServeOptions { clients: 4, ..Default::default() },
+            ReportMode::Full,
+        )
+        .unwrap();
+        assert_eq!(out.summary.requests, 0);
+        assert_eq!(out.summary.p50_ms, None);
+        assert_eq!(out.summary.throughput_rps, None);
     }
 
     #[test]

@@ -11,9 +11,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use clio_trace::source::{
-    materialize, ChainSource, InterleaveSource, SharedSource, TraceSource, WeightedSource,
+    materialize, ChainSource, InterleaveSource, ShareSource, SharedSource, TraceSource,
+    WeightedSource,
 };
-use clio_trace::synth::{SynthSource, TraceProfile};
+use clio_trace::synth::{Arrival, Popularity, SynthSource, TraceProfile};
 use clio_trace::verify::{verify_lenient, verify_strict, VerifyMode, VerifyOptions, VerifyReport};
 use clio_trace::TraceFile;
 
@@ -84,6 +85,11 @@ pub enum MixKind {
     /// `(a, b)` records from the respective sides per cycle; both
     /// weights must be positive.
     Weighted(u32, u32),
+    /// Strict alternation with **overlapping file namespaces**: both
+    /// sides address the same files (pid spaces stay disjoint), so the
+    /// mix models cross-process page-sharing contention instead of the
+    /// default disjoint-namespace isolation.
+    Shared,
 }
 
 /// A user-supplied source factory — the escape hatch that lets any
@@ -117,7 +123,9 @@ pub enum Workload {
     /// second. The phases share the pid space (so the order survives
     /// pid-grouping engines) but work on their own files.
     Chain(Box<Workload>, Box<Workload>),
-    /// Concurrent mix of two workloads (namespaces kept disjoint).
+    /// Concurrent mix of two workloads. Namespaces are kept disjoint
+    /// except under [`MixKind::Shared`], which deliberately overlaps
+    /// the file namespaces (pids stay disjoint).
     Mix(Box<Workload>, Box<Workload>, MixKind),
     /// A user-supplied source factory.
     Custom(CustomWorkload),
@@ -139,6 +147,16 @@ impl Workload {
         Workload::Mix(Box::new(a), Box::new(b), MixKind::Weighted(wa, wb))
     }
 
+    /// Round-robin mix whose sides **share their file namespace**: both
+    /// populations address the same files while keeping disjoint pids,
+    /// modeling cross-process page-sharing contention. The plain
+    /// [`Workload::mix`]/[`Workload::chain`] disjoint-namespace
+    /// invariant is untouched — sharing is only ever opt-in through
+    /// this constructor (or the `share:` spec).
+    pub fn mix_shared(a: Workload, b: Workload) -> Workload {
+        Workload::Mix(Box::new(a), Box::new(b), MixKind::Shared)
+    }
+
     /// Sequential chain: `a` to completion, then `b` — per process,
     /// even under the sim engines (the phases share the pid space).
     pub fn chain(a: Workload, b: Workload) -> Workload {
@@ -158,9 +176,7 @@ impl Workload {
     /// Opens the workload as a fresh streaming source.
     pub fn open(&self) -> Result<Box<dyn TraceSource>, ExpError> {
         Ok(match self {
-            Workload::Synthetic(profile) => {
-                Box::new(SynthSource::new(profile.clone()).map_err(ExpError::InvalidWorkload)?)
-            }
+            Workload::Synthetic(profile) => Box::new(SynthSource::new(profile.clone())?),
             Workload::App(app) => Box::new(SharedSource::new(Arc::new(app.trace()?))),
             // v1 vs v2 sniffed by magic: a compact file opens as a
             // verified streaming CompactSource, a v1 file materializes.
@@ -177,6 +193,9 @@ impl Workload {
                     )));
                 }
                 Box::new(WeightedSource::new(a.open()?, b.open()?, *wa, *wb))
+            }
+            Workload::Mix(a, b, MixKind::Shared) => {
+                Box::new(ShareSource::new(a.open()?, b.open()?))
             }
             Workload::Custom(c) => (c.factory)(),
         })
@@ -201,7 +220,7 @@ impl Workload {
     /// [`Workload::Custom`], whose factory is opaque by design).
     pub fn validate(&self) -> Result<(), ExpError> {
         match self {
-            Workload::Synthetic(p) => p.validate().map_err(ExpError::InvalidWorkload),
+            Workload::Synthetic(p) => Ok(p.validate()?),
             Workload::Mix(a, b, kind) => {
                 if let MixKind::Weighted(wa, wb) = kind {
                     if *wa == 0 || *wb == 0 {
@@ -303,6 +322,9 @@ impl Workload {
             Workload::Mix(a, b, MixKind::Weighted(wa, wb)) => {
                 format!("mix({}*{wa},{}*{wb})", a.label(), b.label())
             }
+            Workload::Mix(a, b, MixKind::Shared) => {
+                format!("share({},{})", a.label(), b.label())
+            }
             Workload::Custom(c) => c.label.clone(),
         }
     }
@@ -325,23 +347,84 @@ impl Workload {
     /// Atoms: `synth` (the mixed benchmark profile: 80 % sequential,
     /// 20 % writes), `seq` (dmine-like sequential reads), `rand`
     /// (cholesky-like scattered requests), `dmine`,
-    /// `titan`, `lu`, `cholesky`, `pgrep`. Combinators over two atoms:
-    /// `mix:<a>,<b>` (round-robin), `mix:<a>*<wa>,<b>*<wb>`
-    /// (ratio-weighted), `chain:<a>,<b>`.
+    /// `titan`, `lu`, `cholesky`, `pgrep`.
+    ///
+    /// Scenario wrappers reshape a *synthetic* operand (default
+    /// `synth` when the `@<inner>` suffix is omitted) and nest freely,
+    /// e.g. `zipf:0.9@phase:4@seq`:
+    ///
+    /// - `zipf:<theta>[@<inner>]` — Zipfian page popularity
+    /// - `hot:<fraction>x<rate>[@<inner>]` — hotspot popularity
+    /// - `burst:<n>x<idle>[@<inner>]` — bursty arrivals
+    /// - `diurnal:<period>x<peak>[@<inner>]` — diurnal arrivals
+    /// - `phase:<k>[@<inner>]` — `k`-phase working-set migration
+    ///
+    /// Combinators over two operands: `mix:<a>,<b>` (round-robin),
+    /// `mix:<a>*<wa>,<b>*<wb>` (ratio-weighted), `share:<a>,<b>`
+    /// (overlapping file namespaces), `chain:<a>,<b>`.
     pub fn parse(spec: &str) -> Result<Workload, String> {
         if let Some(rest) = spec.strip_prefix("mix:") {
             let (a, b) = split_pair(rest)?;
             let (wa, a) = split_weight(a)?;
             let (wb, b) = split_weight(b)?;
-            let (a, b) = (Self::parse_atom(a)?, Self::parse_atom(b)?);
+            let (a, b) = (Self::parse_operand(a)?, Self::parse_operand(b)?);
             return Ok(match (wa, wb) {
                 (1, 1) => Workload::mix(a, b),
                 _ => Workload::mix_weighted(a, wa, b, wb),
             });
         }
+        if let Some(rest) = spec.strip_prefix("share:") {
+            let (a, b) = split_pair(rest)?;
+            return Ok(Workload::mix_shared(Self::parse_operand(a)?, Self::parse_operand(b)?));
+        }
         if let Some(rest) = spec.strip_prefix("chain:") {
             let (a, b) = split_pair(rest)?;
-            return Ok(Workload::chain(Self::parse_atom(a)?, Self::parse_atom(b)?));
+            return Ok(Workload::chain(Self::parse_operand(a)?, Self::parse_operand(b)?));
+        }
+        Self::parse_operand(spec)
+    }
+
+    /// Parses a combinator operand: a scenario wrapper chain or a bare
+    /// atom. Wrappers recurse, so `zipf:0.9@phase:4@seq` nests; each
+    /// application re-validates the profile so degenerate knobs
+    /// (`zipf:0`, `phase on a 4 KiB file`, …) fail at parse time with
+    /// the coded [`ProfileError`](clio_trace::synth::ProfileError)
+    /// message.
+    fn parse_operand(spec: &str) -> Result<Workload, String> {
+        if let Some(rest) = spec.strip_prefix("zipf:") {
+            let (param, inner) = split_wrapper(rest);
+            let theta: f64 = param.parse().map_err(|_| format!("bad zipf exponent {param:?}"))?;
+            return apply_scenario_knob(Self::parse_operand(inner)?, "zipf:", |p| {
+                p.popularity = Popularity::Zipfian { theta };
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("hot:") {
+            let (param, inner) = split_wrapper(rest);
+            let (hot_fraction, hot_rate) = split_xy::<f64>(param, "hot")?;
+            return apply_scenario_knob(Self::parse_operand(inner)?, "hot:", |p| {
+                p.popularity = Popularity::Hotspot { hot_fraction, hot_rate };
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("burst:") {
+            let (param, inner) = split_wrapper(rest);
+            let (burst, idle_ticks) = split_xy::<u32>(param, "burst")?;
+            return apply_scenario_knob(Self::parse_operand(inner)?, "burst:", |p| {
+                p.arrival = Arrival::Bursty { burst, idle_ticks };
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("diurnal:") {
+            let (param, inner) = split_wrapper(rest);
+            let (period, peak) = split_xy::<u32>(param, "diurnal")?;
+            return apply_scenario_knob(Self::parse_operand(inner)?, "diurnal:", |p| {
+                p.arrival = Arrival::Diurnal { period, peak };
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("phase:") {
+            let (param, inner) = split_wrapper(rest);
+            let phases: u32 = param.parse().map_err(|_| format!("bad phase count {param:?}"))?;
+            return apply_scenario_knob(Self::parse_operand(inner)?, "phase:", |p| {
+                p.phases = phases;
+            });
         }
         Self::parse_atom(spec)
     }
@@ -366,10 +449,55 @@ impl Workload {
             other => {
                 return Err(format!(
                     "unknown workload {other:?} (try synth, seq, rand, dmine, titan, lu, \
-                     cholesky, pgrep, mix:<a>,<b>, mix:<a>*<wa>,<b>*<wb>, chain:<a>,<b>)"
+                     cholesky, pgrep, a scenario wrapper zipf:<theta>, hot:<frac>x<rate>, \
+                     burst:<n>x<idle>, diurnal:<period>x<peak>, phase:<k> — each taking an \
+                     optional @<inner> — or mix:<a>,<b>, mix:<a>*<wa>,<b>*<wb>, \
+                     share:<a>,<b>, chain:<a>,<b>)"
                 ))
             }
         })
+    }
+}
+
+/// Splits a wrapper body `"<param>@<inner>"`; the inner operand
+/// defaults to `synth` so `zipf:0.9` alone is a complete spec.
+fn split_wrapper(rest: &str) -> (&str, &str) {
+    match rest.split_once('@') {
+        Some((param, inner)) => (param.trim(), inner.trim()),
+        None => (rest.trim(), "synth"),
+    }
+}
+
+/// Parses a two-field `"<a>x<b>"` wrapper parameter.
+fn split_xy<T: std::str::FromStr>(param: &str, what: &str) -> Result<(T, T), String> {
+    let (a, b) = param
+        .split_once('x')
+        .ok_or_else(|| format!("expected <a>x<b> in {what} spec, got {param:?}"))?;
+    let a = a.trim().parse().map_err(|_| format!("bad {what} parameter {param:?}"))?;
+    let b = b.trim().parse().map_err(|_| format!("bad {what} parameter {param:?}"))?;
+    Ok((a, b))
+}
+
+/// Applies a scenario wrapper's profile mutation to a parsed operand.
+/// Wrappers only make sense on synthetic operands (traced apps replay
+/// fixed streams), and the touched profile is re-validated so the
+/// coded `P` diagnostics surface at parse time.
+fn apply_scenario_knob(
+    w: Workload,
+    what: &str,
+    f: impl FnOnce(&mut TraceProfile),
+) -> Result<Workload, String> {
+    match w {
+        Workload::Synthetic(mut p) => {
+            f(&mut p);
+            p.validate().map_err(|e| e.to_string())?;
+            Ok(Workload::Synthetic(p))
+        }
+        other => Err(format!(
+            "{what} applies to synthetic operands (synth, seq, rand, or a nested wrapper), \
+             got {}",
+            other.label()
+        )),
     }
 }
 
@@ -459,6 +587,79 @@ mod tests {
         assert!(Workload::parse("mix:dmine*0,lu").is_err());
         assert!(Workload::parse("mix:dmine*x,lu").is_err());
         assert!(Workload::parse("chain:dmine,nope").is_err());
+    }
+
+    #[test]
+    fn parse_scenario_wrappers() {
+        match Workload::parse("zipf:0.9").unwrap() {
+            Workload::Synthetic(p) => {
+                assert_eq!(p.popularity, Popularity::Zipfian { theta: 0.9 });
+                // Bare wrappers default to the `synth` atom's profile.
+                assert_eq!(p.write_fraction, 0.2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Workload::parse("burst:64x256@seq").unwrap() {
+            Workload::Synthetic(p) => {
+                assert_eq!(p.arrival, Arrival::Bursty { burst: 64, idle_ticks: 256 });
+                assert_eq!(p.write_fraction, 0.0, "inner operand is dmine-like seq");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Workload::parse("hot:0.1x0.9").unwrap() {
+            Workload::Synthetic(p) => {
+                assert_eq!(p.popularity, Popularity::Hotspot { hot_fraction: 0.1, hot_rate: 0.9 })
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Workload::parse("diurnal:50x9").unwrap() {
+            Workload::Synthetic(p) => {
+                assert_eq!(p.arrival, Arrival::Diurnal { period: 50, peak: 9 })
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Wrappers nest: outermost applies last, all knobs stick.
+        match Workload::parse("zipf:0.9@phase:4@seq").unwrap() {
+            Workload::Synthetic(p) => {
+                assert_eq!(p.popularity, Popularity::Zipfian { theta: 0.9 });
+                assert_eq!(p.phases, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_scenario_combinators() {
+        assert!(matches!(
+            Workload::parse("share:seq,rand").unwrap(),
+            Workload::Mix(_, _, MixKind::Shared)
+        ));
+        let label = Workload::parse("share:seq,rand").unwrap().label();
+        assert!(label.starts_with("share(") && label.ends_with(')'), "got {label}");
+        assert!(matches!(
+            Workload::parse("mix:zipf:0.9@seq*3,rand").unwrap(),
+            Workload::Mix(_, _, MixKind::Weighted(3, 1))
+        ));
+        assert!(matches!(
+            Workload::parse("chain:phase:4,burst:8x32").unwrap(),
+            Workload::Chain(_, _)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_scenarios() {
+        // Coded profile diagnostics surface at parse time.
+        let err = Workload::parse("zipf:0").unwrap_err();
+        assert!(err.contains("P05"), "zipf:0 must fail with the popularity code, got {err}");
+        let err = Workload::parse("burst:0x4").unwrap_err();
+        assert!(err.contains("P06"), "burst:0x4 must fail with the arrival code, got {err}");
+        let err = Workload::parse("phase:0").unwrap_err();
+        assert!(err.contains("P07"), "phase:0 must fail with the phase code, got {err}");
+        // Structural garbage fails with parse-level messages.
+        assert!(Workload::parse("zipf:abc").is_err());
+        assert!(Workload::parse("burst:64").is_err());
+        assert!(Workload::parse("zipf:0.9@dmine").is_err(), "wrappers reject traced apps");
+        assert!(Workload::parse("share:seq").is_err());
     }
 
     #[test]

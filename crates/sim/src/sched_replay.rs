@@ -85,6 +85,32 @@ impl Default for DiskFaultPlan {
 }
 
 impl DiskFaultPlan {
+    /// A plan with a single degraded-latency window — requests served
+    /// in `[start_s, end_s)` simulated seconds take `multiplier`× as
+    /// long.
+    pub fn slow_window(start_s: f64, end_s: f64, multiplier: f64) -> Self {
+        Self::default().with_slow_window(start_s, end_s, multiplier)
+    }
+
+    /// A plan where every `error_every`-th request fails its first
+    /// service attempt (retried under the default bounded backoff).
+    pub fn flaky(error_every: u64) -> Self {
+        Self::default().with_transient_errors(error_every)
+    }
+
+    /// Appends a degraded-latency window (overlapping windows
+    /// multiply).
+    pub fn with_slow_window(mut self, start_s: f64, end_s: f64, multiplier: f64) -> Self {
+        self.slow_windows.push(SlowWindow { start_s, end_s, multiplier });
+        self
+    }
+
+    /// Sets the transient-error period (`0` = never fail).
+    pub fn with_transient_errors(mut self, error_every: u64) -> Self {
+        self.error_every = error_every;
+        self
+    }
+
     /// The combined service-time multiplier at simulated time `t_s`
     /// (product over every containing window; `1.0` outside all).
     pub fn multiplier_at(&self, t_s: f64) -> f64 {

@@ -35,8 +35,11 @@
 //! against their own files (contending for cache capacity and disk
 //! time, not sharing pages). A chain offsets only file ids — its pid
 //! spaces stay shared so the composition is sequential per process
-//! even under pid-grouping engines. Captured clocks pass through
-//! untouched.
+//! even under pid-grouping engines. [`ShareSource`] is the deliberate
+//! exception: it offsets pids but **keeps the file namespaces
+//! overlapped**, so two process populations contend for the *same
+//! pages* — the page-sharing scenario the disjoint merges cannot
+//! express. Captured clocks pass through untouched.
 
 use std::sync::Arc;
 
@@ -411,6 +414,63 @@ impl<A: TraceSource, B: TraceSource> TraceSource for WeightedSource<A, B> {
     }
 }
 
+/// Round-robin merge with a **shared file namespace**: like
+/// [`InterleaveSource`], B's pids are offset into a fresh process
+/// space — but its file ids are *not* remapped, so both sides address
+/// the same files and contend for the same pages. This is the
+/// page-sharing-contention combinator; the sample-file name is tagged
+/// `share(a,b)` so reports can tell the two mixes apart.
+///
+/// The combined metadata declares `max(a, b)` files (the overlapped
+/// namespace) and `a + b` processes. Open/close balance stays exact:
+/// each `(pid, file)` stream is untouched and the pid spaces are
+/// disjoint, so a record-level verifier sees two well-formed process
+/// populations over one file set. Deterministic, like every merge.
+#[derive(Debug)]
+pub struct ShareSource<A, B> {
+    a: A,
+    b: B,
+    meta: SourceMeta,
+    pid_offset: u32,
+    /// Whose turn it is next.
+    take_a: bool,
+}
+
+impl<A: TraceSource, B: TraceSource> ShareSource<A, B> {
+    /// Interleaves `a` and `b` over a shared file namespace, starting
+    /// with `a`.
+    pub fn new(a: A, b: B) -> Self {
+        let (ma, mb) = (a.meta(), b.meta());
+        let meta = SourceMeta {
+            sample_file: format!("share({},{})", ma.sample_file, mb.sample_file),
+            num_processes: ma.num_processes + mb.num_processes,
+            num_files: ma.num_files.max(mb.num_files),
+        };
+        Self { a, b, meta, pid_offset: ma.num_processes, take_a: true }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for ShareSource<A, B> {
+    fn meta(&self) -> SourceMeta {
+        self.meta.clone()
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let from_b = |s: &mut Self| s.b.next_record().map(|r| remap(r, s.pid_offset, 0));
+        if self.take_a {
+            self.take_a = false;
+            self.a.next_record().or_else(|| from_b(self))
+        } else {
+            self.take_a = true;
+            from_b(self).or_else(|| self.a.next_record())
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        add_hints(self.a.size_hint(), self.b.size_hint())
+    }
+}
+
 /// A streaming per-pid splitter: demultiplexes one [`TraceSource`]
 /// into per-process record streams in a **single pass**, with bounded
 /// buffering — the adapter that lets the pid-grouping simulators
@@ -637,6 +697,36 @@ mod tests {
         let t = materialize(&mut src).unwrap();
         assert!(t.validate().is_ok());
         assert_eq!(t.header.num_files, 2);
+    }
+
+    #[test]
+    fn share_merge_overlaps_files_and_splits_pids() {
+        let (a, b) = (reads(3, 0), reads(3, 0));
+        let src = ShareSource::new(SliceSource::new(&a), SliceSource::new(&b));
+        let meta = src.meta();
+        assert_eq!(meta.num_files, 1, "file namespaces overlap");
+        assert_eq!(meta.num_processes, 2, "pid namespaces stay disjoint");
+        assert!(meta.sample_file.starts_with("share("));
+        let records = drain(src);
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.file_id == 0), "both sides address the same file");
+        let pids: Vec<u32> = records.iter().map(|r| r.pid).collect();
+        assert_eq!(pids, vec![0, 1, 0, 1, 0, 1], "round-robin across the two populations");
+    }
+
+    #[test]
+    fn share_merge_materializes_to_a_valid_trace() {
+        let (a, b) = (reads(4, 0), reads(2, 0));
+        let mut src = ShareSource::new(SliceSource::new(&a), SliceSource::new(&b));
+        let t = materialize(&mut src).unwrap();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.header.num_files, 1);
+        assert_eq!(t.header.num_processes, 2);
+        // Cross-pid page sharing is structural: the same file id is
+        // touched by more than one pid.
+        let pids_on_file0: std::collections::BTreeSet<u32> =
+            t.records.iter().filter(|r| r.file_id == 0).map(|r| r.pid).collect();
+        assert!(pids_on_file0.len() > 1, "shared file must see multiple pids");
     }
 
     /// A `procs`-process round-robin trace: pid 0, 1, …, procs-1, 0, ….

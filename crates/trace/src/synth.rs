@@ -8,6 +8,8 @@
 //! generated for stress tests and capacity planning without re-running
 //! the applications.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,6 +17,66 @@ use crate::reader::TraceFile;
 use crate::record::{IoOp, TraceRecord};
 use crate::source::{materialize, SourceMeta, TraceSource};
 use crate::stats::TraceStats;
+
+/// How non-sequential data-op offsets distribute over the file (or,
+/// with [`TraceProfile::phases`] > 1, over the current phase region).
+///
+/// Every variant draws in O(1) time and memory, so the streaming
+/// synthesizer stays streaming whatever the skew.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Popularity {
+    /// Every start offset equally likely — the historical behavior.
+    #[default]
+    Uniform,
+    /// Zipf-like skew over 4 KiB-aligned start positions: rank-1 (the
+    /// region head) is hottest, tail popularity falls off as
+    /// `rank^-theta`. Sampled by the bounded-Pareto inverse CDF — one
+    /// uniform draw per offset, no rank table.
+    Zipfian {
+        /// Skew exponent; larger is hotter (`0.0` < `theta`, finite).
+        /// Typical web/storage skews sit in `0.6..=1.2`.
+        theta: f64,
+    },
+    /// A two-temperature hotspot: the first `hot_fraction` of the
+    /// region absorbs `hot_rate` of the non-sequential offsets, the
+    /// remainder spreads uniformly over the cold tail.
+    Hotspot {
+        /// Fraction of the region that is hot (`0.0 < f <= 1.0`).
+        hot_fraction: f64,
+        /// Fraction of draws landing in the hot region (`0.0..=1.0`).
+        hot_rate: f64,
+    },
+}
+
+/// The arrival process modulating inter-record virtual-clock gaps.
+///
+/// Purely a clock-stamp shape — record contents and order are
+/// untouched, so replay results that ignore capture clocks are
+/// identical across arrival processes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Arrival {
+    /// One fixed tick between consecutive records — the historical
+    /// behavior.
+    #[default]
+    Steady,
+    /// Records arrive in back-to-back bursts of `burst` separated by
+    /// idle gaps of `idle_ticks` ticks.
+    Bursty {
+        /// Records per burst (`>= 1`).
+        burst: u32,
+        /// Idle ticks between bursts (`>= 1`).
+        idle_ticks: u32,
+    },
+    /// A diurnal (triangle-wave) cycle: gaps swell from one tick up to
+    /// `1 + peak` ticks and back over each `period` records — slow
+    /// "night" traffic alternating with dense "day" traffic.
+    Diurnal {
+        /// Records per full cycle (`>= 2`).
+        period: u32,
+        /// Extra ticks at the widest point of the cycle (`>= 1`).
+        peak: u32,
+    },
+}
 
 /// A statistical description of a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +99,15 @@ pub struct TraceProfile {
     /// (the UMD traces do; turning it off folds the reposition into the
     /// data op's offset, as some collectors did).
     pub explicit_seeks: bool,
+    /// Page-popularity distribution of non-sequential offsets.
+    pub popularity: Popularity,
+    /// Arrival process shaping the inter-record clock gaps.
+    pub arrival: Arrival,
+    /// Working-set phases: the file is split into this many equal
+    /// regions and the trace migrates through them in order, spending
+    /// `data_ops / phases` operations in each — `1` (the default) is
+    /// the historical single-working-set behavior.
+    pub phases: u32,
 }
 
 impl Default for TraceProfile {
@@ -49,9 +120,108 @@ impl Default for TraceProfile {
             request_size: (4 * 1024, 256 * 1024),
             file_size: 1 << 30, // the paper's 1 GB sample file
             explicit_seeks: true,
+            popularity: Popularity::Uniform,
+            arrival: Arrival::Steady,
+            phases: 1,
         }
     }
 }
+
+/// A coded [`TraceProfile`] validation failure. The `P`-codes are the
+/// profile-level counterpart of the verifier's `V`-codes: stable
+/// identifiers CLI surfaces and tests match on instead of parsing
+/// messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// `P01` — a fraction parameter is outside `[0, 1]`.
+    FractionRange {
+        /// Which fraction field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `P02` — the request-size range is empty or starts at zero.
+    RequestSizeRange {
+        /// Range low bound.
+        lo: u64,
+        /// Range high bound.
+        hi: u64,
+    },
+    /// `P03` — the file cannot hold the largest request.
+    FileTooSmall {
+        /// Declared file size.
+        file_size: u64,
+        /// Largest request the profile can draw.
+        max_request: u64,
+    },
+    /// `P04` — zero data operations: the profile would synthesize an
+    /// empty stream (open + close and nothing else).
+    ZeroDataOps,
+    /// `P05` — the popularity distribution's parameters are out of
+    /// range.
+    BadPopularity {
+        /// What is wrong with them.
+        reason: &'static str,
+    },
+    /// `P06` — the arrival process's parameters are out of range.
+    BadArrival {
+        /// What is wrong with them.
+        reason: &'static str,
+    },
+    /// `P07` — the phase count is zero, or slices the file into
+    /// regions too small for the largest request.
+    BadPhases {
+        /// The offending phase count.
+        phases: u32,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl ProfileError {
+    /// The stable rule code (`P01`–`P07`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProfileError::FractionRange { .. } => "P01",
+            ProfileError::RequestSizeRange { .. } => "P02",
+            ProfileError::FileTooSmall { .. } => "P03",
+            ProfileError::ZeroDataOps => "P04",
+            ProfileError::BadPopularity { .. } => "P05",
+            ProfileError::BadArrival { .. } => "P06",
+            ProfileError::BadPhases { .. } => "P07",
+        }
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            ProfileError::FractionRange { field, value } => {
+                write!(f, "{field} {value} outside [0,1]")
+            }
+            ProfileError::RequestSizeRange { lo, hi } => {
+                write!(f, "bad request size range ({lo}, {hi})")
+            }
+            ProfileError::FileTooSmall { file_size, max_request } => {
+                write!(
+                    f,
+                    "file of {file_size} B smaller than the largest request ({max_request} B)"
+                )
+            }
+            ProfileError::ZeroDataOps => {
+                write!(f, "zero data ops: the profile synthesizes an empty stream")
+            }
+            ProfileError::BadPopularity { reason } => write!(f, "bad popularity: {reason}"),
+            ProfileError::BadArrival { reason } => write!(f, "bad arrival process: {reason}"),
+            ProfileError::BadPhases { phases, reason } => {
+                write!(f, "bad phase count {phases}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
 
 impl TraceProfile {
     /// A Dmine-like profile: pure sequential synchronous reads.
@@ -84,19 +254,87 @@ impl TraceProfile {
         }
     }
 
-    /// Validates the parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the parameter ranges with coded [`ProfileError`]s, so
+    /// a degenerate profile fails at build time — never deep inside
+    /// synthesis, never as a silently empty stream.
+    pub fn validate(&self) -> Result<(), ProfileError> {
         if !(0.0..=1.0).contains(&self.write_fraction) {
-            return Err(format!("write_fraction {} outside [0,1]", self.write_fraction));
+            return Err(ProfileError::FractionRange {
+                field: "write_fraction",
+                value: self.write_fraction,
+            });
         }
         if !(0.0..=1.0).contains(&self.sequentiality) {
-            return Err(format!("sequentiality {} outside [0,1]", self.sequentiality));
+            return Err(ProfileError::FractionRange {
+                field: "sequentiality",
+                value: self.sequentiality,
+            });
         }
         if self.request_size.0 == 0 || self.request_size.0 > self.request_size.1 {
-            return Err(format!("bad request size range {:?}", self.request_size));
+            return Err(ProfileError::RequestSizeRange {
+                lo: self.request_size.0,
+                hi: self.request_size.1,
+            });
         }
         if self.file_size < self.request_size.1 {
-            return Err("file smaller than the largest request".into());
+            return Err(ProfileError::FileTooSmall {
+                file_size: self.file_size,
+                max_request: self.request_size.1,
+            });
+        }
+        if self.data_ops == 0 {
+            return Err(ProfileError::ZeroDataOps);
+        }
+        match self.popularity {
+            Popularity::Uniform => {}
+            Popularity::Zipfian { theta } => {
+                if !theta.is_finite() || theta <= 0.0 {
+                    return Err(ProfileError::BadPopularity {
+                        reason: "zipfian theta must be finite and positive",
+                    });
+                }
+            }
+            Popularity::Hotspot { hot_fraction, hot_rate } => {
+                if !(hot_fraction > 0.0 && hot_fraction <= 1.0) {
+                    return Err(ProfileError::BadPopularity {
+                        reason: "hotspot fraction must be in (0, 1]",
+                    });
+                }
+                if !(0.0..=1.0).contains(&hot_rate) {
+                    return Err(ProfileError::BadPopularity {
+                        reason: "hotspot rate must be in [0, 1]",
+                    });
+                }
+            }
+        }
+        match self.arrival {
+            Arrival::Steady => {}
+            Arrival::Bursty { burst, idle_ticks } => {
+                if burst == 0 || idle_ticks == 0 {
+                    return Err(ProfileError::BadArrival {
+                        reason: "bursty needs burst >= 1 and idle_ticks >= 1",
+                    });
+                }
+            }
+            Arrival::Diurnal { period, peak } => {
+                if period < 2 || peak == 0 {
+                    return Err(ProfileError::BadArrival {
+                        reason: "diurnal needs period >= 2 and peak >= 1",
+                    });
+                }
+            }
+        }
+        if self.phases == 0 {
+            return Err(ProfileError::BadPhases {
+                phases: 0,
+                reason: "at least one phase is required",
+            });
+        }
+        if self.phases > 1 && self.file_size / (self.phases as u64) < self.request_size.1 {
+            return Err(ProfileError::BadPhases {
+                phases: self.phases,
+                reason: "phase regions smaller than the largest request",
+            });
         }
         Ok(())
     }
@@ -108,6 +346,11 @@ const SYNTH_SAMPLE: &str = "synthetic-sample.dat";
 /// Virtual-clock advance per synthesized record, microseconds (the
 /// [`crate::writer::TraceWriter`] default).
 const SYNTH_TICK_US: u64 = 10;
+
+/// Alignment of Zipf-ranked start positions: ranks address 4 KiB
+/// blocks, so skewed offsets land page-aligned and rank-1 reuse is
+/// visible to a page cache.
+const ZIPF_BLOCK: u64 = 4096;
 
 /// Where the synthesis state machine is in the open → data ops → close
 /// record sequence.
@@ -138,6 +381,9 @@ pub struct SynthSource {
     emitted_data_ops: usize,
     position: u64,
     clock_us: u64,
+    /// Records stamped so far — drives the arrival process's gap
+    /// schedule.
+    stamped: u64,
     /// Records left to emit — exact, counted at construction.
     remaining: usize,
     /// `(ln(lo), ln(hi))` of the request-size range, hoisted out of
@@ -147,7 +393,7 @@ pub struct SynthSource {
 
 impl SynthSource {
     /// Creates a streaming synthesizer for `profile`.
-    pub fn new(profile: TraceProfile) -> Result<Self, String> {
+    pub fn new(profile: TraceProfile) -> Result<Self, ProfileError> {
         profile.validate()?;
         let (lo, hi) = profile.request_size;
         let mut source = Self {
@@ -157,6 +403,7 @@ impl SynthSource {
             emitted_data_ops: 0,
             position: 0,
             clock_us: 0,
+            stamped: 0,
             remaining: 0,
             ln_size_bounds: ((lo as f64).ln(), (hi as f64).ln()),
             profile,
@@ -174,9 +421,32 @@ impl SynthSource {
     }
 
     /// Stamps a record the way [`crate::writer::TraceWriter`] does:
-    /// advance the virtual clock, then record both clocks.
+    /// advance the virtual clock, then record both clocks. The arrival
+    /// process picks the gap; [`Arrival::Steady`] is the historical
+    /// one-tick advance, bit for bit.
     fn stamp(&mut self, op: IoOp, offset: u64, length: u64) -> TraceRecord {
-        self.clock_us += SYNTH_TICK_US;
+        let i = self.stamped;
+        self.stamped += 1;
+        let gap = match self.profile.arrival {
+            Arrival::Steady => SYNTH_TICK_US,
+            // A burst starts every `burst` records; the gap in front of
+            // it is the idle window, everything inside is back to back.
+            Arrival::Bursty { burst, idle_ticks } => {
+                if i % burst as u64 == 0 {
+                    SYNTH_TICK_US * idle_ticks as u64
+                } else {
+                    SYNTH_TICK_US
+                }
+            }
+            // Integer triangle wave over the cycle: gap swells from one
+            // tick to `1 + peak` ticks at mid-cycle and back.
+            Arrival::Diurnal { period, peak } => {
+                let pos = i % period as u64;
+                let tri = pos.min(period as u64 - pos);
+                SYNTH_TICK_US + SYNTH_TICK_US * peak as u64 * 2 * tri / period as u64
+            }
+        };
+        self.clock_us += gap;
         TraceRecord {
             op,
             num_records: 1,
@@ -189,6 +459,54 @@ impl SynthSource {
         }
     }
 
+    /// The working-set region of the *current* data op: `[lo, hi)`.
+    /// One phase spans the whole file; `k` phases migrate through `k`
+    /// equal slices of it in emission order.
+    fn region(&self) -> (u64, u64) {
+        let phases = self.profile.phases as u64;
+        if phases <= 1 {
+            return (0, self.profile.file_size);
+        }
+        let idx = (self.emitted_data_ops as u64 * phases / self.profile.data_ops.max(1) as u64)
+            .min(phases - 1);
+        let span = self.profile.file_size / phases;
+        let lo = idx * span;
+        // The last region absorbs the division remainder.
+        let hi = if idx == phases - 1 { self.profile.file_size } else { lo + span };
+        (lo, hi)
+    }
+
+    /// Draws a start offset for a `size`-byte request inside
+    /// `[lo, hi)` under the profile's popularity distribution.
+    fn draw_offset(&mut self, lo: u64, hi: u64, size: u64) -> u64 {
+        let max_start = hi - size; // >= lo, by validation
+        match self.profile.popularity {
+            Popularity::Uniform => self.rng.gen_range(lo..=max_start),
+            Popularity::Zipfian { theta } => {
+                // Bounded-Pareto inverse CDF over the region's 4 KiB
+                // blocks: rank r gets probability ~ r^-theta, sampled
+                // from one uniform draw — O(1), no rank table.
+                let blocks = ((max_start - lo) / ZIPF_BLOCK + 1) as f64;
+                let u = self.rng.gen_range(0.0..1.0);
+                let x = if (theta - 1.0).abs() < 1e-9 {
+                    blocks.powf(u)
+                } else {
+                    (1.0 + u * (blocks.powf(1.0 - theta) - 1.0)).powf(1.0 / (1.0 - theta))
+                };
+                let rank = (x.floor() as u64).clamp(1, blocks as u64) - 1;
+                (lo + rank * ZIPF_BLOCK).min(max_start)
+            }
+            Popularity::Hotspot { hot_fraction, hot_rate } => {
+                let hot_end = lo + ((max_start - lo) as f64 * hot_fraction) as u64;
+                if self.rng.gen_bool(hot_rate) || hot_end >= max_start {
+                    self.rng.gen_range(lo..=hot_end.min(max_start))
+                } else {
+                    self.rng.gen_range(hot_end + 1..=max_start)
+                }
+            }
+        }
+    }
+
     /// Draws the next data operation; returns the seek record when the
     /// profile calls for an explicit reposition (the data record is
     /// then staged in `pending`).
@@ -198,7 +516,7 @@ impl SynthSource {
         let (lo, hi) = self.profile.request_size;
         let (sequentiality, write_fraction) =
             (self.profile.sequentiality, self.profile.write_fraction);
-        let (file_size, explicit_seeks) = (self.profile.file_size, self.profile.explicit_seeks);
+        let explicit_seeks = self.profile.explicit_seeks;
         let size = if lo == hi {
             lo
         } else {
@@ -206,14 +524,19 @@ impl SynthSource {
             self.rng.gen_range(ln_lo..=ln_hi).exp().round().clamp(lo as f64, hi as f64) as u64
         };
         let sequential = self.rng.gen_bool(sequentiality);
+        let (region_lo, region_hi) = self.region();
         let mut seek = None;
         if !sequential {
-            self.position = self.rng.gen_range(0..=file_size - size);
+            self.position = self.draw_offset(region_lo, region_hi, size);
             if explicit_seeks {
                 seek = Some(self.stamp(IoOp::Seek, self.position, 0));
             }
-        } else if self.position + size > file_size {
-            self.position = 0; // wrap the sequential stream at EOF
+        } else if self.position < region_lo || self.position + size > region_hi {
+            // Wrap the sequential stream at the region's end — and jump
+            // into the region when a phase change moved it out from
+            // under the stream. With one phase this is the historical
+            // wrap-at-EOF, bit for bit.
+            self.position = region_lo;
         }
         let op = if self.rng.gen_bool(write_fraction) { IoOp::Write } else { IoOp::Read };
         let data = self.stamp(op, self.position, size);
@@ -382,6 +705,195 @@ mod tests {
         assert!(TraceProfile { file_size: 10, request_size: (4, 1024), ..Default::default() }
             .validate()
             .is_err());
+    }
+
+    /// Every degenerate axis fails with its own stable code — the
+    /// coded-error satellite pin.
+    #[test]
+    fn validation_codes_are_stable() {
+        let code = |p: TraceProfile| p.validate().unwrap_err().code();
+        assert_eq!(code(TraceProfile { write_fraction: -0.5, ..Default::default() }), "P01");
+        assert_eq!(code(TraceProfile { sequentiality: 1.5, ..Default::default() }), "P01");
+        assert_eq!(code(TraceProfile { request_size: (0, 10), ..Default::default() }), "P02");
+        assert_eq!(
+            code(TraceProfile { file_size: 10, request_size: (4, 1024), ..Default::default() }),
+            "P03"
+        );
+        assert_eq!(code(TraceProfile { data_ops: 0, ..Default::default() }), "P04");
+        assert_eq!(
+            code(TraceProfile {
+                popularity: Popularity::Zipfian { theta: -1.0 },
+                ..Default::default()
+            }),
+            "P05"
+        );
+        assert_eq!(
+            code(TraceProfile {
+                popularity: Popularity::Hotspot { hot_fraction: 0.0, hot_rate: 0.9 },
+                ..Default::default()
+            }),
+            "P05"
+        );
+        assert_eq!(
+            code(TraceProfile {
+                arrival: Arrival::Bursty { burst: 0, idle_ticks: 8 },
+                ..Default::default()
+            }),
+            "P06"
+        );
+        assert_eq!(
+            code(TraceProfile {
+                arrival: Arrival::Diurnal { period: 1, peak: 4 },
+                ..Default::default()
+            }),
+            "P06"
+        );
+        assert_eq!(code(TraceProfile { phases: 0, ..Default::default() }), "P07");
+        // 1 GB / 8192 phases < the 256 KiB max request.
+        assert_eq!(code(TraceProfile { phases: 8192, ..Default::default() }), "P07");
+        let msg = TraceProfile { data_ops: 0, ..Default::default() }.validate().unwrap_err();
+        assert!(msg.to_string().contains("P04"), "Display carries the code: {msg}");
+    }
+
+    #[test]
+    fn zipfian_skew_concentrates_block_popularity_monotonically() {
+        // Hotter theta => the single most popular 4 KiB start block
+        // absorbs a strictly larger share of the non-sequential draws.
+        let top_share = |theta: f64| {
+            let t = synthesize(&TraceProfile {
+                sequentiality: 0.0,
+                explicit_seeks: false,
+                data_ops: 3000,
+                request_size: (4096, 4096),
+                popularity: Popularity::Zipfian { theta },
+                ..Default::default()
+            });
+            let mut counts = std::collections::HashMap::new();
+            let mut total = 0u64;
+            for r in t.records.iter().filter(|r| r.op.transfers_data()) {
+                *counts.entry(r.offset).or_insert(0u64) += 1;
+                total += 1;
+            }
+            *counts.values().max().unwrap() as f64 / total as f64
+        };
+        let shares: Vec<f64> = [0.4, 0.8, 1.2, 1.6].iter().map(|&t| top_share(t)).collect();
+        for pair in shares.windows(2) {
+            assert!(pair[1] > pair[0], "top-block share must grow with theta: {shares:?}");
+        }
+    }
+
+    #[test]
+    fn hotspot_hits_the_hot_region_at_the_requested_rate() {
+        let p = TraceProfile {
+            sequentiality: 0.0,
+            explicit_seeks: false,
+            data_ops: 4000,
+            popularity: Popularity::Hotspot { hot_fraction: 0.1, hot_rate: 0.9 },
+            ..Default::default()
+        };
+        let t = synthesize(&p);
+        let hot_end = (p.file_size as f64 * 0.1) as u64;
+        let data: Vec<_> = t.records.iter().filter(|r| r.op.transfers_data()).collect();
+        let hot = data.iter().filter(|r| r.offset <= hot_end).count() as f64;
+        let rate = hot / data.len() as f64;
+        assert!((rate - 0.9).abs() < 0.05, "hot rate {rate}");
+    }
+
+    #[test]
+    fn phases_migrate_the_working_set_in_order() {
+        let p = TraceProfile { data_ops: 400, phases: 4, sequentiality: 0.5, ..Default::default() };
+        let t = synthesize(&p);
+        let span = p.file_size / 4;
+        let mut op_idx = 0usize;
+        for r in t.records.iter().filter(|r| r.op.transfers_data()) {
+            let phase = (op_idx * 4 / p.data_ops).min(3) as u64;
+            let (lo, hi) =
+                (phase * span, if phase == 3 { p.file_size } else { (phase + 1) * span });
+            assert!(
+                r.offset >= lo && r.offset + r.length <= hi,
+                "op {op_idx} at {} strayed from phase {phase} region [{lo}, {hi})",
+                r.offset
+            );
+            op_idx += 1;
+        }
+        assert_eq!(op_idx, 400);
+    }
+
+    #[test]
+    fn bursty_arrivals_shape_the_clock_gaps() {
+        let p = TraceProfile {
+            data_ops: 64,
+            sequentiality: 1.0,
+            arrival: Arrival::Bursty { burst: 8, idle_ticks: 50 },
+            ..Default::default()
+        };
+        let t = synthesize(&p);
+        let mut idle_gaps = 0usize;
+        for w in t.records.windows(2) {
+            let gap = w[1].wall_clock_us - w[0].wall_clock_us;
+            assert!(gap == 10 || gap == 500, "gap {gap} is neither a tick nor an idle window");
+            idle_gaps += (gap == 500) as usize;
+        }
+        // 66 records / burst of 8 => 8 idle windows follow the first.
+        assert!(idle_gaps >= 7, "bursts separated by idle windows, got {idle_gaps}");
+        // Clocks stay monotone whatever the arrival shape.
+        assert!(t.records.windows(2).all(|w| w[1].wall_clock_us > w[0].wall_clock_us));
+    }
+
+    #[test]
+    fn diurnal_arrivals_cycle_the_gap_width() {
+        let p = TraceProfile {
+            data_ops: 200,
+            sequentiality: 1.0,
+            arrival: Arrival::Diurnal { period: 50, peak: 9 },
+            ..Default::default()
+        };
+        let t = synthesize(&p);
+        let gaps: Vec<u64> =
+            t.records.windows(2).map(|w| w[1].wall_clock_us - w[0].wall_clock_us).collect();
+        let (min, max) = (gaps.iter().min().unwrap(), gaps.iter().max().unwrap());
+        assert_eq!(*min, 10, "night gaps are one tick");
+        assert_eq!(*max, 100, "peak gap is 1 + peak ticks");
+    }
+
+    #[test]
+    fn scenario_knobs_stream_equals_materialized() {
+        // The streaming == materialized identity must survive every
+        // scenario knob, not just the defaults.
+        for p in [
+            TraceProfile {
+                popularity: Popularity::Zipfian { theta: 1.1 },
+                sequentiality: 0.3,
+                data_ops: 250,
+                ..Default::default()
+            },
+            TraceProfile {
+                popularity: Popularity::Hotspot { hot_fraction: 0.2, hot_rate: 0.8 },
+                data_ops: 250,
+                ..Default::default()
+            },
+            TraceProfile {
+                arrival: Arrival::Bursty { burst: 16, idle_ticks: 100 },
+                data_ops: 250,
+                ..Default::default()
+            },
+            TraceProfile {
+                arrival: Arrival::Diurnal { period: 40, peak: 5 },
+                phases: 3,
+                data_ops: 250,
+                ..Default::default()
+            },
+        ] {
+            let t = synthesize(&p);
+            let mut src = SynthSource::new(p.clone()).unwrap();
+            let (lo, hi) = src.size_hint();
+            assert_eq!((lo, hi), (t.len(), Some(t.len())), "size hint stays exact: {p:?}");
+            let mut streamed = Vec::new();
+            while let Some(r) = src.next_record() {
+                streamed.push(r);
+            }
+            assert_eq!(streamed, t.records, "streamed != materialized for {p:?}");
+        }
     }
 
     #[test]

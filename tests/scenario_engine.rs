@@ -1,0 +1,383 @@
+//! Scenario-engine pins: the skewed / bursty / phased / shared-file
+//! workload families, end to end.
+//!
+//! Four families of pins:
+//!
+//! 1. **Grammar + determinism.** Every scenario family parses via
+//!    `Workload::parse`, runs through serial replay, parallel replay
+//!    (across thread counts), a simulator and the serving engine, and
+//!    reports identically across runs.
+//! 2. **Behavior.** Zipfian skew shifts hit ratios monotonically with
+//!    its exponent; the shared-file mix raises cross-pid contention
+//!    (and hit ratio) over the disjoint mix of the same atoms; the
+//!    fault scenario degrades the scheduled sim's makespan.
+//! 3. **Build-time validation.** Degenerate profiles fail
+//!    `Experiment::build` with coded `ExpError::Profile` errors — never
+//!    deep inside a run, never as silently empty streams.
+//! 4. **Chain-clock format symmetry.** A trace whose capture clock
+//!    rewinds gets the *identical* `VerifyMode` treatment as a v1
+//!    fixed-width file and as a v2 compact file — standalone (both
+//!    rejected under `V03`) and chained after a synthetic atom (both
+//!    admitted, clock rule dropped for chains).
+
+use clio_core::prelude::*;
+use clio_core::trace::compact;
+use clio_core::trace::record::TraceRecord;
+use clio_core::trace::source::TraceSource;
+use clio_core::trace::TraceFile;
+
+/// Every scenario-family spec the grammar must accept, including a
+/// nested wrapper chain.
+const FAMILY_SPECS: [&str; 7] = [
+    "zipf:0.9",
+    "hot:0.2x0.8",
+    "burst:32x64",
+    "diurnal:40x6",
+    "phase:4",
+    "share:seq,rand",
+    "zipf:0.9@phase:4@seq",
+];
+
+fn parsed(spec: &str, ops: usize) -> Workload {
+    let mut w = Workload::parse(spec).expect(spec);
+    w.scale_data_ops(ops);
+    w
+}
+
+#[test]
+fn every_family_replays_simulates_and_serves_deterministically() {
+    for spec in FAMILY_SPECS {
+        let w = parsed(spec, 300);
+
+        // Serial replay, twice: identical summaries.
+        let serial = |_: usize| {
+            Experiment::builder()
+                .workload(w.clone())
+                .engine(Engine::SerialReplay)
+                .build()
+                .expect("builds")
+                .run()
+                .expect("runs")
+        };
+        assert_eq!(serial(0).summary(), serial(1).summary(), "{spec}: serial replay");
+
+        // Parallel replay across thread counts: the count must not
+        // change a single reported number.
+        let par = |threads: usize| {
+            let mut s = Experiment::builder()
+                .workload(w.clone())
+                .engine(Engine::ParallelReplay)
+                .threads(threads)
+                .shards(8)
+                .report_mode(ReportMode::Summary)
+                .build()
+                .expect("builds")
+                .run()
+                .expect("runs")
+                .summary();
+            // The thread count is *supposed* to differ between runs —
+            // every measured number must not.
+            s.threads = None;
+            s
+        };
+        let one = par(1);
+        for threads in [2usize, 8] {
+            assert_eq!(par(threads), one, "{spec}: parallel replay @ {threads} threads");
+        }
+
+        // One simulator, twice.
+        let sim = |_: usize| {
+            Experiment::builder()
+                .workload(w.clone())
+                .engine(Engine::TraceSim)
+                .build()
+                .expect("builds")
+                .run()
+                .expect("runs")
+        };
+        let (a, b) = (sim(0), sim(1));
+        assert_eq!(a.summary(), b.summary(), "{spec}: trace sim");
+        assert!(a.makespan_s().expect("sim makespan") > 0.0, "{spec}");
+
+        // The serving engine, twice: its virtual-clock latencies are
+        // deterministic by construction.
+        let serve = |_: usize| {
+            Experiment::builder()
+                .workload(w.clone())
+                .engine(Engine::Serve)
+                .clients(3)
+                .requests_per_client(60)
+                .report_mode(ReportMode::Summary)
+                .build()
+                .expect("builds")
+                .run()
+                .expect("runs")
+        };
+        let (a, b) = (serve(0), serve(1));
+        assert_eq!(a.summary(), b.summary(), "{spec}: serve");
+        assert!(a.records > 0, "{spec}: serve issued requests");
+    }
+}
+
+#[test]
+fn zipfian_skew_shifts_hit_ratios_monotonically() {
+    // Behavioral pin, not a smoke test: on a cache far smaller than the
+    // addressed block population, a heavier-tailed Zipf must concentrate
+    // references and raise the hit ratio — strictly, at every step.
+    let hit_ratio = |theta: f64| {
+        let w = Workload::Synthetic(TraceProfile {
+            data_ops: 4_000,
+            sequentiality: 0.0,
+            write_fraction: 0.0,
+            request_size: (4096, 4096),
+            file_size: 1 << 26,
+            popularity: Popularity::Zipfian { theta },
+            ..Default::default()
+        });
+        let report = Experiment::builder()
+            .workload(w)
+            .engine(Engine::SerialReplay)
+            .cache(CacheConfig { capacity_pages: 256, ..Default::default() })
+            .build()
+            .expect("builds")
+            .run()
+            .expect("runs");
+        report.cache_metrics.expect("replay fills cache metrics").hit_ratio()
+    };
+    let ratios: Vec<f64> = [0.4, 0.8, 1.2, 1.6].iter().map(|&t| hit_ratio(t)).collect();
+    for pair in ratios.windows(2) {
+        assert!(pair[1] > pair[0], "hit ratio must grow with skew, got {ratios:?}");
+    }
+}
+
+#[test]
+fn shared_file_mix_raises_cross_pid_contention_over_disjoint_mix() {
+    // The same two atoms, mixed disjointly vs sharing their file
+    // namespace. Structural: only the shared mix has multiple pids
+    // touching one file. Behavioral: the shared mix's second process
+    // rides the first one's cached pages, so its hit ratio is higher.
+    // Random (non-prefetchable) reads: the hit ratio is then governed
+    // by how much of the addressed page population fits in the cache —
+    // sharing the file halves that population.
+    let atom = |seed: u64| {
+        Workload::Synthetic(TraceProfile {
+            data_ops: 2_000,
+            sequentiality: 0.0,
+            write_fraction: 0.0,
+            request_size: (4096, 4096),
+            file_size: 1 << 21,
+            seed,
+            ..Default::default()
+        })
+    };
+    let disjoint = Workload::mix(atom(7), atom(8));
+    let shared = Workload::mix_shared(atom(7), atom(8));
+
+    let cross_pid_files = |w: &Workload| {
+        let t = w.materialize().expect("materializes");
+        let mut by_file: std::collections::BTreeMap<u32, std::collections::BTreeSet<u32>> =
+            Default::default();
+        for r in &t.records {
+            by_file.entry(r.file_id).or_default().insert(r.pid);
+        }
+        by_file.values().filter(|pids| pids.len() > 1).count()
+    };
+    assert_eq!(cross_pid_files(&disjoint), 0, "disjoint mix: no file sees two pids");
+    assert!(cross_pid_files(&shared) > 0, "shared mix: some file sees multiple pids");
+
+    let hit_ratio = |w: Workload| {
+        let report = Experiment::builder()
+            .workload(w)
+            .engine(Engine::SerialReplay)
+            .cache(CacheConfig { capacity_pages: 128, ..Default::default() })
+            .build()
+            .expect("builds")
+            .run()
+            .expect("runs");
+        report.cache_metrics.expect("metrics").hit_ratio()
+    };
+    let (d, s) = (hit_ratio(disjoint), hit_ratio(shared));
+    assert!(
+        s > d + 0.1,
+        "sharing the file namespace must raise the hit ratio markedly: disjoint {d}, shared {s}"
+    );
+}
+
+#[test]
+fn fault_scenarios_degrade_the_scheduled_sim_deterministically() {
+    let quiet = Scenario::parse("zipf:0.9").expect("parses");
+    let degraded = Scenario::parse("fault:slow@0-1000x8+err@16:zipf:0.9").expect("parses");
+    assert!(!quiet.has_faults());
+    assert!(degraded.has_faults());
+
+    let run = |s: &Scenario| {
+        let mut s = s.clone();
+        s.workload.scale_data_ops(400);
+        Experiment::builder()
+            .scenario(s)
+            .engine(Engine::ScheduledSim)
+            .build()
+            .expect("builds")
+            .run()
+            .expect("runs")
+    };
+    let (q, d) = (run(&quiet), run(&degraded));
+    let repeat = run(&degraded).summary();
+    assert_eq!(repeat, d.summary(), "the degraded run is as deterministic as the quiet one");
+    let (qs, ds) = (q.sim.expect("sim section"), d.sim.expect("sim section"));
+    assert_eq!(qs.retries, 0, "quiet disk never retries");
+    assert!(ds.retries > 0, "err@16 must surface as retries");
+    assert!(
+        ds.makespan > qs.makespan,
+        "slow window + retries must cost simulated time: quiet {} vs degraded {}",
+        qs.makespan,
+        ds.makespan
+    );
+}
+
+#[test]
+fn degenerate_profiles_fail_at_build_time_with_coded_errors() {
+    // A valid spec driven to zero ops by a CLI scale flag: caught by
+    // `build()`, with the stable P-code, before anything runs.
+    let mut w = Workload::parse("zipf:0.9").expect("parses");
+    w.scale_data_ops(0);
+    match Experiment::builder().workload(w).build() {
+        Err(ExpError::Profile(p)) => assert_eq!(p.code(), "P04"),
+        other => panic!("expected a coded profile error, got {other:?}"),
+    }
+    // Nested inside a combinator spec, same treatment.
+    let mut w = Workload::parse("share:seq,rand").expect("parses");
+    w.scale_data_ops(0);
+    assert!(matches!(Experiment::builder().workload(w).build(), Err(ExpError::Profile(_))));
+}
+
+/// A structurally valid trace whose wall clock rewinds mid-stream —
+/// exactly what a chained capture looks like, and exactly what `V03`
+/// rejects in an unchained workload.
+fn clock_rewind_trace() -> TraceFile {
+    use clio_core::trace::record::IoOp;
+    let mut records = Vec::new();
+    let mut push = |op: IoOp, offset: u64, length: u64, clock: u64| {
+        let mut r = TraceRecord::simple(op, 0, offset, length);
+        r.wall_clock_us = clock;
+        r.proc_clock_us = clock;
+        records.push(r);
+    };
+    push(IoOp::Open, 0, 0, 1_000);
+    push(IoOp::Read, 0, 4096, 2_000);
+    push(IoOp::Read, 4096, 4096, 3_000);
+    // The restart: a fresh capture's clock starts below the previous
+    // stream's.
+    push(IoOp::Read, 8192, 4096, 50);
+    push(IoOp::Close, 0, 0, 60);
+    TraceFile::build("rewind.dat", 1, records).expect("structurally valid trace")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("clio-scenario-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn v1_and_v2_file_atoms_get_identical_verify_treatment_in_and_out_of_chains() {
+    let trace = clock_rewind_trace();
+    let dir = temp_dir("formats");
+    let v1 = dir.join("rewind.clio");
+    let v2 = dir.join("rewind.clc2");
+    std::fs::write(&v1, trace.to_bytes()).expect("write v1");
+    std::fs::write(&v2, compact::encode_trace(&trace).expect("encodes")).expect("write v2");
+
+    let synth = || Workload::Synthetic(TraceProfile { data_ops: 20, ..Default::default() });
+
+    for path in [&v1, &v2] {
+        let file = Workload::File(path.clone());
+        let chained = Workload::chain(synth(), Workload::File(path.clone()));
+
+        // Both formats produce the same record stream...
+        let mut src = file.open().expect("opens");
+        let mut streamed = Vec::new();
+        while let Some(r) = src.next_record() {
+            streamed.push(r);
+        }
+        assert_eq!(streamed, trace.records, "{}", path.display());
+
+        // ...and the same verifier rule selection.
+        assert!(file.verify_options().check_clocks, "{}", path.display());
+        assert!(!chained.verify_options().check_clocks, "{}", path.display());
+
+        // Standalone, strict admission rejects the rewind — same rule,
+        // same record index, either format.
+        match file.verify(VerifyMode::Strict) {
+            Err(ExpError::Verify(v)) => {
+                assert_eq!(v.code(), "V03", "{}", path.display());
+                assert_eq!(v.index(), 3, "{}", path.display());
+            }
+            other => panic!("{}: expected V03 rejection, got {other:?}", path.display()),
+        }
+
+        // Chained after a synthetic atom, the clock rule is dropped and
+        // strict admission passes — the whole point of the chain rule.
+        chained
+            .verify(VerifyMode::Strict)
+            .unwrap_or_else(|e| panic!("{}: chained strict admission failed: {e}", path.display()));
+
+        // The full experiment path agrees end to end, under both
+        // admission modes.
+        let expected_records = {
+            let mut src = chained.open().expect("opens");
+            let mut n = 0u64;
+            while src.next_record().is_some() {
+                n += 1;
+            }
+            n
+        };
+        for verify in [VerifyMode::Strict, VerifyMode::Lenient] {
+            let report = Experiment::builder()
+                .workload(chained.clone())
+                .engine(Engine::SerialReplay)
+                .verify(verify)
+                .build()
+                .expect("builds")
+                .run()
+                .unwrap_or_else(|e| {
+                    panic!("{}: chained run failed under {verify:?}: {e}", path.display())
+                });
+            assert_eq!(
+                report.records,
+                expected_records,
+                "{}: every chained record replayed under {verify:?}",
+                path.display()
+            );
+            if verify == VerifyMode::Lenient {
+                let q = report.quarantine.expect("lenient keeps a ledger");
+                assert_eq!(
+                    q.quarantined,
+                    0,
+                    "{}: nothing quarantined from a chain-legal stream",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    // The two formats' chained runs are not just individually sane but
+    // identical to each other.
+    let run = |path: &std::path::Path| {
+        let mut s = Experiment::builder()
+            .workload(Workload::chain(synth(), Workload::File(path.to_path_buf())))
+            .engine(Engine::SerialReplay)
+            .verify(VerifyMode::Strict)
+            .build()
+            .expect("builds")
+            .run()
+            .expect("runs")
+            .summary();
+        // The label embeds the file path, which differs by design;
+        // every measured number must not.
+        s.workload = String::new();
+        s
+    };
+    assert_eq!(run(&v1), run(&v2), "v1 and v2 chains must report identically");
+    std::fs::remove_dir_all(&dir).ok();
+}

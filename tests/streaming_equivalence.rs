@@ -231,6 +231,51 @@ fn streamed_sim_of_a_mixed_workload_matches_its_materialized_trace() {
     }
 }
 
+#[test]
+fn scenario_families_stream_equals_materialized_bitwise() {
+    // Every scenario family — skewed popularity, hotspot, bursty and
+    // diurnal arrivals, phased working sets, the shared-file mix, and
+    // a nested wrapper chain — streams record-for-record identical to
+    // its materialized trace, and re-materializes identically.
+    for spec in [
+        "zipf:0.9",
+        "hot:0.2x0.8",
+        "burst:32x64",
+        "diurnal:40x6",
+        "phase:4",
+        "share:seq,rand",
+        "zipf:0.9@phase:4@seq",
+    ] {
+        let mut w = Workload::parse(spec).expect(spec);
+        w.scale_data_ops(300);
+        let mut src = w.open().expect("opens");
+        let mut streamed = Vec::new();
+        while let Some(r) = src.next_record() {
+            streamed.push(r);
+        }
+        let t = w.materialize().expect("materializes");
+        assert_eq!(streamed, t.records, "{spec}: streamed != materialized");
+        assert_eq!(
+            w.materialize().expect("materializes").records,
+            t.records,
+            "{spec}: re-materialization diverged"
+        );
+    }
+}
+
+#[test]
+fn scenario_families_summary_equals_full_per_engine() {
+    for spec in ["zipf:0.9", "burst:32x64", "phase:4", "share:seq,rand"] {
+        let mut w = Workload::parse(spec).expect(spec);
+        w.scale_data_ops(250);
+        for engine in
+            [Engine::SerialReplay, Engine::ParallelReplay, Engine::TraceSim, Engine::ScheduledSim]
+        {
+            pin_summary_equals_full(w.clone(), engine, CacheConfig::default());
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
